@@ -1,0 +1,72 @@
+// Ablation: Model Repair cost function g(Z) — L2 (the paper's Frobenius
+// default, Eq. 1), smooth L1, and weighted L2 — on the WSN X=40 repair.
+//
+// Expectation: L2 spreads the correction across p and q; L1 concentrates it
+// on the more effective variable; weighting a variable's cost up pushes the
+// repair onto the other one. The repaired model satisfies the property in
+// every case — the cost only decides *which* minimal repair is chosen.
+
+#include <iostream>
+
+#include "src/casestudies/wsn.hpp"
+#include "src/common/table.hpp"
+#include "src/core/model_repair.hpp"
+#include "src/logic/parser.hpp"
+#include "src/mdp/solver.hpp"
+
+using namespace tml;
+
+int main() {
+  const WsnConfig config;
+  const Mdp mdp = build_wsn_mdp(config);
+  const StateSet delivered = mdp.states_with_label("delivered");
+  const Policy routing =
+      total_reward_to_target(mdp, delivered, Objective::kMinimize).policy;
+  const Dtmc induced = mdp.induced_dtmc(routing);
+  const StateFormulaPtr property = parse_pctl("R<=40 [ F \"delivered\" ]");
+
+  std::cout << "=== Ablation: repair cost functions (WSN, X=40) ===\n\n";
+  Table table({"cost g(Z)", "status", "p", "q", "achieved E[attempts]",
+               "g at optimum"});
+
+  struct Case {
+    std::string name;
+    ModelRepairConfig config;
+  };
+  std::vector<Case> cases;
+  {
+    Case l2{"L2 (paper)", {}};
+    cases.push_back(l2);
+    Case l1{"L1 (sparse)", {}};
+    l1.config.cost = RepairCost::kL1;
+    cases.push_back(l1);
+    Case wp{"weighted L2 (p 10x dearer)", {}};
+    wp.config.cost = RepairCost::kWeightedL2;
+    wp.config.cost_weights = {10.0, 1.0};
+    cases.push_back(wp);
+    Case wq{"weighted L2 (q 10x dearer)", {}};
+    wq.config.cost = RepairCost::kWeightedL2;
+    wq.config.cost_weights = {1.0, 10.0};
+    cases.push_back(wq);
+  }
+
+  for (const Case& c : cases) {
+    const PerturbationScheme scheme = wsn_perturbation(config, induced, 0.08);
+    const ModelRepairResult result = model_repair(scheme, *property, c.config);
+    if (result.feasible()) {
+      table.add_row({c.name, "optimal",
+                     format_double(result.variable_values[0], 4),
+                     format_double(result.variable_values[1], 4),
+                     format_double(result.achieved, 5),
+                     format_double(result.cost, 4)});
+    } else {
+      table.add_row({c.name, to_string(result.status), "-", "-",
+                     format_double(result.achieved, 5), "-"});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nreading: every cost yields a property-satisfying repair; "
+               "the cost shapes its direction (weighting a variable dearer "
+               "shifts the correction to the other).\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation: localized Model Repair (the paper's "efficient localized
+// changes" future work) — repair restricted to the top-k most sensitive
+// variables vs the full repair.
+//
+// Model: a 6-hop serial delivery chain with one correction variable per
+// hop and heterogeneous base success probabilities, so the sensitivities
+// differ sharply across hops. Reported per k: feasibility, repair cost,
+// and the optimality gap vs the full repair.
+
+#include <iostream>
+
+#include "src/common/table.hpp"
+#include "src/core/sensitivity.hpp"
+#include "src/logic/parser.hpp"
+
+using namespace tml;
+
+namespace {
+
+struct ChainSetup {
+  Dtmc chain;
+  std::vector<double> success;
+};
+
+ChainSetup build_chain() {
+  const std::vector<double> success{0.10, 0.45, 0.25, 0.60, 0.15, 0.50};
+  const std::size_t hops = success.size();
+  Dtmc chain(hops + 1);
+  for (StateId s = 0; s < hops; ++s) {
+    chain.set_transitions(
+        s, {Transition{s, 1.0 - success[s]}, Transition{s + 1, success[s]}});
+    chain.set_state_reward(s, 1.0);
+  }
+  chain.set_transitions(static_cast<StateId>(hops),
+                        {Transition{static_cast<StateId>(hops), 1.0}});
+  chain.add_label(static_cast<StateId>(hops), "done");
+  return {std::move(chain), success};
+}
+
+PerturbationScheme make_scheme(const ChainSetup& setup) {
+  PerturbationScheme scheme(setup.chain);
+  for (std::size_t h = 0; h < setup.success.size(); ++h) {
+    const Var v =
+        scheme.add_variable("v" + std::to_string(h), 0.0, 0.25);
+    scheme.attach_balanced(v, static_cast<StateId>(h),
+                           static_cast<StateId>(h + 1),
+                           static_cast<StateId>(h));
+  }
+  return scheme;
+}
+
+}  // namespace
+
+int main() {
+  const ChainSetup setup = build_chain();
+  const StateFormulaPtr property = parse_pctl("R<=16 [ F \"done\" ]");
+
+  std::cout << "=== Ablation: localized repair (top-k sensitive variables) "
+               "===\n";
+  const PerturbationScheme scheme = make_scheme(setup);
+  const SensitivityReport report = sensitivity_analysis(scheme, *property);
+  std::cout << "chain: 6 hops, E[attempts] = "
+            << format_double(report.nominal_value, 5)
+            << ", property " << property->to_string() << "\n";
+  std::cout << "sensitivity ranking (|df/dv| at nominal):";
+  for (const VariableSensitivity& v : report.variables) {
+    std::cout << " " << v.name << "=" << format_double(-v.derivative, 4);
+  }
+  std::cout << "\n\n";
+
+  const ModelRepairResult full = model_repair(scheme, *property);
+  Table table({"k (variables used)", "status", "cost g(v)",
+               "achieved E[attempts]", "cost vs full repair"});
+  for (std::size_t k = 1; k <= report.variables.size(); ++k) {
+    const LocalizedRepairResult local =
+        localized_model_repair(scheme, *property, k);
+    if (local.repair.feasible()) {
+      table.add_row(
+          {std::to_string(k), "optimal",
+           format_double(local.repair.cost, 4),
+           format_double(local.repair.achieved, 5),
+           full.feasible()
+               ? format_double(local.repair.cost / full.cost, 4) + "x"
+               : "-"});
+    } else {
+      table.add_row({std::to_string(k), "infeasible", "-",
+                     format_double(local.repair.achieved, 5), "-"});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\nfull repair cost (all 6 variables): "
+            << format_double(full.cost, 4) << ", achieved "
+            << format_double(full.achieved, 5) << "\n";
+  std::cout << "\nreading: a handful of high-sensitivity variables already "
+               "makes the repair feasible; the remaining variables only "
+               "shave cost. Localized repair trades a bounded optimality "
+               "gap for a smaller NLP — the scalability route the paper's "
+               "future work sketches.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Microbenchmarks: PCTL model checking throughput on grid models of
+// growing size (DTMC linear-solve engine and MDP value-iteration engine).
+
+#include <benchmark/benchmark.h>
+
+#include "src/casestudies/wsn.hpp"
+#include "src/checker/check.hpp"
+#include "src/logic/parser.hpp"
+
+namespace tml {
+namespace {
+
+/// Random-walk DTMC on an n×n grid with a goal corner.
+Dtmc grid_chain(std::size_t n) {
+  const std::size_t total = n * n;
+  Dtmc chain(total);
+  auto id = [n](std::size_t r, std::size_t c) {
+    return static_cast<StateId>(r * n + c);
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == n - 1 && c == n - 1) {
+        chain.set_transitions(id(r, c), {Transition{id(r, c), 1.0}});
+        continue;
+      }
+      std::vector<Transition> row;
+      std::vector<StateId> targets;
+      if (r + 1 < n) targets.push_back(id(r + 1, c));
+      if (c + 1 < n) targets.push_back(id(r, c + 1));
+      const double stay = 0.3;
+      row.push_back(Transition{id(r, c), stay});
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        row.push_back(Transition{
+            targets[k], (1.0 - stay) / static_cast<double>(targets.size())});
+      }
+      chain.set_transitions(id(r, c), std::move(row));
+      chain.set_state_reward(id(r, c), 1.0);
+    }
+  }
+  chain.add_label(static_cast<StateId>(total - 1), "goal");
+  return chain;
+}
+
+void BM_DtmcReachability(benchmark::State& state) {
+  const Dtmc chain = grid_chain(static_cast<std::size_t>(state.range(0)));
+  const StateFormulaPtr f = parse_pctl("P=? [ F \"goal\" ]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check(chain, *f));
+  }
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_DtmcReachability)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
+    ->Complexity(benchmark::oAuto);
+
+void BM_DtmcExpectedReward(benchmark::State& state) {
+  const Dtmc chain = grid_chain(static_cast<std::size_t>(state.range(0)));
+  const StateFormulaPtr f = parse_pctl("R=? [ F \"goal\" ]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check(chain, *f));
+  }
+}
+BENCHMARK(BM_DtmcExpectedReward)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_DtmcBoundedUntil(benchmark::State& state) {
+  const Dtmc chain = grid_chain(16);
+  const StateFormulaPtr f = parse_pctl(
+      "P=? [ true U<=" + std::to_string(state.range(0)) + " \"goal\" ]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check(chain, *f));
+  }
+}
+BENCHMARK(BM_DtmcBoundedUntil)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MdpWsnCheck(benchmark::State& state) {
+  WsnConfig config;
+  config.grid = static_cast<std::size_t>(state.range(0));
+  const Mdp mdp = build_wsn_mdp(config);
+  const StateFormulaPtr f = parse_pctl("Rmin=? [ F \"delivered\" ]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check(mdp, *f));
+  }
+}
+BENCHMARK(BM_MdpWsnCheck)->Arg(3)->Arg(5)->Arg(8)->Arg(12);
+
+void BM_PctlParse(benchmark::State& state) {
+  const std::string text =
+      "P>0.99 [ F (\"changedlane\" | \"reducedspeed\") ] & "
+      "R{\"attempts\"}<=40 [ F \"delivered\" ]";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_pctl(text));
+  }
+}
+BENCHMARK(BM_PctlParse);
+
+}  // namespace
+}  // namespace tml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Microbenchmarks: HMM inference and (constrained) EM cost.
+
+#include <benchmark/benchmark.h>
+
+#include "src/hmm/hmm.hpp"
+
+namespace tml {
+namespace {
+
+Hmm model(std::size_t states, std::size_t symbols) {
+  Hmm hmm;
+  hmm.initial.assign(states, 1.0 / static_cast<double>(states));
+  hmm.transition.assign(states, std::vector<double>(states, 0.0));
+  hmm.emission.assign(states, std::vector<double>(symbols, 0.0));
+  for (std::size_t i = 0; i < states; ++i) {
+    for (std::size_t j = 0; j < states; ++j) {
+      hmm.transition[i][j] = (i == j) ? 0.6 : 0.4 / (states - 1);
+    }
+    for (std::size_t o = 0; o < symbols; ++o) {
+      hmm.emission[i][o] =
+          (o == i % symbols) ? 0.5 : 0.5 / (symbols - 1);
+    }
+  }
+  return hmm;
+}
+
+std::vector<ObservationSequence> data(const Hmm& hmm, std::size_t sequences,
+                                      std::size_t length) {
+  Rng rng(99);
+  std::vector<ObservationSequence> out;
+  for (std::size_t i = 0; i < sequences; ++i) {
+    out.push_back(hmm.sample(length, rng).observations);
+  }
+  return out;
+}
+
+void BM_ForwardBackward(benchmark::State& state) {
+  const Hmm hmm = model(static_cast<std::size_t>(state.range(0)), 4);
+  const auto sequences = data(hmm, 1, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forward_backward(hmm, sequences[0]));
+  }
+}
+BENCHMARK(BM_ForwardBackward)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Viterbi(benchmark::State& state) {
+  const Hmm hmm = model(static_cast<std::size_t>(state.range(0)), 4);
+  const auto sequences = data(hmm, 1, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viterbi(hmm, sequences[0]));
+  }
+}
+BENCHMARK(BM_Viterbi)->Arg(4)->Arg(16);
+
+void BM_BaumWelchIteration(benchmark::State& state) {
+  const Hmm hmm = model(4, 4);
+  const auto sequences = data(hmm, 20, 50);
+  EmOptions options;
+  options.max_iterations = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baum_welch(hmm, sequences, options));
+  }
+}
+BENCHMARK(BM_BaumWelchIteration);
+
+void BM_ConstrainedBaumWelchIteration(benchmark::State& state) {
+  const Hmm hmm = model(4, 4);
+  const auto sequences = data(hmm, 20, 50);
+  EmOptions options;
+  options.max_iterations = 1;
+  const std::vector<OccupancyConstraint> constraints{{0, 10.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        constrained_baum_welch(hmm, sequences, constraints, options));
+  }
+}
+BENCHMARK(BM_ConstrainedBaumWelchIteration);
+
+}  // namespace
+}  // namespace tml
+
+BENCHMARK_MAIN();

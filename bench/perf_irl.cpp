@@ -1,0 +1,67 @@
+// Microbenchmarks: max-entropy IRL cost vs horizon and iteration budget,
+// on the car case study.
+
+#include <benchmark/benchmark.h>
+
+#include "src/casestudies/car.hpp"
+#include "src/irl/max_ent_irl.hpp"
+
+namespace tml {
+namespace {
+
+void BM_SoftValueIteration(benchmark::State& state) {
+  const Mdp car = build_car_mdp();
+  const StateFeatures features = car_features(car);
+  const std::vector<double> theta{0.4, 0.1, 0.6};
+  const std::vector<double> rewards = features.rewards(theta);
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soft_value_iteration(car, rewards, horizon));
+  }
+}
+BENCHMARK(BM_SoftValueIteration)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_StateVisitation(benchmark::State& state) {
+  const Mdp car = build_car_mdp();
+  const StateFeatures features = car_features(car);
+  const std::vector<double> theta{0.4, 0.1, 0.6};
+  const SoftPolicy policy = soft_value_iteration(
+      car, features.rewards(theta), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state_visitation(car, policy));
+  }
+}
+BENCHMARK(BM_StateVisitation)->Arg(10)->Arg(40);
+
+void BM_IrlGradientStep(benchmark::State& state) {
+  // One full gradient evaluation: backward pass + forward pass + counts.
+  const Mdp car = build_car_mdp();
+  const StateFeatures features = car_features(car);
+  const std::vector<double> theta{0.4, 0.1, 0.6};
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const SoftPolicy policy =
+        soft_value_iteration(car, features.rewards(theta), horizon);
+    benchmark::DoNotOptimize(expected_feature_counts(car, features, policy));
+  }
+}
+BENCHMARK(BM_IrlGradientStep)->Arg(10)->Arg(20);
+
+void BM_FullIrl(benchmark::State& state) {
+  const Mdp car = build_car_mdp();
+  const StateFeatures features = car_features(car);
+  const TrajectoryDataset expert = car_expert_demonstrations(car);
+  IrlOptions options;
+  options.horizon = 10;
+  options.learning_rate = 0.1;
+  options.max_iterations = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_ent_irl(car, features, expert, options));
+  }
+}
+BENCHMARK(BM_FullIrl)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace tml
+
+BENCHMARK_MAIN();

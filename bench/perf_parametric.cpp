@@ -1,0 +1,98 @@
+// Microbenchmarks: parametric state elimination scaling in the number of
+// chain states and the number of parameters (the cost driver the paper's
+// "more scalable repair algorithms" future work refers to).
+
+#include <benchmark/benchmark.h>
+
+#include "src/parametric/state_elimination.hpp"
+
+namespace tml {
+namespace {
+
+/// Serial retry chain of `n` hops; hop i uses parameter i % num_params.
+ParametricDtmc serial_chain(std::size_t n, std::size_t num_params) {
+  VariablePool pool;
+  std::vector<Var> vars;
+  for (std::size_t k = 0; k < num_params; ++k) {
+    vars.push_back(pool.declare("v" + std::to_string(k)));
+  }
+  ParametricDtmc chain(n + 1, std::move(pool));
+  for (StateId s = 0; s < n; ++s) {
+    const RationalFunction stay =
+        RationalFunction(Polynomial(0.5)) *
+        (RationalFunction(1.0) +
+         RationalFunction::variable(vars[s % num_params]));
+    chain.set_transition(s, s, stay);
+    chain.set_transition(s, s + 1, one_minus(stay));
+    chain.set_state_reward(s, RationalFunction(1.0));
+  }
+  chain.set_transition(static_cast<StateId>(n), static_cast<StateId>(n),
+                       RationalFunction(1.0));
+  return chain;
+}
+
+StateSet last_state(const ParametricDtmc& chain) {
+  StateSet set(chain.num_states(), false);
+  set[chain.num_states() - 1] = true;
+  return set;
+}
+
+void BM_EliminationStates(benchmark::State& state) {
+  const ParametricDtmc chain =
+      serial_chain(static_cast<std::size_t>(state.range(0)), 2);
+  const StateSet goal = last_state(chain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_total_reward(chain, goal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EliminationStates)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Complexity(benchmark::oAuto);
+
+void BM_EliminationParameters(benchmark::State& state) {
+  const ParametricDtmc chain =
+      serial_chain(12, static_cast<std::size_t>(state.range(0)));
+  const StateSet goal = last_state(chain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_total_reward(chain, goal));
+  }
+}
+BENCHMARK(BM_EliminationParameters)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EliminationReachability(benchmark::State& state) {
+  const ParametricDtmc chain =
+      serial_chain(static_cast<std::size_t>(state.range(0)), 2);
+  const StateSet goal = last_state(chain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reachability_probability(chain, goal));
+  }
+}
+BENCHMARK(BM_EliminationReachability)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RationalEvaluate(benchmark::State& state) {
+  const ParametricDtmc chain = serial_chain(16, 2);
+  const StateSet goal = last_state(chain);
+  const RationalFunction f = expected_total_reward(chain, goal);
+  const std::vector<double> point{0.1, -0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.evaluate(point));
+  }
+}
+BENCHMARK(BM_RationalEvaluate);
+
+void BM_RationalGradient(benchmark::State& state) {
+  const ParametricDtmc chain = serial_chain(16, 2);
+  const StateSet goal = last_state(chain);
+  const RationalFunction f = expected_total_reward(chain, goal);
+  const std::vector<Var> vars{0, 1};
+  const std::vector<double> point{0.1, -0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.evaluate_gradient(vars, point));
+  }
+}
+BENCHMARK(BM_RationalGradient);
+
+}  // namespace
+}  // namespace tml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Car obstacle avoidance (§V-B): learn a reward from one expert
+// demonstration with max-entropy IRL, watch its optimal policy drive into
+// the van, and repair the reward both ways the paper describes —
+// constrained Q dominance and the Prop. 4 posterior-regularization
+// projection with the temporal rule G ¬unsafe.
+
+#include <iostream>
+
+#include "src/casestudies/car.hpp"
+#include "src/core/reward_repair.hpp"
+#include "src/irl/max_ent_irl.hpp"
+#include "src/logic/trajectory_rule.hpp"
+
+using namespace tml;
+
+namespace {
+
+void show_theta(const std::string& name, std::span<const double> theta) {
+  std::cout << name << ": reward(S) = " << theta[0] << "*lane + " << theta[1]
+            << "*dist_unsafe + " << theta[2] << "*goal\n";
+}
+
+}  // namespace
+
+int main() {
+  const Mdp car = build_car_mdp();
+  const StateFeatures features = car_features(car);
+  const TrajectoryDataset expert = car_expert_demonstrations(car);
+  std::cout << "expert maneuver: " << expert.trajectories[0].to_string(car)
+            << "\n\n";
+
+  // 1. Inverse reinforcement learning (Eq. 16).
+  IrlOptions irl_options;
+  irl_options.horizon = 10;
+  irl_options.learning_rate = 0.1;
+  irl_options.max_iterations = 4000;
+  const IrlResult irl = max_ent_irl(car, features, expert, irl_options);
+  show_theta("IRL", irl.theta);
+
+  const double discount = 0.9;
+  const Policy learned_policy =
+      optimal_policy_for_theta(car, features, irl.theta, discount);
+  std::cout << "optimal policy: " << car_policy_to_string(car, learned_policy)
+            << "\n => "
+            << (car_policy_unsafe(car, learned_policy)
+                    ? "UNSAFE (drives into the van at S2)"
+                    : "safe")
+            << "\n\n";
+
+  // 2. Reward Repair, constrained-Q form: Q(S1, left) must dominate
+  //    Q(S1, forward); only the distance-to-unsafe weight may move.
+  QRepairConfig q_config;
+  q_config.discount = discount;
+  q_config.frozen = {0, 2};
+  q_config.max_weight_change = 6.0;
+  const QRepairResult repaired = reward_repair_q_constraints(
+      car, features, irl.theta, {{1, 1, 0, 1e-3}}, q_config);
+  if (repaired.feasible()) {
+    show_theta("repaired", repaired.theta_after);
+    std::cout << "repaired policy: "
+              << car_policy_to_string(car, repaired.policy_after) << "\n => "
+              << (car_policy_unsafe(car, repaired.policy_after) ? "UNSAFE"
+                                                                : "safe")
+              << "\n\n";
+  } else {
+    std::cout << "constrained-Q repair infeasible\n\n";
+  }
+
+  // 3. Prop. 4 projection with the temporal rule G !unsafe.
+  std::vector<WeightedRule> the_rules{
+      {rules::never_visit_label("unsafe"), 8.0, "G !unsafe"}};
+  ProjectionConfig projection_config;
+  projection_config.horizon = 10;
+  projection_config.num_samples = 4000;
+  projection_config.refit.project_unit_ball = false;
+  projection_config.refit.learning_rate = 0.2;
+  projection_config.refit.max_iterations = 6000;
+  const ProjectionResult projection = reward_repair_projection(
+      car, features, irl.theta, the_rules, projection_config);
+  std::cout << "projection (Prop. 4) on rule " << the_rules[0].name << ":\n"
+            << "  E_P[rule] before: " << projection.satisfaction_before[0]
+            << "\n  E_Q[rule] after:  " << projection.satisfaction_after[0]
+            << "\n  KL(Q||P):         " << projection.kl_divergence << "\n";
+  show_theta("  projected", projection.theta_after);
+  const Policy projected_policy = optimal_policy_for_theta(
+      car, features, projection.theta_after, discount);
+  std::cout << "  optimal policy under projected reward: "
+            << (car_policy_unsafe(car, projected_policy) ? "UNSAFE" : "safe")
+            << "\n";
+  return 0;
+}

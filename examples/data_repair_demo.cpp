@@ -1,0 +1,94 @@
+// Data Repair (§IV-B) as machine teaching: a dataset polluted with
+// corrupted observations teaches an unsafe model; dropping the smallest
+// possible amount of data makes the re-learned model satisfy the property.
+//
+// Scenario: a lane-change controller must eventually change lane or reduce
+// speed with probability > 0.99 (the §I property). Logged data contains a
+// batch of corrupted traces (a sensor glitch that recorded "kept straight"
+// outcomes); the model learned from everything violates the property.
+
+#include <iostream>
+
+#include "src/checker/check.hpp"
+#include "src/core/data_repair.hpp"
+#include "src/learn/mle.hpp"
+#include "src/logic/parser.hpp"
+
+using namespace tml;
+
+namespace {
+
+Trajectory one_step(StateId from, StateId to) {
+  Trajectory t;
+  t.initial_state = from;
+  t.steps.push_back(Step{from, 0, 0, to});
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  // States: 0 = approaching a slow truck; 1 = changed lane / reduced speed
+  // (labelled "avoided"); 2 = kept straight (absorbing, dangerous).
+  Dtmc structure(3);
+  structure.set_state_name(0, "approaching");
+  structure.set_state_name(1, "avoided");
+  structure.set_state_name(2, "kept_straight");
+  structure.set_transitions(0, {Transition{0, 0.1}, Transition{1, 0.8},
+                                Transition{2, 0.1}});
+  structure.set_transitions(1, {Transition{1, 1.0}});
+  structure.set_transitions(2, {Transition{2, 1.0}});
+  structure.add_label(1, "avoided");
+
+  // The property from §I: eventually change lane or reduce speed, with
+  // probability > 0.99.
+  const StateFormulaPtr property = parse_pctl("P>0.99 [ F \"avoided\" ]");
+
+  // Observations: 180 good avoidance outcomes, 15 hesitations (stay and
+  // retry), and a glitched batch of 12 "kept straight" records.
+  TrajectoryDataset data;
+  std::vector<RepairGroup> groups{
+      RepairGroup{"good", {}, /*pinned=*/true},
+      RepairGroup{"hesitation", {}, /*pinned=*/true},
+      RepairGroup{"glitch_batch", {}, /*pinned=*/false}};
+  for (int i = 0; i < 180; ++i) {
+    groups[0].members.push_back(data.size());
+    data.add(one_step(0, 1));
+  }
+  for (int i = 0; i < 15; ++i) {
+    groups[1].members.push_back(data.size());
+    data.add(one_step(0, 0));
+  }
+  for (int i = 0; i < 12; ++i) {
+    groups[2].members.push_back(data.size());
+    data.add(one_step(0, 2));
+  }
+
+  const Dtmc learned = mle_dtmc(structure, data);
+  const CheckResult before = check(learned, *property);
+  std::cout << "property: " << property->to_string() << "\n";
+  std::cout << "P(avoided) learned from all data: " << *before.value << " -> "
+            << (before.satisfied ? "satisfied" : "VIOLATED") << "\n\n";
+
+  DataRepairConfig config;
+  config.pseudocount = 1e-4;
+  const DataRepairResult result =
+      data_repair(structure, data, groups, *property, config);
+
+  std::cout << "data repair: " << to_string(result.status) << "\n";
+  if (result.feasible()) {
+    for (std::size_t g = 0; g < result.group_names.size(); ++g) {
+      std::cout << "  " << result.group_names[g] << ": keep "
+                << result.keep_weights[g] << " (drop "
+                << result.drop_fractions[g] << ")\n";
+    }
+    std::cout << "re-learned P(avoided): " << result.achieved
+              << ", recheck " << (result.recheck_passed ? "passed" : "failed")
+              << "\n";
+    std::cout << "teaching effort E_T = " << result.effort << "\n";
+    std::cout << "\nMLE probability as a function of the keep weight "
+                 "(parametric model checking input):\n  P(F avoided) = "
+              << result.function_text << "\n";
+  }
+  return result.feasible() ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// TML for hidden-state models (§VII future work): constrained EM.
+//
+// An intrusion-detection HMM: hidden states {normal, compromised}, observed
+// alert levels {quiet, noisy}. A security policy says the monitoring model
+// may not attribute more than 20% of any window to the compromised state
+// unless the evidence demands it (an analyst-capacity constraint expressed
+// as expected occupancy). Plain Baum–Welch learns whatever the noisy data
+// suggests; constrained Baum–Welch projects each E-step posterior onto the
+// occupancy bound — the paper's "incorporate the temporal constraints into
+// the E-step" recipe — so the learned dynamics respect the policy.
+
+#include <iostream>
+
+#include "src/common/table.hpp"
+#include "src/hmm/hmm.hpp"
+
+using namespace tml;
+
+int main() {
+  // Ground truth used to synthesize logs: compromises are fairly sticky.
+  Hmm truth;
+  truth.initial = {0.9, 0.1};
+  truth.transition = {{0.85, 0.15}, {0.3, 0.7}};
+  truth.emission = {{0.8, 0.2}, {0.25, 0.75}};
+
+  Rng rng(2026);
+  std::vector<ObservationSequence> logs;
+  for (int i = 0; i < 40; ++i) {
+    logs.push_back(truth.sample(25, rng).observations);
+  }
+  std::cout << "synthesized " << logs.size()
+            << " monitoring windows of 25 observations each\n\n";
+
+  // Start both learners from a vague model.
+  Hmm start;
+  start.initial = {0.5, 0.5};
+  start.transition = {{0.6, 0.4}, {0.4, 0.6}};
+  start.emission = {{0.7, 0.3}, {0.35, 0.65}};
+
+  const EmResult plain = baum_welch(start, logs);
+
+  const double occupancy_cap = 0.2 * 25;  // 20% of each window
+  const std::vector<OccupancyConstraint> constraints{{1, occupancy_cap}};
+  const EmResult constrained =
+      constrained_baum_welch(start, logs, constraints);
+
+  auto occupancy_of = [&](const Hmm& model) {
+    double total = 0.0;
+    for (const auto& seq : logs) {
+      const HmmPosterior post = forward_backward(model, seq);
+      for (const auto& slice : post.gamma) total += slice[1];
+    }
+    return total / static_cast<double>(logs.size());
+  };
+
+  Table table({"learner", "EM iterations", "E[compromised visits]/window",
+               "A[normal->compromised]", "cap (5.0)"});
+  table.add_row({"Baum-Welch", std::to_string(plain.iterations),
+                 format_double(occupancy_of(plain.model), 4),
+                 format_double(plain.model.transition[0][1], 4), "-"});
+  table.add_row({"constrained Baum-Welch",
+                 std::to_string(constrained.iterations),
+                 format_double(constrained.constrained_occupancy[0], 4),
+                 format_double(constrained.model.transition[0][1], 4),
+                 constrained.constrained_occupancy[0] <= occupancy_cap + 1e-6
+                     ? "respected"
+                     : "VIOLATED"});
+  std::cout << table.to_string();
+
+  std::cout << "\nfinal log-likelihood (plain): "
+            << plain.log_likelihood_trace.back()
+            << "\nfinal log-likelihood (constrained): "
+            << constrained.log_likelihood_trace.back()
+            << "\n\nreading: the constrained E-step caps the posterior mass "
+               "the model may assign to the compromised state; the M-step "
+               "then learns correspondingly calmer dynamics, trading "
+               "likelihood for the policy constraint.\n";
+  return 0;
+}

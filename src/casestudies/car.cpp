@@ -1,0 +1,159 @@
+#include "src/casestudies/car.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tml {
+
+namespace {
+
+constexpr StateId kGoal = 4;
+constexpr StateId kCrash = 2;
+constexpr StateId kOffroad = 10;
+
+bool is_right_lane(StateId s) { return s <= 4; }
+bool is_left_lane(StateId s) { return s >= 5 && s <= 9; }
+
+/// Deterministic successor of (state, action); kOffroad for off-road moves.
+StateId successor(StateId s, std::uint32_t action) {
+  if (action == 0) {  // forward
+    if (is_right_lane(s)) return s == kGoal ? kGoal : s + 1;
+    if (is_left_lane(s)) return s == 9 ? kOffroad : s + 1;
+    return kOffroad;
+  }
+  if (action == 1) {  // change lane to the left
+    if (is_right_lane(s) && s != kGoal) return s + 5;
+    return kOffroad;
+  }
+  // action == 2: change lane to the right
+  if (is_left_lane(s)) return s - 5;
+  return kOffroad;
+}
+
+std::vector<Transition> slip_transitions(StateId s, StateId target,
+                                         double slip) {
+  if (slip <= 0.0 || target == s) return {Transition{target, 1.0}};
+  return {Transition{target, 1.0 - slip}, Transition{s, slip}};
+}
+
+}  // namespace
+
+Mdp build_car_mdp(const CarConfig& config) {
+  TML_REQUIRE(config.slip >= 0.0 && config.slip < 1.0,
+              "build_car_mdp: slip must be in [0,1)");
+  Mdp mdp(11);
+  for (StateId s = 0; s <= 10; ++s) {
+    mdp.set_state_name(s, "S" + std::to_string(s));
+  }
+  mdp.set_initial_state(0);
+
+  const ActionId forward = mdp.declare_action("forward");
+  const ActionId left = mdp.declare_action("left");
+  const ActionId right = mdp.declare_action("right");
+
+  for (StateId s = 0; s <= 10; ++s) {
+    if (s == kGoal || s == kOffroad) {
+      mdp.add_choice(s, forward, {Transition{s, 1.0}});
+      continue;
+    }
+    mdp.add_choice(s, forward,
+                   slip_transitions(s, successor(s, 0), config.slip));
+    mdp.add_choice(s, left, slip_transitions(s, successor(s, 1), config.slip));
+    mdp.add_choice(s, right,
+                   slip_transitions(s, successor(s, 2), config.slip));
+  }
+
+  mdp.add_label(kCrash, "unsafe");
+  mdp.add_label(kCrash, "crash");
+  mdp.add_label(kOffroad, "unsafe");
+  mdp.add_label(kOffroad, "offroad");
+  mdp.add_label(kGoal, "goal");
+  for (StateId s = 0; s <= 4; ++s) mdp.add_label(s, "right");
+  for (StateId s = 5; s <= 9; ++s) mdp.add_label(s, "left");
+
+  mdp.validate();
+  return mdp;
+}
+
+StateFeatures car_features(const Mdp& mdp) {
+  TML_REQUIRE(mdp.num_states() == 11, "car_features: wrong model");
+  StateFeatures features(11, 3);
+
+  // φ2: Manhattan distance on the (lane, position) layout to the nearest
+  // unsafe location — S2 at (right, 2), S10 just past the left lane's end
+  // at (left, 5) — normalized by the maximum distance.
+  auto lane_pos = [](StateId s) -> std::pair<int, int> {
+    if (s <= 4) return {0, static_cast<int>(s)};
+    if (s <= 9) return {1, static_cast<int>(s) - 5};
+    return {1, 5};
+  };
+  std::vector<double> distance(11, 0.0);
+  double max_distance = 0.0;
+  for (StateId s = 0; s <= 10; ++s) {
+    const auto [lane, pos] = lane_pos(s);
+    const int d_crash = std::abs(lane - 0) + std::abs(pos - 2);
+    const int d_off = std::abs(lane - 1) + std::abs(pos - 5);
+    distance[s] = static_cast<double>(std::min(d_crash, d_off));
+    max_distance = std::max(max_distance, distance[s]);
+  }
+
+  for (StateId s = 0; s <= 10; ++s) {
+    features.set(s, 0, mdp.has_label(s, "right") ? 1.0 : 0.0);  // φ1: lane
+    features.set(s, 1, distance[s] / max_distance);             // φ2: safety
+    features.set(s, 2, s == kGoal ? 1.0 : 0.0);                 // φ3: goal
+  }
+  return features;
+}
+
+TrajectoryDataset car_expert_demonstrations(const Mdp& mdp) {
+  // §V-B: (S0,0),(S1,1),(S6,0),(S7,0),(S8,2),(S3,0),(S4,0).
+  const std::vector<std::pair<StateId, std::uint32_t>> expert = {
+      {0, 0}, {1, 1}, {6, 0}, {7, 0}, {8, 2}, {3, 0}};
+  Trajectory demo;
+  demo.initial_state = 0;
+  StateId current = 0;
+  for (const auto& [state, action] : expert) {
+    TML_REQUIRE(state == current, "car expert demo: discontinuous trajectory");
+    const StateId next = successor(state, action);
+    demo.steps.push_back(
+        Step{state, action, mdp.choices(state)[action].action, next});
+    current = next;
+  }
+  TML_REQUIRE(current == kGoal, "car expert demo: does not reach the goal");
+  TrajectoryDataset data;
+  data.add(std::move(demo));
+  return data;
+}
+
+std::string car_policy_to_string(const Mdp& mdp, const Policy& policy) {
+  std::ostringstream os;
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    if (s > 0) os << ", ";
+    const Choice& choice = mdp.choices(s)[policy.at(s)];
+    os << "(" << mdp.state_name(s) << "," << choice.action << ")";
+  }
+  return os.str();
+}
+
+bool car_policy_unsafe(const Mdp& mdp, const Policy& policy,
+                       std::size_t max_steps) {
+  StateId current = mdp.initial_state();
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    if (mdp.has_label(current, "unsafe")) return true;
+    const Choice& choice = mdp.choices(current)[policy.at(current)];
+    // Zero-slip skeleton: follow the intended (non-self) successor.
+    StateId next = current;
+    double best = -1.0;
+    for (const Transition& t : choice.transitions) {
+      if (t.target != current && t.probability > best) {
+        best = t.probability;
+        next = t.target;
+      }
+    }
+    if (next == current) break;  // sink
+    current = next;
+  }
+  return mdp.has_label(current, "unsafe");
+}
+
+}  // namespace tml

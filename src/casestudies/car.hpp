@@ -1,0 +1,59 @@
+// Autonomous-car obstacle avoidance case study (§V-B, Fig. 1).
+//
+// Eleven states. Right lane: S0 (start) → S1 → S2 (van/collision, unsafe)
+// → S3 → S4 (target sink). Left lane: S5 → S6 → S7 → S8 → S9. S10 is the
+// off-road / failed-to-return sink (unsafe). Actions: 0 = move forward,
+// 1 = change lane to the left, 2 = change lane to the right; available in
+// S0–S3 and S5–S9 (the paper's Fig. 1); S2 keeps its actions (it is unsafe
+// but not absorbing), S4 and S10 are sinks.
+//
+// Deterministic dynamics (with an optional slip probability for the
+// stochastic variants used in tests):
+//   right Si --0--> S(i+1);            S9 --0--> S10 (ran out of road)
+//   right Si --1--> left  S(i+5)  (same longitudinal position)
+//   left  Si --2--> right S(i−5)
+//   right Si --2--> S10, left Si --1--> S10   (off-road)
+//
+// Features per state (the paper's φ1, φ2, φ3): lane indicator (1 = right
+// lane), normalized distance to the nearest unsafe state {S2, S10}, and
+// the goal indicator for S4.
+//
+// The expert demonstration given in §V-B:
+//   (S0,0),(S1,1),(S6,0),(S7,0),(S8,2),(S3,0),(S4,0).
+
+#pragma once
+
+#include "src/irl/features.hpp"
+#include "src/mdp/model.hpp"
+#include "src/mdp/trajectory.hpp"
+
+namespace tml {
+
+struct CarConfig {
+  /// Probability that an action slips to "stay in place" (0 = the paper's
+  /// deterministic maneuver model).
+  double slip = 0.0;
+};
+
+/// Builds the 11-state MDP. Labels: "unsafe" on S2 and S10, "crash" on S2,
+/// "offroad" on S10, "goal" on S4, "right" / "left" lane markers.
+/// State names are "S0".."S10"; action names "forward", "left", "right".
+Mdp build_car_mdp(const CarConfig& config = {});
+
+/// The three-feature map of §V-B.
+StateFeatures car_features(const Mdp& mdp);
+
+/// The expert trajectory of §V-B as a dataset (one demonstration).
+TrajectoryDataset car_expert_demonstrations(const Mdp& mdp);
+
+/// Formats a deterministic policy as the paper prints it:
+/// "(S0,1),(S1,0),...". Sink states show their single action 0.
+std::string car_policy_to_string(const Mdp& mdp, const Policy& policy);
+
+/// True if following `policy` from S0 ever enters an unsafe state within
+/// `max_steps` (deterministic dynamics walk; with slip > 0 this checks the
+/// zero-slip skeleton).
+bool car_policy_unsafe(const Mdp& mdp, const Policy& policy,
+                       std::size_t max_steps = 32);
+
+}  // namespace tml

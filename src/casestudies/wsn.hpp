@@ -1,0 +1,91 @@
+// Wireless-sensor-network query routing case study (§V-A).
+//
+// A 3×3 grid of nodes n11..n33. Row 1 holds "station" nodes (n11 forwards
+// to the base station), row 3 holds "field" nodes; a query originates at
+// the field node n33 and must be routed peer-to-peer to n11 and forwarded
+// on. A node asked to accept a message ignores it with a node-dependent
+// probability; each forwarding attempt costs reward 1, so the cumulative
+// reward R{attempts} counts the attempts needed to deliver
+// (`R<=X [ F "delivered" ]`).
+//
+// We flatten the paper's network of per-node MDPs (composed by shared
+// actions; the underlying SRI tech report is unavailable) into a routing
+// MDP over the message's location: at each node the routing controller
+// chooses which toward-station neighbour to forward to; the attempt
+// succeeds with probability 1 − ignore(neighbour) and otherwise the message
+// stays put and is retried. This preserves exactly the quantity §V-A
+// measures (expected forwarding attempts as a function of the node ignore
+// probabilities) — see DESIGN.md, substitutions.
+//
+// Repair parameters, as in the paper: correction p lowers the ignore
+// probability of field/station nodes (rows 1 and 3), correction q lowers
+// that of the other nodes (row 2).
+
+#pragma once
+
+#include <string>
+
+#include "src/core/perturbation.hpp"
+#include "src/learn/weighted_mle.hpp"
+#include "src/mdp/model.hpp"
+#include "src/mdp/trajectory.hpp"
+
+namespace tml {
+
+struct WsnConfig {
+  /// Ignore probability of field (row 3) and station (row 1) nodes.
+  /// Calibrated so the base model's expected attempts land above 40 (the
+  /// X=40 case needs repair) but below 100 (X=100 holds outright).
+  double ignore_field_station = 0.92;
+  /// Ignore probability of the remaining (row 2) nodes. Higher than the
+  /// field/station rows so the optimal route hugs the grid edge through
+  /// n32 — the node §V-A.2's Data Repair reasons about.
+  double ignore_other = 0.94;
+  /// Grid side (paper: 3).
+  std::size_t grid = 3;
+  /// Extra ignore probability for nodes in the far column (j = grid).
+  /// Breaks the tie between the two edge routes so the optimal policy goes
+  /// through n32 — the node §V-A.2's Data Repair reasons about.
+  double far_column_bias = 0.004;
+};
+
+/// The routing MDP at corrections (p, q): ignore probabilities become
+/// ignore_field_station − p and ignore_other − q. State names are
+/// "n<i><j>" plus the "done" state labelled "delivered"; the initial state
+/// is n<grid><grid> (the query source).
+Mdp build_wsn_mdp(const WsnConfig& config, double p = 0.0, double q = 0.0);
+
+/// True if grid row `i` (1-based) holds field or station nodes.
+bool wsn_is_field_or_station_row(const WsnConfig& config, std::size_t i);
+
+/// Perturbation scheme over the induced routing chain implementing the
+/// paper's (p, q) corrections: p raises the success probability of every
+/// chosen hop into a field/station node (balanced against the retry
+/// self-loop), q likewise for other nodes. Bounds [0, max_correction]
+/// define Feas_MP.
+PerturbationScheme wsn_perturbation(const WsnConfig& config,
+                                    const Dtmc& induced,
+                                    double max_correction);
+
+/// Generates message-routing traces by simulating the chain induced by the
+/// optimal (minimum-attempts) routing policy of the given MDP. Each
+/// trajectory is one routed query (absorbed at "done" or cut at max_steps).
+TrajectoryDataset generate_wsn_traces(const Mdp& mdp, std::size_t num_queries,
+                                      std::uint64_t seed,
+                                      std::size_t max_steps = 400);
+
+/// Splits a trace dataset (over the induced chain of `mdp`) into the
+/// paper's Data Repair groups: per-step observations at n11 and n32 that
+/// show the message being ignored ("ign_n11", "ign_n32") and failed
+/// forwarding at the remaining nodes ("fwd_fail"); successful forwards are
+/// pinned as trusted. Since our repair groups are per-trajectory, the
+/// dataset is first exploded into single-step trajectories.
+struct WsnDataRepairSetup {
+  TrajectoryDataset step_data;          ///< one-step trajectories
+  std::vector<RepairGroup> groups;      ///< ign_n11, ign_n32, fwd_fail + pinned
+};
+WsnDataRepairSetup wsn_data_repair_setup(const Mdp& mdp,
+                                         const Dtmc& induced,
+                                         const TrajectoryDataset& traces);
+
+}  // namespace tml

@@ -1,0 +1,313 @@
+#include "src/checker/check.hpp"
+
+#include <cmath>
+
+#include "src/checker/reachability.hpp"
+#include "src/logic/parser.hpp"
+#include "src/mdp/solver.hpp"
+
+namespace tml {
+
+namespace {
+
+Objective resolve_objective(const StateFormula& formula) {
+  if (formula.quantifier()) {
+    return *formula.quantifier() == Quantifier::kMax ? Objective::kMaximize
+                                                     : Objective::kMinimize;
+  }
+  // PRISM resolution for bounded operators on MDPs: an upper bound must hold
+  // for the worst (maximizing) scheduler, a lower bound for the minimizing
+  // one.
+  switch (formula.comparison()) {
+    case Comparison::kLess:
+    case Comparison::kLessEqual:
+      return Objective::kMaximize;
+    case Comparison::kGreater:
+    case Comparison::kGreaterEqual:
+      return Objective::kMinimize;
+  }
+  return Objective::kMaximize;
+}
+
+Objective flip(Objective objective) {
+  return objective == Objective::kMaximize ? Objective::kMinimize
+                                           : Objective::kMaximize;
+}
+
+// ---------------------------------------------------------------------------
+// Generic checker over a model M ∈ {Dtmc, Mdp}. The Engine concept below
+// abstracts the handful of quantitative primitives that differ.
+
+template <typename Model>
+struct Engine;
+
+template <>
+struct Engine<Dtmc> {
+  static std::vector<double> until(const Dtmc& m, const StateSet& stay,
+                                   const StateSet& goal, Objective) {
+    return dtmc_until(m, stay, goal);
+  }
+  static std::vector<double> bounded_until(const Dtmc& m, const StateSet& stay,
+                                           const StateSet& goal,
+                                           std::size_t bound, Objective) {
+    return dtmc_bounded_until(m, stay, goal, bound);
+  }
+  static std::vector<double> next(const Dtmc& m, const StateSet& goal,
+                                  Objective) {
+    std::vector<double> values(m.num_states(), 0.0);
+    for (StateId s = 0; s < m.num_states(); ++s) {
+      double p = 0.0;
+      for (const Transition& t : m.transitions(s)) {
+        if (goal[t.target]) p += t.probability;
+      }
+      values[s] = p;
+    }
+    return values;
+  }
+  static std::vector<double> reach_reward(const Dtmc& m, const StateSet& goal,
+                                          Objective) {
+    return dtmc_total_reward(m, goal);
+  }
+  static std::vector<double> cumulative_reward(const Dtmc& m,
+                                               std::size_t horizon,
+                                               Objective) {
+    return dtmc_cumulative_reward(m, horizon);
+  }
+};
+
+template <>
+struct Engine<Mdp> {
+  static std::vector<double> until(const Mdp& m, const StateSet& stay,
+                                   const StateSet& goal, Objective objective) {
+    return mdp_until(m, stay, goal, objective);
+  }
+  static std::vector<double> bounded_until(const Mdp& m, const StateSet& stay,
+                                           const StateSet& goal,
+                                           std::size_t bound,
+                                           Objective objective) {
+    return mdp_bounded_until(m, stay, goal, bound, objective);
+  }
+  static std::vector<double> next(const Mdp& m, const StateSet& goal,
+                                  Objective objective) {
+    std::vector<double> values(m.num_states(), 0.0);
+    for (StateId s = 0; s < m.num_states(); ++s) {
+      bool first = true;
+      double best = 0.0;
+      for (const Choice& c : m.choices(s)) {
+        double p = 0.0;
+        for (const Transition& t : c.transitions) {
+          if (goal[t.target]) p += t.probability;
+        }
+        if (first || (objective == Objective::kMaximize ? p > best
+                                                        : p < best)) {
+          best = p;
+          first = false;
+        }
+      }
+      values[s] = best;
+    }
+    return values;
+  }
+  static std::vector<double> reach_reward(const Mdp& m, const StateSet& goal,
+                                          Objective objective) {
+    SolverOptions options;
+    return total_reward_to_target(m, goal, objective, options).values;
+  }
+  static std::vector<double> cumulative_reward(const Mdp& m,
+                                               std::size_t horizon,
+                                               Objective objective) {
+    return mdp_cumulative_reward(m, horizon, objective);
+  }
+};
+
+template <typename Model>
+class Checker {
+ public:
+  explicit Checker(const Model& model) : model_(model) {}
+
+  StateSet sat(const StateFormula& formula) {
+    const std::size_t n = model_.num_states();
+    switch (formula.kind()) {
+      case StateFormula::Kind::kTrue:
+        return StateSet(n, true);
+      case StateFormula::Kind::kFalse:
+        return StateSet(n, false);
+      case StateFormula::Kind::kLabel:
+        return model_.states_with_label(formula.label());
+      case StateFormula::Kind::kNot:
+        return complement(sat(formula.operand()));
+      case StateFormula::Kind::kAnd:
+        return set_intersection(sat(formula.operand(0)),
+                                sat(formula.operand(1)));
+      case StateFormula::Kind::kOr:
+        return set_union(sat(formula.operand(0)), sat(formula.operand(1)));
+      case StateFormula::Kind::kImplies:
+        return set_union(complement(sat(formula.operand(0))),
+                         sat(formula.operand(1)));
+      case StateFormula::Kind::kProb: {
+        const std::vector<double> values = prob_values(formula);
+        StateSet out(n, false);
+        for (StateId s = 0; s < n; ++s) {
+          out[s] = compare(values[s], formula.comparison(), formula.bound());
+        }
+        return out;
+      }
+      case StateFormula::Kind::kReward: {
+        const std::vector<double> values = reward_values(formula);
+        StateSet out(n, false);
+        for (StateId s = 0; s < n; ++s) {
+          out[s] = compare(values[s], formula.comparison(), formula.bound());
+        }
+        return out;
+      }
+      case StateFormula::Kind::kProbQuery:
+      case StateFormula::Kind::kRewardQuery:
+        throw Error(
+            "satisfying_states: quantitative query has no satisfaction set: " +
+            formula.to_string());
+    }
+    throw Error("satisfying_states: unhandled formula kind");
+  }
+
+  std::vector<double> values(const StateFormula& formula) {
+    switch (formula.kind()) {
+      case StateFormula::Kind::kProb:
+      case StateFormula::Kind::kProbQuery:
+        return prob_values(formula);
+      case StateFormula::Kind::kReward:
+      case StateFormula::Kind::kRewardQuery:
+        return reward_values(formula);
+      default:
+        throw Error("quantitative_values: formula is not a P/R operator: " +
+                    formula.to_string());
+    }
+  }
+
+ private:
+  std::vector<double> prob_values(const StateFormula& formula) {
+    const Objective objective = formula.kind() == StateFormula::Kind::kProb
+                                    ? resolve_objective(formula)
+                                    : (formula.quantifier() == Quantifier::kMin
+                                           ? Objective::kMinimize
+                                           : Objective::kMaximize);
+    const PathFormula& path = formula.path();
+    switch (path.kind()) {
+      case PathFormula::Kind::kNext:
+        return Engine<Model>::next(model_, sat(path.right()), objective);
+      case PathFormula::Kind::kUntil: {
+        const StateSet stay = sat(path.left());
+        const StateSet goal = sat(path.right());
+        if (path.step_bound()) {
+          return Engine<Model>::bounded_until(model_, stay, goal,
+                                              *path.step_bound(), objective);
+        }
+        return Engine<Model>::until(model_, stay, goal, objective);
+      }
+      case PathFormula::Kind::kEventually: {
+        const StateSet stay(model_.num_states(), true);
+        const StateSet goal = sat(path.right());
+        if (path.step_bound()) {
+          return Engine<Model>::bounded_until(model_, stay, goal,
+                                              *path.step_bound(), objective);
+        }
+        return Engine<Model>::until(model_, stay, goal, objective);
+      }
+      case PathFormula::Kind::kGlobally: {
+        // P(G φ) = 1 − P(F ¬φ), with the scheduler direction flipped.
+        const StateSet bad = complement(sat(path.right()));
+        const StateSet stay(model_.num_states(), true);
+        std::vector<double> reach =
+            path.step_bound()
+                ? Engine<Model>::bounded_until(model_, stay, bad,
+                                               *path.step_bound(),
+                                               flip(objective))
+                : Engine<Model>::until(model_, stay, bad, flip(objective));
+        for (double& v : reach) v = 1.0 - v;
+        return reach;
+      }
+    }
+    throw Error("prob_values: unhandled path formula kind");
+  }
+
+  std::vector<double> reward_values(const StateFormula& formula) {
+    const Objective objective = formula.kind() == StateFormula::Kind::kReward
+                                    ? resolve_objective(formula)
+                                    : (formula.quantifier() == Quantifier::kMin
+                                           ? Objective::kMinimize
+                                           : Objective::kMaximize);
+    if (formula.reward_path_kind() ==
+        StateFormula::RewardPathKind::kReachability) {
+      return Engine<Model>::reach_reward(model_, sat(formula.reward_target()),
+                                         objective);
+    }
+    return Engine<Model>::cumulative_reward(model_, formula.reward_horizon(),
+                                            objective);
+  }
+
+  const Model& model_;
+};
+
+template <typename Model>
+CheckResult check_impl(const Model& model, const StateFormula& formula) {
+  model.validate();
+  Checker<Model> checker(model);
+  CheckResult result;
+  if (formula.is_quantitative()) {
+    result.values = checker.values(formula);
+    result.value = result.values[model.initial_state()];
+    // A quantitative query has no boolean verdict; report "satisfied" as
+    // true so pipelines that only look at values don't misread it.
+    result.satisfied = true;
+    return result;
+  }
+  result.sat_states = checker.sat(formula);
+  result.satisfied = result.sat_states[model.initial_state()];
+  if (formula.kind() == StateFormula::Kind::kProb ||
+      formula.kind() == StateFormula::Kind::kReward) {
+    result.values = checker.values(formula);
+    result.value = result.values[model.initial_state()];
+  }
+  return result;
+}
+
+}  // namespace
+
+StateSet satisfying_states(const Dtmc& chain, const StateFormula& formula) {
+  chain.validate();
+  return Checker<Dtmc>(chain).sat(formula);
+}
+
+StateSet satisfying_states(const Mdp& mdp, const StateFormula& formula) {
+  mdp.validate();
+  return Checker<Mdp>(mdp).sat(formula);
+}
+
+std::vector<double> quantitative_values(const Dtmc& chain,
+                                        const StateFormula& formula) {
+  chain.validate();
+  return Checker<Dtmc>(chain).values(formula);
+}
+
+std::vector<double> quantitative_values(const Mdp& mdp,
+                                        const StateFormula& formula) {
+  mdp.validate();
+  return Checker<Mdp>(mdp).values(formula);
+}
+
+CheckResult check(const Dtmc& chain, const StateFormula& formula) {
+  return check_impl(chain, formula);
+}
+
+CheckResult check(const Mdp& mdp, const StateFormula& formula) {
+  return check_impl(mdp, formula);
+}
+
+CheckResult check(const Dtmc& chain, const std::string& formula_text) {
+  return check(chain, *parse_pctl(formula_text));
+}
+
+CheckResult check(const Mdp& mdp, const std::string& formula_text) {
+  return check(mdp, *parse_pctl(formula_text));
+}
+
+}  // namespace tml

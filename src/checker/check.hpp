@@ -1,0 +1,50 @@
+// PCTL model checking for DTMCs and MDPs.
+//
+// DTMC engine: exact linear-system solves (Gaussian elimination) after
+// prob0/prob1 graph precomputation; bounded operators by matrix-vector
+// iteration.
+//
+// MDP engine: PRISM-style — qualitative precomputation (Prob0A/Prob1E for
+// max, Prob0E/Prob1A for min) followed by value iteration. A bounded
+// operator `P⋈b[ψ]` on an MDP quantifies over all schedulers: upper bounds
+// (<, <=) are checked against the maximizing scheduler, lower bounds
+// (>, >=) against the minimizing one. Explicit `Pmax`/`Pmin`/`Rmax`/`Rmin`
+// override that resolution.
+//
+// Reward operators follow PRISM semantics: `R[F φ]` is the expected reward
+// accumulated *before* entering a φ-state, and paths that never reach φ
+// carry infinite reward (so e.g. `R<=40 [F goal]` fails wherever the goal
+// is not reached almost surely under the resolved scheduler).
+
+#pragma once
+
+#include "src/checker/results.hpp"
+#include "src/logic/pctl.hpp"
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// Set of states satisfying a boolean PCTL formula. Throws for quantitative
+/// (`=?`) formulas — those have no satisfaction set.
+StateSet satisfying_states(const Dtmc& chain, const StateFormula& formula);
+StateSet satisfying_states(const Mdp& mdp, const StateFormula& formula);
+
+/// Per-state numeric values of the outermost P/R operator of `formula`
+/// (which must be kProb/kProbQuery/kReward/kRewardQuery). For a boolean
+/// operator the values are the quantities compared against the bound.
+std::vector<double> quantitative_values(const Dtmc& chain,
+                                        const StateFormula& formula);
+std::vector<double> quantitative_values(const Mdp& mdp,
+                                        const StateFormula& formula);
+
+/// Full check against the model's initial state; fills both the boolean
+/// verdict (for boolean formulas) and the measured value when the top-level
+/// node is a P/R operator.
+CheckResult check(const Dtmc& chain, const StateFormula& formula);
+CheckResult check(const Mdp& mdp, const StateFormula& formula);
+
+/// Convenience: parse-and-check.
+CheckResult check(const Dtmc& chain, const std::string& formula_text);
+CheckResult check(const Mdp& mdp, const std::string& formula_text);
+
+}  // namespace tml

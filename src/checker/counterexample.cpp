@@ -1,0 +1,83 @@
+#include "src/checker/counterexample.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace tml {
+
+namespace {
+
+/// Search node: a loop-free path prefix with its accumulated probability.
+struct Node {
+  std::vector<StateId> states;
+  double probability = 1.0;
+
+  bool operator<(const Node& other) const {
+    // std::priority_queue is a max-heap; order by probability.
+    return probability < other.probability;
+  }
+};
+
+}  // namespace
+
+Counterexample strongest_evidence(const Dtmc& chain, const StateSet& targets,
+                                  double bound, std::size_t max_paths) {
+  chain.validate();
+  TML_REQUIRE(targets.size() == chain.num_states(),
+              "strongest_evidence: target set size mismatch");
+
+  Counterexample result;
+  std::priority_queue<Node> frontier;
+  frontier.push(Node{{chain.initial_state()}, 1.0});
+
+  // Best-first expansion of loop-free prefixes. Each pop is the most
+  // probable unexplored prefix; reaching a target yields the next-best
+  // evidence path (Dijkstra optimality in −log space holds per prefix).
+  while (!frontier.empty() && result.paths.size() < max_paths &&
+         result.total_probability <= bound) {
+    Node node = frontier.top();
+    frontier.pop();
+    const StateId current = node.states.back();
+    if (targets[current]) {
+      result.total_probability += node.probability;
+      result.paths.push_back(
+          EvidencePath{std::move(node.states), node.probability});
+      continue;
+    }
+    for (const Transition& t : chain.transitions(current)) {
+      if (t.probability <= 0.0) continue;
+      // Loop-free restriction keeps the search finite.
+      if (std::find(node.states.begin(), node.states.end(), t.target) !=
+          node.states.end()) {
+        continue;
+      }
+      Node next;
+      next.states = node.states;
+      next.states.push_back(t.target);
+      next.probability = node.probability * t.probability;
+      frontier.push(std::move(next));
+    }
+  }
+  result.exceeds_bound = result.total_probability > bound;
+  return result;
+}
+
+std::string Counterexample::to_string(const Dtmc& chain) const {
+  std::ostringstream os;
+  os << "counterexample: " << paths.size() << " paths, total mass "
+     << total_probability << (exceeds_bound ? " (exceeds bound)" : "")
+     << "\n";
+  for (const EvidencePath& path : paths) {
+    os << "  p=" << path.probability << " : ";
+    for (std::size_t i = 0; i < path.states.size(); ++i) {
+      if (i > 0) os << " -> ";
+      const std::string& name = chain.state_name(path.states[i]);
+      os << (name.empty() ? "s" + std::to_string(path.states[i]) : name);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tml

@@ -1,0 +1,50 @@
+// Counterexample evidence for violated probabilistic reachability bounds.
+//
+// When a model violates an upper-bound property P<=b [F bad] — the typical
+// safety shape — a probabilistic counterexample is a set of paths into the
+// bad region whose probability mass exceeds b (Han & Katoen). This module
+// produces the strongest such evidence greedily: the k most probable
+// finite paths from the initial state to the target set, found by Dijkstra
+// search in −log-probability space over a path-prefix graph.
+//
+// The repair pipeline uses these paths as diagnostics: they show *which*
+// behaviour pushes the property over its bound, and therefore which
+// transitions a perturbation scheme should make controllable (they are the
+// manual analogue of sensitivity_analysis).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// One evidence path with its probability.
+struct EvidencePath {
+  std::vector<StateId> states;  ///< from the initial state into the target
+  double probability = 0.0;
+};
+
+/// A (partial) counterexample: paths sorted by decreasing probability and
+/// their total mass.
+struct Counterexample {
+  std::vector<EvidencePath> paths;
+  double total_probability = 0.0;
+  /// True when total_probability exceeds the bound it was asked to beat.
+  bool exceeds_bound = false;
+
+  std::string to_string(const Dtmc& chain) const;
+};
+
+/// Collects the most probable paths from the chain's initial state to
+/// `targets` until either their mass exceeds `bound`, `max_paths` paths
+/// were found, or no further path exists. Paths are loop-free extensions
+/// found by best-first search; cyclic models contribute their acyclic
+/// evidence (mass may then stay below the true reachability probability).
+Counterexample strongest_evidence(const Dtmc& chain, const StateSet& targets,
+                                  double bound,
+                                  std::size_t max_paths = 64);
+
+}  // namespace tml

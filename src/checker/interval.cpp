@@ -1,0 +1,157 @@
+#include "src/checker/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tml {
+
+IntervalMdp IntervalMdp::widen(const Mdp& nominal, double radius) {
+  nominal.validate();
+  TML_REQUIRE(radius >= 0.0, "IntervalMdp::widen: negative radius");
+  IntervalMdp out;
+  out.initial_state_ = nominal.initial_state();
+  out.choices_.resize(nominal.num_states());
+  for (StateId s = 0; s < nominal.num_states(); ++s) {
+    for (const Choice& choice : nominal.choices(s)) {
+      IntervalChoice ic;
+      ic.action = choice.action;
+      const bool singleton = choice.transitions.size() == 1;
+      for (const Transition& t : choice.transitions) {
+        IntervalTransition it;
+        it.target = t.target;
+        if (singleton || t.probability >= 1.0) {
+          it.lower = it.upper = t.probability;
+        } else {
+          it.lower = std::max(0.0, t.probability - radius);
+          it.upper = std::min(1.0, t.probability + radius);
+        }
+        ic.transitions.push_back(it);
+      }
+      out.choices_[s].push_back(std::move(ic));
+    }
+  }
+  out.validate();
+  return out;
+}
+
+const std::vector<IntervalChoice>& IntervalMdp::choices(StateId s) const {
+  TML_REQUIRE(s < choices_.size(), "IntervalMdp::choices: out of range");
+  return choices_[s];
+}
+
+void IntervalMdp::validate() const {
+  if (choices_.empty()) throw ModelError("IntervalMdp: no states");
+  for (StateId s = 0; s < choices_.size(); ++s) {
+    if (choices_[s].empty()) {
+      throw ModelError("IntervalMdp: state " + std::to_string(s) +
+                       " has no choices");
+    }
+    for (const IntervalChoice& c : choices_[s]) {
+      double lo = 0.0, hi = 0.0;
+      for (const IntervalTransition& t : c.transitions) {
+        if (t.lower < -1e-12 || t.upper > 1.0 + 1e-12 || t.lower > t.upper) {
+          throw ModelError("IntervalMdp: malformed interval in state " +
+                           std::to_string(s));
+        }
+        lo += t.lower;
+        hi += t.upper;
+      }
+      if (lo > 1.0 + 1e-9 || hi < 1.0 - 1e-9) {
+        throw ModelError("IntervalMdp: empty polytope in state " +
+                         std::to_string(s));
+      }
+    }
+  }
+}
+
+std::vector<double> resolve_polytope(
+    const std::vector<IntervalTransition>& transitions,
+    std::span<const double> values, bool maximize) {
+  // Start from the lower bounds, then spend the remaining budget
+  // (1 − Σ lower) on successors in value order.
+  std::vector<double> p(transitions.size());
+  double budget = 1.0;
+  for (std::size_t i = 0; i < transitions.size(); ++i) {
+    p[i] = transitions[i].lower;
+    budget -= transitions[i].lower;
+  }
+  TML_ASSERT(budget >= -1e-9, "resolve_polytope: lower bounds exceed 1");
+
+  std::vector<std::size_t> order(transitions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double va = values[transitions[a].target];
+    const double vb = values[transitions[b].target];
+    return maximize ? va > vb : va < vb;
+  });
+  for (std::size_t idx : order) {
+    if (budget <= 0.0) break;
+    const double room = transitions[idx].upper - transitions[idx].lower;
+    const double add = std::min(room, budget);
+    p[idx] += add;
+    budget -= add;
+  }
+  TML_ASSERT(budget <= 1e-9, "resolve_polytope: budget not exhausted");
+  return p;
+}
+
+std::vector<double> interval_reachability(const IntervalMdp& mdp,
+                                          const StateSet& targets,
+                                          Objective objective, Nature nature,
+                                          const SolverOptions& options) {
+  mdp.validate();
+  const std::size_t n = mdp.num_states();
+  TML_REQUIRE(targets.size() == n,
+              "interval_reachability: target set size mismatch");
+
+  // Nature maximizes with the scheduler under cooperation, opposes it when
+  // adversarial.
+  const bool scheduler_max = objective == Objective::kMaximize;
+  const bool nature_max =
+      nature == Nature::kCooperative ? scheduler_max : !scheduler_max;
+
+  std::vector<double> values(n, 0.0);
+  for (StateId s = 0; s < n; ++s) {
+    if (targets[s]) values[s] = 1.0;
+  }
+  std::vector<double> next = values;
+
+  bool converged = false;
+  std::size_t iterations = 0;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      if (targets[s]) continue;
+      bool first = true;
+      double best = 0.0;
+      for (const IntervalChoice& choice : mdp.choices(s)) {
+        const std::vector<double> p =
+            resolve_polytope(choice.transitions, values, nature_max);
+        double q = 0.0;
+        for (std::size_t i = 0; i < p.size(); ++i) {
+          q += p[i] * values[choice.transitions[i].target];
+        }
+        if (first || (scheduler_max ? q > best : q < best)) {
+          best = q;
+          first = false;
+        }
+      }
+      next[s] = best;
+      delta = std::max(delta, std::abs(next[s] - values[s]));
+    }
+    values.swap(next);
+    iterations = iter + 1;
+    if (delta < options.tolerance) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged && options.throw_on_nonconvergence) {
+    throw NumericError("interval_reachability: no convergence after " +
+                       std::to_string(iterations) + " iterations");
+  }
+  return values;
+}
+
+}  // namespace tml

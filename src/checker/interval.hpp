@@ -1,0 +1,88 @@
+// Interval MDPs and robust verification — the convex-uncertainty baseline.
+//
+// The paper's related work (§VI) contrasts TML with Puggelli et al. [28],
+// who verify PCTL properties of MDPs with convex (interval) transition
+// uncertainties instead of repairing a concrete model. This module
+// implements that baseline for the interval case:
+//
+//  * an `IntervalMdp` whose transition probabilities are intervals
+//    [lo, hi] containing the nominal value;
+//  * robust value iteration for reachability: nature picks, at every step
+//    and adversarially (or cooperatively), a distribution inside the
+//    intervals. The inner optimization over the transition polytope is the
+//    classic order-based greedy: sort successors by value, give maximal
+//    mass to the best (or worst) ones subject to the interval box and the
+//    sum-to-one budget.
+//
+// The ablate_baselines bench uses it to contrast the two philosophies:
+// interval verification certifies what holds for EVERY model in a
+// perturbation ball, Model Repair finds ONE minimally-perturbed model that
+// satisfies the property.
+
+#pragma once
+
+#include <vector>
+
+#include "src/mdp/model.hpp"
+#include "src/mdp/solver.hpp"
+
+namespace tml {
+
+/// One uncertain probabilistic edge.
+struct IntervalTransition {
+  StateId target = 0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// One action with an interval transition polytope.
+struct IntervalChoice {
+  ActionId action = 0;
+  std::vector<IntervalTransition> transitions;
+};
+
+/// MDP with interval transition probabilities. Built from a nominal MDP by
+/// widening every transition by ±radius (clamped to [0,1]); the polytope of
+/// each choice is { p : lower <= p <= upper, Σ p = 1 }.
+class IntervalMdp {
+ public:
+  /// Uniform widening of a nominal model. Transitions with probability 1
+  /// (and singleton rows) stay exact.
+  static IntervalMdp widen(const Mdp& nominal, double radius);
+
+  std::size_t num_states() const { return choices_.size(); }
+  StateId initial_state() const { return initial_state_; }
+  const std::vector<IntervalChoice>& choices(StateId s) const;
+
+  /// Checks that every choice's polytope is non-empty
+  /// (Σ lower <= 1 <= Σ upper).
+  void validate() const;
+
+ private:
+  std::vector<std::vector<IntervalChoice>> choices_;
+  StateId initial_state_ = 0;
+};
+
+/// Who resolves the interval uncertainty.
+enum class Nature {
+  kAdversarial,  ///< worst case over the polytope (robust verification)
+  kCooperative   ///< best case (optimistic bound)
+};
+
+/// Robust reachability: per-state
+///   opt_{scheduler} opt_{nature} P(F targets),
+/// where the scheduler optimizes `objective` and nature resolves each
+/// choice's polytope per `nature` (adversarial nature opposes the
+/// scheduler's objective).
+std::vector<double> interval_reachability(const IntervalMdp& mdp,
+                                          const StateSet& targets,
+                                          Objective objective, Nature nature,
+                                          const SolverOptions& options = {});
+
+/// Inner optimization over one interval polytope: the distribution inside
+/// the box maximizing (or minimizing) Σ p_i · value_i. Exposed for tests.
+std::vector<double> resolve_polytope(
+    const std::vector<IntervalTransition>& transitions,
+    std::span<const double> values, bool maximize);
+
+}  // namespace tml

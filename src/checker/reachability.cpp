@@ -1,0 +1,230 @@
+#include "src/checker/reachability.hpp"
+
+#include <cmath>
+
+#include "src/mdp/graph.hpp"
+#include "src/mdp/solver.hpp"
+
+namespace tml {
+
+namespace {
+
+/// Restricts an until problem to a plain reachability problem: states in
+/// neither `stay` nor `goal` are made absorbing (they can never contribute),
+/// then P[F goal] on the modified model equals P[stay U goal] on the
+/// original.
+Dtmc absorb_escape_states(const Dtmc& chain, const StateSet& stay,
+                          const StateSet& goal) {
+  Dtmc out = chain;
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (!stay[s] && !goal[s]) {
+      out.set_transitions(s, {Transition{s, 1.0}});
+    }
+  }
+  return out;
+}
+
+Mdp absorb_escape_states(const Mdp& mdp, const StateSet& stay,
+                         const StateSet& goal) {
+  Mdp out = mdp;
+  const ActionId self = out.declare_action("__absorb__");
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    if (!stay[s] && !goal[s]) {
+      auto& choices = out.mutable_choices(s);
+      choices.clear();
+      choices.push_back(Choice{self, 0.0, {Transition{s, 1.0}}});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
+                                     Objective objective,
+                                     const SolverOptions& options) {
+  TML_REQUIRE(targets.size() == mdp.num_states(),
+              "mdp_reachability: target set size mismatch");
+  const std::size_t n = mdp.num_states();
+
+  StateSet zero, one;
+  if (objective == Objective::kMaximize) {
+    zero = complement(reachable_existential(mdp, targets));
+    one = prob1_existential(mdp, targets);
+  } else {
+    zero = avoid_certain(mdp, targets);
+    one = prob1_universal(mdp, targets);
+  }
+
+  std::vector<double> values(n, 0.0);
+  for (StateId s = 0; s < n; ++s) {
+    if (one[s]) values[s] = 1.0;
+  }
+
+  std::vector<double> next = values;
+  bool converged = false;
+  std::size_t iterations = 0;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      if (zero[s] || one[s]) continue;
+      double best = objective == Objective::kMaximize ? 0.0 : 1.0;
+      for (const Choice& c : mdp.choices(s)) {
+        double q = 0.0;
+        for (const Transition& t : c.transitions) {
+          q += t.probability * values[t.target];
+        }
+        if (objective == Objective::kMaximize) {
+          best = std::max(best, q);
+        } else {
+          best = std::min(best, q);
+        }
+      }
+      next[s] = best;
+      delta = std::max(delta, std::abs(next[s] - values[s]));
+    }
+    values.swap(next);
+    iterations = iter + 1;
+    if (delta < options.tolerance) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged && options.throw_on_nonconvergence) {
+    throw NumericError("mdp_reachability: no convergence after " +
+                       std::to_string(iterations) + " iterations");
+  }
+  return values;
+}
+
+std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
+                                      const StateSet& goal, std::size_t bound,
+                                      Objective objective) {
+  const std::size_t n = mdp.num_states();
+  TML_REQUIRE(stay.size() == n && goal.size() == n,
+              "mdp_bounded_until: set size mismatch");
+  std::vector<double> values(n, 0.0);
+  for (StateId s = 0; s < n; ++s) {
+    if (goal[s]) values[s] = 1.0;
+  }
+  std::vector<double> next = values;
+  for (std::size_t k = 0; k < bound; ++k) {
+    for (StateId s = 0; s < n; ++s) {
+      if (goal[s]) {
+        next[s] = 1.0;
+        continue;
+      }
+      if (!stay[s]) {
+        next[s] = 0.0;
+        continue;
+      }
+      double best = objective == Objective::kMaximize ? 0.0 : 1.0;
+      for (const Choice& c : mdp.choices(s)) {
+        double q = 0.0;
+        for (const Transition& t : c.transitions) {
+          q += t.probability * values[t.target];
+        }
+        if (objective == Objective::kMaximize) {
+          best = std::max(best, q);
+        } else {
+          best = std::min(best, q);
+        }
+      }
+      next[s] = best;
+    }
+    values.swap(next);
+  }
+  return values;
+}
+
+std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
+                                       const StateSet& goal,
+                                       std::size_t bound) {
+  const std::size_t n = chain.num_states();
+  TML_REQUIRE(stay.size() == n && goal.size() == n,
+              "dtmc_bounded_until: set size mismatch");
+  std::vector<double> values(n, 0.0);
+  for (StateId s = 0; s < n; ++s) {
+    if (goal[s]) values[s] = 1.0;
+  }
+  std::vector<double> next = values;
+  for (std::size_t k = 0; k < bound; ++k) {
+    for (StateId s = 0; s < n; ++s) {
+      if (goal[s]) {
+        next[s] = 1.0;
+        continue;
+      }
+      if (!stay[s]) {
+        next[s] = 0.0;
+        continue;
+      }
+      double q = 0.0;
+      for (const Transition& t : chain.transitions(s)) {
+        q += t.probability * values[t.target];
+      }
+      next[s] = q;
+    }
+    values.swap(next);
+  }
+  return values;
+}
+
+std::vector<double> dtmc_until(const Dtmc& chain, const StateSet& stay,
+                               const StateSet& goal) {
+  const Dtmc restricted = absorb_escape_states(chain, stay, goal);
+  return dtmc_reachability(restricted, goal);
+}
+
+std::vector<double> mdp_until(const Mdp& mdp, const StateSet& stay,
+                              const StateSet& goal, Objective objective,
+                              const SolverOptions& options) {
+  const Mdp restricted = absorb_escape_states(mdp, stay, goal);
+  return mdp_reachability(restricted, goal, objective, options);
+}
+
+std::vector<double> dtmc_cumulative_reward(const Dtmc& chain,
+                                           std::size_t horizon) {
+  const std::size_t n = chain.num_states();
+  std::vector<double> values(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (std::size_t k = 0; k < horizon; ++k) {
+    for (StateId s = 0; s < n; ++s) {
+      double q = chain.state_reward(s);
+      for (const Transition& t : chain.transitions(s)) {
+        q += t.probability * values[t.target];
+      }
+      next[s] = q;
+    }
+    values.swap(next);
+  }
+  return values;
+}
+
+std::vector<double> mdp_cumulative_reward(const Mdp& mdp, std::size_t horizon,
+                                          Objective objective) {
+  const std::size_t n = mdp.num_states();
+  std::vector<double> values(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (std::size_t k = 0; k < horizon; ++k) {
+    for (StateId s = 0; s < n; ++s) {
+      bool first = true;
+      double best = 0.0;
+      for (const Choice& c : mdp.choices(s)) {
+        double q = mdp.state_reward(s) + c.reward;
+        for (const Transition& t : c.transitions) {
+          q += t.probability * values[t.target];
+        }
+        if (first || (objective == Objective::kMaximize ? q > best
+                                                        : q < best)) {
+          best = q;
+          first = false;
+        }
+      }
+      next[s] = best;
+    }
+    values.swap(next);
+  }
+  return values;
+}
+
+}  // namespace tml

@@ -1,0 +1,28 @@
+// Result types returned by the PCTL checkers.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// Outcome of checking one PCTL formula against a model.
+///
+/// For boolean formulas, `satisfied` reports the verdict at the initial
+/// state and `sat_states` the full satisfaction set. For quantitative
+/// queries (`Pmax=?` etc.), `value` holds the number at the initial state
+/// and `values` the per-state vector. For boolean P/R operators at top
+/// level, the checker also fills `value`/`values` with the underlying
+/// measured quantity — the repair pipeline uses this to report "achieved vs
+/// required" (e.g. expected attempts = 41.2 vs bound 40).
+struct CheckResult {
+  bool satisfied = false;
+  StateSet sat_states;
+  std::optional<double> value;
+  std::vector<double> values;
+};
+
+}  // namespace tml

@@ -1,0 +1,106 @@
+#include "src/checker/smc.hpp"
+
+#include <cmath>
+
+#include "src/checker/check.hpp"
+
+namespace tml {
+
+std::size_t chernoff_sample_size(double epsilon, double delta) {
+  TML_REQUIRE(epsilon > 0.0 && epsilon < 1.0,
+              "chernoff_sample_size: epsilon out of (0,1)");
+  TML_REQUIRE(delta > 0.0 && delta < 1.0,
+              "chernoff_sample_size: delta out of (0,1)");
+  return static_cast<std::size_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * epsilon * epsilon)));
+}
+
+namespace {
+
+StateId step(const Dtmc& chain, StateId current, Rng& rng) {
+  const auto& row = chain.transitions(current);
+  std::vector<double> weights;
+  weights.reserve(row.size());
+  for (const Transition& t : row) weights.push_back(t.probability);
+  return row[rng.categorical(weights)].target;
+}
+
+}  // namespace
+
+bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
+                           const StateSet& left_sat, const StateSet& right_sat,
+                           std::size_t max_steps, Rng& rng) {
+  StateId current = chain.initial_state();
+  switch (path.kind()) {
+    case PathFormula::Kind::kNext:
+      return right_sat[step(chain, current, rng)];
+    case PathFormula::Kind::kUntil:
+    case PathFormula::Kind::kEventually: {
+      const std::size_t bound =
+          path.step_bound() ? *path.step_bound() : max_steps;
+      const bool constrained = path.kind() == PathFormula::Kind::kUntil;
+      for (std::size_t t = 0; /* step check below */; ++t) {
+        if (right_sat[current]) return true;
+        if (constrained && !left_sat[current]) return false;
+        if (t >= bound) return false;
+        current = step(chain, current, rng);
+      }
+    }
+    case PathFormula::Kind::kGlobally: {
+      const std::size_t bound =
+          path.step_bound() ? *path.step_bound() : max_steps;
+      for (std::size_t t = 0; t <= bound; ++t) {
+        if (!right_sat[current]) return false;
+        if (t == bound) break;
+        current = step(chain, current, rng);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+SmcResult smc_check(const Dtmc& chain, const StateFormula& formula,
+                    const SmcOptions& options) {
+  chain.validate();
+  TML_REQUIRE(formula.kind() == StateFormula::Kind::kProb ||
+                  formula.kind() == StateFormula::Kind::kProbQuery,
+              "smc_check: formula must be a P operator, got "
+                  << formula.to_string());
+  const PathFormula& path = formula.path();
+  // Operand satisfaction sets are resolved exactly (they are state
+  // formulas; only the path probability is sampled).
+  const StateSet right = satisfying_states(chain, path.right());
+  const StateSet left = path.kind() == PathFormula::Kind::kUntil
+                            ? satisfying_states(chain, path.left())
+                            : StateSet(chain.num_states(), true);
+
+  SmcResult result;
+  result.epsilon = options.epsilon;
+  result.confidence = 1.0 - options.delta;
+  result.samples = chernoff_sample_size(options.epsilon, options.delta);
+
+  Rng rng(options.seed);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < result.samples; ++i) {
+    if (sample_path_satisfies(chain, path, left, right, options.max_steps,
+                              rng)) {
+      ++hits;
+    }
+  }
+  result.estimate =
+      static_cast<double>(hits) / static_cast<double>(result.samples);
+
+  if (formula.kind() == StateFormula::Kind::kProb) {
+    result.satisfied =
+        compare(result.estimate, formula.comparison(), formula.bound());
+    result.decisive =
+        std::abs(result.estimate - formula.bound()) > options.epsilon;
+  } else {
+    result.satisfied = true;
+    result.decisive = true;
+  }
+  return result;
+}
+
+}  // namespace tml

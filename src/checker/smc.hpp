@@ -1,0 +1,62 @@
+// Statistical model checking (SMC) for DTMCs.
+//
+// A simulation-based alternative to the exact engines: the probability of
+// a path formula is estimated by Monte-Carlo sampling with a
+// Chernoff–Hoeffding guarantee — after
+//
+//     n >= ln(2/δ) / (2 ε²)
+//
+// samples, the estimate p̂ satisfies P(|p̂ − p| > ε) < δ. Bounded
+// operators are decided exactly per sample; unbounded F/U are truncated at
+// `max_steps` (a lower-bound estimate — adequate for chains whose
+// absorption time is well below the cut-off, which the options make
+// explicit rather than hiding).
+//
+// SMC serves two roles here: an independent oracle for the exact checkers
+// in the test suite, and the only practical engine when state spaces
+// outgrow the linear-algebra engines — the scalability note of the
+// paper's future work.
+
+#pragma once
+
+#include "src/checker/results.hpp"
+#include "src/common/rng.hpp"
+#include "src/logic/pctl.hpp"
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+struct SmcOptions {
+  double epsilon = 0.01;        ///< absolute error bound
+  double delta = 0.02;          ///< failure probability of the bound
+  std::size_t max_steps = 5000; ///< truncation horizon for unbounded paths
+  std::uint64_t seed = 1;
+};
+
+struct SmcResult {
+  double estimate = 0.0;     ///< p̂
+  std::size_t samples = 0;   ///< n drawn
+  double epsilon = 0.0;      ///< guarantee half-width
+  double confidence = 0.0;   ///< 1 − δ
+  /// For bounded operators (P⋈b): verdict by comparing p̂ against the
+  /// bound. `decisive` is false when |p̂ − b| <= ε (the sample cannot
+  /// separate them at this ε).
+  bool satisfied = false;
+  bool decisive = false;
+};
+
+/// Required sample size for the (ε, δ) guarantee.
+std::size_t chernoff_sample_size(double epsilon, double delta);
+
+/// Evaluates one sampled trajectory against a path formula (exposed for
+/// tests). Unbounded operators are truncated at `max_steps`.
+bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
+                           const StateSet& left_sat, const StateSet& right_sat,
+                           std::size_t max_steps, Rng& rng);
+
+/// Estimates the probability of the path formula of `formula` (which must
+/// be a kProb or kProbQuery node) from the chain's initial state.
+SmcResult smc_check(const Dtmc& chain, const StateFormula& formula,
+                    const SmcOptions& options = {});
+
+}  // namespace tml

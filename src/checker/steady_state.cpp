@@ -1,0 +1,182 @@
+#include "src/checker/steady_state.hpp"
+
+#include <algorithm>
+
+#include "src/common/matrix.hpp"
+#include "src/mdp/solver.hpp"
+
+namespace tml {
+
+namespace {
+
+/// Iterative Tarjan SCC (explicit stack; recursion depth would otherwise
+/// track the longest chain path).
+struct TarjanState {
+  std::vector<int> index;
+  std::vector<int> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<StateId> stack;
+  int next_index = 0;
+  std::vector<std::vector<StateId>> components;
+};
+
+void tarjan(const Dtmc& chain, TarjanState& st, StateId root) {
+  struct Frame {
+    StateId state;
+    std::size_t edge = 0;
+  };
+  std::vector<Frame> call_stack{{root, 0}};
+  st.index[root] = st.lowlink[root] = st.next_index++;
+  st.stack.push_back(root);
+  st.on_stack[root] = true;
+
+  while (!call_stack.empty()) {
+    Frame& frame = call_stack.back();
+    const auto& row = chain.transitions(frame.state);
+    bool descended = false;
+    while (frame.edge < row.size()) {
+      const Transition& t = row[frame.edge];
+      ++frame.edge;
+      if (t.probability <= 0.0) continue;
+      if (st.index[t.target] < 0) {
+        st.index[t.target] = st.lowlink[t.target] = st.next_index++;
+        st.stack.push_back(t.target);
+        st.on_stack[t.target] = true;
+        call_stack.push_back(Frame{t.target, 0});
+        descended = true;
+        break;
+      }
+      if (st.on_stack[t.target]) {
+        st.lowlink[frame.state] =
+            std::min(st.lowlink[frame.state], st.index[t.target]);
+      }
+    }
+    if (descended) continue;
+    // Frame finished.
+    const StateId v = frame.state;
+    call_stack.pop_back();
+    if (!call_stack.empty()) {
+      const StateId parent = call_stack.back().state;
+      st.lowlink[parent] = std::min(st.lowlink[parent], st.lowlink[v]);
+    }
+    if (st.lowlink[v] == st.index[v]) {
+      std::vector<StateId> component;
+      while (true) {
+        const StateId w = st.stack.back();
+        st.stack.pop_back();
+        st.on_stack[w] = false;
+        component.push_back(w);
+        if (w == v) break;
+      }
+      std::sort(component.begin(), component.end());
+      st.components.push_back(std::move(component));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<StateId>> bottom_sccs(const Dtmc& chain) {
+  chain.validate();
+  const std::size_t n = chain.num_states();
+  TarjanState st;
+  st.index.assign(n, -1);
+  st.lowlink.assign(n, -1);
+  st.on_stack.assign(n, false);
+  for (StateId s = 0; s < n; ++s) {
+    if (st.index[s] < 0) tarjan(chain, st, s);
+  }
+
+  // A component is bottom iff no member has a positive edge leaving it.
+  std::vector<std::vector<StateId>> bottoms;
+  for (const auto& component : st.components) {
+    bool closed = true;
+    for (StateId s : component) {
+      for (const Transition& t : chain.transitions(s)) {
+        if (t.probability > 0.0 &&
+            !std::binary_search(component.begin(), component.end(),
+                                t.target)) {
+          closed = false;
+          break;
+        }
+      }
+      if (!closed) break;
+    }
+    if (closed) bottoms.push_back(component);
+  }
+  return bottoms;
+}
+
+std::vector<double> stationary_distribution(
+    const Dtmc& chain, const std::vector<StateId>& component) {
+  TML_REQUIRE(!component.empty(), "stationary_distribution: empty component");
+  const std::size_t k = component.size();
+  std::vector<int> local(chain.num_states(), -1);
+  for (std::size_t i = 0; i < k; ++i) {
+    local[component[i]] = static_cast<int>(i);
+  }
+  // Closedness check.
+  for (StateId s : component) {
+    for (const Transition& t : chain.transitions(s)) {
+      TML_REQUIRE(t.probability <= 0.0 || local[t.target] >= 0,
+                  "stationary_distribution: component is not closed (edge "
+                      << s << " -> " << t.target << ")");
+    }
+  }
+  // Solve π (P − I) = 0 with Σ π = 1: transpose system with the last
+  // equation replaced by the normalization row.
+  Matrix a(k, k);
+  std::vector<double> b(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    // Row j of the system: Σ_i π_i P(i, j) − π_j = 0.
+    a(j, j) -= 1.0;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const Transition& t : chain.transitions(component[i])) {
+      if (t.probability <= 0.0) continue;
+      a(static_cast<std::size_t>(local[t.target]), i) += t.probability;
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) a(k - 1, i) = 1.0;
+  b[k - 1] = 1.0;
+  std::vector<double> pi = solve_linear_system(std::move(a), std::move(b));
+  // Numeric hygiene: clamp tiny negatives, renormalize.
+  double total = 0.0;
+  for (double& p : pi) {
+    p = std::max(p, 0.0);
+    total += p;
+  }
+  TML_REQUIRE(total > 0.0, "stationary_distribution: degenerate solution");
+  for (double& p : pi) p /= total;
+  return pi;
+}
+
+std::vector<double> long_run_distribution(const Dtmc& chain) {
+  const auto bottoms = bottom_sccs(chain);
+  std::vector<double> occupancy(chain.num_states(), 0.0);
+  for (const auto& component : bottoms) {
+    StateSet member(chain.num_states(), false);
+    for (StateId s : component) member[s] = true;
+    const double reach =
+        dtmc_reachability(chain, member)[chain.initial_state()];
+    if (reach <= 0.0) continue;
+    const std::vector<double> pi = stationary_distribution(chain, component);
+    for (std::size_t i = 0; i < component.size(); ++i) {
+      occupancy[component[i]] += reach * pi[i];
+    }
+  }
+  return occupancy;
+}
+
+double long_run_probability(const Dtmc& chain, const StateSet& states) {
+  TML_REQUIRE(states.size() == chain.num_states(),
+              "long_run_probability: set size mismatch");
+  const std::vector<double> occupancy = long_run_distribution(chain);
+  double total = 0.0;
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (states[s]) total += occupancy[s];
+  }
+  return total;
+}
+
+}  // namespace tml

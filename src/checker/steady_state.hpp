@@ -1,0 +1,39 @@
+// Long-run (steady-state) analysis for DTMCs.
+//
+// PRISM's S operator, provided here as an API-level extension: the
+// long-run probability of sitting in a φ-state is
+//
+//     S(φ) = Σ_{B ∈ BSCC} P(reach B) · π_B(Sat φ ∩ B),
+//
+// where the bottom strongly connected components (BSCCs) are found by
+// Tarjan's algorithm, each BSCC's stationary distribution π_B solves
+// π_B P|_B = π_B with Σ π_B = 1, and the reach probabilities come from the
+// standard reachability engine. Useful for the WSN setting's long-run
+// questions (e.g. the long-run fraction of time a node spends ignoring).
+
+#pragma once
+
+#include <vector>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// Bottom strongly connected components of the chain (each returned list
+/// is sorted by state id; components in discovery order).
+std::vector<std::vector<StateId>> bottom_sccs(const Dtmc& chain);
+
+/// Stationary distribution of the chain restricted to one BSCC, indexed
+/// like `component`. Throws if the states do not form a closed recurrent
+/// class.
+std::vector<double> stationary_distribution(
+    const Dtmc& chain, const std::vector<StateId>& component);
+
+/// Per-state long-run occupancy from the chain's initial state:
+/// result[s] = long-run fraction of time spent in s.
+std::vector<double> long_run_distribution(const Dtmc& chain);
+
+/// Long-run probability of the state set from the initial state.
+double long_run_probability(const Dtmc& chain, const StateSet& states);
+
+}  // namespace tml

@@ -1,0 +1,64 @@
+// Error handling primitives shared by all tml subsystems.
+//
+// The library throws `tml::Error` (a std::runtime_error) on contract
+// violations and malformed inputs. `TML_REQUIRE` is used at public API
+// boundaries; internal invariants use `TML_ASSERT`, which compiles to the
+// same check (these models are small; we always pay for the check).
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tml {
+
+/// Base exception type for all errors raised by the tml library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a model is structurally invalid (e.g. rows that do not sum
+/// to one, dangling state indices, empty action sets).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the PCTL parser on malformed formula text.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a numeric routine fails to converge or meets a singular
+/// system it cannot handle.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require_failure(const char* expr,
+                                               const char* file, int line,
+                                               const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace tml
+
+#define TML_REQUIRE(expr, msg)                                           \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::tml::detail::throw_require_failure(#expr, __FILE__, __LINE__,    \
+                                           (std::ostringstream{} << msg) \
+                                               .str());                  \
+    }                                                                    \
+  } while (false)
+
+#define TML_ASSERT(expr, msg) TML_REQUIRE(expr, msg)

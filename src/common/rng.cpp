@@ -1,0 +1,25 @@
+#include "src/common/rng.hpp"
+
+namespace tml {
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    TML_REQUIRE(w >= 0.0, "categorical: negative weight " << w);
+    total += w;
+  }
+  TML_REQUIRE(total > 0.0, "categorical: all weights are zero");
+  double r = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point slack: return the last index with positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace tml

@@ -1,0 +1,63 @@
+// Deterministic random number generation for simulation and optimization.
+//
+// All stochastic components of the library (trace simulation, optimizer
+// multi-start, IRL sampling) take a `tml::Rng` explicitly so that every
+// experiment in the bench harness is reproducible from a seed.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace tml {
+
+/// Seedable random source. Thin wrapper over std::mt19937_64 with the
+/// sampling helpers the library needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    TML_REQUIRE(lo <= hi, "uniform: empty interval");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  std::size_t index(std::size_t n) {
+    TML_REQUIRE(n > 0, "index: n must be positive");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Standard normal draw.
+  double normal() { return normal_(engine_); }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) {
+    TML_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p out of [0,1]: " << p);
+    return uniform() < p;
+  }
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Throws if all weights are zero (there is nothing to sample).
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Derives an independent child generator (for parallel-safe fan-out).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace tml

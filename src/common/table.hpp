@@ -1,0 +1,39 @@
+// ASCII table formatting for the benchmark harness.
+//
+// Every `bench/table_*` binary regenerates one of the paper's reported
+// results; this helper keeps their output uniform and diff-friendly.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tml {
+
+/// Accumulates rows of strings and renders an aligned ASCII table with a
+/// header rule, e.g.
+///
+///   property        | outcome    | p      | q
+///   ----------------+------------+--------+------
+///   R<=100 [F goal] | satisfied  | -      | -
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table as a string (trailing newline included).
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (bench output helper).
+std::string format_double(double value, int digits = 4);
+
+}  // namespace tml

@@ -1,0 +1,518 @@
+#include "src/core/model_repair.hpp"
+
+#include <cmath>
+
+#include "src/checker/check.hpp"
+#include "src/checker/reachability.hpp"
+#include "src/mdp/solver.hpp"
+#include "src/parametric/bounded.hpp"
+#include "src/parametric/state_elimination.hpp"
+
+namespace tml {
+
+namespace {
+
+/// Scheduler direction implied by a bounded P/R operator (PRISM resolution;
+/// mirrors the checker).
+Objective property_objective(const StateFormula& property) {
+  if (property.quantifier()) {
+    return *property.quantifier() == Quantifier::kMax ? Objective::kMaximize
+                                                      : Objective::kMinimize;
+  }
+  switch (property.comparison()) {
+    case Comparison::kLess:
+    case Comparison::kLessEqual:
+      return Objective::kMaximize;
+    case Comparison::kGreater:
+    case Comparison::kGreaterEqual:
+      return Objective::kMinimize;
+  }
+  return Objective::kMaximize;
+}
+
+void require_repairable(const StateFormula& property) {
+  if (property.kind() == StateFormula::Kind::kProb) {
+    const PathFormula& path = property.path();
+    TML_REQUIRE(path.kind() == PathFormula::Kind::kEventually ||
+                    path.kind() == PathFormula::Kind::kUntil,
+                "model_repair: only F / U path formulas (step-bounded or "
+                "unbounded) are supported, got "
+                    << path.to_string());
+    return;
+  }
+  if (property.kind() == StateFormula::Kind::kReward) {
+    // Both R[F φ] and R[C<=k] have parametric closed forms.
+    return;
+  }
+  throw Error(
+      "model_repair: property must be a bounded P or R operator, got " +
+      property.to_string());
+}
+
+ScalarFn make_cost(const ModelRepairConfig& config, std::size_t dim) {
+  switch (config.cost) {
+    case RepairCost::kL2:
+      return [](std::span<const double> x) {
+        double acc = 0.0;
+        for (double v : x) acc += v * v;
+        return acc;
+      };
+    case RepairCost::kL1:
+      return [](std::span<const double> x) {
+        double acc = 0.0;
+        for (double v : x) acc += std::sqrt(v * v + 1e-12);
+        return acc;
+      };
+    case RepairCost::kWeightedL2: {
+      TML_REQUIRE(config.cost_weights.size() == dim,
+                  "model_repair: weighted cost needs one weight per variable");
+      std::vector<double> w = config.cost_weights;
+      return [w](std::span<const double> x) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) acc += w[i] * x[i] * x[i];
+        return acc;
+      };
+    }
+  }
+  throw Error("model_repair: unknown cost");
+}
+
+GradientFn make_cost_gradient(const ModelRepairConfig& config,
+                              std::size_t dim) {
+  switch (config.cost) {
+    case RepairCost::kL2:
+      return [](std::span<const double> x) {
+        std::vector<double> g(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i) g[i] = 2.0 * x[i];
+        return g;
+      };
+    case RepairCost::kL1:
+      return [](std::span<const double> x) {
+        std::vector<double> g(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          g[i] = x[i] / std::sqrt(x[i] * x[i] + 1e-12);
+        }
+        return g;
+      };
+    case RepairCost::kWeightedL2: {
+      std::vector<double> w = config.cost_weights;
+      TML_REQUIRE(w.size() == dim,
+                  "model_repair: weighted cost needs one weight per variable");
+      return [w](std::span<const double> x) {
+        std::vector<double> g(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i) g[i] = 2.0 * w[i] * x[i];
+        return g;
+      };
+    }
+  }
+  throw Error("model_repair: unknown cost");
+}
+
+}  // namespace
+
+std::string to_string(RepairCost cost) {
+  switch (cost) {
+    case RepairCost::kL2: return "L2";
+    case RepairCost::kL1: return "L1";
+    case RepairCost::kWeightedL2: return "weighted-L2";
+  }
+  return "?";
+}
+
+RationalFunction parametric_property_function(const ParametricDtmc& chain,
+                                              const Dtmc& base,
+                                              const StateFormula& property) {
+  require_repairable(property);
+  if (property.kind() == StateFormula::Kind::kProb) {
+    const PathFormula& path = property.path();
+    const StateSet goal = satisfying_states(base, path.right());
+    const StateSet stay = path.kind() == PathFormula::Kind::kUntil
+                              ? satisfying_states(base, path.left())
+                              : StateSet(base.num_states(), true);
+    if (path.step_bound()) {
+      return bounded_until_probability(chain, stay, goal, *path.step_bound());
+    }
+    if (path.kind() == PathFormula::Kind::kEventually) {
+      return reachability_probability(chain, goal);
+    }
+    // φ1 U φ2: make escape states (¬φ1 ∧ ¬φ2) absorbing, then reach φ2.
+    ParametricDtmc restricted = chain;
+    for (StateId s = 0; s < base.num_states(); ++s) {
+      if (!stay[s] && !goal[s]) {
+        for (const auto& [t, p] : chain.row(s)) {
+          restricted.set_transition(s, t, RationalFunction());
+        }
+        restricted.set_transition(s, s, RationalFunction(1.0));
+      }
+    }
+    return reachability_probability(restricted, goal);
+  }
+  if (property.reward_path_kind() == StateFormula::RewardPathKind::kCumulative) {
+    return cumulative_reward(chain, property.reward_horizon());
+  }
+  const StateSet goal = satisfying_states(base, property.reward_target());
+  return expected_total_reward(chain, goal);
+}
+
+namespace {
+
+/// Step bound of a bounded property (0 when unbounded).
+std::size_t property_step_bound(const StateFormula& property) {
+  if (property.kind() == StateFormula::Kind::kProb) {
+    return property.path().step_bound().value_or(0);
+  }
+  if (property.kind() == StateFormula::Kind::kReward &&
+      property.reward_path_kind() ==
+          StateFormula::RewardPathKind::kCumulative) {
+    return property.reward_horizon();
+  }
+  return 0;
+}
+
+/// Numeric per-point evaluation of a step-bounded property on the
+/// instantiated chain. The expanded symbolic polynomial of a k-step
+/// iteration has degree ~k and loses all precision for large k; direct
+/// numeric evaluation is exact and cheap.
+double evaluate_bounded_numeric(const ParametricDtmc& chain, const Dtmc& base,
+                                const StateFormula& property,
+                                std::span<const double> x) {
+  const Dtmc concrete = chain.instantiate(x);
+  if (property.kind() == StateFormula::Kind::kProb) {
+    const PathFormula& path = property.path();
+    const StateSet goal = satisfying_states(base, path.right());
+    const StateSet stay = path.kind() == PathFormula::Kind::kUntil
+                              ? satisfying_states(base, path.left())
+                              : StateSet(base.num_states(), true);
+    return dtmc_bounded_until(concrete, stay, goal,
+                              *path.step_bound())[concrete.initial_state()];
+  }
+  return dtmc_cumulative_reward(
+      concrete, property.reward_horizon())[concrete.initial_state()];
+}
+
+/// Symbolic closed forms stay exact up to roughly this step bound; beyond
+/// it Model Repair evaluates the property numerically per NLP iterate.
+constexpr std::size_t kMaxSymbolicStepBound = 24;
+
+}  // namespace
+
+ModelRepairResult model_repair(const PerturbationScheme& scheme,
+                               const StateFormula& property,
+                               const ModelRepairConfig& config) {
+  require_repairable(property);
+  ModelRepairResult result;
+  result.variable_names = scheme.variable_names();
+  result.comparison = property.comparison();
+  result.bound = property.bound();
+
+  const PerturbationScheme::Built built =
+      scheme.build(config.probability_margin);
+
+  const bool numeric_mode =
+      property_step_bound(property) > kMaxSymbolicStepBound;
+
+  std::vector<RationalFunction> derivatives;
+  std::function<double(std::span<const double>)> evaluate;
+  if (numeric_mode) {
+    result.function_text =
+        "<numeric " + std::to_string(property_step_bound(property)) +
+        "-step evaluation>";
+    const ParametricDtmc* chain = &built.chain;
+    const Dtmc* base = &scheme.base();
+    const StateFormula* prop = &property;
+    evaluate = [chain, base, prop](std::span<const double> x) {
+      return evaluate_bounded_numeric(*chain, *base, *prop, x);
+    };
+  } else {
+    result.property_function =
+        parametric_property_function(built.chain, scheme.base(), property);
+    result.function_text =
+        result.property_function.to_string(built.chain.pool().namer());
+    derivatives.reserve(scheme.num_variables());
+    for (Var v : built.variables) {
+      derivatives.push_back(result.property_function.derivative(v));
+    }
+    const RationalFunction* f = &result.property_function;
+    evaluate = [f](std::span<const double> x) { return f->evaluate(x); };
+  }
+
+  const std::size_t dim = scheme.num_variables();
+  const Comparison cmp = property.comparison();
+  const double bound = property.bound();
+  // The solver accepts violations up to feasibility_tol; require at least
+  // that much slack so the independent numeric recheck passes at the
+  // boundary.
+  const double margin =
+      std::max(config.constraint_margin,
+               10.0 * config.solver.feasibility_tol * (1.0 + std::abs(bound)));
+
+  // Constraint in g(x) <= 0 form.
+  const bool upper = cmp == Comparison::kLess || cmp == Comparison::kLessEqual;
+  ScalarFn constraint_value = [&evaluate, bound, margin, upper](
+                                  std::span<const double> x) {
+    const double value = evaluate(x);
+    return upper ? value - (bound - margin) : (bound + margin) - value;
+  };
+  GradientFn constraint_gradient;
+  if (!numeric_mode) {
+    constraint_gradient = [&derivatives, upper](std::span<const double> x) {
+      std::vector<double> g(derivatives.size());
+      for (std::size_t i = 0; i < derivatives.size(); ++i) {
+        const double d = derivatives[i].evaluate(x);
+        g[i] = upper ? d : -d;
+      }
+      return g;
+    };
+  }
+
+  Problem problem;
+  problem.dimension = dim;
+  problem.objective = make_cost(config, dim);
+  problem.objective_gradient = make_cost_gradient(config, dim);
+  problem.constraints.push_back(Constraint{
+      property.to_string(), std::move(constraint_value),
+      std::move(constraint_gradient)});
+  problem.box.lower = built.lower;
+  problem.box.upper = built.upper;
+
+  const SolveOutcome outcome = solve(problem, config.solver);
+  result.status = outcome.status;
+  result.variable_values = outcome.x;
+  result.best_violation = outcome.max_violation;
+  if (!outcome.x.empty()) {
+    result.achieved = evaluate(outcome.x);
+    // The margin exists only to absorb solver slop; feasibility is judged
+    // against the *actual* property bound (a penalty-method iterate may sit
+    // just outside the margined surrogate yet safely inside the bound).
+    if (compare(result.achieved, cmp, bound)) {
+      result.status = SolveStatus::kOptimal;
+    } else if (result.status == SolveStatus::kOptimal) {
+      result.status = SolveStatus::kInfeasible;
+    }
+  }
+  if (result.status == SolveStatus::kOptimal) {
+    result.cost = problem.objective(outcome.x);
+    result.repaired = scheme.apply(outcome.x);
+    result.recheck_passed = check(*result.repaired, property).satisfied;
+    result.epsilon_bisimilarity = scheme.max_perturbation(outcome.x);
+  }
+  return result;
+}
+
+EnvelopeRepairResult model_repair_envelope(
+    const PerturbationScheme& scheme,
+    const std::vector<StateFormulaPtr>& properties,
+    const ModelRepairConfig& config) {
+  TML_REQUIRE(!properties.empty(), "model_repair_envelope: no properties");
+  for (const StateFormulaPtr& p : properties) {
+    TML_REQUIRE(p != nullptr, "model_repair_envelope: null property");
+    require_repairable(*p);
+  }
+
+  EnvelopeRepairResult result;
+  ModelRepairResult& repair = result.repair;
+  repair.variable_names = scheme.variable_names();
+  repair.comparison = properties[0]->comparison();
+  repair.bound = properties[0]->bound();
+
+  const PerturbationScheme::Built built =
+      scheme.build(config.probability_margin);
+  const std::size_t dim = scheme.num_variables();
+
+  // One evaluator (symbolic or numeric) per property.
+  struct PropertyTerm {
+    const StateFormula* property;
+    RationalFunction f;
+    std::vector<RationalFunction> derivatives;
+    bool numeric = false;
+    bool upper = false;
+    double bound = 0.0;
+    double margin = 0.0;
+  };
+  std::vector<PropertyTerm> terms(properties.size());
+  for (std::size_t k = 0; k < properties.size(); ++k) {
+    PropertyTerm& term = terms[k];
+    term.property = properties[k].get();
+    term.numeric = property_step_bound(*term.property) > kMaxSymbolicStepBound;
+    if (!term.numeric) {
+      term.f = parametric_property_function(built.chain, scheme.base(),
+                                            *term.property);
+      for (Var v : built.variables) {
+        term.derivatives.push_back(term.f.derivative(v));
+      }
+    }
+    const Comparison cmp = term.property->comparison();
+    term.upper = cmp == Comparison::kLess || cmp == Comparison::kLessEqual;
+    term.bound = term.property->bound();
+    term.margin = std::max(
+        config.constraint_margin,
+        10.0 * config.solver.feasibility_tol * (1.0 + std::abs(term.bound)));
+  }
+  repair.property_function = terms[0].f;
+  repair.function_text =
+      terms[0].numeric ? "<numeric bounded evaluation>"
+                       : terms[0].f.to_string(built.chain.pool().namer());
+
+  auto evaluate_term = [&](const PropertyTerm& term,
+                           std::span<const double> x) {
+    return term.numeric ? evaluate_bounded_numeric(built.chain, scheme.base(),
+                                                   *term.property, x)
+                        : term.f.evaluate(x);
+  };
+
+  Problem problem;
+  problem.dimension = dim;
+  problem.objective = make_cost(config, dim);
+  problem.objective_gradient = make_cost_gradient(config, dim);
+  for (PropertyTerm& term : terms) {
+    const PropertyTerm* t = &term;
+    GradientFn gradient;
+    if (!term.numeric) {
+      gradient = [t](std::span<const double> x) {
+        std::vector<double> g(t->derivatives.size());
+        for (std::size_t i = 0; i < t->derivatives.size(); ++i) {
+          const double d = t->derivatives[i].evaluate(x);
+          g[i] = t->upper ? d : -d;
+        }
+        return g;
+      };
+    }
+    problem.constraints.push_back(Constraint{
+        term.property->to_string(),
+        [t, &evaluate_term](std::span<const double> x) {
+          const double value = evaluate_term(*t, x);
+          return t->upper ? value - (t->bound - t->margin)
+                          : (t->bound + t->margin) - value;
+        },
+        std::move(gradient)});
+  }
+  problem.box.lower = built.lower;
+  problem.box.upper = built.upper;
+
+  const SolveOutcome outcome = solve(problem, config.solver);
+  repair.status = outcome.status;
+  repair.variable_values = outcome.x;
+  repair.best_violation = outcome.max_violation;
+  if (!outcome.x.empty()) {
+    bool all_satisfied = true;
+    for (const PropertyTerm& term : terms) {
+      EnvelopeEntry entry;
+      entry.property_text = term.property->to_string();
+      entry.achieved = evaluate_term(term, outcome.x);
+      entry.bound = term.bound;
+      entry.comparison = term.property->comparison();
+      entry.satisfied =
+          compare(entry.achieved, entry.comparison, entry.bound);
+      all_satisfied = all_satisfied && entry.satisfied;
+      result.per_property.push_back(std::move(entry));
+    }
+    repair.achieved = result.per_property[0].achieved;
+    repair.status =
+        all_satisfied ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
+  }
+  if (repair.status == SolveStatus::kOptimal) {
+    repair.cost = problem.objective(outcome.x);
+    repair.repaired = scheme.apply(outcome.x);
+    repair.recheck_passed = true;
+    for (const StateFormulaPtr& p : properties) {
+      repair.recheck_passed =
+          repair.recheck_passed && check(*repair.repaired, *p).satisfied;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Greedy policy achieving the given reachability values.
+Policy reachability_policy(const Mdp& mdp, const StateSet& goal,
+                           Objective objective) {
+  const std::vector<double> values = mdp_reachability(mdp, goal, objective);
+  Policy policy;
+  policy.choice_index.assign(mdp.num_states(), 0);
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    const auto& choices = mdp.choices(s);
+    double best = 0.0;
+    std::uint32_t best_c = 0;
+    bool first = true;
+    for (std::uint32_t c = 0; c < choices.size(); ++c) {
+      double q = 0.0;
+      for (const Transition& t : choices[c].transitions) {
+        q += t.probability * values[t.target];
+      }
+      if (first || (objective == Objective::kMaximize ? q > best : q < best)) {
+        best = q;
+        best_c = c;
+        first = false;
+      }
+    }
+    policy.choice_index[s] = best_c;
+  }
+  return policy;
+}
+
+Policy property_policy(const Mdp& mdp, const StateFormula& property) {
+  const Objective objective = property_objective(property);
+  if (property.kind() == StateFormula::Kind::kReward) {
+    TML_REQUIRE(property.reward_path_kind() ==
+                    StateFormula::RewardPathKind::kReachability,
+                "mdp_model_repair: cumulative-reward properties need a "
+                "time-varying policy; repair the induced DTMC directly");
+    const StateSet goal = satisfying_states(mdp, property.reward_target());
+    return total_reward_to_target(mdp, goal, objective).policy;
+  }
+  const PathFormula& path = property.path();
+  TML_REQUIRE(!path.step_bound(),
+              "mdp_model_repair: step-bounded paths need a time-varying "
+              "policy; repair the induced DTMC directly");
+  const StateSet goal = satisfying_states(mdp, path.right());
+  return reachability_policy(mdp, goal, objective);
+}
+
+bool same_policy(const Policy& a, const Policy& b) {
+  return a.choice_index == b.choice_index;
+}
+
+}  // namespace
+
+MdpModelRepairResult mdp_model_repair(
+    const Mdp& mdp, const StateFormula& property,
+    const std::function<PerturbationScheme(const Dtmc&)>& scheme_for,
+    const std::function<Mdp(std::span<const double>)>& rebuild,
+    const ModelRepairConfig& config, std::size_t max_policy_rounds) {
+  require_repairable(property);
+  mdp.validate();
+
+  MdpModelRepairResult result;
+  Policy policy = property_policy(mdp, property);
+
+  for (std::size_t round = 0; round < max_policy_rounds; ++round) {
+    result.policy_rounds = round + 1;
+    const Dtmc induced = mdp.induced_dtmc(policy);
+    const PerturbationScheme scheme = scheme_for(induced);
+    result.inner = model_repair(scheme, property, config);
+    if (!result.inner.feasible()) {
+      return result;  // infeasible at this policy; report as-is
+    }
+    Mdp repaired = rebuild(result.inner.variable_values);
+    repaired.validate();
+    const Policy repaired_policy = property_policy(repaired, property);
+    const bool mdp_satisfied = check(repaired, property).satisfied;
+    result.repaired_mdp = std::move(repaired);
+    result.policy_stable = same_policy(policy, repaired_policy);
+    if (mdp_satisfied) {
+      return result;
+    }
+    if (result.policy_stable) {
+      // Policy did not move but the MDP-level property still fails: the
+      // repair certificate does not transfer. Report infeasible.
+      result.inner.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    policy = repaired_policy;
+  }
+  result.inner.status = SolveStatus::kIterationLimit;
+  return result;
+}
+
+}  // namespace tml

@@ -1,0 +1,188 @@
+#include "src/core/perturbation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tml {
+
+PerturbationScheme::PerturbationScheme(Dtmc base) : base_(std::move(base)) {
+  base_.validate();
+}
+
+Var PerturbationScheme::add_variable(const std::string& name, double lower,
+                                     double upper) {
+  TML_REQUIRE(lower <= upper,
+              "PerturbationScheme: empty bounds for " << name);
+  const Var v = static_cast<Var>(names_.size());
+  names_.push_back(name);
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  return v;
+}
+
+void PerturbationScheme::attach(Var v, StateId from, StateId to,
+                                double coefficient) {
+  TML_REQUIRE(v < names_.size(), "PerturbationScheme::attach: unknown variable");
+  TML_REQUIRE(from < base_.num_states() && to < base_.num_states(),
+              "PerturbationScheme::attach: state out of range");
+  TML_REQUIRE(coefficient != 0.0,
+              "PerturbationScheme::attach: zero coefficient");
+  // Support preservation (Eq. 3): only existing transitions are perturbable.
+  bool exists = false;
+  for (const Transition& t : base_.transitions(from)) {
+    if (t.target == to) {
+      exists = true;
+      break;
+    }
+  }
+  TML_REQUIRE(exists, "PerturbationScheme::attach: transition "
+                          << from << "->" << to
+                          << " absent in base chain (support must be kept)");
+  attachments_.push_back(Attachment{v, from, to, coefficient});
+}
+
+void PerturbationScheme::attach_balanced(Var v, StateId from, StateId raise,
+                                         StateId lower) {
+  attach(v, from, raise, +1.0);
+  attach(v, from, lower, -1.0);
+}
+
+PerturbationScheme::Built PerturbationScheme::build(
+    double probability_margin) const {
+  TML_REQUIRE(!names_.empty(), "PerturbationScheme::build: no variables");
+
+  // Row-sum check: coefficients attached to one row must cancel per
+  // variable.
+  for (StateId s = 0; s < base_.num_states(); ++s) {
+    std::vector<double> row_coeff(names_.size(), 0.0);
+    for (const Attachment& a : attachments_) {
+      if (a.from == s) row_coeff[a.variable] += a.coefficient;
+    }
+    for (std::size_t v = 0; v < names_.size(); ++v) {
+      if (std::abs(row_coeff[v]) > 1e-12) {
+        throw ModelError("PerturbationScheme: variable " + names_[v] +
+                         " changes the row sum of state " + std::to_string(s) +
+                         " by " + std::to_string(row_coeff[v]) +
+                         " — attach balanced coefficients");
+      }
+    }
+  }
+
+  VariablePool pool;
+  for (const std::string& name : names_) pool.declare(name);
+
+  ParametricDtmc chain = ParametricDtmc::from_dtmc(base_, std::move(pool));
+  for (const Attachment& a : attachments_) {
+    chain.add_transition(
+        a.from, a.to,
+        RationalFunction(Polynomial::variable(a.variable) * a.coefficient));
+  }
+
+  // Tighten the box so every perturbed probability stays in
+  // (margin, 1 − margin). With each transition affected by a sum of
+  // variables, we conservatively require, per attachment, that the single
+  // attachment alone cannot push the probability out given the others at
+  // their worst — for the typical one-variable-per-transition schemes this
+  // is exact; multi-variable transitions fall back to the conservative
+  // split of the available slack.
+  Built built{std::move(chain), lower_, upper_, {}};
+  for (std::size_t v = 0; v < names_.size(); ++v) {
+    built.variables.push_back(static_cast<Var>(v));
+  }
+
+  // Group attachments by transition.
+  for (StateId s = 0; s < base_.num_states(); ++s) {
+    for (const Transition& t : base_.transitions(s)) {
+      std::vector<const Attachment*> here;
+      for (const Attachment& a : attachments_) {
+        if (a.from == s && a.to == t.target) here.push_back(&a);
+      }
+      if (here.empty()) continue;
+      const double slack_up = (1.0 - probability_margin) - t.probability;
+      const double slack_down = t.probability - probability_margin;
+      TML_REQUIRE(slack_up > 0.0 && slack_down > 0.0,
+                  "PerturbationScheme: base probability of "
+                      << s << "->" << t.target
+                      << " leaves no perturbation slack");
+      const double share = 1.0 / static_cast<double>(here.size());
+      for (const Attachment* a : here) {
+        // coefficient·v must lie within [−slack_down·share, slack_up·share];
+        // translate to bounds on v itself.
+        const double lo_cv = -slack_down * share;
+        const double hi_cv = slack_up * share;
+        double lo, hi;
+        if (a->coefficient > 0.0) {
+          lo = lo_cv / a->coefficient;
+          hi = hi_cv / a->coefficient;
+        } else {
+          lo = hi_cv / a->coefficient;
+          hi = lo_cv / a->coefficient;
+        }
+        built.lower[a->variable] = std::max(built.lower[a->variable], lo);
+        built.upper[a->variable] = std::min(built.upper[a->variable], hi);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < names_.size(); ++v) {
+    if (built.lower[v] > built.upper[v]) {
+      throw ModelError("PerturbationScheme: empty feasible box for variable " +
+                       names_[v]);
+    }
+  }
+  return built;
+}
+
+double PerturbationScheme::max_perturbation(
+    std::span<const double> values) const {
+  TML_REQUIRE(values.size() == names_.size(),
+              "max_perturbation: value count mismatch");
+  // Entries of Z are sums of attached terms per transition.
+  double bound = 0.0;
+  for (StateId s = 0; s < base_.num_states(); ++s) {
+    for (const Transition& t : base_.transitions(s)) {
+      double z = 0.0;
+      for (const Attachment& a : attachments_) {
+        if (a.from == s && a.to == t.target) {
+          z += a.coefficient * values[a.variable];
+        }
+      }
+      bound = std::max(bound, std::abs(z));
+    }
+  }
+  return bound;
+}
+
+PerturbationScheme PerturbationScheme::with_bounds(
+    const std::function<std::pair<double, double>(std::size_t, double, double)>&
+        transform) const {
+  PerturbationScheme out = *this;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const auto [lo, hi] = transform(i, lower_[i], upper_[i]);
+    TML_REQUIRE(lo <= hi,
+                "with_bounds: empty bounds for variable " << names_[i]);
+    out.lower_[i] = lo;
+    out.upper_[i] = hi;
+  }
+  return out;
+}
+
+Dtmc PerturbationScheme::apply(std::span<const double> values) const {
+  TML_REQUIRE(values.size() == names_.size(),
+              "PerturbationScheme::apply: value count mismatch");
+  Dtmc out = base_;
+  for (StateId s = 0; s < base_.num_states(); ++s) {
+    std::vector<Transition> row = base_.transitions(s);
+    for (Transition& t : row) {
+      for (const Attachment& a : attachments_) {
+        if (a.from == s && a.to == t.target) {
+          t.probability += a.coefficient * values[a.variable];
+        }
+      }
+    }
+    out.set_transitions(s, std::move(row));
+  }
+  out.validate(1e-6);
+  return out;
+}
+
+}  // namespace tml

@@ -1,0 +1,91 @@
+// Perturbation schemes: the feasible repair class Feas_MP of §IV-A.
+//
+// Model Repair perturbs the transition matrix P by a matrix Z of unknowns
+// such that P + Z stays stochastic and keeps the support of P (Eqs. 1–3,
+// Prop. 1). A `PerturbationScheme` describes Z: each repair variable v_k is
+// attached to a set of (state, target) transitions with coefficients, and
+// row-sum preservation requires each row's attached coefficients to cancel
+// (e.g. v lowers an ignore self-loop and raises the forward probability by
+// the same amount — the WSN case study's p and q variables).
+//
+// The scheme also carries the box Feas_MP puts on each variable (the
+// user-specified perturbation limits: "only consider small perturbations"),
+// tightened at build time so every perturbed probability stays strictly
+// inside (ε, 1−ε) — Eq. 6's 0 < v_k + P(i,j) < 1.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/mdp/model.hpp"
+#include "src/parametric/parametric_dtmc.hpp"
+
+namespace tml {
+
+/// Builder for the parametric chain P + Z.
+class PerturbationScheme {
+ public:
+  explicit PerturbationScheme(Dtmc base);
+
+  const Dtmc& base() const { return base_; }
+
+  /// Declares a repair variable with box bounds [lower, upper].
+  Var add_variable(const std::string& name, double lower, double upper);
+
+  /// Attaches `coefficient · v` to transition (from → to). The transition
+  /// must exist in the base chain (support preservation, Eq. 3).
+  void attach(Var v, StateId from, StateId to, double coefficient);
+
+  /// Convenience for the common balanced pair: adds +v to (from → raise)
+  /// and −v to (from → lower), preserving the row sum by construction.
+  void attach_balanced(Var v, StateId from, StateId raise, StateId lower);
+
+  std::size_t num_variables() const { return names_.size(); }
+  const std::vector<std::string>& variable_names() const { return names_; }
+  const std::vector<double>& lower_bounds() const { return lower_; }
+  const std::vector<double>& upper_bounds() const { return upper_; }
+
+  /// Builds the parametric chain and the (possibly tightened) variable box.
+  /// Throws ModelError if a row sum is not symbolically 1, or if no box can
+  /// keep all perturbed probabilities within (margin, 1−margin).
+  struct Built {
+    ParametricDtmc chain;
+    std::vector<double> lower;
+    std::vector<double> upper;
+    std::vector<Var> variables;
+  };
+  Built build(double probability_margin = 1e-6) const;
+
+  /// Applies concrete variable values to the base chain (the repaired M').
+  Dtmc apply(std::span<const double> values) const;
+
+  /// The Proposition 1 bound: the largest absolute entry of Z at these
+  /// values (max |coefficient·v| over attachments). The paper's Prop. 1
+  /// states M and M+Z are ε-bisimilar with ε bounded by this quantity.
+  double max_perturbation(std::span<const double> values) const;
+
+  /// Copy with per-variable bounds rewritten by `transform(index, lo, hi)`
+  /// — used by localized repair to freeze variables ([0,0] boxes) without
+  /// disturbing variable ids or attachments.
+  PerturbationScheme with_bounds(
+      const std::function<std::pair<double, double>(std::size_t, double,
+                                                    double)>& transform) const;
+
+ private:
+  struct Attachment {
+    Var variable;
+    StateId from;
+    StateId to;
+    double coefficient;
+  };
+
+  Dtmc base_;
+  std::vector<std::string> names_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<Attachment> attachments_;
+};
+
+}  // namespace tml

@@ -1,0 +1,125 @@
+// Reward Repair (§IV-C, Definition 2, Equations 16–18, Proposition 4).
+//
+// Two methods, matching the paper:
+//
+// 1. Posterior-regularization projection (Prop. 4). The max-ent trajectory
+//    distribution P(U|Θ) is projected onto the rule-satisfying subspace:
+//
+//        Q(U) = (1/Z) · P(U) · exp(−Σ_l λ_l [1 − φ_l(U)])
+//
+//    — trajectories violating a rule are exponentially down-weighted
+//    (probability → 0 as λ → ∞). The repaired reward Θ' is re-estimated
+//    from Q by matching its feature expectations (the same fixed point the
+//    IRL inner loop solves). We realize E_Q[·] by importance-weighted
+//    sampling from P (trajectories drawn from the soft policy, reweighted
+//    by the exponential rule factor), following the paper's Gibbs-sampling
+//    remark for grounding first-order/temporal rules.
+//
+// 2. Constrained Q-value repair (the §V-B case-study formulation):
+//
+//        min ‖Θ' − Θ‖²  s.t.  Q_{Θ'}(s, a_safe) ≥ Q_{Θ'}(s, a_unsafe) + δ
+//
+//    for a list of state/action dominance constraints, with Q computed by
+//    discounted value iteration under Θ'. Solved with the derivative-free
+//    NLP path (the Q constraint re-runs VI per evaluation).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/irl/max_ent_irl.hpp"
+#include "src/logic/trajectory_rule.hpp"
+#include "src/opt/solvers.hpp"
+
+namespace tml {
+
+/// One weighted rule λ_l · φ_l of Eq. 17–18.
+struct WeightedRule {
+  TrajectoryRulePtr rule;
+  double lambda = 10.0;  ///< importance weight; large ⇒ hard constraint
+  std::string name;
+};
+
+// ---------------------------------------------------------------------------
+// Method 1: posterior-regularization projection (Prop. 4).
+
+struct ProjectionConfig {
+  std::size_t horizon = 12;       ///< trajectory length for sampling
+  std::size_t num_samples = 4000; ///< Monte-Carlo sample size from P(U|Θ)
+  IrlOptions refit;               ///< options for re-estimating Θ' from Q
+  std::uint64_t seed = 7;
+};
+
+struct ProjectionResult {
+  std::vector<double> theta_before;
+  std::vector<double> theta_after;
+  /// Per-rule satisfaction rates E_P[φ_l] (before) and E_Q[φ_l] (after
+  /// projection; Eq. 18's target is 1).
+  std::vector<double> satisfaction_before;
+  std::vector<double> satisfaction_after;
+  /// Per-rule satisfaction under trajectories of the *repaired* policy.
+  std::vector<double> satisfaction_repaired;
+  /// Monte-Carlo estimate of KL(Q ‖ P) (Eq. 17's objective term).
+  double kl_divergence = 0.0;
+  bool refit_converged = false;
+};
+
+/// Projects the trajectory distribution of (mdp, features, theta) onto the
+/// rules and re-estimates the reward weights.
+ProjectionResult reward_repair_projection(const Mdp& mdp,
+                                          const StateFeatures& features,
+                                          std::span<const double> theta,
+                                          const std::vector<WeightedRule>& rules,
+                                          const ProjectionConfig& config = {});
+
+// ---------------------------------------------------------------------------
+// Method 2: constrained Q-value repair (§V-B).
+
+/// Dominance constraint Q(state, preferred) >= Q(state, dominated) + margin.
+struct QDominanceConstraint {
+  StateId state = 0;
+  std::uint32_t preferred_choice = 0;
+  std::uint32_t dominated_choice = 0;
+  double margin = 1e-3;
+};
+
+struct QRepairConfig {
+  double discount = 0.9;
+  /// Bound on each |Θ'_k − Θ_k| (the search box).
+  double max_weight_change = 1.0;
+  /// Feature indices whose weights must not change (Feas_MR restriction —
+  /// §V-B repairs only the distance-to-unsafe weight).
+  std::vector<std::size_t> frozen;
+  SolveOptions solver;
+};
+
+struct QRepairResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  std::vector<double> theta_before;
+  std::vector<double> theta_after;
+  double cost = 0.0;  ///< ‖Θ' − Θ‖²
+  Policy policy_before;
+  Policy policy_after;
+  /// Slack of each constraint at the solution (>= 0 when satisfied).
+  std::vector<double> constraint_slack;
+
+  bool feasible() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Minimal reward-weight change enforcing the Q dominance constraints.
+QRepairResult reward_repair_q_constraints(
+    const Mdp& mdp, const StateFeatures& features,
+    std::span<const double> theta,
+    const std::vector<QDominanceConstraint>& constraints,
+    const QRepairConfig& config = {});
+
+/// Helper: optimal policy under Θ (discounted VI) — used by the benches to
+/// exhibit the unsafe policy before repair and the safe one after.
+Policy optimal_policy_for_theta(const Mdp& mdp, const StateFeatures& features,
+                                std::span<const double> theta,
+                                double discount);
+
+}  // namespace tml

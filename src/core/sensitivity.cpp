@@ -1,0 +1,70 @@
+#include "src/core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tml {
+
+SensitivityReport sensitivity_analysis(const PerturbationScheme& scheme,
+                                       const StateFormula& property,
+                                       const ModelRepairConfig& config) {
+  const PerturbationScheme::Built built =
+      scheme.build(config.probability_margin);
+  const RationalFunction f =
+      parametric_property_function(built.chain, scheme.base(), property);
+
+  SensitivityReport report;
+  report.function_text = f.to_string(built.chain.pool().namer());
+  const std::vector<double> origin(scheme.num_variables(), 0.0);
+  report.nominal_value = f.evaluate(origin);
+
+  for (std::size_t i = 0; i < scheme.num_variables(); ++i) {
+    const Var v = built.variables[i];
+    VariableSensitivity entry;
+    entry.variable = v;
+    entry.name = scheme.variable_names()[i];
+    entry.derivative = f.derivative(v).evaluate(origin);
+    // The usable range in the direction that helps the property is bounded
+    // by the box; the first-order leverage uses the larger side.
+    const double range = std::max(std::abs(built.lower[i]),
+                                  std::abs(built.upper[i]));
+    entry.leverage = std::abs(entry.derivative) * range;
+    report.variables.push_back(entry);
+  }
+  std::sort(report.variables.begin(), report.variables.end(),
+            [](const VariableSensitivity& a, const VariableSensitivity& b) {
+              return a.leverage > b.leverage;
+            });
+  return report;
+}
+
+LocalizedRepairResult localized_model_repair(const PerturbationScheme& scheme,
+                                             const StateFormula& property,
+                                             std::size_t top_k,
+                                             const ModelRepairConfig& config) {
+  TML_REQUIRE(top_k > 0, "localized_model_repair: top_k must be positive");
+  LocalizedRepairResult result;
+  result.sensitivity = sensitivity_analysis(scheme, property, config);
+
+  // Freeze everything outside the top-k by collapsing its box to {0}.
+  std::vector<bool> active(scheme.num_variables(), false);
+  for (std::size_t rank = 0;
+       rank < std::min(top_k, result.sensitivity.variables.size()); ++rank) {
+    const Var v = result.sensitivity.variables[rank].variable;
+    active[v] = true;
+    result.active_variables.push_back(result.sensitivity.variables[rank].name);
+  }
+
+  // Run the full repair with the inactive variables' boxes collapsed to
+  // {0}: variable ids, attachments and the parametric function all stay
+  // aligned with the full scheme.
+  const PerturbationScheme reduced =
+      scheme.with_bounds([&](std::size_t i, double lo, double hi) {
+        return active[i] ? std::pair<double, double>{lo, hi}
+                         : std::pair<double, double>{0.0, 0.0};
+      });
+  result.repair = model_repair(reduced, property, config);
+  return result;
+}
+
+}  // namespace tml

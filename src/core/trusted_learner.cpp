@@ -1,0 +1,72 @@
+#include "src/core/trusted_learner.hpp"
+
+#include "src/checker/check.hpp"
+#include "src/learn/mle.hpp"
+
+namespace tml {
+
+std::string to_string(TmlStage stage) {
+  switch (stage) {
+    case TmlStage::kLearnedModelSatisfies: return "learned-model-satisfies";
+    case TmlStage::kModelRepair: return "model-repair";
+    case TmlStage::kDataRepair: return "data-repair";
+    case TmlStage::kUnsatisfiable: return "unsatisfiable";
+  }
+  return "?";
+}
+
+TrustedLearnerReport trusted_learn(const Dtmc& structure,
+                                   const TrajectoryDataset& data,
+                                   const StateFormula& property,
+                                   const TrustedLearnerConfig& config) {
+  TML_REQUIRE(property.kind() == StateFormula::Kind::kProb ||
+                  property.kind() == StateFormula::Kind::kReward,
+              "trusted_learn: property must be a bounded P or R operator");
+
+  TrustedLearnerReport report;
+
+  // Step 1: learn.
+  report.learned = mle_dtmc(structure, data, config.mle_pseudocount);
+
+  // Step 2: verify.
+  const CheckResult initial = check(report.learned, property);
+  report.learned_satisfies = initial.satisfied;
+  report.learned_value = initial.value;
+  if (initial.satisfied) {
+    report.stage = TmlStage::kLearnedModelSatisfies;
+    report.trusted = report.learned;
+    report.trusted_satisfies = true;
+    return report;
+  }
+
+  // Step 3: Model Repair.
+  if (config.perturbation) {
+    const PerturbationScheme scheme = config.perturbation(report.learned);
+    report.model_repair =
+        model_repair(scheme, property, config.model_repair);
+    if (report.model_repair->feasible() &&
+        report.model_repair->recheck_passed) {
+      report.stage = TmlStage::kModelRepair;
+      report.trusted = report.model_repair->repaired;
+      report.trusted_satisfies = true;
+      return report;
+    }
+  }
+
+  // Step 4: Data Repair.
+  if (!config.groups.empty()) {
+    report.data_repair = data_repair(structure, data, config.groups, property,
+                                     config.data_repair);
+    if (report.data_repair->feasible() && report.data_repair->recheck_passed) {
+      report.stage = TmlStage::kDataRepair;
+      report.trusted = report.data_repair->relearned;
+      report.trusted_satisfies = true;
+      return report;
+    }
+  }
+
+  report.stage = TmlStage::kUnsatisfiable;
+  return report;
+}
+
+}  // namespace tml

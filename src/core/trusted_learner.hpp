@@ -1,0 +1,72 @@
+// The Trusted Machine Learning pipeline of §II.
+//
+// Given a dataset D, a model structure, and a property φ:
+//
+//   1. learn M = ML(D) by maximum likelihood;
+//   2. verify M ⊨ φ — if it holds, output M;
+//   3. otherwise run Model Repair; if it returns a feasible M' ⊨ φ,
+//      output M';
+//   4. otherwise run Data Repair; if re-learning from the repaired data
+//      yields M'' ⊨ φ, output M'';
+//   5. otherwise report that φ cannot be satisfied under the configured
+//      repair classes.
+//
+// (Reward Repair is a separate entry point — src/core/reward_repair.hpp —
+// because it operates on IRL-learned rewards rather than on transition
+// probabilities.)
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/core/data_repair.hpp"
+#include "src/core/model_repair.hpp"
+
+namespace tml {
+
+/// Which stage produced the final model.
+enum class TmlStage {
+  kLearnedModelSatisfies,  ///< M = ML(D) already ⊨ φ
+  kModelRepair,            ///< repaired transition probabilities
+  kDataRepair,             ///< repaired dataset, re-learned model
+  kUnsatisfiable           ///< no configured repair succeeds
+};
+
+std::string to_string(TmlStage stage);
+
+struct TrustedLearnerConfig {
+  double mle_pseudocount = 0.0;
+  ModelRepairConfig model_repair;
+  DataRepairConfig data_repair;
+  /// Feasible model perturbations (Feas_MP): builds the scheme on the
+  /// learned chain. If absent, the Model Repair stage is skipped.
+  std::function<PerturbationScheme(const Dtmc&)> perturbation;
+  /// Feasible data perturbations (Feas_D): groups of the dataset. If empty,
+  /// the Data Repair stage is skipped.
+  std::vector<RepairGroup> groups;
+};
+
+struct TrustedLearnerReport {
+  TmlStage stage = TmlStage::kUnsatisfiable;
+  /// The model ML(D) learned in step 1 and its property value.
+  Dtmc learned;
+  bool learned_satisfies = false;
+  std::optional<double> learned_value;
+  /// Stage results (present when the stage ran).
+  std::optional<ModelRepairResult> model_repair;
+  std::optional<DataRepairResult> data_repair;
+  /// The final trusted model (absent when kUnsatisfiable).
+  std::optional<Dtmc> trusted;
+  /// Final verdict of the checker on `trusted`.
+  bool trusted_satisfies = false;
+};
+
+/// Runs the full pipeline for a DTMC structure.
+TrustedLearnerReport trusted_learn(const Dtmc& structure,
+                                   const TrajectoryDataset& data,
+                                   const StateFormula& property,
+                                   const TrustedLearnerConfig& config);
+
+}  // namespace tml

@@ -1,0 +1,394 @@
+#include "src/hmm/hmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tml {
+
+namespace {
+
+void check_distribution(const std::vector<double>& row, double tol,
+                        const std::string& what) {
+  double sum = 0.0;
+  for (double p : row) {
+    if (p < -tol || p > 1.0 + tol) {
+      throw ModelError(what + ": entry " + std::to_string(p) +
+                       " out of [0,1]");
+    }
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > tol) {
+    throw ModelError(what + ": sums to " + std::to_string(sum));
+  }
+}
+
+std::size_t sample_index(const std::vector<double>& dist, Rng& rng) {
+  return rng.categorical(dist);
+}
+
+}  // namespace
+
+void Hmm::validate(double tol) const {
+  if (initial.empty()) throw ModelError("Hmm: no states");
+  if (transition.size() != num_states() || emission.size() != num_states()) {
+    throw ModelError("Hmm: matrix row counts disagree with num_states");
+  }
+  check_distribution(initial, tol, "Hmm initial");
+  for (std::size_t i = 0; i < num_states(); ++i) {
+    if (transition[i].size() != num_states()) {
+      throw ModelError("Hmm: transition row size mismatch");
+    }
+    check_distribution(transition[i], tol,
+                       "Hmm transition row " + std::to_string(i));
+    if (emission[i].size() != num_symbols() || emission[i].empty()) {
+      throw ModelError("Hmm: emission row size mismatch");
+    }
+    check_distribution(emission[i], tol,
+                       "Hmm emission row " + std::to_string(i));
+  }
+}
+
+Hmm::Sample Hmm::sample(std::size_t length, Rng& rng) const {
+  validate();
+  Sample out;
+  if (length == 0) return out;
+  std::size_t state = sample_index(initial, rng);
+  for (std::size_t t = 0; t < length; ++t) {
+    out.states.push_back(state);
+    out.observations.push_back(sample_index(emission[state], rng));
+    state = sample_index(transition[state], rng);
+  }
+  return out;
+}
+
+namespace {
+
+/// Scaled forward–backward against (possibly reweighted) emission scores.
+/// `score[i][o]` plays the role of B and need not be normalized — posterior
+/// regularization multiplies in exp(−λ) factors.
+HmmPosterior forward_backward_scored(
+    const Hmm& hmm, const ObservationSequence& obs,
+    const std::vector<std::vector<double>>& score) {
+  const std::size_t n = hmm.num_states();
+  const std::size_t len = obs.size();
+  TML_REQUIRE(len > 0, "forward_backward: empty observation sequence");
+  for (std::size_t o : obs) {
+    TML_REQUIRE(o < hmm.num_symbols(),
+                "forward_backward: observation symbol " << o
+                    << " out of range");
+  }
+
+  std::vector<std::vector<double>> alpha(len, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> beta(len, std::vector<double>(n, 0.0));
+  std::vector<double> scale(len, 0.0);
+
+  // Forward.
+  for (std::size_t i = 0; i < n; ++i) {
+    alpha[0][i] = hmm.initial[i] * score[i][obs[0]];
+    scale[0] += alpha[0][i];
+  }
+  TML_REQUIRE(scale[0] > 0.0, "forward_backward: impossible observation 0");
+  for (double& a : alpha[0]) a /= scale[0];
+  for (std::size_t t = 1; t < len; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += alpha[t - 1][i] * hmm.transition[i][j];
+      }
+      alpha[t][j] = acc * score[j][obs[t]];
+      scale[t] += alpha[t][j];
+    }
+    TML_REQUIRE(scale[t] > 0.0,
+                "forward_backward: impossible observation at position " << t);
+    for (double& a : alpha[t]) a /= scale[t];
+  }
+
+  // Backward (same scaling).
+  for (std::size_t i = 0; i < n; ++i) beta[len - 1][i] = 1.0;
+  for (std::size_t t = len - 1; t-- > 0;) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += hmm.transition[i][j] * score[j][obs[t + 1]] * beta[t + 1][j];
+      }
+      beta[t][i] = acc / scale[t + 1];
+    }
+  }
+
+  HmmPosterior posterior;
+  posterior.gamma.assign(len, std::vector<double>(n, 0.0));
+  for (std::size_t t = 0; t < len; ++t) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      posterior.gamma[t][i] = alpha[t][i] * beta[t][i];
+      total += posterior.gamma[t][i];
+    }
+    TML_ASSERT(total > 0.0, "forward_backward: zero posterior mass");
+    for (double& g : posterior.gamma[t]) g /= total;
+  }
+
+  if (len > 1) {
+    posterior.xi.assign(
+        len - 1,
+        std::vector<std::vector<double>>(n, std::vector<double>(n, 0.0)));
+    for (std::size_t t = 0; t + 1 < len; ++t) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const double v = alpha[t][i] * hmm.transition[i][j] *
+                           score[j][obs[t + 1]] * beta[t + 1][j];
+          posterior.xi[t][i][j] = v;
+          total += v;
+        }
+      }
+      TML_ASSERT(total > 0.0, "forward_backward: zero xi mass");
+      for (auto& row : posterior.xi[t]) {
+        for (double& v : row) v /= total;
+      }
+    }
+  }
+
+  posterior.log_likelihood = 0.0;
+  for (double c : scale) posterior.log_likelihood += std::log(c);
+  return posterior;
+}
+
+double occupancy(const HmmPosterior& posterior, std::size_t state) {
+  double total = 0.0;
+  for (const auto& slice : posterior.gamma) total += slice[state];
+  return total;
+}
+
+}  // namespace
+
+HmmPosterior forward_backward(const Hmm& hmm, const ObservationSequence& obs) {
+  hmm.validate();
+  return forward_backward_scored(hmm, obs, hmm.emission);
+}
+
+double log_likelihood(const Hmm& hmm, const ObservationSequence& obs) {
+  return forward_backward(hmm, obs).log_likelihood;
+}
+
+std::vector<std::size_t> viterbi(const Hmm& hmm,
+                                 const ObservationSequence& obs) {
+  hmm.validate();
+  const std::size_t n = hmm.num_states();
+  const std::size_t len = obs.size();
+  TML_REQUIRE(len > 0, "viterbi: empty observation sequence");
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  auto safe_log = [](double p) {
+    return p > 0.0 ? std::log(p) : -1e300;
+  };
+
+  std::vector<std::vector<double>> delta(len, std::vector<double>(n, kNegInf));
+  std::vector<std::vector<std::size_t>> arg(len,
+                                            std::vector<std::size_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    delta[0][i] = safe_log(hmm.initial[i]) + safe_log(hmm.emission[i][obs[0]]);
+  }
+  for (std::size_t t = 1; t < len; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double best = kNegInf;
+      std::size_t best_i = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = delta[t - 1][i] + safe_log(hmm.transition[i][j]);
+        if (v > best) {
+          best = v;
+          best_i = i;
+        }
+      }
+      delta[t][j] = best + safe_log(hmm.emission[j][obs[t]]);
+      arg[t][j] = best_i;
+    }
+  }
+  std::vector<std::size_t> path(len, 0);
+  path[len - 1] = static_cast<std::size_t>(
+      std::max_element(delta[len - 1].begin(), delta[len - 1].end()) -
+      delta[len - 1].begin());
+  for (std::size_t t = len - 1; t-- > 0;) {
+    path[t] = arg[t + 1][path[t + 1]];
+  }
+  return path;
+}
+
+namespace {
+
+/// Projects a sequence's posterior onto the occupancy constraints via
+/// per-state multipliers λ: the emission scores of constrained states are
+/// damped by exp(−λ) and forward–backward re-run — the exact
+/// posterior-regularization projection for expectation constraints on a
+/// chain. Occupancy is monotone non-increasing in the state's own λ, so
+/// each multiplier is found by bisection (coordinate-wise rounds for
+/// multiple constraints), which — unlike fixed-step dual ascent — cannot
+/// oscillate and always lands on the feasible side of the bound.
+HmmPosterior project_posterior(const Hmm& hmm, const ObservationSequence& obs,
+                               const std::vector<OccupancyConstraint>& cs,
+                               const EmOptions& options) {
+  HmmPosterior posterior = forward_backward_scored(hmm, obs, hmm.emission);
+  if (cs.empty()) return posterior;
+
+  std::vector<double> lambda(cs.size(), 0.0);
+  auto run_with = [&](const std::vector<double>& lambdas) {
+    std::vector<std::vector<double>> score = hmm.emission;
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      const double damp = std::exp(-lambdas[k]);
+      for (double& s : score[cs[k].state]) s *= damp;
+    }
+    return forward_backward_scored(hmm, obs, score);
+  };
+
+  const std::size_t coordinate_rounds = cs.size() == 1 ? 1 : 3;
+  for (std::size_t round = 0; round < coordinate_rounds; ++round) {
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      lambda[k] = 0.0;
+      posterior = run_with(lambda);
+      if (occupancy(posterior, cs[k].state) <=
+          cs[k].max_expected_visits + 1e-9) {
+        continue;  // inactive constraint
+      }
+      // Find an upper bracket where the bound holds.
+      double hi = 1.0;
+      const double hi_cap = 64.0;
+      while (hi < hi_cap) {
+        lambda[k] = hi;
+        posterior = run_with(lambda);
+        if (occupancy(posterior, cs[k].state) <=
+            cs[k].max_expected_visits) {
+          break;
+        }
+        hi *= 2.0;
+      }
+      double lo = 0.0;
+      for (std::size_t it = 0; it < options.projection_iterations; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        lambda[k] = mid;
+        posterior = run_with(lambda);
+        if (occupancy(posterior, cs[k].state) <=
+            cs[k].max_expected_visits) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      // End on the feasible side.
+      lambda[k] = hi;
+      posterior = run_with(lambda);
+    }
+  }
+  return posterior;
+}
+
+Hmm m_step(const Hmm& shape, const std::vector<HmmPosterior>& posteriors,
+           const std::vector<ObservationSequence>& data, double smoothing) {
+  const std::size_t n = shape.num_states();
+  const std::size_t m = shape.num_symbols();
+  Hmm out = shape;
+
+  std::vector<double> pi(n, smoothing);
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, smoothing));
+  std::vector<std::vector<double>> b(n, std::vector<double>(m, smoothing));
+
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    const HmmPosterior& post = posteriors[s];
+    for (std::size_t i = 0; i < n; ++i) pi[i] += post.gamma[0][i];
+    for (const auto& slice : post.xi) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) a[i][j] += slice[i][j];
+      }
+    }
+    for (std::size_t t = 0; t < data[s].size(); ++t) {
+      for (std::size_t i = 0; i < n; ++i) {
+        b[i][data[s][t]] += post.gamma[t][i];
+      }
+    }
+  }
+
+  auto normalize = [](std::vector<double>& row) {
+    double sum = 0.0;
+    for (double v : row) sum += v;
+    TML_REQUIRE(sum > 0.0, "m_step: empty row");
+    for (double& v : row) v /= sum;
+  };
+  normalize(pi);
+  for (auto& row : a) normalize(row);
+  for (auto& row : b) normalize(row);
+  out.initial = std::move(pi);
+  out.transition = std::move(a);
+  out.emission = std::move(b);
+  return out;
+}
+
+EmResult em_loop(const Hmm& initial_model,
+                 const std::vector<ObservationSequence>& data,
+                 const std::vector<OccupancyConstraint>& constraints,
+                 const EmOptions& options) {
+  initial_model.validate();
+  TML_REQUIRE(!data.empty(), "baum_welch: no observation sequences");
+  for (const auto& seq : data) {
+    TML_REQUIRE(!seq.empty(), "baum_welch: empty observation sequence");
+  }
+
+  EmResult result;
+  result.model = initial_model;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    std::vector<HmmPosterior> posteriors;
+    posteriors.reserve(data.size());
+    double ll = 0.0;
+    for (const auto& seq : data) {
+      // The reported likelihood is under the unprojected model; the
+      // projection only shapes the posterior the M-step consumes.
+      ll += log_likelihood(result.model, seq);
+      posteriors.push_back(
+          project_posterior(result.model, seq, constraints, options));
+    }
+    result.log_likelihood_trace.push_back(ll);
+    result.model =
+        m_step(result.model, posteriors, data, options.smoothing);
+
+    result.constrained_occupancy.assign(constraints.size(), 0.0);
+    for (std::size_t k = 0; k < constraints.size(); ++k) {
+      for (const HmmPosterior& post : posteriors) {
+        result.constrained_occupancy[k] += occupancy(post,
+                                                     constraints[k].state);
+      }
+      result.constrained_occupancy[k] /= static_cast<double>(data.size());
+    }
+
+    if (result.log_likelihood_trace.size() >= 2) {
+      const double prev = result.log_likelihood_trace[
+          result.log_likelihood_trace.size() - 2];
+      if (std::abs(ll - prev) < options.tolerance * (1.0 + std::abs(prev))) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+EmResult baum_welch(const Hmm& initial_model,
+                    const std::vector<ObservationSequence>& data,
+                    const EmOptions& options) {
+  return em_loop(initial_model, data, {}, options);
+}
+
+EmResult constrained_baum_welch(
+    const Hmm& initial_model, const std::vector<ObservationSequence>& data,
+    const std::vector<OccupancyConstraint>& constraints,
+    const EmOptions& options) {
+  for (const OccupancyConstraint& c : constraints) {
+    TML_REQUIRE(c.state < initial_model.num_states(),
+                "constrained_baum_welch: constrained state out of range");
+    TML_REQUIRE(c.max_expected_visits >= 0.0,
+                "constrained_baum_welch: negative occupancy bound");
+  }
+  return em_loop(initial_model, data, constraints, options);
+}
+
+}  // namespace tml

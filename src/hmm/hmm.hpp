@@ -1,0 +1,117 @@
+// Hidden Markov models with constrained EM learning.
+//
+// §VII of the paper sketches how TML extends to "probabilistic models that
+// have hidden states (e.g., Hidden Markov Models): we can incorporate the
+// temporal constraints into the E-step of an EM algorithm for parameter
+// learning." This module implements that extension:
+//
+//  * a discrete-observation HMM (initial distribution π, transition matrix
+//    A, emission matrix B) with exact forward–backward inference in scaled
+//    form and Baum–Welch (EM) parameter learning; and
+//  * *constrained* Baum–Welch: after each E-step, the posterior over
+//    hidden-state trajectories is projected onto a constraint set via
+//    posterior regularization — the same Prop. 4 machinery Reward Repair
+//    uses. Constraints bound the expected occupancy of designated hidden
+//    states per trajectory (e.g. "the expected number of visits to the
+//    `unsafe` hidden state is at most c"), and the projection multiplies
+//    the per-position posterior of the constrained state by exp(−λ) until
+//    the bound holds (a dual ascent on the single-constraint Lagrangian).
+//
+// The M-step then re-estimates (π, A, B) from the projected posteriors, so
+// the learned dynamics respect the constraint in expectation — the TML
+// guarantee transported to partially observed models.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace tml {
+
+/// Discrete-observation HMM. Rows of `transition` and `emission` are
+/// distributions; `initial` is a distribution over hidden states.
+struct Hmm {
+  std::vector<double> initial;                   ///< π[state]
+  std::vector<std::vector<double>> transition;   ///< A[from][to]
+  std::vector<std::vector<double>> emission;     ///< B[state][symbol]
+
+  std::size_t num_states() const { return initial.size(); }
+  std::size_t num_symbols() const {
+    return emission.empty() ? 0 : emission[0].size();
+  }
+
+  void validate(double tol = 1e-9) const;
+
+  /// Samples a trajectory of hidden states and observations.
+  struct Sample {
+    std::vector<std::size_t> states;
+    std::vector<std::size_t> observations;
+  };
+  Sample sample(std::size_t length, Rng& rng) const;
+};
+
+/// An observation sequence.
+using ObservationSequence = std::vector<std::size_t>;
+
+/// Posterior quantities of one sequence (scaled forward–backward).
+struct HmmPosterior {
+  /// gamma[t][i] = P(state_t = i | observations).
+  std::vector<std::vector<double>> gamma;
+  /// xi[t][i][j] = P(state_t = i, state_{t+1} = j | observations),
+  /// t = 0..T−2.
+  std::vector<std::vector<std::vector<double>>> xi;
+  double log_likelihood = 0.0;
+};
+
+/// Exact forward–backward.
+HmmPosterior forward_backward(const Hmm& hmm, const ObservationSequence& obs);
+
+/// Log-likelihood of a sequence.
+double log_likelihood(const Hmm& hmm, const ObservationSequence& obs);
+
+/// Most probable hidden path (Viterbi).
+std::vector<std::size_t> viterbi(const Hmm& hmm,
+                                 const ObservationSequence& obs);
+
+/// Occupancy constraint on the posterior: the expected number of visits to
+/// `state` over a sequence must not exceed `max_expected_visits`.
+struct OccupancyConstraint {
+  std::size_t state = 0;
+  double max_expected_visits = 0.0;
+};
+
+struct EmOptions {
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-6;       ///< log-likelihood improvement threshold
+  double smoothing = 1e-6;       ///< M-step additive smoothing
+  /// Dual-ascent controls for the constrained E-step projection.
+  std::size_t projection_iterations = 60;
+  double projection_step = 0.5;
+};
+
+struct EmResult {
+  Hmm model;
+  std::vector<double> log_likelihood_trace;  ///< per EM iteration
+  std::size_t iterations = 0;
+  bool converged = false;
+  /// Expected visits to each constrained state under the final posteriors
+  /// (averaged over sequences).
+  std::vector<double> constrained_occupancy;
+};
+
+/// Plain Baum–Welch.
+EmResult baum_welch(const Hmm& initial_model,
+                    const std::vector<ObservationSequence>& data,
+                    const EmOptions& options = {});
+
+/// Constrained Baum–Welch: every E-step posterior is projected to satisfy
+/// the occupancy constraints before the M-step re-estimates parameters.
+EmResult constrained_baum_welch(
+    const Hmm& initial_model, const std::vector<ObservationSequence>& data,
+    const std::vector<OccupancyConstraint>& constraints,
+    const EmOptions& options = {});
+
+}  // namespace tml

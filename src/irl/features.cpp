@@ -1,0 +1,45 @@
+#include "src/irl/features.hpp"
+
+#include "src/common/matrix.hpp"
+
+namespace tml {
+
+void StateFeatures::set(StateId s, std::size_t feature, double value) {
+  TML_REQUIRE(s < rows_.size(), "StateFeatures::set: state out of range");
+  TML_REQUIRE(feature < dim_, "StateFeatures::set: feature out of range");
+  rows_[s][feature] = value;
+}
+
+void StateFeatures::set_row(StateId s, std::vector<double> row) {
+  TML_REQUIRE(s < rows_.size(), "StateFeatures::set_row: state out of range");
+  TML_REQUIRE(row.size() == dim_, "StateFeatures::set_row: dim mismatch");
+  rows_[s] = std::move(row);
+}
+
+const std::vector<double>& StateFeatures::row(StateId s) const {
+  TML_REQUIRE(s < rows_.size(), "StateFeatures::row: state out of range");
+  return rows_[s];
+}
+
+std::vector<double> StateFeatures::rewards(std::span<const double> theta) const {
+  TML_REQUIRE(theta.size() == dim_, "StateFeatures::rewards: theta dim mismatch");
+  std::vector<double> out(rows_.size(), 0.0);
+  for (std::size_t s = 0; s < rows_.size(); ++s) {
+    out[s] = dot(rows_[s], theta);
+  }
+  return out;
+}
+
+Mdp with_linear_reward(const Mdp& mdp, const StateFeatures& features,
+                       std::span<const double> theta) {
+  TML_REQUIRE(features.num_states() == mdp.num_states(),
+              "with_linear_reward: feature table size mismatch");
+  Mdp out = mdp;
+  const std::vector<double> rewards = features.rewards(theta);
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    out.set_state_reward(s, rewards[s]);
+  }
+  return out;
+}
+
+}  // namespace tml

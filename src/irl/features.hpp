@@ -1,0 +1,43 @@
+// State feature maps for linear reward functions.
+//
+// §IV-C / §V-B: the reward of a state is linear in its features,
+// reward(s) = Θᵀ f(s). The car case study uses three features per state
+// (lane indicator, distance to the nearest unsafe state, goal indicator).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// Dense per-state feature matrix.
+class StateFeatures {
+ public:
+  StateFeatures() = default;
+  StateFeatures(std::size_t num_states, std::size_t dim)
+      : dim_(dim), rows_(num_states, std::vector<double>(dim, 0.0)) {}
+
+  std::size_t num_states() const { return rows_.size(); }
+  std::size_t dim() const { return dim_; }
+
+  void set(StateId s, std::size_t feature, double value);
+  void set_row(StateId s, std::vector<double> row);
+  const std::vector<double>& row(StateId s) const;
+
+  /// reward(s) = θᵀ f(s) for every state.
+  std::vector<double> rewards(std::span<const double> theta) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Applies θ to the features and installs the resulting state rewards on a
+/// copy of the MDP.
+Mdp with_linear_reward(const Mdp& mdp, const StateFeatures& features,
+                       std::span<const double> theta);
+
+}  // namespace tml

@@ -1,0 +1,199 @@
+#include "src/irl/max_ent_irl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/matrix.hpp"
+
+namespace tml {
+
+namespace {
+
+double log_sum_exp(std::span<const double> xs) {
+  double m = xs[0];
+  for (double x : xs) m = std::max(m, x);
+  if (!std::isfinite(m)) return m;
+  double acc = 0.0;
+  for (double x : xs) acc += std::exp(x - m);
+  return m + std::log(acc);
+}
+
+}  // namespace
+
+RandomizedPolicy SoftPolicy::average() const {
+  TML_REQUIRE(!pi.empty(), "SoftPolicy::average: empty policy");
+  RandomizedPolicy out;
+  const std::size_t n = pi[0].size();
+  out.choice_probabilities.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    out.choice_probabilities[s].assign(pi[0][s].size(), 0.0);
+    for (const auto& slice : pi) {
+      for (std::size_t c = 0; c < slice[s].size(); ++c) {
+        out.choice_probabilities[s][c] += slice[s][c];
+      }
+    }
+    for (double& p : out.choice_probabilities[s]) {
+      p /= static_cast<double>(pi.size());
+    }
+  }
+  return out;
+}
+
+SoftPolicy soft_value_iteration(const Mdp& mdp,
+                                std::span<const double> state_rewards,
+                                std::size_t horizon) {
+  TML_REQUIRE(state_rewards.size() == mdp.num_states(),
+              "soft_value_iteration: reward vector size mismatch");
+  TML_REQUIRE(horizon > 0, "soft_value_iteration: zero horizon");
+  const std::size_t n = mdp.num_states();
+
+  SoftPolicy policy;
+  policy.pi.assign(horizon, {});
+
+  // V at time `horizon` is 0 (no reward after the last step departs).
+  std::vector<double> v(n, 0.0);
+  std::vector<double> v_prev(n, 0.0);
+  for (std::size_t t = horizon; t-- > 0;) {
+    auto& slice = policy.pi[t];
+    slice.resize(n);
+    for (StateId s = 0; s < n; ++s) {
+      const auto& choices = mdp.choices(s);
+      std::vector<double> q(choices.size(), 0.0);
+      for (std::size_t c = 0; c < choices.size(); ++c) {
+        double expect = 0.0;
+        for (const Transition& tr : choices[c].transitions) {
+          expect += tr.probability * v[tr.target];
+        }
+        q[c] = state_rewards[s] + choices[c].reward + expect;
+      }
+      const double lse = log_sum_exp(q);
+      v_prev[s] = lse;
+      slice[s].resize(choices.size());
+      for (std::size_t c = 0; c < choices.size(); ++c) {
+        slice[s][c] = std::exp(q[c] - lse);
+      }
+    }
+    v.swap(v_prev);
+  }
+  return policy;
+}
+
+std::vector<std::vector<double>> state_visitation(const Mdp& mdp,
+                                                  const SoftPolicy& policy) {
+  const std::size_t n = mdp.num_states();
+  const std::size_t horizon = policy.horizon();
+  std::vector<std::vector<double>> d(horizon + 1,
+                                     std::vector<double>(n, 0.0));
+  d[0][mdp.initial_state()] = 1.0;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (StateId s = 0; s < n; ++s) {
+      const double mass = d[t][s];
+      if (mass == 0.0) continue;
+      const auto& choices = mdp.choices(s);
+      for (std::size_t c = 0; c < choices.size(); ++c) {
+        const double pc = policy.pi[t][s][c];
+        if (pc == 0.0) continue;
+        for (const Transition& tr : choices[c].transitions) {
+          d[t + 1][tr.target] += mass * pc * tr.probability;
+        }
+      }
+    }
+  }
+  return d;
+}
+
+std::vector<double> expected_feature_counts(const Mdp& mdp,
+                                            const StateFeatures& features,
+                                            const SoftPolicy& policy) {
+  const std::vector<std::vector<double>> d = state_visitation(mdp, policy);
+  std::vector<double> counts(features.dim(), 0.0);
+  // Departure convention: slices 0..horizon-1 contribute.
+  for (std::size_t t = 0; t + 1 < d.size(); ++t) {
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      if (d[t][s] == 0.0) continue;
+      axpy(counts, d[t][s], features.row(s));
+    }
+  }
+  return counts;
+}
+
+std::vector<double> empirical_feature_counts(const StateFeatures& features,
+                                             const TrajectoryDataset& expert,
+                                             std::size_t pad_to_horizon) {
+  TML_REQUIRE(expert.size() > 0, "empirical_feature_counts: empty dataset");
+  std::vector<double> counts(features.dim(), 0.0);
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < expert.size(); ++i) {
+    const double w = expert.weight(i);
+    total_weight += w;
+    const Trajectory& trajectory = expert.trajectories[i];
+    for (const Step& step : trajectory.steps) {
+      axpy(counts, w, features.row(step.state));
+    }
+    if (pad_to_horizon > trajectory.length()) {
+      const double pad =
+          static_cast<double>(pad_to_horizon - trajectory.length());
+      axpy(counts, w * pad, features.row(trajectory.final_state()));
+    }
+  }
+  TML_REQUIRE(total_weight > 0.0,
+              "empirical_feature_counts: zero total weight");
+  for (double& c : counts) c /= total_weight;
+  return counts;
+}
+
+IrlResult fit_to_feature_counts(const Mdp& mdp, const StateFeatures& features,
+                                std::span<const double> target_counts,
+                                const IrlOptions& options,
+                                std::span<const double> theta_init) {
+  TML_REQUIRE(target_counts.size() == features.dim(),
+              "fit_to_feature_counts: target dim mismatch");
+  mdp.validate();
+
+  IrlResult result;
+  result.theta.assign(features.dim(), 0.0);
+  if (!theta_init.empty()) {
+    TML_REQUIRE(theta_init.size() == features.dim(),
+                "fit_to_feature_counts: theta_init dim mismatch");
+    result.theta.assign(theta_init.begin(), theta_init.end());
+  }
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const std::vector<double> rewards = features.rewards(result.theta);
+    const SoftPolicy policy =
+        soft_value_iteration(mdp, rewards, options.horizon);
+    const std::vector<double> expected =
+        expected_feature_counts(mdp, features, policy);
+
+    std::vector<double> grad(features.dim(), 0.0);
+    for (std::size_t k = 0; k < grad.size(); ++k) {
+      grad[k] = target_counts[k] - expected[k] -
+                options.l2_regularization * result.theta[k];
+    }
+    result.gradient_norm = norm2(grad);
+    result.iterations = iter + 1;
+    if (result.gradient_norm < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    axpy(result.theta, options.learning_rate, grad);
+    if (options.project_unit_ball) {
+      const double norm = norm2(result.theta);
+      if (norm > 1.0) {
+        for (double& t : result.theta) t /= norm;
+      }
+    }
+  }
+  result.state_rewards = features.rewards(result.theta);
+  return result;
+}
+
+IrlResult max_ent_irl(const Mdp& mdp, const StateFeatures& features,
+                      const TrajectoryDataset& expert,
+                      const IrlOptions& options) {
+  const std::vector<double> target =
+      empirical_feature_counts(features, expert, options.horizon);
+  return fit_to_feature_counts(mdp, features, target, options);
+}
+
+}  // namespace tml

@@ -1,0 +1,105 @@
+// Maximum-entropy inverse reinforcement learning (Ziebart et al., AAAI'08).
+//
+// The paper's Reward Repair setting (§IV-C, Eq. 16) models the probability
+// of a trajectory U as
+//
+//     P(U | Θ, P) ∝ exp(Σ_i Θᵀ f(s_i)) · Π_i P(s_{i+1} | s_i, a_i)
+//
+// with the reward linear in state features. IRL fits Θ by maximizing the
+// likelihood of the expert demonstrations, whose gradient is the difference
+// between empirical and expected feature counts:
+//
+//     ∇L = f̃_expert − E_{U ~ P(·|Θ)}[f(U)].
+//
+// We implement the finite-horizon algorithm:
+//  * backward pass — causal-entropy soft value iteration producing a
+//    time-varying stochastic policy π_t(a|s) ∝ exp(Q_t(s,a));
+//  * forward pass — state-visitation frequencies D_t(s) from the initial
+//    state under π;
+//  * gradient ascent on Θ with optional projection onto the unit L2 ball
+//    (the paper constrains ‖Θ‖₂ ≤ 1).
+//
+// Convention: trajectory reward = Σ_{t=0}^{len-1} r(s_t) (reward collected
+// when a step departs from a state; the final state is not charged).
+// Feature counts on both the empirical and the model side follow the same
+// convention, which is what makes the gradient consistent.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/irl/features.hpp"
+#include "src/mdp/model.hpp"
+#include "src/mdp/trajectory.hpp"
+
+namespace tml {
+
+struct IrlOptions {
+  std::size_t horizon = 20;          ///< finite planning horizon T
+  std::size_t max_iterations = 2000;
+  double learning_rate = 0.05;
+  double tolerance = 1e-6;           ///< gradient-norm convergence threshold
+  bool project_unit_ball = true;     ///< enforce ‖Θ‖₂ ≤ 1 (paper's constraint)
+  double l2_regularization = 0.0;
+};
+
+struct IrlResult {
+  std::vector<double> theta;
+  std::vector<double> state_rewards;  ///< Θᵀ f(s) per state
+  std::size_t iterations = 0;
+  bool converged = false;
+  double gradient_norm = 0.0;
+};
+
+/// Time-varying stochastic policy from soft value iteration:
+/// pi[t][s][c] = probability of choice c in state s at time t, 0 <= t < T.
+struct SoftPolicy {
+  std::vector<std::vector<std::vector<double>>> pi;
+  std::size_t horizon() const { return pi.size(); }
+
+  /// Time-averaged stationary approximation (used to induce a single DTMC).
+  RandomizedPolicy average() const;
+};
+
+/// Backward pass: soft (log-sum-exp) value iteration for the given state
+/// rewards over `horizon` steps.
+SoftPolicy soft_value_iteration(const Mdp& mdp,
+                                std::span<const double> state_rewards,
+                                std::size_t horizon);
+
+/// Forward pass: D[t][s] = P(state at time t = s | initial state, policy),
+/// for t = 0..horizon (horizon+1 slices).
+std::vector<std::vector<double>> state_visitation(const Mdp& mdp,
+                                                  const SoftPolicy& policy);
+
+/// Expected feature counts Σ_{t=0}^{T-1} Σ_s D_t(s) f(s) under the policy.
+std::vector<double> expected_feature_counts(const Mdp& mdp,
+                                            const StateFeatures& features,
+                                            const SoftPolicy& policy);
+
+/// Empirical feature counts of the expert data: average over trajectories
+/// of Σ_{t=0}^{len-1} f(s_t). When `pad_to_horizon` is nonzero, each
+/// trajectory shorter than the horizon is padded by repeating its final
+/// state — demonstrations that end in an absorbing state (the car reaching
+/// its goal) must be charged for the remaining time slices, or the
+/// empirical and model-side counts have different scales and the gradient
+/// is biased.
+std::vector<double> empirical_feature_counts(const StateFeatures& features,
+                                             const TrajectoryDataset& expert,
+                                             std::size_t pad_to_horizon = 0);
+
+/// Fits Θ so the model's expected feature counts match `target_counts`.
+/// This is the inner loop of IRL; Reward Repair reuses it with the
+/// rule-projected feature counts (Prop. 4).
+IrlResult fit_to_feature_counts(const Mdp& mdp, const StateFeatures& features,
+                                std::span<const double> target_counts,
+                                const IrlOptions& options,
+                                std::span<const double> theta_init = {});
+
+/// Full max-ent IRL from expert demonstrations.
+IrlResult max_ent_irl(const Mdp& mdp, const StateFeatures& features,
+                      const TrajectoryDataset& expert,
+                      const IrlOptions& options);
+
+}  // namespace tml

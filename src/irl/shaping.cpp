@@ -1,0 +1,38 @@
+#include "src/irl/shaping.hpp"
+
+namespace tml {
+
+Mdp apply_potential_shaping(const Mdp& mdp, std::span<const double> potential,
+                            double discount) {
+  mdp.validate();
+  TML_REQUIRE(potential.size() == mdp.num_states(),
+              "apply_potential_shaping: potential size mismatch");
+  TML_REQUIRE(discount > 0.0 && discount <= 1.0,
+              "apply_potential_shaping: discount out of (0,1]");
+  Mdp shaped = mdp;
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    auto& choices = shaped.mutable_choices(s);
+    for (Choice& choice : choices) {
+      double expected_next = 0.0;
+      for (const Transition& t : choice.transitions) {
+        expected_next += t.probability * potential[t.target];
+      }
+      choice.reward += discount * expected_next - potential[s];
+    }
+  }
+  return shaped;
+}
+
+std::vector<double> repulsive_potential(const Mdp& mdp,
+                                        const std::string& label,
+                                        double scale) {
+  TML_REQUIRE(scale >= 0.0, "repulsive_potential: negative scale");
+  std::vector<double> potential(mdp.num_states(), 0.0);
+  const StateSet set = mdp.states_with_label(label);
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    if (set[s]) potential[s] = -scale;
+  }
+  return potential;
+}
+
+}  // namespace tml

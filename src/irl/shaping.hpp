@@ -1,0 +1,36 @@
+// Potential-based reward shaping — the reward-engineering baseline.
+//
+// The paper's related work (§VI) contrasts Reward Repair with reward
+// shaping (Ng, Harada & Russell [26]): shaping adds intermediate rewards
+// F(s, s') = γ·Φ(s') − Φ(s) derived from a potential function Φ, and the
+// policy-invariance theorem guarantees the optimal policy is UNCHANGED.
+// That is exactly why shaping cannot *enforce* a safety constraint the
+// learned reward violates — and why Reward Repair, which deliberately
+// changes the optimal policy, is a different operation.
+//
+// `ablate_baselines` demonstrates the contrast on the car case study:
+// shaping with a safety potential leaves the unsafe policy in place,
+// Reward Repair flips it.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// Returns a copy of `mdp` with the shaping term γ·Φ(s') − Φ(s) folded
+/// into every choice's action reward (as its expectation over successors).
+/// `potential` is indexed by state.
+Mdp apply_potential_shaping(const Mdp& mdp, std::span<const double> potential,
+                            double discount);
+
+/// Convenience potential: −scale at labelled states, 0 elsewhere (a
+/// "stay away from `label`" shaping signal).
+std::vector<double> repulsive_potential(const Mdp& mdp,
+                                        const std::string& label,
+                                        double scale);
+
+}  // namespace tml

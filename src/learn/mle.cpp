@@ -1,0 +1,104 @@
+#include "src/learn/mle.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tml {
+
+CountTable count_transitions(const Mdp& structure,
+                             const TrajectoryDataset& data) {
+  CountTable table;
+  table.counts.resize(structure.num_states());
+  for (StateId s = 0; s < structure.num_states(); ++s) {
+    const auto& choices = structure.choices(s);
+    table.counts[s].resize(choices.size());
+    for (std::size_t c = 0; c < choices.size(); ++c) {
+      table.counts[s][c].assign(choices[c].transitions.size(), 0.0);
+    }
+  }
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double w = data.weight(i);
+    if (w == 0.0) continue;
+    for (const Step& step : data.trajectories[i].steps) {
+      TML_REQUIRE(step.state < structure.num_states(),
+                  "count_transitions: step state out of range");
+      const auto& choices = structure.choices(step.state);
+      TML_REQUIRE(step.choice < choices.size(),
+                  "count_transitions: step choice out of range");
+      const auto& transitions = choices[step.choice].transitions;
+      bool matched = false;
+      for (std::size_t k = 0; k < transitions.size(); ++k) {
+        if (transitions[k].target == step.next_state) {
+          table.counts[step.state][step.choice][k] += w;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) table.unmatched += w;
+    }
+  }
+  return table;
+}
+
+Mdp mle_mdp(const Mdp& structure, const TrajectoryDataset& data,
+            double pseudocount) {
+  TML_REQUIRE(pseudocount >= 0.0, "mle_mdp: negative pseudocount");
+  structure.validate();
+  const CountTable table = count_transitions(structure, data);
+
+  Mdp learned = structure;
+  for (StateId s = 0; s < structure.num_states(); ++s) {
+    auto& choices = learned.mutable_choices(s);
+    for (std::size_t c = 0; c < choices.size(); ++c) {
+      auto& transitions = choices[c].transitions;
+      double total = 0.0;
+      for (double w : table.counts[s][c]) total += w;
+      const double denom =
+          total + pseudocount * static_cast<double>(transitions.size());
+      if (denom <= 0.0) continue;  // no data: keep prior probabilities
+      for (std::size_t k = 0; k < transitions.size(); ++k) {
+        transitions[k].probability =
+            (table.counts[s][c][k] + pseudocount) / denom;
+      }
+    }
+  }
+  learned.validate();
+  return learned;
+}
+
+Dtmc mle_dtmc(const Dtmc& structure, const TrajectoryDataset& data,
+              double pseudocount) {
+  const Mdp learned = mle_mdp(structure.as_mdp(), data, pseudocount);
+  Dtmc out = structure;
+  for (StateId s = 0; s < structure.num_states(); ++s) {
+    out.set_transitions(s, learned.choices(s)[0].transitions);
+  }
+  out.validate();
+  return out;
+}
+
+double log_likelihood(const Mdp& model, const TrajectoryDataset& data) {
+  double ll = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double w = data.weight(i);
+    if (w == 0.0) continue;
+    for (const Step& step : data.trajectories[i].steps) {
+      const auto& choices = model.choices(step.state);
+      TML_REQUIRE(step.choice < choices.size(),
+                  "log_likelihood: step choice out of range");
+      double p = 0.0;
+      for (const Transition& t : choices[step.choice].transitions) {
+        if (t.target == step.next_state) {
+          p = t.probability;
+          break;
+        }
+      }
+      if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+      ll += w * std::log(p);
+    }
+  }
+  return ll;
+}
+
+}  // namespace tml

@@ -1,0 +1,51 @@
+// Maximum-likelihood estimation of transition probabilities from traces.
+//
+// This is the learning procedure ML of §II for the transition function P:
+// given a model *structure* (states, choices, and the support of each
+// distribution — the paper fixes the graph structure of the MDP, §IV) and a
+// dataset of observed trajectories, estimate each P(t | s, a) as the
+// relative frequency of the observed transitions, optionally with Laplace
+// (pseudo-count) smoothing over the structural support.
+//
+// Distributions with no observations keep the structure's prior
+// probabilities — retraining on repaired data must not invent transitions
+// the structure forbids (Eq. 3).
+
+#pragma once
+
+#include "src/mdp/model.hpp"
+#include "src/mdp/trajectory.hpp"
+
+namespace tml {
+
+/// Transition counts per (state, choice), aligned with the structure's
+/// choice transition lists.
+struct CountTable {
+  /// counts[s][c][k] — weight of observed transitions matching the k-th
+  /// structural transition of choice c in state s.
+  std::vector<std::vector<std::vector<double>>> counts;
+  /// Observations that did not match any structural transition (diagnostic;
+  /// nonzero means the data disagrees with the assumed support).
+  double unmatched = 0.0;
+};
+
+/// Accumulates (weighted) transition counts from the dataset onto the
+/// structure's support.
+CountTable count_transitions(const Mdp& structure,
+                             const TrajectoryDataset& data);
+
+/// MLE of the transition probabilities on the structure's support.
+/// `pseudocount` adds Laplace smoothing; choices with zero total mass keep
+/// the structure's probabilities.
+Mdp mle_mdp(const Mdp& structure, const TrajectoryDataset& data,
+            double pseudocount = 0.0);
+
+/// DTMC variant (structure viewed as a one-choice-per-state model).
+Dtmc mle_dtmc(const Dtmc& structure, const TrajectoryDataset& data,
+              double pseudocount = 0.0);
+
+/// Log-likelihood of the dataset under a model (matching transitions only;
+/// transitions outside the support contribute -inf).
+double log_likelihood(const Mdp& model, const TrajectoryDataset& data);
+
+}  // namespace tml

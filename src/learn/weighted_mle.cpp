@@ -1,0 +1,119 @@
+#include "src/learn/weighted_mle.hpp"
+
+#include <map>
+
+namespace tml {
+
+namespace {
+
+/// Index of the structural transition s→t, or -1 if absent.
+int transition_index(const std::vector<Transition>& row, StateId target) {
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    if (row[k].target == target) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<RepairGroup> one_group_per_trajectory(
+    const TrajectoryDataset& data) {
+  std::vector<RepairGroup> groups;
+  groups.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    groups.push_back(RepairGroup{"traj" + std::to_string(i), {i}, false});
+  }
+  return groups;
+}
+
+WeightedMleResult weighted_mle_dtmc(const Dtmc& structure,
+                                    const TrajectoryDataset& data,
+                                    const std::vector<RepairGroup>& groups,
+                                    double pseudocount) {
+  TML_REQUIRE(pseudocount >= 0.0, "weighted_mle_dtmc: negative pseudocount");
+  structure.validate();
+
+  // Membership check: every trajectory may appear in at most one group.
+  std::vector<int> group_of(data.size(), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t i : groups[g].members) {
+      TML_REQUIRE(i < data.size(),
+                  "weighted_mle_dtmc: group member " << i << " out of range");
+      TML_REQUIRE(group_of[i] == -1,
+                  "weighted_mle_dtmc: trajectory " << i << " in two groups");
+      group_of[i] = static_cast<int>(g);
+    }
+  }
+
+  // Allocate keep variables.
+  VariablePool pool;
+  std::vector<Polynomial> keep(groups.size(), Polynomial(1.0));
+  WeightedMleResult result{ParametricDtmc(structure.num_states(), {}),
+                           {},
+                           {}};
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].pinned) continue;
+    const std::string name = "keep_" + groups[g].name;
+    const Var var = pool.declare(name);
+    keep[g] = Polynomial::variable(var);
+    result.variables.push_back(var);
+    result.variable_names.push_back(name);
+  }
+
+  // Per-state, per-structural-transition counts as polynomials in the keep
+  // variables; unmatched steps (outside the support) are ignored, mirroring
+  // mle_mdp's diagnostics-only treatment.
+  const std::size_t n = structure.num_states();
+  std::vector<std::vector<Polynomial>> counts(n);
+  for (StateId s = 0; s < n; ++s) {
+    counts[s].assign(structure.transitions(s).size(), Polynomial(0.0));
+  }
+  const Polynomial kept(1.0);  // ungrouped trajectories are always kept
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Polynomial& p =
+        group_of[i] >= 0 ? keep[static_cast<std::size_t>(group_of[i])] : kept;
+    const double w = data.weight(i);
+    if (w == 0.0) continue;
+    for (const Step& step : data.trajectories[i].steps) {
+      TML_REQUIRE(step.state < n,
+                  "weighted_mle_dtmc: step state out of range");
+      const int k =
+          transition_index(structure.transitions(step.state), step.next_state);
+      if (k < 0) continue;
+      counts[step.state][static_cast<std::size_t>(k)] += p * w;
+    }
+  }
+
+  // Assemble the parametric chain.
+  ParametricDtmc chain(n, std::move(pool));
+  chain.set_initial_state(structure.initial_state());
+  for (StateId s = 0; s < n; ++s) {
+    const auto& row = structure.transitions(s);
+    Polynomial total(0.0);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      counts[s][k] += Polynomial(pseudocount);
+      total += counts[s][k];
+    }
+    const bool no_data = total.is_zero();
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (no_data) {
+        // Keep the structure's prior probabilities where nothing was
+        // observed.
+        chain.set_transition(s, row[k].target,
+                             RationalFunction(row[k].probability));
+      } else {
+        chain.set_transition(s, row[k].target,
+                             RationalFunction(counts[s][k], total));
+      }
+    }
+    chain.set_state_reward(s, RationalFunction(structure.state_reward(s)));
+    chain.set_state_name(s, structure.state_name(s));
+    for (const std::string& label : structure.labels_of(s)) {
+      chain.add_label(s, label);
+    }
+  }
+  result.chain = std::move(chain);
+  return result;
+}
+
+}  // namespace tml

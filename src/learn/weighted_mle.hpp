@@ -1,0 +1,68 @@
+// Parametric (keep-weighted) maximum likelihood for Data Repair.
+//
+// §IV-B: the dataset D is perturbed by a vector p — trajectory (group) i is
+// kept with weight p_i ∈ [0,1], dropped when p_i = 0. Re-running maximum
+// likelihood on the weighted data makes every transition count a *linear
+// function* of p and every transition probability a *rational function*
+// of p:
+//
+//     P_p(t | s) = Σ_g p_g · count_g(s→t)  /  Σ_g p_g · count_g(s→·)
+//
+// (the paper's worked example: forwarding probability 0.4/(0.4+0.6·p)).
+// The result is a ParametricDtmc M(p) that parametric model checking turns
+// into a closed-form constraint f(p) ⋈ b for the outer machine-teaching
+// optimization (Eq. 15).
+//
+// Groups marked `pinned` are trusted data: their keep weight is fixed to 1
+// and no variable is allocated (the paper's "certain p_i values are 1").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/mdp/trajectory.hpp"
+#include "src/parametric/parametric_dtmc.hpp"
+
+namespace tml {
+
+/// A partition of the dataset's trajectories into repair groups.
+///
+/// §IV-B notes that "similar formulations [apply] when we consider data
+/// points being added or replaced": an *augmentation* group holds
+/// synthetic trajectories appended to the dataset with `target_weight = 0`
+/// (they are absent from the real data; including them costs effort) and
+/// `max_weight > 0` bounding how much synthetic mass may be injected.
+/// Ordinary drop groups keep the defaults (target 1, max 1). Replacement
+/// is the combination: a drop group for the old points plus an
+/// augmentation group for their substitutes.
+struct RepairGroup {
+  std::string name;                  ///< becomes the variable name "keep_<name>"
+  std::vector<std::size_t> members;  ///< indices into the dataset
+  bool pinned = false;               ///< trusted data: weight fixed at 1
+  double target_weight = 1.0;        ///< effort-free weight (0 for synthetic)
+  double max_weight = 1.0;           ///< upper bound of the weight box
+};
+
+/// Result of the parametric MLE.
+struct WeightedMleResult {
+  ParametricDtmc chain;          ///< transition probabilities in the keep vars
+  std::vector<Var> variables;    ///< one per un-pinned group, in group order
+  std::vector<std::string> variable_names;
+};
+
+/// Builds the parametric chain M(p) for a DTMC structure. Distributions
+/// never observed in the data keep the structure's constant probabilities.
+/// `pseudocount` regularizes each structural transition with a constant
+/// pseudo-observation so denominators cannot vanish when all covering
+/// groups are dropped.
+WeightedMleResult weighted_mle_dtmc(const Dtmc& structure,
+                                    const TrajectoryDataset& data,
+                                    const std::vector<RepairGroup>& groups,
+                                    double pseudocount = 0.0);
+
+/// Groups every trajectory by itself ("traj<i>").
+std::vector<RepairGroup> one_group_per_trajectory(
+    const TrajectoryDataset& data);
+
+}  // namespace tml

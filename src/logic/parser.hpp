@@ -1,0 +1,40 @@
+// Recursive-descent parser for PCTL formula text (PRISM-flavoured syntax).
+//
+// Grammar (whitespace-insensitive):
+//
+//   state    := or
+//   or       := and ( '|' and )*
+//   and      := impl ( '&' impl )*
+//   impl     := not ( '=>' not )?
+//   not      := '!' not | atom
+//   atom     := 'true' | 'false' | '"label"' | '(' state ')'
+//             | probOp | rewardOp
+//   probOp   := ('Pmax' | 'Pmin' | 'P') ( '=?' | cmp number ) '[' path ']'
+//   rewardOp := ('Rmax' | 'Rmin' | 'R') rewardStruct?
+//               ( '=?' | cmp number ) '[' rewardPath ']'
+//   rewardStruct := '{' '"' name '"' '}'
+//   path     := 'X' state
+//             | 'F' stepBound? state
+//             | 'G' stepBound? state
+//             | state 'U' stepBound? state
+//   rewardPath := 'F' state | 'C' '<=' integer
+//   stepBound := '<=' integer
+//   cmp      := '<=' | '<' | '>=' | '>'
+//
+// Examples from the paper:
+//   P>0.99 [ F ("changedlane" | "reducedspeed") ]
+//   R{"attempts"}<=40 [ F "delivered" ]
+
+#pragma once
+
+#include <string>
+
+#include "src/logic/pctl.hpp"
+
+namespace tml {
+
+/// Parses a PCTL state formula; throws ParseError with position info on
+/// malformed input.
+StateFormulaPtr parse_pctl(const std::string& text);
+
+}  // namespace tml

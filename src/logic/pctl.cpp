@@ -1,0 +1,367 @@
+#include "src/logic/pctl.hpp"
+
+#include <sstream>
+
+namespace tml {
+
+std::string to_string(Comparison cmp) {
+  switch (cmp) {
+    case Comparison::kLess: return "<";
+    case Comparison::kLessEqual: return "<=";
+    case Comparison::kGreater: return ">";
+    case Comparison::kGreaterEqual: return ">=";
+  }
+  return "?";
+}
+
+bool compare(double value, Comparison cmp, double bound) {
+  switch (cmp) {
+    case Comparison::kLess: return value < bound;
+    case Comparison::kLessEqual: return value <= bound;
+    case Comparison::kGreater: return value > bound;
+    case Comparison::kGreaterEqual: return value >= bound;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+
+const std::string& StateFormula::label() const {
+  TML_REQUIRE(kind_ == Kind::kLabel, "StateFormula::label on non-label node");
+  return label_;
+}
+
+const StateFormula& StateFormula::operand(std::size_t i) const {
+  TML_REQUIRE(i < operands_.size(), "StateFormula::operand out of range");
+  return *operands_[i];
+}
+
+Comparison StateFormula::comparison() const {
+  TML_REQUIRE(kind_ == Kind::kProb || kind_ == Kind::kReward,
+              "StateFormula::comparison on non-bounded operator");
+  return comparison_;
+}
+
+double StateFormula::bound() const {
+  TML_REQUIRE(kind_ == Kind::kProb || kind_ == Kind::kReward,
+              "StateFormula::bound on non-bounded operator");
+  return bound_;
+}
+
+const PathFormula& StateFormula::path() const {
+  TML_REQUIRE(path_ != nullptr, "StateFormula::path on non-P operator");
+  return *path_;
+}
+
+StateFormula::RewardPathKind StateFormula::reward_path_kind() const {
+  TML_REQUIRE(kind_ == Kind::kReward || kind_ == Kind::kRewardQuery,
+              "StateFormula::reward_path_kind on non-R operator");
+  return reward_path_kind_;
+}
+
+const StateFormula& StateFormula::reward_target() const {
+  TML_REQUIRE(reward_target_ != nullptr,
+              "StateFormula::reward_target: not a reachability reward");
+  return *reward_target_;
+}
+
+std::size_t StateFormula::reward_horizon() const {
+  TML_REQUIRE((kind_ == Kind::kReward || kind_ == Kind::kRewardQuery) &&
+                  reward_path_kind_ == RewardPathKind::kCumulative,
+              "StateFormula::reward_horizon: not a cumulative reward");
+  return reward_horizon_;
+}
+
+const StateFormula& PathFormula::left() const {
+  TML_REQUIRE(left_ != nullptr, "PathFormula::left: not an until");
+  return *left_;
+}
+
+const StateFormula& PathFormula::right() const {
+  TML_REQUIRE(right_ != nullptr, "PathFormula::right: missing operand");
+  return *right_;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+
+struct PctlFactory {
+  static std::shared_ptr<StateFormula> state(StateFormula::Kind kind) {
+    return std::make_shared<StateFormula>(StateFormula::Private{}, kind);
+  }
+  static std::shared_ptr<PathFormula> path(PathFormula::Kind kind) {
+    return std::make_shared<PathFormula>(PathFormula::Private{}, kind);
+  }
+
+  static StateFormulaPtr make_label(std::string name) {
+    auto node = state(StateFormula::Kind::kLabel);
+    node->label_ = std::move(name);
+    return node;
+  }
+
+  static PathFormulaPtr make_path(PathFormula::Kind kind, StateFormulaPtr left,
+                                  StateFormulaPtr right,
+                                  std::optional<std::size_t> step_bound) {
+    auto node = path(kind);
+    node->left_ = std::move(left);
+    node->right_ = std::move(right);
+    node->step_bound_ = step_bound;
+    return node;
+  }
+
+  static StateFormulaPtr unary(StateFormula::Kind kind, StateFormulaPtr a) {
+    TML_REQUIRE(a != nullptr, "pctl: null operand");
+    auto node = state(kind);
+    node->operands_ = {std::move(a)};
+    return node;
+  }
+  static StateFormulaPtr binary(StateFormula::Kind kind, StateFormulaPtr a,
+                                StateFormulaPtr b) {
+    TML_REQUIRE(a != nullptr && b != nullptr, "pctl: null operand");
+    auto node = state(kind);
+    node->operands_ = {std::move(a), std::move(b)};
+    return node;
+  }
+
+  static StateFormulaPtr prob(std::optional<Comparison> cmp, double bound,
+                              PathFormulaPtr path,
+                              std::optional<Quantifier> quantifier) {
+    TML_REQUIRE(path != nullptr, "pctl: null path formula");
+    auto node =
+        state(cmp ? StateFormula::Kind::kProb : StateFormula::Kind::kProbQuery);
+    if (cmp) {
+      TML_REQUIRE(bound >= 0.0 && bound <= 1.0,
+                  "pctl: probability bound out of [0,1]: " << bound);
+      node->comparison_ = *cmp;
+      node->bound_ = bound;
+    }
+    node->path_ = std::move(path);
+    node->quantifier_ = quantifier;
+    return node;
+  }
+
+  static StateFormulaPtr reward(std::optional<Comparison> cmp, double bound,
+                                StateFormula::RewardPathKind path_kind,
+                                StateFormulaPtr target, std::size_t horizon,
+                                std::optional<Quantifier> quantifier,
+                                std::string structure) {
+    auto node = state(cmp ? StateFormula::Kind::kReward
+                          : StateFormula::Kind::kRewardQuery);
+    if (cmp) {
+      TML_REQUIRE(bound >= 0.0, "pctl: reward bound must be >= 0: " << bound);
+      node->comparison_ = *cmp;
+      node->bound_ = bound;
+    }
+    node->reward_path_kind_ = path_kind;
+    node->reward_target_ = std::move(target);
+    node->reward_horizon_ = horizon;
+    node->quantifier_ = quantifier;
+    node->reward_structure_ = std::move(structure);
+    return node;
+  }
+};
+
+namespace pctl {
+
+StateFormulaPtr truth() {
+  return PctlFactory::state(StateFormula::Kind::kTrue);
+}
+
+StateFormulaPtr falsity() {
+  return PctlFactory::state(StateFormula::Kind::kFalse);
+}
+
+StateFormulaPtr label(std::string name) {
+  TML_REQUIRE(!name.empty(), "pctl::label: empty name");
+  return PctlFactory::make_label(std::move(name));
+}
+
+StateFormulaPtr negation(StateFormulaPtr operand) {
+  return PctlFactory::unary(StateFormula::Kind::kNot, std::move(operand));
+}
+StateFormulaPtr conjunction(StateFormulaPtr lhs, StateFormulaPtr rhs) {
+  return PctlFactory::binary(StateFormula::Kind::kAnd, std::move(lhs),
+                             std::move(rhs));
+}
+StateFormulaPtr disjunction(StateFormulaPtr lhs, StateFormulaPtr rhs) {
+  return PctlFactory::binary(StateFormula::Kind::kOr, std::move(lhs),
+                             std::move(rhs));
+}
+StateFormulaPtr implication(StateFormulaPtr lhs, StateFormulaPtr rhs) {
+  return PctlFactory::binary(StateFormula::Kind::kImplies, std::move(lhs),
+                             std::move(rhs));
+}
+
+PathFormulaPtr next(StateFormulaPtr operand) {
+  TML_REQUIRE(operand != nullptr, "pctl::next: null operand");
+  return PctlFactory::make_path(PathFormula::Kind::kNext, nullptr,
+                                std::move(operand), std::nullopt);
+}
+
+PathFormulaPtr until(StateFormulaPtr lhs, StateFormulaPtr rhs,
+                     std::optional<std::size_t> step_bound) {
+  TML_REQUIRE(lhs != nullptr && rhs != nullptr, "pctl::until: null operand");
+  return PctlFactory::make_path(PathFormula::Kind::kUntil, std::move(lhs),
+                                std::move(rhs), step_bound);
+}
+
+PathFormulaPtr eventually(StateFormulaPtr operand,
+                          std::optional<std::size_t> step_bound) {
+  TML_REQUIRE(operand != nullptr, "pctl::eventually: null operand");
+  return PctlFactory::make_path(PathFormula::Kind::kEventually, nullptr,
+                                std::move(operand), step_bound);
+}
+
+PathFormulaPtr globally(StateFormulaPtr operand,
+                        std::optional<std::size_t> step_bound) {
+  TML_REQUIRE(operand != nullptr, "pctl::globally: null operand");
+  return PctlFactory::make_path(PathFormula::Kind::kGlobally, nullptr,
+                                std::move(operand), step_bound);
+}
+
+StateFormulaPtr prob(Comparison cmp, double bound, PathFormulaPtr path,
+                     std::optional<Quantifier> quantifier) {
+  return PctlFactory::prob(cmp, bound, std::move(path), quantifier);
+}
+
+StateFormulaPtr prob_query(Quantifier quantifier, PathFormulaPtr path) {
+  return PctlFactory::prob(std::nullopt, 0.0, std::move(path), quantifier);
+}
+
+StateFormulaPtr reward_reach(Comparison cmp, double bound,
+                             StateFormulaPtr target,
+                             std::optional<Quantifier> quantifier,
+                             std::string reward_structure) {
+  TML_REQUIRE(target != nullptr, "pctl::reward_reach: null target");
+  return PctlFactory::reward(cmp, bound,
+                             StateFormula::RewardPathKind::kReachability,
+                             std::move(target), 0, quantifier,
+                             std::move(reward_structure));
+}
+
+StateFormulaPtr reward_cumulative(Comparison cmp, double bound,
+                                  std::size_t horizon,
+                                  std::optional<Quantifier> quantifier,
+                                  std::string reward_structure) {
+  return PctlFactory::reward(cmp, bound,
+                             StateFormula::RewardPathKind::kCumulative,
+                             nullptr, horizon, quantifier,
+                             std::move(reward_structure));
+}
+
+StateFormulaPtr reward_reach_query(Quantifier quantifier,
+                                   StateFormulaPtr target,
+                                   std::string reward_structure) {
+  TML_REQUIRE(target != nullptr, "pctl::reward_reach_query: null target");
+  return PctlFactory::reward(std::nullopt, 0.0,
+                             StateFormula::RewardPathKind::kReachability,
+                             std::move(target), 0, quantifier,
+                             std::move(reward_structure));
+}
+
+StateFormulaPtr reward_cumulative_query(Quantifier quantifier,
+                                        std::size_t horizon,
+                                        std::string reward_structure) {
+  return PctlFactory::reward(std::nullopt, 0.0,
+                             StateFormula::RewardPathKind::kCumulative,
+                             nullptr, horizon, quantifier,
+                             std::move(reward_structure));
+}
+
+}  // namespace pctl
+
+// ---------------------------------------------------------------------------
+// Printing
+
+namespace {
+
+std::string quantifier_suffix(std::optional<Quantifier> q) {
+  if (!q) return "";
+  return *q == Quantifier::kMax ? "max" : "min";
+}
+
+}  // namespace
+
+std::string PathFormula::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kNext:
+      os << "X " << right().to_string();
+      break;
+    case Kind::kUntil:
+      os << left().to_string() << " U";
+      if (step_bound_) os << "<=" << *step_bound_;
+      os << " " << right().to_string();
+      break;
+    case Kind::kEventually:
+      os << "F";
+      if (step_bound_) os << "<=" << *step_bound_;
+      os << " " << right().to_string();
+      break;
+    case Kind::kGlobally:
+      os << "G";
+      if (step_bound_) os << "<=" << *step_bound_;
+      os << " " << right().to_string();
+      break;
+  }
+  return os.str();
+}
+
+std::string StateFormula::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kLabel:
+      os << '"' << label_ << '"';
+      return os.str();
+    case Kind::kNot:
+      os << "!(" << operand().to_string() << ")";
+      return os.str();
+    case Kind::kAnd:
+      os << "(" << operand(0).to_string() << " & " << operand(1).to_string()
+         << ")";
+      return os.str();
+    case Kind::kOr:
+      os << "(" << operand(0).to_string() << " | " << operand(1).to_string()
+         << ")";
+      return os.str();
+    case Kind::kImplies:
+      os << "(" << operand(0).to_string() << " => " << operand(1).to_string()
+         << ")";
+      return os.str();
+    case Kind::kProb:
+      os << "P" << quantifier_suffix(quantifier_) << tml::to_string(comparison_)
+         << bound_ << " [ " << path_->to_string() << " ]";
+      return os.str();
+    case Kind::kProbQuery:
+      os << "P" << quantifier_suffix(quantifier_) << "=? [ "
+         << path_->to_string() << " ]";
+      return os.str();
+    case Kind::kReward:
+    case Kind::kRewardQuery: {
+      os << "R";
+      if (!reward_structure_.empty()) os << "{\"" << reward_structure_ << "\"}";
+      os << quantifier_suffix(quantifier_);
+      if (kind_ == Kind::kReward) {
+        os << tml::to_string(comparison_) << bound_;
+      } else {
+        os << "=?";
+      }
+      os << " [ ";
+      if (reward_path_kind_ == RewardPathKind::kReachability) {
+        os << "F " << reward_target_->to_string();
+      } else {
+        os << "C<=" << reward_horizon_;
+      }
+      os << " ]";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace tml

@@ -1,0 +1,189 @@
+// PCTL abstract syntax (Probabilistic Computation Tree Logic).
+//
+// Supports the fragment the paper uses (§III): state formulas built from
+// atomic-proposition labels and boolean connectives, the probabilistic
+// operator P⋈b[ψ] over path formulas (X, U, bounded U, F, G), and the
+// reward operator R⋈b[F φ] / R⋈b[C≤k] for cumulative-reward properties like
+// the WSN case study's `R{attempts}≤X [F delivered]`.
+//
+// Both *verification* form (`P>=0.99 [...]`, a boolean at each state) and
+// *quantitative* form (`Pmax=? [...]`, a number at each state) are
+// representable. On MDPs, `P⋈b` quantifies over all schedulers (PRISM
+// semantics): an upper bound is checked against Pmax, a lower bound against
+// Pmin; `Pmax=?` / `Pmin=?` select a direction explicitly.
+//
+// Formulas are immutable and shared via shared_ptr; use the factory
+// functions in namespace `pctl` or the parser (src/logic/parser.hpp).
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace tml {
+
+/// Comparison relations of the P/R operators.
+enum class Comparison { kLess, kLessEqual, kGreater, kGreaterEqual };
+
+/// Which scheduler extremum a quantitative query asks for.
+enum class Quantifier { kMax, kMin };
+
+std::string to_string(Comparison cmp);
+bool compare(double value, Comparison cmp, double bound);
+
+class PathFormula;
+
+/// State formula node. A small closed hierarchy: we use a tag + children
+/// representation rather than virtual dispatch so the checker can pattern
+/// match directly.
+class StateFormula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kLabel,
+    kNot,
+    kAnd,
+    kOr,
+    kImplies,
+    kProb,       ///< P cmp bound [ path ]  (boolean)
+    kProbQuery,  ///< Pmax=? / Pmin=? [ path ]  (quantitative, MDP) or P=? (DTMC)
+    kReward,     ///< R cmp bound [ reward-path ]  (boolean)
+    kRewardQuery ///< Rmax=? / Rmin=? / R=? [ reward-path ]
+  };
+
+  /// What a reward operator accumulates over.
+  enum class RewardPathKind {
+    kReachability,  ///< F φ : reward until a φ-state is reached
+    kCumulative     ///< C<=k : reward over the first k steps
+  };
+
+  Kind kind() const { return kind_; }
+
+  // Accessors; each is valid only for the kinds noted.
+  const std::string& label() const;                      // kLabel
+  const StateFormula& operand(std::size_t i = 0) const;  // kNot/kAnd/kOr/kImplies
+  std::size_t num_operands() const { return operands_.size(); }
+  Comparison comparison() const;                         // kProb/kReward
+  double bound() const;                                  // kProb/kReward
+  const PathFormula& path() const;                       // kProb/kProbQuery
+  std::optional<Quantifier> quantifier() const { return quantifier_; }
+  RewardPathKind reward_path_kind() const;               // kReward/kRewardQuery
+  const StateFormula& reward_target() const;  // kReward*/kReachability
+  std::size_t reward_horizon() const;         // kReward*/kCumulative
+  const std::string& reward_structure() const { return reward_structure_; }
+
+  std::string to_string() const;
+
+  /// True for kProbQuery / kRewardQuery (the formula denotes a number, not
+  /// a boolean).
+  bool is_quantitative() const {
+    return kind_ == Kind::kProbQuery || kind_ == Kind::kRewardQuery;
+  }
+
+  // Node construction is via the pctl:: factories below.
+  struct Private {};
+  explicit StateFormula(Private, Kind kind) : kind_(kind) {}
+
+ private:
+  friend struct PctlFactory;
+
+  Kind kind_;
+  std::string label_;
+  std::vector<std::shared_ptr<const StateFormula>> operands_;
+  Comparison comparison_ = Comparison::kGreaterEqual;
+  double bound_ = 0.0;
+  std::optional<Quantifier> quantifier_;
+  std::shared_ptr<const PathFormula> path_;
+  RewardPathKind reward_path_kind_ = RewardPathKind::kReachability;
+  std::shared_ptr<const StateFormula> reward_target_;
+  std::size_t reward_horizon_ = 0;
+  std::string reward_structure_;
+};
+
+using StateFormulaPtr = std::shared_ptr<const StateFormula>;
+
+/// Path formula node (argument of the P operator).
+class PathFormula {
+ public:
+  enum class Kind {
+    kNext,      ///< X φ
+    kUntil,     ///< φ1 U φ2  (optionally step-bounded)
+    kEventually,///< F φ  = true U φ
+    kGlobally   ///< G φ  (optionally step-bounded)
+  };
+
+  Kind kind() const { return kind_; }
+  const StateFormula& left() const;   // kUntil
+  const StateFormula& right() const;  // all kinds (the main operand)
+  std::optional<std::size_t> step_bound() const { return step_bound_; }
+
+  std::string to_string() const;
+
+  struct Private {};
+  explicit PathFormula(Private, Kind kind) : kind_(kind) {}
+
+ private:
+  friend struct PctlFactory;
+
+  Kind kind_;
+  std::shared_ptr<const StateFormula> left_;
+  std::shared_ptr<const StateFormula> right_;
+  std::optional<std::size_t> step_bound_;
+};
+
+using PathFormulaPtr = std::shared_ptr<const PathFormula>;
+
+/// Factory functions for building formulas programmatically.
+namespace pctl {
+
+StateFormulaPtr truth();
+StateFormulaPtr falsity();
+StateFormulaPtr label(std::string name);
+StateFormulaPtr negation(StateFormulaPtr operand);
+StateFormulaPtr conjunction(StateFormulaPtr lhs, StateFormulaPtr rhs);
+StateFormulaPtr disjunction(StateFormulaPtr lhs, StateFormulaPtr rhs);
+StateFormulaPtr implication(StateFormulaPtr lhs, StateFormulaPtr rhs);
+
+PathFormulaPtr next(StateFormulaPtr operand);
+PathFormulaPtr until(StateFormulaPtr lhs, StateFormulaPtr rhs,
+                     std::optional<std::size_t> step_bound = std::nullopt);
+PathFormulaPtr eventually(StateFormulaPtr operand,
+                          std::optional<std::size_t> step_bound = std::nullopt);
+PathFormulaPtr globally(StateFormulaPtr operand,
+                        std::optional<std::size_t> step_bound = std::nullopt);
+
+/// P cmp bound [ path ]. `quantifier` overrides the default scheduler
+/// resolution on MDPs (by default derived from the comparison direction).
+StateFormulaPtr prob(Comparison cmp, double bound, PathFormulaPtr path,
+                     std::optional<Quantifier> quantifier = std::nullopt);
+/// Pmax=? / Pmin=? [ path ] (pass kMax/kMin); for DTMCs the quantifier is
+/// irrelevant.
+StateFormulaPtr prob_query(Quantifier quantifier, PathFormulaPtr path);
+
+/// R cmp bound [ F target ].
+StateFormulaPtr reward_reach(Comparison cmp, double bound,
+                             StateFormulaPtr target,
+                             std::optional<Quantifier> quantifier = std::nullopt,
+                             std::string reward_structure = "");
+/// R cmp bound [ C<=k ].
+StateFormulaPtr reward_cumulative(
+    Comparison cmp, double bound, std::size_t horizon,
+    std::optional<Quantifier> quantifier = std::nullopt,
+    std::string reward_structure = "");
+/// Rmax=? / Rmin=? [ F target ].
+StateFormulaPtr reward_reach_query(Quantifier quantifier,
+                                   StateFormulaPtr target,
+                                   std::string reward_structure = "");
+/// Rmax=? / Rmin=? [ C<=k ].
+StateFormulaPtr reward_cumulative_query(Quantifier quantifier,
+                                        std::size_t horizon,
+                                        std::string reward_structure = "");
+
+}  // namespace pctl
+
+}  // namespace tml

@@ -1,0 +1,186 @@
+#include "src/logic/trajectory_rule.hpp"
+
+#include <sstream>
+
+namespace tml {
+
+namespace {
+
+StateId state_at(const Trajectory& trajectory, std::size_t position) {
+  TML_REQUIRE(position <= trajectory.length(),
+              "TrajectoryRule: position " << position << " beyond trajectory");
+  if (position == 0) return trajectory.initial_state;
+  return trajectory.steps[position - 1].next_state;
+}
+
+}  // namespace
+
+bool TrajectoryRule::holds(const Mdp& mdp, const Trajectory& trajectory) const {
+  return holds_at(mdp, trajectory, 0);
+}
+
+bool TrajectoryRule::holds_at(const Mdp& mdp, const Trajectory& trajectory,
+                              std::size_t position) const {
+  const std::size_t n = trajectory.length();
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kLabel:
+      return mdp.has_label(state_at(trajectory, position), name_);
+    case Kind::kState: {
+      const StateId s = state_at(trajectory, position);
+      return mdp.state_name(s) == name_;
+    }
+    case Kind::kAction: {
+      if (position >= n) return false;
+      return mdp.action_name(trajectory.steps[position].action) == name_;
+    }
+    case Kind::kNot:
+      return !left_->holds_at(mdp, trajectory, position);
+    case Kind::kAnd:
+      return left_->holds_at(mdp, trajectory, position) &&
+             right_->holds_at(mdp, trajectory, position);
+    case Kind::kOr:
+      return left_->holds_at(mdp, trajectory, position) ||
+             right_->holds_at(mdp, trajectory, position);
+    case Kind::kImplies:
+      return !left_->holds_at(mdp, trajectory, position) ||
+             right_->holds_at(mdp, trajectory, position);
+    case Kind::kNext:
+      return position < n && left_->holds_at(mdp, trajectory, position + 1);
+    case Kind::kEventually:
+      for (std::size_t j = position; j <= n; ++j) {
+        if (left_->holds_at(mdp, trajectory, j)) return true;
+      }
+      return false;
+    case Kind::kGlobally:
+      for (std::size_t j = position; j <= n; ++j) {
+        if (!left_->holds_at(mdp, trajectory, j)) return false;
+      }
+      return true;
+    case Kind::kUntil:
+      for (std::size_t j = position; j <= n; ++j) {
+        if (right_->holds_at(mdp, trajectory, j)) return true;
+        if (!left_->holds_at(mdp, trajectory, j)) return false;
+      }
+      return false;
+  }
+  return false;
+}
+
+struct RuleFactory {
+  static std::shared_ptr<TrajectoryRule> node(TrajectoryRule::Kind kind) {
+    return std::make_shared<TrajectoryRule>(TrajectoryRule::Private{}, kind);
+  }
+  static TrajectoryRulePtr atom(TrajectoryRule::Kind kind, std::string name) {
+    TML_REQUIRE(!name.empty(), "TrajectoryRule: empty atom name");
+    auto n = node(kind);
+    n->name_ = std::move(name);
+    return n;
+  }
+  static TrajectoryRulePtr unary(TrajectoryRule::Kind kind,
+                                 TrajectoryRulePtr a) {
+    TML_REQUIRE(a != nullptr, "TrajectoryRule: null operand");
+    auto n = node(kind);
+    n->left_ = std::move(a);
+    return n;
+  }
+  static TrajectoryRulePtr binary(TrajectoryRule::Kind kind,
+                                  TrajectoryRulePtr a, TrajectoryRulePtr b) {
+    TML_REQUIRE(a != nullptr && b != nullptr, "TrajectoryRule: null operand");
+    auto n = node(kind);
+    n->left_ = std::move(a);
+    n->right_ = std::move(b);
+    return n;
+  }
+};
+
+namespace rules {
+
+TrajectoryRulePtr truth() {
+  return RuleFactory::node(TrajectoryRule::Kind::kTrue);
+}
+TrajectoryRulePtr label(std::string name) {
+  return RuleFactory::atom(TrajectoryRule::Kind::kLabel, std::move(name));
+}
+TrajectoryRulePtr state(std::string name) {
+  return RuleFactory::atom(TrajectoryRule::Kind::kState, std::move(name));
+}
+TrajectoryRulePtr action(std::string name) {
+  return RuleFactory::atom(TrajectoryRule::Kind::kAction, std::move(name));
+}
+TrajectoryRulePtr negation(TrajectoryRulePtr operand) {
+  return RuleFactory::unary(TrajectoryRule::Kind::kNot, std::move(operand));
+}
+TrajectoryRulePtr conjunction(TrajectoryRulePtr lhs, TrajectoryRulePtr rhs) {
+  return RuleFactory::binary(TrajectoryRule::Kind::kAnd, std::move(lhs),
+                             std::move(rhs));
+}
+TrajectoryRulePtr disjunction(TrajectoryRulePtr lhs, TrajectoryRulePtr rhs) {
+  return RuleFactory::binary(TrajectoryRule::Kind::kOr, std::move(lhs),
+                             std::move(rhs));
+}
+TrajectoryRulePtr implication(TrajectoryRulePtr lhs, TrajectoryRulePtr rhs) {
+  return RuleFactory::binary(TrajectoryRule::Kind::kImplies, std::move(lhs),
+                             std::move(rhs));
+}
+TrajectoryRulePtr next(TrajectoryRulePtr operand) {
+  return RuleFactory::unary(TrajectoryRule::Kind::kNext, std::move(operand));
+}
+TrajectoryRulePtr eventually(TrajectoryRulePtr operand) {
+  return RuleFactory::unary(TrajectoryRule::Kind::kEventually,
+                            std::move(operand));
+}
+TrajectoryRulePtr globally(TrajectoryRulePtr operand) {
+  return RuleFactory::unary(TrajectoryRule::Kind::kGlobally,
+                            std::move(operand));
+}
+TrajectoryRulePtr until(TrajectoryRulePtr lhs, TrajectoryRulePtr rhs) {
+  return RuleFactory::binary(TrajectoryRule::Kind::kUntil, std::move(lhs),
+                             std::move(rhs));
+}
+
+TrajectoryRulePtr never_visit_state(std::string name) {
+  return globally(negation(state(std::move(name))));
+}
+TrajectoryRulePtr never_visit_label(std::string name) {
+  return globally(negation(label(std::move(name))));
+}
+TrajectoryRulePtr eventually_label(std::string name) {
+  return eventually(label(std::move(name)));
+}
+
+}  // namespace rules
+
+std::string TrajectoryRule::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kLabel:
+      return "\"" + name_ + "\"";
+    case Kind::kState:
+      return "@" + name_;
+    case Kind::kAction:
+      return "act:" + name_;
+    case Kind::kNot:
+      return "!(" + left_->to_string() + ")";
+    case Kind::kAnd:
+      return "(" + left_->to_string() + " & " + right_->to_string() + ")";
+    case Kind::kOr:
+      return "(" + left_->to_string() + " | " + right_->to_string() + ")";
+    case Kind::kImplies:
+      return "(" + left_->to_string() + " => " + right_->to_string() + ")";
+    case Kind::kNext:
+      return "X (" + left_->to_string() + ")";
+    case Kind::kEventually:
+      return "F (" + left_->to_string() + ")";
+    case Kind::kGlobally:
+      return "G (" + left_->to_string() + ")";
+    case Kind::kUntil:
+      return "(" + left_->to_string() + " U " + right_->to_string() + ")";
+  }
+  return "?";
+}
+
+}  // namespace tml

@@ -1,0 +1,104 @@
+// Trajectory rules: logical constraints interpreted over finite MDP
+// trajectories, used by Reward Repair (§IV-C).
+//
+// The paper's Reward Repair enforces E_Q[φ_l(U)] = 1 for rules φ_l "defined
+// over the trajectory ... in any logic that can be interpreted over a
+// trajectory, such as propositional, first-order, or linear temporal
+// logic". We implement a finite-trace temporal logic (LTLf-style):
+// propositional atoms over the current position (state labels, state names,
+// taken actions) combined with boolean connectives and temporal operators
+// X / F / G / U evaluated on the finite state-action sequence.
+//
+// Semantics on a trajectory U = s_0 -a_0-> s_1 ... s_n at position i:
+//   label(l)      : s_i carries label l
+//   state(name)   : s_i is the named state
+//   action(name)  : i < n and a_i is the named action
+//   X ψ           : i < n and ψ holds at i+1
+//   F ψ           : ψ holds at some j >= i
+//   G ψ           : ψ holds at all j >= i
+//   ψ1 U ψ2       : ψ2 holds at some j >= i and ψ1 holds at i..j-1
+// A rule holds on U iff it holds at position 0.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/mdp/model.hpp"
+#include "src/mdp/trajectory.hpp"
+
+namespace tml {
+
+/// Immutable finite-trace rule node; build via the `rules` factories.
+class TrajectoryRule {
+ public:
+  enum class Kind {
+    kTrue,
+    kLabel,
+    kState,
+    kAction,
+    kNot,
+    kAnd,
+    kOr,
+    kImplies,
+    kNext,
+    kEventually,
+    kGlobally,
+    kUntil
+  };
+
+  Kind kind() const { return kind_; }
+
+  /// Evaluates the rule at position 0 of the trajectory.
+  bool holds(const Mdp& mdp, const Trajectory& trajectory) const;
+
+  /// Evaluates the rule at a given position (0 .. trajectory.length()).
+  bool holds_at(const Mdp& mdp, const Trajectory& trajectory,
+                std::size_t position) const;
+
+  std::string to_string() const;
+
+  struct Private {};
+  TrajectoryRule(Private, Kind kind) : kind_(kind) {}
+
+ private:
+  friend struct RuleFactory;
+
+  Kind kind_;
+  std::string name_;  // label / state / action name
+  std::shared_ptr<const TrajectoryRule> left_;
+  std::shared_ptr<const TrajectoryRule> right_;
+};
+
+using TrajectoryRulePtr = std::shared_ptr<const TrajectoryRule>;
+
+namespace rules {
+
+TrajectoryRulePtr truth();
+/// Current state carries the label.
+TrajectoryRulePtr label(std::string name);
+/// Current state is the named state.
+TrajectoryRulePtr state(std::string name);
+/// The action taken at the current position is the named one.
+TrajectoryRulePtr action(std::string name);
+
+TrajectoryRulePtr negation(TrajectoryRulePtr operand);
+TrajectoryRulePtr conjunction(TrajectoryRulePtr lhs, TrajectoryRulePtr rhs);
+TrajectoryRulePtr disjunction(TrajectoryRulePtr lhs, TrajectoryRulePtr rhs);
+TrajectoryRulePtr implication(TrajectoryRulePtr lhs, TrajectoryRulePtr rhs);
+
+TrajectoryRulePtr next(TrajectoryRulePtr operand);
+TrajectoryRulePtr eventually(TrajectoryRulePtr operand);
+TrajectoryRulePtr globally(TrajectoryRulePtr operand);
+TrajectoryRulePtr until(TrajectoryRulePtr lhs, TrajectoryRulePtr rhs);
+
+/// Convenience: G !state — the trajectory never visits the named state.
+TrajectoryRulePtr never_visit_state(std::string name);
+/// Convenience: G !label — the trajectory never visits a labelled state.
+TrajectoryRulePtr never_visit_label(std::string name);
+/// Convenience: F label — the trajectory eventually reaches a labelled state.
+TrajectoryRulePtr eventually_label(std::string name);
+
+}  // namespace rules
+
+}  // namespace tml

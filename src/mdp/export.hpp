@@ -1,0 +1,30 @@
+// Model serialization: PRISM-language and Graphviz DOT writers.
+//
+// The paper's workflow hands models to PRISM; these writers make every
+// tml model inspectable with the original toolchain (and with graphviz for
+// figures such as the paper's Fig. 1). The PRISM output is a single-module
+// explicit-state encoding: one integer state variable, one command per
+// (state, choice), a label per atomic proposition, and one reward
+// structure combining state and action rewards.
+
+#pragma once
+
+#include <string>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// PRISM-language source for an MDP ("mdp" model type).
+std::string to_prism(const Mdp& mdp, const std::string& module_name = "tml");
+
+/// PRISM-language source for a DTMC ("dtmc" model type).
+std::string to_prism(const Dtmc& chain, const std::string& module_name = "tml");
+
+/// Graphviz digraph. States are nodes (labels show name, reward, atomic
+/// propositions; goal-ish labels are not interpreted); transitions are
+/// edges annotated with action and probability.
+std::string to_dot(const Mdp& mdp, const std::string& graph_name = "tml");
+std::string to_dot(const Dtmc& chain, const std::string& graph_name = "tml");
+
+}  // namespace tml

@@ -1,0 +1,203 @@
+#include "src/mdp/graph.hpp"
+
+#include <deque>
+
+namespace tml {
+
+namespace {
+
+/// Predecessor lists over all choice edges (probability > 0).
+std::vector<std::vector<StateId>> predecessors(const Mdp& mdp) {
+  std::vector<std::vector<StateId>> preds(mdp.num_states());
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    for (const Choice& c : mdp.choices(s)) {
+      for (const Transition& t : c.transitions) {
+        if (t.probability > 0.0) preds[t.target].push_back(s);
+      }
+    }
+  }
+  return preds;
+}
+
+std::vector<std::vector<StateId>> predecessors(const Dtmc& chain) {
+  std::vector<std::vector<StateId>> preds(chain.num_states());
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    for (const Transition& t : chain.transitions(s)) {
+      if (t.probability > 0.0) preds[t.target].push_back(s);
+    }
+  }
+  return preds;
+}
+
+/// Backward closure of `seeds` over the predecessor relation. States in
+/// `blocked` (when provided) are never added: a path that must pass through
+/// a blocked state does not count. Used with blocked = targets to compute
+/// "can fail before reaching the target".
+StateSet backward_closure(const std::vector<std::vector<StateId>>& preds,
+                          const StateSet& seeds,
+                          const StateSet* blocked = nullptr) {
+  StateSet reached = seeds;
+  std::deque<StateId> queue;
+  for (StateId s = 0; s < seeds.size(); ++s) {
+    if (seeds[s]) queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (StateId p : preds[s]) {
+      if (!reached[p] && (blocked == nullptr || !(*blocked)[p])) {
+        reached[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return reached;
+}
+
+}  // namespace
+
+StateSet reachable_existential(const Mdp& mdp, const StateSet& targets) {
+  TML_REQUIRE(targets.size() == mdp.num_states(),
+              "reachable_existential: target set size mismatch");
+  return backward_closure(predecessors(mdp), targets);
+}
+
+StateSet avoid_certain(const Mdp& mdp, const StateSet& targets) {
+  TML_REQUIRE(targets.size() == mdp.num_states(),
+              "avoid_certain: target set size mismatch");
+  const std::size_t n = mdp.num_states();
+  // Greatest fixpoint: start from S \ T, repeatedly remove states with no
+  // choice whose support stays inside the candidate set.
+  StateSet inside = complement(targets);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (StateId s = 0; s < n; ++s) {
+      if (!inside[s]) continue;
+      bool has_safe_choice = false;
+      for (const Choice& c : mdp.choices(s)) {
+        bool all_inside = true;
+        for (const Transition& t : c.transitions) {
+          if (t.probability > 0.0 && !inside[t.target]) {
+            all_inside = false;
+            break;
+          }
+        }
+        if (all_inside) {
+          has_safe_choice = true;
+          break;
+        }
+      }
+      if (!has_safe_choice) {
+        inside[s] = false;
+        changed = true;
+      }
+    }
+  }
+  return inside;
+}
+
+StateSet prob1_existential(const Mdp& mdp, const StateSet& targets) {
+  TML_REQUIRE(targets.size() == mdp.num_states(),
+              "prob1_existential: target set size mismatch");
+  const std::size_t n = mdp.num_states();
+  // de Alfaro's nested fixpoint. Outer: over-approximation u of Prob1E.
+  // Inner: states that can reach T via choices whose support stays in u.
+  StateSet u(n, true);
+  while (true) {
+    StateSet v = targets;
+    bool inner_changed = true;
+    while (inner_changed) {
+      inner_changed = false;
+      for (StateId s = 0; s < n; ++s) {
+        if (v[s] || !u[s]) continue;
+        for (const Choice& c : mdp.choices(s)) {
+          bool support_in_u = true;
+          bool hits_v = false;
+          for (const Transition& t : c.transitions) {
+            if (t.probability <= 0.0) continue;
+            if (!u[t.target]) support_in_u = false;
+            if (v[t.target]) hits_v = true;
+          }
+          if (support_in_u && hits_v) {
+            v[s] = true;
+            inner_changed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (v == u) return u;
+    u = v;
+  }
+}
+
+StateSet prob1_universal(const Mdp& mdp, const StateSet& targets) {
+  // Pmin(F T)(s) < 1 iff some scheduler reaches, with positive probability
+  // and WITHOUT passing through T, the region where T can be avoided
+  // forever. Target states themselves always count as probability 1.
+  const StateSet avoid = avoid_certain(mdp, targets);
+  const StateSet can_escape =
+      backward_closure(predecessors(mdp), avoid, &targets);
+  return complement(can_escape);
+}
+
+StateSet dtmc_reach_positive(const Dtmc& chain, const StateSet& targets) {
+  TML_REQUIRE(targets.size() == chain.num_states(),
+              "dtmc_reach_positive: target set size mismatch");
+  return backward_closure(predecessors(chain), targets);
+}
+
+StateSet dtmc_prob0(const Dtmc& chain, const StateSet& targets) {
+  return complement(dtmc_reach_positive(chain, targets));
+}
+
+StateSet dtmc_prob1(const Dtmc& chain, const StateSet& targets) {
+  const StateSet zero = dtmc_prob0(chain, targets);
+  // P(F T)(s) = 1 iff s cannot reach a probability-0 state before passing
+  // through T (paths that hit T first have already succeeded).
+  const StateSet can_fail =
+      backward_closure(predecessors(chain), zero, &targets);
+  return complement(can_fail);
+}
+
+StateSet forward_reachable(const Mdp& mdp, StateId from) {
+  TML_REQUIRE(from < mdp.num_states(), "forward_reachable: state out of range");
+  StateSet reached(mdp.num_states(), false);
+  std::deque<StateId> queue{from};
+  reached[from] = true;
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (const Choice& c : mdp.choices(s)) {
+      for (const Transition& t : c.transitions) {
+        if (t.probability > 0.0 && !reached[t.target]) {
+          reached[t.target] = true;
+          queue.push_back(t.target);
+        }
+      }
+    }
+  }
+  return reached;
+}
+
+StateSet forward_reachable(const Dtmc& chain, StateId from) {
+  TML_REQUIRE(from < chain.num_states(),
+              "forward_reachable: state out of range");
+  StateSet reached(chain.num_states(), false);
+  std::deque<StateId> queue{from};
+  reached[from] = true;
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (const Transition& t : chain.transitions(s)) {
+      if (t.probability > 0.0 && !reached[t.target]) {
+        reached[t.target] = true;
+        queue.push_back(t.target);
+      }
+    }
+  }
+  return reached;
+}
+
+}  // namespace tml

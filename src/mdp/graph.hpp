@@ -1,0 +1,51 @@
+// Qualitative graph analyses on MDPs and DTMCs.
+//
+// These are the PRISM-style precomputations that make quantitative model
+// checking sound: they classify states where reachability probabilities are
+// exactly 0 or exactly 1 *for graph reasons*, before any numerics run.
+//
+// Naming (T is the target set):
+//  * reachable_existential(T): states from which SOME scheduler reaches T
+//    with positive probability (plain backward reachability over all edges).
+//    Complement = "Prob0A" (all schedulers give probability 0).
+//  * avoid_certain(T): states from which SOME scheduler avoids T forever
+//    with probability 1 (greatest fixpoint of "has a choice staying inside").
+//    This set is exactly { s : Pmin(F T)(s) = 0 }.
+//  * prob1_existential(T): { s : Pmax(F T)(s) = 1 } — the classic Prob1E
+//    nested fixpoint (de Alfaro).
+//  * prob1_universal(T):  { s : Pmin(F T)(s) = 1 } = complement of
+//    reachable_existential(avoid_certain(T)).
+
+#pragma once
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// States with a path (under some scheduler) of positive probability to T.
+StateSet reachable_existential(const Mdp& mdp, const StateSet& targets);
+
+/// States from which some scheduler stays out of T forever (prob 1 avoid).
+/// Requires targets ∩ result = ∅ by construction.
+StateSet avoid_certain(const Mdp& mdp, const StateSet& targets);
+
+/// { s : Pmax(F T)(s) = 1 } (Prob1E).
+StateSet prob1_existential(const Mdp& mdp, const StateSet& targets);
+
+/// { s : Pmin(F T)(s) = 1 } (Prob1A).
+StateSet prob1_universal(const Mdp& mdp, const StateSet& targets);
+
+/// DTMC: states that reach T with positive probability.
+StateSet dtmc_reach_positive(const Dtmc& chain, const StateSet& targets);
+
+/// DTMC: { s : P(F T)(s) = 0 }.
+StateSet dtmc_prob0(const Dtmc& chain, const StateSet& targets);
+
+/// DTMC: { s : P(F T)(s) = 1 }.
+StateSet dtmc_prob1(const Dtmc& chain, const StateSet& targets);
+
+/// States reachable (forward) from the initial state of the model.
+StateSet forward_reachable(const Mdp& mdp, StateId from);
+StateSet forward_reachable(const Dtmc& chain, StateId from);
+
+}  // namespace tml

@@ -1,0 +1,269 @@
+#include "src/mdp/prism_parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tml {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      } else if (text_.compare(pos_, 2, "//") == 0) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  bool consume(const std::string& token) {
+    skip_ws();
+    if (text_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes a keyword respecting identifier boundaries.
+  bool consume_word(const std::string& word) {
+    skip_ws();
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    const std::size_t end = pos_ + word.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  void expect(const std::string& token) {
+    if (!consume(token)) fail("expected '" + token + "'");
+  }
+
+  std::string identifier() {
+    skip_ws();
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == begin) fail("expected identifier");
+    return text_.substr(begin, pos_ - begin);
+  }
+
+  std::string quoted() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected '\"'");
+    ++pos_;
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+    if (pos_ >= text_.size()) fail("unterminated string");
+    std::string out = text_.substr(begin, pos_ - begin);
+    ++pos_;
+    return out;
+  }
+
+  long integer() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const long value = std::strtol(start, &end, 10);
+    if (end == start) fail("expected integer");
+    pos_ += static_cast<std::size_t>(end - start);
+    return value;
+  }
+
+  double number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) fail("expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return value;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("PRISM parse error at position " + std::to_string(pos_) +
+                     ": " + message);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Dtmc PrismModel::dtmc() const {
+  TML_REQUIRE(type == Type::kDtmc, "PrismModel::dtmc: model is an MDP");
+  Dtmc chain(mdp.num_states());
+  chain.set_initial_state(mdp.initial_state());
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    const auto& choices = mdp.choices(s);
+    TML_ASSERT(choices.size() == 1, "PrismModel::dtmc: multiple choices");
+    chain.set_transitions(s, choices[0].transitions);
+    chain.set_state_reward(s, mdp.state_reward(s) + choices[0].reward);
+    chain.set_state_name(s, mdp.state_name(s));
+    for (const std::string& label : mdp.labels_of(s)) {
+      chain.add_label(s, label);
+    }
+  }
+  return chain;
+}
+
+PrismModel parse_prism(const std::string& source) {
+  Lexer lex(source);
+
+  PrismModel model;
+  if (lex.consume_word("dtmc")) {
+    model.type = PrismModel::Type::kDtmc;
+  } else if (lex.consume_word("mdp")) {
+    model.type = PrismModel::Type::kMdp;
+  } else {
+    lex.fail("expected model type 'dtmc' or 'mdp'");
+  }
+
+  lex.expect("module");
+  (void)lex.identifier();  // module name
+
+  // State variable: ident : [lo..hi] init k;
+  const std::string var = lex.identifier();
+  lex.expect(":");
+  lex.expect("[");
+  const long lo = lex.integer();
+  lex.expect("..");
+  const long hi = lex.integer();
+  lex.expect("]");
+  lex.expect("init");
+  const long init = lex.integer();
+  lex.expect(";");
+  if (lo != 0 || hi < lo) lex.fail("state range must be [0..N]");
+  if (init < lo || init > hi) lex.fail("initial state out of range");
+
+  model.mdp.resize(static_cast<std::size_t>(hi + 1));
+  model.mdp.set_initial_state(static_cast<StateId>(init));
+
+  // Commands until 'endmodule'.
+  while (!lex.consume_word("endmodule")) {
+    lex.expect("[");
+    std::string action = "tau";
+    if (lex.peek() != ']') action = lex.identifier();
+    lex.expect("]");
+    const std::string guard_var = lex.identifier();
+    if (guard_var != var) lex.fail("unknown variable '" + guard_var + "'");
+    lex.expect("=");
+    const long from = lex.integer();
+    if (from < lo || from > hi) lex.fail("guard state out of range");
+    lex.expect("->");
+    std::vector<Transition> transitions;
+    do {
+      const double p = lex.number();
+      lex.expect(":");
+      lex.expect("(");
+      const std::string update_var = lex.identifier();
+      if (update_var != var) lex.fail("unknown variable in update");
+      lex.expect("'");
+      lex.expect("=");
+      const long to = lex.integer();
+      if (to < lo || to > hi) lex.fail("update target out of range");
+      lex.expect(")");
+      transitions.push_back(
+          Transition{static_cast<StateId>(to), p});
+    } while (lex.consume("+"));
+    lex.expect(";");
+    model.mdp.add_choice(static_cast<StateId>(from), action,
+                         std::move(transitions));
+  }
+
+  // Labels.
+  while (lex.consume_word("label")) {
+    const std::string name = lex.quoted();
+    lex.expect("=");
+    if (!lex.consume_word("false")) {
+      do {
+        lex.expect("(");
+        const std::string guard_var = lex.identifier();
+        if (guard_var != var) lex.fail("unknown variable in label");
+        lex.expect("=");
+        const long s = lex.integer();
+        if (s < lo || s > hi) lex.fail("label state out of range");
+        lex.expect(")");
+        model.mdp.add_label(static_cast<StateId>(s), name);
+      } while (lex.consume("|"));
+    }
+    lex.expect(";");
+  }
+
+  // Rewards (single structure).
+  if (lex.consume_word("rewards")) {
+    (void)lex.quoted();  // structure name
+    while (!lex.consume_word("endrewards")) {
+      std::string action;
+      if (lex.consume("[")) {
+        action = lex.identifier();
+        lex.expect("]");
+      }
+      const std::string guard_var = lex.identifier();
+      if (guard_var != var) lex.fail("unknown variable in reward");
+      lex.expect("=");
+      const long s = lex.integer();
+      if (s < lo || s > hi) lex.fail("reward state out of range");
+      lex.expect(":");
+      const double r = lex.number();
+      lex.expect(";");
+      const StateId state = static_cast<StateId>(s);
+      if (action.empty()) {
+        model.mdp.set_state_reward(state,
+                                   model.mdp.state_reward(state) + r);
+      } else {
+        bool matched = false;
+        auto& choices = model.mdp.mutable_choices(state);
+        for (Choice& choice : choices) {
+          if (model.mdp.action_name(choice.action) == action) {
+            choice.reward += r;
+            matched = true;
+          }
+        }
+        if (!matched) lex.fail("action reward for unknown command");
+      }
+    }
+  }
+
+  if (!lex.eof()) lex.fail("unexpected trailing input");
+
+  model.mdp.validate();
+  if (model.type == PrismModel::Type::kDtmc) {
+    for (StateId s = 0; s < model.mdp.num_states(); ++s) {
+      if (model.mdp.choices(s).size() != 1) {
+        throw ModelError(
+            "parse_prism: dtmc state " + std::to_string(s) +
+            " has multiple commands");
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace tml

@@ -1,0 +1,100 @@
+#include "src/mdp/simulate.hpp"
+
+namespace tml {
+
+namespace {
+
+StateId sample_successor(const Choice& choice, Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(choice.transitions.size());
+  for (const Transition& t : choice.transitions) {
+    weights.push_back(t.probability);
+  }
+  return choice.transitions[rng.categorical(weights)].target;
+}
+
+bool is_absorbing(const SimulationOptions& options, StateId s) {
+  return !options.absorbing.empty() && s < options.absorbing.size() &&
+         options.absorbing[s];
+}
+
+}  // namespace
+
+Trajectory simulate(const Mdp& mdp, const Policy& policy, Rng& rng,
+                    const SimulationOptions& options) {
+  TML_REQUIRE(policy.choice_index.size() == mdp.num_states(),
+              "simulate: policy size mismatch");
+  Trajectory trajectory;
+  trajectory.initial_state = mdp.initial_state();
+  StateId current = mdp.initial_state();
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    if (is_absorbing(options, current)) break;
+    const std::uint32_t c = policy.at(current);
+    const auto& choices = mdp.choices(current);
+    TML_REQUIRE(c < choices.size(), "simulate: policy chooses missing choice");
+    const Choice& choice = choices[c];
+    const StateId next = sample_successor(choice, rng);
+    trajectory.steps.push_back(Step{current, c, choice.action, next});
+    current = next;
+  }
+  return trajectory;
+}
+
+Trajectory simulate(const Mdp& mdp, const RandomizedPolicy& policy, Rng& rng,
+                    const SimulationOptions& options) {
+  TML_REQUIRE(policy.choice_probabilities.size() == mdp.num_states(),
+              "simulate: policy size mismatch");
+  Trajectory trajectory;
+  trajectory.initial_state = mdp.initial_state();
+  StateId current = mdp.initial_state();
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    if (is_absorbing(options, current)) break;
+    const auto& probs = policy.choice_probabilities[current];
+    const auto& choices = mdp.choices(current);
+    TML_REQUIRE(probs.size() == choices.size(),
+                "simulate: choice distribution size mismatch");
+    const std::uint32_t c = static_cast<std::uint32_t>(rng.categorical(probs));
+    const Choice& choice = choices[c];
+    const StateId next = sample_successor(choice, rng);
+    trajectory.steps.push_back(Step{current, c, choice.action, next});
+    current = next;
+  }
+  return trajectory;
+}
+
+TrajectoryDataset simulate_dataset(const Mdp& mdp, const Policy& policy,
+                                   Rng& rng, std::size_t count,
+                                   const SimulationOptions& options) {
+  TrajectoryDataset dataset;
+  for (std::size_t i = 0; i < count; ++i) {
+    dataset.add(simulate(mdp, policy, rng, options));
+  }
+  return dataset;
+}
+
+TrajectoryDataset simulate_dataset(const Mdp& mdp,
+                                   const RandomizedPolicy& policy, Rng& rng,
+                                   std::size_t count,
+                                   const SimulationOptions& options) {
+  TrajectoryDataset dataset;
+  for (std::size_t i = 0; i < count; ++i) {
+    dataset.add(simulate(mdp, policy, rng, options));
+  }
+  return dataset;
+}
+
+double trajectory_reward(const Mdp& mdp, const Trajectory& trajectory,
+                         bool count_final_state) {
+  double total = 0.0;
+  for (const Step& step : trajectory.steps) {
+    total += mdp.state_reward(step.state);
+    const auto& choices = mdp.choices(step.state);
+    TML_REQUIRE(step.choice < choices.size(),
+                "trajectory_reward: invalid choice index");
+    total += choices[step.choice].reward;
+  }
+  if (count_final_state) total += mdp.state_reward(trajectory.final_state());
+  return total;
+}
+
+}  // namespace tml

@@ -1,0 +1,47 @@
+// Monte-Carlo simulation of MDPs under a policy.
+//
+// Used to generate synthetic trace datasets (the paper's "message routing
+// traces" and "car traces from a vehicle simulator") and as an independent
+// sanity check of the analytic model checker in tests.
+
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/mdp/model.hpp"
+#include "src/mdp/trajectory.hpp"
+
+namespace tml {
+
+/// Simulation stopping conditions: a trajectory ends when it enters a state
+/// in `absorbing` or reaches `max_steps`.
+struct SimulationOptions {
+  std::size_t max_steps = 1000;
+  StateSet absorbing;  ///< empty means "no absorbing cut-off"
+};
+
+/// Simulates one trajectory from the MDP's initial state under a
+/// deterministic policy.
+Trajectory simulate(const Mdp& mdp, const Policy& policy, Rng& rng,
+                    const SimulationOptions& options = {});
+
+/// Simulates one trajectory under a randomized policy.
+Trajectory simulate(const Mdp& mdp, const RandomizedPolicy& policy, Rng& rng,
+                    const SimulationOptions& options = {});
+
+/// Simulates `count` trajectories into a dataset.
+TrajectoryDataset simulate_dataset(const Mdp& mdp, const Policy& policy,
+                                   Rng& rng, std::size_t count,
+                                   const SimulationOptions& options = {});
+TrajectoryDataset simulate_dataset(const Mdp& mdp,
+                                   const RandomizedPolicy& policy, Rng& rng,
+                                   std::size_t count,
+                                   const SimulationOptions& options = {});
+
+/// Total reward (state rewards of visited states + action rewards of taken
+/// choices) accumulated along a trajectory. The final state's state reward
+/// is only counted if `count_final_state` is set (reachability-reward
+/// semantics accumulate up to, excluding, the target).
+double trajectory_reward(const Mdp& mdp, const Trajectory& trajectory,
+                         bool count_final_state = false);
+
+}  // namespace tml

@@ -1,0 +1,310 @@
+#include "src/mdp/solver.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/matrix.hpp"
+#include "src/mdp/graph.hpp"
+
+namespace tml {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double choice_q(const Mdp& mdp, StateId s, const Choice& c,
+                std::span<const double> values, double discount) {
+  double q = mdp.state_reward(s) + c.reward;
+  for (const Transition& t : c.transitions) {
+    if (std::isinf(values[t.target])) return kInf;
+    q += discount * t.probability * values[t.target];
+  }
+  return q;
+}
+
+bool better(double a, double b, Objective objective) {
+  return objective == Objective::kMaximize ? a > b : a < b;
+}
+
+}  // namespace
+
+SolveResult value_iteration_discounted(const Mdp& mdp, double discount,
+                                       Objective objective,
+                                       const SolverOptions& options) {
+  TML_REQUIRE(discount > 0.0 && discount < 1.0,
+              "value_iteration_discounted: discount must be in (0,1), got "
+                  << discount);
+  const std::size_t n = mdp.num_states();
+  SolveResult result;
+  result.values.assign(n, 0.0);
+  result.policy.choice_index.assign(n, 0);
+
+  std::vector<double> next(n, 0.0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      const auto& choices = mdp.choices(s);
+      double best = choice_q(mdp, s, choices[0], result.values, discount);
+      std::uint32_t best_c = 0;
+      for (std::uint32_t c = 1; c < choices.size(); ++c) {
+        const double q = choice_q(mdp, s, choices[c], result.values, discount);
+        if (better(q, best, objective)) {
+          best = q;
+          best_c = c;
+        }
+      }
+      next[s] = best;
+      result.policy.choice_index[s] = best_c;
+      delta = std::max(delta, std::abs(next[s] - result.values[s]));
+    }
+    result.values.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (!result.converged && options.throw_on_nonconvergence) {
+    throw NumericError("value_iteration_discounted: no convergence after " +
+                       std::to_string(result.iterations) + " iterations");
+  }
+  return result;
+}
+
+SolveResult policy_iteration_discounted(const Mdp& mdp, double discount,
+                                        Objective objective,
+                                        const SolverOptions& options) {
+  TML_REQUIRE(discount > 0.0 && discount < 1.0,
+              "policy_iteration_discounted: discount must be in (0,1)");
+  mdp.validate();
+  SolveResult result;
+  result.policy = mdp.first_choice_policy();
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Exact evaluation of the current policy.
+    result.values = evaluate_policy_discounted(mdp, result.policy, discount);
+    // Greedy improvement.
+    Policy improved = result.policy;
+    for (StateId s = 0; s < mdp.num_states(); ++s) {
+      const auto& choices = mdp.choices(s);
+      double best = choice_q(mdp, s, choices[result.policy.at(s)],
+                             result.values, discount);
+      for (std::uint32_t c = 0; c < choices.size(); ++c) {
+        const double q = choice_q(mdp, s, choices[c], result.values, discount);
+        // Strict improvement with a tolerance guard against cycling.
+        if (objective == Objective::kMaximize ? q > best + 1e-12
+                                              : q < best - 1e-12) {
+          best = q;
+          improved.choice_index[s] = c;
+        }
+      }
+    }
+    if (improved.choice_index == result.policy.choice_index) {
+      result.converged = true;
+      return result;
+    }
+    result.policy = std::move(improved);
+  }
+  if (options.throw_on_nonconvergence) {
+    throw NumericError("policy_iteration_discounted: no convergence after " +
+                       std::to_string(result.iterations) + " iterations");
+  }
+  return result;
+}
+
+SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
+                                   Objective objective,
+                                   const SolverOptions& options) {
+  TML_REQUIRE(targets.size() == mdp.num_states(),
+              "total_reward_to_target: target set size mismatch");
+  const std::size_t n = mdp.num_states();
+
+  // Finite-value region: Rmin needs some scheduler reaching almost surely
+  // (Prob1E); Rmax needs all schedulers reaching almost surely (Prob1A) —
+  // PRISM semantics, where a path missing the target carries infinite reward.
+  const StateSet finite = objective == Objective::kMinimize
+                              ? prob1_existential(mdp, targets)
+                              : prob1_universal(mdp, targets);
+
+  SolveResult result;
+  result.values.assign(n, 0.0);
+  result.policy.choice_index.assign(n, 0);
+  for (StateId s = 0; s < n; ++s) {
+    if (!finite[s]) result.values[s] = kInf;
+    if (targets[s]) result.values[s] = 0.0;
+  }
+
+  std::vector<double> next = result.values;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      if (targets[s] || !finite[s]) continue;
+      const auto& choices = mdp.choices(s);
+      double best = kInf * (objective == Objective::kMinimize ? 1.0 : -1.0);
+      std::uint32_t best_c = result.policy.choice_index[s];
+      bool any = false;
+      for (std::uint32_t c = 0; c < choices.size(); ++c) {
+        const double q = choice_q(mdp, s, choices[c], result.values, 1.0);
+        if (!any || better(q, best, objective)) {
+          best = q;
+          best_c = c;
+          any = true;
+        }
+      }
+      next[s] = best;
+      result.policy.choice_index[s] = best_c;
+      if (std::isfinite(best) && std::isfinite(result.values[s])) {
+        delta = std::max(delta, std::abs(next[s] - result.values[s]));
+      } else if (std::isinf(best) != std::isinf(result.values[s])) {
+        delta = kInf;
+      }
+    }
+    result.values.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (!result.converged && options.throw_on_nonconvergence) {
+    throw NumericError("total_reward_to_target: no convergence after " +
+                       std::to_string(result.iterations) + " iterations");
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> q_values_discounted(
+    const Mdp& mdp, std::span<const double> values, double discount) {
+  TML_REQUIRE(values.size() == mdp.num_states(),
+              "q_values_discounted: value vector size mismatch");
+  std::vector<std::vector<double>> q(mdp.num_states());
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    const auto& choices = mdp.choices(s);
+    q[s].resize(choices.size());
+    for (std::uint32_t c = 0; c < choices.size(); ++c) {
+      q[s][c] = choice_q(mdp, s, choices[c], values, discount);
+    }
+  }
+  return q;
+}
+
+Policy greedy_policy(const std::vector<std::vector<double>>& q,
+                     Objective objective) {
+  Policy policy;
+  policy.choice_index.resize(q.size());
+  for (std::size_t s = 0; s < q.size(); ++s) {
+    TML_REQUIRE(!q[s].empty(), "greedy_policy: state " << s << " has no Q row");
+    std::uint32_t best = 0;
+    for (std::uint32_t c = 1; c < q[s].size(); ++c) {
+      if (better(q[s][c], q[s][best], objective)) best = c;
+    }
+    policy.choice_index[s] = best;
+  }
+  return policy;
+}
+
+std::vector<double> evaluate_policy_discounted(const Mdp& mdp,
+                                               const Policy& policy,
+                                               double discount) {
+  TML_REQUIRE(discount > 0.0 && discount < 1.0,
+              "evaluate_policy_discounted: discount out of (0,1)");
+  const Dtmc chain = mdp.induced_dtmc(policy);
+  const std::size_t n = chain.num_states();
+  // Solve (I − γP) v = r.
+  Matrix a = Matrix::identity(n);
+  std::vector<double> b(n);
+  for (StateId s = 0; s < n; ++s) {
+    b[s] = chain.state_reward(s);
+    for (const Transition& t : chain.transitions(s)) {
+      a(s, t.target) -= discount * t.probability;
+    }
+  }
+  return solve_linear_system(std::move(a), std::move(b));
+}
+
+std::vector<double> dtmc_total_reward(const Dtmc& chain,
+                                      const StateSet& targets) {
+  TML_REQUIRE(targets.size() == chain.num_states(),
+              "dtmc_total_reward: target set size mismatch");
+  const std::size_t n = chain.num_states();
+  const StateSet certain = dtmc_prob1(chain, targets);
+
+  // Unknowns: non-target states that reach the target almost surely. Such
+  // states only transition into other almost-sure states, so the restricted
+  // system is closed.
+  std::vector<int> index(n, -1);
+  std::vector<StateId> unknowns;
+  for (StateId s = 0; s < n; ++s) {
+    if (certain[s] && !targets[s]) {
+      index[s] = static_cast<int>(unknowns.size());
+      unknowns.push_back(s);
+    }
+  }
+
+  std::vector<double> values(n, kInf);
+  for (StateId s = 0; s < n; ++s) {
+    if (targets[s]) values[s] = 0.0;
+  }
+  if (unknowns.empty()) return values;
+
+  Matrix a = Matrix::identity(unknowns.size());
+  std::vector<double> b(unknowns.size());
+  for (std::size_t i = 0; i < unknowns.size(); ++i) {
+    const StateId s = unknowns[i];
+    b[i] = chain.state_reward(s);
+    for (const Transition& t : chain.transitions(s)) {
+      if (targets[t.target]) continue;  // pinned to 0
+      TML_ASSERT(index[t.target] >= 0,
+                 "dtmc_total_reward: almost-sure state leaks into "
+                 "non-almost-sure state "
+                     << t.target);
+      a(i, static_cast<std::size_t>(index[t.target])) -= t.probability;
+    }
+  }
+  const std::vector<double> x = solve_linear_system(std::move(a), std::move(b));
+  for (std::size_t i = 0; i < unknowns.size(); ++i) values[unknowns[i]] = x[i];
+  return values;
+}
+
+std::vector<double> dtmc_reachability(const Dtmc& chain,
+                                      const StateSet& targets) {
+  TML_REQUIRE(targets.size() == chain.num_states(),
+              "dtmc_reachability: target set size mismatch");
+  const std::size_t n = chain.num_states();
+  const StateSet zero = dtmc_prob0(chain, targets);
+  const StateSet one = dtmc_prob1(chain, targets);
+
+  std::vector<int> index(n, -1);
+  std::vector<StateId> unknowns;
+  for (StateId s = 0; s < n; ++s) {
+    if (!zero[s] && !one[s]) {
+      index[s] = static_cast<int>(unknowns.size());
+      unknowns.push_back(s);
+    }
+  }
+
+  std::vector<double> values(n, 0.0);
+  for (StateId s = 0; s < n; ++s) {
+    if (one[s]) values[s] = 1.0;
+  }
+  if (unknowns.empty()) return values;
+
+  Matrix a = Matrix::identity(unknowns.size());
+  std::vector<double> b(unknowns.size(), 0.0);
+  for (std::size_t i = 0; i < unknowns.size(); ++i) {
+    const StateId s = unknowns[i];
+    for (const Transition& t : chain.transitions(s)) {
+      if (one[t.target]) {
+        b[i] += t.probability;
+      } else if (!zero[t.target]) {
+        a(i, static_cast<std::size_t>(index[t.target])) -= t.probability;
+      }
+    }
+  }
+  const std::vector<double> x = solve_linear_system(std::move(a), std::move(b));
+  for (std::size_t i = 0; i < unknowns.size(); ++i) values[unknowns[i]] = x[i];
+  return values;
+}
+
+}  // namespace tml

@@ -1,0 +1,94 @@
+// Dynamic-programming solvers for MDPs: value iteration, Q-values,
+// greedy policy extraction, and exact policy evaluation.
+//
+// Two reward criteria are supported:
+//  * discounted infinite-horizon (`discount < 1`), the standard RL setting
+//    used by the car case study and by IRL, and
+//  * undiscounted expected total reward until absorption in a target set
+//    (stochastic shortest path), used by the WSN `R{attempts}` property.
+//
+// The PCTL-specific machinery (prob0/prob1 precomputation, bounded until,
+// min/max reward operators with qualitative preprocessing) lives in
+// src/checker; this module is the plain decision-theoretic layer.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// Optimization direction for MDP solvers.
+enum class Objective { kMaximize, kMinimize };
+
+/// Convergence / iteration-limit knobs shared by the iterative solvers.
+struct SolverOptions {
+  double tolerance = 1e-10;      ///< sup-norm convergence threshold
+  std::size_t max_iterations = 100000;
+  bool throw_on_nonconvergence = true;
+};
+
+/// Result of a value-iteration style computation.
+struct SolveResult {
+  std::vector<double> values;  ///< per-state value
+  Policy policy;               ///< greedy policy achieving `values`
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Discounted value iteration: V(s) = opt_a [ r(s) + r(s,a) + γ Σ P V ].
+/// `discount` must lie in (0, 1).
+SolveResult value_iteration_discounted(const Mdp& mdp, double discount,
+                                       Objective objective,
+                                       const SolverOptions& options = {});
+
+/// Howard policy iteration for the discounted criterion: exact policy
+/// evaluation (linear solve) alternating with greedy improvement.
+/// Terminates in finitely many iterations with the exact optimum — used as
+/// an oracle against value iteration in tests and faster on models where
+/// VI's γ-contraction is slow.
+SolveResult policy_iteration_discounted(const Mdp& mdp, double discount,
+                                        Objective objective,
+                                        const SolverOptions& options = {});
+
+/// Expected total reward accumulated until reaching `targets` (which pin
+/// value 0), optimizing in the given direction. States from which targets
+/// are not reached with probability 1 under the optimizing behaviour have
+/// infinite expected reward; the solver reports +inf for them (using a
+/// reachability precomputation).
+SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
+                                   Objective objective,
+                                   const SolverOptions& options = {});
+
+/// Q-values for the discounted criterion at a given value function:
+/// Q(s, c) = r(s) + r(s,c) + γ Σ_t P(t|s,c) V(t).
+/// Indexed [state][choice].
+std::vector<std::vector<double>> q_values_discounted(
+    const Mdp& mdp, std::span<const double> values, double discount);
+
+/// Greedy deterministic policy for given Q-values (ties resolved to the
+/// smallest choice index, which keeps results deterministic).
+Policy greedy_policy(const std::vector<std::vector<double>>& q,
+                     Objective objective);
+
+/// Exact policy evaluation for the discounted criterion by direct linear
+/// solve on the induced chain.
+std::vector<double> evaluate_policy_discounted(const Mdp& mdp,
+                                               const Policy& policy,
+                                               double discount);
+
+/// Expected total reward of a DTMC until reaching `targets` (value 0 at
+/// targets), by direct linear solve. States that reach the target with
+/// probability < 1 get +inf.
+std::vector<double> dtmc_total_reward(const Dtmc& chain,
+                                      const StateSet& targets);
+
+/// Probability of eventually reaching `targets` in a DTMC (linear solve with
+/// prob0/prob1 graph preprocessing).
+std::vector<double> dtmc_reachability(const Dtmc& chain,
+                                      const StateSet& targets);
+
+}  // namespace tml

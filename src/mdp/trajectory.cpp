@@ -1,0 +1,50 @@
+#include "src/mdp/trajectory.hpp"
+
+#include <sstream>
+
+namespace tml {
+
+std::vector<StateId> Trajectory::state_sequence() const {
+  std::vector<StateId> seq;
+  seq.reserve(steps.size() + 1);
+  seq.push_back(initial_state);
+  for (const Step& step : steps) seq.push_back(step.next_state);
+  return seq;
+}
+
+bool Trajectory::visits(const StateSet& set) const {
+  if (initial_state < set.size() && set[initial_state]) return true;
+  for (const Step& step : steps) {
+    if (step.next_state < set.size() && set[step.next_state]) return true;
+  }
+  return false;
+}
+
+std::string Trajectory::to_string(const Mdp& mdp) const {
+  auto name = [&](StateId s) {
+    const std::string& n = mdp.state_name(s);
+    return n.empty() ? "s" + std::to_string(s) : n;
+  };
+  std::ostringstream os;
+  StateId current = initial_state;
+  for (const Step& step : steps) {
+    os << "(" << name(current) << "," << mdp.action_name(step.action) << ") -> ";
+    current = step.next_state;
+  }
+  os << name(current);
+  return os.str();
+}
+
+void TrajectoryDataset::add(Trajectory trajectory, double weight) {
+  TML_REQUIRE(weight >= 0.0, "TrajectoryDataset: negative weight");
+  if (weights.empty() && !trajectories.empty() && weight != 1.0) {
+    weights.assign(trajectories.size(), 1.0);
+  }
+  trajectories.push_back(std::move(trajectory));
+  if (!weights.empty() || weight != 1.0) {
+    if (weights.empty()) weights.assign(trajectories.size() - 1, 1.0);
+    weights.push_back(weight);
+  }
+}
+
+}  // namespace tml

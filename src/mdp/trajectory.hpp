@@ -1,0 +1,65 @@
+// Trajectories (paths through an MDP) and datasets of trajectories.
+//
+// Trajectories are the data D of §II: Data Repair perturbs a dataset of
+// observed trajectories, the learner (src/learn) estimates transition
+// probabilities from them, IRL (src/irl) matches their feature counts, and
+// Reward Repair's trajectory rules φ_l(U) are evaluated on them.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+/// One observed step: being in `state`, taking choice `choice` (index into
+/// the state's choice list), which carried action id `action`, and landing
+/// in `next_state`.
+struct Step {
+  StateId state = 0;
+  std::uint32_t choice = 0;
+  ActionId action = 0;
+  StateId next_state = 0;
+};
+
+/// A finite path U = (s_1,a_1) ... (s_n,a_n) through an MDP, stored as its
+/// step sequence. `final_state` is the state reached after the last step
+/// (equal to steps.back().next_state when steps is non-empty).
+struct Trajectory {
+  std::vector<Step> steps;
+  StateId initial_state = 0;
+
+  bool empty() const { return steps.empty(); }
+  std::size_t length() const { return steps.size(); }
+  StateId final_state() const {
+    return steps.empty() ? initial_state : steps.back().next_state;
+  }
+
+  /// The state sequence s_1 ... s_{n+1} (length() + 1 entries).
+  std::vector<StateId> state_sequence() const;
+
+  /// True if any visited state (including the final one) is in `set`.
+  bool visits(const StateSet& set) const;
+
+  /// Renders as "(S0,a0) -> (S1,a1) -> ... -> Sk" using model names.
+  std::string to_string(const Mdp& mdp) const;
+};
+
+/// A dataset of trajectories with per-trajectory multiplicities (a compact
+/// representation of repeated observations; Data Repair's keep-weights act
+/// on these multiplicities).
+struct TrajectoryDataset {
+  std::vector<Trajectory> trajectories;
+  std::vector<double> weights;  ///< multiplicity/weight per trajectory; if
+                                ///< empty, all weights are 1
+
+  std::size_t size() const { return trajectories.size(); }
+  double weight(std::size_t i) const {
+    return weights.empty() ? 1.0 : weights[i];
+  }
+  void add(Trajectory trajectory, double weight = 1.0);
+};
+
+}  // namespace tml

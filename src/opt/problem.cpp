@@ -1,0 +1,86 @@
+#include "src/opt/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tml {
+
+void Box::project(std::vector<double>& x) const {
+  if (!lower.empty()) {
+    TML_REQUIRE(lower.size() == x.size(), "Box::project: dimension mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::max(x[i], lower[i]);
+  }
+  if (!upper.empty()) {
+    TML_REQUIRE(upper.size() == x.size(), "Box::project: dimension mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::min(x[i], upper[i]);
+  }
+}
+
+bool Box::contains(std::span<const double> x, double tol) const {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!lower.empty() && x[i] < lower[i] - tol) return false;
+    if (!upper.empty() && x[i] > upper[i] + tol) return false;
+  }
+  return true;
+}
+
+Box Box::uniform(std::size_t dim, double lo, double hi) {
+  TML_REQUIRE(lo <= hi, "Box::uniform: lo > hi");
+  Box box;
+  box.lower.assign(dim, lo);
+  box.upper.assign(dim, hi);
+  return box;
+}
+
+double Constraint::violation(std::span<const double> x) const {
+  return std::max(0.0, value(x));
+}
+
+void Problem::validate() const {
+  TML_REQUIRE(dimension > 0, "Problem: zero-dimensional");
+  TML_REQUIRE(static_cast<bool>(objective), "Problem: missing objective");
+  for (const Constraint& c : constraints) {
+    TML_REQUIRE(static_cast<bool>(c.value),
+                "Problem: constraint '" << c.name << "' missing value fn");
+  }
+  TML_REQUIRE(box.lower.empty() || box.lower.size() == dimension,
+              "Problem: lower bound dimension mismatch");
+  TML_REQUIRE(box.upper.empty() || box.upper.size() == dimension,
+              "Problem: upper bound dimension mismatch");
+}
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+std::vector<double> numeric_gradient(const ScalarFn& f,
+                                     std::span<const double> x, double step) {
+  std::vector<double> point(x.begin(), x.end());
+  std::vector<double> grad(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double saved = point[i];
+    const double h = step * std::max(1.0, std::abs(saved));
+    point[i] = saved + h;
+    const double fp = f(point);
+    point[i] = saved - h;
+    const double fm = f(point);
+    point[i] = saved;
+    grad[i] = (fp - fm) / (2.0 * h);
+  }
+  return grad;
+}
+
+double max_violation(const Problem& problem, std::span<const double> x) {
+  double v = 0.0;
+  for (const Constraint& c : problem.constraints) {
+    v = std::max(v, c.violation(x));
+  }
+  return v;
+}
+
+}  // namespace tml

@@ -1,0 +1,358 @@
+#include "src/opt/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tml {
+
+namespace {
+
+struct Evaluated {
+  double objective = 0.0;
+  double violation = 0.0;
+};
+
+Evaluated evaluate(const Problem& problem, std::span<const double> x) {
+  return Evaluated{problem.objective(x), max_violation(problem, x)};
+}
+
+/// Penalized scalar: f(x) + μ Σ max(0, g_i)² (+ λ_i g_i for the augmented
+/// Lagrangian when multipliers are provided).
+double penalized_value(const Problem& problem, std::span<const double> x,
+                       double mu, std::span<const double> multipliers) {
+  double value = problem.objective(x);
+  for (std::size_t i = 0; i < problem.constraints.size(); ++i) {
+    const double g = problem.constraints[i].value(x);
+    if (!multipliers.empty()) {
+      // Augmented Lagrangian for inequality g <= 0:
+      //   (μ/2)·[max(0, λ/μ + g)² − (λ/μ)²]
+      const double shifted = std::max(0.0, multipliers[i] / mu + g);
+      value += 0.5 * mu * (shifted * shifted -
+                           (multipliers[i] / mu) * (multipliers[i] / mu));
+    } else {
+      const double v = std::max(0.0, g);
+      value += mu * v * v;
+    }
+  }
+  return value;
+}
+
+std::vector<double> penalized_gradient(const Problem& problem,
+                                       std::span<const double> x, double mu,
+                                       std::span<const double> multipliers) {
+  std::vector<double> grad =
+      problem.objective_gradient
+          ? problem.objective_gradient(x)
+          : numeric_gradient(problem.objective, x);
+  for (std::size_t i = 0; i < problem.constraints.size(); ++i) {
+    const Constraint& c = problem.constraints[i];
+    const double g = c.value(x);
+    double scale = 0.0;
+    if (!multipliers.empty()) {
+      const double shifted = multipliers[i] / mu + g;
+      if (shifted > 0.0) scale = mu * shifted;
+    } else {
+      if (g > 0.0) scale = 2.0 * mu * g;
+    }
+    if (scale == 0.0) continue;
+    const std::vector<double> cg =
+        c.gradient ? c.gradient(x) : numeric_gradient(c.value, x);
+    for (std::size_t k = 0; k < grad.size(); ++k) grad[k] += scale * cg[k];
+  }
+  return grad;
+}
+
+/// Adam-style projected gradient descent on the penalized objective.
+/// Returns the best point visited (by penalized value).
+std::vector<double> inner_descend(const Problem& problem,
+                                  std::vector<double> x, double mu,
+                                  std::span<const double> multipliers,
+                                  const SolveOptions& options,
+                                  std::size_t* iterations_used) {
+  const std::size_t dim = x.size();
+  std::vector<double> m(dim, 0.0), v(dim, 0.0);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-12;
+  std::vector<double> best = x;
+  double best_value = penalized_value(problem, x, mu, multipliers);
+
+  for (std::size_t iter = 0; iter < options.max_inner_iterations; ++iter) {
+    const std::vector<double> grad =
+        penalized_gradient(problem, x, mu, multipliers);
+    double grad_norm = 0.0;
+    for (double g : grad) grad_norm += g * g;
+    grad_norm = std::sqrt(grad_norm);
+    if (grad_norm < options.convergence_tol) {
+      *iterations_used += iter + 1;
+      return best;
+    }
+    const double t = static_cast<double>(iter + 1);
+    for (std::size_t k = 0; k < dim; ++k) {
+      m[k] = beta1 * m[k] + (1.0 - beta1) * grad[k];
+      v[k] = beta2 * v[k] + (1.0 - beta2) * grad[k] * grad[k];
+      const double mhat = m[k] / (1.0 - std::pow(beta1, t));
+      const double vhat = v[k] / (1.0 - std::pow(beta2, t));
+      x[k] -= options.learning_rate * mhat / (std::sqrt(vhat) + eps);
+    }
+    problem.box.project(x);
+    const double value = penalized_value(problem, x, mu, multipliers);
+    if (value < best_value) {
+      best_value = value;
+      best = x;
+    }
+  }
+  *iterations_used += options.max_inner_iterations;
+  return best;
+}
+
+SolveOutcome penalty_like_solve(const Problem& problem,
+                                std::vector<double> start,
+                                const SolveOptions& options,
+                                bool augmented) {
+  problem.box.project(start);
+  std::vector<double> multipliers(
+      augmented ? problem.constraints.size() : 0, 0.0);
+  double mu = options.initial_penalty;
+  std::vector<double> x = std::move(start);
+  SolveOutcome outcome;
+  outcome.starts_tried = 1;
+
+  for (std::size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    x = inner_descend(problem, std::move(x), mu, multipliers, options,
+                      &outcome.iterations);
+    const Evaluated eval = evaluate(problem, x);
+    if (eval.violation <= options.feasibility_tol) {
+      // Feasible; record and keep polishing with larger μ to tighten the
+      // active constraints (the minimum sits on the boundary for repair
+      // problems).
+      if (eval.objective < outcome.objective ||
+          outcome.status != SolveStatus::kOptimal) {
+        outcome.status = SolveStatus::kOptimal;
+        outcome.x = x;
+        outcome.objective = eval.objective;
+        outcome.max_violation = eval.violation;
+      }
+    } else if (outcome.status != SolveStatus::kOptimal &&
+               eval.violation < outcome.max_violation) {
+      outcome.x = x;
+      outcome.objective = eval.objective;
+      outcome.max_violation = eval.violation;
+    }
+    if (augmented) {
+      for (std::size_t i = 0; i < problem.constraints.size(); ++i) {
+        const double g = problem.constraints[i].value(x);
+        multipliers[i] = std::max(0.0, multipliers[i] + mu * g);
+      }
+    }
+    mu *= options.penalty_growth;
+  }
+  if (outcome.status != SolveStatus::kOptimal) {
+    outcome.status = SolveStatus::kInfeasible;
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Nelder–Mead on the penalty function.
+
+SolveOutcome nelder_mead_solve(const Problem& problem,
+                               std::vector<double> start,
+                               const SolveOptions& options) {
+  problem.box.project(start);
+  const std::size_t dim = problem.dimension;
+  SolveOutcome outcome;
+  outcome.starts_tried = 1;
+
+  double mu = options.initial_penalty;
+  std::vector<double> x = std::move(start);
+
+  for (std::size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    auto value_of = [&](std::span<const double> p) {
+      return penalized_value(problem, p, mu, {});
+    };
+
+    // Build initial simplex around x.
+    std::vector<std::vector<double>> simplex(dim + 1, x);
+    for (std::size_t i = 0; i < dim; ++i) {
+      double step = 0.05 * std::max(1.0, std::abs(x[i]));
+      if (!problem.box.upper.empty() &&
+          simplex[i + 1][i] + step > problem.box.upper[i]) {
+        step = -step;
+      }
+      simplex[i + 1][i] += step;
+      problem.box.project(simplex[i + 1]);
+    }
+    std::vector<double> values(dim + 1);
+    for (std::size_t i = 0; i <= dim; ++i) values[i] = value_of(simplex[i]);
+
+    for (std::size_t iter = 0; iter < options.max_inner_iterations; ++iter) {
+      ++outcome.iterations;
+      // Order vertices.
+      std::vector<std::size_t> order(dim + 1);
+      for (std::size_t i = 0; i <= dim; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return values[a] < values[b];
+      });
+      const std::size_t best = order[0];
+      const std::size_t worst = order[dim];
+      const std::size_t second_worst = order[dim - 1];
+      if (std::abs(values[worst] - values[best]) <
+          options.convergence_tol * (1.0 + std::abs(values[best]))) {
+        break;
+      }
+      // Centroid of all but worst.
+      std::vector<double> centroid(dim, 0.0);
+      for (std::size_t i = 0; i <= dim; ++i) {
+        if (i == worst) continue;
+        for (std::size_t k = 0; k < dim; ++k) centroid[k] += simplex[i][k];
+      }
+      for (double& c : centroid) c /= static_cast<double>(dim);
+
+      auto blend = [&](double coeff) {
+        std::vector<double> p(dim);
+        for (std::size_t k = 0; k < dim; ++k) {
+          p[k] = centroid[k] + coeff * (centroid[k] - simplex[worst][k]);
+        }
+        problem.box.project(p);
+        return p;
+      };
+
+      std::vector<double> reflected = blend(1.0);
+      const double fr = value_of(reflected);
+      if (fr < values[best]) {
+        std::vector<double> expanded = blend(2.0);
+        const double fe = value_of(expanded);
+        if (fe < fr) {
+          simplex[worst] = std::move(expanded);
+          values[worst] = fe;
+        } else {
+          simplex[worst] = std::move(reflected);
+          values[worst] = fr;
+        }
+      } else if (fr < values[second_worst]) {
+        simplex[worst] = std::move(reflected);
+        values[worst] = fr;
+      } else {
+        std::vector<double> contracted = blend(-0.5);
+        const double fc = value_of(contracted);
+        if (fc < values[worst]) {
+          simplex[worst] = std::move(contracted);
+          values[worst] = fc;
+        } else {
+          // Shrink toward best.
+          for (std::size_t i = 0; i <= dim; ++i) {
+            if (i == best) continue;
+            for (std::size_t k = 0; k < dim; ++k) {
+              simplex[i][k] =
+                  simplex[best][k] + 0.5 * (simplex[i][k] - simplex[best][k]);
+            }
+            values[i] = value_of(simplex[i]);
+          }
+        }
+      }
+    }
+
+    // Record the best vertex of this μ round.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i <= dim; ++i) {
+      if (values[i] < values[best]) best = i;
+    }
+    x = simplex[best];
+    const Evaluated eval = evaluate(problem, x);
+    if (eval.violation <= options.feasibility_tol) {
+      if (eval.objective < outcome.objective ||
+          outcome.status != SolveStatus::kOptimal) {
+        outcome.status = SolveStatus::kOptimal;
+        outcome.x = x;
+        outcome.objective = eval.objective;
+        outcome.max_violation = eval.violation;
+      }
+    } else if (outcome.status != SolveStatus::kOptimal &&
+               eval.violation < outcome.max_violation) {
+      outcome.x = x;
+      outcome.objective = eval.objective;
+      outcome.max_violation = eval.violation;
+    }
+    mu *= options.penalty_growth;
+  }
+  if (outcome.status != SolveStatus::kOptimal) {
+    outcome.status = SolveStatus::kInfeasible;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+std::string to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kPenalty: return "penalty";
+    case Algorithm::kAugmentedLagrangian: return "augmented-lagrangian";
+    case Algorithm::kNelderMead: return "nelder-mead";
+  }
+  return "?";
+}
+
+SolveOutcome solve_local(const Problem& problem, std::vector<double> start,
+                         const SolveOptions& options) {
+  problem.validate();
+  TML_REQUIRE(start.size() == problem.dimension,
+              "solve_local: start point dimension mismatch");
+  switch (options.algorithm) {
+    case Algorithm::kPenalty:
+      return penalty_like_solve(problem, std::move(start), options, false);
+    case Algorithm::kAugmentedLagrangian:
+      return penalty_like_solve(problem, std::move(start), options, true);
+    case Algorithm::kNelderMead:
+      return nelder_mead_solve(problem, std::move(start), options);
+  }
+  throw Error("solve_local: unknown algorithm");
+}
+
+SolveOutcome solve(const Problem& problem, const SolveOptions& options) {
+  problem.validate();
+  Rng rng(options.seed);
+
+  // Start points: box centre (or origin) + random interior points.
+  std::vector<std::vector<double>> starts;
+  {
+    std::vector<double> centre(problem.dimension, 0.0);
+    if (!problem.box.lower.empty() && !problem.box.upper.empty()) {
+      for (std::size_t i = 0; i < problem.dimension; ++i) {
+        centre[i] = 0.5 * (problem.box.lower[i] + problem.box.upper[i]);
+      }
+    }
+    starts.push_back(std::move(centre));
+  }
+  for (std::size_t k = 0; k + 1 < options.num_starts; ++k) {
+    std::vector<double> p(problem.dimension, 0.0);
+    for (std::size_t i = 0; i < problem.dimension; ++i) {
+      const double lo =
+          problem.box.lower.empty() ? -1.0 : problem.box.lower[i];
+      const double hi = problem.box.upper.empty() ? 1.0 : problem.box.upper[i];
+      p[i] = rng.uniform(lo, hi);
+    }
+    starts.push_back(std::move(p));
+  }
+
+  SolveOutcome best;
+  std::size_t total_iterations = 0;
+  std::size_t total_starts = 0;
+  for (auto& start : starts) {
+    SolveOutcome outcome = solve_local(problem, std::move(start), options);
+    total_iterations += outcome.iterations;
+    ++total_starts;
+    const bool outcome_feasible = outcome.status == SolveStatus::kOptimal;
+    const bool best_feasible = best.status == SolveStatus::kOptimal;
+    const bool improves =
+        (outcome_feasible && !best_feasible) ||
+        (outcome_feasible && best_feasible &&
+         outcome.objective < best.objective) ||
+        (!outcome_feasible && !best_feasible &&
+         outcome.max_violation < best.max_violation);
+    if (improves || best.x.empty()) best = std::move(outcome);
+  }
+  best.iterations = total_iterations;
+  best.starts_tried = total_starts;
+  return best;
+}
+
+}  // namespace tml

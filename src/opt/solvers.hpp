@@ -1,0 +1,53 @@
+// Nonlinear solvers for the repair problems.
+//
+// Three local algorithms plus a multi-start driver:
+//
+//  * Penalty method with projected gradient descent — the workhorse. The
+//    constrained problem is relaxed to
+//        min  f(x) + μ Σ max(0, g_i(x))²
+//    and solved by Adam-style projected gradient for an increasing sequence
+//    of μ; box constraints are handled by projection.
+//  * Augmented Lagrangian — same inner solver, but with multiplier
+//    estimates, which converges to the constraint boundary without μ → ∞.
+//  * Nelder–Mead on the penalized objective — derivative-free fallback used
+//    by the solver-ablation bench and for objectives whose gradients are
+//    expensive (e.g. Q-value constraints that re-run value iteration).
+//
+// The multi-start driver (`solve`) runs a local algorithm from the box
+// centre plus random interior points and keeps the best feasible solution;
+// if no start produces a feasible point it reports kInfeasible together
+// with the smallest violation found — the behaviour the repair pipeline
+// interprets as "Model Repair cannot satisfy φ" (§V-A, X=19 case).
+
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/opt/problem.hpp"
+
+namespace tml {
+
+enum class Algorithm { kPenalty, kAugmentedLagrangian, kNelderMead };
+
+std::string to_string(Algorithm algorithm);
+
+struct SolveOptions {
+  Algorithm algorithm = Algorithm::kPenalty;
+  std::size_t num_starts = 8;          ///< random restarts (plus box centre)
+  std::size_t max_inner_iterations = 2000;
+  std::size_t max_outer_iterations = 12;  ///< penalty/multiplier updates
+  double initial_penalty = 10.0;
+  double penalty_growth = 4.0;
+  double learning_rate = 0.02;
+  double feasibility_tol = 1e-6;
+  double convergence_tol = 1e-10;
+  std::uint64_t seed = 17;
+};
+
+/// Runs one local solve from `start` (projected into the box).
+SolveOutcome solve_local(const Problem& problem, std::vector<double> start,
+                         const SolveOptions& options);
+
+/// Multi-start driver; see file comment.
+SolveOutcome solve(const Problem& problem, const SolveOptions& options = {});
+
+}  // namespace tml

@@ -1,0 +1,66 @@
+#include "src/parametric/bounded.hpp"
+
+namespace tml {
+
+RationalFunction bounded_until_probability(const ParametricDtmc& chain,
+                                           const StateSet& stay,
+                                           const StateSet& goal,
+                                           std::size_t bound) {
+  const std::size_t n = chain.num_states();
+  TML_REQUIRE(stay.size() == n && goal.size() == n,
+              "bounded_until_probability: set size mismatch");
+
+  std::vector<RationalFunction> values(n);
+  for (StateId s = 0; s < n; ++s) {
+    if (goal[s]) values[s] = RationalFunction(1.0);
+  }
+  std::vector<RationalFunction> next(n);
+  for (std::size_t step = 0; step < bound; ++step) {
+    for (StateId s = 0; s < n; ++s) {
+      if (goal[s]) {
+        next[s] = RationalFunction(1.0);
+        continue;
+      }
+      if (!stay[s]) {
+        next[s] = RationalFunction();
+        continue;
+      }
+      RationalFunction acc;
+      for (const auto& [t, p] : chain.row(s)) {
+        if (values[t].is_zero()) continue;
+        acc += *p * values[t];
+      }
+      next[s] = std::move(acc);
+    }
+    values.swap(next);
+  }
+  return values[chain.initial_state()];
+}
+
+RationalFunction bounded_reachability_probability(const ParametricDtmc& chain,
+                                                  const StateSet& targets,
+                                                  std::size_t bound) {
+  const StateSet stay(chain.num_states(), true);
+  return bounded_until_probability(chain, stay, targets, bound);
+}
+
+RationalFunction cumulative_reward(const ParametricDtmc& chain,
+                                   std::size_t horizon) {
+  const std::size_t n = chain.num_states();
+  std::vector<RationalFunction> values(n);
+  std::vector<RationalFunction> next(n);
+  for (std::size_t step = 0; step < horizon; ++step) {
+    for (StateId s = 0; s < n; ++s) {
+      RationalFunction acc = chain.state_reward(s);
+      for (const auto& [t, p] : chain.row(s)) {
+        if (values[t].is_zero()) continue;
+        acc += *p * values[t];
+      }
+      next[s] = std::move(acc);
+    }
+    values.swap(next);
+  }
+  return values[chain.initial_state()];
+}
+
+}  // namespace tml

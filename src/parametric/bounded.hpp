@@ -1,0 +1,40 @@
+// Symbolic step-bounded analyses for parametric DTMCs.
+//
+// §III of the paper notes that "a real controller would use bounded-time
+// variants of temporal properties". These routines extend the parametric
+// engine to that fragment: k-step reachability probability and k-step
+// cumulative reward are computed by symbolic value iteration over rational
+// functions, yielding a polynomial (degree grows with k) instead of the
+// rational functions of the unbounded case.
+//
+// Cost note: each iteration multiplies transition functions into the value
+// vector, so the symbolic degree grows linearly in k — usable for the
+// short horizons bounded controller properties have, and guarded by the
+// same randomized cross-validation as the unbounded engine.
+
+#pragma once
+
+#include "src/mdp/model.hpp"
+#include "src/parametric/parametric_dtmc.hpp"
+
+namespace tml {
+
+/// P(F<=k targets) from the initial state, as a function of the
+/// parameters. Targets are absorbing for the purpose of the count (their
+/// value is pinned to 1 from step 0).
+RationalFunction bounded_reachability_probability(const ParametricDtmc& chain,
+                                                  const StateSet& targets,
+                                                  std::size_t bound);
+
+/// P(stay U<=k goal) from the initial state: constrained bounded until
+/// (escape states contribute 0).
+RationalFunction bounded_until_probability(const ParametricDtmc& chain,
+                                           const StateSet& stay,
+                                           const StateSet& goal,
+                                           std::size_t bound);
+
+/// Expected reward accumulated over the first `horizon` steps (C<=k).
+RationalFunction cumulative_reward(const ParametricDtmc& chain,
+                                   std::size_t horizon);
+
+}  // namespace tml

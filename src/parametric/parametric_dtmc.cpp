@@ -1,0 +1,167 @@
+#include "src/parametric/parametric_dtmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tml {
+
+ParametricDtmc::ParametricDtmc(std::size_t num_states, VariablePool pool)
+    : pool_(std::move(pool)),
+      transitions_(num_states),
+      rewards_(num_states),
+      names_(num_states),
+      labels_(num_states) {
+  TML_REQUIRE(num_states > 0, "ParametricDtmc: need at least one state");
+}
+
+void ParametricDtmc::set_initial_state(StateId s) {
+  TML_REQUIRE(s < num_states(), "ParametricDtmc: initial state out of range");
+  initial_state_ = s;
+}
+
+void ParametricDtmc::set_transition(StateId from, StateId to,
+                                    RationalFunction probability) {
+  TML_REQUIRE(from < num_states() && to < num_states(),
+              "ParametricDtmc::set_transition: state out of range");
+  auto& row = transitions_[from];
+  auto it = std::find_if(row.begin(), row.end(),
+                         [to](const Entry& e) { return e.target == to; });
+  if (probability.is_zero()) {
+    if (it != row.end()) row.erase(it);
+    return;
+  }
+  if (it != row.end()) {
+    it->probability = std::move(probability);
+  } else {
+    row.push_back(Entry{to, std::move(probability)});
+  }
+}
+
+void ParametricDtmc::add_transition(StateId from, StateId to,
+                                    RationalFunction probability) {
+  TML_REQUIRE(from < num_states() && to < num_states(),
+              "ParametricDtmc::add_transition: state out of range");
+  auto& row = transitions_[from];
+  auto it = std::find_if(row.begin(), row.end(),
+                         [to](const Entry& e) { return e.target == to; });
+  if (it != row.end()) {
+    it->probability += probability;
+    if (it->probability.is_zero()) row.erase(it);
+  } else if (!probability.is_zero()) {
+    row.push_back(Entry{to, std::move(probability)});
+  }
+}
+
+const RationalFunction& ParametricDtmc::transition(StateId from,
+                                                   StateId to) const {
+  TML_REQUIRE(from < num_states() && to < num_states(),
+              "ParametricDtmc::transition: state out of range");
+  for (const Entry& e : transitions_[from]) {
+    if (e.target == to) return e.probability;
+  }
+  return zero_;
+}
+
+std::vector<std::pair<StateId, const RationalFunction*>> ParametricDtmc::row(
+    StateId from) const {
+  TML_REQUIRE(from < num_states(), "ParametricDtmc::row: state out of range");
+  std::vector<std::pair<StateId, const RationalFunction*>> out;
+  out.reserve(transitions_[from].size());
+  for (const Entry& e : transitions_[from]) {
+    out.emplace_back(e.target, &e.probability);
+  }
+  return out;
+}
+
+void ParametricDtmc::set_state_reward(StateId s, RationalFunction reward) {
+  TML_REQUIRE(s < num_states(), "ParametricDtmc: state out of range");
+  rewards_[s] = std::move(reward);
+}
+
+const RationalFunction& ParametricDtmc::state_reward(StateId s) const {
+  TML_REQUIRE(s < num_states(), "ParametricDtmc: state out of range");
+  return rewards_[s];
+}
+
+void ParametricDtmc::set_state_name(StateId s, std::string name) {
+  TML_REQUIRE(s < num_states(), "ParametricDtmc: state out of range");
+  names_[s] = std::move(name);
+}
+
+const std::string& ParametricDtmc::state_name(StateId s) const {
+  TML_REQUIRE(s < num_states(), "ParametricDtmc: state out of range");
+  return names_[s];
+}
+
+void ParametricDtmc::add_label(StateId s, const std::string& label) {
+  TML_REQUIRE(s < num_states(), "ParametricDtmc: state out of range");
+  if (std::find(labels_[s].begin(), labels_[s].end(), label) ==
+      labels_[s].end()) {
+    labels_[s].push_back(label);
+  }
+}
+
+const std::vector<std::string>& ParametricDtmc::labels_of(StateId s) const {
+  TML_REQUIRE(s < num_states(), "ParametricDtmc: state out of range");
+  return labels_[s];
+}
+
+Dtmc ParametricDtmc::instantiate(std::span<const double> values) const {
+  Dtmc chain(num_states());
+  chain.set_initial_state(initial_state_);
+  for (StateId s = 0; s < num_states(); ++s) {
+    std::vector<Transition> row;
+    row.reserve(transitions_[s].size());
+    for (const Entry& e : transitions_[s]) {
+      row.push_back(Transition{e.target, e.probability.evaluate(values)});
+    }
+    std::sort(row.begin(), row.end(),
+              [](const Transition& a, const Transition& b) {
+                return a.target < b.target;
+              });
+    chain.set_transitions(s, std::move(row));
+    chain.set_state_reward(s, rewards_[s].is_zero()
+                                  ? 0.0
+                                  : rewards_[s].evaluate(values));
+    chain.set_state_name(s, names_[s]);
+    for (const std::string& label : labels_[s]) chain.add_label(s, label);
+  }
+  chain.validate(1e-6);
+  return chain;
+}
+
+void ParametricDtmc::validate_symbolic() const {
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (transitions_[s].empty()) {
+      throw ModelError("ParametricDtmc: state " + std::to_string(s) +
+                       " has no transitions");
+    }
+    RationalFunction sum;
+    for (const Entry& e : transitions_[s]) sum += e.probability;
+    if (!sum.is_constant() ||
+        std::abs(sum.constant_value() - 1.0) > 1e-9) {
+      throw ModelError("ParametricDtmc: row " + std::to_string(s) +
+                       " does not sum to 1 symbolically: " +
+                       sum.to_string(pool_.namer()));
+    }
+  }
+}
+
+ParametricDtmc ParametricDtmc::from_dtmc(const Dtmc& chain,
+                                         VariablePool pool) {
+  ParametricDtmc out(chain.num_states(), std::move(pool));
+  out.set_initial_state(chain.initial_state());
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    for (const Transition& t : chain.transitions(s)) {
+      out.add_transition(s, t.target, RationalFunction(t.probability));
+    }
+    if (chain.state_reward(s) != 0.0) {
+      out.set_state_reward(s, RationalFunction(chain.state_reward(s)));
+    }
+    out.set_state_name(s, chain.state_name(s));
+    for (const std::string& label : chain.labels_of(s)) out.add_label(s, label);
+  }
+  return out;
+}
+
+}  // namespace tml

@@ -1,0 +1,93 @@
+// Parametric discrete-time Markov chains.
+//
+// A parametric DTMC has transition probabilities (and state rewards) that
+// are rational functions of a set of parameters (src/rational). They arise
+// in two places in the TML pipeline:
+//
+//  * Model Repair (§IV-A): the chain P + Z, where Z holds the perturbation
+//    variables on the controllable transitions; and
+//  * Data Repair (§IV-B): the chain whose maximum-likelihood transition
+//    probabilities are rational functions of the data keep/drop weights.
+//
+// `reachability_probability` and `expected_total_reward` (state
+// elimination, see state_elimination.hpp) turn a PCTL reachability query on
+// such a chain into a single closed-form rational function f(v) — the
+// constraint the repair NLP hands to the optimizer, exactly as PRISM's
+// parametric engine does for the paper.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/mdp/model.hpp"
+#include "src/rational/rational_function.hpp"
+#include "src/rational/variable.hpp"
+
+namespace tml {
+
+/// DTMC whose transition probabilities and rewards are rational functions.
+///
+/// Structural convention: a transition is "present" iff it was set and its
+/// function is not identically zero; qualitative analyses (reachability
+/// support) use this structure and therefore assume the parameters never
+/// drive a present transition's probability all the way to 0 (the repair
+/// feasible sets enforce that via strict bounds, Eq. 6 of the paper).
+class ParametricDtmc {
+ public:
+  ParametricDtmc(std::size_t num_states, VariablePool pool);
+
+  std::size_t num_states() const { return transitions_.size(); }
+  const VariablePool& pool() const { return pool_; }
+  VariablePool& pool() { return pool_; }
+
+  StateId initial_state() const { return initial_state_; }
+  void set_initial_state(StateId s);
+
+  /// Sets P(from, to); overwrites any previous value.
+  void set_transition(StateId from, StateId to, RationalFunction probability);
+  /// Adds to P(from, to).
+  void add_transition(StateId from, StateId to, RationalFunction probability);
+  const RationalFunction& transition(StateId from, StateId to) const;
+  /// Sparse row: (target, probability) pairs with non-zero functions.
+  std::vector<std::pair<StateId, const RationalFunction*>> row(
+      StateId from) const;
+
+  void set_state_reward(StateId s, RationalFunction reward);
+  const RationalFunction& state_reward(StateId s) const;
+
+  void set_state_name(StateId s, std::string name);
+  const std::string& state_name(StateId s) const;
+
+  void add_label(StateId s, const std::string& label);
+  const std::vector<std::string>& labels_of(StateId s) const;
+
+  /// Builds the numeric DTMC at a concrete parameter point (values indexed
+  /// by variable id). Throws ModelError if any row fails to be a
+  /// distribution at that point.
+  Dtmc instantiate(std::span<const double> values) const;
+
+  /// Checks that every row sums to 1 *symbolically* (the row sum must
+  /// normalize to the constant 1). Cheap sanity check for constructions.
+  void validate_symbolic() const;
+
+  /// Lifts a numeric DTMC (constant functions everywhere).
+  static ParametricDtmc from_dtmc(const Dtmc& chain, VariablePool pool = {});
+
+ private:
+  struct Entry {
+    StateId target;
+    RationalFunction probability;
+  };
+
+  VariablePool pool_;
+  std::vector<std::vector<Entry>> transitions_;
+  std::vector<RationalFunction> rewards_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::string>> labels_;
+  StateId initial_state_ = 0;
+  RationalFunction zero_;
+};
+
+}  // namespace tml

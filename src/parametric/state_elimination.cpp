@@ -1,0 +1,240 @@
+#include "src/parametric/state_elimination.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace tml {
+
+namespace {
+
+/// Working form of the chain during elimination: sparse rows of rational
+/// functions plus the per-state accumulated value term r(s).
+struct Workspace {
+  // rows[s] maps successor -> probability function. Only "alive" states
+  // participate.
+  std::vector<std::map<StateId, RationalFunction>> rows;
+  std::vector<RationalFunction> value;  // r(s)
+  std::vector<bool> alive;
+  std::vector<std::set<StateId>> preds;
+
+  explicit Workspace(std::size_t n)
+      : rows(n), value(n), alive(n, false), preds(n) {}
+
+  void add_edge(StateId u, StateId t, const RationalFunction& p) {
+    auto [it, inserted] = rows[u].emplace(t, p);
+    if (!inserted) it->second += p;
+    preds[t].insert(u);
+  }
+
+  void remove_edge(StateId u, StateId t) {
+    rows[u].erase(t);
+    preds[t].erase(u);
+  }
+};
+
+/// Support-graph forward reachability from `from` over the parametric rows.
+StateSet support_forward_reachable(const ParametricDtmc& chain, StateId from) {
+  StateSet reached(chain.num_states(), false);
+  std::deque<StateId> queue{from};
+  reached[from] = true;
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (const auto& [t, p] : chain.row(s)) {
+      if (!reached[t]) {
+        reached[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  return reached;
+}
+
+/// Support-graph backward closure of `seeds`.
+StateSet support_backward_reachable(const ParametricDtmc& chain,
+                                    const StateSet& seeds) {
+  std::vector<std::vector<StateId>> preds(chain.num_states());
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    for (const auto& [t, p] : chain.row(s)) preds[t].push_back(s);
+  }
+  StateSet reached = seeds;
+  std::deque<StateId> queue;
+  for (StateId s = 0; s < seeds.size(); ++s) {
+    if (seeds[s]) queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (StateId p : preds[s]) {
+      if (!reached[p]) {
+        reached[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return reached;
+}
+
+void track_complexity(EliminationStats* stats, const RationalFunction& f) {
+  if (stats == nullptr) return;
+  stats->max_degree_seen = std::max(stats->max_degree_seen, f.degree());
+  stats->max_terms_seen =
+      std::max(stats->max_terms_seen, f.numerator().num_terms() +
+                                          f.denominator().num_terms());
+}
+
+/// Eliminates every alive state except `init`; returns the closed form
+/// x_init = r'(init) / (1 − P'(init, init)).
+RationalFunction eliminate_all(Workspace& ws, StateId init,
+                               EliminationStats* stats) {
+  const std::size_t n = ws.rows.size();
+
+  // Min-degree style ordering: repeatedly pick the alive state (≠ init)
+  // with the smallest fill-in estimate |preds|·|succs|.
+  while (true) {
+    StateId victim = init;
+    std::size_t best_cost = SIZE_MAX;
+    for (StateId s = 0; s < n; ++s) {
+      if (!ws.alive[s] || s == init) continue;
+      // Self-loops don't count toward fill-in.
+      const std::size_t outs =
+          ws.rows[s].size() - (ws.rows[s].count(s) ? 1 : 0);
+      const std::size_t ins = ws.preds[s].size() - (ws.preds[s].count(s) ? 1 : 0);
+      const std::size_t cost = ins * outs;
+      if (cost < best_cost) {
+        best_cost = cost;
+        victim = s;
+      }
+    }
+    if (victim == init) break;  // nothing left to eliminate
+    const StateId s = victim;
+
+    // Rescale row s by 1 / (1 − loop).
+    RationalFunction loop;
+    if (auto it = ws.rows[s].find(s); it != ws.rows[s].end()) {
+      loop = it->second;
+      ws.remove_edge(s, s);
+    }
+    const RationalFunction denom = one_minus(loop);
+    TML_REQUIRE(!denom.is_zero(),
+                "state elimination: state " << s
+                    << " is absorbing (1 - selfloop == 0); preprocessing "
+                       "should have removed it");
+    const RationalFunction inv = denom.inverse();
+    for (auto& [t, p] : ws.rows[s]) {
+      p *= inv;
+      track_complexity(stats, p);
+    }
+    ws.value[s] *= inv;
+    track_complexity(stats, ws.value[s]);
+
+    // Fold s into each predecessor.
+    const std::set<StateId> preds = ws.preds[s];
+    for (StateId u : preds) {
+      if (u == s || !ws.alive[u]) continue;
+      auto uit = ws.rows[u].find(s);
+      if (uit == ws.rows[u].end()) continue;
+      const RationalFunction w = uit->second;
+      ws.remove_edge(u, s);
+      ws.value[u] += w * ws.value[s];
+      track_complexity(stats, ws.value[u]);
+      for (const auto& [t, p] : ws.rows[s]) {
+        ws.add_edge(u, t, w * p);
+      }
+    }
+
+    // Retire s.
+    for (const auto& [t, p] : ws.rows[s]) ws.preds[t].erase(s);
+    ws.rows[s].clear();
+    ws.preds[s].clear();
+    ws.alive[s] = false;
+    if (stats != nullptr) ++stats->states_eliminated;
+  }
+
+  // Close the initial state's own loop.
+  RationalFunction loop;
+  if (auto it = ws.rows[init].find(init); it != ws.rows[init].end()) {
+    loop = it->second;
+  }
+  const RationalFunction denom = one_minus(loop);
+  TML_REQUIRE(!denom.is_zero(),
+              "state elimination: initial state is absorbing with no value");
+  return ws.value[init] * denom.inverse();
+}
+
+}  // namespace
+
+RationalFunction reachability_probability(const ParametricDtmc& chain,
+                                          const StateSet& targets,
+                                          EliminationStats* stats) {
+  TML_REQUIRE(targets.size() == chain.num_states(),
+              "reachability_probability: target set size mismatch");
+  const StateId init = chain.initial_state();
+  if (targets[init]) return RationalFunction(1.0);
+
+  const StateSet forward = support_forward_reachable(chain, init);
+  const StateSet can_reach = support_backward_reachable(chain, targets);
+  if (!can_reach[init]) return RationalFunction();  // probability 0
+
+  // Relevant interior states: reachable from init, can reach targets, and
+  // are not targets themselves. Transitions into targets become value mass;
+  // transitions into irrelevant states (prob-0 sinks) are dropped.
+  Workspace ws(chain.num_states());
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (!forward[s] || !can_reach[s] || targets[s]) continue;
+    ws.alive[s] = true;
+  }
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (!ws.alive[s]) continue;
+    for (const auto& [t, p] : chain.row(s)) {
+      if (targets[t]) {
+        ws.value[s] += *p;
+      } else if (ws.alive[t]) {
+        ws.add_edge(s, t, *p);
+      }
+      // else: transition into a prob-0 region; contributes nothing.
+    }
+  }
+  return eliminate_all(ws, init, stats);
+}
+
+RationalFunction expected_total_reward(const ParametricDtmc& chain,
+                                       const StateSet& targets,
+                                       EliminationStats* stats) {
+  TML_REQUIRE(targets.size() == chain.num_states(),
+              "expected_total_reward: target set size mismatch");
+  const StateId init = chain.initial_state();
+  if (targets[init]) return RationalFunction();
+
+  const StateSet forward = support_forward_reachable(chain, init);
+  const StateSet can_reach = support_backward_reachable(chain, targets);
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (forward[s] && !can_reach[s]) {
+      throw ModelError(
+          "expected_total_reward: state " + std::to_string(s) +
+          " is reachable from the initial state but cannot reach the target; "
+          "the expected reward is infinite");
+    }
+  }
+
+  Workspace ws(chain.num_states());
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (!forward[s] || targets[s]) continue;
+    ws.alive[s] = true;
+    ws.value[s] = chain.state_reward(s);
+  }
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (!ws.alive[s]) continue;
+    for (const auto& [t, p] : chain.row(s)) {
+      if (targets[t]) continue;  // x(target) = 0
+      TML_ASSERT(ws.alive[t],
+                 "expected_total_reward: edge into unprocessed state");
+      ws.add_edge(s, t, *p);
+    }
+  }
+  return eliminate_all(ws, init, stats);
+}
+
+}  // namespace tml

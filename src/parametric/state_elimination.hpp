@@ -1,0 +1,57 @@
+// Parametric model checking by state elimination.
+//
+// This is the algorithm PRISM's parametric engine (and PARAM / Storm's
+// `stateelimination`) uses, due to Daws (2004) and Hahn, Hermanns & Zhang
+// (2010): repeatedly eliminate a non-initial, non-target state s by
+// redirecting every u → s → t path around it,
+//
+//     P'(u,t) = P(u,t) + P(u,s) · P(s,t) / (1 − P(s,s)),
+//
+// performing all arithmetic over rational functions. After all interior
+// states are gone, the reachability probability (resp. expected total
+// reward) from the initial state is a single closed-form rational function
+// of the parameters.
+//
+// For expected reward the same elimination acts on the value equations
+// x_s = r(s) + Σ_t P(s,t)·x_t with targets pinned to 0:
+//
+//     r'(u) = r(u) + P(u,s) · r(s) / (1 − P(s,s)).
+//
+// Preconditions (checked structurally on the transition support — valid in
+// the repair feasible region where present transitions keep positive
+// probability):
+//  * reachability: none (states that cannot reach the target contribute 0);
+//  * expected reward: every state reachable from the initial state must
+//    reach the target with probability 1; otherwise the expectation is
+//    infinite and we throw ModelError, matching the checker's +inf verdict.
+
+#pragma once
+
+#include "src/mdp/model.hpp"
+#include "src/parametric/parametric_dtmc.hpp"
+#include "src/rational/rational_function.hpp"
+
+namespace tml {
+
+/// Statistics from an elimination run (exposed for the perf benches).
+struct EliminationStats {
+  std::size_t states_eliminated = 0;
+  std::uint32_t max_degree_seen = 0;
+  std::size_t max_terms_seen = 0;
+};
+
+/// Probability of eventually reaching `targets` from the initial state, as
+/// a rational function of the chain's parameters.
+RationalFunction reachability_probability(const ParametricDtmc& chain,
+                                          const StateSet& targets,
+                                          EliminationStats* stats = nullptr);
+
+/// Expected total reward accumulated before reaching `targets` from the
+/// initial state (targets pinned to 0), as a rational function. Throws
+/// ModelError if some reachable state cannot reach the target in the
+/// support graph (the expectation would be infinite).
+RationalFunction expected_total_reward(const ParametricDtmc& chain,
+                                       const StateSet& targets,
+                                       EliminationStats* stats = nullptr);
+
+}  // namespace tml

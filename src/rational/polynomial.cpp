@@ -1,0 +1,352 @@
+#include "src/rational/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tml {
+
+// ---------------------------------------------------------------------------
+// Monomial
+
+Monomial::Monomial(Var var, std::uint32_t exponent) {
+  if (exponent > 0) factors_.emplace_back(var, exponent);
+}
+
+Monomial Monomial::from_factors(
+    std::vector<std::pair<Var, std::uint32_t>> factors) {
+  std::sort(factors.begin(), factors.end());
+  Monomial m;
+  for (const auto& [var, exp] : factors) {
+    if (exp == 0) continue;
+    if (!m.factors_.empty() && m.factors_.back().first == var) {
+      m.factors_.back().second += exp;
+    } else {
+      m.factors_.emplace_back(var, exp);
+    }
+  }
+  return m;
+}
+
+std::uint32_t Monomial::degree() const {
+  std::uint32_t d = 0;
+  for (const auto& [var, exp] : factors_) d += exp;
+  return d;
+}
+
+std::uint32_t Monomial::exponent_of(Var var) const {
+  for (const auto& [v, exp] : factors_) {
+    if (v == var) return exp;
+  }
+  return 0;
+}
+
+Monomial Monomial::operator*(const Monomial& other) const {
+  Monomial out;
+  auto it = factors_.begin();
+  auto jt = other.factors_.begin();
+  while (it != factors_.end() || jt != other.factors_.end()) {
+    if (jt == other.factors_.end() ||
+        (it != factors_.end() && it->first < jt->first)) {
+      out.factors_.push_back(*it++);
+    } else if (it == factors_.end() || jt->first < it->first) {
+      out.factors_.push_back(*jt++);
+    } else {
+      out.factors_.emplace_back(it->first, it->second + jt->second);
+      ++it;
+      ++jt;
+    }
+  }
+  return out;
+}
+
+Monomial Monomial::gcd(const Monomial& other) const {
+  Monomial out;
+  for (const auto& [var, exp] : factors_) {
+    const std::uint32_t e = std::min(exp, other.exponent_of(var));
+    if (e > 0) out.factors_.emplace_back(var, e);
+  }
+  return out;
+}
+
+bool Monomial::divisible_by(const Monomial& other) const {
+  for (const auto& [var, exp] : other.factors_) {
+    if (exponent_of(var) < exp) return false;
+  }
+  return true;
+}
+
+Monomial Monomial::divide(const Monomial& other) const {
+  TML_REQUIRE(divisible_by(other), "Monomial::divide: not divisible");
+  Monomial out;
+  for (const auto& [var, exp] : factors_) {
+    const std::uint32_t e = exp - other.exponent_of(var);
+    if (e > 0) out.factors_.emplace_back(var, e);
+  }
+  return out;
+}
+
+double Monomial::evaluate(std::span<const double> values) const {
+  double out = 1.0;
+  for (const auto& [var, exp] : factors_) {
+    TML_REQUIRE(var < values.size(),
+                "Monomial::evaluate: missing value for variable " << var);
+    double base = values[var];
+    for (std::uint32_t i = 0; i < exp; ++i) out *= base;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Polynomial
+
+Polynomial::Polynomial(double constant) {
+  if (constant != 0.0) terms_.emplace(Monomial{}, constant);
+}
+
+Polynomial Polynomial::variable(Var var) {
+  Polynomial p;
+  p.terms_.emplace(Monomial(var), 1.0);
+  return p;
+}
+
+Polynomial Polynomial::term(double coefficient, Monomial monomial) {
+  Polynomial p;
+  if (coefficient != 0.0) p.terms_.emplace(std::move(monomial), coefficient);
+  return p;
+}
+
+bool Polynomial::is_constant() const {
+  return terms_.empty() ||
+         (terms_.size() == 1 && terms_.begin()->first.is_constant());
+}
+
+double Polynomial::constant_value() const {
+  TML_REQUIRE(is_constant(), "Polynomial::constant_value: not constant");
+  return terms_.empty() ? 0.0 : terms_.begin()->second;
+}
+
+double Polynomial::coefficient(const Monomial& monomial) const {
+  auto it = terms_.find(monomial);
+  return it == terms_.end() ? 0.0 : it->second;
+}
+
+std::uint32_t Polynomial::degree() const {
+  std::uint32_t d = 0;
+  for (const auto& [m, c] : terms_) d = std::max(d, m.degree());
+  return d;
+}
+
+std::vector<Var> Polynomial::variables() const {
+  std::vector<Var> vars;
+  for (const auto& [m, c] : terms_) {
+    for (const auto& [var, exp] : m.factors()) vars.push_back(var);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+void Polynomial::add_term(const Monomial& m, double c) {
+  auto [it, inserted] = terms_.emplace(m, c);
+  if (!inserted) it->second += c;
+}
+
+void Polynomial::prune() {
+  const double scale = std::max(1.0, max_abs_coefficient());
+  for (auto it = terms_.begin(); it != terms_.end();) {
+    if (std::abs(it->second) <= kEpsilon * scale) {
+      it = terms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  Polynomial out = *this;
+  out += other;
+  return out;
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& other) {
+  for (const auto& [m, c] : other.terms_) add_term(m, c);
+  prune();
+  return *this;
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  Polynomial out = *this;
+  out -= other;
+  return out;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& other) {
+  for (const auto& [m, c] : other.terms_) add_term(m, -c);
+  prune();
+  return *this;
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) out.terms_.emplace(m, -c);
+  return out;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  Polynomial out;
+  for (const auto& [m1, c1] : terms_) {
+    for (const auto& [m2, c2] : other.terms_) {
+      out.add_term(m1 * m2, c1 * c2);
+    }
+  }
+  out.prune();
+  return out;
+}
+
+Polynomial& Polynomial::operator*=(const Polynomial& other) {
+  *this = *this * other;
+  return *this;
+}
+
+Polynomial Polynomial::operator*(double scalar) const {
+  Polynomial out;
+  if (scalar == 0.0) return out;
+  for (const auto& [m, c] : terms_) out.terms_.emplace(m, c * scalar);
+  out.prune();
+  return out;
+}
+
+Polynomial Polynomial::operator/(double scalar) const {
+  TML_REQUIRE(scalar != 0.0, "Polynomial: division by zero scalar");
+  return *this * (1.0 / scalar);
+}
+
+Polynomial Polynomial::pow(std::uint32_t exponent) const {
+  Polynomial out(1.0);
+  Polynomial base = *this;
+  std::uint32_t e = exponent;
+  while (e > 0) {
+    if (e & 1U) out *= base;
+    e >>= 1U;
+    if (e > 0) base *= base;
+  }
+  return out;
+}
+
+Polynomial Polynomial::derivative(Var var) const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) {
+    const std::uint32_t exp = m.exponent_of(var);
+    if (exp == 0) continue;
+    std::vector<std::pair<Var, std::uint32_t>> factors = m.factors();
+    for (auto& [v, e] : factors) {
+      if (v == var) e -= 1;
+    }
+    out.add_term(Monomial::from_factors(std::move(factors)),
+                 c * static_cast<double>(exp));
+  }
+  out.prune();
+  return out;
+}
+
+double Polynomial::evaluate(std::span<const double> values) const {
+  double out = 0.0;
+  for (const auto& [m, c] : terms_) out += c * m.evaluate(values);
+  return out;
+}
+
+Polynomial Polynomial::substitute(Var var, const Polynomial& replacement) const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) {
+    const std::uint32_t exp = m.exponent_of(var);
+    if (exp == 0) {
+      out.add_term(m, c);
+      continue;
+    }
+    std::vector<std::pair<Var, std::uint32_t>> rest;
+    for (const auto& [v, e] : m.factors()) {
+      if (v != var) rest.emplace_back(v, e);
+    }
+    Polynomial contribution =
+        Polynomial::term(c, Monomial::from_factors(std::move(rest))) *
+        replacement.pow(exp);
+    out += contribution;
+  }
+  out.prune();
+  return out;
+}
+
+Monomial Polynomial::monomial_content() const {
+  if (terms_.empty()) return Monomial{};
+  auto it = terms_.begin();
+  Monomial content = it->first;
+  for (++it; it != terms_.end(); ++it) {
+    content = content.gcd(it->first);
+    if (content.is_constant()) break;
+  }
+  return content;
+}
+
+Polynomial Polynomial::divide_by_monomial(const Monomial& monomial) const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) {
+    out.terms_.emplace(m.divide(monomial), c);
+  }
+  return out;
+}
+
+double Polynomial::max_abs_coefficient() const {
+  double m = 0.0;
+  for (const auto& [mono, c] : terms_) m = std::max(m, std::abs(c));
+  return m;
+}
+
+bool Polynomial::proportional_to(const Polynomial& other, double scale,
+                                 double tol) const {
+  if (terms_.size() != other.terms_.size()) return false;
+  auto it = terms_.begin();
+  auto jt = other.terms_.begin();
+  const double ref = std::max(1.0, max_abs_coefficient());
+  for (; it != terms_.end(); ++it, ++jt) {
+    if (it->first != jt->first) return false;
+    if (std::abs(it->second - scale * jt->second) > tol * ref) return false;
+  }
+  return true;
+}
+
+std::string Polynomial::to_string(
+    const std::function<std::string(Var)>& name_of) const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [m, c] : terms_) {
+    double coeff = c;
+    if (first) {
+      if (coeff < 0) {
+        os << "-";
+        coeff = -coeff;
+      }
+    } else {
+      os << (coeff < 0 ? " - " : " + ");
+      coeff = std::abs(coeff);
+    }
+    const bool unit = std::abs(coeff - 1.0) < 1e-15 && !m.is_constant();
+    if (!unit) os << coeff;
+    bool emitted = !unit;
+    for (const auto& [var, exp] : m.factors()) {
+      if (emitted) os << "*";
+      os << name_of(var);
+      if (exp > 1) os << "^" << exp;
+      emitted = true;
+    }
+    first = false;
+  }
+  return os.str();
+}
+
+bool Polynomial::operator==(const Polynomial& other) const {
+  return proportional_to(other, 1.0, 1e-12);
+}
+
+}  // namespace tml

@@ -1,0 +1,162 @@
+// Sparse multivariate polynomials over double coefficients.
+//
+// This is the algebraic substrate for parametric model checking
+// (src/parametric): transition probabilities of a parametric Markov chain
+// are polynomials/rational functions in the repair variables, and state
+// elimination manipulates them symbolically.
+//
+// Variables are plain integer ids; a `VariablePool` (see variable.hpp) maps
+// ids to human-readable names. Monomials are sorted (var, exponent) lists;
+// polynomials are ordered maps from monomial to coefficient, which gives a
+// canonical form suitable for structural comparison.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace tml {
+
+/// Identifier of a polynomial variable. Ids are dense and allocated by
+/// VariablePool.
+using Var = std::uint32_t;
+
+/// A product of variables raised to positive integer powers, e.g. x^2·y.
+/// Factors are kept sorted by variable id; exponents are strictly positive
+/// (a zero exponent factor is removed). The empty monomial is the constant 1.
+class Monomial {
+ public:
+  Monomial() = default;
+
+  /// Single-variable monomial var^exponent.
+  explicit Monomial(Var var, std::uint32_t exponent = 1);
+
+  /// Builds from (var, exponent) factors; merges duplicates, drops zeros.
+  static Monomial from_factors(
+      std::vector<std::pair<Var, std::uint32_t>> factors);
+
+  bool is_constant() const { return factors_.empty(); }
+  std::uint32_t degree() const;
+  std::uint32_t exponent_of(Var var) const;
+  const std::vector<std::pair<Var, std::uint32_t>>& factors() const {
+    return factors_;
+  }
+
+  Monomial operator*(const Monomial& other) const;
+
+  /// Componentwise min of exponents (used for content extraction).
+  Monomial gcd(const Monomial& other) const;
+
+  /// Divides this monomial by `other`; requires divisibility.
+  Monomial divide(const Monomial& other) const;
+  bool divisible_by(const Monomial& other) const;
+
+  double evaluate(std::span<const double> values) const;
+
+  auto operator<=>(const Monomial& other) const = default;
+
+ private:
+  std::vector<std::pair<Var, std::uint32_t>> factors_;
+};
+
+/// Sparse multivariate polynomial with double coefficients.
+///
+/// Canonical form: no zero coefficients are stored (after `prune`), terms
+/// ordered by monomial. Arithmetic is exact up to floating point; tiny
+/// coefficients below `kEpsilon` relative to the largest are pruned to keep
+/// state elimination from accumulating numeric dust.
+class Polynomial {
+ public:
+  /// Relative threshold below which coefficients are considered zero.
+  static constexpr double kEpsilon = 1e-12;
+
+  Polynomial() = default;
+
+  /// Constant polynomial.
+  explicit Polynomial(double constant);
+
+  /// The polynomial `var` (degree-1 single variable).
+  static Polynomial variable(Var var);
+
+  /// c · m as a polynomial.
+  static Polynomial term(double coefficient, Monomial monomial);
+
+  bool is_zero() const { return terms_.empty(); }
+  bool is_constant() const;
+
+  /// Value of a constant polynomial; throws if not constant.
+  double constant_value() const;
+
+  /// Coefficient of `monomial` (0 if absent).
+  double coefficient(const Monomial& monomial) const;
+
+  /// Total degree (max over terms); 0 for constants and the zero polynomial.
+  std::uint32_t degree() const;
+
+  std::size_t num_terms() const { return terms_.size(); }
+  const std::map<Monomial, double>& terms() const { return terms_; }
+
+  /// Sorted list of variables that actually occur.
+  std::vector<Var> variables() const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator-() const;
+  Polynomial& operator+=(const Polynomial& other);
+  Polynomial& operator-=(const Polynomial& other);
+  Polynomial& operator*=(const Polynomial& other);
+
+  Polynomial operator*(double scalar) const;
+  Polynomial operator/(double scalar) const;
+
+  Polynomial pow(std::uint32_t exponent) const;
+
+  /// Partial derivative with respect to `var`.
+  Polynomial derivative(Var var) const;
+
+  /// Evaluates at the point `values`, indexed by variable id. Every variable
+  /// occurring in the polynomial must have an entry.
+  double evaluate(std::span<const double> values) const;
+
+  /// Substitutes `replacement` for `var`.
+  Polynomial substitute(Var var, const Polynomial& replacement) const;
+
+  /// Greatest common monomial factor of all terms (the "monomial content").
+  /// Returns the constant monomial for the zero polynomial.
+  Monomial monomial_content() const;
+
+  /// Divides every term by `monomial`; requires divisibility.
+  Polynomial divide_by_monomial(const Monomial& monomial) const;
+
+  /// Largest absolute coefficient (0 for the zero polynomial).
+  double max_abs_coefficient() const;
+
+  /// True if `this == scale * other` for the given scale (within tolerance).
+  bool proportional_to(const Polynomial& other, double scale,
+                       double tol = 1e-9) const;
+
+  /// Renders using the given variable-name lookup, e.g. "2.5*p^2*q - 1".
+  std::string to_string(
+      const std::function<std::string(Var)>& name_of) const;
+
+  bool operator==(const Polynomial& other) const;
+
+ private:
+  void add_term(const Monomial& m, double c);
+  void prune();
+
+  std::map<Monomial, double> terms_;
+};
+
+inline Polynomial operator*(double scalar, const Polynomial& p) {
+  return p * scalar;
+}
+
+}  // namespace tml

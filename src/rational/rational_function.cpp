@@ -1,0 +1,211 @@
+#include "src/rational/rational_function.hpp"
+
+#include <cmath>
+#include <optional>
+
+namespace tml {
+
+namespace {
+
+/// If p == s·q for some scalar s, returns s.
+std::optional<double> proportional_scale(const Polynomial& p,
+                                         const Polynomial& q) {
+  if (p.is_zero() || q.is_zero()) return std::nullopt;
+  if (p.num_terms() != q.num_terms()) return std::nullopt;
+  const auto& lead_p = *p.terms().begin();
+  const auto& lead_q = *q.terms().begin();
+  if (lead_p.first != lead_q.first || lead_q.second == 0.0) {
+    return std::nullopt;
+  }
+  const double scale = lead_p.second / lead_q.second;
+  if (p.proportional_to(q, scale)) return scale;
+  return std::nullopt;
+}
+
+}  // namespace
+
+RationalFunction::RationalFunction(Polynomial num, Polynomial den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  TML_REQUIRE(!den_.is_zero(), "RationalFunction: zero denominator");
+  normalize();
+}
+
+void RationalFunction::normalize() {
+  if (num_.is_zero()) {
+    den_ = Polynomial(1.0);
+    return;
+  }
+  // Cancel common monomial content.
+  const Monomial content = num_.monomial_content().gcd(den_.monomial_content());
+  if (!content.is_constant()) {
+    num_ = num_.divide_by_monomial(content);
+    den_ = den_.divide_by_monomial(content);
+  }
+  // Fold constant denominators into the numerator.
+  if (den_.is_constant()) {
+    num_ = num_ / den_.constant_value();
+    den_ = Polynomial(1.0);
+    return;
+  }
+  // Collapse num == c·den to the constant c. Compare leading coefficients
+  // to guess the scale, then verify proportionality.
+  if (num_.num_terms() == den_.num_terms()) {
+    const auto& lead_num = *num_.terms().begin();
+    const auto& lead_den = *den_.terms().begin();
+    if (lead_num.first == lead_den.first && lead_den.second != 0.0) {
+      const double scale = lead_num.second / lead_den.second;
+      if (num_.proportional_to(den_, scale)) {
+        num_ = Polynomial(scale);
+        den_ = Polynomial(1.0);
+        return;
+      }
+    }
+  }
+  // Scale so the denominator's largest coefficient is 1 (numeric hygiene).
+  const double scale = den_.max_abs_coefficient();
+  if (scale != 0.0 && std::abs(scale - 1.0) > 1e-12) {
+    num_ = num_ / scale;
+    den_ = den_ / scale;
+  }
+}
+
+bool RationalFunction::is_constant() const {
+  return num_.is_constant() && den_.is_constant();
+}
+
+double RationalFunction::constant_value() const {
+  TML_REQUIRE(is_constant(), "RationalFunction::constant_value: not constant");
+  return num_.constant_value() / den_.constant_value();
+}
+
+RationalFunction RationalFunction::operator+(
+    const RationalFunction& other) const {
+  if (is_zero()) return other;
+  if (other.is_zero()) return *this;
+  // Share the denominator when it is structurally identical — the dominant
+  // case in state elimination, and it avoids squaring the denominator.
+  if (den_ == other.den_) {
+    return RationalFunction(num_ + other.num_, den_);
+  }
+  return RationalFunction(num_ * other.den_ + other.num_ * den_,
+                          den_ * other.den_);
+}
+
+RationalFunction RationalFunction::operator-(
+    const RationalFunction& other) const {
+  return *this + (-other);
+}
+
+RationalFunction RationalFunction::operator-() const {
+  RationalFunction out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+RationalFunction RationalFunction::operator*(
+    const RationalFunction& other) const {
+  if (is_zero() || other.is_zero()) return RationalFunction();
+  // Cross-cancel proportional numerator/denominator pairs before
+  // multiplying: (s·d₂/d₁)·(n₂/d₂) = s·n₂/d₁.
+  if (auto s = proportional_scale(num_, other.den_)) {
+    return RationalFunction(other.num_ * *s, den_);
+  }
+  if (auto s = proportional_scale(other.num_, den_)) {
+    return RationalFunction(num_ * *s, other.den_);
+  }
+  return RationalFunction(num_ * other.num_, den_ * other.den_);
+}
+
+RationalFunction RationalFunction::operator/(
+    const RationalFunction& other) const {
+  return *this * other.inverse();
+}
+
+RationalFunction& RationalFunction::operator+=(const RationalFunction& other) {
+  *this = *this + other;
+  return *this;
+}
+RationalFunction& RationalFunction::operator-=(const RationalFunction& other) {
+  *this = *this - other;
+  return *this;
+}
+RationalFunction& RationalFunction::operator*=(const RationalFunction& other) {
+  *this = *this * other;
+  return *this;
+}
+RationalFunction& RationalFunction::operator/=(const RationalFunction& other) {
+  *this = *this / other;
+  return *this;
+}
+
+RationalFunction RationalFunction::operator*(double scalar) const {
+  if (scalar == 0.0) return RationalFunction();
+  RationalFunction out = *this;
+  out.num_ = out.num_ * scalar;
+  return out;
+}
+
+RationalFunction RationalFunction::inverse() const {
+  TML_REQUIRE(!is_zero(), "RationalFunction::inverse: zero function");
+  return RationalFunction(den_, num_);
+}
+
+RationalFunction RationalFunction::derivative(Var var) const {
+  // (n/d)' = (n'·d − n·d') / d².
+  const Polynomial dn = num_.derivative(var);
+  const Polynomial dd = den_.derivative(var);
+  if (dd.is_zero()) {
+    return RationalFunction(dn, den_);
+  }
+  return RationalFunction(dn * den_ - num_ * dd, den_ * den_);
+}
+
+double RationalFunction::evaluate(std::span<const double> values) const {
+  const double d = den_.evaluate(values);
+  if (std::abs(d) < 1e-300) {
+    throw NumericError("RationalFunction::evaluate: denominator vanishes");
+  }
+  return num_.evaluate(values) / d;
+}
+
+std::vector<double> RationalFunction::evaluate_gradient(
+    std::span<const Var> vars, std::span<const double> values) const {
+  // Evaluate the quotient rule numerically instead of building symbolic
+  // derivatives per call: grad = (n'·d − n·d') / d².
+  const double d = den_.evaluate(values);
+  if (std::abs(d) < 1e-300) {
+    throw NumericError("RationalFunction::evaluate_gradient: denominator vanishes");
+  }
+  const double n = num_.evaluate(values);
+  std::vector<double> grad(vars.size(), 0.0);
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    const double dn = num_.derivative(vars[i]).evaluate(values);
+    const double dd = den_.derivative(vars[i]).evaluate(values);
+    grad[i] = (dn * d - n * dd) / (d * d);
+  }
+  return grad;
+}
+
+std::vector<Var> RationalFunction::variables() const {
+  std::vector<Var> vars = num_.variables();
+  std::vector<Var> den_vars = den_.variables();
+  vars.insert(vars.end(), den_vars.begin(), den_vars.end());
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+std::uint32_t RationalFunction::degree() const {
+  return std::max(num_.degree(), den_.degree());
+}
+
+std::string RationalFunction::to_string(
+    const std::function<std::string(Var)>& name_of) const {
+  if (den_.is_constant() && std::abs(den_.constant_value() - 1.0) < 1e-15) {
+    return num_.to_string(name_of);
+  }
+  return "(" + num_.to_string(name_of) + ") / (" + den_.to_string(name_of) +
+         ")";
+}
+
+}  // namespace tml

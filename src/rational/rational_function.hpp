@@ -1,0 +1,107 @@
+// Rational functions (quotients of multivariate polynomials).
+//
+// Parametric model checking by state elimination (src/parametric) produces
+// transition probabilities and value functions of this form; the repair
+// NLPs (src/core) then evaluate them and their gradients.
+//
+// Normalization is heuristic (monomial content cancellation, constant
+// denominator absorption, proportionality detection). We do NOT implement
+// full multivariate GCD — the repair problems have few parameters and
+// moderate degree, and every symbolic result is cross-checked numerically
+// in the test suite.
+
+#pragma once
+
+#include <string>
+
+#include "src/rational/polynomial.hpp"
+
+namespace tml {
+
+/// num / den with den not identically zero. Kept lightly normalized:
+/// common monomial content cancelled, constant denominators folded into the
+/// numerator, and num == c·den collapsed to the constant c.
+class RationalFunction {
+ public:
+  /// Zero.
+  RationalFunction() : num_(0.0), den_(1.0) {}
+
+  /// Constant.
+  explicit RationalFunction(double constant)
+      : num_(constant), den_(1.0) {}
+
+  /// Polynomial (denominator 1).
+  explicit RationalFunction(Polynomial p) : num_(std::move(p)), den_(1.0) {}
+
+  RationalFunction(Polynomial num, Polynomial den);
+
+  /// The rational function consisting of just the variable `var`.
+  static RationalFunction variable(Var var) {
+    return RationalFunction(Polynomial::variable(var));
+  }
+
+  const Polynomial& numerator() const { return num_; }
+  const Polynomial& denominator() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_constant() const;
+  double constant_value() const;
+
+  RationalFunction operator+(const RationalFunction& other) const;
+  RationalFunction operator-(const RationalFunction& other) const;
+  RationalFunction operator*(const RationalFunction& other) const;
+  RationalFunction operator/(const RationalFunction& other) const;
+  RationalFunction operator-() const;
+  RationalFunction& operator+=(const RationalFunction& other);
+  RationalFunction& operator-=(const RationalFunction& other);
+  RationalFunction& operator*=(const RationalFunction& other);
+  RationalFunction& operator/=(const RationalFunction& other);
+
+  RationalFunction operator*(double scalar) const;
+
+  /// Multiplicative inverse; throws on the zero function.
+  RationalFunction inverse() const;
+
+  /// Partial derivative via the quotient rule.
+  RationalFunction derivative(Var var) const;
+
+  /// Evaluates at `values` (indexed by variable id). Throws NumericError if
+  /// the denominator vanishes at the point.
+  double evaluate(std::span<const double> values) const;
+
+  /// Evaluates the gradient with respect to the listed variables.
+  std::vector<double> evaluate_gradient(std::span<const Var> vars,
+                                        std::span<const double> values) const;
+
+  /// Sorted list of variables occurring in numerator or denominator.
+  std::vector<Var> variables() const;
+
+  /// Max total degree over numerator/denominator (complexity measure).
+  std::uint32_t degree() const;
+
+  std::string to_string(const std::function<std::string(Var)>& name_of) const;
+
+  /// Structural equality of the normalized representation. Equal rational
+  /// functions with different representations may compare unequal (no full
+  /// GCD); tests use numeric comparison for semantic equality.
+  bool operator==(const RationalFunction& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+
+ private:
+  void normalize();
+
+  Polynomial num_;
+  Polynomial den_;
+};
+
+inline RationalFunction operator*(double scalar, const RationalFunction& f) {
+  return f * scalar;
+}
+
+/// 1 - f, a combination state elimination uses constantly.
+inline RationalFunction one_minus(const RationalFunction& f) {
+  return RationalFunction(1.0) - f;
+}
+
+}  // namespace tml

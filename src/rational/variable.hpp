@@ -1,0 +1,70 @@
+// Variable pool: maps symbolic parameter names to dense Var ids.
+//
+// Parametric models, rational functions and the optimizer all refer to
+// parameters by id; the pool is the single source of truth for names and
+// gives the evaluation order (values are vectors indexed by id).
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/rational/polynomial.hpp"
+
+namespace tml {
+
+/// Registry of named parameters. Ids are dense, starting at 0, in creation
+/// order.
+class VariablePool {
+ public:
+  /// Registers (or looks up) a variable by name and returns its id.
+  Var declare(const std::string& name);
+
+  /// Looks up an existing variable; throws if unknown.
+  Var id_of(const std::string& name) const;
+
+  bool contains(const std::string& name) const {
+    return by_name_.find(name) != by_name_.end();
+  }
+
+  const std::string& name_of(Var var) const;
+
+  std::size_t size() const { return names_.size(); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Convenience: a name-lookup closure for Polynomial::to_string.
+  std::function<std::string(Var)> namer() const {
+    return [this](Var v) { return name_of(v); };
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Var> by_name_;
+};
+
+inline Var VariablePool::declare(const std::string& name) {
+  TML_REQUIRE(!name.empty(), "VariablePool: empty variable name");
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const Var id = static_cast<Var>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+inline Var VariablePool::id_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  TML_REQUIRE(it != by_name_.end(), "VariablePool: unknown variable " << name);
+  return it->second;
+}
+
+inline const std::string& VariablePool::name_of(Var var) const {
+  TML_REQUIRE(var < names_.size(), "VariablePool: unknown variable id " << var);
+  return names_[var];
+}
+
+}  // namespace tml

@@ -1,0 +1,202 @@
+// Tests for the step-bounded parametric engine (§III's "bounded-time
+// variants" extension) and bounded-property Model Repair.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/checker/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/model_repair.hpp"
+#include "src/logic/parser.hpp"
+#include "src/parametric/bounded.hpp"
+
+namespace tml {
+namespace {
+
+/// Retry chain: advance with prob 0.2 + v.
+ParametricDtmc retry_chain(Var* out_var) {
+  VariablePool pool;
+  const Var v = pool.declare("v");
+  if (out_var != nullptr) *out_var = v;
+  ParametricDtmc chain(2, std::move(pool));
+  const RationalFunction advance =
+      RationalFunction(Polynomial(0.2) + Polynomial::variable(v));
+  chain.set_transition(0, 1, advance);
+  chain.set_transition(0, 0, one_minus(advance));
+  chain.set_transition(1, 1, RationalFunction(1.0));
+  chain.set_state_reward(0, RationalFunction(1.0));
+  chain.add_label(1, "done");
+  return chain;
+}
+
+StateSet done_set() {
+  StateSet s(2, false);
+  s[1] = true;
+  return s;
+}
+
+TEST(BoundedParametric, OneStepReachabilityIsTheTransition) {
+  Var v;
+  const ParametricDtmc chain = retry_chain(&v);
+  const RationalFunction f =
+      bounded_reachability_probability(chain, done_set(), 1);
+  const std::vector<double> pt{0.1};
+  EXPECT_NEAR(f.evaluate(pt), 0.3, 1e-12);
+}
+
+TEST(BoundedParametric, KStepGeometricClosedForm) {
+  // P(F<=k done) = 1 − (1−s)^k with s = 0.2 + v.
+  const ParametricDtmc chain = retry_chain(nullptr);
+  for (const std::size_t k : {2u, 3u, 5u}) {
+    const RationalFunction f =
+        bounded_reachability_probability(chain, done_set(), k);
+    for (const double v : {0.0, 0.15, 0.4}) {
+      const std::vector<double> pt{v};
+      const double s = 0.2 + v;
+      EXPECT_NEAR(f.evaluate(pt), 1.0 - std::pow(1.0 - s, k), 1e-9)
+          << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+TEST(BoundedParametric, ZeroBoundIsTargetIndicator) {
+  const ParametricDtmc chain = retry_chain(nullptr);
+  const RationalFunction f =
+      bounded_reachability_probability(chain, done_set(), 0);
+  EXPECT_TRUE(f.is_zero());  // initial state is not a target
+}
+
+TEST(BoundedParametric, CumulativeRewardClosedForm) {
+  // Reward 1 while in state 0: E[C<=k] = Σ_{t=0}^{k−1} (1−s)^t.
+  const ParametricDtmc chain = retry_chain(nullptr);
+  const RationalFunction f = cumulative_reward(chain, 4);
+  for (const double v : {0.0, 0.2}) {
+    const std::vector<double> pt{v};
+    const double q = 1.0 - (0.2 + v);
+    double expected = 0.0;
+    double power = 1.0;
+    for (int t = 0; t < 4; ++t) {
+      expected += power;
+      power *= q;
+    }
+    EXPECT_NEAR(f.evaluate(pt), expected, 1e-9);
+  }
+}
+
+TEST(BoundedParametric, MatchesNumericCheckerAtRandomPoints) {
+  Rng rng(314);
+  const ParametricDtmc chain = retry_chain(nullptr);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> pt{rng.uniform(0.0, 0.5)};
+    const Dtmc concrete = chain.instantiate(pt);
+    for (const std::size_t k : {1u, 3u, 7u}) {
+      const RationalFunction f =
+          bounded_reachability_probability(chain, done_set(), k);
+      const double numeric =
+          *check(concrete,
+                 "P=? [ F<=" + std::to_string(k) + " \"done\" ]").value;
+      EXPECT_NEAR(f.evaluate(pt), numeric, 1e-9);
+      const RationalFunction c = cumulative_reward(chain, k);
+      const double numeric_reward =
+          *check(concrete, "R=? [ C<=" + std::to_string(k) + " ]").value;
+      EXPECT_NEAR(c.evaluate(pt), numeric_reward, 1e-9);
+    }
+  }
+}
+
+TEST(BoundedParametric, BoundedUntilRespectsStayRegion) {
+  // 0 → {1 bad, 2 good} → 3; bounded until must ignore the bad route.
+  VariablePool pool;
+  const Var v = pool.declare("v");
+  ParametricDtmc chain(4, std::move(pool));
+  const RationalFunction good =
+      RationalFunction(Polynomial(0.5) + Polynomial::variable(v));
+  chain.set_transition(0, 2, good);
+  chain.set_transition(0, 1, one_minus(good));
+  chain.set_transition(1, 3, RationalFunction(1.0));
+  chain.set_transition(2, 3, RationalFunction(1.0));
+  chain.set_transition(3, 3, RationalFunction(1.0));
+  StateSet stay(4, true);
+  stay[1] = false;  // bad state breaks the until
+  StateSet goal(4, false);
+  goal[3] = true;
+  const RationalFunction f = bounded_until_probability(chain, stay, goal, 2);
+  const std::vector<double> pt{0.1};
+  EXPECT_NEAR(f.evaluate(pt), 0.6, 1e-12);  // only the good route counts
+}
+
+TEST(BoundedModelRepair, BoundedReachabilityProperty) {
+  // Require P>=0.5 [ F<=2 done ]: 1 − (0.8−v)² >= 0.5 ⇒ v >= 0.8−√0.5.
+  Dtmc base(2);
+  base.set_transitions(0, {Transition{0, 0.8}, Transition{1, 0.2}});
+  base.set_transitions(1, {Transition{1, 1.0}});
+  base.add_label(1, "done");
+  PerturbationScheme scheme(base);
+  const Var v = scheme.add_variable("v", 0.0, 0.5);
+  scheme.attach_balanced(v, 0, 1, 0);
+  const StateFormulaPtr property = parse_pctl("P>=0.5 [ F<=2 \"done\" ]");
+  const ModelRepairResult result = model_repair(scheme, *property);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_NEAR(result.variable_values[0], 0.8 - std::sqrt(0.5), 5e-3);
+  EXPECT_TRUE(result.recheck_passed);
+}
+
+TEST(BoundedModelRepair, CumulativeRewardProperty) {
+  // Reward 1 per step in "sending"; R[C<=3] = 1 + q + q² with q = 0.8 − v.
+  // Require <= 2.0: q + q² <= 1 ⇒ q <= 0.618 ⇒ v >= 0.182.
+  Dtmc base(2);
+  base.set_transitions(0, {Transition{0, 0.8}, Transition{1, 0.2}});
+  base.set_transitions(1, {Transition{1, 1.0}});
+  base.set_state_reward(0, 1.0);
+  base.add_label(1, "done");
+  PerturbationScheme scheme(base);
+  const Var v = scheme.add_variable("v", 0.0, 0.5);
+  scheme.attach_balanced(v, 0, 1, 0);
+  const StateFormulaPtr property = parse_pctl("R<=2 [ C<=3 ]");
+  const ModelRepairResult result = model_repair(scheme, *property);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_NEAR(result.variable_values[0], 0.8 - 0.618, 5e-3);
+  EXPECT_TRUE(result.recheck_passed);
+}
+
+TEST(BoundedModelRepair, LargeHorizonUsesNumericEvaluation) {
+  // k = 50 exceeds the symbolic threshold; the repair must switch to exact
+  // per-iterate numeric evaluation and still find the boundary solution:
+  // P(F<=50 done) = 1 − (0.98−v)^50 >= 0.7 ⇒ v >= 0.98 − 0.3^(1/50).
+  Dtmc base(2);
+  base.set_transitions(0, {Transition{0, 0.98}, Transition{1, 0.02}});
+  base.set_transitions(1, {Transition{1, 1.0}});
+  base.add_label(1, "done");
+  PerturbationScheme scheme(base);
+  const Var v = scheme.add_variable("v", 0.0, 0.3);
+  scheme.attach_balanced(v, 0, 1, 0);
+  const StateFormulaPtr property = parse_pctl("P>=0.7 [ F<=50 \"done\" ]");
+  const ModelRepairResult result = model_repair(scheme, *property);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_NE(result.function_text.find("numeric"), std::string::npos);
+  const double v_needed = 0.98 - std::pow(0.3, 1.0 / 50.0);
+  EXPECT_NEAR(result.variable_values[0], v_needed, 5e-3);
+  EXPECT_TRUE(result.recheck_passed);
+}
+
+TEST(BoundedModelRepair, MdpPolicyLoopRejectsBoundedProperties) {
+  Mdp mdp(2);
+  mdp.add_choice(0, "a", {Transition{1, 0.5}, Transition{0, 0.5}});
+  mdp.add_choice(1, "stay", {Transition{1, 1.0}});
+  mdp.add_label(1, "done");
+  const StateFormulaPtr property = parse_pctl("P>=0.9 [ F<=3 \"done\" ]");
+  EXPECT_THROW(mdp_model_repair(
+                   mdp, *property,
+                   [](const Dtmc& d) {
+                     PerturbationScheme s(d);
+                     const Var v = s.add_variable("v", 0.0, 0.1);
+                     s.attach_balanced(v, 0, 1, 0);
+                     return s;
+                   },
+                   [&](std::span<const double>) { return mdp; }),
+               Error);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,211 @@
+// Tests for the car case study (§V-B): dynamics of Fig. 1, features,
+// expert demo, and the full IRL → unsafe → repair → safe pipeline.
+
+#include <gtest/gtest.h>
+
+#include "src/casestudies/car.hpp"
+#include "src/checker/check.hpp"
+#include "src/core/reward_repair.hpp"
+#include "src/irl/max_ent_irl.hpp"
+
+namespace tml {
+namespace {
+
+class CarTest : public ::testing::Test {
+ protected:
+  Mdp car_ = build_car_mdp();
+  StateFeatures features_ = car_features(car_);
+};
+
+StateId next_of(const Mdp& mdp, StateId s, std::uint32_t action) {
+  const Choice& c = mdp.choices(s)[action];
+  for (const Transition& t : c.transitions) {
+    if (t.probability > 0.5) return t.target;
+  }
+  return s;
+}
+
+TEST_F(CarTest, StructureMatchesFig1) {
+  EXPECT_EQ(car_.num_states(), 11u);
+  EXPECT_EQ(car_.initial_state(), 0u);
+  EXPECT_TRUE(car_.has_label(2, "unsafe"));
+  EXPECT_TRUE(car_.has_label(2, "crash"));
+  EXPECT_TRUE(car_.has_label(10, "unsafe"));
+  EXPECT_TRUE(car_.has_label(10, "offroad"));
+  EXPECT_TRUE(car_.has_label(4, "goal"));
+  // Maneuver states have the three actions; sinks have one.
+  for (StateId s : {0u, 1u, 2u, 3u, 5u, 6u, 7u, 8u, 9u}) {
+    EXPECT_EQ(car_.choices(s).size(), 3u) << "S" << s;
+  }
+  EXPECT_EQ(car_.choices(4).size(), 1u);
+  EXPECT_EQ(car_.choices(10).size(), 1u);
+}
+
+TEST_F(CarTest, DeterministicDynamics) {
+  // Forward along the right lane.
+  EXPECT_EQ(next_of(car_, 0, 0), 1u);
+  EXPECT_EQ(next_of(car_, 1, 0), 2u);
+  EXPECT_EQ(next_of(car_, 3, 0), 4u);
+  // Forward along the left lane; S9 runs out of road.
+  EXPECT_EQ(next_of(car_, 5, 0), 6u);
+  EXPECT_EQ(next_of(car_, 9, 0), 10u);
+  // Lane changes keep the longitudinal position.
+  EXPECT_EQ(next_of(car_, 1, 1), 6u);
+  EXPECT_EQ(next_of(car_, 8, 2), 3u);
+  EXPECT_EQ(next_of(car_, 9, 2), 4u);
+  // Off-road moves.
+  EXPECT_EQ(next_of(car_, 0, 2), 10u);   // right from the right lane
+  EXPECT_EQ(next_of(car_, 6, 1), 10u);   // left from the left lane
+  // Sinks stay.
+  EXPECT_EQ(next_of(car_, 4, 0), 4u);
+  EXPECT_EQ(next_of(car_, 10, 0), 10u);
+}
+
+TEST_F(CarTest, SlipVariantIsStochastic) {
+  CarConfig config;
+  config.slip = 0.2;
+  const Mdp slippery = build_car_mdp(config);
+  EXPECT_NO_THROW(slippery.validate());
+  const auto& transitions = slippery.choices(0)[0].transitions;
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_NEAR(transitions[0].probability, 0.8, 1e-12);
+  EXPECT_NEAR(transitions[1].probability, 0.2, 1e-12);
+  EXPECT_THROW(build_car_mdp(CarConfig{1.5}), Error);
+}
+
+TEST_F(CarTest, FeaturesMatchPaperStructure) {
+  EXPECT_EQ(features_.dim(), 3u);
+  // φ1: lane indicator.
+  EXPECT_DOUBLE_EQ(features_.row(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(features_.row(6)[0], 0.0);
+  EXPECT_DOUBLE_EQ(features_.row(10)[0], 0.0);
+  // φ2: zero exactly at the unsafe states, positive elsewhere.
+  EXPECT_DOUBLE_EQ(features_.row(2)[1], 0.0);
+  EXPECT_DOUBLE_EQ(features_.row(10)[1], 0.0);
+  for (StateId s : {0u, 1u, 3u, 4u, 5u, 6u, 7u, 8u, 9u}) {
+    EXPECT_GT(features_.row(s)[1], 0.0) << "S" << s;
+  }
+  // States adjacent to the van have lower safety than distant ones.
+  EXPECT_LT(features_.row(1)[1], features_.row(0)[1]);
+  EXPECT_LT(features_.row(7)[1], features_.row(6)[1]);
+  // φ3: goal indicator only at S4.
+  for (StateId s = 0; s <= 10; ++s) {
+    EXPECT_DOUBLE_EQ(features_.row(s)[2], s == 4 ? 1.0 : 0.0);
+  }
+}
+
+TEST_F(CarTest, ExpertDemoIsThePapersManeuver) {
+  const TrajectoryDataset expert = car_expert_demonstrations(car_);
+  ASSERT_EQ(expert.size(), 1u);
+  const Trajectory& demo = expert.trajectories[0];
+  EXPECT_EQ(demo.state_sequence(),
+            (std::vector<StateId>{0, 1, 6, 7, 8, 3, 4}));
+  // The demo never visits an unsafe state.
+  EXPECT_FALSE(demo.visits(car_.states_with_label("unsafe")));
+}
+
+TEST_F(CarTest, PolicyToStringFormat) {
+  Policy policy;
+  policy.choice_index.assign(11, 0);
+  const std::string text = car_policy_to_string(car_, policy);
+  EXPECT_NE(text.find("(S0,0)"), std::string::npos);
+  EXPECT_NE(text.find("(S10,0)"), std::string::npos);
+}
+
+TEST_F(CarTest, PolicySafetyPredicate) {
+  // Straight-through policy crashes into S2.
+  Policy straight;
+  straight.choice_index.assign(11, 0);
+  EXPECT_TRUE(car_policy_unsafe(car_, straight));
+  // The expert's maneuver as a policy is safe.
+  Policy expert;
+  expert.choice_index.assign(11, 0);
+  expert.choice_index[1] = 1;  // change left at S1
+  expert.choice_index[8] = 2;  // return right at S8
+  EXPECT_FALSE(car_policy_unsafe(car_, expert));
+}
+
+TEST_F(CarTest, IrlLearnsGoalSeekingUnsafeReward) {
+  const TrajectoryDataset expert = car_expert_demonstrations(car_);
+  IrlOptions options;
+  options.horizon = 10;
+  options.learning_rate = 0.1;
+  options.max_iterations = 4000;
+  const IrlResult irl = max_ent_irl(car_, features_, expert, options);
+  // Goal weight dominates (paper: 0.57 vs 0.38 / 0.06).
+  EXPECT_GT(irl.theta[2], irl.theta[0]);
+  EXPECT_GT(irl.theta[2], irl.theta[1]);
+  EXPECT_GT(irl.theta[2], 0.0);
+  // E6: the optimal policy under the learned reward is unsafe at S1.
+  const Policy unsafe = optimal_policy_for_theta(car_, features_, irl.theta, 0.9);
+  EXPECT_TRUE(car_policy_unsafe(car_, unsafe));
+  EXPECT_EQ(car_.choices(1)[unsafe.at(1)].action, 0u);  // forward into S2
+}
+
+TEST_F(CarTest, RewardRepairRestoresSafety) {
+  const TrajectoryDataset expert = car_expert_demonstrations(car_);
+  IrlOptions options;
+  options.horizon = 10;
+  options.learning_rate = 0.1;
+  options.max_iterations = 4000;
+  const IrlResult irl = max_ent_irl(car_, features_, expert, options);
+
+  QRepairConfig config;
+  config.discount = 0.9;
+  config.frozen = {0, 2};  // §V-B: only the distance-to-unsafe weight moves
+  config.max_weight_change = 6.0;
+  std::vector<QDominanceConstraint> constraints{{1, 1, 0, 1e-3}};
+  const QRepairResult repaired = reward_repair_q_constraints(
+      car_, features_, irl.theta, constraints, config);
+  ASSERT_TRUE(repaired.feasible());
+  // E7: the repaired policy changes lane at S1 and is safe.
+  EXPECT_EQ(car_.choices(1)[repaired.policy_after.at(1)].action, 1u);
+  EXPECT_FALSE(car_policy_unsafe(car_, repaired.policy_after));
+  // Only θ2 moved, upward.
+  EXPECT_DOUBLE_EQ(repaired.theta_after[0], irl.theta[0]);
+  EXPECT_DOUBLE_EQ(repaired.theta_after[2], irl.theta[2]);
+  EXPECT_GT(repaired.theta_after[1], irl.theta[1]);
+}
+
+TEST_F(CarTest, RewardRepairAlsoWorksUnderSlip) {
+  // The paper's maneuver model is deterministic; the repair machinery must
+  // also hold up under stochastic dynamics (slip variant).
+  CarConfig config;
+  config.slip = 0.1;
+  const Mdp slippery = build_car_mdp(config);
+  const StateFeatures features = car_features(slippery);
+  // Goal-greedy reward drives straight through the van even with slip.
+  const std::vector<double> theta{0.1, 0.1, 0.9};
+  const Policy before =
+      optimal_policy_for_theta(slippery, features, theta, 0.9);
+  EXPECT_TRUE(car_policy_unsafe(slippery, before));
+
+  QRepairConfig q_config;
+  q_config.discount = 0.9;
+  q_config.max_weight_change = 6.0;
+  const QRepairResult repaired = reward_repair_q_constraints(
+      slippery, features, theta, {{1, 1, 0, 1e-3}}, q_config);
+  ASSERT_TRUE(repaired.feasible());
+  EXPECT_FALSE(car_policy_unsafe(slippery, repaired.policy_after));
+}
+
+TEST_F(CarTest, SafePolicyReachesGoalInModelChecker) {
+  // Cross-check with PCTL: under the safe expert policy the induced chain
+  // reaches the goal surely and never visits unsafe states.
+  Policy expert;
+  expert.choice_index.assign(11, 0);
+  expert.choice_index[1] = 1;
+  expert.choice_index[8] = 2;
+  const Dtmc chain = car_.induced_dtmc(expert);
+  EXPECT_TRUE(check(chain, "P>=1 [ F \"goal\" ]").satisfied);
+  EXPECT_TRUE(check(chain, "P>=1 [ !\"unsafe\" U \"goal\" ]").satisfied);
+  // The straight policy hits the van first.
+  Policy straight;
+  straight.choice_index.assign(11, 0);
+  const Dtmc bad = car_.induced_dtmc(straight);
+  EXPECT_FALSE(check(bad, "P>=1 [ !\"unsafe\" U \"goal\" ]").satisfied);
+  EXPECT_TRUE(check(bad, "P>=1 [ F \"crash\" ]").satisfied);
+}
+
+}  // namespace
+}  // namespace tml

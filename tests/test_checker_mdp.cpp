@@ -1,0 +1,153 @@
+// PCTL model checking tests on MDPs: min/max scheduler semantics.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/checker/check.hpp"
+#include "src/logic/parser.hpp"
+
+namespace tml {
+namespace {
+
+/// s0 has a safe action (goal surely) and a gamble (goal 0.5 / trap 0.5).
+Mdp choice_mdp() {
+  Mdp mdp(3);
+  mdp.add_choice(0, "safe", {Transition{1, 1.0}});
+  mdp.add_choice(0, "gamble", {Transition{1, 0.5}, Transition{2, 0.5}});
+  mdp.add_choice(1, "stay", {Transition{1, 1.0}});
+  mdp.add_choice(2, "stay", {Transition{2, 1.0}});
+  mdp.add_label(1, "goal");
+  mdp.add_label(2, "trap");
+  return mdp;
+}
+
+/// s0 can loop forever or move on; mirrors an end-component.
+Mdp loop_mdp() {
+  Mdp mdp(2);
+  mdp.add_choice(0, "loop", {Transition{0, 1.0}});
+  mdp.add_choice(0, "go", {Transition{1, 1.0}});
+  mdp.add_choice(1, "stay", {Transition{1, 1.0}});
+  mdp.add_label(1, "goal");
+  return mdp;
+}
+
+TEST(MdpChecker, PmaxPminReachability) {
+  const Mdp mdp = choice_mdp();
+  EXPECT_NEAR(*check(mdp, "Pmax=? [ F \"goal\" ]").value, 1.0, 1e-9);
+  EXPECT_NEAR(*check(mdp, "Pmin=? [ F \"goal\" ]").value, 0.5, 1e-9);
+  EXPECT_NEAR(*check(mdp, "Pmax=? [ F \"trap\" ]").value, 0.5, 1e-9);
+  EXPECT_NEAR(*check(mdp, "Pmin=? [ F \"trap\" ]").value, 0.0, 1e-9);
+}
+
+TEST(MdpChecker, EndComponentHandledByPrecomputation) {
+  const Mdp mdp = loop_mdp();
+  // Pmin is 0 because the scheduler can loop forever — plain value
+  // iteration from above would get this wrong without the graph analysis.
+  EXPECT_NEAR(*check(mdp, "Pmin=? [ F \"goal\" ]").value, 0.0, 1e-12);
+  EXPECT_NEAR(*check(mdp, "Pmax=? [ F \"goal\" ]").value, 1.0, 1e-12);
+}
+
+TEST(MdpChecker, BoundedOperatorSchedulerResolution) {
+  const Mdp mdp = choice_mdp();
+  // Upper bound ⇒ all schedulers ⇒ checked against Pmax.
+  EXPECT_FALSE(check(mdp, "P<=0.4 [ F \"trap\" ]").satisfied);  // Pmax = 0.5
+  EXPECT_TRUE(check(mdp, "P<=0.5 [ F \"trap\" ]").satisfied);
+  // Lower bound ⇒ checked against Pmin.
+  EXPECT_TRUE(check(mdp, "P>=0.5 [ F \"goal\" ]").satisfied);   // Pmin = 0.5
+  EXPECT_FALSE(check(mdp, "P>0.5 [ F \"goal\" ]").satisfied);
+}
+
+TEST(MdpChecker, ExplicitQuantifierOverridesResolution) {
+  const Mdp mdp = choice_mdp();
+  // Pmax>=1 [F goal]: the best scheduler reaches surely.
+  EXPECT_TRUE(check(mdp, "Pmax>=1 [ F \"goal\" ]").satisfied);
+  // Without the quantifier the lower bound resolves to Pmin = 0.5 < 1.
+  EXPECT_FALSE(check(mdp, "P>=1 [ F \"goal\" ]").satisfied);
+}
+
+TEST(MdpChecker, NextMinMax) {
+  const Mdp mdp = choice_mdp();
+  EXPECT_NEAR(*check(mdp, "Pmax=? [ X \"goal\" ]").value, 1.0, 1e-12);
+  EXPECT_NEAR(*check(mdp, "Pmin=? [ X \"goal\" ]").value, 0.5, 1e-12);
+}
+
+TEST(MdpChecker, BoundedUntil) {
+  const Mdp mdp = loop_mdp();
+  EXPECT_NEAR(*check(mdp, "Pmax=? [ true U<=1 \"goal\" ]").value, 1.0, 1e-12);
+  EXPECT_NEAR(*check(mdp, "Pmin=? [ true U<=5 \"goal\" ]").value, 0.0, 1e-12);
+}
+
+TEST(MdpChecker, GloballyDuality) {
+  const Mdp mdp = choice_mdp();
+  // Pmax(G ¬trap) = 1 (choose safe); Pmin(G ¬trap) = 0.5 (gamble).
+  EXPECT_NEAR(*check(mdp, "Pmax=? [ G !\"trap\" ]").value, 1.0, 1e-9);
+  EXPECT_NEAR(*check(mdp, "Pmin=? [ G !\"trap\" ]").value, 0.5, 1e-9);
+}
+
+TEST(MdpChecker, RewardMinMax) {
+  Mdp mdp(3);
+  mdp.add_choice(0, "cheap", {Transition{1, 1.0}}, 1.0);
+  mdp.add_choice(0, "dear", {Transition{1, 1.0}}, 10.0);
+  mdp.add_choice(1, "go", {Transition{2, 1.0}}, 2.0);
+  mdp.add_choice(2, "stay", {Transition{2, 1.0}});
+  mdp.add_label(2, "goal");
+  EXPECT_NEAR(*check(mdp, "Rmin=? [ F \"goal\" ]").value, 3.0, 1e-9);
+  EXPECT_NEAR(*check(mdp, "Rmax=? [ F \"goal\" ]").value, 12.0, 1e-9);
+  EXPECT_TRUE(check(mdp, "Rmin<=3 [ F \"goal\" ]").satisfied);
+  EXPECT_FALSE(check(mdp, "Rmin<3 [ F \"goal\" ]").satisfied);
+  // Unquantified upper bound resolves to Rmax.
+  EXPECT_FALSE(check(mdp, "R<=3 [ F \"goal\" ]").satisfied);
+  EXPECT_TRUE(check(mdp, "R<=12 [ F \"goal\" ]").satisfied);
+}
+
+TEST(MdpChecker, RewardInfiniteCases) {
+  const Mdp mdp = loop_mdp();
+  // Rmax: the scheduler may loop forever away from the goal ⇒ inf.
+  EXPECT_TRUE(std::isinf(*check(mdp, "Rmax=? [ F \"goal\" ]").value));
+  // Rmin: the direct route exists ⇒ finite.
+  EXPECT_TRUE(std::isfinite(*check(mdp, "Rmin=? [ F \"goal\" ]").value));
+}
+
+TEST(MdpChecker, CumulativeReward) {
+  Mdp mdp(1);
+  mdp.add_choice(0, "a", {Transition{0, 1.0}}, 3.0);
+  mdp.add_choice(0, "b", {Transition{0, 1.0}}, 1.0);
+  EXPECT_NEAR(*check(mdp, "Rmax=? [ C<=4 ]").value, 12.0, 1e-12);
+  EXPECT_NEAR(*check(mdp, "Rmin=? [ C<=4 ]").value, 4.0, 1e-12);
+}
+
+TEST(MdpChecker, UnboundedUntilWithRestriction) {
+  // stay-region restriction changes Pmax.
+  Mdp mdp(4);
+  mdp.add_choice(0, "via_bad", {Transition{1, 1.0}});
+  mdp.add_choice(0, "direct", {Transition{2, 0.5}, Transition{3, 0.5}});
+  mdp.add_choice(1, "go", {Transition{2, 1.0}});
+  mdp.add_choice(2, "stay", {Transition{2, 1.0}});
+  mdp.add_choice(3, "stay", {Transition{3, 1.0}});
+  mdp.add_label(1, "bad");
+  mdp.add_label(2, "goal");
+  // Unrestricted: Pmax(F goal) = 1 via the bad state.
+  EXPECT_NEAR(*check(mdp, "Pmax=? [ F \"goal\" ]").value, 1.0, 1e-9);
+  // Restricted: ¬bad U goal caps at 0.5.
+  EXPECT_NEAR(*check(mdp, "Pmax=? [ !\"bad\" U \"goal\" ]").value, 0.5, 1e-9);
+}
+
+TEST(MdpChecker, DtmcAndMdpAgreeOnDegenerateMdp) {
+  // A one-choice-per-state MDP must agree with its DTMC view.
+  Dtmc chain(3);
+  chain.set_transitions(0, {Transition{1, 0.4}, Transition{2, 0.6}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.set_transitions(2, {Transition{2, 1.0}});
+  chain.add_label(1, "goal");
+  const Mdp mdp = chain.as_mdp();
+  for (const std::string prop :
+       {"P=? [ F \"goal\" ]", "P=? [ F<=3 \"goal\" ]",
+        "P=? [ X \"goal\" ]"}) {
+    EXPECT_NEAR(*check(chain, prop).value, *check(mdp, prop).value, 1e-9)
+        << prop;
+  }
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,103 @@
+// Tests for probabilistic counterexample generation.
+
+#include "src/checker/counterexample.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/casestudies/car.hpp"
+
+namespace tml {
+namespace {
+
+/// 0 → bad directly (0.3) or via 1 (0.7·0.5); bad and safe absorbing.
+Dtmc risky_chain() {
+  Dtmc chain(4);
+  chain.set_state_name(0, "start");
+  chain.set_state_name(1, "mid");
+  chain.set_state_name(2, "bad");
+  chain.set_state_name(3, "safe");
+  chain.set_transitions(0, {Transition{2, 0.3}, Transition{1, 0.7}});
+  chain.set_transitions(1, {Transition{2, 0.5}, Transition{3, 0.5}});
+  chain.set_transitions(2, {Transition{2, 1.0}});
+  chain.set_transitions(3, {Transition{3, 1.0}});
+  chain.add_label(2, "bad");
+  return chain;
+}
+
+TEST(Counterexample, MostProbablePathFirst) {
+  const Dtmc chain = risky_chain();
+  const Counterexample ce =
+      strongest_evidence(chain, chain.states_with_label("bad"), 0.5);
+  ASSERT_GE(ce.paths.size(), 2u);
+  // Direct path (0.3) precedes the detour (0.35)? 0.35 > 0.3, so the
+  // detour 0→1→2 comes first.
+  EXPECT_NEAR(ce.paths[0].probability, 0.35, 1e-12);
+  EXPECT_EQ(ce.paths[0].states, (std::vector<StateId>{0, 1, 2}));
+  EXPECT_NEAR(ce.paths[1].probability, 0.3, 1e-12);
+  EXPECT_EQ(ce.paths[1].states, (std::vector<StateId>{0, 2}));
+}
+
+TEST(Counterexample, StopsOnceBoundExceeded) {
+  const Dtmc chain = risky_chain();
+  // Total reach probability is 0.65; evidence for a 0.4 bound needs both
+  // paths (0.35 alone is not enough).
+  const Counterexample ce =
+      strongest_evidence(chain, chain.states_with_label("bad"), 0.4);
+  EXPECT_TRUE(ce.exceeds_bound);
+  EXPECT_EQ(ce.paths.size(), 2u);
+  EXPECT_NEAR(ce.total_probability, 0.65, 1e-12);
+  // For a tiny bound, one path suffices.
+  const Counterexample small =
+      strongest_evidence(chain, chain.states_with_label("bad"), 0.1);
+  EXPECT_EQ(small.paths.size(), 1u);
+  EXPECT_TRUE(small.exceeds_bound);
+}
+
+TEST(Counterexample, UnreachableTargetGivesEmptyEvidence) {
+  Dtmc chain(2);
+  chain.set_transitions(0, {Transition{0, 1.0}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.add_label(1, "bad");
+  const Counterexample ce =
+      strongest_evidence(chain, chain.states_with_label("bad"), 0.5);
+  EXPECT_TRUE(ce.paths.empty());
+  EXPECT_FALSE(ce.exceeds_bound);
+  EXPECT_DOUBLE_EQ(ce.total_probability, 0.0);
+}
+
+TEST(Counterexample, MaxPathsRespected) {
+  const Dtmc chain = risky_chain();
+  const Counterexample ce = strongest_evidence(
+      chain, chain.states_with_label("bad"), /*bound=*/1.0, /*max_paths=*/1);
+  EXPECT_EQ(ce.paths.size(), 1u);
+}
+
+TEST(Counterexample, CarStraightPolicyEvidence) {
+  // The unsafe car policy's induced chain: the single evidence path is the
+  // straight line into the van.
+  const Mdp car = build_car_mdp();
+  Policy straight;
+  straight.choice_index.assign(11, 0);
+  const Dtmc chain = car.induced_dtmc(straight);
+  const Counterexample ce =
+      strongest_evidence(chain, chain.states_with_label("crash"), 0.5);
+  ASSERT_EQ(ce.paths.size(), 1u);
+  EXPECT_EQ(ce.paths[0].states, (std::vector<StateId>{0, 1, 2}));
+  EXPECT_NEAR(ce.paths[0].probability, 1.0, 1e-12);
+  EXPECT_TRUE(ce.exceeds_bound);
+  const std::string text = ce.to_string(chain);
+  EXPECT_NE(text.find("S0 -> S1 -> S2"), std::string::npos);
+}
+
+TEST(Counterexample, ToStringListsPaths) {
+  const Dtmc chain = risky_chain();
+  const Counterexample ce =
+      strongest_evidence(chain, chain.states_with_label("bad"), 0.4);
+  const std::string text = ce.to_string(chain);
+  EXPECT_NE(text.find("start -> mid -> bad"), std::string::npos);
+  EXPECT_NE(text.find("start -> bad"), std::string::npos);
+  EXPECT_NE(text.find("exceeds bound"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,244 @@
+// Tests for Data Repair (§IV-B) on small datasets with known answers.
+
+#include <gtest/gtest.h>
+
+#include "src/checker/check.hpp"
+#include "src/core/data_repair.hpp"
+#include "src/learn/mle.hpp"
+#include "src/logic/parser.hpp"
+
+namespace tml {
+namespace {
+
+Dtmc retry_structure() {
+  Dtmc chain(2);
+  chain.set_transitions(0, {Transition{0, 0.5}, Transition{1, 0.5}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.set_state_reward(0, 1.0);
+  chain.add_label(1, "done");
+  return chain;
+}
+
+Trajectory one_step(StateId from, StateId to) {
+  Trajectory t;
+  t.initial_state = from;
+  t.steps.push_back(Step{from, 0, 0, to});
+  return t;
+}
+
+/// Dataset with `fails` retry observations and `successes` forward
+/// observations at state 0; groups: successes pinned, failures droppable.
+struct RepairSetup {
+  TrajectoryDataset data;
+  std::vector<RepairGroup> groups;
+};
+
+RepairSetup make_setup(int successes, int fails) {
+  RepairSetup s;
+  s.groups = {RepairGroup{"success", {}, true},
+              RepairGroup{"failure", {}, false}};
+  for (int i = 0; i < successes; ++i) {
+    s.groups[0].members.push_back(s.data.size());
+    s.data.add(one_step(0, 1));
+  }
+  for (int i = 0; i < fails; ++i) {
+    s.groups[1].members.push_back(s.data.size());
+    s.data.add(one_step(0, 0));
+  }
+  return s;
+}
+
+TEST(DataRepair, DropsFailuresToMeetRewardBound) {
+  // MLE from 2 successes / 8 failures gives success prob 0.2 ⇒ 5 attempts.
+  // Require ≤ 2.5 attempts ⇒ success prob ≥ 0.4 ⇒ keep weight p with
+  // 2/(2+8p) ≥ 0.4 ⇒ p ≤ 0.375.
+  const RepairSetup setup = make_setup(2, 8);
+  const Dtmc learned = mle_dtmc(retry_structure(), setup.data);
+  EXPECT_FALSE(check(learned, "R<=2.5 [ F \"done\" ]").satisfied);
+
+  DataRepairConfig config;
+  config.pseudocount = 0.0;
+  const DataRepairResult result =
+      data_repair(retry_structure(), setup.data, setup.groups,
+                  *parse_pctl("R<=2.5 [ F \"done\" ]"), config);
+  ASSERT_TRUE(result.feasible());
+  ASSERT_EQ(result.keep_weights.size(), 1u);
+  EXPECT_NEAR(result.keep_weights[0], 0.375, 0.01);
+  EXPECT_TRUE(result.recheck_passed);
+  ASSERT_TRUE(result.relearned.has_value());
+  EXPECT_TRUE(check(*result.relearned, "R<=2.5 [ F \"done\" ]").satisfied);
+  EXPECT_NEAR(result.drop_fractions[0], 1.0 - result.keep_weights[0], 1e-12);
+}
+
+TEST(DataRepair, AlreadySatisfiedKeepsEverything) {
+  const RepairSetup setup = make_setup(8, 2);
+  const DataRepairResult result =
+      data_repair(retry_structure(), setup.data, setup.groups,
+                  *parse_pctl("R<=2 [ F \"done\" ]"), DataRepairConfig{});
+  ASSERT_TRUE(result.feasible());
+  EXPECT_NEAR(result.keep_weights[0], 1.0, 1e-2);
+  EXPECT_NEAR(result.effort, 0.0, 1e-2);
+}
+
+TEST(DataRepair, InfeasibleWhenDroppingCannotHelp) {
+  // Require ≤ 1.01 attempts: even dropping all failures leaves success
+  // prob at most (2 + ε)/(2 + ε) — with pseudocount the retry edge keeps a
+  // sliver of mass and min_keep bounds the drop.
+  const RepairSetup setup = make_setup(2, 8);
+  DataRepairConfig config;
+  config.pseudocount = 0.1;
+  config.min_keep = 0.2;
+  const DataRepairResult result =
+      data_repair(retry_structure(), setup.data, setup.groups,
+                  *parse_pctl("R<=1.01 [ F \"done\" ]"), config);
+  EXPECT_FALSE(result.feasible());
+  EXPECT_GT(result.best_violation, 0.0);
+}
+
+TEST(DataRepair, ProbabilityProperty) {
+  // Structure: 0 → goal/trap; data 3 goal, 7 trap; require P>=0.5 [F goal].
+  Dtmc structure(3);
+  structure.set_transitions(0, {Transition{1, 0.5}, Transition{2, 0.5}});
+  structure.set_transitions(1, {Transition{1, 1.0}});
+  structure.set_transitions(2, {Transition{2, 1.0}});
+  structure.add_label(1, "goal");
+
+  TrajectoryDataset data;
+  std::vector<RepairGroup> groups{RepairGroup{"goal_obs", {}, true},
+                                  RepairGroup{"trap_obs", {}, false}};
+  for (int i = 0; i < 3; ++i) {
+    groups[0].members.push_back(data.size());
+    data.add(one_step(0, 1));
+  }
+  for (int i = 0; i < 7; ++i) {
+    groups[1].members.push_back(data.size());
+    data.add(one_step(0, 2));
+  }
+  const DataRepairResult result =
+      data_repair(structure, data, groups,
+                  *parse_pctl("P>=0.5 [ F \"goal\" ]"), DataRepairConfig{});
+  ASSERT_TRUE(result.feasible());
+  // 3/(3+7p) >= 0.5 ⇒ p <= 3/7.
+  EXPECT_NEAR(result.keep_weights[0], 3.0 / 7.0, 0.02);
+  EXPECT_TRUE(result.recheck_passed);
+}
+
+TEST(DataRepair, EffortWeightedByGroupSize) {
+  // Two identical failure groups, one twice the size: the optimizer should
+  // prefer dropping from the smaller one.
+  RepairSetup setup;
+  setup.groups = {RepairGroup{"success", {}, true},
+                  RepairGroup{"small", {}, false},
+                  RepairGroup{"large", {}, false}};
+  for (int i = 0; i < 2; ++i) {
+    setup.groups[0].members.push_back(setup.data.size());
+    setup.data.add(one_step(0, 1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    setup.groups[1].members.push_back(setup.data.size());
+    setup.data.add(one_step(0, 0));
+  }
+  for (int i = 0; i < 6; ++i) {
+    setup.groups[2].members.push_back(setup.data.size());
+    setup.data.add(one_step(0, 0));
+  }
+  const DataRepairResult result =
+      data_repair(retry_structure(), setup.data, setup.groups,
+                  *parse_pctl("R<=3 [ F \"done\" ]"), DataRepairConfig{});
+  ASSERT_TRUE(result.feasible());
+  ASSERT_EQ(result.keep_weights.size(), 2u);
+  // Small group ("keep_small") is dropped harder than the large one.
+  EXPECT_LT(result.keep_weights[0], result.keep_weights[1]);
+}
+
+TEST(DataRepair, AugmentationAddsSyntheticObservations) {
+  // §IV-B: "similar formulations when we consider data points being
+  // added". Real data: 2 successes / 8 failures (success prob 0.2 ⇒ 5
+  // attempts). Dropping is forbidden (all real data pinned); the only
+  // repair lever is a synthetic-success augmentation group with weight
+  // w ∈ [0, 10]. R<=2.5 needs success ≥ 0.4: (2+w)/(10+w) ≥ 0.4 ⇒ w ≥ 10/3.
+  RepairSetup setup = make_setup(2, 8);
+  setup.groups[0].pinned = true;
+  setup.groups[1].pinned = true;  // failures are trusted too
+  RepairGroup synthetic{"synthetic_success", {}, false};
+  synthetic.target_weight = 0.0;
+  synthetic.max_weight = 10.0;
+  synthetic.members.push_back(setup.data.size());
+  setup.data.add(one_step(0, 1));
+  setup.groups.push_back(synthetic);
+
+  DataRepairConfig config;
+  config.pseudocount = 0.0;
+  const DataRepairResult result =
+      data_repair(retry_structure(), setup.data, setup.groups,
+                  *parse_pctl("R<=2.5 [ F \"done\" ]"), config);
+  ASSERT_TRUE(result.feasible());
+  ASSERT_EQ(result.keep_weights.size(), 1u);
+  EXPECT_EQ(result.group_names[0], "keep_synthetic_success");
+  EXPECT_NEAR(result.keep_weights[0], 10.0 / 3.0, 0.05);
+  EXPECT_TRUE(result.recheck_passed);
+}
+
+TEST(DataRepair, ReplacementCombinesDropAndAdd) {
+  // Replace: drop failures AND add synthetic successes; the optimizer
+  // balances both levers (either alone would need a larger change).
+  RepairSetup setup = make_setup(2, 8);
+  RepairGroup synthetic{"synthetic", {}, false};
+  synthetic.target_weight = 0.0;
+  synthetic.max_weight = 5.0;
+  synthetic.members.push_back(setup.data.size());
+  setup.data.add(one_step(0, 1));
+  setup.groups.push_back(synthetic);
+
+  DataRepairConfig config;
+  config.pseudocount = 0.0;
+  const DataRepairResult result =
+      data_repair(retry_structure(), setup.data, setup.groups,
+                  *parse_pctl("R<=2.5 [ F \"done\" ]"), config);
+  ASSERT_TRUE(result.feasible());
+  ASSERT_EQ(result.keep_weights.size(), 2u);
+  // Both levers engaged: some failures dropped AND some synthetic added.
+  EXPECT_LT(result.keep_weights[0], 1.0 - 1e-3);  // keep_failure < 1
+  EXPECT_GT(result.keep_weights[1], 1e-3);        // synthetic weight > 0
+  EXPECT_TRUE(result.recheck_passed);
+}
+
+TEST(DataRepair, AugmentationBoxValidated) {
+  RepairSetup setup = make_setup(2, 2);
+  setup.groups[1].max_weight = 0.0;  // empty box
+  EXPECT_THROW(data_repair(retry_structure(), setup.data, setup.groups,
+                           *parse_pctl("R<=2 [ F \"done\" ]"),
+                           DataRepairConfig{}),
+               Error);
+  RepairSetup bad_target = make_setup(2, 2);
+  bad_target.groups[1].target_weight = 3.0;  // outside [0, max_weight]
+  EXPECT_THROW(data_repair(retry_structure(), bad_target.data,
+                           bad_target.groups,
+                           *parse_pctl("R<=2 [ F \"done\" ]"),
+                           DataRepairConfig{}),
+               Error);
+}
+
+TEST(DataRepair, ValidationErrors) {
+  const RepairSetup setup = make_setup(2, 2);
+  // Non-P/R property.
+  EXPECT_THROW(data_repair(retry_structure(), setup.data, setup.groups,
+                           *parse_pctl("\"done\""), DataRepairConfig{}),
+               Error);
+  // All groups pinned ⇒ nothing to repair.
+  std::vector<RepairGroup> pinned = setup.groups;
+  pinned[1].pinned = true;
+  EXPECT_THROW(data_repair(retry_structure(), setup.data, pinned,
+                           *parse_pctl("R<=2 [ F \"done\" ]"),
+                           DataRepairConfig{}),
+               Error);
+  // Bad min_keep.
+  DataRepairConfig bad;
+  bad.min_keep = 1.5;
+  EXPECT_THROW(data_repair(retry_structure(), setup.data, setup.groups,
+                           *parse_pctl("R<=2 [ F \"done\" ]"), bad),
+               Error);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,181 @@
+// Randomized (fuzz-style) property tests across the logic and checker
+// layers: generated formulas must round-trip through printer and parser,
+// and checker results must respect PCTL's semantic laws on random models.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/checker/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/logic/parser.hpp"
+
+namespace tml {
+namespace {
+
+StateFormulaPtr random_state_formula(Rng& rng, int depth);
+
+PathFormulaPtr random_path_formula(Rng& rng, int depth) {
+  switch (rng.index(4)) {
+    case 0:
+      return pctl::next(random_state_formula(rng, depth - 1));
+    case 1:
+      return pctl::eventually(random_state_formula(rng, depth - 1),
+                              rng.bernoulli(0.5)
+                                  ? std::optional<std::size_t>(rng.index(9))
+                                  : std::nullopt);
+    case 2:
+      return pctl::globally(random_state_formula(rng, depth - 1),
+                            rng.bernoulli(0.5)
+                                ? std::optional<std::size_t>(rng.index(9))
+                                : std::nullopt);
+    default:
+      return pctl::until(random_state_formula(rng, depth - 1),
+                         random_state_formula(rng, depth - 1),
+                         rng.bernoulli(0.5)
+                             ? std::optional<std::size_t>(rng.index(9))
+                             : std::nullopt);
+  }
+}
+
+StateFormulaPtr random_state_formula(Rng& rng, int depth) {
+  const std::vector<std::string> labels{"a", "b", "goal"};
+  if (depth <= 0 || rng.bernoulli(0.3)) {
+    switch (rng.index(3)) {
+      case 0: return pctl::truth();
+      case 1: return pctl::falsity();
+      default: return pctl::label(labels[rng.index(labels.size())]);
+    }
+  }
+  switch (rng.index(6)) {
+    case 0:
+      return pctl::negation(random_state_formula(rng, depth - 1));
+    case 1:
+      return pctl::conjunction(random_state_formula(rng, depth - 1),
+                               random_state_formula(rng, depth - 1));
+    case 2:
+      return pctl::disjunction(random_state_formula(rng, depth - 1),
+                               random_state_formula(rng, depth - 1));
+    case 3:
+      return pctl::implication(random_state_formula(rng, depth - 1),
+                               random_state_formula(rng, depth - 1));
+    case 4: {
+      const Comparison cmp = static_cast<Comparison>(rng.index(4));
+      return pctl::prob(cmp, rng.uniform(0.0, 1.0),
+                        random_path_formula(rng, depth));
+    }
+    default:
+      return pctl::reward_reach(static_cast<Comparison>(rng.index(4)),
+                                rng.uniform(0.0, 20.0),
+                                random_state_formula(rng, depth - 1));
+  }
+}
+
+Dtmc random_chain(Rng& rng, std::size_t n) {
+  Dtmc chain(n);
+  for (StateId s = 0; s < n; ++s) {
+    // Two random targets with random split, plus optional self-mass.
+    const StateId t1 = static_cast<StateId>(rng.index(n));
+    const StateId t2 = static_cast<StateId>(rng.index(n));
+    const double self = rng.uniform(0.0, 0.5);
+    const double split = rng.uniform(0.0, 1.0);
+    std::vector<Transition> row;
+    auto add = [&row](StateId t, double p) {
+      if (p <= 0.0) return;
+      for (Transition& existing : row) {
+        if (existing.target == t) {
+          existing.probability += p;
+          return;
+        }
+      }
+      row.push_back(Transition{t, p});
+    };
+    add(s, self);
+    add(t1, (1.0 - self) * split);
+    add(t2, (1.0 - self) * (1.0 - split));
+    chain.set_transitions(s, std::move(row));
+    chain.set_state_reward(s, rng.uniform(0.0, 2.0));
+    if (rng.bernoulli(0.4)) chain.add_label(s, "a");
+    if (rng.bernoulli(0.3)) chain.add_label(s, "b");
+    if (rng.bernoulli(0.2)) chain.add_label(s, "goal");
+  }
+  return chain;
+}
+
+class FuzzRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzRoundTrip, PrinterParserFixedPoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  for (int i = 0; i < 20; ++i) {
+    const StateFormulaPtr f = random_state_formula(rng, 3);
+    const std::string text = f->to_string();
+    StateFormulaPtr reparsed;
+    ASSERT_NO_THROW(reparsed = parse_pctl(text)) << text;
+    EXPECT_EQ(reparsed->to_string(), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRoundTrip, ::testing::Range(0, 10));
+
+class FuzzSemantics : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSemantics, CheckerLawsOnRandomChains) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 11);
+  const Dtmc chain = random_chain(rng, 4 + rng.index(5));
+
+  // Law 1: Sat(¬φ) is the complement of Sat(φ).
+  for (int i = 0; i < 5; ++i) {
+    const StateFormulaPtr f = random_state_formula(rng, 2);
+    const StateSet sat = satisfying_states(chain, *f);
+    const StateSet neg = satisfying_states(chain, *pctl::negation(f));
+    EXPECT_EQ(neg, complement(sat));
+  }
+
+  // Law 2: P(F φ) = P(true U φ) (state-by-state).
+  const StateFormulaPtr target = random_state_formula(rng, 1);
+  const std::vector<double> ev = quantitative_values(
+      chain, *pctl::prob_query(Quantifier::kMax, pctl::eventually(target)));
+  const std::vector<double> un = quantitative_values(
+      chain,
+      *pctl::prob_query(Quantifier::kMax, pctl::until(pctl::truth(), target)));
+  for (std::size_t s = 0; s < ev.size(); ++s) {
+    EXPECT_NEAR(ev[s], un[s], 1e-9);
+  }
+
+  // Law 3: P(G φ) + P(F ¬φ) = 1.
+  const std::vector<double> g = quantitative_values(
+      chain, *pctl::prob_query(Quantifier::kMax, pctl::globally(target)));
+  const std::vector<double> f_neg = quantitative_values(
+      chain, *pctl::prob_query(Quantifier::kMax,
+                               pctl::eventually(pctl::negation(target))));
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    EXPECT_NEAR(g[s] + f_neg[s], 1.0, 1e-9);
+  }
+
+  // Law 4: bounded until is monotone in the bound and converges to the
+  // unbounded value from below.
+  const StateFormulaPtr stay = random_state_formula(rng, 1);
+  double previous = -1.0;
+  const std::vector<double> unbounded = quantitative_values(
+      chain, *pctl::prob_query(Quantifier::kMax, pctl::until(stay, target)));
+  for (const std::size_t k : {0u, 1u, 2u, 4u, 8u, 32u}) {
+    const std::vector<double> bounded = quantitative_values(
+        chain,
+        *pctl::prob_query(Quantifier::kMax, pctl::until(stay, target, k)));
+    EXPECT_GE(bounded[chain.initial_state()], previous - 1e-12);
+    EXPECT_LE(bounded[chain.initial_state()],
+              unbounded[chain.initial_state()] + 1e-9);
+    previous = bounded[chain.initial_state()];
+  }
+
+  // Law 5: probabilities stay in [0, 1].
+  for (double p : ev) {
+    EXPECT_GE(p, -1e-12);
+    EXPECT_LE(p, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSemantics, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,206 @@
+// Tests for the HMM module: inference correctness against hand-computed
+// values, Baum–Welch learning, and the constrained E-step (§VII's TML
+// extension to hidden-state models).
+
+#include "src/hmm/hmm.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tml {
+namespace {
+
+/// Two-state weather HMM: 0 = dry, 1 = wet; symbols 0 = sun, 1 = rain.
+Hmm weather() {
+  Hmm hmm;
+  hmm.initial = {0.6, 0.4};
+  hmm.transition = {{0.7, 0.3}, {0.4, 0.6}};
+  hmm.emission = {{0.9, 0.1}, {0.2, 0.8}};
+  return hmm;
+}
+
+TEST(Hmm, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(weather().validate());
+}
+
+TEST(Hmm, ValidateRejectsBrokenRows) {
+  Hmm hmm = weather();
+  hmm.transition[0][0] = 0.5;  // row now sums to 0.8
+  EXPECT_THROW(hmm.validate(), ModelError);
+  Hmm empty;
+  EXPECT_THROW(empty.validate(), ModelError);
+  Hmm mismatch = weather();
+  mismatch.emission.pop_back();
+  EXPECT_THROW(mismatch.validate(), ModelError);
+}
+
+TEST(Hmm, LikelihoodMatchesHandComputation) {
+  // P(obs = [sun]) = 0.6·0.9 + 0.4·0.2 = 0.62.
+  const Hmm hmm = weather();
+  EXPECT_NEAR(std::exp(log_likelihood(hmm, {0})), 0.62, 1e-12);
+  // P([sun, rain]) = Σ_{i,j} π_i B_i(sun) A_ij B_j(rain).
+  const double p =
+      0.6 * 0.9 * (0.7 * 0.1 + 0.3 * 0.8) + 0.4 * 0.2 * (0.4 * 0.1 + 0.6 * 0.8);
+  EXPECT_NEAR(std::exp(log_likelihood(hmm, {0, 1})), p, 1e-12);
+}
+
+TEST(Hmm, PosteriorIsNormalizedAndConsistent) {
+  const Hmm hmm = weather();
+  const ObservationSequence obs{0, 1, 1, 0, 0};
+  const HmmPosterior post = forward_backward(hmm, obs);
+  ASSERT_EQ(post.gamma.size(), obs.size());
+  for (const auto& slice : post.gamma) {
+    EXPECT_NEAR(slice[0] + slice[1], 1.0, 1e-9);
+  }
+  // Marginal consistency: Σ_j xi[t][i][j] == gamma[t][i].
+  for (std::size_t t = 0; t + 1 < obs.size(); ++t) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(post.xi[t][i][0] + post.xi[t][i][1], post.gamma[t][i],
+                  1e-9);
+    }
+  }
+}
+
+TEST(Hmm, PosteriorTracksEvidence) {
+  const Hmm hmm = weather();
+  // A rainy observation makes the wet state more likely a posteriori.
+  const HmmPosterior sunny = forward_backward(hmm, {0});
+  const HmmPosterior rainy = forward_backward(hmm, {1});
+  EXPECT_GT(sunny.gamma[0][0], 0.5);
+  EXPECT_GT(rainy.gamma[0][1], 0.5);
+}
+
+TEST(Hmm, ViterbiDecodesObviousSequence) {
+  const Hmm hmm = weather();
+  const std::vector<std::size_t> path = viterbi(hmm, {0, 0, 1, 1, 1});
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], 0u);
+  EXPECT_EQ(path[3], 1u);
+  EXPECT_EQ(path[4], 1u);
+}
+
+TEST(Hmm, SampleShapesAndDeterminism) {
+  const Hmm hmm = weather();
+  Rng a(3), b(3);
+  const Hmm::Sample s1 = hmm.sample(20, a);
+  const Hmm::Sample s2 = hmm.sample(20, b);
+  EXPECT_EQ(s1.states.size(), 20u);
+  EXPECT_EQ(s1.observations, s2.observations);
+  for (std::size_t s : s1.states) EXPECT_LT(s, 2u);
+  for (std::size_t o : s1.observations) EXPECT_LT(o, 2u);
+}
+
+std::vector<ObservationSequence> sample_data(const Hmm& hmm, std::size_t count,
+                                             std::size_t length,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ObservationSequence> data;
+  for (std::size_t i = 0; i < count; ++i) {
+    data.push_back(hmm.sample(length, rng).observations);
+  }
+  return data;
+}
+
+TEST(BaumWelch, LikelihoodIsMonotone) {
+  const Hmm truth = weather();
+  const auto data = sample_data(truth, 30, 25, 7);
+  Hmm start = weather();
+  start.transition = {{0.5, 0.5}, {0.5, 0.5}};
+  start.emission = {{0.6, 0.4}, {0.4, 0.6}};
+  EmOptions options;
+  options.max_iterations = 30;
+  const EmResult result = baum_welch(start, data, options);
+  ASSERT_GE(result.log_likelihood_trace.size(), 2u);
+  for (std::size_t i = 1; i < result.log_likelihood_trace.size(); ++i) {
+    EXPECT_GE(result.log_likelihood_trace[i],
+              result.log_likelihood_trace[i - 1] - 1e-6);
+  }
+}
+
+TEST(BaumWelch, ImprovesOverInitialModel) {
+  const Hmm truth = weather();
+  const auto data = sample_data(truth, 40, 30, 11);
+  // Asymmetric start (exactly uniform emissions are an EM saddle point).
+  Hmm start = weather();
+  start.emission = {{0.6, 0.4}, {0.35, 0.65}};
+  const EmResult result = baum_welch(start, data);
+  double ll_start = 0.0, ll_learned = 0.0;
+  for (const auto& seq : data) {
+    ll_start += log_likelihood(start, seq);
+    ll_learned += log_likelihood(result.model, seq);
+  }
+  EXPECT_GT(ll_learned, ll_start);
+  // The learned emissions should separate the symbols again (up to state
+  // relabelling): some state emits symbol 0 with prob > 0.7.
+  const double best_sun = std::max(result.model.emission[0][0],
+                                   result.model.emission[1][0]);
+  EXPECT_GT(best_sun, 0.7);
+}
+
+TEST(ConstrainedBaumWelch, OccupancyBoundHolds) {
+  const Hmm truth = weather();
+  const auto data = sample_data(truth, 30, 20, 13);
+  // Constrain the wet state's expected visits to at most 4 of 20 steps.
+  const std::vector<OccupancyConstraint> constraints{{1, 4.0}};
+  const EmResult plain = baum_welch(weather(), data);
+  const EmResult constrained =
+      constrained_baum_welch(weather(), data, constraints);
+  ASSERT_EQ(constrained.constrained_occupancy.size(), 1u);
+  EXPECT_LE(constrained.constrained_occupancy[0], 4.0 + 1e-3);
+  // The unconstrained run visits wet noticeably more (truth stationary
+  // wet-share is 3/7 ≈ 0.43 → ~8.6 visits).
+  double plain_occupancy = 0.0;
+  for (const auto& seq : data) {
+    const HmmPosterior post = forward_backward(plain.model, seq);
+    for (const auto& slice : post.gamma) plain_occupancy += slice[1];
+  }
+  plain_occupancy /= static_cast<double>(data.size());
+  // The unconstrained model keeps a clearly higher wet occupancy than the
+  // constrained bound (exact value depends on where EM converges).
+  EXPECT_GT(plain_occupancy, 4.2);
+  EXPECT_GT(plain_occupancy, constrained.constrained_occupancy[0]);
+  // The constrained model's own dynamics de-emphasize the wet state.
+  EXPECT_LT(constrained.model.initial[1] +
+                constrained.model.transition[0][1],
+            plain.model.initial[1] + plain.model.transition[0][1] + 1e-9);
+}
+
+TEST(ConstrainedBaumWelch, InactiveConstraintChangesNothing) {
+  const Hmm truth = weather();
+  const auto data = sample_data(truth, 10, 15, 17);
+  // Bound far above any possible occupancy: projection must be a no-op.
+  const std::vector<OccupancyConstraint> constraints{{1, 100.0}};
+  EmOptions options;
+  options.max_iterations = 5;
+  const EmResult plain = baum_welch(weather(), data, options);
+  const EmResult constrained =
+      constrained_baum_welch(weather(), data, constraints, options);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(plain.model.initial[i], constrained.model.initial[i], 1e-12);
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(plain.model.transition[i][j],
+                  constrained.model.transition[i][j], 1e-12);
+    }
+  }
+}
+
+TEST(ConstrainedBaumWelch, InputValidation) {
+  const auto data = sample_data(weather(), 2, 5, 1);
+  EXPECT_THROW(
+      constrained_baum_welch(weather(), data, {{7, 1.0}}), Error);
+  EXPECT_THROW(
+      constrained_baum_welch(weather(), data, {{0, -1.0}}), Error);
+  EXPECT_THROW(baum_welch(weather(), {}), Error);
+  EXPECT_THROW(baum_welch(weather(), {{}}), Error);
+}
+
+TEST(Hmm, ImpossibleObservationRejected) {
+  Hmm hmm = weather();
+  hmm.emission = {{1.0, 0.0}, {1.0, 0.0}};  // symbol 1 impossible
+  EXPECT_THROW(forward_backward(hmm, {1}), Error);
+  EXPECT_THROW(forward_backward(hmm, ObservationSequence{}), Error);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,214 @@
+// Tests for maximum-likelihood learning and the parametric weighted MLE
+// used by Data Repair.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/learn/mle.hpp"
+#include "src/learn/weighted_mle.hpp"
+#include "src/mdp/simulate.hpp"
+
+namespace tml {
+namespace {
+
+/// Structure: 0 → {0, 1}; 1 absorbing.
+Dtmc retry_structure(double stay = 0.5) {
+  Dtmc chain(2);
+  chain.set_transitions(0, {Transition{0, stay}, Transition{1, 1.0 - stay}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.add_label(1, "done");
+  chain.set_state_reward(0, 1.0);
+  return chain;
+}
+
+Trajectory one_step(StateId from, StateId to) {
+  Trajectory t;
+  t.initial_state = from;
+  t.steps.push_back(Step{from, 0, 0, to});
+  return t;
+}
+
+TEST(CountTransitions, CountsMatchData) {
+  const Mdp structure = retry_structure().as_mdp();
+  TrajectoryDataset data;
+  data.add(one_step(0, 0));
+  data.add(one_step(0, 1));
+  data.add(one_step(0, 1));
+  const CountTable table = count_transitions(structure, data);
+  EXPECT_DOUBLE_EQ(table.counts[0][0][0], 1.0);  // 0→0
+  EXPECT_DOUBLE_EQ(table.counts[0][0][1], 2.0);  // 0→1
+  EXPECT_DOUBLE_EQ(table.unmatched, 0.0);
+}
+
+TEST(CountTransitions, WeightsRespected) {
+  const Mdp structure = retry_structure().as_mdp();
+  TrajectoryDataset data;
+  data.add(one_step(0, 0), 3.0);
+  data.add(one_step(0, 1), 1.0);
+  const CountTable table = count_transitions(structure, data);
+  EXPECT_DOUBLE_EQ(table.counts[0][0][0], 3.0);
+  EXPECT_DOUBLE_EQ(table.counts[0][0][1], 1.0);
+}
+
+TEST(CountTransitions, UnmatchedDiagnosed) {
+  // Structure has no 1→0 edge; such a step is counted as unmatched.
+  const Mdp structure = retry_structure().as_mdp();
+  TrajectoryDataset data;
+  data.add(one_step(1, 0));
+  const CountTable table = count_transitions(structure, data);
+  EXPECT_DOUBLE_EQ(table.unmatched, 1.0);
+}
+
+TEST(MleDtmc, RecoveryFromFrequencies) {
+  const Dtmc structure = retry_structure();
+  TrajectoryDataset data;
+  for (int i = 0; i < 3; ++i) data.add(one_step(0, 0));
+  for (int i = 0; i < 7; ++i) data.add(one_step(0, 1));
+  const Dtmc learned = mle_dtmc(structure, data);
+  EXPECT_NEAR(learned.transitions(0)[0].probability, 0.3, 1e-12);
+  EXPECT_NEAR(learned.transitions(0)[1].probability, 0.7, 1e-12);
+  // State 1 saw no data: keeps structural prior.
+  EXPECT_DOUBLE_EQ(learned.transitions(1)[0].probability, 1.0);
+}
+
+TEST(MleDtmc, LaplaceSmoothing) {
+  const Dtmc structure = retry_structure();
+  TrajectoryDataset data;
+  data.add(one_step(0, 1));  // single observation
+  const Dtmc learned = mle_dtmc(structure, data, /*pseudocount=*/1.0);
+  // (0+1)/(1+2) and (1+1)/(1+2).
+  EXPECT_NEAR(learned.transitions(0)[0].probability, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(learned.transitions(0)[1].probability, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MleDtmc, ConsistencyOnSimulatedData) {
+  const Dtmc truth = retry_structure(0.8);
+  const Mdp truth_mdp = truth.as_mdp();
+  Rng rng(11);
+  SimulationOptions options;
+  options.absorbing = truth_mdp.states_with_label("done");
+  options.max_steps = 200;
+  const TrajectoryDataset data = simulate_dataset(
+      truth_mdp, truth_mdp.first_choice_policy(), rng, 2000, options);
+  const Dtmc learned = mle_dtmc(retry_structure(0.5), data);
+  EXPECT_NEAR(learned.transitions(0)[0].probability, 0.8, 0.02);
+}
+
+TEST(LogLikelihood, HigherForTrueModel) {
+  const Dtmc truth = retry_structure(0.8);
+  const Mdp truth_mdp = truth.as_mdp();
+  Rng rng(13);
+  SimulationOptions options;
+  options.absorbing = truth_mdp.states_with_label("done");
+  const TrajectoryDataset data = simulate_dataset(
+      truth_mdp, truth_mdp.first_choice_policy(), rng, 500, options);
+  const double ll_true = log_likelihood(truth_mdp, data);
+  const double ll_wrong = log_likelihood(retry_structure(0.2).as_mdp(), data);
+  EXPECT_GT(ll_true, ll_wrong);
+}
+
+TEST(LogLikelihood, UnsupportedTransitionIsMinusInfinity) {
+  Dtmc structure(2);
+  structure.set_transitions(0, {Transition{1, 1.0}});
+  structure.set_transitions(1, {Transition{1, 1.0}});
+  TrajectoryDataset data;
+  data.add(one_step(0, 0));  // impossible under the structure
+  EXPECT_TRUE(std::isinf(log_likelihood(structure.as_mdp(), data)));
+}
+
+TEST(WeightedMle, ReproducesPaperRationalShape) {
+  // The paper's worked example (§V-A.2): 40% of forwarding traces succeed,
+  // 60% fail. Keeping successes pinned and dropping failures with keep
+  // weight p gives forwarding probability 0.4/(0.4 + 0.6p) — as a rational
+  // function of p.
+  const Dtmc structure = retry_structure();
+  TrajectoryDataset data;
+  std::vector<RepairGroup> groups(2);
+  groups[0] = RepairGroup{"success", {}, /*pinned=*/true};
+  groups[1] = RepairGroup{"failure", {}, /*pinned=*/false};
+  for (int i = 0; i < 10; ++i) {
+    const bool success = i < 4;
+    groups[success ? 0 : 1].members.push_back(data.size());
+    data.add(one_step(0, success ? 1 : 0));
+  }
+  const WeightedMleResult result = weighted_mle_dtmc(structure, data, groups);
+  ASSERT_EQ(result.variables.size(), 1u);
+  EXPECT_EQ(result.variable_names[0], "keep_failure");
+  const RationalFunction& forward = result.chain.transition(0, 1);
+  for (const double p : {1.0, 0.5, 0.1}) {
+    const std::vector<double> pt{p};
+    EXPECT_NEAR(forward.evaluate(pt), 0.4 / (0.4 + 0.6 * p), 1e-9) << p;
+  }
+}
+
+TEST(WeightedMle, PinnedGroupsGetNoVariable) {
+  const Dtmc structure = retry_structure();
+  TrajectoryDataset data;
+  data.add(one_step(0, 1));
+  std::vector<RepairGroup> groups{{"trusted", {0}, true}};
+  const WeightedMleResult result = weighted_mle_dtmc(structure, data, groups);
+  EXPECT_TRUE(result.variables.empty());
+}
+
+TEST(WeightedMle, UnobservedRowsKeepPrior) {
+  const Dtmc structure = retry_structure(0.5);
+  TrajectoryDataset data;
+  data.add(one_step(0, 1));
+  std::vector<RepairGroup> groups{{"g", {0}, false}};
+  const WeightedMleResult result = weighted_mle_dtmc(structure, data, groups);
+  // State 1 saw no data → constant prior probability 1.
+  EXPECT_TRUE(result.chain.transition(1, 1).is_constant());
+  EXPECT_DOUBLE_EQ(result.chain.transition(1, 1).constant_value(), 1.0);
+}
+
+TEST(WeightedMle, PseudocountKeepsDenominatorAlive) {
+  const Dtmc structure = retry_structure();
+  TrajectoryDataset data;
+  data.add(one_step(0, 0));
+  std::vector<RepairGroup> groups{{"g", {0}, false}};
+  const WeightedMleResult result =
+      weighted_mle_dtmc(structure, data, groups, /*pseudocount=*/0.01);
+  // Even at keep = 0, probabilities remain defined (pseudo mass only).
+  const std::vector<double> zero{0.0};
+  EXPECT_NO_THROW(result.chain.instantiate(zero));
+}
+
+TEST(WeightedMle, InstantiateAtOneMatchesPlainMle) {
+  const Dtmc structure = retry_structure();
+  TrajectoryDataset data;
+  data.add(one_step(0, 0));
+  data.add(one_step(0, 1));
+  data.add(one_step(0, 1));
+  std::vector<RepairGroup> groups{{"g", {0, 1, 2}, false}};
+  const WeightedMleResult result = weighted_mle_dtmc(structure, data, groups);
+  const std::vector<double> ones{1.0};
+  const Dtmc at_one = result.chain.instantiate(ones);
+  const Dtmc plain = mle_dtmc(structure, data);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(at_one.transitions(0)[k].probability,
+                plain.transitions(0)[k].probability, 1e-9);
+  }
+}
+
+TEST(WeightedMle, OverlappingGroupsRejected) {
+  const Dtmc structure = retry_structure();
+  TrajectoryDataset data;
+  data.add(one_step(0, 1));
+  std::vector<RepairGroup> groups{{"a", {0}, false}, {"b", {0}, false}};
+  EXPECT_THROW(weighted_mle_dtmc(structure, data, groups), Error);
+}
+
+TEST(WeightedMle, OneGroupPerTrajectoryHelper) {
+  TrajectoryDataset data;
+  data.add(one_step(0, 1));
+  data.add(one_step(0, 0));
+  const std::vector<RepairGroup> groups = one_group_per_trajectory(data);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(groups[1].name, "traj1");
+  EXPECT_FALSE(groups[1].pinned);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,176 @@
+// Tests for the constrained nonlinear optimizer on problems with known
+// solutions, across all three algorithms.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/opt/solvers.hpp"
+
+namespace tml {
+namespace {
+
+/// min x² + y²  s.t.  x + y >= 1  →  x = y = 0.5, objective 0.5.
+Problem projection_problem() {
+  Problem p;
+  p.dimension = 2;
+  p.objective = [](std::span<const double> x) {
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  p.objective_gradient = [](std::span<const double> x) {
+    return std::vector<double>{2 * x[0], 2 * x[1]};
+  };
+  p.constraints.push_back(Constraint{
+      "x+y>=1",
+      [](std::span<const double> x) { return 1.0 - x[0] - x[1]; },
+      [](std::span<const double> x) {
+        (void)x;
+        return std::vector<double>{-1.0, -1.0};
+      }});
+  p.box = Box::uniform(2, -2.0, 2.0);
+  return p;
+}
+
+class AllAlgorithms : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AllAlgorithms, QuadraticProjection) {
+  SolveOptions options;
+  options.algorithm = GetParam();
+  const SolveOutcome out = solve(projection_problem(), options);
+  EXPECT_EQ(out.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(out.x[0], 0.5, 2e-2);
+  EXPECT_NEAR(out.x[1], 0.5, 2e-2);
+  EXPECT_NEAR(out.objective, 0.5, 2e-2);
+  EXPECT_TRUE(out.feasible());
+}
+
+TEST_P(AllAlgorithms, UnconstrainedMinimumInsideBox) {
+  Problem p;
+  p.dimension = 2;
+  p.objective = [](std::span<const double> x) {
+    return (x[0] - 0.3) * (x[0] - 0.3) + (x[1] + 0.2) * (x[1] + 0.2);
+  };
+  p.box = Box::uniform(2, -1.0, 1.0);
+  SolveOptions options;
+  options.algorithm = GetParam();
+  const SolveOutcome out = solve(p, options);
+  EXPECT_EQ(out.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(out.x[0], 0.3, 1e-2);
+  EXPECT_NEAR(out.x[1], -0.2, 1e-2);
+}
+
+TEST_P(AllAlgorithms, InfeasibleDetected) {
+  // x >= 2 is outside the box [0, 1].
+  Problem p;
+  p.dimension = 1;
+  p.objective = [](std::span<const double> x) { return x[0] * x[0]; };
+  p.constraints.push_back(Constraint{
+      "x>=2", [](std::span<const double> x) { return 2.0 - x[0]; }, nullptr});
+  p.box = Box::uniform(1, 0.0, 1.0);
+  SolveOptions options;
+  options.algorithm = GetParam();
+  const SolveOutcome out = solve(p, options);
+  EXPECT_EQ(out.status, SolveStatus::kInfeasible);
+  // Best violation is achieved at the box edge x = 1: violation 1.
+  EXPECT_NEAR(out.max_violation, 1.0, 1e-6);
+  EXPECT_FALSE(out.feasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, AllAlgorithms,
+                         ::testing::Values(Algorithm::kPenalty,
+                                           Algorithm::kAugmentedLagrangian,
+                                           Algorithm::kNelderMead),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param)) ==
+                                          "augmented-lagrangian"
+                                      ? std::string("AugLag")
+                                      : std::string(to_string(info.param)) ==
+                                                "nelder-mead"
+                                            ? std::string("NelderMead")
+                                            : std::string("Penalty");
+                         });
+
+TEST(Optimizer, RationalConstraintRepairShaped) {
+  // Mimics the WSN repair: min p² + q² s.t. 4/(0.08+p) + 1/(0.06+q) <= 40,
+  // p, q in [0, 0.08].
+  Problem problem;
+  problem.dimension = 2;
+  problem.objective = [](std::span<const double> x) {
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  problem.constraints.push_back(Constraint{
+      "attempts<=40",
+      [](std::span<const double> x) {
+        return 4.0 / (0.08 + x[0]) + 1.0 / (0.06 + x[1]) - 40.0;
+      },
+      nullptr});
+  problem.box = Box::uniform(2, 0.0, 0.08);
+  const SolveOutcome out = solve(problem, SolveOptions{});
+  ASSERT_EQ(out.status, SolveStatus::kOptimal);
+  // Constraint active at the optimum.
+  const double achieved =
+      4.0 / (0.08 + out.x[0]) + 1.0 / (0.06 + out.x[1]);
+  EXPECT_LE(achieved, 40.0 + 1e-6);
+  EXPECT_GT(achieved, 38.5);  // not over-repaired
+  EXPECT_GT(out.x[0], out.x[1]);  // the 4-hop term dominates the gradient
+}
+
+TEST(Optimizer, SolveLocalRespectsStart) {
+  const Problem p = projection_problem();
+  SolveOptions options;
+  const SolveOutcome out = solve_local(p, {1.0, 1.0}, options);
+  EXPECT_EQ(out.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(out.objective, 0.5, 5e-2);
+}
+
+TEST(Optimizer, ValidationErrors) {
+  Problem p;
+  EXPECT_THROW(solve(p, SolveOptions{}), Error);  // zero-dimensional
+  p.dimension = 2;
+  EXPECT_THROW(solve(p, SolveOptions{}), Error);  // no objective
+  p.objective = [](std::span<const double>) { return 0.0; };
+  p.box.lower = {0.0};                            // wrong arity
+  EXPECT_THROW(solve(p, SolveOptions{}), Error);
+  p.box.lower.clear();
+  EXPECT_THROW(solve_local(p, {0.0, 0.0, 0.0}, SolveOptions{}), Error);
+}
+
+TEST(Box, ProjectAndContains) {
+  Box box = Box::uniform(2, 0.0, 1.0);
+  std::vector<double> x{-0.5, 2.0};
+  box.project(x);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_TRUE(box.contains(x));
+  const std::vector<double> outside{1.5, 0.5};
+  EXPECT_FALSE(box.contains(outside));
+  EXPECT_THROW(Box::uniform(1, 2.0, 1.0), Error);
+}
+
+TEST(NumericGradient, MatchesAnalytic) {
+  const ScalarFn f = [](std::span<const double> x) {
+    return std::sin(x[0]) + x[1] * x[1];
+  };
+  const std::vector<double> x{0.7, -1.2};
+  const std::vector<double> g = numeric_gradient(f, x);
+  EXPECT_NEAR(g[0], std::cos(0.7), 1e-5);
+  EXPECT_NEAR(g[1], -2.4, 1e-5);
+}
+
+TEST(Constraint, ViolationIsClamped) {
+  const Constraint c{
+      "g", [](std::span<const double> x) { return x[0] - 1.0; }, nullptr};
+  const std::vector<double> inside{0.5};
+  EXPECT_DOUBLE_EQ(c.violation(inside), 0.0);
+  const std::vector<double> outside{1.5};
+  EXPECT_DOUBLE_EQ(c.violation(outside), 0.5);
+}
+
+TEST(SolveStatus, Strings) {
+  EXPECT_EQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace tml

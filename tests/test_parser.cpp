@@ -1,0 +1,171 @@
+// Unit tests for the PCTL parser.
+
+#include "src/logic/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tml {
+namespace {
+
+TEST(Parser, Atoms) {
+  EXPECT_EQ(parse_pctl("true")->kind(), StateFormula::Kind::kTrue);
+  EXPECT_EQ(parse_pctl("false")->kind(), StateFormula::Kind::kFalse);
+  const StateFormulaPtr label = parse_pctl("\"delivered\"");
+  EXPECT_EQ(label->kind(), StateFormula::Kind::kLabel);
+  EXPECT_EQ(label->label(), "delivered");
+}
+
+TEST(Parser, BooleanPrecedence) {
+  // & binds tighter than |.
+  const StateFormulaPtr f = parse_pctl("\"a\" | \"b\" & \"c\"");
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kOr);
+  EXPECT_EQ(f->operand(1).kind(), StateFormula::Kind::kAnd);
+}
+
+TEST(Parser, Parentheses) {
+  const StateFormulaPtr f = parse_pctl("(\"a\" | \"b\") & \"c\"");
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kAnd);
+  EXPECT_EQ(f->operand(0).kind(), StateFormula::Kind::kOr);
+}
+
+TEST(Parser, NegationAndImplication) {
+  const StateFormulaPtr f = parse_pctl("!\"a\" => \"b\"");
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kImplies);
+  EXPECT_EQ(f->operand(0).kind(), StateFormula::Kind::kNot);
+  const StateFormulaPtr g = parse_pctl("!!true");
+  EXPECT_EQ(g->kind(), StateFormula::Kind::kNot);
+}
+
+TEST(Parser, ProbEventually) {
+  const StateFormulaPtr f = parse_pctl("P>=0.99 [ F \"goal\" ]");
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kProb);
+  EXPECT_EQ(f->comparison(), Comparison::kGreaterEqual);
+  EXPECT_DOUBLE_EQ(f->bound(), 0.99);
+  EXPECT_EQ(f->path().kind(), PathFormula::Kind::kEventually);
+  EXPECT_FALSE(f->path().step_bound().has_value());
+}
+
+TEST(Parser, ProbComparisons) {
+  EXPECT_EQ(parse_pctl("P<0.5 [ X true ]")->comparison(), Comparison::kLess);
+  EXPECT_EQ(parse_pctl("P<=0.5 [ X true ]")->comparison(),
+            Comparison::kLessEqual);
+  EXPECT_EQ(parse_pctl("P>0.5 [ X true ]")->comparison(), Comparison::kGreater);
+  EXPECT_EQ(parse_pctl("P>=0.5 [ X true ]")->comparison(),
+            Comparison::kGreaterEqual);
+}
+
+TEST(Parser, ProbUntilBounded) {
+  const StateFormulaPtr f = parse_pctl("P>0.9 [ \"safe\" U<=10 \"goal\" ]");
+  const PathFormula& path = f->path();
+  EXPECT_EQ(path.kind(), PathFormula::Kind::kUntil);
+  EXPECT_EQ(path.left().label(), "safe");
+  EXPECT_EQ(path.right().label(), "goal");
+  ASSERT_TRUE(path.step_bound().has_value());
+  EXPECT_EQ(*path.step_bound(), 10u);
+}
+
+TEST(Parser, BoundedEventuallyAndGlobally) {
+  EXPECT_EQ(*parse_pctl("P>0 [ F<=3 \"x\" ]")->path().step_bound(), 3u);
+  const StateFormulaPtr g = parse_pctl("P>=1 [ G<=4 \"x\" ]");
+  EXPECT_EQ(g->path().kind(), PathFormula::Kind::kGlobally);
+  EXPECT_EQ(*g->path().step_bound(), 4u);
+}
+
+TEST(Parser, PmaxPminQueries) {
+  const StateFormulaPtr max = parse_pctl("Pmax=? [ F \"goal\" ]");
+  EXPECT_EQ(max->kind(), StateFormula::Kind::kProbQuery);
+  EXPECT_EQ(max->quantifier(), Quantifier::kMax);
+  const StateFormulaPtr min = parse_pctl("Pmin=? [ F \"goal\" ]");
+  EXPECT_EQ(min->quantifier(), Quantifier::kMin);
+}
+
+TEST(Parser, QuantifiedBoundedProb) {
+  const StateFormulaPtr f = parse_pctl("Pmin>=0.8 [ F \"goal\" ]");
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kProb);
+  EXPECT_EQ(f->quantifier(), Quantifier::kMin);
+}
+
+TEST(Parser, RewardReachability) {
+  const StateFormulaPtr f = parse_pctl("R<=40 [ F \"delivered\" ]");
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kReward);
+  EXPECT_EQ(f->reward_path_kind(),
+            StateFormula::RewardPathKind::kReachability);
+  EXPECT_DOUBLE_EQ(f->bound(), 40.0);
+  EXPECT_EQ(f->reward_target().label(), "delivered");
+}
+
+TEST(Parser, RewardWithStructureName) {
+  // The paper's property: R{attempts} <= X [ F S_n11 = 2 ].
+  const StateFormulaPtr f =
+      parse_pctl("R{\"attempts\"}<=40 [ F \"delivered\" ]");
+  EXPECT_EQ(f->reward_structure(), "attempts");
+}
+
+TEST(Parser, RewardCumulative) {
+  const StateFormulaPtr f = parse_pctl("Rmax=? [ C<=100 ]");
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kRewardQuery);
+  EXPECT_EQ(f->reward_path_kind(), StateFormula::RewardPathKind::kCumulative);
+  EXPECT_EQ(f->reward_horizon(), 100u);
+}
+
+TEST(Parser, RminRmaxBounded) {
+  const StateFormulaPtr f = parse_pctl("Rmin<=19 [ F \"delivered\" ]");
+  EXPECT_EQ(f->quantifier(), Quantifier::kMin);
+  const StateFormulaPtr g = parse_pctl("Rmax>5 [ F \"x\" ]");
+  EXPECT_EQ(g->quantifier(), Quantifier::kMax);
+}
+
+TEST(Parser, NestedProbOperators) {
+  const StateFormulaPtr f =
+      parse_pctl("P>0.5 [ F P>0.9 [ X \"safe\" ] ]");
+  EXPECT_EQ(f->path().right().kind(), StateFormula::Kind::kProb);
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  EXPECT_NO_THROW(parse_pctl("P>=0.99[F\"goal\"]"));
+  EXPECT_NO_THROW(parse_pctl("  P >= 0.99 [ F \"goal\" ]  "));
+}
+
+TEST(Parser, PaperProperties) {
+  // §I lane-change property.
+  EXPECT_NO_THROW(
+      parse_pctl("P>0.99 [ F (\"changedlane\" | \"reducedspeed\") ]"));
+  // §V-A attempts properties.
+  EXPECT_NO_THROW(parse_pctl("R{\"attempts\"}<=100 [ F \"delivered\" ]"));
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const std::vector<std::string> formulas = {
+      "P>0.99 [ F (\"changedlane\" | \"reducedspeed\") ]",
+      "R{\"attempts\"}<=40 [ F \"delivered\" ]",
+      "Pmax=? [ \"a\" U<=5 \"b\" ]",
+      "(\"a\" => \"b\")",
+      "P>=0.5 [ X !(\"bad\") ]",
+  };
+  for (const std::string& text : formulas) {
+    const StateFormulaPtr f = parse_pctl(text);
+    const StateFormulaPtr reparsed = parse_pctl(f->to_string());
+    EXPECT_EQ(f->to_string(), reparsed->to_string()) << text;
+  }
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_pctl(""), ParseError);
+  EXPECT_THROW(parse_pctl("P>0.5"), ParseError);
+  EXPECT_THROW(parse_pctl("P [ F \"x\" ]"), ParseError);
+  EXPECT_THROW(parse_pctl("P>0.5 [ \"x\" ]"), ParseError);        // no U
+  EXPECT_THROW(parse_pctl("P>0.5 [ F \"x\" ] trailing"), ParseError);
+  EXPECT_THROW(parse_pctl("\"unterminated"), ParseError);
+  EXPECT_THROW(parse_pctl("P>1.5 [ F \"x\" ]"), Error);           // bad bound
+  EXPECT_THROW(parse_pctl("R<=40 [ G \"x\" ]"), ParseError);      // bad R path
+  EXPECT_THROW(parse_pctl("( \"a\""), ParseError);                // unclosed
+  EXPECT_THROW(parse_pctl("\"\""), ParseError);                   // empty label
+}
+
+TEST(Parser, KeywordBoundary) {
+  // "truex" is not the keyword true followed by junk — it is an error.
+  EXPECT_THROW(parse_pctl("truex"), ParseError);
+}
+
+}  // namespace
+}  // namespace tml

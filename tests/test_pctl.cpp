@@ -1,0 +1,164 @@
+// Unit tests for the PCTL AST: construction, accessors, printing.
+
+#include "src/logic/pctl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tml {
+namespace {
+
+TEST(Comparison, ToString) {
+  EXPECT_EQ(to_string(Comparison::kLess), "<");
+  EXPECT_EQ(to_string(Comparison::kLessEqual), "<=");
+  EXPECT_EQ(to_string(Comparison::kGreater), ">");
+  EXPECT_EQ(to_string(Comparison::kGreaterEqual), ">=");
+}
+
+TEST(Comparison, Compare) {
+  EXPECT_TRUE(compare(0.5, Comparison::kLess, 0.6));
+  EXPECT_FALSE(compare(0.6, Comparison::kLess, 0.6));
+  EXPECT_TRUE(compare(0.6, Comparison::kLessEqual, 0.6));
+  EXPECT_TRUE(compare(0.7, Comparison::kGreater, 0.6));
+  EXPECT_FALSE(compare(0.6, Comparison::kGreater, 0.6));
+  EXPECT_TRUE(compare(0.6, Comparison::kGreaterEqual, 0.6));
+}
+
+TEST(Pctl, BooleanConstruction) {
+  const StateFormulaPtr f = pctl::conjunction(
+      pctl::label("a"), pctl::negation(pctl::disjunction(
+                            pctl::label("b"), pctl::truth())));
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kAnd);
+  EXPECT_EQ(f->num_operands(), 2u);
+  EXPECT_EQ(f->operand(0).kind(), StateFormula::Kind::kLabel);
+  EXPECT_EQ(f->operand(0).label(), "a");
+  EXPECT_EQ(f->operand(1).kind(), StateFormula::Kind::kNot);
+}
+
+TEST(Pctl, LabelAccessorGuarded) {
+  const StateFormulaPtr f = pctl::truth();
+  EXPECT_THROW(f->label(), Error);
+  EXPECT_THROW(f->operand(0), Error);
+}
+
+TEST(Pctl, ProbOperator) {
+  const StateFormulaPtr f = pctl::prob(
+      Comparison::kGreaterEqual, 0.99,
+      pctl::eventually(pctl::label("done")));
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kProb);
+  EXPECT_EQ(f->comparison(), Comparison::kGreaterEqual);
+  EXPECT_DOUBLE_EQ(f->bound(), 0.99);
+  EXPECT_EQ(f->path().kind(), PathFormula::Kind::kEventually);
+  EXPECT_FALSE(f->is_quantitative());
+  EXPECT_FALSE(f->quantifier().has_value());
+}
+
+TEST(Pctl, ProbBoundValidated) {
+  EXPECT_THROW(pctl::prob(Comparison::kLess, 1.5,
+                          pctl::eventually(pctl::truth())),
+               Error);
+  EXPECT_THROW(pctl::prob(Comparison::kLess, -0.1,
+                          pctl::eventually(pctl::truth())),
+               Error);
+}
+
+TEST(Pctl, ProbQuery) {
+  const StateFormulaPtr f =
+      pctl::prob_query(Quantifier::kMin, pctl::next(pctl::label("x")));
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kProbQuery);
+  EXPECT_TRUE(f->is_quantitative());
+  EXPECT_EQ(f->quantifier(), Quantifier::kMin);
+}
+
+TEST(Pctl, RewardOperators) {
+  const StateFormulaPtr reach = pctl::reward_reach(
+      Comparison::kLessEqual, 40.0, pctl::label("delivered"), std::nullopt,
+      "attempts");
+  EXPECT_EQ(reach->kind(), StateFormula::Kind::kReward);
+  EXPECT_EQ(reach->reward_path_kind(),
+            StateFormula::RewardPathKind::kReachability);
+  EXPECT_EQ(reach->reward_target().label(), "delivered");
+  EXPECT_EQ(reach->reward_structure(), "attempts");
+  EXPECT_THROW(reach->reward_horizon(), Error);
+
+  const StateFormulaPtr cumulative =
+      pctl::reward_cumulative(Comparison::kLess, 10.0, 25);
+  EXPECT_EQ(cumulative->reward_path_kind(),
+            StateFormula::RewardPathKind::kCumulative);
+  EXPECT_EQ(cumulative->reward_horizon(), 25u);
+  EXPECT_THROW(cumulative->reward_target(), Error);
+}
+
+TEST(Pctl, NegativeRewardBoundRejected) {
+  EXPECT_THROW(
+      pctl::reward_reach(Comparison::kLess, -1.0, pctl::label("x")), Error);
+}
+
+TEST(Pctl, UntilWithBound) {
+  const PathFormulaPtr path =
+      pctl::until(pctl::label("safe"), pctl::label("goal"), 12);
+  EXPECT_EQ(path->kind(), PathFormula::Kind::kUntil);
+  EXPECT_EQ(path->left().label(), "safe");
+  EXPECT_EQ(path->right().label(), "goal");
+  ASSERT_TRUE(path->step_bound().has_value());
+  EXPECT_EQ(*path->step_bound(), 12u);
+}
+
+TEST(Pctl, NextHasNoLeftOperand) {
+  const PathFormulaPtr path = pctl::next(pctl::truth());
+  EXPECT_THROW(path->left(), Error);
+  EXPECT_EQ(path->right().kind(), StateFormula::Kind::kTrue);
+}
+
+TEST(Pctl, NullOperandsRejected) {
+  EXPECT_THROW(pctl::negation(nullptr), Error);
+  EXPECT_THROW(pctl::conjunction(pctl::truth(), nullptr), Error);
+  EXPECT_THROW(pctl::next(nullptr), Error);
+  EXPECT_THROW(pctl::eventually(nullptr), Error);
+  EXPECT_THROW(
+      pctl::prob(Comparison::kLess, 0.5, nullptr), Error);
+  EXPECT_THROW(pctl::reward_reach(Comparison::kLess, 1.0, nullptr), Error);
+}
+
+TEST(Pctl, EmptyLabelRejected) {
+  EXPECT_THROW(pctl::label(""), Error);
+}
+
+TEST(Pctl, PrintingRoundTripShapes) {
+  EXPECT_EQ(pctl::truth()->to_string(), "true");
+  EXPECT_EQ(pctl::falsity()->to_string(), "false");
+  EXPECT_EQ(pctl::label("x")->to_string(), "\"x\"");
+  EXPECT_EQ(pctl::negation(pctl::label("x"))->to_string(), "!(\"x\")");
+  EXPECT_EQ(
+      pctl::implication(pctl::label("a"), pctl::label("b"))->to_string(),
+      "(\"a\" => \"b\")");
+  EXPECT_EQ(pctl::prob(Comparison::kGreater, 0.99,
+                       pctl::eventually(pctl::label("ok")))
+                ->to_string(),
+            "P>0.99 [ F \"ok\" ]");
+  EXPECT_EQ(pctl::prob_query(Quantifier::kMax,
+                             pctl::until(pctl::label("a"), pctl::label("b")))
+                ->to_string(),
+            "Pmax=? [ \"a\" U \"b\" ]");
+  EXPECT_EQ(pctl::reward_reach(Comparison::kLessEqual, 40.0,
+                               pctl::label("delivered"), Quantifier::kMin,
+                               "attempts")
+                ->to_string(),
+            "R{\"attempts\"}min<=40 [ F \"delivered\" ]");
+  EXPECT_EQ(pctl::reward_cumulative_query(Quantifier::kMax, 7)->to_string(),
+            "Rmax=? [ C<=7 ]");
+  EXPECT_EQ(pctl::globally(pctl::label("safe"), 5)->to_string(),
+            "G<=5 \"safe\"");
+}
+
+TEST(Pctl, PaperLaneChangeProperty) {
+  // Pr>0.99 [ F (changedlane | reducedspeed) ] from §I.
+  const StateFormulaPtr f = pctl::prob(
+      Comparison::kGreater, 0.99,
+      pctl::eventually(pctl::disjunction(pctl::label("changedlane"),
+                                         pctl::label("reducedspeed"))));
+  EXPECT_EQ(f->to_string(),
+            "P>0.99 [ F (\"changedlane\" | \"reducedspeed\") ]");
+}
+
+}  // namespace
+}  // namespace tml

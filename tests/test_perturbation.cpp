@@ -1,0 +1,108 @@
+// Tests for the perturbation scheme (Feas_MP construction).
+
+#include <gtest/gtest.h>
+
+#include "src/core/perturbation.hpp"
+
+namespace tml {
+namespace {
+
+Dtmc retry_chain() {
+  Dtmc chain(2);
+  chain.set_transitions(0, {Transition{0, 0.8}, Transition{1, 0.2}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.add_label(1, "done");
+  chain.set_state_reward(0, 1.0);
+  return chain;
+}
+
+TEST(PerturbationScheme, BalancedAttachmentBuilds) {
+  PerturbationScheme scheme(retry_chain());
+  const Var v = scheme.add_variable("v", -0.1, 0.1);
+  scheme.attach_balanced(v, 0, /*raise=*/1, /*lower=*/0);
+  const auto built = scheme.build();
+  EXPECT_NO_THROW(built.chain.validate_symbolic());
+  // At v = 0.05, success probability becomes 0.25.
+  const std::vector<double> pt{0.05};
+  const Dtmc at = built.chain.instantiate(pt);
+  EXPECT_NEAR(at.transitions(0)[1].probability, 0.25, 1e-12);
+}
+
+TEST(PerturbationScheme, UnbalancedRowRejected) {
+  PerturbationScheme scheme(retry_chain());
+  const Var v = scheme.add_variable("v", 0.0, 0.1);
+  scheme.attach(v, 0, 1, +1.0);  // raises the row sum
+  EXPECT_THROW(scheme.build(), ModelError);
+}
+
+TEST(PerturbationScheme, SupportPreservationEnforced) {
+  PerturbationScheme scheme(retry_chain());
+  const Var v = scheme.add_variable("v", 0.0, 0.1);
+  // 1→0 does not exist in the base chain (Eq. 3).
+  EXPECT_THROW(scheme.attach(v, 1, 0, 1.0), Error);
+}
+
+TEST(PerturbationScheme, BoxTightenedToProbabilitySlack) {
+  PerturbationScheme scheme(retry_chain());
+  // User asks for a huge range; the success prob 0.2 only has 0.2 of
+  // downward slack and 0.8 upward.
+  const Var v = scheme.add_variable("v", -10.0, 10.0);
+  scheme.attach_balanced(v, 0, 1, 0);
+  const auto built = scheme.build(1e-3);
+  // Raising 0→1 (prob 0.2) tolerates v ∈ [−(0.2−ε), 0.8−ε]; lowering 0→0
+  // (prob 0.8) tolerates the same range for v. Intersection:
+  // [−0.199, 0.799].
+  EXPECT_NEAR(built.lower[0], -0.199, 1e-9);
+  EXPECT_NEAR(built.upper[0], 0.799, 1e-9);
+}
+
+TEST(PerturbationScheme, ApplyProducesValidChain) {
+  PerturbationScheme scheme(retry_chain());
+  const Var v = scheme.add_variable("v", -0.1, 0.1);
+  scheme.attach_balanced(v, 0, 1, 0);
+  const std::vector<double> values{0.1};
+  const Dtmc repaired = scheme.apply(values);
+  EXPECT_NEAR(repaired.transitions(0)[1].probability, 0.3, 1e-12);
+  EXPECT_NEAR(repaired.transitions(0)[0].probability, 0.7, 1e-12);
+  EXPECT_TRUE(repaired.has_label(1, "done"));
+  // Wrong arity rejected.
+  const std::vector<double> wrong{0.1, 0.2};
+  EXPECT_THROW(scheme.apply(wrong), Error);
+}
+
+TEST(PerturbationScheme, MultipleVariables) {
+  Dtmc chain(3);
+  chain.set_transitions(0, {Transition{0, 0.5}, Transition{1, 0.5}});
+  chain.set_transitions(1, {Transition{1, 0.4}, Transition{2, 0.6}});
+  chain.set_transitions(2, {Transition{2, 1.0}});
+  PerturbationScheme scheme(chain);
+  const Var a = scheme.add_variable("a", 0.0, 0.2);
+  const Var b = scheme.add_variable("b", 0.0, 0.2);
+  scheme.attach_balanced(a, 0, 1, 0);
+  scheme.attach_balanced(b, 1, 2, 1);
+  const auto built = scheme.build();
+  EXPECT_EQ(built.variables.size(), 2u);
+  const std::vector<double> pt{0.1, 0.2};
+  const Dtmc at = built.chain.instantiate(pt);
+  EXPECT_NEAR(at.transitions(0)[1].probability, 0.6, 1e-12);
+  EXPECT_NEAR(at.transitions(1)[1].probability, 0.8, 1e-12);
+}
+
+TEST(PerturbationScheme, NoVariablesRejectedAtBuild) {
+  PerturbationScheme scheme(retry_chain());
+  EXPECT_THROW(scheme.build(), Error);
+}
+
+TEST(PerturbationScheme, ZeroCoefficientRejected) {
+  PerturbationScheme scheme(retry_chain());
+  const Var v = scheme.add_variable("v", 0.0, 0.1);
+  EXPECT_THROW(scheme.attach(v, 0, 1, 0.0), Error);
+}
+
+TEST(PerturbationScheme, EmptyBoundsRejected) {
+  PerturbationScheme scheme(retry_chain());
+  EXPECT_THROW(scheme.add_variable("v", 0.5, 0.1), Error);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,335 @@
+// Unit tests for the sparse multivariate polynomial algebra.
+
+#include "src/rational/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/rational/variable.hpp"
+
+namespace tml {
+namespace {
+
+constexpr Var kX = 0;
+constexpr Var kY = 1;
+constexpr Var kZ = 2;
+
+std::string name_of(Var v) {
+  static const char* names[] = {"x", "y", "z"};
+  return names[v];
+}
+
+TEST(Monomial, DefaultIsConstantOne) {
+  Monomial m;
+  EXPECT_TRUE(m.is_constant());
+  EXPECT_EQ(m.degree(), 0u);
+  EXPECT_DOUBLE_EQ(m.evaluate(std::vector<double>{}), 1.0);
+}
+
+TEST(Monomial, SingleVariable) {
+  Monomial m(kX, 3);
+  EXPECT_FALSE(m.is_constant());
+  EXPECT_EQ(m.degree(), 3u);
+  EXPECT_EQ(m.exponent_of(kX), 3u);
+  EXPECT_EQ(m.exponent_of(kY), 0u);
+}
+
+TEST(Monomial, ZeroExponentIsConstant) {
+  Monomial m(kX, 0);
+  EXPECT_TRUE(m.is_constant());
+}
+
+TEST(Monomial, FromFactorsMergesDuplicates) {
+  Monomial m = Monomial::from_factors({{kY, 1}, {kX, 2}, {kY, 3}});
+  EXPECT_EQ(m.exponent_of(kX), 2u);
+  EXPECT_EQ(m.exponent_of(kY), 4u);
+  EXPECT_EQ(m.degree(), 6u);
+}
+
+TEST(Monomial, MultiplicationAddsExponents) {
+  Monomial a(kX, 2);
+  Monomial b = Monomial::from_factors({{kX, 1}, {kY, 1}});
+  Monomial c = a * b;
+  EXPECT_EQ(c.exponent_of(kX), 3u);
+  EXPECT_EQ(c.exponent_of(kY), 1u);
+}
+
+TEST(Monomial, GcdTakesMinimum) {
+  Monomial a = Monomial::from_factors({{kX, 3}, {kY, 1}});
+  Monomial b = Monomial::from_factors({{kX, 1}, {kZ, 2}});
+  Monomial g = a.gcd(b);
+  EXPECT_EQ(g.exponent_of(kX), 1u);
+  EXPECT_EQ(g.exponent_of(kY), 0u);
+  EXPECT_EQ(g.exponent_of(kZ), 0u);
+}
+
+TEST(Monomial, DivideExact) {
+  Monomial a = Monomial::from_factors({{kX, 3}, {kY, 2}});
+  Monomial b = Monomial::from_factors({{kX, 1}, {kY, 2}});
+  EXPECT_TRUE(a.divisible_by(b));
+  Monomial q = a.divide(b);
+  EXPECT_EQ(q.exponent_of(kX), 2u);
+  EXPECT_EQ(q.exponent_of(kY), 0u);
+}
+
+TEST(Monomial, DivideThrowsWhenNotDivisible) {
+  Monomial a(kX, 1);
+  Monomial b(kY, 1);
+  EXPECT_FALSE(a.divisible_by(b));
+  EXPECT_THROW(a.divide(b), Error);
+}
+
+TEST(Monomial, EvaluateProducts) {
+  Monomial m = Monomial::from_factors({{kX, 2}, {kY, 1}});
+  const std::vector<double> point{3.0, 5.0};
+  EXPECT_DOUBLE_EQ(m.evaluate(point), 45.0);
+}
+
+TEST(Monomial, EvaluateMissingVariableThrows) {
+  Monomial m(kZ, 1);
+  const std::vector<double> point{1.0};
+  EXPECT_THROW(m.evaluate(point), Error);
+}
+
+TEST(Monomial, Ordering) {
+  EXPECT_LT(Monomial{}, Monomial(kX));
+  EXPECT_LT(Monomial(kX), Monomial(kX, 2));
+}
+
+TEST(Polynomial, DefaultIsZero) {
+  Polynomial p;
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_TRUE(p.is_constant());
+  EXPECT_DOUBLE_EQ(p.constant_value(), 0.0);
+  EXPECT_EQ(p.degree(), 0u);
+}
+
+TEST(Polynomial, ConstantConstruction) {
+  Polynomial p(2.5);
+  EXPECT_FALSE(p.is_zero());
+  EXPECT_TRUE(p.is_constant());
+  EXPECT_DOUBLE_EQ(p.constant_value(), 2.5);
+}
+
+TEST(Polynomial, ZeroConstantHasNoTerms) {
+  Polynomial p(0.0);
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_EQ(p.num_terms(), 0u);
+}
+
+TEST(Polynomial, VariableConstruction) {
+  Polynomial p = Polynomial::variable(kX);
+  EXPECT_FALSE(p.is_constant());
+  EXPECT_EQ(p.degree(), 1u);
+  const std::vector<double> point{7.0};
+  EXPECT_DOUBLE_EQ(p.evaluate(point), 7.0);
+}
+
+TEST(Polynomial, AdditionMergesTerms) {
+  Polynomial p = Polynomial::variable(kX) + Polynomial::variable(kX);
+  EXPECT_EQ(p.num_terms(), 1u);
+  EXPECT_DOUBLE_EQ(p.coefficient(Monomial(kX)), 2.0);
+}
+
+TEST(Polynomial, AdditionCancelsToZero) {
+  Polynomial p = Polynomial::variable(kX) - Polynomial::variable(kX);
+  EXPECT_TRUE(p.is_zero());
+}
+
+TEST(Polynomial, MultiplicationExpands) {
+  // (x + 1)(x - 1) = x² - 1.
+  Polynomial p =
+      (Polynomial::variable(kX) + Polynomial(1.0)) *
+      (Polynomial::variable(kX) - Polynomial(1.0));
+  EXPECT_EQ(p.num_terms(), 2u);
+  EXPECT_DOUBLE_EQ(p.coefficient(Monomial(kX, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(Monomial{}), -1.0);
+}
+
+TEST(Polynomial, ScalarOperations) {
+  Polynomial p = Polynomial::variable(kX) * 3.0;
+  EXPECT_DOUBLE_EQ(p.coefficient(Monomial(kX)), 3.0);
+  Polynomial q = p / 3.0;
+  EXPECT_DOUBLE_EQ(q.coefficient(Monomial(kX)), 1.0);
+  EXPECT_THROW(p / 0.0, Error);
+}
+
+TEST(Polynomial, PowBySquaring) {
+  // (x + 1)^4 has binomial coefficients 1 4 6 4 1.
+  Polynomial p = (Polynomial::variable(kX) + Polynomial(1.0)).pow(4);
+  EXPECT_DOUBLE_EQ(p.coefficient(Monomial(kX, 4)), 1.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(Monomial(kX, 3)), 4.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(Monomial(kX, 2)), 6.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(Monomial(kX, 1)), 4.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(Monomial{}), 1.0);
+}
+
+TEST(Polynomial, PowZeroIsOne) {
+  Polynomial p = Polynomial::variable(kX).pow(0);
+  EXPECT_TRUE(p.is_constant());
+  EXPECT_DOUBLE_EQ(p.constant_value(), 1.0);
+}
+
+TEST(Polynomial, Derivative) {
+  // d/dx (3x²y + 2x + 5) = 6xy + 2.
+  Polynomial p =
+      Polynomial::term(3.0, Monomial::from_factors({{kX, 2}, {kY, 1}})) +
+      Polynomial::variable(kX) * 2.0 + Polynomial(5.0);
+  Polynomial d = p.derivative(kX);
+  EXPECT_DOUBLE_EQ(
+      d.coefficient(Monomial::from_factors({{kX, 1}, {kY, 1}})), 6.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(Monomial{}), 2.0);
+  EXPECT_EQ(d.num_terms(), 2u);
+}
+
+TEST(Polynomial, DerivativeOfConstantIsZero) {
+  EXPECT_TRUE(Polynomial(4.0).derivative(kX).is_zero());
+}
+
+TEST(Polynomial, DerivativeWrtAbsentVariableIsZero) {
+  EXPECT_TRUE(Polynomial::variable(kX).derivative(kY).is_zero());
+}
+
+TEST(Polynomial, Substitute) {
+  // x² with x := y + 1 becomes y² + 2y + 1.
+  Polynomial p = Polynomial::variable(kX).pow(2);
+  Polynomial q =
+      p.substitute(kX, Polynomial::variable(kY) + Polynomial(1.0));
+  EXPECT_DOUBLE_EQ(q.coefficient(Monomial(kY, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(q.coefficient(Monomial(kY, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(q.coefficient(Monomial{}), 1.0);
+}
+
+TEST(Polynomial, SubstituteConstant) {
+  Polynomial p = Polynomial::variable(kX) * Polynomial::variable(kY);
+  Polynomial q = p.substitute(kX, Polynomial(2.0));
+  EXPECT_DOUBLE_EQ(q.coefficient(Monomial(kY)), 2.0);
+}
+
+TEST(Polynomial, MonomialContent) {
+  // x²y + x³ has content x².
+  Polynomial p =
+      Polynomial::term(1.0, Monomial::from_factors({{kX, 2}, {kY, 1}})) +
+      Polynomial::term(1.0, Monomial(kX, 3));
+  Monomial content = p.monomial_content();
+  EXPECT_EQ(content.exponent_of(kX), 2u);
+  EXPECT_EQ(content.exponent_of(kY), 0u);
+  Polynomial q = p.divide_by_monomial(content);
+  EXPECT_DOUBLE_EQ(q.coefficient(Monomial(kY)), 1.0);
+  EXPECT_DOUBLE_EQ(q.coefficient(Monomial(kX)), 1.0);
+}
+
+TEST(Polynomial, VariablesListsDistinctSorted) {
+  Polynomial p = Polynomial::variable(kZ) * Polynomial::variable(kX) +
+                 Polynomial::variable(kX);
+  const std::vector<Var> vars = p.variables();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], kX);
+  EXPECT_EQ(vars[1], kZ);
+}
+
+TEST(Polynomial, EqualityIsStructural) {
+  Polynomial a = Polynomial::variable(kX) + Polynomial(1.0);
+  Polynomial b = Polynomial(1.0) + Polynomial::variable(kX);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == (b + Polynomial(1e-3)));
+}
+
+TEST(Polynomial, ProportionalTo) {
+  Polynomial a = Polynomial::variable(kX) * 2.0 + Polynomial(4.0);
+  Polynomial b = Polynomial::variable(kX) + Polynomial(2.0);
+  EXPECT_TRUE(a.proportional_to(b, 2.0));
+  EXPECT_FALSE(a.proportional_to(b, 3.0));
+}
+
+TEST(Polynomial, ToStringReadable) {
+  Polynomial p = Polynomial::variable(kX).pow(2) * 2.5 -
+                 Polynomial::variable(kY) + Polynomial(1.0);
+  EXPECT_EQ(p.to_string(name_of), "1 + 2.5*x^2 - y");
+}
+
+TEST(Polynomial, ToStringZero) {
+  EXPECT_EQ(Polynomial().to_string(name_of), "0");
+}
+
+TEST(Polynomial, ConstantValueThrowsOnNonConstant) {
+  EXPECT_THROW(Polynomial::variable(kX).constant_value(), Error);
+}
+
+TEST(Polynomial, PruneDropsNumericDust) {
+  Polynomial big(1e6);
+  Polynomial dust = Polynomial::variable(kX) * 1e-9;
+  Polynomial sum = big + dust;
+  // 1e-9 is below kEpsilon·1e6 relative threshold.
+  EXPECT_EQ(sum.num_terms(), 1u);
+}
+
+TEST(VariablePool, DeclareAndLookup) {
+  VariablePool pool;
+  const Var p = pool.declare("p");
+  const Var q = pool.declare("q");
+  EXPECT_EQ(p, 0u);
+  EXPECT_EQ(q, 1u);
+  EXPECT_EQ(pool.declare("p"), p);  // idempotent
+  EXPECT_EQ(pool.id_of("q"), q);
+  EXPECT_EQ(pool.name_of(p), "p");
+  EXPECT_TRUE(pool.contains("p"));
+  EXPECT_FALSE(pool.contains("r"));
+  EXPECT_THROW(pool.id_of("r"), Error);
+  EXPECT_THROW(pool.name_of(99), Error);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(VariablePool, EmptyNameRejected) {
+  VariablePool pool;
+  EXPECT_THROW(pool.declare(""), Error);
+}
+
+// Property-based: algebraic identities hold at random evaluation points.
+class PolynomialPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolynomialPropertyTest, RingIdentitiesAtRandomPoints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto random_poly = [&]() {
+    Polynomial p;
+    const int terms = 1 + static_cast<int>(rng.index(4));
+    for (int t = 0; t < terms; ++t) {
+      std::vector<std::pair<Var, std::uint32_t>> factors;
+      for (Var v = 0; v < 3; ++v) {
+        const auto e = static_cast<std::uint32_t>(rng.index(3));
+        if (e > 0) factors.emplace_back(v, e);
+      }
+      p += Polynomial::term(rng.uniform(-2.0, 2.0),
+                            Monomial::from_factors(std::move(factors)));
+    }
+    return p;
+  };
+
+  const Polynomial a = random_poly();
+  const Polynomial b = random_poly();
+  const Polynomial c = random_poly();
+  const std::vector<double> x{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+                              rng.uniform(-1.0, 1.0)};
+
+  const double av = a.evaluate(x), bv = b.evaluate(x), cv = c.evaluate(x);
+  EXPECT_NEAR((a + b).evaluate(x), av + bv, 1e-9);
+  EXPECT_NEAR((a * b).evaluate(x), av * bv, 1e-9);
+  EXPECT_NEAR((a * (b + c)).evaluate(x), av * (bv + cv), 1e-9);
+  EXPECT_NEAR((a - a).evaluate(x), 0.0, 1e-12);
+  EXPECT_NEAR(a.pow(3).evaluate(x), av * av * av, 1e-9);
+
+  // Derivative matches finite differences.
+  const double h = 1e-6;
+  std::vector<double> xp = x;
+  xp[0] += h;
+  std::vector<double> xm = x;
+  xm[0] -= h;
+  EXPECT_NEAR(a.derivative(0).evaluate(x),
+              (a.evaluate(xp) - a.evaluate(xm)) / (2 * h), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PolynomialPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,159 @@
+// Tests for the PRISM-subset parser, including exporter round trips.
+
+#include "src/mdp/prism_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/casestudies/car.hpp"
+#include "src/casestudies/wsn.hpp"
+#include "src/checker/check.hpp"
+#include "src/mdp/export.hpp"
+
+namespace tml {
+namespace {
+
+constexpr const char* kHandWritten = R"(
+// a comment
+dtmc
+
+module net
+  s : [0..1] init 0;
+  [] s=0 -> 0.25 : (s'=0) + 0.75 : (s'=1);
+  [] s=1 -> 1 : (s'=1);
+endmodule
+
+label "done" = (s=1);
+
+rewards "total"
+  s=0 : 1.5;
+endrewards
+)";
+
+TEST(PrismParser, ParsesHandWrittenDtmc) {
+  const PrismModel model = parse_prism(kHandWritten);
+  EXPECT_EQ(model.type, PrismModel::Type::kDtmc);
+  const Dtmc chain = model.dtmc();
+  EXPECT_EQ(chain.num_states(), 2u);
+  EXPECT_EQ(chain.initial_state(), 0u);
+  EXPECT_NEAR(chain.transitions(0)[1].probability, 0.75, 1e-12);
+  EXPECT_TRUE(chain.has_label(1, "done"));
+  EXPECT_DOUBLE_EQ(chain.state_reward(0), 1.5);
+}
+
+TEST(PrismParser, ParsesMdpWithActions) {
+  const std::string source = R"(
+mdp
+module m
+  s : [0..1] init 0;
+  [go] s=0 -> 1 : (s'=1);
+  [wait] s=0 -> 1 : (s'=0);
+  [stay] s=1 -> 1 : (s'=1);
+endmodule
+rewards "total"
+  [go] s=0 : 2;
+endrewards
+)";
+  const PrismModel model = parse_prism(source);
+  EXPECT_EQ(model.type, PrismModel::Type::kMdp);
+  EXPECT_EQ(model.mdp.choices(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(model.mdp.choices(0)[0].reward, 2.0);
+  EXPECT_THROW(model.dtmc(), Error);
+}
+
+TEST(PrismParser, RoundTripWsn) {
+  const Mdp wsn = build_wsn_mdp(WsnConfig{});
+  const PrismModel parsed = parse_prism(to_prism(wsn, "wsn"));
+  ASSERT_EQ(parsed.mdp.num_states(), wsn.num_states());
+  EXPECT_EQ(parsed.mdp.initial_state(), wsn.initial_state());
+  EXPECT_EQ(parsed.mdp.num_choices(), wsn.num_choices());
+  // Semantics preserved: the headline property evaluates identically.
+  EXPECT_NEAR(*check(parsed.mdp, "Rmin=? [ F \"delivered\" ]").value,
+              *check(wsn, "Rmin=? [ F \"delivered\" ]").value, 1e-9);
+}
+
+TEST(PrismParser, RoundTripCar) {
+  const Mdp car = build_car_mdp();
+  const PrismModel parsed = parse_prism(to_prism(car, "car"));
+  ASSERT_EQ(parsed.mdp.num_states(), car.num_states());
+  EXPECT_NEAR(
+      *check(parsed.mdp, "Pmin=? [ F (\"goal\" | \"unsafe\") ]").value,
+      *check(car, "Pmin=? [ F (\"goal\" | \"unsafe\") ]").value, 1e-9);
+  // Labels carried over.
+  EXPECT_EQ(count(parsed.mdp.states_with_label("unsafe")), 2u);
+}
+
+TEST(PrismParser, RoundTripDtmcWithRewards) {
+  Dtmc chain(3);
+  chain.set_transitions(0, {Transition{1, 0.4}, Transition{2, 0.6}});
+  chain.set_transitions(1, {Transition{2, 1.0}});
+  chain.set_transitions(2, {Transition{2, 1.0}});
+  chain.set_state_reward(0, 1.0);
+  chain.set_state_reward(1, 2.5);
+  chain.add_label(2, "goal");
+  const PrismModel parsed = parse_prism(to_prism(chain));
+  const Dtmc back = parsed.dtmc();
+  EXPECT_NEAR(*check(back, "R=? [ F \"goal\" ]").value,
+              *check(chain, "R=? [ F \"goal\" ]").value, 1e-12);
+}
+
+TEST(PrismParser, FalseLabelParses) {
+  const std::string source = R"(
+dtmc
+module m
+  s : [0..0] init 0;
+  [] s=0 -> 1 : (s'=0);
+endmodule
+label "never" = false;
+)";
+  const PrismModel model = parse_prism(source);
+  EXPECT_TRUE(empty(model.mdp.states_with_label("never")));
+}
+
+TEST(PrismParser, Errors) {
+  EXPECT_THROW(parse_prism(""), ParseError);
+  EXPECT_THROW(parse_prism("ctmc\nmodule m endmodule"), ParseError);
+  // Missing semicolon.
+  EXPECT_THROW(parse_prism("dtmc module m s : [0..0] init 0 endmodule"),
+               ParseError);
+  // Non-stochastic row.
+  EXPECT_THROW(parse_prism(R"(
+dtmc
+module m
+  s : [0..0] init 0;
+  [] s=0 -> 0.5 : (s'=0);
+endmodule
+)"),
+               ModelError);
+  // Out-of-range target.
+  EXPECT_THROW(parse_prism(R"(
+dtmc
+module m
+  s : [0..0] init 0;
+  [] s=0 -> 1 : (s'=3);
+endmodule
+)"),
+               ParseError);
+  // A dtmc with two commands for one state.
+  EXPECT_THROW(parse_prism(R"(
+dtmc
+module m
+  s : [0..0] init 0;
+  [] s=0 -> 1 : (s'=0);
+  [] s=0 -> 1 : (s'=0);
+endmodule
+)"),
+               ModelError);
+  // Trailing junk.
+  EXPECT_THROW(parse_prism(R"(
+dtmc
+module m
+  s : [0..0] init 0;
+  [] s=0 -> 1 : (s'=0);
+endmodule
+garbage
+)"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace tml

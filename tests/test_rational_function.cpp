@@ -1,0 +1,182 @@
+// Unit and property tests for rational functions.
+
+#include "src/rational/rational_function.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace tml {
+namespace {
+
+constexpr Var kX = 0;
+constexpr Var kY = 1;
+
+RationalFunction x() { return RationalFunction::variable(kX); }
+RationalFunction y() { return RationalFunction::variable(kY); }
+RationalFunction constant(double c) { return RationalFunction(c); }
+
+std::string name_of(Var v) { return v == kX ? "x" : "y"; }
+
+TEST(RationalFunction, DefaultIsZero) {
+  RationalFunction f;
+  EXPECT_TRUE(f.is_zero());
+  EXPECT_TRUE(f.is_constant());
+  EXPECT_DOUBLE_EQ(f.constant_value(), 0.0);
+}
+
+TEST(RationalFunction, ConstantDenominatorFolded) {
+  RationalFunction f(Polynomial(6.0), Polynomial(2.0));
+  EXPECT_TRUE(f.is_constant());
+  EXPECT_DOUBLE_EQ(f.constant_value(), 3.0);
+  EXPECT_TRUE(f.denominator().is_constant());
+}
+
+TEST(RationalFunction, ZeroDenominatorRejected) {
+  EXPECT_THROW(RationalFunction(Polynomial(1.0), Polynomial()), Error);
+}
+
+TEST(RationalFunction, ProportionalCollapse) {
+  // (2x + 2) / (x + 1) normalizes to the constant 2.
+  RationalFunction f(Polynomial::variable(kX) * 2.0 + Polynomial(2.0),
+                     Polynomial::variable(kX) + Polynomial(1.0));
+  EXPECT_TRUE(f.is_constant());
+  EXPECT_DOUBLE_EQ(f.constant_value(), 2.0);
+}
+
+TEST(RationalFunction, MonomialContentCancelled) {
+  // x² / x  → handled via content cancellation → x / 1.
+  RationalFunction f(Polynomial::variable(kX).pow(2),
+                     Polynomial::variable(kX));
+  EXPECT_TRUE(f.denominator().is_constant());
+  const std::vector<double> point{5.0};
+  EXPECT_DOUBLE_EQ(f.evaluate(point), 5.0);
+}
+
+TEST(RationalFunction, ArithmeticSharedDenominator) {
+  // 1/(1-x) + x/(1-x) = (1+x)/(1-x); shared denominators must not square.
+  RationalFunction den(Polynomial(1.0), Polynomial(1.0) - Polynomial::variable(kX));
+  RationalFunction f = den + RationalFunction(Polynomial::variable(kX),
+                                              Polynomial(1.0) -
+                                                  Polynomial::variable(kX));
+  EXPECT_EQ(f.denominator().degree(), 1u);
+  const std::vector<double> point{0.5};
+  EXPECT_NEAR(f.evaluate(point), 3.0, 1e-12);
+}
+
+TEST(RationalFunction, InverseAndDivision) {
+  RationalFunction f = x() / (constant(1.0) - x());
+  const std::vector<double> point{0.25};
+  EXPECT_NEAR(f.evaluate(point), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f.inverse().evaluate(point), 3.0, 1e-12);
+  EXPECT_THROW(RationalFunction().inverse(), Error);
+}
+
+TEST(RationalFunction, EvaluateThrowsOnPole) {
+  RationalFunction f = constant(1.0) / (constant(1.0) - x());
+  const std::vector<double> pole{1.0};
+  EXPECT_THROW(f.evaluate(pole), NumericError);
+}
+
+TEST(RationalFunction, DerivativeQuotientRule) {
+  // d/dx [x / (1 - x)] = 1 / (1-x)².
+  RationalFunction f = x() / (constant(1.0) - x());
+  RationalFunction d = f.derivative(kX);
+  const std::vector<double> point{0.5};
+  EXPECT_NEAR(d.evaluate(point), 4.0, 1e-12);
+}
+
+TEST(RationalFunction, DerivativeOfPolynomialKeepsDenominator) {
+  RationalFunction f(Polynomial::variable(kX).pow(3));
+  const std::vector<double> point{2.0};
+  EXPECT_NEAR(f.derivative(kX).evaluate(point), 12.0, 1e-12);
+}
+
+TEST(RationalFunction, GradientMatchesPerVariableDerivatives) {
+  RationalFunction f = (x() * y() + constant(1.0)) / (constant(2.0) - x());
+  const std::vector<Var> vars{kX, kY};
+  const std::vector<double> point{0.5, 1.5};
+  const std::vector<double> grad = f.evaluate_gradient(vars, point);
+  EXPECT_NEAR(grad[0], f.derivative(kX).evaluate(point), 1e-10);
+  EXPECT_NEAR(grad[1], f.derivative(kY).evaluate(point), 1e-10);
+}
+
+TEST(RationalFunction, VariablesUnion) {
+  RationalFunction f = x() / (constant(1.0) - y());
+  const std::vector<Var> vars = f.variables();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], kX);
+  EXPECT_EQ(vars[1], kY);
+}
+
+TEST(RationalFunction, ToString) {
+  RationalFunction f = x() / (constant(1.0) - x());
+  EXPECT_EQ(f.to_string(name_of), "(x) / (1 - x)");
+  EXPECT_EQ(constant(2.0).to_string(name_of), "2");
+}
+
+TEST(RationalFunction, ScalarMultiply) {
+  RationalFunction f = 2.0 * x();
+  const std::vector<double> point{3.0};
+  EXPECT_DOUBLE_EQ(f.evaluate(point), 6.0);
+  EXPECT_TRUE((f * 0.0).is_zero());
+}
+
+TEST(RationalFunction, OneMinusHelper) {
+  RationalFunction f = one_minus(x());
+  const std::vector<double> point{0.3};
+  EXPECT_NEAR(f.evaluate(point), 0.7, 1e-12);
+}
+
+TEST(RationalFunction, CrossCancellation) {
+  // (a/b) * (b/c) should cancel b structurally.
+  Polynomial a = Polynomial::variable(kX) + Polynomial(1.0);
+  Polynomial b = Polynomial::variable(kY) + Polynomial(2.0);
+  Polynomial c = Polynomial::variable(kX) + Polynomial(3.0);
+  RationalFunction f(a, b);
+  RationalFunction g(b, c);
+  RationalFunction h = f * g;
+  EXPECT_EQ(h.numerator().degree(), 1u);
+  EXPECT_EQ(h.denominator().degree(), 1u);
+}
+
+// Property-based: field identities at random points.
+class RationalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalPropertyTest, FieldIdentitiesAtRandomPoints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  auto random_poly = [&]() {
+    Polynomial p(rng.uniform(0.5, 2.0));  // keep denominators away from 0
+    for (Var v = 0; v < 2; ++v) {
+      p += Polynomial::variable(v) * rng.uniform(-0.3, 0.3);
+    }
+    return p;
+  };
+  const RationalFunction f(random_poly(), random_poly());
+  const RationalFunction g(random_poly(), random_poly());
+  const std::vector<double> pt{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5)};
+
+  const double fv = f.evaluate(pt), gv = g.evaluate(pt);
+  EXPECT_NEAR((f + g).evaluate(pt), fv + gv, 1e-9);
+  EXPECT_NEAR((f - g).evaluate(pt), fv - gv, 1e-9);
+  EXPECT_NEAR((f * g).evaluate(pt), fv * gv, 1e-9);
+  if (std::abs(gv) > 1e-6) {
+    EXPECT_NEAR((f / g).evaluate(pt), fv / gv, 1e-7);
+  }
+
+  // Derivative vs finite differences.
+  const double h = 1e-6;
+  std::vector<double> pp = pt, pm = pt;
+  pp[0] += h;
+  pm[0] -= h;
+  EXPECT_NEAR(f.derivative(0).evaluate(pt),
+              (f.evaluate(pp) - f.evaluate(pm)) / (2 * h), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, RationalPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace tml

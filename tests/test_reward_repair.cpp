@@ -1,0 +1,190 @@
+// Tests for Reward Repair (§IV-C): the constrained-Q form and the
+// posterior-regularization projection (Prop. 4).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/reward_repair.hpp"
+#include "src/mdp/solver.hpp"
+
+namespace tml {
+namespace {
+
+/// Corridor MDP: from 0 choose "short" (via the unsafe state 1) or "long"
+/// (via safe states 2 then 3) to the goal 4. Features: (progress-speed,
+/// safety-distance).
+Mdp corridor_mdp() {
+  Mdp mdp(5);
+  mdp.add_choice(0, "short", {Transition{1, 1.0}});
+  mdp.add_choice(0, "long", {Transition{2, 1.0}});
+  mdp.add_choice(1, "go", {Transition{4, 1.0}});
+  mdp.add_choice(2, "go", {Transition{3, 1.0}});
+  mdp.add_choice(3, "go", {Transition{4, 1.0}});
+  mdp.add_choice(4, "stay", {Transition{4, 1.0}});
+  mdp.add_label(1, "unsafe");
+  mdp.add_label(4, "goal");
+  return mdp;
+}
+
+StateFeatures corridor_features() {
+  StateFeatures f(5, 2);
+  // feature 0: goal indicator; feature 1: safety (0 at the unsafe state).
+  f.set(4, 0, 1.0);
+  f.set(0, 1, 0.5);
+  f.set(1, 1, 0.0);
+  f.set(2, 1, 1.0);
+  f.set(3, 1, 1.0);
+  f.set(4, 1, 0.5);
+  return f;
+}
+
+TEST(QRepair, UnsafeThetaGetsRepaired) {
+  const Mdp mdp = corridor_mdp();
+  const StateFeatures features = corridor_features();
+  // Goal-greedy weights: the short (unsafe) route wins.
+  const std::vector<double> theta{1.0, 0.05};
+  const Policy before = optimal_policy_for_theta(mdp, features, theta, 0.9);
+  EXPECT_EQ(before.choice_index[0], 0u);  // short
+
+  QRepairConfig config;
+  config.discount = 0.9;
+  config.max_weight_change = 3.0;
+  std::vector<QDominanceConstraint> constraints{
+      {/*state=*/0, /*preferred=*/1, /*dominated=*/0, /*margin=*/1e-3}};
+  const QRepairResult result =
+      reward_repair_q_constraints(mdp, features, theta, constraints, config);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.policy_after.choice_index[0], 1u);  // long (safe)
+  EXPECT_GE(result.constraint_slack[0], 0.0);
+  EXPECT_GT(result.cost, 0.0);
+  // Safety weight must have increased (or goal weight decreased).
+  EXPECT_GT(result.theta_after[1] - theta[1] + theta[0] - result.theta_after[0],
+            0.0);
+}
+
+TEST(QRepair, AlreadySafeThetaIsUnchanged) {
+  const Mdp mdp = corridor_mdp();
+  const StateFeatures features = corridor_features();
+  const std::vector<double> theta{0.3, 2.0};  // safety-dominant
+  std::vector<QDominanceConstraint> constraints{{0, 1, 0, 1e-3}};
+  const QRepairResult result = reward_repair_q_constraints(
+      mdp, features, theta, constraints, QRepairConfig{});
+  ASSERT_TRUE(result.feasible());
+  EXPECT_NEAR(result.cost, 0.0, 1e-4);
+}
+
+TEST(QRepair, FrozenIndicesDoNotMove) {
+  const Mdp mdp = corridor_mdp();
+  const StateFeatures features = corridor_features();
+  const std::vector<double> theta{1.0, 0.05};
+  QRepairConfig config;
+  config.max_weight_change = 5.0;
+  config.frozen = {0};
+  std::vector<QDominanceConstraint> constraints{{0, 1, 0, 1e-3}};
+  const QRepairResult result =
+      reward_repair_q_constraints(mdp, features, theta, constraints, config);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_NEAR(result.theta_after[0], theta[0], 1e-9);
+  EXPECT_GT(result.theta_after[1], theta[1]);
+}
+
+TEST(QRepair, InfeasibleWhenBoxTooTight) {
+  const Mdp mdp = corridor_mdp();
+  const StateFeatures features = corridor_features();
+  const std::vector<double> theta{1.0, 0.05};
+  QRepairConfig config;
+  config.max_weight_change = 1e-4;  // cannot move enough
+  std::vector<QDominanceConstraint> constraints{{0, 1, 0, 1e-3}};
+  const QRepairResult result =
+      reward_repair_q_constraints(mdp, features, theta, constraints, config);
+  EXPECT_FALSE(result.feasible());
+}
+
+TEST(QRepair, InputValidation) {
+  const Mdp mdp = corridor_mdp();
+  const StateFeatures features = corridor_features();
+  const std::vector<double> theta{1.0, 0.0};
+  EXPECT_THROW(
+      reward_repair_q_constraints(mdp, features, theta, {}, QRepairConfig{}),
+      Error);
+  std::vector<QDominanceConstraint> bad_state{{99, 0, 1, 0.0}};
+  EXPECT_THROW(reward_repair_q_constraints(mdp, features, theta, bad_state,
+                                           QRepairConfig{}),
+               Error);
+  std::vector<QDominanceConstraint> bad_choice{{0, 7, 0, 0.0}};
+  EXPECT_THROW(reward_repair_q_constraints(mdp, features, theta, bad_choice,
+                                           QRepairConfig{}),
+               Error);
+  QRepairConfig bad_frozen;
+  bad_frozen.frozen = {9};
+  std::vector<QDominanceConstraint> ok{{0, 1, 0, 0.0}};
+  EXPECT_THROW(
+      reward_repair_q_constraints(mdp, features, theta, ok, bad_frozen),
+      Error);
+}
+
+TEST(Projection, DownweightsViolatingTrajectories) {
+  const Mdp mdp = corridor_mdp();
+  const StateFeatures features = corridor_features();
+  const std::vector<double> theta{1.0, 0.05};
+  std::vector<WeightedRule> rules{
+      {rules::never_visit_label("unsafe"), 6.0, "G !unsafe"}};
+  ProjectionConfig config;
+  config.horizon = 6;
+  config.num_samples = 3000;
+  config.refit.project_unit_ball = false;
+  config.refit.learning_rate = 0.2;
+  config.refit.max_iterations = 3000;
+  const ProjectionResult result =
+      reward_repair_projection(mdp, features, theta, rules, config);
+
+  // Projection must raise the rule satisfaction (E_Q >= E_P).
+  EXPECT_GT(result.satisfaction_after[0], result.satisfaction_before[0]);
+  EXPECT_GT(result.satisfaction_after[0], 0.9);
+  // The repaired soft policy should violate less than the original.
+  EXPECT_GT(result.satisfaction_repaired[0], result.satisfaction_before[0]);
+  // KL is non-negative and finite.
+  EXPECT_GE(result.kl_divergence, -1e-9);
+  EXPECT_TRUE(std::isfinite(result.kl_divergence));
+  // The safety weight should rise relative to the original.
+  EXPECT_GT(result.theta_after[1], result.theta_before[1]);
+}
+
+TEST(Projection, ZeroLambdaIsIdentity) {
+  const Mdp mdp = corridor_mdp();
+  const StateFeatures features = corridor_features();
+  const std::vector<double> theta{0.5, 0.5};
+  std::vector<WeightedRule> rules{
+      {rules::never_visit_label("unsafe"), 0.0, "noop"}};
+  ProjectionConfig config;
+  config.horizon = 5;
+  config.num_samples = 500;
+  config.refit.max_iterations = 200;
+  const ProjectionResult result =
+      reward_repair_projection(mdp, features, theta, rules, config);
+  // With λ = 0 the projection is the identity: Q = P.
+  EXPECT_NEAR(result.kl_divergence, 0.0, 1e-9);
+  EXPECT_NEAR(result.satisfaction_after[0], result.satisfaction_before[0],
+              1e-9);
+}
+
+TEST(Projection, InputValidation) {
+  const Mdp mdp = corridor_mdp();
+  const StateFeatures features = corridor_features();
+  const std::vector<double> theta{0.5, 0.5};
+  EXPECT_THROW(
+      reward_repair_projection(mdp, features, theta, {}, ProjectionConfig{}),
+      Error);
+  std::vector<WeightedRule> null_rule{{nullptr, 1.0, "bad"}};
+  EXPECT_THROW(reward_repair_projection(mdp, features, theta, null_rule,
+                                        ProjectionConfig{}),
+               Error);
+  std::vector<WeightedRule> negative{{rules::truth(), -1.0, "bad"}};
+  EXPECT_THROW(reward_repair_projection(mdp, features, theta, negative,
+                                        ProjectionConfig{}),
+               Error);
+}
+
+}  // namespace
+}  // namespace tml

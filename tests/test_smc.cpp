@@ -1,0 +1,135 @@
+// Tests for statistical model checking: guarantees, agreement with the
+// exact engine, and path-sampling semantics.
+
+#include "src/checker/smc.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/checker/check.hpp"
+#include "src/logic/parser.hpp"
+
+namespace tml {
+namespace {
+
+Dtmc split_chain(double p_goal) {
+  Dtmc chain(3);
+  chain.set_transitions(0, {Transition{1, p_goal}, Transition{2, 1.0 - p_goal}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.set_transitions(2, {Transition{2, 1.0}});
+  chain.add_label(1, "goal");
+  chain.add_label(2, "trap");
+  return chain;
+}
+
+TEST(ChernoffSampleSize, MatchesFormula) {
+  // n = ln(2/δ) / (2 ε²).
+  EXPECT_EQ(chernoff_sample_size(0.1, 0.05),
+            static_cast<std::size_t>(std::ceil(std::log(40.0) / 0.02)));
+  EXPECT_GT(chernoff_sample_size(0.01, 0.01),
+            chernoff_sample_size(0.05, 0.01));
+  EXPECT_THROW(chernoff_sample_size(0.0, 0.1), Error);
+  EXPECT_THROW(chernoff_sample_size(0.1, 1.5), Error);
+}
+
+TEST(Smc, EstimateWithinGuaranteeOfExactValue) {
+  const Dtmc chain = split_chain(0.3);
+  const StateFormulaPtr query = parse_pctl("P=? [ F \"goal\" ]");
+  SmcOptions options;
+  options.epsilon = 0.02;
+  options.delta = 0.01;
+  const SmcResult result = smc_check(chain, *query, options);
+  EXPECT_NEAR(result.estimate, 0.3, options.epsilon);
+  EXPECT_EQ(result.samples, chernoff_sample_size(0.02, 0.01));
+  EXPECT_NEAR(result.confidence, 0.99, 1e-12);
+}
+
+TEST(Smc, BoundedVerdictsAgreeWithExactChecker) {
+  const Dtmc chain = split_chain(0.3);
+  for (const std::string text :
+       {"P<=0.5 [ F \"goal\" ]", "P>=0.2 [ F \"goal\" ]",
+        "P<=0.1 [ F \"goal\" ]"}) {
+    const StateFormulaPtr f = parse_pctl(text);
+    SmcOptions options;
+    options.epsilon = 0.03;
+    const SmcResult smc = smc_check(chain, *f, options);
+    const CheckResult exact = check(chain, *f);
+    EXPECT_EQ(smc.satisfied, exact.satisfied) << text;
+    EXPECT_TRUE(smc.decisive) << text;
+  }
+}
+
+TEST(Smc, IndecisiveNearTheBound) {
+  const Dtmc chain = split_chain(0.3);
+  const StateFormulaPtr f = parse_pctl("P<=0.3 [ F \"goal\" ]");
+  SmcOptions options;
+  options.epsilon = 0.05;  // |p̂ − 0.3| will be within ε
+  const SmcResult result = smc_check(chain, *f, options);
+  EXPECT_FALSE(result.decisive);
+}
+
+TEST(Smc, BoundedUntilSemantics) {
+  // Retry chain: P(F<=2 goal) = 1 − 0.8² ... geometric with s = 0.2.
+  Dtmc chain(2);
+  chain.set_transitions(0, {Transition{0, 0.8}, Transition{1, 0.2}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.add_label(1, "goal");
+  SmcOptions options;
+  options.epsilon = 0.02;
+  const SmcResult r2 =
+      smc_check(chain, *parse_pctl("P=? [ F<=2 \"goal\" ]"), options);
+  EXPECT_NEAR(r2.estimate, 1.0 - 0.8 * 0.8, 0.025);
+  const SmcResult r0 =
+      smc_check(chain, *parse_pctl("P=? [ F<=0 \"goal\" ]"), options);
+  EXPECT_DOUBLE_EQ(r0.estimate, 0.0);
+}
+
+TEST(Smc, NextAndGloballySemantics) {
+  const Dtmc chain = split_chain(0.3);
+  SmcOptions options;
+  options.epsilon = 0.02;
+  const SmcResult next =
+      smc_check(chain, *parse_pctl("P=? [ X \"goal\" ]"), options);
+  EXPECT_NEAR(next.estimate, 0.3, 0.025);
+  const SmcResult glob =
+      smc_check(chain, *parse_pctl("P=? [ G<=5 !\"goal\" ]"), options);
+  EXPECT_NEAR(glob.estimate, 0.7, 0.025);
+}
+
+TEST(Smc, UntilRespectsStayRegion) {
+  // 0 → bad → goal; (¬bad U goal) never holds though goal is reached.
+  Dtmc chain(3);
+  chain.set_transitions(0, {Transition{1, 1.0}});
+  chain.set_transitions(1, {Transition{2, 1.0}});
+  chain.set_transitions(2, {Transition{2, 1.0}});
+  chain.add_label(1, "bad");
+  chain.add_label(2, "goal");
+  SmcOptions options;
+  options.epsilon = 0.05;
+  const SmcResult result = smc_check(
+      chain, *parse_pctl("P=? [ !\"bad\" U \"goal\" ]"), options);
+  EXPECT_DOUBLE_EQ(result.estimate, 0.0);
+}
+
+TEST(Smc, DeterministicSeeds) {
+  const Dtmc chain = split_chain(0.5);
+  SmcOptions options;
+  options.epsilon = 0.05;
+  const StateFormulaPtr f = parse_pctl("P=? [ F \"goal\" ]");
+  const SmcResult a = smc_check(chain, *f, options);
+  const SmcResult b = smc_check(chain, *f, options);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+  options.seed = 2;
+  const SmcResult c = smc_check(chain, *f, options);
+  EXPECT_NEAR(a.estimate, c.estimate, 0.1);  // different but close
+}
+
+TEST(Smc, RejectsNonProbabilityFormulas) {
+  const Dtmc chain = split_chain(0.5);
+  EXPECT_THROW(smc_check(chain, *parse_pctl("\"goal\"")), Error);
+  EXPECT_THROW(smc_check(chain, *parse_pctl("R<=4 [ F \"goal\" ]")), Error);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,176 @@
+// Unit tests for trajectories, datasets, and simulation.
+
+#include <gtest/gtest.h>
+
+#include "src/mdp/simulate.hpp"
+#include "src/mdp/trajectory.hpp"
+
+namespace tml {
+namespace {
+
+Mdp line_mdp() {
+  // 0 → 1 → 2 (absorbing), deterministic; action reward 1 per move.
+  Mdp mdp(3);
+  mdp.add_choice(0, "go", {Transition{1, 1.0}}, 1.0);
+  mdp.add_choice(1, "go", {Transition{2, 1.0}}, 1.0);
+  mdp.add_choice(2, "stay", {Transition{2, 1.0}});
+  mdp.add_label(2, "end");
+  mdp.set_state_name(0, "a");
+  mdp.set_state_name(1, "b");
+  mdp.set_state_name(2, "c");
+  mdp.set_state_reward(1, 0.5);
+  return mdp;
+}
+
+Trajectory walk_line() {
+  Trajectory t;
+  t.initial_state = 0;
+  t.steps.push_back(Step{0, 0, 0, 1});
+  t.steps.push_back(Step{1, 0, 0, 2});
+  return t;
+}
+
+TEST(Trajectory, Accessors) {
+  const Trajectory t = walk_line();
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.length(), 2u);
+  EXPECT_EQ(t.final_state(), 2u);
+  EXPECT_EQ(t.state_sequence(), (std::vector<StateId>{0, 1, 2}));
+}
+
+TEST(Trajectory, EmptyTrajectory) {
+  Trajectory t;
+  t.initial_state = 4;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.final_state(), 4u);
+  EXPECT_EQ(t.state_sequence(), (std::vector<StateId>{4}));
+}
+
+TEST(Trajectory, Visits) {
+  const Trajectory t = walk_line();
+  StateSet set(3, false);
+  set[2] = true;
+  EXPECT_TRUE(t.visits(set));
+  StateSet none(3, false);
+  EXPECT_FALSE(t.visits(none));
+  StateSet initial_only(3, false);
+  initial_only[0] = true;
+  EXPECT_TRUE(t.visits(initial_only));
+}
+
+TEST(Trajectory, ToStringUsesNames) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = walk_line();
+  EXPECT_EQ(t.to_string(mdp), "(a,go) -> (b,go) -> c");
+}
+
+TEST(TrajectoryDataset, WeightsDefaultToOne) {
+  TrajectoryDataset data;
+  data.add(walk_line());
+  data.add(walk_line());
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(data.weight(1), 1.0);
+}
+
+TEST(TrajectoryDataset, MixedWeights) {
+  TrajectoryDataset data;
+  data.add(walk_line());
+  data.add(walk_line(), 3.0);
+  EXPECT_DOUBLE_EQ(data.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(data.weight(1), 3.0);
+  EXPECT_THROW(data.add(walk_line(), -1.0), Error);
+}
+
+TEST(Simulate, DeterministicWalkStopsAtAbsorbing) {
+  const Mdp mdp = line_mdp();
+  Rng rng(1);
+  SimulationOptions options;
+  options.absorbing = mdp.states_with_label("end");
+  const Policy policy = mdp.first_choice_policy();
+  const Trajectory t = simulate(mdp, policy, rng, options);
+  EXPECT_EQ(t.length(), 2u);
+  EXPECT_EQ(t.final_state(), 2u);
+}
+
+TEST(Simulate, MaxStepsCutsOff) {
+  const Mdp mdp = line_mdp();
+  Rng rng(1);
+  SimulationOptions options;
+  options.max_steps = 1;
+  const Trajectory t = simulate(mdp, mdp.first_choice_policy(), rng, options);
+  EXPECT_EQ(t.length(), 1u);
+}
+
+TEST(Simulate, StochasticFrequenciesMatchProbabilities) {
+  Mdp mdp(2);
+  mdp.add_choice(0, "flip", {Transition{0, 0.7}, Transition{1, 0.3}});
+  mdp.add_choice(1, "stay", {Transition{1, 1.0}});
+  Rng rng(99);
+  SimulationOptions options;
+  options.max_steps = 1;
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const Trajectory t = simulate(mdp, mdp.first_choice_policy(), rng, options);
+    if (t.final_state() == 1) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.02);
+}
+
+TEST(Simulate, RandomizedPolicyMixesChoices) {
+  Mdp mdp(3);
+  mdp.add_choice(0, "left", {Transition{1, 1.0}});
+  mdp.add_choice(0, "right", {Transition{2, 1.0}});
+  mdp.add_choice(1, "stay", {Transition{1, 1.0}});
+  mdp.add_choice(2, "stay", {Transition{2, 1.0}});
+  RandomizedPolicy policy;
+  policy.choice_probabilities = {{0.25, 0.75}, {1.0}, {1.0}};
+  Rng rng(5);
+  SimulationOptions options;
+  options.max_steps = 1;
+  int right = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (simulate(mdp, policy, rng, options).final_state() == 2) ++right;
+  }
+  EXPECT_NEAR(right / static_cast<double>(trials), 0.75, 0.02);
+}
+
+TEST(Simulate, DatasetHasRequestedCount) {
+  const Mdp mdp = line_mdp();
+  Rng rng(1);
+  const TrajectoryDataset data =
+      simulate_dataset(mdp, mdp.first_choice_policy(), rng, 17);
+  EXPECT_EQ(data.size(), 17u);
+}
+
+TEST(TrajectoryReward, SumsStateAndActionRewards) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = walk_line();
+  // Step from 0: state reward 0 + action 1; step from 1: 0.5 + 1.
+  EXPECT_DOUBLE_EQ(trajectory_reward(mdp, t), 2.5);
+  // Including the final state's reward (state 2 has none).
+  EXPECT_DOUBLE_EQ(trajectory_reward(mdp, t, /*count_final_state=*/true), 2.5);
+}
+
+TEST(TrajectoryReward, AgreesWithSimulatedExpectation) {
+  // Retry chain: expected attempts 1/(1−0.6) = 2.5.
+  Mdp mdp(2);
+  mdp.add_choice(0, "try", {Transition{0, 0.6}, Transition{1, 0.4}}, 1.0);
+  mdp.add_choice(1, "stay", {Transition{1, 1.0}});
+  mdp.add_label(1, "done");
+  Rng rng(7);
+  SimulationOptions options;
+  options.absorbing = mdp.states_with_label("done");
+  double total = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    total += trajectory_reward(
+        mdp, simulate(mdp, mdp.first_choice_policy(), rng, options));
+  }
+  EXPECT_NEAR(total / trials, 2.5, 0.05);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,141 @@
+// Unit tests for finite-trace trajectory rules (Reward Repair's φ_l).
+
+#include "src/logic/trajectory_rule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tml {
+namespace {
+
+/// Line MDP a → b → c with labels: b = "mid", c = "end"; actions "go"/"stay".
+Mdp line_mdp() {
+  Mdp mdp(3);
+  mdp.set_state_name(0, "a");
+  mdp.set_state_name(1, "b");
+  mdp.set_state_name(2, "c");
+  mdp.add_choice(0, "go", {Transition{1, 1.0}});
+  mdp.add_choice(1, "go", {Transition{2, 1.0}});
+  mdp.add_choice(2, "stay", {Transition{2, 1.0}});
+  mdp.add_label(1, "mid");
+  mdp.add_label(2, "end");
+  return mdp;
+}
+
+Trajectory abc() {
+  Trajectory t;
+  t.initial_state = 0;
+  t.steps.push_back(Step{0, 0, 0, 1});
+  t.steps.push_back(Step{1, 0, 0, 2});
+  return t;
+}
+
+TEST(TrajectoryRule, Atoms) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = abc();
+  EXPECT_TRUE(rules::truth()->holds(mdp, t));
+  EXPECT_TRUE(rules::state("a")->holds(mdp, t));
+  EXPECT_FALSE(rules::state("b")->holds(mdp, t));
+  EXPECT_FALSE(rules::label("mid")->holds(mdp, t));  // position 0 is 'a'
+  EXPECT_TRUE(rules::action("go")->holds(mdp, t));
+  EXPECT_FALSE(rules::action("stay")->holds(mdp, t));
+}
+
+TEST(TrajectoryRule, ActionAtFinalPositionIsFalse) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = abc();
+  // X X action: position 2 is the final state; no action taken there.
+  EXPECT_FALSE(
+      rules::next(rules::next(rules::action("go")))->holds(mdp, t));
+}
+
+TEST(TrajectoryRule, BooleanConnectives) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = abc();
+  EXPECT_TRUE(rules::conjunction(rules::state("a"), rules::action("go"))
+                  ->holds(mdp, t));
+  EXPECT_TRUE(rules::disjunction(rules::state("z"), rules::state("a"))
+                  ->holds(mdp, t));
+  EXPECT_FALSE(rules::negation(rules::state("a"))->holds(mdp, t));
+  EXPECT_TRUE(rules::implication(rules::state("b"), rules::state("z"))
+                  ->holds(mdp, t));  // antecedent false at position 0
+}
+
+TEST(TrajectoryRule, Next) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = abc();
+  EXPECT_TRUE(rules::next(rules::label("mid"))->holds(mdp, t));
+  EXPECT_TRUE(rules::next(rules::next(rules::label("end")))->holds(mdp, t));
+  // Next beyond the end of the trace is false.
+  EXPECT_FALSE(
+      rules::next(rules::next(rules::next(rules::truth())))->holds(mdp, t));
+}
+
+TEST(TrajectoryRule, Eventually) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = abc();
+  EXPECT_TRUE(rules::eventually(rules::label("end"))->holds(mdp, t));
+  EXPECT_TRUE(rules::eventually_label("mid")->holds(mdp, t));
+  EXPECT_FALSE(rules::eventually(rules::state("z"))->holds(mdp, t));
+}
+
+TEST(TrajectoryRule, Globally) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = abc();
+  EXPECT_TRUE(rules::globally(rules::negation(rules::state("z")))
+                  ->holds(mdp, t));
+  EXPECT_FALSE(rules::globally(rules::state("a"))->holds(mdp, t));
+  EXPECT_TRUE(rules::never_visit_state("z")->holds(mdp, t));
+  EXPECT_FALSE(rules::never_visit_label("mid")->holds(mdp, t));
+}
+
+TEST(TrajectoryRule, Until) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = abc();
+  // ¬end U end: holds (end reached at position 2).
+  EXPECT_TRUE(rules::until(rules::negation(rules::label("end")),
+                           rules::label("end"))
+                  ->holds(mdp, t));
+  // a U end: fails — position 1 is b, not a, before end.
+  EXPECT_FALSE(
+      rules::until(rules::state("a"), rules::label("end"))->holds(mdp, t));
+  // Right operand true immediately.
+  EXPECT_TRUE(
+      rules::until(rules::state("z"), rules::state("a"))->holds(mdp, t));
+}
+
+TEST(TrajectoryRule, EmptyTrajectory) {
+  const Mdp mdp = line_mdp();
+  Trajectory t;
+  t.initial_state = 2;
+  EXPECT_TRUE(rules::label("end")->holds(mdp, t));
+  EXPECT_TRUE(rules::globally(rules::label("end"))->holds(mdp, t));
+  EXPECT_TRUE(rules::eventually(rules::label("end"))->holds(mdp, t));
+  EXPECT_FALSE(rules::next(rules::truth())->holds(mdp, t));
+  EXPECT_FALSE(rules::action("go")->holds(mdp, t));
+}
+
+TEST(TrajectoryRule, HoldsAtIntermediatePositions) {
+  const Mdp mdp = line_mdp();
+  const Trajectory t = abc();
+  const TrajectoryRulePtr mid = rules::label("mid");
+  EXPECT_FALSE(mid->holds_at(mdp, t, 0));
+  EXPECT_TRUE(mid->holds_at(mdp, t, 1));
+  EXPECT_FALSE(mid->holds_at(mdp, t, 2));
+  EXPECT_THROW(mid->holds_at(mdp, t, 3), Error);
+}
+
+TEST(TrajectoryRule, ToString) {
+  EXPECT_EQ(rules::never_visit_label("unsafe")->to_string(),
+            "G (!(\"unsafe\"))");
+  EXPECT_EQ(rules::until(rules::action("go"), rules::state("c"))->to_string(),
+            "(act:go U @c)");
+}
+
+TEST(TrajectoryRule, NullAndEmptyRejected) {
+  EXPECT_THROW(rules::negation(nullptr), Error);
+  EXPECT_THROW(rules::until(rules::truth(), nullptr), Error);
+  EXPECT_THROW(rules::label(""), Error);
+}
+
+}  // namespace
+}  // namespace tml

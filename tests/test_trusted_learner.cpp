@@ -1,0 +1,148 @@
+// Tests for the end-to-end Trusted Machine Learning pipeline (§II).
+
+#include <gtest/gtest.h>
+
+#include "src/checker/check.hpp"
+#include "src/core/trusted_learner.hpp"
+#include "src/logic/parser.hpp"
+
+namespace tml {
+namespace {
+
+Dtmc retry_structure() {
+  Dtmc chain(2);
+  chain.set_transitions(0, {Transition{0, 0.5}, Transition{1, 0.5}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.set_state_reward(0, 1.0);
+  chain.add_label(1, "done");
+  return chain;
+}
+
+Trajectory one_step(StateId from, StateId to) {
+  Trajectory t;
+  t.initial_state = from;
+  t.steps.push_back(Step{from, 0, 0, to});
+  return t;
+}
+
+/// Data with the given success rate at state 0 (out of `total` steps).
+TrajectoryDataset observations(int successes, int total) {
+  TrajectoryDataset data;
+  for (int i = 0; i < total; ++i) {
+    data.add(one_step(0, i < successes ? 1 : 0));
+  }
+  return data;
+}
+
+TrustedLearnerConfig full_config(double cap) {
+  TrustedLearnerConfig config;
+  config.perturbation = [cap](const Dtmc& learned) {
+    PerturbationScheme scheme(learned);
+    const Var v = scheme.add_variable("v", 0.0, cap);
+    scheme.attach_balanced(v, 0, /*raise=*/1, /*lower=*/0);
+    return scheme;
+  };
+  // One droppable group: the failure observations (indices known by
+  // construction: successes first). Groups are rebuilt per dataset in the
+  // tests below.
+  return config;
+}
+
+std::vector<RepairGroup> failure_groups(int successes, int total) {
+  RepairGroup success{"success", {}, true};
+  RepairGroup failure{"failure", {}, false};
+  for (int i = 0; i < total; ++i) {
+    (i < successes ? success : failure)
+        .members.push_back(static_cast<std::size_t>(i));
+  }
+  return {std::move(success), std::move(failure)};
+}
+
+TEST(TrustedLearner, LearnedModelAlreadySatisfies) {
+  const TrajectoryDataset data = observations(8, 10);
+  TrustedLearnerConfig config = full_config(0.2);
+  config.groups = failure_groups(8, 10);
+  const TrustedLearnerReport report = trusted_learn(
+      retry_structure(), data, *parse_pctl("R<=2 [ F \"done\" ]"), config);
+  EXPECT_EQ(report.stage, TmlStage::kLearnedModelSatisfies);
+  EXPECT_TRUE(report.learned_satisfies);
+  EXPECT_TRUE(report.trusted_satisfies);
+  EXPECT_FALSE(report.model_repair.has_value());
+  EXPECT_FALSE(report.data_repair.has_value());
+  ASSERT_TRUE(report.learned_value.has_value());
+  EXPECT_NEAR(*report.learned_value, 1.25, 1e-9);
+}
+
+TEST(TrustedLearner, ModelRepairStage) {
+  // Learned success prob 0.2 ⇒ 5 attempts; require ≤ 3.3 ⇒ v ≈ 0.1 ≤ cap.
+  const TrajectoryDataset data = observations(2, 10);
+  TrustedLearnerConfig config = full_config(0.2);
+  config.groups = failure_groups(2, 10);
+  const TrustedLearnerReport report = trusted_learn(
+      retry_structure(), data, *parse_pctl("R<=3.3 [ F \"done\" ]"), config);
+  EXPECT_EQ(report.stage, TmlStage::kModelRepair);
+  EXPECT_FALSE(report.learned_satisfies);
+  ASSERT_TRUE(report.model_repair.has_value());
+  EXPECT_TRUE(report.model_repair->feasible());
+  ASSERT_TRUE(report.trusted.has_value());
+  EXPECT_TRUE(check(*report.trusted, "R<=3.3 [ F \"done\" ]").satisfied);
+}
+
+TEST(TrustedLearner, DataRepairStageWhenModelRepairCapped) {
+  // Require ≤ 1.5 attempts ⇒ success ≥ 2/3. Model repair capped at +0.1
+  // (0.2 → 0.3) is insufficient; data repair can drop failures.
+  const TrajectoryDataset data = observations(2, 10);
+  TrustedLearnerConfig config = full_config(0.1);
+  config.groups = failure_groups(2, 10);
+  config.data_repair.pseudocount = 0.0;
+  const TrustedLearnerReport report = trusted_learn(
+      retry_structure(), data, *parse_pctl("R<=1.5 [ F \"done\" ]"), config);
+  EXPECT_EQ(report.stage, TmlStage::kDataRepair);
+  ASSERT_TRUE(report.model_repair.has_value());
+  EXPECT_FALSE(report.model_repair->feasible());
+  ASSERT_TRUE(report.data_repair.has_value());
+  EXPECT_TRUE(report.data_repair->feasible());
+  ASSERT_TRUE(report.trusted.has_value());
+  EXPECT_TRUE(check(*report.trusted, "R<=1.5 [ F \"done\" ]").satisfied);
+}
+
+TEST(TrustedLearner, UnsatisfiableReported) {
+  // Require < 1 attempt: impossible (each delivery costs ≥ 1).
+  const TrajectoryDataset data = observations(2, 10);
+  TrustedLearnerConfig config = full_config(0.1);
+  config.groups = failure_groups(2, 10);
+  const TrustedLearnerReport report = trusted_learn(
+      retry_structure(), data, *parse_pctl("R<=0.9 [ F \"done\" ]"), config);
+  EXPECT_EQ(report.stage, TmlStage::kUnsatisfiable);
+  EXPECT_FALSE(report.trusted.has_value());
+  EXPECT_FALSE(report.trusted_satisfies);
+}
+
+TEST(TrustedLearner, StagesCanBeDisabled) {
+  const TrajectoryDataset data = observations(2, 10);
+  // No perturbation scheme and no groups: verification only.
+  TrustedLearnerConfig config;
+  const TrustedLearnerReport report = trusted_learn(
+      retry_structure(), data, *parse_pctl("R<=3.3 [ F \"done\" ]"), config);
+  EXPECT_EQ(report.stage, TmlStage::kUnsatisfiable);
+  EXPECT_FALSE(report.model_repair.has_value());
+  EXPECT_FALSE(report.data_repair.has_value());
+}
+
+TEST(TrustedLearner, StageNames) {
+  EXPECT_EQ(to_string(TmlStage::kLearnedModelSatisfies),
+            "learned-model-satisfies");
+  EXPECT_EQ(to_string(TmlStage::kModelRepair), "model-repair");
+  EXPECT_EQ(to_string(TmlStage::kDataRepair), "data-repair");
+  EXPECT_EQ(to_string(TmlStage::kUnsatisfiable), "unsatisfiable");
+}
+
+TEST(TrustedLearner, RejectsNonOperatorProperty) {
+  const TrajectoryDataset data = observations(2, 10);
+  EXPECT_THROW(trusted_learn(retry_structure(), data, *parse_pctl("\"done\""),
+                             TrustedLearnerConfig{}),
+               Error);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,106 @@
+// tml_check — command-line PCTL model checker over PRISM-subset files.
+//
+//   tml_check <model.prism> "<pctl formula>" [--counterexample] [--dot]
+//
+// Loads a model written in the explicit single-module PRISM subset
+// (src/mdp/prism_parser.hpp), checks the formula, prints the verdict and
+// the measured value, and optionally:
+//   --counterexample   for violated P<=b / P<b [F ...] properties on
+//                      DTMCs, prints the strongest evidence paths;
+//   --dot              dumps the model as Graphviz DOT to stdout.
+//
+// Exit code: 0 when the property is satisfied (or the query is
+// quantitative), 1 when violated, 2 on usage/parse errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/checker/check.hpp"
+#include "src/checker/counterexample.hpp"
+#include "src/logic/parser.hpp"
+#include "src/mdp/export.hpp"
+#include "src/mdp/prism_parser.hpp"
+
+using namespace tml;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: tml_check <model.prism> \"<pctl formula>\" "
+               "[--counterexample] [--dot]\n"
+            << "example: tml_check wsn.prism 'Rmin<=40 [ F \"delivered\" ]'\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string path = argv[1];
+  const std::string formula_text = argv[2];
+  bool want_counterexample = false;
+  bool want_dot = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--counterexample") {
+      want_counterexample = true;
+    } else if (flag == "--dot") {
+      want_dot = true;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "tml_check: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const PrismModel model = parse_prism(buffer.str());
+    const StateFormulaPtr formula = parse_pctl(formula_text);
+
+    std::cout << "model:    " << path << " ("
+              << (model.type == PrismModel::Type::kDtmc ? "dtmc" : "mdp")
+              << ", " << model.mdp.num_states() << " states, "
+              << model.mdp.num_choices() << " choices)\n";
+    std::cout << "property: " << formula->to_string() << "\n";
+
+    if (want_dot) {
+      std::cout << to_dot(model.mdp) << "\n";
+    }
+
+    const CheckResult result = check(model.mdp, *formula);
+    if (formula->is_quantitative()) {
+      std::cout << "value:    " << *result.value << "\n";
+      return 0;
+    }
+    std::cout << "verdict:  "
+              << (result.satisfied ? "SATISFIED" : "VIOLATED") << "\n";
+    if (result.value) {
+      std::cout << "measured: " << *result.value << "\n";
+    }
+
+    if (!result.satisfied && want_counterexample &&
+        model.type == PrismModel::Type::kDtmc &&
+        formula->kind() == StateFormula::Kind::kProb &&
+        (formula->comparison() == Comparison::kLess ||
+         formula->comparison() == Comparison::kLessEqual) &&
+        formula->path().kind() == PathFormula::Kind::kEventually &&
+        !formula->path().step_bound()) {
+      const Dtmc chain = model.dtmc();
+      const StateSet targets =
+          satisfying_states(chain, formula->path().right());
+      const Counterexample ce =
+          strongest_evidence(chain, targets, formula->bound());
+      std::cout << ce.to_string(chain);
+    }
+    return result.satisfied ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "tml_check: " << e.what() << "\n";
+    return 2;
+  }
+}
