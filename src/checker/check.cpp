@@ -35,95 +35,14 @@ Objective flip(Objective objective) {
 }
 
 // ---------------------------------------------------------------------------
-// Generic checker over a model M ∈ {Dtmc, Mdp}. The Engine concept below
-// abstracts the handful of quantitative primitives that differ.
+// Checker over the compiled CSR form. One class serves both model kinds: the
+// quantitative primitives dispatch on CompiledModel::deterministic() — DTMCs
+// get the exact linear-system engines, MDPs the qualitative-precomputation +
+// value-iteration engines.
 
-template <typename Model>
-struct Engine;
-
-template <>
-struct Engine<Dtmc> {
-  static std::vector<double> until(const Dtmc& m, const StateSet& stay,
-                                   const StateSet& goal, Objective) {
-    return dtmc_until(m, stay, goal);
-  }
-  static std::vector<double> bounded_until(const Dtmc& m, const StateSet& stay,
-                                           const StateSet& goal,
-                                           std::size_t bound, Objective) {
-    return dtmc_bounded_until(m, stay, goal, bound);
-  }
-  static std::vector<double> next(const Dtmc& m, const StateSet& goal,
-                                  Objective) {
-    std::vector<double> values(m.num_states(), 0.0);
-    for (StateId s = 0; s < m.num_states(); ++s) {
-      double p = 0.0;
-      for (const Transition& t : m.transitions(s)) {
-        if (goal[t.target]) p += t.probability;
-      }
-      values[s] = p;
-    }
-    return values;
-  }
-  static std::vector<double> reach_reward(const Dtmc& m, const StateSet& goal,
-                                          Objective) {
-    return dtmc_total_reward(m, goal);
-  }
-  static std::vector<double> cumulative_reward(const Dtmc& m,
-                                               std::size_t horizon,
-                                               Objective) {
-    return dtmc_cumulative_reward(m, horizon);
-  }
-};
-
-template <>
-struct Engine<Mdp> {
-  static std::vector<double> until(const Mdp& m, const StateSet& stay,
-                                   const StateSet& goal, Objective objective) {
-    return mdp_until(m, stay, goal, objective);
-  }
-  static std::vector<double> bounded_until(const Mdp& m, const StateSet& stay,
-                                           const StateSet& goal,
-                                           std::size_t bound,
-                                           Objective objective) {
-    return mdp_bounded_until(m, stay, goal, bound, objective);
-  }
-  static std::vector<double> next(const Mdp& m, const StateSet& goal,
-                                  Objective objective) {
-    std::vector<double> values(m.num_states(), 0.0);
-    for (StateId s = 0; s < m.num_states(); ++s) {
-      bool first = true;
-      double best = 0.0;
-      for (const Choice& c : m.choices(s)) {
-        double p = 0.0;
-        for (const Transition& t : c.transitions) {
-          if (goal[t.target]) p += t.probability;
-        }
-        if (first || (objective == Objective::kMaximize ? p > best
-                                                        : p < best)) {
-          best = p;
-          first = false;
-        }
-      }
-      values[s] = best;
-    }
-    return values;
-  }
-  static std::vector<double> reach_reward(const Mdp& m, const StateSet& goal,
-                                          Objective objective) {
-    SolverOptions options;
-    return total_reward_to_target(m, goal, objective, options).values;
-  }
-  static std::vector<double> cumulative_reward(const Mdp& m,
-                                               std::size_t horizon,
-                                               Objective objective) {
-    return mdp_cumulative_reward(m, horizon, objective);
-  }
-};
-
-template <typename Model>
 class Checker {
  public:
-  explicit Checker(const Model& model) : model_(model) {}
+  explicit Checker(const CompiledModel& model) : model_(model) {}
 
   StateSet sat(const StateFormula& formula) {
     const std::size_t n = model_.num_states();
@@ -184,6 +103,61 @@ class Checker {
   }
 
  private:
+  std::vector<double> until(const StateSet& stay, const StateSet& goal,
+                            Objective objective) {
+    if (model_.deterministic()) return dtmc_until(model_, stay, goal);
+    return mdp_until(model_, stay, goal, objective);
+  }
+
+  std::vector<double> bounded_until(const StateSet& stay, const StateSet& goal,
+                                    std::size_t bound, Objective objective) {
+    if (model_.deterministic()) {
+      return dtmc_bounded_until(model_, stay, goal, bound);
+    }
+    return mdp_bounded_until(model_, stay, goal, bound, objective);
+  }
+
+  /// One-step probability of entering `goal`, optimized over choices. For a
+  /// deterministic model each row has a single choice, so the same CSR loop
+  /// serves both kinds.
+  std::vector<double> next(const StateSet& goal, Objective objective) {
+    const std::size_t n = model_.num_states();
+    const auto& row_start = model_.row_start();
+    const auto& choice_start = model_.choice_start();
+    const auto& target = model_.target();
+    const auto& prob = model_.prob();
+    std::vector<double> values(n, 0.0);
+    for (StateId s = 0; s < n; ++s) {
+      bool first = true;
+      double best = 0.0;
+      for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+        double p = 0.0;
+        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+          if (goal[target[k]]) p += prob[k];
+        }
+        if (first ||
+            (objective == Objective::kMaximize ? p > best : p < best)) {
+          best = p;
+          first = false;
+        }
+      }
+      values[s] = best;
+    }
+    return values;
+  }
+
+  std::vector<double> reach_reward(const StateSet& goal, Objective objective) {
+    if (model_.deterministic()) return dtmc_total_reward(model_, goal);
+    return total_reward_to_target(model_, goal, objective, SolverOptions{})
+        .values;
+  }
+
+  std::vector<double> cumulative_reward(std::size_t horizon,
+                                        Objective objective) {
+    if (model_.deterministic()) return dtmc_cumulative_reward(model_, horizon);
+    return mdp_cumulative_reward(model_, horizon, objective);
+  }
+
   std::vector<double> prob_values(const StateFormula& formula) {
     const Objective objective = formula.kind() == StateFormula::Kind::kProb
                                     ? resolve_objective(formula)
@@ -193,24 +167,22 @@ class Checker {
     const PathFormula& path = formula.path();
     switch (path.kind()) {
       case PathFormula::Kind::kNext:
-        return Engine<Model>::next(model_, sat(path.right()), objective);
+        return next(sat(path.right()), objective);
       case PathFormula::Kind::kUntil: {
         const StateSet stay = sat(path.left());
         const StateSet goal = sat(path.right());
         if (path.step_bound()) {
-          return Engine<Model>::bounded_until(model_, stay, goal,
-                                              *path.step_bound(), objective);
+          return bounded_until(stay, goal, *path.step_bound(), objective);
         }
-        return Engine<Model>::until(model_, stay, goal, objective);
+        return until(stay, goal, objective);
       }
       case PathFormula::Kind::kEventually: {
         const StateSet stay(model_.num_states(), true);
         const StateSet goal = sat(path.right());
         if (path.step_bound()) {
-          return Engine<Model>::bounded_until(model_, stay, goal,
-                                              *path.step_bound(), objective);
+          return bounded_until(stay, goal, *path.step_bound(), objective);
         }
-        return Engine<Model>::until(model_, stay, goal, objective);
+        return until(stay, goal, objective);
       }
       case PathFormula::Kind::kGlobally: {
         // P(G φ) = 1 − P(F ¬φ), with the scheduler direction flipped.
@@ -218,10 +190,8 @@ class Checker {
         const StateSet stay(model_.num_states(), true);
         std::vector<double> reach =
             path.step_bound()
-                ? Engine<Model>::bounded_until(model_, stay, bad,
-                                               *path.step_bound(),
-                                               flip(objective))
-                : Engine<Model>::until(model_, stay, bad, flip(objective));
+                ? bounded_until(stay, bad, *path.step_bound(), flip(objective))
+                : until(stay, bad, flip(objective));
         for (double& v : reach) v = 1.0 - v;
         return reach;
       }
@@ -237,20 +207,17 @@ class Checker {
                                            : Objective::kMaximize);
     if (formula.reward_path_kind() ==
         StateFormula::RewardPathKind::kReachability) {
-      return Engine<Model>::reach_reward(model_, sat(formula.reward_target()),
-                                         objective);
+      return reach_reward(sat(formula.reward_target()), objective);
     }
-    return Engine<Model>::cumulative_reward(model_, formula.reward_horizon(),
-                                            objective);
+    return cumulative_reward(formula.reward_horizon(), objective);
   }
 
-  const Model& model_;
+  const CompiledModel& model_;
 };
 
-template <typename Model>
-CheckResult check_impl(const Model& model, const StateFormula& formula) {
-  model.validate();
-  Checker<Model> checker(model);
+CheckResult check_impl(const CompiledModel& model,
+                       const StateFormula& formula) {
+  Checker checker(model);
   CheckResult result;
   if (formula.is_quantitative()) {
     result.values = checker.values(formula);
@@ -272,34 +239,44 @@ CheckResult check_impl(const Model& model, const StateFormula& formula) {
 
 }  // namespace
 
+StateSet satisfying_states(const CompiledModel& model,
+                           const StateFormula& formula) {
+  return Checker(model).sat(formula);
+}
+
 StateSet satisfying_states(const Dtmc& chain, const StateFormula& formula) {
-  chain.validate();
-  return Checker<Dtmc>(chain).sat(formula);
+  return satisfying_states(compile(chain), formula);
 }
 
 StateSet satisfying_states(const Mdp& mdp, const StateFormula& formula) {
-  mdp.validate();
-  return Checker<Mdp>(mdp).sat(formula);
+  return satisfying_states(compile(mdp), formula);
+}
+
+std::vector<double> quantitative_values(const CompiledModel& model,
+                                        const StateFormula& formula) {
+  return Checker(model).values(formula);
 }
 
 std::vector<double> quantitative_values(const Dtmc& chain,
                                         const StateFormula& formula) {
-  chain.validate();
-  return Checker<Dtmc>(chain).values(formula);
+  return quantitative_values(compile(chain), formula);
 }
 
 std::vector<double> quantitative_values(const Mdp& mdp,
                                         const StateFormula& formula) {
-  mdp.validate();
-  return Checker<Mdp>(mdp).values(formula);
+  return quantitative_values(compile(mdp), formula);
+}
+
+CheckResult check(const CompiledModel& model, const StateFormula& formula) {
+  return check_impl(model, formula);
 }
 
 CheckResult check(const Dtmc& chain, const StateFormula& formula) {
-  return check_impl(chain, formula);
+  return check_impl(compile(chain), formula);
 }
 
 CheckResult check(const Mdp& mdp, const StateFormula& formula) {
-  return check_impl(mdp, formula);
+  return check_impl(compile(mdp), formula);
 }
 
 CheckResult check(const Dtmc& chain, const std::string& formula_text) {

@@ -20,18 +20,25 @@
 
 #include "src/checker/results.hpp"
 #include "src/logic/pctl.hpp"
+#include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
 
 namespace tml {
 
 /// Set of states satisfying a boolean PCTL formula. Throws for quantitative
-/// (`=?`) formulas — those have no satisfaction set.
+/// (`=?`) formulas — those have no satisfaction set. The Dtmc/Mdp overloads
+/// compile and delegate; checking several formulas against one model is
+/// cheaper through a single compiled form.
+StateSet satisfying_states(const CompiledModel& model,
+                           const StateFormula& formula);
 StateSet satisfying_states(const Dtmc& chain, const StateFormula& formula);
 StateSet satisfying_states(const Mdp& mdp, const StateFormula& formula);
 
 /// Per-state numeric values of the outermost P/R operator of `formula`
 /// (which must be kProb/kProbQuery/kReward/kRewardQuery). For a boolean
 /// operator the values are the quantities compared against the bound.
+std::vector<double> quantitative_values(const CompiledModel& model,
+                                        const StateFormula& formula);
 std::vector<double> quantitative_values(const Dtmc& chain,
                                         const StateFormula& formula);
 std::vector<double> quantitative_values(const Mdp& mdp,
@@ -40,6 +47,7 @@ std::vector<double> quantitative_values(const Mdp& mdp,
 /// Full check against the model's initial state; fills both the boolean
 /// verdict (for boolean formulas) and the measured value when the top-level
 /// node is a P/R operator.
+CheckResult check(const CompiledModel& model, const StateFormula& formula);
 CheckResult check(const Dtmc& chain, const StateFormula& formula);
 CheckResult check(const Mdp& mdp, const StateFormula& formula);
 

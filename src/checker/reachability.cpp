@@ -13,47 +13,35 @@ namespace {
 /// neither `stay` nor `goal` are made absorbing (they can never contribute),
 /// then P[F goal] on the modified model equals P[stay U goal] on the
 /// original.
-Dtmc absorb_escape_states(const Dtmc& chain, const StateSet& stay,
-                          const StateSet& goal) {
-  Dtmc out = chain;
-  for (StateId s = 0; s < chain.num_states(); ++s) {
-    if (!stay[s] && !goal[s]) {
-      out.set_transitions(s, {Transition{s, 1.0}});
-    }
-  }
-  return out;
-}
-
-Mdp absorb_escape_states(const Mdp& mdp, const StateSet& stay,
-                         const StateSet& goal) {
-  Mdp out = mdp;
-  const ActionId self = out.declare_action("__absorb__");
-  for (StateId s = 0; s < mdp.num_states(); ++s) {
-    if (!stay[s] && !goal[s]) {
-      auto& choices = out.mutable_choices(s);
-      choices.clear();
-      choices.push_back(Choice{self, 0.0, {Transition{s, 1.0}}});
-    }
-  }
-  return out;
+CompiledModel absorb_escape_states(const CompiledModel& model,
+                                   const StateSet& stay,
+                                   const StateSet& goal) {
+  StateSet escape = set_union(stay, goal);
+  escape.flip();
+  return model.make_absorbing(escape);
 }
 
 }  // namespace
 
-std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
+std::vector<double> mdp_reachability(const CompiledModel& model,
+                                     const StateSet& targets,
                                      Objective objective,
                                      const SolverOptions& options) {
-  TML_REQUIRE(targets.size() == mdp.num_states(),
+  TML_REQUIRE(targets.size() == model.num_states(),
               "mdp_reachability: target set size mismatch");
-  const std::size_t n = mdp.num_states();
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
 
   StateSet zero, one;
   if (objective == Objective::kMaximize) {
-    zero = complement(reachable_existential(mdp, targets));
-    one = prob1_existential(mdp, targets);
+    zero = complement(reachable_existential(model, targets));
+    one = prob1_existential(model, targets);
   } else {
-    zero = avoid_certain(mdp, targets);
-    one = prob1_universal(mdp, targets);
+    zero = avoid_certain(model, targets);
+    one = prob1_universal(model, targets);
   }
 
   std::vector<double> values(n, 0.0);
@@ -69,10 +57,10 @@ std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
     for (StateId s = 0; s < n; ++s) {
       if (zero[s] || one[s]) continue;
       double best = objective == Objective::kMaximize ? 0.0 : 1.0;
-      for (const Choice& c : mdp.choices(s)) {
+      for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
         double q = 0.0;
-        for (const Transition& t : c.transitions) {
-          q += t.probability * values[t.target];
+        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+          q += prob[k] * values[target[k]];
         }
         if (objective == Objective::kMaximize) {
           best = std::max(best, q);
@@ -97,12 +85,23 @@ std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
   return values;
 }
 
-std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
+std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
+                                     Objective objective,
+                                     const SolverOptions& options) {
+  return mdp_reachability(compile(mdp), targets, objective, options);
+}
+
+std::vector<double> mdp_bounded_until(const CompiledModel& model,
+                                      const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
                                       Objective objective) {
-  const std::size_t n = mdp.num_states();
+  const std::size_t n = model.num_states();
   TML_REQUIRE(stay.size() == n && goal.size() == n,
               "mdp_bounded_until: set size mismatch");
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
   std::vector<double> values(n, 0.0);
   for (StateId s = 0; s < n; ++s) {
     if (goal[s]) values[s] = 1.0;
@@ -119,10 +118,10 @@ std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
         continue;
       }
       double best = objective == Objective::kMaximize ? 0.0 : 1.0;
-      for (const Choice& c : mdp.choices(s)) {
+      for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
         double q = 0.0;
-        for (const Transition& t : c.transitions) {
-          q += t.probability * values[t.target];
+        for (std::uint32_t t = choice_start[c]; t < choice_start[c + 1]; ++t) {
+          q += prob[t] * values[target[t]];
         }
         if (objective == Objective::kMaximize) {
           best = std::max(best, q);
@@ -137,12 +136,24 @@ std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
   return values;
 }
 
-std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
+std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
+                                      const StateSet& goal, std::size_t bound,
+                                      Objective objective) {
+  return mdp_bounded_until(compile(mdp), stay, goal, bound, objective);
+}
+
+std::vector<double> dtmc_bounded_until(const CompiledModel& model,
+                                       const StateSet& stay,
                                        const StateSet& goal,
                                        std::size_t bound) {
-  const std::size_t n = chain.num_states();
+  TML_REQUIRE(model.deterministic(),
+              "dtmc_bounded_until: compiled model is not a DTMC");
+  const std::size_t n = model.num_states();
   TML_REQUIRE(stay.size() == n && goal.size() == n,
               "dtmc_bounded_until: set size mismatch");
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
   std::vector<double> values(n, 0.0);
   for (StateId s = 0; s < n; ++s) {
     if (goal[s]) values[s] = 1.0;
@@ -159,8 +170,8 @@ std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
         continue;
       }
       double q = 0.0;
-      for (const Transition& t : chain.transitions(s)) {
-        q += t.probability * values[t.target];
+      for (std::uint32_t t = choice_start[s]; t < choice_start[s + 1]; ++t) {
+        q += prob[t] * values[target[t]];
       }
       next[s] = q;
     }
@@ -169,29 +180,50 @@ std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
   return values;
 }
 
+std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
+                                       const StateSet& goal,
+                                       std::size_t bound) {
+  return dtmc_bounded_until(compile(chain), stay, goal, bound);
+}
+
+std::vector<double> dtmc_until(const CompiledModel& model, const StateSet& stay,
+                               const StateSet& goal) {
+  return dtmc_reachability(absorb_escape_states(model, stay, goal), goal);
+}
+
 std::vector<double> dtmc_until(const Dtmc& chain, const StateSet& stay,
                                const StateSet& goal) {
-  const Dtmc restricted = absorb_escape_states(chain, stay, goal);
-  return dtmc_reachability(restricted, goal);
+  return dtmc_until(compile(chain), stay, goal);
+}
+
+std::vector<double> mdp_until(const CompiledModel& model, const StateSet& stay,
+                              const StateSet& goal, Objective objective,
+                              const SolverOptions& options) {
+  return mdp_reachability(absorb_escape_states(model, stay, goal), goal,
+                          objective, options);
 }
 
 std::vector<double> mdp_until(const Mdp& mdp, const StateSet& stay,
                               const StateSet& goal, Objective objective,
                               const SolverOptions& options) {
-  const Mdp restricted = absorb_escape_states(mdp, stay, goal);
-  return mdp_reachability(restricted, goal, objective, options);
+  return mdp_until(compile(mdp), stay, goal, objective, options);
 }
 
-std::vector<double> dtmc_cumulative_reward(const Dtmc& chain,
+std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
                                            std::size_t horizon) {
-  const std::size_t n = chain.num_states();
+  TML_REQUIRE(model.deterministic(),
+              "dtmc_cumulative_reward: compiled model is not a DTMC");
+  const std::size_t n = model.num_states();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
   std::vector<double> values(n, 0.0);
   std::vector<double> next(n, 0.0);
   for (std::size_t k = 0; k < horizon; ++k) {
     for (StateId s = 0; s < n; ++s) {
-      double q = chain.state_reward(s);
-      for (const Transition& t : chain.transitions(s)) {
-        q += t.probability * values[t.target];
+      double q = model.state_reward(s);
+      for (std::uint32_t t = choice_start[s]; t < choice_start[s + 1]; ++t) {
+        q += prob[t] * values[target[t]];
       }
       next[s] = q;
     }
@@ -200,19 +232,29 @@ std::vector<double> dtmc_cumulative_reward(const Dtmc& chain,
   return values;
 }
 
-std::vector<double> mdp_cumulative_reward(const Mdp& mdp, std::size_t horizon,
+std::vector<double> dtmc_cumulative_reward(const Dtmc& chain,
+                                           std::size_t horizon) {
+  return dtmc_cumulative_reward(compile(chain), horizon);
+}
+
+std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
+                                          std::size_t horizon,
                                           Objective objective) {
-  const std::size_t n = mdp.num_states();
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
   std::vector<double> values(n, 0.0);
   std::vector<double> next(n, 0.0);
   for (std::size_t k = 0; k < horizon; ++k) {
     for (StateId s = 0; s < n; ++s) {
       bool first = true;
       double best = 0.0;
-      for (const Choice& c : mdp.choices(s)) {
-        double q = mdp.state_reward(s) + c.reward;
-        for (const Transition& t : c.transitions) {
-          q += t.probability * values[t.target];
+      for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+        double q = model.state_reward(s) + model.choice_reward(c);
+        for (std::uint32_t t = choice_start[c]; t < choice_start[c + 1]; ++t) {
+          q += prob[t] * values[target[t]];
         }
         if (first || (objective == Objective::kMaximize ? q > best
                                                         : q < best)) {
@@ -225,6 +267,11 @@ std::vector<double> mdp_cumulative_reward(const Mdp& mdp, std::size_t horizon,
     values.swap(next);
   }
   return values;
+}
+
+std::vector<double> mdp_cumulative_reward(const Mdp& mdp, std::size_t horizon,
+                                          Objective objective) {
+  return mdp_cumulative_reward(compile(mdp), horizon, objective);
 }
 
 }  // namespace tml

@@ -5,15 +5,25 @@
 // the remaining states only. Pinning the qualitative sets is what makes the
 // least fixpoint unique and the iteration correct in the presence of end
 // components.
+//
+// All engines run on the compiled CSR form; the Mdp/Dtmc overloads compile
+// once and delegate. Until operators restrict to plain reachability via
+// CompiledModel::make_absorbing (states outside stay ∪ goal can never
+// contribute).
 
 #pragma once
 
+#include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
 #include "src/mdp/solver.hpp"
 
 namespace tml {
 
 /// Per-state Pmax(F targets) or Pmin(F targets).
+std::vector<double> mdp_reachability(const CompiledModel& model,
+                                     const StateSet& targets,
+                                     Objective objective,
+                                     const SolverOptions& options = {});
 std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
                                      Objective objective,
                                      const SolverOptions& options = {});
@@ -21,28 +31,46 @@ std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
 /// Per-state step-bounded reachability-style until values for MDPs:
 /// opt over schedulers of P[ stay U<=k goal ] where `stay`/`goal` are the
 /// satisfaction sets of the until operands.
+std::vector<double> mdp_bounded_until(const CompiledModel& model,
+                                      const StateSet& stay,
+                                      const StateSet& goal, std::size_t bound,
+                                      Objective objective);
 std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
                                       Objective objective);
 
 /// DTMC step-bounded until.
+std::vector<double> dtmc_bounded_until(const CompiledModel& model,
+                                       const StateSet& stay,
+                                       const StateSet& goal,
+                                       std::size_t bound);
 std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
                                        const StateSet& goal,
                                        std::size_t bound);
 
 /// Unbounded constrained reachability P[ stay U goal ] for DTMCs, by making
 /// the escape region absorbing and running linear-system reachability.
+std::vector<double> dtmc_until(const CompiledModel& model, const StateSet& stay,
+                               const StateSet& goal);
 std::vector<double> dtmc_until(const Dtmc& chain, const StateSet& stay,
                                const StateSet& goal);
 
 /// Unbounded constrained reachability for MDPs.
+std::vector<double> mdp_until(const CompiledModel& model, const StateSet& stay,
+                              const StateSet& goal, Objective objective,
+                              const SolverOptions& options = {});
 std::vector<double> mdp_until(const Mdp& mdp, const StateSet& stay,
                               const StateSet& goal, Objective objective,
                               const SolverOptions& options = {});
 
 /// Expected cumulative reward over the first `horizon` steps.
+std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
+                                           std::size_t horizon);
 std::vector<double> dtmc_cumulative_reward(const Dtmc& chain,
                                            std::size_t horizon);
+std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
+                                          std::size_t horizon,
+                                          Objective objective);
 std::vector<double> mdp_cumulative_reward(const Mdp& mdp, std::size_t horizon,
                                           Objective objective);
 

@@ -17,23 +17,24 @@ std::size_t chernoff_sample_size(double epsilon, double delta) {
 
 namespace {
 
-StateId step(const Dtmc& chain, StateId current, Rng& rng) {
-  const auto& row = chain.transitions(current);
-  std::vector<double> weights;
-  weights.reserve(row.size());
-  for (const Transition& t : row) weights.push_back(t.probability);
-  return row[rng.categorical(weights)].target;
+/// One simulation step of a deterministic compiled model: for a DTMC the
+/// choice index equals the state id, so the state's transition row is the
+/// CSR probability span itself — it feeds categorical() with no copy.
+StateId step(const CompiledModel& model, StateId current, Rng& rng) {
+  return model.targets(current)[rng.categorical(model.probabilities(current))];
 }
 
 }  // namespace
 
-bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
+bool sample_path_satisfies(const CompiledModel& model, const PathFormula& path,
                            const StateSet& left_sat, const StateSet& right_sat,
                            std::size_t max_steps, Rng& rng) {
-  StateId current = chain.initial_state();
+  TML_REQUIRE(model.deterministic(),
+              "sample_path_satisfies: compiled model is not a DTMC");
+  StateId current = model.initial_state();
   switch (path.kind()) {
     case PathFormula::Kind::kNext:
-      return right_sat[step(chain, current, rng)];
+      return right_sat[step(model, current, rng)];
     case PathFormula::Kind::kUntil:
     case PathFormula::Kind::kEventually: {
       const std::size_t bound =
@@ -43,7 +44,7 @@ bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
         if (right_sat[current]) return true;
         if (constrained && !left_sat[current]) return false;
         if (t >= bound) return false;
-        current = step(chain, current, rng);
+        current = step(model, current, rng);
       }
     }
     case PathFormula::Kind::kGlobally: {
@@ -52,7 +53,7 @@ bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
       for (std::size_t t = 0; t <= bound; ++t) {
         if (!right_sat[current]) return false;
         if (t == bound) break;
-        current = step(chain, current, rng);
+        current = step(model, current, rng);
       }
       return true;
     }
@@ -60,9 +61,16 @@ bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
   return false;
 }
 
-SmcResult smc_check(const Dtmc& chain, const StateFormula& formula,
+bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
+                           const StateSet& left_sat, const StateSet& right_sat,
+                           std::size_t max_steps, Rng& rng) {
+  return sample_path_satisfies(compile(chain), path, left_sat, right_sat,
+                               max_steps, rng);
+}
+
+SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
                     const SmcOptions& options) {
-  chain.validate();
+  TML_REQUIRE(model.deterministic(), "smc_check: compiled model is not a DTMC");
   TML_REQUIRE(formula.kind() == StateFormula::Kind::kProb ||
                   formula.kind() == StateFormula::Kind::kProbQuery,
               "smc_check: formula must be a P operator, got "
@@ -70,10 +78,10 @@ SmcResult smc_check(const Dtmc& chain, const StateFormula& formula,
   const PathFormula& path = formula.path();
   // Operand satisfaction sets are resolved exactly (they are state
   // formulas; only the path probability is sampled).
-  const StateSet right = satisfying_states(chain, path.right());
+  const StateSet right = satisfying_states(model, path.right());
   const StateSet left = path.kind() == PathFormula::Kind::kUntil
-                            ? satisfying_states(chain, path.left())
-                            : StateSet(chain.num_states(), true);
+                            ? satisfying_states(model, path.left())
+                            : StateSet(model.num_states(), true);
 
   SmcResult result;
   result.epsilon = options.epsilon;
@@ -83,7 +91,7 @@ SmcResult smc_check(const Dtmc& chain, const StateFormula& formula,
   Rng rng(options.seed);
   std::size_t hits = 0;
   for (std::size_t i = 0; i < result.samples; ++i) {
-    if (sample_path_satisfies(chain, path, left, right, options.max_steps,
+    if (sample_path_satisfies(model, path, left, right, options.max_steps,
                               rng)) {
       ++hits;
     }
@@ -101,6 +109,11 @@ SmcResult smc_check(const Dtmc& chain, const StateFormula& formula,
     result.decisive = true;
   }
   return result;
+}
+
+SmcResult smc_check(const Dtmc& chain, const StateFormula& formula,
+                    const SmcOptions& options) {
+  return smc_check(compile(chain), formula, options);
 }
 
 }  // namespace tml

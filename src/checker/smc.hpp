@@ -22,6 +22,7 @@
 #include "src/checker/results.hpp"
 #include "src/common/rng.hpp"
 #include "src/logic/pctl.hpp"
+#include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
 
 namespace tml {
@@ -49,13 +50,21 @@ struct SmcResult {
 std::size_t chernoff_sample_size(double epsilon, double delta);
 
 /// Evaluates one sampled trajectory against a path formula (exposed for
-/// tests). Unbounded operators are truncated at `max_steps`.
+/// tests). Unbounded operators are truncated at `max_steps`. The compiled
+/// model must be deterministic; successors are drawn straight from the CSR
+/// probability spans (no per-step weight vector is built).
+bool sample_path_satisfies(const CompiledModel& model, const PathFormula& path,
+                           const StateSet& left_sat, const StateSet& right_sat,
+                           std::size_t max_steps, Rng& rng);
 bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
                            const StateSet& left_sat, const StateSet& right_sat,
                            std::size_t max_steps, Rng& rng);
 
 /// Estimates the probability of the path formula of `formula` (which must
-/// be a kProb or kProbQuery node) from the chain's initial state.
+/// be a kProb or kProbQuery node) from the chain's initial state. The model
+/// is compiled once; every sample walks the flat CSR arrays.
+SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
+                    const SmcOptions& options = {});
 SmcResult smc_check(const Dtmc& chain, const StateFormula& formula,
                     const SmcOptions& options = {});
 

@@ -20,35 +20,39 @@ struct TarjanState {
   std::vector<std::vector<StateId>> components;
 };
 
-void tarjan(const Dtmc& chain, TarjanState& st, StateId root) {
+void tarjan(const CompiledModel& model, TarjanState& st, StateId root) {
   struct Frame {
     StateId state;
-    std::size_t edge = 0;
+    std::uint32_t edge;
   };
-  std::vector<Frame> call_stack{{root, 0}};
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+  std::vector<Frame> call_stack{{root, choice_start[root]}};
   st.index[root] = st.lowlink[root] = st.next_index++;
   st.stack.push_back(root);
   st.on_stack[root] = true;
 
   while (!call_stack.empty()) {
     Frame& frame = call_stack.back();
-    const auto& row = chain.transitions(frame.state);
+    const std::uint32_t row_end = choice_start[frame.state + 1];
     bool descended = false;
-    while (frame.edge < row.size()) {
-      const Transition& t = row[frame.edge];
+    while (frame.edge < row_end) {
+      const std::uint32_t k = frame.edge;
       ++frame.edge;
-      if (t.probability <= 0.0) continue;
-      if (st.index[t.target] < 0) {
-        st.index[t.target] = st.lowlink[t.target] = st.next_index++;
-        st.stack.push_back(t.target);
-        st.on_stack[t.target] = true;
-        call_stack.push_back(Frame{t.target, 0});
+      if (prob[k] <= 0.0) continue;
+      const StateId succ = target[k];
+      if (st.index[succ] < 0) {
+        st.index[succ] = st.lowlink[succ] = st.next_index++;
+        st.stack.push_back(succ);
+        st.on_stack[succ] = true;
+        call_stack.push_back(Frame{succ, choice_start[succ]});
         descended = true;
         break;
       }
-      if (st.on_stack[t.target]) {
+      if (st.on_stack[succ]) {
         st.lowlink[frame.state] =
-            std::min(st.lowlink[frame.state], st.index[t.target]);
+            std::min(st.lowlink[frame.state], st.index[succ]);
       }
     }
     if (descended) continue;
@@ -76,15 +80,19 @@ void tarjan(const Dtmc& chain, TarjanState& st, StateId root) {
 
 }  // namespace
 
-std::vector<std::vector<StateId>> bottom_sccs(const Dtmc& chain) {
-  chain.validate();
-  const std::size_t n = chain.num_states();
+std::vector<std::vector<StateId>> bottom_sccs(const CompiledModel& model) {
+  TML_REQUIRE(model.deterministic(),
+              "bottom_sccs: compiled model is not a DTMC");
+  const std::size_t n = model.num_states();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
   TarjanState st;
   st.index.assign(n, -1);
   st.lowlink.assign(n, -1);
   st.on_stack.assign(n, false);
   for (StateId s = 0; s < n; ++s) {
-    if (st.index[s] < 0) tarjan(chain, st, s);
+    if (st.index[s] < 0) tarjan(model, st, s);
   }
 
   // A component is bottom iff no member has a positive edge leaving it.
@@ -92,10 +100,10 @@ std::vector<std::vector<StateId>> bottom_sccs(const Dtmc& chain) {
   for (const auto& component : st.components) {
     bool closed = true;
     for (StateId s : component) {
-      for (const Transition& t : chain.transitions(s)) {
-        if (t.probability > 0.0 &&
+      for (std::uint32_t k = choice_start[s]; k < choice_start[s + 1]; ++k) {
+        if (prob[k] > 0.0 &&
             !std::binary_search(component.begin(), component.end(),
-                                t.target)) {
+                                target[k])) {
           closed = false;
           break;
         }
@@ -107,20 +115,29 @@ std::vector<std::vector<StateId>> bottom_sccs(const Dtmc& chain) {
   return bottoms;
 }
 
+std::vector<std::vector<StateId>> bottom_sccs(const Dtmc& chain) {
+  return bottom_sccs(compile(chain));
+}
+
 std::vector<double> stationary_distribution(
-    const Dtmc& chain, const std::vector<StateId>& component) {
+    const CompiledModel& model, const std::vector<StateId>& component) {
+  TML_REQUIRE(model.deterministic(),
+              "stationary_distribution: compiled model is not a DTMC");
   TML_REQUIRE(!component.empty(), "stationary_distribution: empty component");
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
   const std::size_t k = component.size();
-  std::vector<int> local(chain.num_states(), -1);
+  std::vector<int> local(model.num_states(), -1);
   for (std::size_t i = 0; i < k; ++i) {
     local[component[i]] = static_cast<int>(i);
   }
   // Closedness check.
   for (StateId s : component) {
-    for (const Transition& t : chain.transitions(s)) {
-      TML_REQUIRE(t.probability <= 0.0 || local[t.target] >= 0,
+    for (std::uint32_t t = choice_start[s]; t < choice_start[s + 1]; ++t) {
+      TML_REQUIRE(prob[t] <= 0.0 || local[target[t]] >= 0,
                   "stationary_distribution: component is not closed (edge "
-                      << s << " -> " << t.target << ")");
+                      << s << " -> " << target[t] << ")");
     }
   }
   // Solve π (P − I) = 0 with Σ π = 1: transpose system with the last
@@ -132,9 +149,10 @@ std::vector<double> stationary_distribution(
     a(j, j) -= 1.0;
   }
   for (std::size_t i = 0; i < k; ++i) {
-    for (const Transition& t : chain.transitions(component[i])) {
-      if (t.probability <= 0.0) continue;
-      a(static_cast<std::size_t>(local[t.target]), i) += t.probability;
+    const StateId s = component[i];
+    for (std::uint32_t t = choice_start[s]; t < choice_start[s + 1]; ++t) {
+      if (prob[t] <= 0.0) continue;
+      a(static_cast<std::size_t>(local[target[t]]), i) += prob[t];
     }
   }
   for (std::size_t i = 0; i < k; ++i) a(k - 1, i) = 1.0;
@@ -151,16 +169,21 @@ std::vector<double> stationary_distribution(
   return pi;
 }
 
-std::vector<double> long_run_distribution(const Dtmc& chain) {
-  const auto bottoms = bottom_sccs(chain);
-  std::vector<double> occupancy(chain.num_states(), 0.0);
+std::vector<double> stationary_distribution(
+    const Dtmc& chain, const std::vector<StateId>& component) {
+  return stationary_distribution(compile(chain), component);
+}
+
+std::vector<double> long_run_distribution(const CompiledModel& model) {
+  const auto bottoms = bottom_sccs(model);
+  std::vector<double> occupancy(model.num_states(), 0.0);
   for (const auto& component : bottoms) {
-    StateSet member(chain.num_states(), false);
+    StateSet member(model.num_states(), false);
     for (StateId s : component) member[s] = true;
     const double reach =
-        dtmc_reachability(chain, member)[chain.initial_state()];
+        dtmc_reachability(model, member)[model.initial_state()];
     if (reach <= 0.0) continue;
-    const std::vector<double> pi = stationary_distribution(chain, component);
+    const std::vector<double> pi = stationary_distribution(model, component);
     for (std::size_t i = 0; i < component.size(); ++i) {
       occupancy[component[i]] += reach * pi[i];
     }
@@ -168,15 +191,24 @@ std::vector<double> long_run_distribution(const Dtmc& chain) {
   return occupancy;
 }
 
-double long_run_probability(const Dtmc& chain, const StateSet& states) {
-  TML_REQUIRE(states.size() == chain.num_states(),
+std::vector<double> long_run_distribution(const Dtmc& chain) {
+  return long_run_distribution(compile(chain));
+}
+
+double long_run_probability(const CompiledModel& model,
+                            const StateSet& states) {
+  TML_REQUIRE(states.size() == model.num_states(),
               "long_run_probability: set size mismatch");
-  const std::vector<double> occupancy = long_run_distribution(chain);
+  const std::vector<double> occupancy = long_run_distribution(model);
   double total = 0.0;
-  for (StateId s = 0; s < chain.num_states(); ++s) {
+  for (StateId s = 0; s < model.num_states(); ++s) {
     if (states[s]) total += occupancy[s];
   }
   return total;
+}
+
+double long_run_probability(const Dtmc& chain, const StateSet& states) {
+  return long_run_probability(compile(chain), states);
 }
 
 }  // namespace tml

@@ -10,30 +10,39 @@
 // π_B P|_B = π_B with Σ π_B = 1, and the reach probabilities come from the
 // standard reachability engine. Useful for the WSN setting's long-run
 // questions (e.g. the long-run fraction of time a node spends ignoring).
+//
+// All analyses run on the compiled CSR form (which must be deterministic);
+// the Dtmc overloads compile once and delegate.
 
 #pragma once
 
 #include <vector>
 
+#include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
 
 namespace tml {
 
 /// Bottom strongly connected components of the chain (each returned list
 /// is sorted by state id; components in discovery order).
+std::vector<std::vector<StateId>> bottom_sccs(const CompiledModel& model);
 std::vector<std::vector<StateId>> bottom_sccs(const Dtmc& chain);
 
 /// Stationary distribution of the chain restricted to one BSCC, indexed
 /// like `component`. Throws if the states do not form a closed recurrent
 /// class.
 std::vector<double> stationary_distribution(
+    const CompiledModel& model, const std::vector<StateId>& component);
+std::vector<double> stationary_distribution(
     const Dtmc& chain, const std::vector<StateId>& component);
 
 /// Per-state long-run occupancy from the chain's initial state:
 /// result[s] = long-run fraction of time spent in s.
+std::vector<double> long_run_distribution(const CompiledModel& model);
 std::vector<double> long_run_distribution(const Dtmc& chain);
 
 /// Long-run probability of the state set from the initial state.
+double long_run_probability(const CompiledModel& model, const StateSet& states);
 double long_run_probability(const Dtmc& chain, const StateSet& states);
 
 }  // namespace tml

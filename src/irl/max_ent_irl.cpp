@@ -39,13 +39,17 @@ RandomizedPolicy SoftPolicy::average() const {
   return out;
 }
 
-SoftPolicy soft_value_iteration(const Mdp& mdp,
+SoftPolicy soft_value_iteration(const CompiledModel& model,
                                 std::span<const double> state_rewards,
                                 std::size_t horizon) {
-  TML_REQUIRE(state_rewards.size() == mdp.num_states(),
+  TML_REQUIRE(state_rewards.size() == model.num_states(),
               "soft_value_iteration: reward vector size mismatch");
   TML_REQUIRE(horizon > 0, "soft_value_iteration: zero horizon");
-  const std::size_t n = mdp.num_states();
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
 
   SoftPolicy policy;
   policy.pi.assign(horizon, {});
@@ -53,23 +57,25 @@ SoftPolicy soft_value_iteration(const Mdp& mdp,
   // V at time `horizon` is 0 (no reward after the last step departs).
   std::vector<double> v(n, 0.0);
   std::vector<double> v_prev(n, 0.0);
+  std::vector<double> q;
   for (std::size_t t = horizon; t-- > 0;) {
     auto& slice = policy.pi[t];
     slice.resize(n);
     for (StateId s = 0; s < n; ++s) {
-      const auto& choices = mdp.choices(s);
-      std::vector<double> q(choices.size(), 0.0);
-      for (std::size_t c = 0; c < choices.size(); ++c) {
+      const std::uint32_t begin = row_start[s];
+      const std::uint32_t end = row_start[s + 1];
+      q.assign(end - begin, 0.0);
+      for (std::uint32_t c = begin; c < end; ++c) {
         double expect = 0.0;
-        for (const Transition& tr : choices[c].transitions) {
-          expect += tr.probability * v[tr.target];
+        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+          expect += prob[k] * v[target[k]];
         }
-        q[c] = state_rewards[s] + choices[c].reward + expect;
+        q[c - begin] = state_rewards[s] + model.choice_reward(c) + expect;
       }
       const double lse = log_sum_exp(q);
       v_prev[s] = lse;
-      slice[s].resize(choices.size());
-      for (std::size_t c = 0; c < choices.size(); ++c) {
+      slice[s].resize(q.size());
+      for (std::size_t c = 0; c < q.size(); ++c) {
         slice[s][c] = std::exp(q[c] - lse);
       }
     }
@@ -78,23 +84,34 @@ SoftPolicy soft_value_iteration(const Mdp& mdp,
   return policy;
 }
 
-std::vector<std::vector<double>> state_visitation(const Mdp& mdp,
+SoftPolicy soft_value_iteration(const Mdp& mdp,
+                                std::span<const double> state_rewards,
+                                std::size_t horizon) {
+  return soft_value_iteration(compile(mdp), state_rewards, horizon);
+}
+
+std::vector<std::vector<double>> state_visitation(const CompiledModel& model,
                                                   const SoftPolicy& policy) {
-  const std::size_t n = mdp.num_states();
+  const std::size_t n = model.num_states();
   const std::size_t horizon = policy.horizon();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
   std::vector<std::vector<double>> d(horizon + 1,
                                      std::vector<double>(n, 0.0));
-  d[0][mdp.initial_state()] = 1.0;
+  d[0][model.initial_state()] = 1.0;
   for (std::size_t t = 0; t < horizon; ++t) {
     for (StateId s = 0; s < n; ++s) {
       const double mass = d[t][s];
       if (mass == 0.0) continue;
-      const auto& choices = mdp.choices(s);
-      for (std::size_t c = 0; c < choices.size(); ++c) {
-        const double pc = policy.pi[t][s][c];
+      const std::uint32_t begin = row_start[s];
+      for (std::uint32_t c = begin; c < row_start[s + 1]; ++c) {
+        const double pc = policy.pi[t][s][c - begin];
         if (pc == 0.0) continue;
-        for (const Transition& tr : choices[c].transitions) {
-          d[t + 1][tr.target] += mass * pc * tr.probability;
+        const double scaled = mass * pc;
+        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+          d[t + 1][target[k]] += scaled * prob[k];
         }
       }
     }
@@ -102,19 +119,30 @@ std::vector<std::vector<double>> state_visitation(const Mdp& mdp,
   return d;
 }
 
-std::vector<double> expected_feature_counts(const Mdp& mdp,
+std::vector<std::vector<double>> state_visitation(const Mdp& mdp,
+                                                  const SoftPolicy& policy) {
+  return state_visitation(compile(mdp), policy);
+}
+
+std::vector<double> expected_feature_counts(const CompiledModel& model,
                                             const StateFeatures& features,
                                             const SoftPolicy& policy) {
-  const std::vector<std::vector<double>> d = state_visitation(mdp, policy);
+  const std::vector<std::vector<double>> d = state_visitation(model, policy);
   std::vector<double> counts(features.dim(), 0.0);
   // Departure convention: slices 0..horizon-1 contribute.
   for (std::size_t t = 0; t + 1 < d.size(); ++t) {
-    for (StateId s = 0; s < mdp.num_states(); ++s) {
+    for (StateId s = 0; s < model.num_states(); ++s) {
       if (d[t][s] == 0.0) continue;
       axpy(counts, d[t][s], features.row(s));
     }
   }
   return counts;
+}
+
+std::vector<double> expected_feature_counts(const Mdp& mdp,
+                                            const StateFeatures& features,
+                                            const SoftPolicy& policy) {
+  return expected_feature_counts(compile(mdp), features, policy);
 }
 
 std::vector<double> empirical_feature_counts(const StateFeatures& features,
@@ -142,13 +170,13 @@ std::vector<double> empirical_feature_counts(const StateFeatures& features,
   return counts;
 }
 
-IrlResult fit_to_feature_counts(const Mdp& mdp, const StateFeatures& features,
+IrlResult fit_to_feature_counts(const CompiledModel& model,
+                                const StateFeatures& features,
                                 std::span<const double> target_counts,
                                 const IrlOptions& options,
                                 std::span<const double> theta_init) {
   TML_REQUIRE(target_counts.size() == features.dim(),
               "fit_to_feature_counts: target dim mismatch");
-  mdp.validate();
 
   IrlResult result;
   result.theta.assign(features.dim(), 0.0);
@@ -161,9 +189,9 @@ IrlResult fit_to_feature_counts(const Mdp& mdp, const StateFeatures& features,
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     const std::vector<double> rewards = features.rewards(result.theta);
     const SoftPolicy policy =
-        soft_value_iteration(mdp, rewards, options.horizon);
+        soft_value_iteration(model, rewards, options.horizon);
     const std::vector<double> expected =
-        expected_feature_counts(mdp, features, policy);
+        expected_feature_counts(model, features, policy);
 
     std::vector<double> grad(features.dim(), 0.0);
     for (std::size_t k = 0; k < grad.size(); ++k) {
@@ -188,12 +216,26 @@ IrlResult fit_to_feature_counts(const Mdp& mdp, const StateFeatures& features,
   return result;
 }
 
-IrlResult max_ent_irl(const Mdp& mdp, const StateFeatures& features,
+IrlResult fit_to_feature_counts(const Mdp& mdp, const StateFeatures& features,
+                                std::span<const double> target_counts,
+                                const IrlOptions& options,
+                                std::span<const double> theta_init) {
+  return fit_to_feature_counts(compile(mdp), features, target_counts, options,
+                               theta_init);
+}
+
+IrlResult max_ent_irl(const CompiledModel& model, const StateFeatures& features,
                       const TrajectoryDataset& expert,
                       const IrlOptions& options) {
   const std::vector<double> target =
       empirical_feature_counts(features, expert, options.horizon);
-  return fit_to_feature_counts(mdp, features, target, options);
+  return fit_to_feature_counts(model, features, target, options);
+}
+
+IrlResult max_ent_irl(const Mdp& mdp, const StateFeatures& features,
+                      const TrajectoryDataset& expert,
+                      const IrlOptions& options) {
+  return max_ent_irl(compile(mdp), features, expert, options);
 }
 
 }  // namespace tml

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/irl/features.hpp"
+#include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
 #include "src/mdp/trajectory.hpp"
 
@@ -63,17 +64,27 @@ struct SoftPolicy {
 };
 
 /// Backward pass: soft (log-sum-exp) value iteration for the given state
-/// rewards over `horizon` steps.
+/// rewards over `horizon` steps. Runs over the compiled CSR rows; the Mdp
+/// overload compiles and delegates (the optimizer loop in
+/// fit_to_feature_counts compiles once up front).
+SoftPolicy soft_value_iteration(const CompiledModel& model,
+                                std::span<const double> state_rewards,
+                                std::size_t horizon);
 SoftPolicy soft_value_iteration(const Mdp& mdp,
                                 std::span<const double> state_rewards,
                                 std::size_t horizon);
 
 /// Forward pass: D[t][s] = P(state at time t = s | initial state, policy),
 /// for t = 0..horizon (horizon+1 slices).
+std::vector<std::vector<double>> state_visitation(const CompiledModel& model,
+                                                  const SoftPolicy& policy);
 std::vector<std::vector<double>> state_visitation(const Mdp& mdp,
                                                   const SoftPolicy& policy);
 
 /// Expected feature counts Σ_{t=0}^{T-1} Σ_s D_t(s) f(s) under the policy.
+std::vector<double> expected_feature_counts(const CompiledModel& model,
+                                            const StateFeatures& features,
+                                            const SoftPolicy& policy);
 std::vector<double> expected_feature_counts(const Mdp& mdp,
                                             const StateFeatures& features,
                                             const SoftPolicy& policy);
@@ -91,13 +102,23 @@ std::vector<double> empirical_feature_counts(const StateFeatures& features,
 
 /// Fits Θ so the model's expected feature counts match `target_counts`.
 /// This is the inner loop of IRL; Reward Repair reuses it with the
-/// rule-projected feature counts (Prop. 4).
+/// rule-projected feature counts (Prop. 4). The Mdp overload compiles once;
+/// every gradient iteration then runs backward and forward passes on the
+/// same flat CSR arrays.
+IrlResult fit_to_feature_counts(const CompiledModel& model,
+                                const StateFeatures& features,
+                                std::span<const double> target_counts,
+                                const IrlOptions& options,
+                                std::span<const double> theta_init = {});
 IrlResult fit_to_feature_counts(const Mdp& mdp, const StateFeatures& features,
                                 std::span<const double> target_counts,
                                 const IrlOptions& options,
                                 std::span<const double> theta_init = {});
 
 /// Full max-ent IRL from expert demonstrations.
+IrlResult max_ent_irl(const CompiledModel& model, const StateFeatures& features,
+                      const TrajectoryDataset& expert,
+                      const IrlOptions& options);
 IrlResult max_ent_irl(const Mdp& mdp, const StateFeatures& features,
                       const TrajectoryDataset& expert,
                       const IrlOptions& options);

@@ -1,0 +1,199 @@
+#include "src/mdp/compiled.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tml {
+
+namespace {
+
+constexpr std::size_t kIndexLimit = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+StateSet CompiledModel::states_with_label(const std::string& label) const {
+  for (std::size_t i = 0; i < label_names_.size(); ++i) {
+    if (label_names_[i] == label) return label_sets_[i];
+  }
+  return StateSet(num_states_, false);
+}
+
+void CompiledModel::build_predecessors() const {
+  const std::size_t n = num_states_;
+  // Two passes over the columns with a per-target "last seen source" stamp:
+  // sources are visited in increasing order, so a repeated (s, t) pair —
+  // multiple edges of s hitting t across its choices — is caught by the
+  // stamp and each distinct pair is counted exactly once.
+  constexpr StateId kNone = std::numeric_limits<StateId>::max();
+  std::vector<StateId> last_source(n, kNone);
+  pred_start_.assign(n + 1, 0);
+  for (StateId s = 0; s < n; ++s) {
+    for (std::uint32_t c = row_start_[s]; c < row_start_[s + 1]; ++c) {
+      for (std::uint32_t k = choice_start_[c]; k < choice_start_[c + 1]; ++k) {
+        if (prob_[k] <= 0.0) continue;
+        const StateId t = target_[k];
+        if (last_source[t] == s) continue;
+        last_source[t] = s;
+        ++pred_start_[t + 1];
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) pred_start_[s + 1] += pred_start_[s];
+  pred_.resize(pred_start_[n]);
+  std::vector<std::uint32_t> fill(pred_start_.begin(), pred_start_.end() - 1);
+  std::fill(last_source.begin(), last_source.end(), kNone);
+  for (StateId s = 0; s < n; ++s) {
+    for (std::uint32_t c = row_start_[s]; c < row_start_[s + 1]; ++c) {
+      for (std::uint32_t k = choice_start_[c]; k < choice_start_[c + 1]; ++k) {
+        if (prob_[k] <= 0.0) continue;
+        const StateId t = target_[k];
+        if (last_source[t] == s) continue;
+        last_source[t] = s;
+        pred_[fill[t]++] = s;
+      }
+    }
+  }
+  preds_built_ = true;
+}
+
+CompiledModel compile(const Mdp& mdp) {
+  mdp.validate();
+  const std::size_t n = mdp.num_states();
+
+  CompiledModel out;
+  out.num_states_ = n;
+  out.initial_state_ = mdp.initial_state();
+  out.deterministic_ = false;
+
+  std::size_t num_choices = 0;
+  std::size_t num_transitions = 0;
+  for (StateId s = 0; s < n; ++s) {
+    num_choices += mdp.choices(s).size();
+    for (const Choice& c : mdp.choices(s)) {
+      num_transitions += c.transitions.size();
+    }
+  }
+  TML_REQUIRE(num_choices < kIndexLimit && num_transitions < kIndexLimit,
+              "compile: model exceeds 32-bit index space");
+
+  out.row_start_.reserve(n + 1);
+  out.choice_start_.reserve(num_choices + 1);
+  out.target_.reserve(num_transitions);
+  out.prob_.reserve(num_transitions);
+  out.choice_reward_.reserve(num_choices);
+  out.choice_action_.reserve(num_choices);
+  out.state_reward_ = mdp.state_rewards();
+
+  out.row_start_.push_back(0);
+  out.choice_start_.push_back(0);
+  for (StateId s = 0; s < n; ++s) {
+    for (const Choice& c : mdp.choices(s)) {
+      for (const Transition& t : c.transitions) {
+        out.target_.push_back(t.target);
+        out.prob_.push_back(t.probability);
+      }
+      out.choice_start_.push_back(static_cast<std::uint32_t>(out.target_.size()));
+      out.choice_reward_.push_back(c.reward);
+      out.choice_action_.push_back(c.action);
+    }
+    out.row_start_.push_back(
+        static_cast<std::uint32_t>(out.choice_start_.size() - 1));
+  }
+
+  out.label_names_ = mdp.all_labels();
+  out.label_sets_.reserve(out.label_names_.size());
+  for (const std::string& label : out.label_names_) {
+    out.label_sets_.push_back(mdp.states_with_label(label));
+  }
+  return out;
+}
+
+CompiledModel compile(const Dtmc& chain) {
+  chain.validate();
+  const std::size_t n = chain.num_states();
+
+  CompiledModel out;
+  out.num_states_ = n;
+  out.initial_state_ = chain.initial_state();
+  out.deterministic_ = true;
+
+  std::size_t num_transitions = 0;
+  for (StateId s = 0; s < n; ++s) num_transitions += chain.transitions(s).size();
+  TML_REQUIRE(num_transitions < kIndexLimit,
+              "compile: model exceeds 32-bit index space");
+
+  out.row_start_.reserve(n + 1);
+  out.choice_start_.reserve(n + 1);
+  out.target_.reserve(num_transitions);
+  out.prob_.reserve(num_transitions);
+  out.state_reward_ = chain.state_rewards();
+  out.choice_reward_.assign(n, 0.0);
+  out.choice_action_.assign(n, 0);
+
+  out.row_start_.push_back(0);
+  out.choice_start_.push_back(0);
+  for (StateId s = 0; s < n; ++s) {
+    for (const Transition& t : chain.transitions(s)) {
+      out.target_.push_back(t.target);
+      out.prob_.push_back(t.probability);
+    }
+    out.choice_start_.push_back(static_cast<std::uint32_t>(out.target_.size()));
+    out.row_start_.push_back(static_cast<std::uint32_t>(s) + 1);
+  }
+
+  out.label_names_ = chain.all_labels();
+  out.label_sets_.reserve(out.label_names_.size());
+  for (const std::string& label : out.label_names_) {
+    out.label_sets_.push_back(chain.states_with_label(label));
+  }
+  return out;
+}
+
+CompiledModel CompiledModel::make_absorbing(const StateSet& absorb) const {
+  TML_REQUIRE(absorb.size() == num_states_,
+              "make_absorbing: set size mismatch");
+  CompiledModel out;
+  out.num_states_ = num_states_;
+  out.initial_state_ = initial_state_;
+  out.deterministic_ = deterministic_;
+  out.state_reward_ = state_reward_;
+  out.label_names_ = label_names_;
+  out.label_sets_ = label_sets_;
+
+  out.row_start_.reserve(num_states_ + 1);
+  out.choice_start_.reserve(num_choices() + 1);
+  out.target_.reserve(num_transitions());
+  out.prob_.reserve(num_transitions());
+  out.choice_reward_.reserve(num_choices());
+  out.choice_action_.reserve(num_choices());
+
+  out.row_start_.push_back(0);
+  out.choice_start_.push_back(0);
+  for (StateId s = 0; s < num_states_; ++s) {
+    if (absorb[s]) {
+      out.target_.push_back(s);
+      out.prob_.push_back(1.0);
+      out.choice_start_.push_back(
+          static_cast<std::uint32_t>(out.target_.size()));
+      out.choice_reward_.push_back(0.0);
+      out.choice_action_.push_back(0);
+    } else {
+      for (std::uint32_t c = row_start_[s]; c < row_start_[s + 1]; ++c) {
+        for (std::uint32_t k = choice_start_[c]; k < choice_start_[c + 1];
+             ++k) {
+          out.target_.push_back(target_[k]);
+          out.prob_.push_back(prob_[k]);
+        }
+        out.choice_start_.push_back(
+            static_cast<std::uint32_t>(out.target_.size()));
+        out.choice_reward_.push_back(choice_reward_[c]);
+        out.choice_action_.push_back(choice_action_[c]);
+      }
+    }
+    out.row_start_.push_back(
+        static_cast<std::uint32_t>(out.choice_start_.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace tml

@@ -1,0 +1,148 @@
+// Compiled sparse model core.
+//
+// Every numeric algorithm in the library — PCTL checking, Prob0/Prob1 graph
+// precomputation, value/policy iteration, steady-state analysis, statistical
+// model checking, max-entropy IRL — iterates the transition structure of an
+// MDP/DTMC. The builder types in model.hpp store that structure as nested
+// `std::vector<Choice>` → `std::vector<Transition>` rows: convenient to
+// construct and mutate (repair code perturbs individual rows), but each hot
+// loop chases two levels of heap pointers per state and rebuilds predecessor
+// lists per call.
+//
+// `CompiledModel` lowers a validated `Mdp` or `Dtmc` into a flat CSR layout:
+//
+//     row_start[s]     .. row_start[s+1]      choices of state s
+//     choice_start[c]  .. choice_start[c+1]   transitions of choice c
+//     target[k], prob[k]                      contiguous columns
+//
+// plus a CSC-style predecessor structure (built lazily on first use, with
+// duplicate (pred, succ) pairs removed, and reused by every backward
+// closure), per-state and per-choice reward arrays, and per-label state
+// bitsets. Laziness keeps compile() cheap for the engines that never walk
+// backwards (bounded operators, simulation, SMC, IRL).
+//
+// `compile()` is the single boundary between the builder world and the
+// numeric kernels: construction, export and repair keep mutating `Mdp` /
+// `Dtmc`, and every solver/checker entry point lowers once and then runs on
+// the flat arrays. A `Dtmc` compiles to the one-choice-per-state special
+// case with `deterministic() == true`.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+class CompiledModel {
+ public:
+  // -- structure -----------------------------------------------------------
+
+  std::size_t num_states() const { return num_states_; }
+  std::size_t num_choices() const { return choice_start_.size() - 1; }
+  std::size_t num_transitions() const { return target_.size(); }
+  StateId initial_state() const { return initial_state_; }
+
+  /// True when the source model was a DTMC (exactly one choice per state,
+  /// and choice index c == state id s).
+  bool deterministic() const { return deterministic_; }
+
+  /// Global choice-index range [first_choice(s), last_choice(s)) of state s.
+  std::uint32_t first_choice(StateId s) const { return row_start_[s]; }
+  std::uint32_t last_choice(StateId s) const { return row_start_[s + 1]; }
+  std::uint32_t num_choices_of(StateId s) const {
+    return row_start_[s + 1] - row_start_[s];
+  }
+
+  /// Transition columns of global choice c.
+  std::span<const StateId> targets(std::uint32_t c) const {
+    return {target_.data() + choice_start_[c],
+            choice_start_[c + 1] - choice_start_[c]};
+  }
+  std::span<const double> probabilities(std::uint32_t c) const {
+    return {prob_.data() + choice_start_[c],
+            choice_start_[c + 1] - choice_start_[c]};
+  }
+
+  /// Transition row of a DTMC state (requires deterministic()).
+  std::span<const StateId> row_targets(StateId s) const { return targets(s); }
+  std::span<const double> row_probabilities(StateId s) const {
+    return probabilities(s);
+  }
+
+  /// Raw offset/column arrays for kernels that index directly.
+  const std::vector<std::uint32_t>& row_start() const { return row_start_; }
+  const std::vector<std::uint32_t>& choice_start() const {
+    return choice_start_;
+  }
+  const std::vector<StateId>& target() const { return target_; }
+  const std::vector<double>& prob() const { return prob_; }
+
+  // -- predecessors (cached CSC-style structure) ---------------------------
+
+  /// Distinct predecessor states of s over all positive-probability edges.
+  /// Built on first call and cached (not thread-safe, like the rest of the
+  /// library).
+  std::span<const StateId> predecessors(StateId s) const {
+    if (!preds_built_) build_predecessors();
+    return {pred_.data() + pred_start_[s], pred_start_[s + 1] - pred_start_[s]};
+  }
+
+  // -- rewards -------------------------------------------------------------
+
+  double state_reward(StateId s) const { return state_reward_[s]; }
+  double choice_reward(std::uint32_t c) const { return choice_reward_[c]; }
+  const std::vector<double>& state_rewards() const { return state_reward_; }
+  const std::vector<double>& choice_rewards() const { return choice_reward_; }
+
+  ActionId choice_action(std::uint32_t c) const { return choice_action_[c]; }
+
+  // -- labels --------------------------------------------------------------
+
+  /// Bitset of states carrying `label` (all-false if never used).
+  StateSet states_with_label(const std::string& label) const;
+  const std::vector<std::string>& label_names() const { return label_names_; }
+
+  // -- derived models ------------------------------------------------------
+
+  /// Copy with every state in `absorb` replaced by a single zero-reward
+  /// self-loop choice. This is how until operators restrict to P[F goal]:
+  /// states outside stay ∪ goal can never contribute and are made absorbing.
+  CompiledModel make_absorbing(const StateSet& absorb) const;
+
+  friend CompiledModel compile(const Mdp& mdp);
+  friend CompiledModel compile(const Dtmc& chain);
+
+ private:
+  void build_predecessors() const;
+
+  std::size_t num_states_ = 0;
+  StateId initial_state_ = 0;
+  bool deterministic_ = false;
+
+  std::vector<std::uint32_t> row_start_;     // size num_states + 1
+  std::vector<std::uint32_t> choice_start_;  // size num_choices + 1
+  std::vector<StateId> target_;              // size num_transitions
+  std::vector<double> prob_;                 // size num_transitions
+
+  std::vector<double> state_reward_;      // size num_states
+  std::vector<double> choice_reward_;     // size num_choices
+  std::vector<ActionId> choice_action_;   // size num_choices
+
+  mutable bool preds_built_ = false;
+  mutable std::vector<std::uint32_t> pred_start_;  // size num_states + 1
+  mutable std::vector<StateId> pred_;  // deduplicated predecessor lists
+
+  std::vector<std::string> label_names_;
+  std::vector<StateSet> label_sets_;  // per label, bitset over states
+};
+
+/// Lowers a validated model into the flat form. Throws ModelError on
+/// structurally invalid input (delegates to model.validate()).
+CompiledModel compile(const Mdp& mdp);
+CompiledModel compile(const Dtmc& chain);
+
+}  // namespace tml

@@ -6,35 +6,11 @@ namespace tml {
 
 namespace {
 
-/// Predecessor lists over all choice edges (probability > 0).
-std::vector<std::vector<StateId>> predecessors(const Mdp& mdp) {
-  std::vector<std::vector<StateId>> preds(mdp.num_states());
-  for (StateId s = 0; s < mdp.num_states(); ++s) {
-    for (const Choice& c : mdp.choices(s)) {
-      for (const Transition& t : c.transitions) {
-        if (t.probability > 0.0) preds[t.target].push_back(s);
-      }
-    }
-  }
-  return preds;
-}
-
-std::vector<std::vector<StateId>> predecessors(const Dtmc& chain) {
-  std::vector<std::vector<StateId>> preds(chain.num_states());
-  for (StateId s = 0; s < chain.num_states(); ++s) {
-    for (const Transition& t : chain.transitions(s)) {
-      if (t.probability > 0.0) preds[t.target].push_back(s);
-    }
-  }
-  return preds;
-}
-
-/// Backward closure of `seeds` over the predecessor relation. States in
-/// `blocked` (when provided) are never added: a path that must pass through
-/// a blocked state does not count. Used with blocked = targets to compute
-/// "can fail before reaching the target".
-StateSet backward_closure(const std::vector<std::vector<StateId>>& preds,
-                          const StateSet& seeds,
+/// Backward closure of `seeds` over the compiled model's cached predecessor
+/// structure. States in `blocked` (when provided) are never added: a path
+/// that must pass through a blocked state does not count. Used with
+/// blocked = targets to compute "can fail before reaching the target".
+StateSet backward_closure(const CompiledModel& model, const StateSet& seeds,
                           const StateSet* blocked = nullptr) {
   StateSet reached = seeds;
   std::deque<StateId> queue;
@@ -44,7 +20,7 @@ StateSet backward_closure(const std::vector<std::vector<StateId>>& preds,
   while (!queue.empty()) {
     const StateId s = queue.front();
     queue.pop_front();
-    for (StateId p : preds[s]) {
+    for (StateId p : model.predecessors(s)) {
       if (!reached[p] && (blocked == nullptr || !(*blocked)[p])) {
         reached[p] = true;
         queue.push_back(p);
@@ -54,18 +30,27 @@ StateSet backward_closure(const std::vector<std::vector<StateId>>& preds,
   return reached;
 }
 
-}  // namespace
-
-StateSet reachable_existential(const Mdp& mdp, const StateSet& targets) {
-  TML_REQUIRE(targets.size() == mdp.num_states(),
-              "reachable_existential: target set size mismatch");
-  return backward_closure(predecessors(mdp), targets);
+void require_size(const CompiledModel& model, const StateSet& targets,
+                  const char* where) {
+  TML_REQUIRE(targets.size() == model.num_states(),
+              where << ": target set size mismatch");
 }
 
-StateSet avoid_certain(const Mdp& mdp, const StateSet& targets) {
-  TML_REQUIRE(targets.size() == mdp.num_states(),
-              "avoid_certain: target set size mismatch");
-  const std::size_t n = mdp.num_states();
+}  // namespace
+
+StateSet reachable_existential(const CompiledModel& model,
+                               const StateSet& targets) {
+  require_size(model, targets, "reachable_existential");
+  return backward_closure(model, targets);
+}
+
+StateSet avoid_certain(const CompiledModel& model, const StateSet& targets) {
+  require_size(model, targets, "avoid_certain");
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
   // Greatest fixpoint: start from S \ T, repeatedly remove states with no
   // choice whose support stays inside the candidate set.
   StateSet inside = complement(targets);
@@ -75,10 +60,10 @@ StateSet avoid_certain(const Mdp& mdp, const StateSet& targets) {
     for (StateId s = 0; s < n; ++s) {
       if (!inside[s]) continue;
       bool has_safe_choice = false;
-      for (const Choice& c : mdp.choices(s)) {
+      for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
         bool all_inside = true;
-        for (const Transition& t : c.transitions) {
-          if (t.probability > 0.0 && !inside[t.target]) {
+        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+          if (prob[k] > 0.0 && !inside[target[k]]) {
             all_inside = false;
             break;
           }
@@ -97,10 +82,14 @@ StateSet avoid_certain(const Mdp& mdp, const StateSet& targets) {
   return inside;
 }
 
-StateSet prob1_existential(const Mdp& mdp, const StateSet& targets) {
-  TML_REQUIRE(targets.size() == mdp.num_states(),
-              "prob1_existential: target set size mismatch");
-  const std::size_t n = mdp.num_states();
+StateSet prob1_existential(const CompiledModel& model,
+                           const StateSet& targets) {
+  require_size(model, targets, "prob1_existential");
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
   // de Alfaro's nested fixpoint. Outer: over-approximation u of Prob1E.
   // Inner: states that can reach T via choices whose support stays in u.
   StateSet u(n, true);
@@ -111,13 +100,14 @@ StateSet prob1_existential(const Mdp& mdp, const StateSet& targets) {
       inner_changed = false;
       for (StateId s = 0; s < n; ++s) {
         if (v[s] || !u[s]) continue;
-        for (const Choice& c : mdp.choices(s)) {
+        for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
           bool support_in_u = true;
           bool hits_v = false;
-          for (const Transition& t : c.transitions) {
-            if (t.probability <= 0.0) continue;
-            if (!u[t.target]) support_in_u = false;
-            if (v[t.target]) hits_v = true;
+          for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1];
+               ++k) {
+            if (prob[k] <= 0.0) continue;
+            if (!u[target[k]]) support_in_u = false;
+            if (v[target[k]]) hits_v = true;
           }
           if (support_in_u && hits_v) {
             v[s] = true;
@@ -132,72 +122,95 @@ StateSet prob1_existential(const Mdp& mdp, const StateSet& targets) {
   }
 }
 
-StateSet prob1_universal(const Mdp& mdp, const StateSet& targets) {
+StateSet prob1_universal(const CompiledModel& model, const StateSet& targets) {
+  require_size(model, targets, "prob1_universal");
   // Pmin(F T)(s) < 1 iff some scheduler reaches, with positive probability
   // and WITHOUT passing through T, the region where T can be avoided
   // forever. Target states themselves always count as probability 1.
-  const StateSet avoid = avoid_certain(mdp, targets);
-  const StateSet can_escape =
-      backward_closure(predecessors(mdp), avoid, &targets);
+  const StateSet avoid = avoid_certain(model, targets);
+  const StateSet can_escape = backward_closure(model, avoid, &targets);
   return complement(can_escape);
 }
 
-StateSet dtmc_reach_positive(const Dtmc& chain, const StateSet& targets) {
-  TML_REQUIRE(targets.size() == chain.num_states(),
-              "dtmc_reach_positive: target set size mismatch");
-  return backward_closure(predecessors(chain), targets);
+StateSet dtmc_reach_positive(const CompiledModel& model,
+                             const StateSet& targets) {
+  require_size(model, targets, "dtmc_reach_positive");
+  return backward_closure(model, targets);
 }
 
-StateSet dtmc_prob0(const Dtmc& chain, const StateSet& targets) {
-  return complement(dtmc_reach_positive(chain, targets));
+StateSet dtmc_prob0(const CompiledModel& model, const StateSet& targets) {
+  return complement(dtmc_reach_positive(model, targets));
 }
 
-StateSet dtmc_prob1(const Dtmc& chain, const StateSet& targets) {
-  const StateSet zero = dtmc_prob0(chain, targets);
+StateSet dtmc_prob1(const CompiledModel& model, const StateSet& targets) {
+  const StateSet zero = dtmc_prob0(model, targets);
   // P(F T)(s) = 1 iff s cannot reach a probability-0 state before passing
   // through T (paths that hit T first have already succeeded).
-  const StateSet can_fail =
-      backward_closure(predecessors(chain), zero, &targets);
+  const StateSet can_fail = backward_closure(model, zero, &targets);
   return complement(can_fail);
 }
 
-StateSet forward_reachable(const Mdp& mdp, StateId from) {
-  TML_REQUIRE(from < mdp.num_states(), "forward_reachable: state out of range");
-  StateSet reached(mdp.num_states(), false);
+StateSet forward_reachable(const CompiledModel& model, StateId from) {
+  TML_REQUIRE(from < model.num_states(),
+              "forward_reachable: state out of range");
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+  StateSet reached(model.num_states(), false);
   std::deque<StateId> queue{from};
   reached[from] = true;
   while (!queue.empty()) {
     const StateId s = queue.front();
     queue.pop_front();
-    for (const Choice& c : mdp.choices(s)) {
-      for (const Transition& t : c.transitions) {
-        if (t.probability > 0.0 && !reached[t.target]) {
-          reached[t.target] = true;
-          queue.push_back(t.target);
-        }
+    for (std::uint32_t k = choice_start[row_start[s]];
+         k < choice_start[row_start[s + 1]]; ++k) {
+      if (prob[k] > 0.0 && !reached[target[k]]) {
+        reached[target[k]] = true;
+        queue.push_back(target[k]);
       }
     }
   }
   return reached;
 }
 
+// ---------------------------------------------------------------------------
+// Builder-facing wrappers: compile once, run the CSR kernel.
+
+StateSet reachable_existential(const Mdp& mdp, const StateSet& targets) {
+  return reachable_existential(compile(mdp), targets);
+}
+
+StateSet avoid_certain(const Mdp& mdp, const StateSet& targets) {
+  return avoid_certain(compile(mdp), targets);
+}
+
+StateSet prob1_existential(const Mdp& mdp, const StateSet& targets) {
+  return prob1_existential(compile(mdp), targets);
+}
+
+StateSet prob1_universal(const Mdp& mdp, const StateSet& targets) {
+  return prob1_universal(compile(mdp), targets);
+}
+
+StateSet dtmc_reach_positive(const Dtmc& chain, const StateSet& targets) {
+  return dtmc_reach_positive(compile(chain), targets);
+}
+
+StateSet dtmc_prob0(const Dtmc& chain, const StateSet& targets) {
+  return dtmc_prob0(compile(chain), targets);
+}
+
+StateSet dtmc_prob1(const Dtmc& chain, const StateSet& targets) {
+  return dtmc_prob1(compile(chain), targets);
+}
+
+StateSet forward_reachable(const Mdp& mdp, StateId from) {
+  return forward_reachable(compile(mdp), from);
+}
+
 StateSet forward_reachable(const Dtmc& chain, StateId from) {
-  TML_REQUIRE(from < chain.num_states(),
-              "forward_reachable: state out of range");
-  StateSet reached(chain.num_states(), false);
-  std::deque<StateId> queue{from};
-  reached[from] = true;
-  while (!queue.empty()) {
-    const StateId s = queue.front();
-    queue.pop_front();
-    for (const Transition& t : chain.transitions(s)) {
-      if (t.probability > 0.0 && !reached[t.target]) {
-        reached[t.target] = true;
-        queue.push_back(t.target);
-      }
-    }
-  }
-  return reached;
+  return forward_reachable(compile(chain), from);
 }
 
 }  // namespace tml

@@ -411,40 +411,4 @@ Mdp Dtmc::as_mdp() const {
   return mdp;
 }
 
-// ---------------------------------------------------------------------------
-// StateSet helpers
-
-StateSet complement(const StateSet& set) {
-  StateSet out(set.size());
-  for (std::size_t i = 0; i < set.size(); ++i) out[i] = !set[i];
-  return out;
-}
-
-StateSet set_union(const StateSet& a, const StateSet& b) {
-  TML_REQUIRE(a.size() == b.size(), "set_union: size mismatch");
-  StateSet out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] || b[i];
-  return out;
-}
-
-StateSet set_intersection(const StateSet& a, const StateSet& b) {
-  TML_REQUIRE(a.size() == b.size(), "set_intersection: size mismatch");
-  StateSet out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] && b[i];
-  return out;
-}
-
-std::size_t count(const StateSet& set) {
-  std::size_t n = 0;
-  for (bool b : set) n += b ? 1 : 0;
-  return n;
-}
-
-bool empty(const StateSet& set) {
-  for (bool b : set) {
-    if (b) return false;
-  }
-  return true;
-}
-
 }  // namespace tml

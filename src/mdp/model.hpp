@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/bitset.hpp"
 #include "src/common/error.hpp"
 
 namespace tml {
@@ -40,8 +41,10 @@ struct Choice {
   std::vector<Transition> transitions;
 };
 
-/// Set of states identified by a bit per state.
-using StateSet = std::vector<bool>;
+/// Set of states identified by a bit per state (word-packed; see
+/// src/common/bitset.hpp for the set-algebra helpers complement /
+/// set_union / set_intersection / count / empty).
+using StateSet = Bitset;
 
 /// Memoryless deterministic policy: for each state, the index of the chosen
 /// entry in that state's choice list (NOT the action id — a state may enable
@@ -221,15 +224,5 @@ class Dtmc {
   std::vector<std::string> label_names_;
   std::unordered_map<std::string, std::uint32_t> label_ids_;
 };
-
-/// Complement of a state set.
-StateSet complement(const StateSet& set);
-/// Union / intersection helpers.
-StateSet set_union(const StateSet& a, const StateSet& b);
-StateSet set_intersection(const StateSet& a, const StateSet& b);
-/// Number of true bits.
-std::size_t count(const StateSet& set);
-/// True if no bit is set.
-bool empty(const StateSet& set);
 
 }  // namespace tml

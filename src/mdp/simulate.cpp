@@ -4,13 +4,10 @@ namespace tml {
 
 namespace {
 
-StateId sample_successor(const Choice& choice, Rng& rng) {
-  std::vector<double> weights;
-  weights.reserve(choice.transitions.size());
-  for (const Transition& t : choice.transitions) {
-    weights.push_back(t.probability);
-  }
-  return choice.transitions[rng.categorical(weights)].target;
+/// Draws a successor of global choice `c` straight from the CSR spans.
+StateId sample_successor(const CompiledModel& model, std::uint32_t c,
+                         Rng& rng) {
+  return model.targets(c)[rng.categorical(model.probabilities(c))];
 }
 
 bool is_absorbing(const SimulationOptions& options, StateId s) {
@@ -20,21 +17,49 @@ bool is_absorbing(const SimulationOptions& options, StateId s) {
 
 }  // namespace
 
-Trajectory simulate(const Mdp& mdp, const Policy& policy, Rng& rng,
+Trajectory simulate(const CompiledModel& model, const Policy& policy, Rng& rng,
                     const SimulationOptions& options) {
-  TML_REQUIRE(policy.choice_index.size() == mdp.num_states(),
+  TML_REQUIRE(policy.choice_index.size() == model.num_states(),
               "simulate: policy size mismatch");
   Trajectory trajectory;
-  trajectory.initial_state = mdp.initial_state();
-  StateId current = mdp.initial_state();
+  trajectory.initial_state = model.initial_state();
+  StateId current = model.initial_state();
   for (std::size_t step = 0; step < options.max_steps; ++step) {
     if (is_absorbing(options, current)) break;
     const std::uint32_t c = policy.at(current);
-    const auto& choices = mdp.choices(current);
-    TML_REQUIRE(c < choices.size(), "simulate: policy chooses missing choice");
-    const Choice& choice = choices[c];
-    const StateId next = sample_successor(choice, rng);
-    trajectory.steps.push_back(Step{current, c, choice.action, next});
+    TML_REQUIRE(c < model.num_choices_of(current),
+                "simulate: policy chooses missing choice");
+    const std::uint32_t global = model.first_choice(current) + c;
+    const StateId next = sample_successor(model, global, rng);
+    trajectory.steps.push_back(
+        Step{current, c, model.choice_action(global), next});
+    current = next;
+  }
+  return trajectory;
+}
+
+Trajectory simulate(const Mdp& mdp, const Policy& policy, Rng& rng,
+                    const SimulationOptions& options) {
+  return simulate(compile(mdp), policy, rng, options);
+}
+
+Trajectory simulate(const CompiledModel& model, const RandomizedPolicy& policy,
+                    Rng& rng, const SimulationOptions& options) {
+  TML_REQUIRE(policy.choice_probabilities.size() == model.num_states(),
+              "simulate: policy size mismatch");
+  Trajectory trajectory;
+  trajectory.initial_state = model.initial_state();
+  StateId current = model.initial_state();
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    if (is_absorbing(options, current)) break;
+    const auto& probs = policy.choice_probabilities[current];
+    TML_REQUIRE(probs.size() == model.num_choices_of(current),
+                "simulate: choice distribution size mismatch");
+    const std::uint32_t c = static_cast<std::uint32_t>(rng.categorical(probs));
+    const std::uint32_t global = model.first_choice(current) + c;
+    const StateId next = sample_successor(model, global, rng);
+    trajectory.steps.push_back(
+        Step{current, c, model.choice_action(global), next});
     current = next;
   }
   return trajectory;
@@ -42,32 +67,33 @@ Trajectory simulate(const Mdp& mdp, const Policy& policy, Rng& rng,
 
 Trajectory simulate(const Mdp& mdp, const RandomizedPolicy& policy, Rng& rng,
                     const SimulationOptions& options) {
-  TML_REQUIRE(policy.choice_probabilities.size() == mdp.num_states(),
-              "simulate: policy size mismatch");
-  Trajectory trajectory;
-  trajectory.initial_state = mdp.initial_state();
-  StateId current = mdp.initial_state();
-  for (std::size_t step = 0; step < options.max_steps; ++step) {
-    if (is_absorbing(options, current)) break;
-    const auto& probs = policy.choice_probabilities[current];
-    const auto& choices = mdp.choices(current);
-    TML_REQUIRE(probs.size() == choices.size(),
-                "simulate: choice distribution size mismatch");
-    const std::uint32_t c = static_cast<std::uint32_t>(rng.categorical(probs));
-    const Choice& choice = choices[c];
-    const StateId next = sample_successor(choice, rng);
-    trajectory.steps.push_back(Step{current, c, choice.action, next});
-    current = next;
+  return simulate(compile(mdp), policy, rng, options);
+}
+
+TrajectoryDataset simulate_dataset(const CompiledModel& model,
+                                   const Policy& policy, Rng& rng,
+                                   std::size_t count,
+                                   const SimulationOptions& options) {
+  TrajectoryDataset dataset;
+  for (std::size_t i = 0; i < count; ++i) {
+    dataset.add(simulate(model, policy, rng, options));
   }
-  return trajectory;
+  return dataset;
 }
 
 TrajectoryDataset simulate_dataset(const Mdp& mdp, const Policy& policy,
                                    Rng& rng, std::size_t count,
                                    const SimulationOptions& options) {
+  return simulate_dataset(compile(mdp), policy, rng, count, options);
+}
+
+TrajectoryDataset simulate_dataset(const CompiledModel& model,
+                                   const RandomizedPolicy& policy, Rng& rng,
+                                   std::size_t count,
+                                   const SimulationOptions& options) {
   TrajectoryDataset dataset;
   for (std::size_t i = 0; i < count; ++i) {
-    dataset.add(simulate(mdp, policy, rng, options));
+    dataset.add(simulate(model, policy, rng, options));
   }
   return dataset;
 }
@@ -76,25 +102,28 @@ TrajectoryDataset simulate_dataset(const Mdp& mdp,
                                    const RandomizedPolicy& policy, Rng& rng,
                                    std::size_t count,
                                    const SimulationOptions& options) {
-  TrajectoryDataset dataset;
-  for (std::size_t i = 0; i < count; ++i) {
-    dataset.add(simulate(mdp, policy, rng, options));
+  return simulate_dataset(compile(mdp), policy, rng, count, options);
+}
+
+double trajectory_reward(const CompiledModel& model,
+                         const Trajectory& trajectory,
+                         bool count_final_state) {
+  double total = 0.0;
+  for (const Step& step : trajectory.steps) {
+    total += model.state_reward(step.state);
+    TML_REQUIRE(step.choice < model.num_choices_of(step.state),
+                "trajectory_reward: invalid choice index");
+    total += model.choice_reward(model.first_choice(step.state) + step.choice);
   }
-  return dataset;
+  if (count_final_state) {
+    total += model.state_reward(trajectory.final_state());
+  }
+  return total;
 }
 
 double trajectory_reward(const Mdp& mdp, const Trajectory& trajectory,
                          bool count_final_state) {
-  double total = 0.0;
-  for (const Step& step : trajectory.steps) {
-    total += mdp.state_reward(step.state);
-    const auto& choices = mdp.choices(step.state);
-    TML_REQUIRE(step.choice < choices.size(),
-                "trajectory_reward: invalid choice index");
-    total += choices[step.choice].reward;
-  }
-  if (count_final_state) total += mdp.state_reward(trajectory.final_state());
-  return total;
+  return trajectory_reward(compile(mdp), trajectory, count_final_state);
 }
 
 }  // namespace tml

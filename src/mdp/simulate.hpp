@@ -3,10 +3,16 @@
 // Used to generate synthetic trace datasets (the paper's "message routing
 // traces" and "car traces from a vehicle simulator") and as an independent
 // sanity check of the analytic model checker in tests.
+//
+// Simulation runs on the compiled CSR form: successors are drawn straight
+// from the per-choice probability spans, with no per-step weight vector.
+// The Mdp overloads compile and delegate — callers generating many
+// trajectories from one model should compile once themselves.
 
 #pragma once
 
 #include "src/common/rng.hpp"
+#include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
 #include "src/mdp/trajectory.hpp"
 
@@ -21,16 +27,28 @@ struct SimulationOptions {
 
 /// Simulates one trajectory from the MDP's initial state under a
 /// deterministic policy.
+Trajectory simulate(const CompiledModel& model, const Policy& policy, Rng& rng,
+                    const SimulationOptions& options = {});
 Trajectory simulate(const Mdp& mdp, const Policy& policy, Rng& rng,
                     const SimulationOptions& options = {});
 
 /// Simulates one trajectory under a randomized policy.
+Trajectory simulate(const CompiledModel& model, const RandomizedPolicy& policy,
+                    Rng& rng, const SimulationOptions& options = {});
 Trajectory simulate(const Mdp& mdp, const RandomizedPolicy& policy, Rng& rng,
                     const SimulationOptions& options = {});
 
 /// Simulates `count` trajectories into a dataset.
+TrajectoryDataset simulate_dataset(const CompiledModel& model,
+                                   const Policy& policy, Rng& rng,
+                                   std::size_t count,
+                                   const SimulationOptions& options = {});
 TrajectoryDataset simulate_dataset(const Mdp& mdp, const Policy& policy,
                                    Rng& rng, std::size_t count,
+                                   const SimulationOptions& options = {});
+TrajectoryDataset simulate_dataset(const CompiledModel& model,
+                                   const RandomizedPolicy& policy, Rng& rng,
+                                   std::size_t count,
                                    const SimulationOptions& options = {});
 TrajectoryDataset simulate_dataset(const Mdp& mdp,
                                    const RandomizedPolicy& policy, Rng& rng,
@@ -41,6 +59,9 @@ TrajectoryDataset simulate_dataset(const Mdp& mdp,
 /// choices) accumulated along a trajectory. The final state's state reward
 /// is only counted if `count_final_state` is set (reachability-reward
 /// semantics accumulate up to, excluding, the target).
+double trajectory_reward(const CompiledModel& model,
+                         const Trajectory& trajectory,
+                         bool count_final_state = false);
 double trajectory_reward(const Mdp& mdp, const Trajectory& trajectory,
                          bool count_final_state = false);
 

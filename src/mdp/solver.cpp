@@ -12,12 +12,16 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-double choice_q(const Mdp& mdp, StateId s, const Choice& c,
+/// Q-value of global choice c of state s over the CSR columns.
+double choice_q(const CompiledModel& m, StateId s, std::uint32_t c,
                 std::span<const double> values, double discount) {
-  double q = mdp.state_reward(s) + c.reward;
-  for (const Transition& t : c.transitions) {
-    if (std::isinf(values[t.target])) return kInf;
-    q += discount * t.probability * values[t.target];
+  const auto& choice_start = m.choice_start();
+  const auto& target = m.target();
+  const auto& prob = m.prob();
+  double q = m.state_reward(s) + m.choice_reward(c);
+  for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+    if (std::isinf(values[target[k]])) return kInf;
+    q += discount * prob[k] * values[target[k]];
   }
   return q;
 }
@@ -28,13 +32,14 @@ bool better(double a, double b, Objective objective) {
 
 }  // namespace
 
-SolveResult value_iteration_discounted(const Mdp& mdp, double discount,
-                                       Objective objective,
+SolveResult value_iteration_discounted(const CompiledModel& model,
+                                       double discount, Objective objective,
                                        const SolverOptions& options) {
   TML_REQUIRE(discount > 0.0 && discount < 1.0,
               "value_iteration_discounted: discount must be in (0,1), got "
                   << discount);
-  const std::size_t n = mdp.num_states();
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
   SolveResult result;
   result.values.assign(n, 0.0);
   result.policy.choice_index.assign(n, 0);
@@ -43,14 +48,15 @@ SolveResult value_iteration_discounted(const Mdp& mdp, double discount,
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     double delta = 0.0;
     for (StateId s = 0; s < n; ++s) {
-      const auto& choices = mdp.choices(s);
-      double best = choice_q(mdp, s, choices[0], result.values, discount);
+      const std::uint32_t begin = row_start[s];
+      const std::uint32_t end = row_start[s + 1];
+      double best = choice_q(model, s, begin, result.values, discount);
       std::uint32_t best_c = 0;
-      for (std::uint32_t c = 1; c < choices.size(); ++c) {
-        const double q = choice_q(mdp, s, choices[c], result.values, discount);
+      for (std::uint32_t c = begin + 1; c < end; ++c) {
+        const double q = choice_q(model, s, c, result.values, discount);
         if (better(q, best, objective)) {
           best = q;
-          best_c = c;
+          best_c = c - begin;
         }
       }
       next[s] = best;
@@ -71,32 +77,41 @@ SolveResult value_iteration_discounted(const Mdp& mdp, double discount,
   return result;
 }
 
-SolveResult policy_iteration_discounted(const Mdp& mdp, double discount,
-                                        Objective objective,
+SolveResult value_iteration_discounted(const Mdp& mdp, double discount,
+                                       Objective objective,
+                                       const SolverOptions& options) {
+  return value_iteration_discounted(compile(mdp), discount, objective,
+                                    options);
+}
+
+SolveResult policy_iteration_discounted(const CompiledModel& model,
+                                        double discount, Objective objective,
                                         const SolverOptions& options) {
   TML_REQUIRE(discount > 0.0 && discount < 1.0,
               "policy_iteration_discounted: discount must be in (0,1)");
-  mdp.validate();
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
   SolveResult result;
-  result.policy = mdp.first_choice_policy();
+  result.policy.choice_index.assign(n, 0);
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
     // Exact evaluation of the current policy.
-    result.values = evaluate_policy_discounted(mdp, result.policy, discount);
+    result.values = evaluate_policy_discounted(model, result.policy, discount);
     // Greedy improvement.
     Policy improved = result.policy;
-    for (StateId s = 0; s < mdp.num_states(); ++s) {
-      const auto& choices = mdp.choices(s);
-      double best = choice_q(mdp, s, choices[result.policy.at(s)],
+    for (StateId s = 0; s < n; ++s) {
+      const std::uint32_t begin = row_start[s];
+      const std::uint32_t end = row_start[s + 1];
+      double best = choice_q(model, s, begin + result.policy.at(s),
                              result.values, discount);
-      for (std::uint32_t c = 0; c < choices.size(); ++c) {
-        const double q = choice_q(mdp, s, choices[c], result.values, discount);
+      for (std::uint32_t c = begin; c < end; ++c) {
+        const double q = choice_q(model, s, c, result.values, discount);
         // Strict improvement with a tolerance guard against cycling.
         if (objective == Objective::kMaximize ? q > best + 1e-12
                                               : q < best - 1e-12) {
           best = q;
-          improved.choice_index[s] = c;
+          improved.choice_index[s] = c - begin;
         }
       }
     }
@@ -113,19 +128,28 @@ SolveResult policy_iteration_discounted(const Mdp& mdp, double discount,
   return result;
 }
 
-SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
+SolveResult policy_iteration_discounted(const Mdp& mdp, double discount,
+                                        Objective objective,
+                                        const SolverOptions& options) {
+  return policy_iteration_discounted(compile(mdp), discount, objective,
+                                     options);
+}
+
+SolveResult total_reward_to_target(const CompiledModel& model,
+                                   const StateSet& targets,
                                    Objective objective,
                                    const SolverOptions& options) {
-  TML_REQUIRE(targets.size() == mdp.num_states(),
+  TML_REQUIRE(targets.size() == model.num_states(),
               "total_reward_to_target: target set size mismatch");
-  const std::size_t n = mdp.num_states();
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
 
   // Finite-value region: Rmin needs some scheduler reaching almost surely
   // (Prob1E); Rmax needs all schedulers reaching almost surely (Prob1A) —
   // PRISM semantics, where a path missing the target carries infinite reward.
   const StateSet finite = objective == Objective::kMinimize
-                              ? prob1_existential(mdp, targets)
-                              : prob1_universal(mdp, targets);
+                              ? prob1_existential(model, targets)
+                              : prob1_universal(model, targets);
 
   SolveResult result;
   result.values.assign(n, 0.0);
@@ -140,15 +164,16 @@ SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
     double delta = 0.0;
     for (StateId s = 0; s < n; ++s) {
       if (targets[s] || !finite[s]) continue;
-      const auto& choices = mdp.choices(s);
+      const std::uint32_t begin = row_start[s];
+      const std::uint32_t end = row_start[s + 1];
       double best = kInf * (objective == Objective::kMinimize ? 1.0 : -1.0);
       std::uint32_t best_c = result.policy.choice_index[s];
       bool any = false;
-      for (std::uint32_t c = 0; c < choices.size(); ++c) {
-        const double q = choice_q(mdp, s, choices[c], result.values, 1.0);
+      for (std::uint32_t c = begin; c < end; ++c) {
+        const double q = choice_q(model, s, c, result.values, 1.0);
         if (!any || better(q, best, objective)) {
           best = q;
-          best_c = c;
+          best_c = c - begin;
           any = true;
         }
       }
@@ -174,19 +199,33 @@ SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
   return result;
 }
 
+SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
+                                   Objective objective,
+                                   const SolverOptions& options) {
+  return total_reward_to_target(compile(mdp), targets, objective, options);
+}
+
 std::vector<std::vector<double>> q_values_discounted(
-    const Mdp& mdp, std::span<const double> values, double discount) {
-  TML_REQUIRE(values.size() == mdp.num_states(),
+    const CompiledModel& model, std::span<const double> values,
+    double discount) {
+  TML_REQUIRE(values.size() == model.num_states(),
               "q_values_discounted: value vector size mismatch");
-  std::vector<std::vector<double>> q(mdp.num_states());
-  for (StateId s = 0; s < mdp.num_states(); ++s) {
-    const auto& choices = mdp.choices(s);
-    q[s].resize(choices.size());
-    for (std::uint32_t c = 0; c < choices.size(); ++c) {
-      q[s][c] = choice_q(mdp, s, choices[c], values, discount);
+  const auto& row_start = model.row_start();
+  std::vector<std::vector<double>> q(model.num_states());
+  for (StateId s = 0; s < model.num_states(); ++s) {
+    const std::uint32_t begin = row_start[s];
+    const std::uint32_t end = row_start[s + 1];
+    q[s].resize(end - begin);
+    for (std::uint32_t c = begin; c < end; ++c) {
+      q[s][c - begin] = choice_q(model, s, c, values, discount);
     }
   }
   return q;
+}
+
+std::vector<std::vector<double>> q_values_discounted(
+    const Mdp& mdp, std::span<const double> values, double discount) {
+  return q_values_discounted(compile(mdp), values, discount);
 }
 
 Policy greedy_policy(const std::vector<std::vector<double>>& q,
@@ -204,31 +243,51 @@ Policy greedy_policy(const std::vector<std::vector<double>>& q,
   return policy;
 }
 
-std::vector<double> evaluate_policy_discounted(const Mdp& mdp,
+std::vector<double> evaluate_policy_discounted(const CompiledModel& model,
                                                const Policy& policy,
                                                double discount) {
   TML_REQUIRE(discount > 0.0 && discount < 1.0,
               "evaluate_policy_discounted: discount out of (0,1)");
-  const Dtmc chain = mdp.induced_dtmc(policy);
-  const std::size_t n = chain.num_states();
-  // Solve (I − γP) v = r.
+  TML_REQUIRE(policy.choice_index.size() == model.num_states(),
+              "evaluate_policy_discounted: policy size mismatch");
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+  // Solve (I − γP) v = r over the policy-selected rows.
   Matrix a = Matrix::identity(n);
   std::vector<double> b(n);
   for (StateId s = 0; s < n; ++s) {
-    b[s] = chain.state_reward(s);
-    for (const Transition& t : chain.transitions(s)) {
-      a(s, t.target) -= discount * t.probability;
+    const std::uint32_t c = row_start[s] + policy.at(s);
+    TML_REQUIRE(c < row_start[s + 1],
+                "evaluate_policy_discounted: policy chooses missing choice "
+                    << policy.at(s) << " in state " << s);
+    b[s] = model.state_reward(s) + model.choice_reward(c);
+    for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+      a(s, target[k]) -= discount * prob[k];
     }
   }
   return solve_linear_system(std::move(a), std::move(b));
 }
 
-std::vector<double> dtmc_total_reward(const Dtmc& chain,
+std::vector<double> evaluate_policy_discounted(const Mdp& mdp,
+                                               const Policy& policy,
+                                               double discount) {
+  return evaluate_policy_discounted(compile(mdp), policy, discount);
+}
+
+std::vector<double> dtmc_total_reward(const CompiledModel& model,
                                       const StateSet& targets) {
-  TML_REQUIRE(targets.size() == chain.num_states(),
+  TML_REQUIRE(model.deterministic(),
+              "dtmc_total_reward: compiled model is not a DTMC");
+  TML_REQUIRE(targets.size() == model.num_states(),
               "dtmc_total_reward: target set size mismatch");
-  const std::size_t n = chain.num_states();
-  const StateSet certain = dtmc_prob1(chain, targets);
+  const std::size_t n = model.num_states();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+  const StateSet certain = dtmc_prob1(model, targets);
 
   // Unknowns: non-target states that reach the target almost surely. Such
   // states only transition into other almost-sure states, so the restricted
@@ -252,14 +311,14 @@ std::vector<double> dtmc_total_reward(const Dtmc& chain,
   std::vector<double> b(unknowns.size());
   for (std::size_t i = 0; i < unknowns.size(); ++i) {
     const StateId s = unknowns[i];
-    b[i] = chain.state_reward(s);
-    for (const Transition& t : chain.transitions(s)) {
-      if (targets[t.target]) continue;  // pinned to 0
-      TML_ASSERT(index[t.target] >= 0,
+    b[i] = model.state_reward(s);
+    for (std::uint32_t k = choice_start[s]; k < choice_start[s + 1]; ++k) {
+      if (targets[target[k]]) continue;  // pinned to 0
+      TML_ASSERT(index[target[k]] >= 0,
                  "dtmc_total_reward: almost-sure state leaks into "
                  "non-almost-sure state "
-                     << t.target);
-      a(i, static_cast<std::size_t>(index[t.target])) -= t.probability;
+                     << target[k]);
+      a(i, static_cast<std::size_t>(index[target[k]])) -= prob[k];
     }
   }
   const std::vector<double> x = solve_linear_system(std::move(a), std::move(b));
@@ -267,13 +326,23 @@ std::vector<double> dtmc_total_reward(const Dtmc& chain,
   return values;
 }
 
-std::vector<double> dtmc_reachability(const Dtmc& chain,
+std::vector<double> dtmc_total_reward(const Dtmc& chain,
                                       const StateSet& targets) {
-  TML_REQUIRE(targets.size() == chain.num_states(),
+  return dtmc_total_reward(compile(chain), targets);
+}
+
+std::vector<double> dtmc_reachability(const CompiledModel& model,
+                                      const StateSet& targets) {
+  TML_REQUIRE(model.deterministic(),
+              "dtmc_reachability: compiled model is not a DTMC");
+  TML_REQUIRE(targets.size() == model.num_states(),
               "dtmc_reachability: target set size mismatch");
-  const std::size_t n = chain.num_states();
-  const StateSet zero = dtmc_prob0(chain, targets);
-  const StateSet one = dtmc_prob1(chain, targets);
+  const std::size_t n = model.num_states();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+  const StateSet zero = dtmc_prob0(model, targets);
+  const StateSet one = dtmc_prob1(model, targets);
 
   std::vector<int> index(n, -1);
   std::vector<StateId> unknowns;
@@ -294,17 +363,22 @@ std::vector<double> dtmc_reachability(const Dtmc& chain,
   std::vector<double> b(unknowns.size(), 0.0);
   for (std::size_t i = 0; i < unknowns.size(); ++i) {
     const StateId s = unknowns[i];
-    for (const Transition& t : chain.transitions(s)) {
-      if (one[t.target]) {
-        b[i] += t.probability;
-      } else if (!zero[t.target]) {
-        a(i, static_cast<std::size_t>(index[t.target])) -= t.probability;
+    for (std::uint32_t k = choice_start[s]; k < choice_start[s + 1]; ++k) {
+      if (one[target[k]]) {
+        b[i] += prob[k];
+      } else if (!zero[target[k]]) {
+        a(i, static_cast<std::size_t>(index[target[k]])) -= prob[k];
       }
     }
   }
   const std::vector<double> x = solve_linear_system(std::move(a), std::move(b));
   for (std::size_t i = 0; i < unknowns.size(); ++i) values[unknowns[i]] = x[i];
   return values;
+}
+
+std::vector<double> dtmc_reachability(const Dtmc& chain,
+                                      const StateSet& targets) {
+  return dtmc_reachability(compile(chain), targets);
 }
 
 }  // namespace tml

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
 
 namespace tml {
@@ -40,7 +41,11 @@ struct SolveResult {
 };
 
 /// Discounted value iteration: V(s) = opt_a [ r(s) + r(s,a) + γ Σ P V ].
-/// `discount` must lie in (0, 1).
+/// `discount` must lie in (0, 1). The Mdp overload compiles and delegates;
+/// callers solving the same model repeatedly should compile once themselves.
+SolveResult value_iteration_discounted(const CompiledModel& model,
+                                       double discount, Objective objective,
+                                       const SolverOptions& options = {});
 SolveResult value_iteration_discounted(const Mdp& mdp, double discount,
                                        Objective objective,
                                        const SolverOptions& options = {});
@@ -50,6 +55,9 @@ SolveResult value_iteration_discounted(const Mdp& mdp, double discount,
 /// Terminates in finitely many iterations with the exact optimum — used as
 /// an oracle against value iteration in tests and faster on models where
 /// VI's γ-contraction is slow.
+SolveResult policy_iteration_discounted(const CompiledModel& model,
+                                        double discount, Objective objective,
+                                        const SolverOptions& options = {});
 SolveResult policy_iteration_discounted(const Mdp& mdp, double discount,
                                         Objective objective,
                                         const SolverOptions& options = {});
@@ -59,6 +67,10 @@ SolveResult policy_iteration_discounted(const Mdp& mdp, double discount,
 /// are not reached with probability 1 under the optimizing behaviour have
 /// infinite expected reward; the solver reports +inf for them (using a
 /// reachability precomputation).
+SolveResult total_reward_to_target(const CompiledModel& model,
+                                   const StateSet& targets,
+                                   Objective objective,
+                                   const SolverOptions& options = {});
 SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
                                    Objective objective,
                                    const SolverOptions& options = {});
@@ -66,6 +78,9 @@ SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
 /// Q-values for the discounted criterion at a given value function:
 /// Q(s, c) = r(s) + r(s,c) + γ Σ_t P(t|s,c) V(t).
 /// Indexed [state][choice].
+std::vector<std::vector<double>> q_values_discounted(
+    const CompiledModel& model, std::span<const double> values,
+    double discount);
 std::vector<std::vector<double>> q_values_discounted(
     const Mdp& mdp, std::span<const double> values, double discount);
 
@@ -75,7 +90,12 @@ Policy greedy_policy(const std::vector<std::vector<double>>& q,
                      Objective objective);
 
 /// Exact policy evaluation for the discounted criterion by direct linear
-/// solve on the induced chain.
+/// solve on the policy-selected rows (the induced chain is never
+/// materialized — the CSR rows of the chosen choices feed the system
+/// directly).
+std::vector<double> evaluate_policy_discounted(const CompiledModel& model,
+                                               const Policy& policy,
+                                               double discount);
 std::vector<double> evaluate_policy_discounted(const Mdp& mdp,
                                                const Policy& policy,
                                                double discount);
@@ -83,11 +103,15 @@ std::vector<double> evaluate_policy_discounted(const Mdp& mdp,
 /// Expected total reward of a DTMC until reaching `targets` (value 0 at
 /// targets), by direct linear solve. States that reach the target with
 /// probability < 1 get +inf.
+std::vector<double> dtmc_total_reward(const CompiledModel& model,
+                                      const StateSet& targets);
 std::vector<double> dtmc_total_reward(const Dtmc& chain,
                                       const StateSet& targets);
 
 /// Probability of eventually reaching `targets` in a DTMC (linear solve with
 /// prob0/prob1 graph preprocessing).
+std::vector<double> dtmc_reachability(const CompiledModel& model,
+                                      const StateSet& targets);
 std::vector<double> dtmc_reachability(const Dtmc& chain,
                                       const StateSet& targets);
 
