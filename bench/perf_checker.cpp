@@ -11,7 +11,10 @@
 
 #include "src/casestudies/wsn.hpp"
 #include "src/checker/check.hpp"
+#include "src/checker/reachability.hpp"
+#include "src/checker/smc.hpp"
 #include "src/common/matrix.hpp"
+#include "src/common/parallel.hpp"
 #include "src/logic/parser.hpp"
 #include "src/mdp/compiled.hpp"
 #include "src/mdp/solver.hpp"
@@ -198,6 +201,49 @@ void BM_MdpWsnCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MdpWsnCheck)->Arg(3)->Arg(5)->Arg(8)->Arg(12);
+
+/// SMC thread sweep: the Chernoff budget is sharded over the pool; the
+/// result is bitwise identical at every point of the sweep.
+void BM_SmcThreads(benchmark::State& state) {
+  const CompiledModel model = compile(grid_chain(16));
+  const StateFormulaPtr f = parse_pctl("P<=0.9 [ true U<=64 \"goal\" ]");
+  SmcOptions options;
+  options.epsilon = 0.02;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smc_check(model, *f, options));
+  }
+}
+BENCHMARK(BM_SmcThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Value-iteration thread sweep on a grid large enough to split into many
+/// chunks (64×64 = 4096 states = 64 chunks at the default grain).
+void BM_GridVIThreads(benchmark::State& state) {
+  const CompiledModel model = compile(grid_chain(64));
+  const StateSet goal = model.states_with_label("goal");
+  SolverOptions options;
+  options.tolerance = 1e-8;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mdp_reachability(model, goal, Objective::kMaximize, options));
+  }
+}
+BENCHMARK(BM_GridVIThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Bounded-until sweep thread scaling on the same grid.
+void BM_BoundedUntilThreads(benchmark::State& state) {
+  const CompiledModel model = compile(grid_chain(64));
+  const StateSet goal = model.states_with_label("goal");
+  const StateSet all(model.num_states(), true);
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dtmc_bounded_until(model, all, goal, 128, threads));
+  }
+}
+BENCHMARK(BM_BoundedUntilThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 void BM_PctlParse(benchmark::State& state) {
   const std::string text =

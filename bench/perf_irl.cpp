@@ -9,6 +9,29 @@
 namespace tml {
 namespace {
 
+/// Synthetic n-state random-walk MDP with two choices per state — the car
+/// model has only 11 states (single-chunk), so the thread sweep needs a
+/// state space that actually splits across workers.
+Mdp line_mdp(std::size_t n) {
+  Mdp mdp(n);
+  for (StateId s = 0; s < n; ++s) {
+    const StateId left = s == 0 ? s : s - 1;
+    const StateId right = s + 1 == n ? s : s + 1;
+    mdp.add_choice(s, "left", {Transition{left, 0.8}, Transition{s, 0.2}});
+    mdp.add_choice(s, "right", {Transition{right, 0.7}, Transition{s, 0.3}});
+  }
+  return mdp;
+}
+
+StateFeatures line_features(std::size_t n) {
+  StateFeatures features(n, 3);
+  for (StateId s = 0; s < n; ++s) {
+    const double x = static_cast<double>(s) / static_cast<double>(n);
+    features.set_row(s, {x, 1.0 - x, s % 7 == 0 ? 1.0 : 0.0});
+  }
+  return features;
+}
+
 void BM_SoftValueIteration(benchmark::State& state) {
   const Mdp car = build_car_mdp();
   const StateFeatures features = car_features(car);
@@ -60,6 +83,26 @@ void BM_FullIrl(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullIrl)->Arg(100)->Arg(500);
+
+/// Thread sweep over one full IRL gradient evaluation (backward pass +
+/// forward pass + expected counts) on a 4096-state synthetic MDP.
+void BM_IrlGradientThreads(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const Mdp mdp = line_mdp(n);
+  const CompiledModel model = compile(mdp);
+  const StateFeatures features = line_features(n);
+  const std::vector<double> theta{0.4, 0.1, 0.6};
+  const std::vector<double> rewards = features.rewards(theta);
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const SoftPolicy policy = soft_value_iteration(model, rewards, 16,
+                                                   threads);
+    benchmark::DoNotOptimize(
+        expected_feature_counts(model, features, policy, threads));
+  }
+}
+BENCHMARK(BM_IrlGradientThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace tml

@@ -68,6 +68,22 @@ void BM_NelderMead(benchmark::State& state) {
 }
 BENCHMARK(BM_NelderMead)->Arg(2)->Arg(4)->Arg(8);
 
+/// Multi-start thread sweep: 8 independent local solves fan out over the
+/// pool; the ordered reduction keeps the argmin identical at every point.
+void BM_MultiStartThreads(benchmark::State& state) {
+  const Problem p = repair_problem(8);
+  SolveOptions options;
+  options.num_starts = 8;
+  options.max_inner_iterations = 400;
+  options.max_outer_iterations = 6;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve(p, options));
+  }
+}
+BENCHMARK(BM_MultiStartThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
 void BM_NumericGradientOverhead(benchmark::State& state) {
   // Same problem without analytic gradients: measures the finite-difference
   // tax the Q-constraint repair pays.

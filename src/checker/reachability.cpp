@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/common/parallel.hpp"
 #include "src/mdp/graph.hpp"
 #include "src/mdp/solver.hpp"
 
@@ -53,24 +54,31 @@ std::vector<double> mdp_reachability(const CompiledModel& model,
   bool converged = false;
   std::size_t iterations = 0;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    double delta = 0.0;
-    for (StateId s = 0; s < n; ++s) {
-      if (zero[s] || one[s]) continue;
-      double best = objective == Objective::kMaximize ? 0.0 : 1.0;
-      for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
-        double q = 0.0;
-        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
-          q += prob[k] * values[target[k]];
-        }
-        if (objective == Objective::kMaximize) {
-          best = std::max(best, q);
-        } else {
-          best = std::min(best, q);
-        }
-      }
-      next[s] = best;
-      delta = std::max(delta, std::abs(next[s] - values[s]));
-    }
+    const double delta = parallel_transform_reduce(
+        std::size_t{0}, n, kDefaultGrain, 0.0,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          double local = 0.0;
+          for (StateId s = chunk_begin; s < chunk_end; ++s) {
+            if (zero[s] || one[s]) continue;
+            double best = objective == Objective::kMaximize ? 0.0 : 1.0;
+            for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+              double q = 0.0;
+              for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1];
+                   ++k) {
+                q += prob[k] * values[target[k]];
+              }
+              if (objective == Objective::kMaximize) {
+                best = std::max(best, q);
+              } else {
+                best = std::min(best, q);
+              }
+            }
+            next[s] = best;
+            local = std::max(local, std::abs(next[s] - values[s]));
+          }
+          return local;
+        },
+        [](double a, double b) { return std::max(a, b); }, options.threads);
     values.swap(next);
     iterations = iter + 1;
     if (delta < options.tolerance) {
@@ -94,7 +102,8 @@ std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
 std::vector<double> mdp_bounded_until(const CompiledModel& model,
                                       const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
-                                      Objective objective) {
+                                      Objective objective,
+                                      std::size_t threads) {
   const std::size_t n = model.num_states();
   TML_REQUIRE(stay.size() == n && goal.size() == n,
               "mdp_bounded_until: set size mismatch");
@@ -108,29 +117,35 @@ std::vector<double> mdp_bounded_until(const CompiledModel& model,
   }
   std::vector<double> next = values;
   for (std::size_t k = 0; k < bound; ++k) {
-    for (StateId s = 0; s < n; ++s) {
-      if (goal[s]) {
-        next[s] = 1.0;
-        continue;
-      }
-      if (!stay[s]) {
-        next[s] = 0.0;
-        continue;
-      }
-      double best = objective == Objective::kMaximize ? 0.0 : 1.0;
-      for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
-        double q = 0.0;
-        for (std::uint32_t t = choice_start[c]; t < choice_start[c + 1]; ++t) {
-          q += prob[t] * values[target[t]];
-        }
-        if (objective == Objective::kMaximize) {
-          best = std::max(best, q);
-        } else {
-          best = std::min(best, q);
-        }
-      }
-      next[s] = best;
-    }
+    parallel_for(
+        0, n, kDefaultGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          for (StateId s = chunk_begin; s < chunk_end; ++s) {
+            if (goal[s]) {
+              next[s] = 1.0;
+              continue;
+            }
+            if (!stay[s]) {
+              next[s] = 0.0;
+              continue;
+            }
+            double best = objective == Objective::kMaximize ? 0.0 : 1.0;
+            for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+              double q = 0.0;
+              for (std::uint32_t t = choice_start[c]; t < choice_start[c + 1];
+                   ++t) {
+                q += prob[t] * values[target[t]];
+              }
+              if (objective == Objective::kMaximize) {
+                best = std::max(best, q);
+              } else {
+                best = std::min(best, q);
+              }
+            }
+            next[s] = best;
+          }
+        },
+        threads);
     values.swap(next);
   }
   return values;
@@ -138,14 +153,15 @@ std::vector<double> mdp_bounded_until(const CompiledModel& model,
 
 std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
-                                      Objective objective) {
-  return mdp_bounded_until(compile(mdp), stay, goal, bound, objective);
+                                      Objective objective,
+                                      std::size_t threads) {
+  return mdp_bounded_until(compile(mdp), stay, goal, bound, objective, threads);
 }
 
 std::vector<double> dtmc_bounded_until(const CompiledModel& model,
                                        const StateSet& stay,
-                                       const StateSet& goal,
-                                       std::size_t bound) {
+                                       const StateSet& goal, std::size_t bound,
+                                       std::size_t threads) {
   TML_REQUIRE(model.deterministic(),
               "dtmc_bounded_until: compiled model is not a DTMC");
   const std::size_t n = model.num_states();
@@ -160,30 +176,36 @@ std::vector<double> dtmc_bounded_until(const CompiledModel& model,
   }
   std::vector<double> next = values;
   for (std::size_t k = 0; k < bound; ++k) {
-    for (StateId s = 0; s < n; ++s) {
-      if (goal[s]) {
-        next[s] = 1.0;
-        continue;
-      }
-      if (!stay[s]) {
-        next[s] = 0.0;
-        continue;
-      }
-      double q = 0.0;
-      for (std::uint32_t t = choice_start[s]; t < choice_start[s + 1]; ++t) {
-        q += prob[t] * values[target[t]];
-      }
-      next[s] = q;
-    }
+    parallel_for(
+        0, n, kDefaultGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          for (StateId s = chunk_begin; s < chunk_end; ++s) {
+            if (goal[s]) {
+              next[s] = 1.0;
+              continue;
+            }
+            if (!stay[s]) {
+              next[s] = 0.0;
+              continue;
+            }
+            double q = 0.0;
+            for (std::uint32_t t = choice_start[s]; t < choice_start[s + 1];
+                 ++t) {
+              q += prob[t] * values[target[t]];
+            }
+            next[s] = q;
+          }
+        },
+        threads);
     values.swap(next);
   }
   return values;
 }
 
 std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
-                                       const StateSet& goal,
-                                       std::size_t bound) {
-  return dtmc_bounded_until(compile(chain), stay, goal, bound);
+                                       const StateSet& goal, std::size_t bound,
+                                       std::size_t threads) {
+  return dtmc_bounded_until(compile(chain), stay, goal, bound, threads);
 }
 
 std::vector<double> dtmc_until(const CompiledModel& model, const StateSet& stay,
@@ -210,7 +232,8 @@ std::vector<double> mdp_until(const Mdp& mdp, const StateSet& stay,
 }
 
 std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
-                                           std::size_t horizon) {
+                                           std::size_t horizon,
+                                           std::size_t threads) {
   TML_REQUIRE(model.deterministic(),
               "dtmc_cumulative_reward: compiled model is not a DTMC");
   const std::size_t n = model.num_states();
@@ -220,26 +243,34 @@ std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
   std::vector<double> values(n, 0.0);
   std::vector<double> next(n, 0.0);
   for (std::size_t k = 0; k < horizon; ++k) {
-    for (StateId s = 0; s < n; ++s) {
-      double q = model.state_reward(s);
-      for (std::uint32_t t = choice_start[s]; t < choice_start[s + 1]; ++t) {
-        q += prob[t] * values[target[t]];
-      }
-      next[s] = q;
-    }
+    parallel_for(
+        0, n, kDefaultGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          for (StateId s = chunk_begin; s < chunk_end; ++s) {
+            double q = model.state_reward(s);
+            for (std::uint32_t t = choice_start[s]; t < choice_start[s + 1];
+                 ++t) {
+              q += prob[t] * values[target[t]];
+            }
+            next[s] = q;
+          }
+        },
+        threads);
     values.swap(next);
   }
   return values;
 }
 
 std::vector<double> dtmc_cumulative_reward(const Dtmc& chain,
-                                           std::size_t horizon) {
-  return dtmc_cumulative_reward(compile(chain), horizon);
+                                           std::size_t horizon,
+                                           std::size_t threads) {
+  return dtmc_cumulative_reward(compile(chain), horizon, threads);
 }
 
 std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
                                           std::size_t horizon,
-                                          Objective objective) {
+                                          Objective objective,
+                                          std::size_t threads) {
   const std::size_t n = model.num_states();
   const auto& row_start = model.row_start();
   const auto& choice_start = model.choice_start();
@@ -248,30 +279,37 @@ std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
   std::vector<double> values(n, 0.0);
   std::vector<double> next(n, 0.0);
   for (std::size_t k = 0; k < horizon; ++k) {
-    for (StateId s = 0; s < n; ++s) {
-      bool first = true;
-      double best = 0.0;
-      for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
-        double q = model.state_reward(s) + model.choice_reward(c);
-        for (std::uint32_t t = choice_start[c]; t < choice_start[c + 1]; ++t) {
-          q += prob[t] * values[target[t]];
-        }
-        if (first || (objective == Objective::kMaximize ? q > best
-                                                        : q < best)) {
-          best = q;
-          first = false;
-        }
-      }
-      next[s] = best;
-    }
+    parallel_for(
+        0, n, kDefaultGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          for (StateId s = chunk_begin; s < chunk_end; ++s) {
+            bool first = true;
+            double best = 0.0;
+            for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+              double q = model.state_reward(s) + model.choice_reward(c);
+              for (std::uint32_t t = choice_start[c]; t < choice_start[c + 1];
+                   ++t) {
+                q += prob[t] * values[target[t]];
+              }
+              if (first ||
+                  (objective == Objective::kMaximize ? q > best : q < best)) {
+                best = q;
+                first = false;
+              }
+            }
+            next[s] = best;
+          }
+        },
+        threads);
     values.swap(next);
   }
   return values;
 }
 
 std::vector<double> mdp_cumulative_reward(const Mdp& mdp, std::size_t horizon,
-                                          Objective objective) {
-  return mdp_cumulative_reward(compile(mdp), horizon, objective);
+                                          Objective objective,
+                                          std::size_t threads) {
+  return mdp_cumulative_reward(compile(mdp), horizon, objective, threads);
 }
 
 }  // namespace tml

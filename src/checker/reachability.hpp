@@ -31,22 +31,27 @@ std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
 /// Per-state step-bounded reachability-style until values for MDPs:
 /// opt over schedulers of P[ stay U<=k goal ] where `stay`/`goal` are the
 /// satisfaction sets of the until operands.
+/// The `threads` parameter on the bounded/cumulative engines selects the
+/// parallelism of the per-state Jacobi sweeps (0 = TML_THREADS / hardware);
+/// results are bitwise identical for every thread count.
 std::vector<double> mdp_bounded_until(const CompiledModel& model,
                                       const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
-                                      Objective objective);
+                                      Objective objective,
+                                      std::size_t threads = 0);
 std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
-                                      Objective objective);
+                                      Objective objective,
+                                      std::size_t threads = 0);
 
 /// DTMC step-bounded until.
 std::vector<double> dtmc_bounded_until(const CompiledModel& model,
                                        const StateSet& stay,
-                                       const StateSet& goal,
-                                       std::size_t bound);
+                                       const StateSet& goal, std::size_t bound,
+                                       std::size_t threads = 0);
 std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
-                                       const StateSet& goal,
-                                       std::size_t bound);
+                                       const StateSet& goal, std::size_t bound,
+                                       std::size_t threads = 0);
 
 /// Unbounded constrained reachability P[ stay U goal ] for DTMCs, by making
 /// the escape region absorbing and running linear-system reachability.
@@ -65,13 +70,17 @@ std::vector<double> mdp_until(const Mdp& mdp, const StateSet& stay,
 
 /// Expected cumulative reward over the first `horizon` steps.
 std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
-                                           std::size_t horizon);
+                                           std::size_t horizon,
+                                           std::size_t threads = 0);
 std::vector<double> dtmc_cumulative_reward(const Dtmc& chain,
-                                           std::size_t horizon);
+                                           std::size_t horizon,
+                                           std::size_t threads = 0);
 std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
                                           std::size_t horizon,
-                                          Objective objective);
+                                          Objective objective,
+                                          std::size_t threads = 0);
 std::vector<double> mdp_cumulative_reward(const Mdp& mdp, std::size_t horizon,
-                                          Objective objective);
+                                          Objective objective,
+                                          std::size_t threads = 0);
 
 }  // namespace tml

@@ -1,8 +1,10 @@
 #include "src/checker/smc.hpp"
 
 #include <cmath>
+#include <numeric>
 
 #include "src/checker/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace tml {
 
@@ -19,9 +21,20 @@ namespace {
 
 /// One simulation step of a deterministic compiled model: for a DTMC the
 /// choice index equals the state id, so the state's transition row is the
-/// CSR probability span itself — it feeds categorical() with no copy.
+/// CSR probability span itself. The inverse-CDF walk skips categorical()'s
+/// per-call weight validation and total — compile() already guarantees a
+/// stochastic row, so one uniform draw against the running prefix sum
+/// suffices (this loop is the entire per-sample cost of SMC).
 StateId step(const CompiledModel& model, StateId current, Rng& rng) {
-  return model.targets(current)[rng.categorical(model.probabilities(current))];
+  const std::span<const double> row = model.probabilities(current);
+  const std::span<const StateId> targets = model.targets(current);
+  const double r = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+    acc += row[i];
+    if (r < acc) return targets[i];
+  }
+  return targets[row.size() - 1];
 }
 
 }  // namespace
@@ -88,25 +101,63 @@ SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
   result.confidence = 1.0 - options.delta;
   result.samples = chernoff_sample_size(options.epsilon, options.delta);
 
-  Rng rng(options.seed);
-  std::size_t hits = 0;
-  for (std::size_t i = 0; i < result.samples; ++i) {
-    if (sample_path_satisfies(model, path, left, right, options.max_steps,
-                              rng)) {
-      ++hits;
-    }
-  }
-  result.estimate =
-      static_cast<double>(hits) / static_cast<double>(result.samples);
+  // The budget is sharded into fixed-size blocks, each drawing from an
+  // independent child stream of `seed`. The shard layout depends only on
+  // (samples, shard_size), never on the thread count, so the hit counts —
+  // and everything derived from them — are bitwise identical whether the
+  // shards run serially or across any number of workers.
+  const std::size_t shard = std::max<std::size_t>(1, options.shard_size);
+  const std::size_t num_shards = chunk_count(0, result.samples, shard);
+  std::vector<std::uint32_t> hits(num_shards, 0);
+  const Rng root(options.seed);
+  parallel_for(
+      0, result.samples, shard,
+      [&](std::size_t begin, std::size_t end) {
+        const std::size_t s = begin / shard;
+        Rng rng = root.split(s);
+        std::uint32_t h = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (sample_path_satisfies(model, path, left, right,
+                                    options.max_steps, rng)) {
+            ++h;
+          }
+        }
+        hits[s] = h;
+      },
+      options.threads);
+
+  const std::size_t total = std::accumulate(hits.begin(), hits.end(),
+                                            std::size_t{0});
+  const double n = static_cast<double>(result.samples);
+  result.estimate = static_cast<double>(total) / n;
 
   if (formula.kind() == StateFormula::Kind::kProb) {
     result.satisfied =
         compare(result.estimate, formula.comparison(), formula.bound());
-    result.decisive =
-        std::abs(result.estimate - formula.bound()) > options.epsilon;
+    // Certainty scan in shard order: after `drawn` samples with `acc` hits,
+    // the final estimate is confined to [acc/n, (acc + n − drawn)/n]. The
+    // verdict is decisive as soon as that whole interval clears the
+    // ε-neighbourhood of the bound (at the last shard this degenerates to
+    // the classical |p̂ − b| > ε check).
+    std::size_t acc = 0;
+    std::size_t drawn = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      acc += hits[s];
+      drawn += std::min(shard, result.samples - drawn);
+      const double lo = static_cast<double>(acc) / n;
+      const double hi =
+          static_cast<double>(acc + (result.samples - drawn)) / n;
+      if (lo > formula.bound() + options.epsilon ||
+          hi < formula.bound() - options.epsilon) {
+        result.decisive = true;
+        result.decided_after = drawn;
+        break;
+      }
+    }
   } else {
     result.satisfied = true;
     result.decisive = true;
+    result.decided_after = result.samples;
   }
   return result;
 }

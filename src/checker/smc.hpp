@@ -32,18 +32,29 @@ struct SmcOptions {
   double delta = 0.02;          ///< failure probability of the bound
   std::size_t max_steps = 5000; ///< truncation horizon for unbounded paths
   std::uint64_t seed = 1;
+  /// Worker threads for the sample loop (0 = TML_THREADS / hardware). The
+  /// budget is sharded into `shard_size` blocks, each with an independent
+  /// Rng stream split off `seed`, so the result is bitwise identical for
+  /// every thread count (threads = 1 runs the same shards serially).
+  std::size_t threads = 0;
+  std::size_t shard_size = 1024;  ///< samples per RNG shard (thread-agnostic)
 };
 
 struct SmcResult {
-  double estimate = 0.0;     ///< p̂
+  double estimate = 0.0;     ///< p̂ (always over the full budget)
   std::size_t samples = 0;   ///< n drawn
   double epsilon = 0.0;      ///< guarantee half-width
   double confidence = 0.0;   ///< 1 − δ
   /// For bounded operators (P⋈b): verdict by comparing p̂ against the
-  /// bound. `decisive` is false when |p̂ − b| <= ε (the sample cannot
-  /// separate them at this ε).
+  /// bound. `decisive` is true when the verdict separated from b by more
+  /// than ε — detected as soon as no outcome of the remaining budget could
+  /// keep the final estimate within ε of b, not only by the comparison at
+  /// the end. `decided_after` records how many samples (a whole number of
+  /// shards) had been consumed when the verdict became certain (0 when it
+  /// never did; p̂ itself is still reported over the full budget).
   bool satisfied = false;
   bool decisive = false;
+  std::size_t decided_after = 0;
 };
 
 /// Required sample size for the (ε, δ) guarantee.

@@ -2,6 +2,23 @@
 
 namespace tml {
 
+namespace {
+
+/// SplitMix64 output function (Steele, Lea & Flood, OOPSLA'14): the i-th
+/// output of the sequence with state `seed` is mix(seed + (i+1)·γ).
+std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+  return Rng(splitmix64_mix(seed_ + (stream_id + 1) * kGamma));
+}
+
 std::size_t Rng::categorical(std::span<const double> weights) {
   double total = 0.0;
   for (double w : weights) {

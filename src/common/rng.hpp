@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <random>
 #include <span>
@@ -19,7 +20,8 @@ namespace tml {
 /// sampling helpers the library needs.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : seed_(seed), engine_(seed) {}
 
   /// Uniform double in [0, 1).
   double uniform() { return unit_(engine_); }
@@ -30,10 +32,21 @@ class Rng {
     return lo + (hi - lo) * uniform();
   }
 
-  /// Uniform integer in [0, n).
+  /// Uniform integer in [0, n), by bitmask rejection over raw engine words
+  /// (unbiased; expected < 2 draws). Replaces the previous
+  /// std::uniform_int_distribution constructed per call, which dominated
+  /// the profile of simulation hot loops.
   std::size_t index(std::size_t n) {
     TML_REQUIRE(n > 0, "index: n must be positive");
-    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+    const std::uint64_t limit = static_cast<std::uint64_t>(n) - 1;
+    if (limit == 0) return 0;
+    const int bits = std::bit_width(limit);
+    const std::uint64_t mask =
+        bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+    for (;;) {
+      const std::uint64_t draw = engine_() & mask;
+      if (draw <= limit) return static_cast<std::size_t>(draw);
+    }
   }
 
   /// Standard normal draw.
@@ -49,12 +62,24 @@ class Rng {
   /// Throws if all weights are zero (there is nothing to sample).
   std::size_t categorical(std::span<const double> weights);
 
-  /// Derives an independent child generator (for parallel-safe fan-out).
+  /// Derives an independent child generator by consuming one draw (serial
+  /// fan-out; advances this generator).
   Rng fork() { return Rng(engine_()); }
+
+  /// Derives the child generator of stream `stream_id` without touching
+  /// this generator's state: the child seed is the `stream_id`-th output of
+  /// a SplitMix64 sequence anchored at this generator's seed. Children with
+  /// distinct ids are statistically independent, and the mapping depends
+  /// only on (seed, stream_id) — the parallel engines rely on this to keep
+  /// per-chunk sample streams identical for every thread count.
+  Rng split(std::uint64_t stream_id) const;
+
+  std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};

@@ -42,8 +42,11 @@ TrustedLearnerReport trusted_learn(const Dtmc& structure,
   // Step 3: Model Repair.
   if (config.perturbation) {
     const PerturbationScheme scheme = config.perturbation(report.learned);
-    report.model_repair =
-        model_repair(scheme, property, config.model_repair);
+    ModelRepairConfig stage_config = config.model_repair;
+    if (stage_config.solver.threads == 0) {
+      stage_config.solver.threads = config.threads;
+    }
+    report.model_repair = model_repair(scheme, property, stage_config);
     if (report.model_repair->feasible() &&
         report.model_repair->recheck_passed) {
       report.stage = TmlStage::kModelRepair;
@@ -55,8 +58,12 @@ TrustedLearnerReport trusted_learn(const Dtmc& structure,
 
   // Step 4: Data Repair.
   if (!config.groups.empty()) {
+    DataRepairConfig stage_config = config.data_repair;
+    if (stage_config.solver.threads == 0) {
+      stage_config.solver.threads = config.threads;
+    }
     report.data_repair = data_repair(structure, data, config.groups, property,
-                                     config.data_repair);
+                                     stage_config);
     if (report.data_repair->feasible() && report.data_repair->recheck_passed) {
       report.stage = TmlStage::kDataRepair;
       report.trusted = report.data_repair->relearned;

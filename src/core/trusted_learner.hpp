@@ -38,6 +38,10 @@ std::string to_string(TmlStage stage);
 
 struct TrustedLearnerConfig {
   double mle_pseudocount = 0.0;
+  /// Worker threads for the repair solvers (0 = TML_THREADS / hardware).
+  /// Forwarded to the stage solver options that were left at their default
+  /// of 0; an explicit per-stage `solver.threads` wins.
+  std::size_t threads = 0;
   ModelRepairConfig model_repair;
   DataRepairConfig data_repair;
   /// Feasible model perturbations (Feas_MP): builds the scheme on the

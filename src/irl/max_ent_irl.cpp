@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/matrix.hpp"
+#include "src/common/parallel.hpp"
 
 namespace tml {
 
@@ -41,7 +42,7 @@ RandomizedPolicy SoftPolicy::average() const {
 
 SoftPolicy soft_value_iteration(const CompiledModel& model,
                                 std::span<const double> state_rewards,
-                                std::size_t horizon) {
+                                std::size_t horizon, std::size_t threads) {
   TML_REQUIRE(state_rewards.size() == model.num_states(),
               "soft_value_iteration: reward vector size mismatch");
   TML_REQUIRE(horizon > 0, "soft_value_iteration: zero horizon");
@@ -55,30 +56,39 @@ SoftPolicy soft_value_iteration(const CompiledModel& model,
   policy.pi.assign(horizon, {});
 
   // V at time `horizon` is 0 (no reward after the last step departs).
+  // Each time slice is a Jacobi sweep over the fixed V of the next slice:
+  // every state writes only its own v_prev / policy row, so chunks are
+  // independent (the q scratch buffer lives per chunk).
   std::vector<double> v(n, 0.0);
   std::vector<double> v_prev(n, 0.0);
-  std::vector<double> q;
   for (std::size_t t = horizon; t-- > 0;) {
     auto& slice = policy.pi[t];
     slice.resize(n);
-    for (StateId s = 0; s < n; ++s) {
-      const std::uint32_t begin = row_start[s];
-      const std::uint32_t end = row_start[s + 1];
-      q.assign(end - begin, 0.0);
-      for (std::uint32_t c = begin; c < end; ++c) {
-        double expect = 0.0;
-        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
-          expect += prob[k] * v[target[k]];
-        }
-        q[c - begin] = state_rewards[s] + model.choice_reward(c) + expect;
-      }
-      const double lse = log_sum_exp(q);
-      v_prev[s] = lse;
-      slice[s].resize(q.size());
-      for (std::size_t c = 0; c < q.size(); ++c) {
-        slice[s][c] = std::exp(q[c] - lse);
-      }
-    }
+    parallel_for(
+        0, n, kDefaultGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          std::vector<double> q;
+          for (StateId s = chunk_begin; s < chunk_end; ++s) {
+            const std::uint32_t begin = row_start[s];
+            const std::uint32_t end = row_start[s + 1];
+            q.assign(end - begin, 0.0);
+            for (std::uint32_t c = begin; c < end; ++c) {
+              double expect = 0.0;
+              for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1];
+                   ++k) {
+                expect += prob[k] * v[target[k]];
+              }
+              q[c - begin] = state_rewards[s] + model.choice_reward(c) + expect;
+            }
+            const double lse = log_sum_exp(q);
+            v_prev[s] = lse;
+            slice[s].resize(q.size());
+            for (std::size_t c = 0; c < q.size(); ++c) {
+              slice[s][c] = std::exp(q[c] - lse);
+            }
+          }
+        },
+        threads);
     v.swap(v_prev);
   }
   return policy;
@@ -86,12 +96,13 @@ SoftPolicy soft_value_iteration(const CompiledModel& model,
 
 SoftPolicy soft_value_iteration(const Mdp& mdp,
                                 std::span<const double> state_rewards,
-                                std::size_t horizon) {
-  return soft_value_iteration(compile(mdp), state_rewards, horizon);
+                                std::size_t horizon, std::size_t threads) {
+  return soft_value_iteration(compile(mdp), state_rewards, horizon, threads);
 }
 
 std::vector<std::vector<double>> state_visitation(const CompiledModel& model,
-                                                  const SoftPolicy& policy) {
+                                                  const SoftPolicy& policy,
+                                                  std::size_t threads) {
   const std::size_t n = model.num_states();
   const std::size_t horizon = policy.horizon();
   const auto& row_start = model.row_start();
@@ -101,48 +112,91 @@ std::vector<std::vector<double>> state_visitation(const CompiledModel& model,
   std::vector<std::vector<double>> d(horizon + 1,
                                      std::vector<double>(n, 0.0));
   d[0][model.initial_state()] = 1.0;
+
+  // The push-style scatter has write conflicts on d[t+1], so each chunk of
+  // source states scatters into its own partial distribution and the
+  // partials are merged in chunk order. The chunk layout — and hence the
+  // summation order — depends only on (n, grain), never on the thread
+  // count. Single-chunk models (the case studies) scatter directly.
+  const std::size_t chunks = chunk_count(0, n, kDefaultGrain);
+  std::vector<std::vector<double>> partial(chunks > 1 ? chunks : 0);
   for (std::size_t t = 0; t < horizon; ++t) {
-    for (StateId s = 0; s < n; ++s) {
-      const double mass = d[t][s];
-      if (mass == 0.0) continue;
-      const std::uint32_t begin = row_start[s];
-      for (std::uint32_t c = begin; c < row_start[s + 1]; ++c) {
-        const double pc = policy.pi[t][s][c - begin];
-        if (pc == 0.0) continue;
-        const double scaled = mass * pc;
-        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
-          d[t + 1][target[k]] += scaled * prob[k];
+    const auto scatter = [&](std::size_t chunk_begin, std::size_t chunk_end,
+                             std::vector<double>& out) {
+      for (StateId s = chunk_begin; s < chunk_end; ++s) {
+        const double mass = d[t][s];
+        if (mass == 0.0) continue;
+        const std::uint32_t begin = row_start[s];
+        for (std::uint32_t c = begin; c < row_start[s + 1]; ++c) {
+          const double pc = policy.pi[t][s][c - begin];
+          if (pc == 0.0) continue;
+          const double scaled = mass * pc;
+          for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1];
+               ++k) {
+            out[target[k]] += scaled * prob[k];
+          }
         }
       }
+    };
+    if (chunks <= 1) {
+      scatter(0, n, d[t + 1]);
+      continue;
+    }
+    parallel_for(
+        0, n, kDefaultGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          std::vector<double>& out = partial[chunk_begin / kDefaultGrain];
+          out.assign(n, 0.0);
+          scatter(chunk_begin, chunk_end, out);
+        },
+        threads);
+    for (const std::vector<double>& out : partial) {
+      for (StateId s = 0; s < n; ++s) d[t + 1][s] += out[s];
     }
   }
   return d;
 }
 
 std::vector<std::vector<double>> state_visitation(const Mdp& mdp,
-                                                  const SoftPolicy& policy) {
-  return state_visitation(compile(mdp), policy);
+                                                  const SoftPolicy& policy,
+                                                  std::size_t threads) {
+  return state_visitation(compile(mdp), policy, threads);
 }
 
 std::vector<double> expected_feature_counts(const CompiledModel& model,
                                             const StateFeatures& features,
-                                            const SoftPolicy& policy) {
-  const std::vector<std::vector<double>> d = state_visitation(model, policy);
-  std::vector<double> counts(features.dim(), 0.0);
-  // Departure convention: slices 0..horizon-1 contribute.
-  for (std::size_t t = 0; t + 1 < d.size(); ++t) {
-    for (StateId s = 0; s < model.num_states(); ++s) {
-      if (d[t][s] == 0.0) continue;
-      axpy(counts, d[t][s], features.row(s));
-    }
-  }
-  return counts;
+                                            const SoftPolicy& policy,
+                                            std::size_t threads) {
+  const std::vector<std::vector<double>> d =
+      state_visitation(model, policy, threads);
+  // Departure convention: slices 0..horizon-1 contribute. Each time slice
+  // reduces to one partial count vector; the partials are folded in slice
+  // order, so the summation order is fixed by the horizon alone and the
+  // result is identical for every thread count.
+  return parallel_transform_reduce(
+      std::size_t{0}, d.size() - 1, 1, std::vector<double>(features.dim(), 0.0),
+      [&](std::size_t slice_begin, std::size_t slice_end) {
+        std::vector<double> counts(features.dim(), 0.0);
+        for (std::size_t t = slice_begin; t < slice_end; ++t) {
+          for (StateId s = 0; s < model.num_states(); ++s) {
+            if (d[t][s] == 0.0) continue;
+            axpy(counts, d[t][s], features.row(s));
+          }
+        }
+        return counts;
+      },
+      [](std::vector<double> acc, std::vector<double> part) {
+        for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += part[k];
+        return acc;
+      },
+      threads);
 }
 
 std::vector<double> expected_feature_counts(const Mdp& mdp,
                                             const StateFeatures& features,
-                                            const SoftPolicy& policy) {
-  return expected_feature_counts(compile(mdp), features, policy);
+                                            const SoftPolicy& policy,
+                                            std::size_t threads) {
+  return expected_feature_counts(compile(mdp), features, policy, threads);
 }
 
 std::vector<double> empirical_feature_counts(const StateFeatures& features,
@@ -189,9 +243,9 @@ IrlResult fit_to_feature_counts(const CompiledModel& model,
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     const std::vector<double> rewards = features.rewards(result.theta);
     const SoftPolicy policy =
-        soft_value_iteration(model, rewards, options.horizon);
+        soft_value_iteration(model, rewards, options.horizon, options.threads);
     const std::vector<double> expected =
-        expected_feature_counts(model, features, policy);
+        expected_feature_counts(model, features, policy, options.threads);
 
     std::vector<double> grad(features.dim(), 0.0);
     for (std::size_t k = 0; k < grad.size(); ++k) {

@@ -43,6 +43,11 @@ struct IrlOptions {
   double tolerance = 1e-6;           ///< gradient-norm convergence threshold
   bool project_unit_ball = true;     ///< enforce ‖Θ‖₂ ≤ 1 (paper's constraint)
   double l2_regularization = 0.0;
+  /// Worker threads for the backward/forward passes (0 = TML_THREADS /
+  /// hardware). The per-state sweeps are chunked deterministically and the
+  /// forward-pass scatter merges per-chunk partial distributions in chunk
+  /// order, so fitted Θ is identical for every thread count.
+  std::size_t threads = 0;
 };
 
 struct IrlResult {
@@ -69,25 +74,29 @@ struct SoftPolicy {
 /// fit_to_feature_counts compiles once up front).
 SoftPolicy soft_value_iteration(const CompiledModel& model,
                                 std::span<const double> state_rewards,
-                                std::size_t horizon);
+                                std::size_t horizon, std::size_t threads = 0);
 SoftPolicy soft_value_iteration(const Mdp& mdp,
                                 std::span<const double> state_rewards,
-                                std::size_t horizon);
+                                std::size_t horizon, std::size_t threads = 0);
 
 /// Forward pass: D[t][s] = P(state at time t = s | initial state, policy),
 /// for t = 0..horizon (horizon+1 slices).
 std::vector<std::vector<double>> state_visitation(const CompiledModel& model,
-                                                  const SoftPolicy& policy);
+                                                  const SoftPolicy& policy,
+                                                  std::size_t threads = 0);
 std::vector<std::vector<double>> state_visitation(const Mdp& mdp,
-                                                  const SoftPolicy& policy);
+                                                  const SoftPolicy& policy,
+                                                  std::size_t threads = 0);
 
 /// Expected feature counts Σ_{t=0}^{T-1} Σ_s D_t(s) f(s) under the policy.
 std::vector<double> expected_feature_counts(const CompiledModel& model,
                                             const StateFeatures& features,
-                                            const SoftPolicy& policy);
+                                            const SoftPolicy& policy,
+                                            std::size_t threads = 0);
 std::vector<double> expected_feature_counts(const Mdp& mdp,
                                             const StateFeatures& features,
-                                            const SoftPolicy& policy);
+                                            const SoftPolicy& policy,
+                                            std::size_t threads = 0);
 
 /// Empirical feature counts of the expert data: average over trajectories
 /// of Σ_{t=0}^{len-1} f(s_t). When `pad_to_horizon` is nonzero, each

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/common/matrix.hpp"
+#include "src/common/parallel.hpp"
 #include "src/mdp/graph.hpp"
 
 namespace tml {
@@ -44,25 +45,35 @@ SolveResult value_iteration_discounted(const CompiledModel& model,
   result.values.assign(n, 0.0);
   result.policy.choice_index.assign(n, 0);
 
+  // Jacobi sweeps: every state reads `values` (the previous iterate) and
+  // writes only its own slot of `next` / the policy, so chunks are
+  // independent. The convergence delta is a max-reduction — associativity
+  // free — so the iterate sequence matches the serial solver bit for bit.
   std::vector<double> next(n, 0.0);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    double delta = 0.0;
-    for (StateId s = 0; s < n; ++s) {
-      const std::uint32_t begin = row_start[s];
-      const std::uint32_t end = row_start[s + 1];
-      double best = choice_q(model, s, begin, result.values, discount);
-      std::uint32_t best_c = 0;
-      for (std::uint32_t c = begin + 1; c < end; ++c) {
-        const double q = choice_q(model, s, c, result.values, discount);
-        if (better(q, best, objective)) {
-          best = q;
-          best_c = c - begin;
-        }
-      }
-      next[s] = best;
-      result.policy.choice_index[s] = best_c;
-      delta = std::max(delta, std::abs(next[s] - result.values[s]));
-    }
+    const double delta = parallel_transform_reduce(
+        std::size_t{0}, n, kDefaultGrain, 0.0,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          double local = 0.0;
+          for (StateId s = chunk_begin; s < chunk_end; ++s) {
+            const std::uint32_t begin = row_start[s];
+            const std::uint32_t end = row_start[s + 1];
+            double best = choice_q(model, s, begin, result.values, discount);
+            std::uint32_t best_c = 0;
+            for (std::uint32_t c = begin + 1; c < end; ++c) {
+              const double q = choice_q(model, s, c, result.values, discount);
+              if (better(q, best, objective)) {
+                best = q;
+                best_c = c - begin;
+              }
+            }
+            next[s] = best;
+            result.policy.choice_index[s] = best_c;
+            local = std::max(local, std::abs(next[s] - result.values[s]));
+          }
+          return local;
+        },
+        [](double a, double b) { return std::max(a, b); }, options.threads);
     result.values.swap(next);
     result.iterations = iter + 1;
     if (delta < options.tolerance) {
@@ -98,23 +109,29 @@ SolveResult policy_iteration_discounted(const CompiledModel& model,
     result.iterations = iter + 1;
     // Exact evaluation of the current policy.
     result.values = evaluate_policy_discounted(model, result.policy, discount);
-    // Greedy improvement.
+    // Greedy improvement (per-state, against the fixed evaluation — chunks
+    // are independent).
     Policy improved = result.policy;
-    for (StateId s = 0; s < n; ++s) {
-      const std::uint32_t begin = row_start[s];
-      const std::uint32_t end = row_start[s + 1];
-      double best = choice_q(model, s, begin + result.policy.at(s),
-                             result.values, discount);
-      for (std::uint32_t c = begin; c < end; ++c) {
-        const double q = choice_q(model, s, c, result.values, discount);
-        // Strict improvement with a tolerance guard against cycling.
-        if (objective == Objective::kMaximize ? q > best + 1e-12
-                                              : q < best - 1e-12) {
-          best = q;
-          improved.choice_index[s] = c - begin;
-        }
-      }
-    }
+    parallel_for(
+        0, n, kDefaultGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          for (StateId s = chunk_begin; s < chunk_end; ++s) {
+            const std::uint32_t begin = row_start[s];
+            const std::uint32_t end = row_start[s + 1];
+            double best = choice_q(model, s, begin + result.policy.at(s),
+                                   result.values, discount);
+            for (std::uint32_t c = begin; c < end; ++c) {
+              const double q = choice_q(model, s, c, result.values, discount);
+              // Strict improvement with a tolerance guard against cycling.
+              if (objective == Objective::kMaximize ? q > best + 1e-12
+                                                    : q < best - 1e-12) {
+                best = q;
+                improved.choice_index[s] = c - begin;
+              }
+            }
+          }
+        },
+        options.threads);
     if (improved.choice_index == result.policy.choice_index) {
       result.converged = true;
       return result;
@@ -161,30 +178,37 @@ SolveResult total_reward_to_target(const CompiledModel& model,
 
   std::vector<double> next = result.values;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    double delta = 0.0;
-    for (StateId s = 0; s < n; ++s) {
-      if (targets[s] || !finite[s]) continue;
-      const std::uint32_t begin = row_start[s];
-      const std::uint32_t end = row_start[s + 1];
-      double best = kInf * (objective == Objective::kMinimize ? 1.0 : -1.0);
-      std::uint32_t best_c = result.policy.choice_index[s];
-      bool any = false;
-      for (std::uint32_t c = begin; c < end; ++c) {
-        const double q = choice_q(model, s, c, result.values, 1.0);
-        if (!any || better(q, best, objective)) {
-          best = q;
-          best_c = c - begin;
-          any = true;
-        }
-      }
-      next[s] = best;
-      result.policy.choice_index[s] = best_c;
-      if (std::isfinite(best) && std::isfinite(result.values[s])) {
-        delta = std::max(delta, std::abs(next[s] - result.values[s]));
-      } else if (std::isinf(best) != std::isinf(result.values[s])) {
-        delta = kInf;
-      }
-    }
+    const double delta = parallel_transform_reduce(
+        std::size_t{0}, n, kDefaultGrain, 0.0,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          double local = 0.0;
+          for (StateId s = chunk_begin; s < chunk_end; ++s) {
+            if (targets[s] || !finite[s]) continue;
+            const std::uint32_t begin = row_start[s];
+            const std::uint32_t end = row_start[s + 1];
+            double best =
+                kInf * (objective == Objective::kMinimize ? 1.0 : -1.0);
+            std::uint32_t best_c = result.policy.choice_index[s];
+            bool any = false;
+            for (std::uint32_t c = begin; c < end; ++c) {
+              const double q = choice_q(model, s, c, result.values, 1.0);
+              if (!any || better(q, best, objective)) {
+                best = q;
+                best_c = c - begin;
+                any = true;
+              }
+            }
+            next[s] = best;
+            result.policy.choice_index[s] = best_c;
+            if (std::isfinite(best) && std::isfinite(result.values[s])) {
+              local = std::max(local, std::abs(next[s] - result.values[s]));
+            } else if (std::isinf(best) != std::isinf(result.values[s])) {
+              local = kInf;
+            }
+          }
+          return local;
+        },
+        [](double a, double b) { return std::max(a, b); }, options.threads);
     result.values.swap(next);
     result.iterations = iter + 1;
     if (delta < options.tolerance) {
@@ -207,25 +231,31 @@ SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
 
 std::vector<std::vector<double>> q_values_discounted(
     const CompiledModel& model, std::span<const double> values,
-    double discount) {
+    double discount, std::size_t threads) {
   TML_REQUIRE(values.size() == model.num_states(),
               "q_values_discounted: value vector size mismatch");
   const auto& row_start = model.row_start();
   std::vector<std::vector<double>> q(model.num_states());
-  for (StateId s = 0; s < model.num_states(); ++s) {
-    const std::uint32_t begin = row_start[s];
-    const std::uint32_t end = row_start[s + 1];
-    q[s].resize(end - begin);
-    for (std::uint32_t c = begin; c < end; ++c) {
-      q[s][c - begin] = choice_q(model, s, c, values, discount);
-    }
-  }
+  parallel_for(
+      0, model.num_states(), kDefaultGrain,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (StateId s = chunk_begin; s < chunk_end; ++s) {
+          const std::uint32_t begin = row_start[s];
+          const std::uint32_t end = row_start[s + 1];
+          q[s].resize(end - begin);
+          for (std::uint32_t c = begin; c < end; ++c) {
+            q[s][c - begin] = choice_q(model, s, c, values, discount);
+          }
+        }
+      },
+      threads);
   return q;
 }
 
 std::vector<std::vector<double>> q_values_discounted(
-    const Mdp& mdp, std::span<const double> values, double discount) {
-  return q_values_discounted(compile(mdp), values, discount);
+    const Mdp& mdp, std::span<const double> values, double discount,
+    std::size_t threads) {
+  return q_values_discounted(compile(mdp), values, discount, threads);
 }
 
 Policy greedy_policy(const std::vector<std::vector<double>>& q,

@@ -30,6 +30,11 @@ struct SolverOptions {
   double tolerance = 1e-10;      ///< sup-norm convergence threshold
   std::size_t max_iterations = 100000;
   bool throw_on_nonconvergence = true;
+  /// Worker threads for the per-state sweeps (0 = TML_THREADS / hardware).
+  /// Sweeps are Jacobi-style — every state reads the previous iterate —
+  /// and the convergence delta is a max-reduction, so values, policies and
+  /// iteration counts are bitwise identical for every thread count.
+  std::size_t threads = 0;
 };
 
 /// Result of a value-iteration style computation.
@@ -80,9 +85,10 @@ SolveResult total_reward_to_target(const Mdp& mdp, const StateSet& targets,
 /// Indexed [state][choice].
 std::vector<std::vector<double>> q_values_discounted(
     const CompiledModel& model, std::span<const double> values,
-    double discount);
+    double discount, std::size_t threads = 0);
 std::vector<std::vector<double>> q_values_discounted(
-    const Mdp& mdp, std::span<const double> values, double discount);
+    const Mdp& mdp, std::span<const double> values, double discount,
+    std::size_t threads = 0);
 
 /// Greedy deterministic policy for given Q-values (ties resolved to the
 /// smallest choice index, which keeps results deterministic).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/parallel.hpp"
+
 namespace tml {
 
 namespace {
@@ -333,11 +335,24 @@ SolveOutcome solve(const Problem& problem, const SolveOptions& options) {
     starts.push_back(std::move(p));
   }
 
+  // Each start is an independent local solve; they run concurrently and
+  // the winner is folded serially in start order afterwards, so the
+  // selected outcome is the one the serial loop would have picked for any
+  // thread count.
+  std::vector<SolveOutcome> outcomes(starts.size());
+  parallel_for(
+      0, starts.size(), 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          outcomes[k] = solve_local(problem, std::move(starts[k]), options);
+        }
+      },
+      options.threads);
+
   SolveOutcome best;
   std::size_t total_iterations = 0;
   std::size_t total_starts = 0;
-  for (auto& start : starts) {
-    SolveOutcome outcome = solve_local(problem, std::move(start), options);
+  for (SolveOutcome& outcome : outcomes) {
     total_iterations += outcome.iterations;
     ++total_starts;
     const bool outcome_feasible = outcome.status == SolveStatus::kOptimal;

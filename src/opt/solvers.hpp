@@ -41,6 +41,11 @@ struct SolveOptions {
   double feasibility_tol = 1e-6;
   double convergence_tol = 1e-10;
   std::uint64_t seed = 17;
+  /// Worker threads for the multi-start driver (0 = TML_THREADS /
+  /// hardware). Starts are generated serially from `seed` and solved
+  /// concurrently; the winner is picked by an ordered reduction over the
+  /// start index, so the result is identical for every thread count.
+  std::size_t threads = 0;
 };
 
 /// Runs one local solve from `start` (projected into the box).
