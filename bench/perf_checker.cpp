@@ -258,4 +258,4 @@ BENCHMARK(BM_PctlParse);
 }  // namespace
 }  // namespace tml
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cpp (BENCHMARK_MAIN() + stats JSON block).

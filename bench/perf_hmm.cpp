@@ -79,4 +79,4 @@ BENCHMARK(BM_ConstrainedBaumWelchIteration);
 }  // namespace
 }  // namespace tml
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cpp (BENCHMARK_MAIN() + stats JSON block).

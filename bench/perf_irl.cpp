@@ -107,4 +107,4 @@ BENCHMARK(BM_IrlGradientThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 }  // namespace tml
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cpp (BENCHMARK_MAIN() + stats JSON block).

@@ -1,0 +1,23 @@
+// Shared main for the perf_* google-benchmark binaries. Identical to
+// BENCHMARK_MAIN(), plus: when the statistics registry is enabled
+// (TML_STATS=1), the full counter/timer registry is printed as one JSON
+// block after the benchmark report — so a perf run records not just how
+// long the fixtures took but how much work the engines actually did
+// (iterations, samples, eliminations, ...).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "src/common/stats.hpp"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (tml::stats::enabled()) {
+    std::cout << "stats:\n" << tml::stats_to_json() << "\n";
+  }
+  return 0;
+}

@@ -103,4 +103,4 @@ BENCHMARK(BM_NumericGradientOverhead);
 }  // namespace
 }  // namespace tml
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cpp (BENCHMARK_MAIN() + stats JSON block).

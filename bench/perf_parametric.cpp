@@ -95,4 +95,4 @@ BENCHMARK(BM_RationalGradient);
 }  // namespace
 }  // namespace tml
 
-BENCHMARK_MAIN();
+// main() lives in perf_main.cpp (BENCHMARK_MAIN() + stats JSON block).

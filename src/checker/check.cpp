@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/checker/reachability.hpp"
+#include "src/common/stats.hpp"
 #include "src/logic/parser.hpp"
 #include "src/mdp/solver.hpp"
 
@@ -217,6 +218,10 @@ class Checker {
 
 CheckResult check_impl(const CompiledModel& model,
                        const StateFormula& formula) {
+  static stats::Timer& t_check = stats::timer("checker.check.time");
+  static stats::Counter& c_checks = stats::counter("checker.checks");
+  const stats::ScopedTimer span(t_check);
+  c_checks.bump();
   Checker checker(model);
   CheckResult result;
   if (formula.is_quantitative()) {

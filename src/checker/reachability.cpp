@@ -3,12 +3,18 @@
 #include <cmath>
 
 #include "src/common/parallel.hpp"
+#include "src/common/stats.hpp"
 #include "src/mdp/graph.hpp"
 #include "src/mdp/solver.hpp"
 
 namespace tml {
 
 namespace {
+
+void record_bounded_sweeps(std::size_t sweeps) {
+  static stats::Counter& c_sweeps = stats::counter("checker.bounded.sweeps");
+  c_sweeps.add(sweeps);
+}
 
 /// Restricts an until problem to a plain reachability problem: states in
 /// neither `stay` nor `goal` are made absorbing (they can never contribute),
@@ -44,6 +50,12 @@ std::vector<double> mdp_reachability(const CompiledModel& model,
     zero = avoid_certain(model, targets);
     one = prob1_universal(model, targets);
   }
+  if (stats::enabled()) {  // skip the popcounts entirely when disabled
+    static stats::Gauge& g_zero = stats::gauge("checker.prob0.states");
+    static stats::Gauge& g_one = stats::gauge("checker.prob1.states");
+    g_zero.set(static_cast<double>(count(zero)));
+    g_one.set(static_cast<double>(count(one)));
+  }
 
   std::vector<double> values(n, 0.0);
   for (StateId s = 0; s < n; ++s) {
@@ -53,6 +65,7 @@ std::vector<double> mdp_reachability(const CompiledModel& model,
   std::vector<double> next = values;
   bool converged = false;
   std::size_t iterations = 0;
+  double last_delta = 0.0;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     const double delta = parallel_transform_reduce(
         std::size_t{0}, n, kDefaultGrain, 0.0,
@@ -81,10 +94,17 @@ std::vector<double> mdp_reachability(const CompiledModel& model,
         [](double a, double b) { return std::max(a, b); }, options.threads);
     values.swap(next);
     iterations = iter + 1;
+    last_delta = delta;
     if (delta < options.tolerance) {
       converged = true;
       break;
     }
+  }
+  {
+    static stats::Counter& c_iters = stats::counter("checker.vi.iterations");
+    static stats::Gauge& g_delta = stats::gauge("checker.vi.last_delta");
+    c_iters.add(iterations);
+    g_delta.set(last_delta);
   }
   if (!converged && options.throw_on_nonconvergence) {
     throw NumericError("mdp_reachability: no convergence after " +
@@ -148,6 +168,7 @@ std::vector<double> mdp_bounded_until(const CompiledModel& model,
         threads);
     values.swap(next);
   }
+  record_bounded_sweeps(bound);
   return values;
 }
 
@@ -199,6 +220,7 @@ std::vector<double> dtmc_bounded_until(const CompiledModel& model,
         threads);
     values.swap(next);
   }
+  record_bounded_sweeps(bound);
   return values;
 }
 
@@ -258,6 +280,7 @@ std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
         threads);
     values.swap(next);
   }
+  record_bounded_sweeps(horizon);
   return values;
 }
 
@@ -303,6 +326,7 @@ std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
         threads);
     values.swap(next);
   }
+  record_bounded_sweeps(horizon);
   return values;
 }
 

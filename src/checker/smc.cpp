@@ -2,9 +2,12 @@
 
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "src/checker/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/stats.hpp"
+#include "src/mdp/graph.hpp"
 
 namespace tml {
 
@@ -28,6 +31,8 @@ namespace {
 StateId step(const CompiledModel& model, StateId current, Rng& rng) {
   const std::span<const double> row = model.probabilities(current);
   const std::span<const StateId> targets = model.targets(current);
+  TML_ASSERT(!row.empty(),
+             "smc step: state " << current << " has no outgoing transitions");
   const double r = rng.uniform();
   double acc = 0.0;
   for (std::size_t i = 0; i + 1 < row.size(); ++i) {
@@ -37,41 +42,98 @@ StateId step(const CompiledModel& model, StateId current, Rng& rng) {
   return targets[row.size() - 1];
 }
 
+/// Graph-certain decision sets for the path formula, so sample paths that
+/// enter a trap (goal unreachable) or a safe region (violation unreachable)
+/// are decided right there instead of burning the max_steps budget —
+/// truncation then only flags genuinely open paths. Empty optionals mean
+/// "no precomputation applies" (bounded kNext needs none).
+struct CertainSets {
+  std::optional<StateSet> no;   ///< outcome certainly "violated" (F/U)
+  std::optional<StateSet> yes;  ///< outcome certainly "satisfied" (G)
+};
+
+CertainSets certain_sets(const CompiledModel& model, const PathFormula& path,
+                         const StateSet& left_sat, const StateSet& right_sat) {
+  CertainSets sets;
+  switch (path.kind()) {
+    case PathFormula::Kind::kNext:
+      break;
+    case PathFormula::Kind::kEventually:
+      sets.no = dtmc_prob0(model, right_sat);
+      break;
+    case PathFormula::Kind::kUntil: {
+      // P0 of (stay U goal): escape states are made absorbing first, so
+      // "cannot reach goal" is judged within the stay region.
+      StateSet escape = set_union(left_sat, right_sat);
+      escape.flip();
+      sets.no = dtmc_prob0(model.make_absorbing(escape), right_sat);
+      break;
+    }
+    case PathFormula::Kind::kGlobally:
+      // Satisfaction is certain once no ¬φ state is reachable any more.
+      sets.yes = dtmc_prob0(model, complement(right_sat));
+      break;
+  }
+  return sets;
+}
+
 }  // namespace
 
-bool sample_path_satisfies(const CompiledModel& model, const PathFormula& path,
-                           const StateSet& left_sat, const StateSet& right_sat,
-                           std::size_t max_steps, Rng& rng) {
+PathSample sample_path_outcome(const CompiledModel& model,
+                               const PathFormula& path,
+                               const StateSet& left_sat,
+                               const StateSet& right_sat,
+                               std::size_t max_steps, Rng& rng,
+                               const StateSet* certain_no,
+                               const StateSet* certain_yes) {
   TML_REQUIRE(model.deterministic(),
-              "sample_path_satisfies: compiled model is not a DTMC");
+              "sample_path_outcome: compiled model is not a DTMC");
   StateId current = model.initial_state();
   switch (path.kind()) {
     case PathFormula::Kind::kNext:
-      return right_sat[step(model, current, rng)];
+      return right_sat[step(model, current, rng)] ? PathSample::kSatisfied
+                                                  : PathSample::kViolated;
     case PathFormula::Kind::kUntil:
     case PathFormula::Kind::kEventually: {
-      const std::size_t bound =
-          path.step_bound() ? *path.step_bound() : max_steps;
+      const bool bounded = path.step_bound().has_value();
+      const std::size_t bound = bounded ? *path.step_bound() : max_steps;
       const bool constrained = path.kind() == PathFormula::Kind::kUntil;
       for (std::size_t t = 0; /* step check below */; ++t) {
-        if (right_sat[current]) return true;
-        if (constrained && !left_sat[current]) return false;
-        if (t >= bound) return false;
+        if (right_sat[current]) return PathSample::kSatisfied;
+        if (constrained && !left_sat[current]) return PathSample::kViolated;
+        if (certain_no != nullptr && (*certain_no)[current]) {
+          return PathSample::kViolated;
+        }
+        if (t >= bound) {
+          // A bounded operator ran its exact horizon; an unbounded one hit
+          // the truncation cut-off with the outcome still open.
+          return bounded ? PathSample::kViolated : PathSample::kUndecided;
+        }
         current = step(model, current, rng);
       }
     }
     case PathFormula::Kind::kGlobally: {
-      const std::size_t bound =
-          path.step_bound() ? *path.step_bound() : max_steps;
+      const bool bounded = path.step_bound().has_value();
+      const std::size_t bound = bounded ? *path.step_bound() : max_steps;
       for (std::size_t t = 0; t <= bound; ++t) {
-        if (!right_sat[current]) return false;
+        if (!right_sat[current]) return PathSample::kViolated;
+        if (certain_yes != nullptr && (*certain_yes)[current]) {
+          return PathSample::kSatisfied;
+        }
         if (t == bound) break;
         current = step(model, current, rng);
       }
-      return true;
+      return bounded ? PathSample::kSatisfied : PathSample::kUndecided;
     }
   }
-  return false;
+  return PathSample::kViolated;
+}
+
+bool sample_path_satisfies(const CompiledModel& model, const PathFormula& path,
+                           const StateSet& left_sat, const StateSet& right_sat,
+                           std::size_t max_steps, Rng& rng) {
+  return sample_path_outcome(model, path, left_sat, right_sat, max_steps,
+                             rng) == PathSample::kSatisfied;
 }
 
 bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
@@ -83,11 +145,21 @@ bool sample_path_satisfies(const Dtmc& chain, const PathFormula& path,
 
 SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
                     const SmcOptions& options) {
+  static stats::Timer& t_check = stats::timer("smc.check.time");
+  static stats::Counter& c_runs = stats::counter("smc.runs");
+  static stats::Counter& c_samples = stats::counter("smc.samples");
+  static stats::Counter& c_truncated = stats::counter("smc.truncated_paths");
+  static stats::Gauge& g_decided_after = stats::gauge("smc.decided_after");
+  const stats::ScopedTimer span(t_check);
+
   TML_REQUIRE(model.deterministic(), "smc_check: compiled model is not a DTMC");
   TML_REQUIRE(formula.kind() == StateFormula::Kind::kProb ||
                   formula.kind() == StateFormula::Kind::kProbQuery,
               "smc_check: formula must be a P operator, got "
                   << formula.to_string());
+  TML_REQUIRE(options.max_truncation_rate >= 0.0 &&
+                  options.max_truncation_rate <= 1.0,
+              "smc_check: max_truncation_rate out of [0,1]");
   const PathFormula& path = formula.path();
   // Operand satisfaction sets are resolved exactly (they are state
   // formulas; only the path probability is sampled).
@@ -95,6 +167,9 @@ SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
   const StateSet left = path.kind() == PathFormula::Kind::kUntil
                             ? satisfying_states(model, path.left())
                             : StateSet(model.num_states(), true);
+  const CertainSets certain = certain_sets(model, path, left, right);
+  const StateSet* certain_no = certain.no ? &*certain.no : nullptr;
+  const StateSet* certain_yes = certain.yes ? &*certain.yes : nullptr;
 
   SmcResult result;
   result.epsilon = options.epsilon;
@@ -103,12 +178,14 @@ SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
 
   // The budget is sharded into fixed-size blocks, each drawing from an
   // independent child stream of `seed`. The shard layout depends only on
-  // (samples, shard_size), never on the thread count, so the hit counts —
-  // and everything derived from them — are bitwise identical whether the
-  // shards run serially or across any number of workers.
+  // (samples, shard_size), never on the thread count, so the hit and
+  // truncation counts — and everything derived from them — are bitwise
+  // identical whether the shards run serially or across any number of
+  // workers.
   const std::size_t shard = std::max<std::size_t>(1, options.shard_size);
   const std::size_t num_shards = chunk_count(0, result.samples, shard);
   std::vector<std::uint32_t> hits(num_shards, 0);
+  std::vector<std::uint32_t> undecided(num_shards, 0);
   const Rng root(options.seed);
   parallel_for(
       0, result.samples, shard,
@@ -116,20 +193,47 @@ SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
         const std::size_t s = begin / shard;
         Rng rng = root.split(s);
         std::uint32_t h = 0;
+        std::uint32_t u = 0;
         for (std::size_t i = begin; i < end; ++i) {
-          if (sample_path_satisfies(model, path, left, right,
-                                    options.max_steps, rng)) {
-            ++h;
+          switch (sample_path_outcome(model, path, left, right,
+                                      options.max_steps, rng, certain_no,
+                                      certain_yes)) {
+            case PathSample::kSatisfied: ++h; break;
+            case PathSample::kViolated: break;
+            case PathSample::kUndecided: ++u; break;
           }
         }
         hits[s] = h;
+        undecided[s] = u;
       },
       options.threads);
 
   const std::size_t total = std::accumulate(hits.begin(), hits.end(),
                                             std::size_t{0});
+  result.truncated = std::accumulate(undecided.begin(), undecided.end(),
+                                     std::size_t{0});
   const double n = static_cast<double>(result.samples);
   result.estimate = static_cast<double>(total) / n;
+
+  c_runs.bump();
+  c_samples.add(result.samples);
+  c_truncated.add(result.truncated);
+
+  const double truncation_rate = static_cast<double>(result.truncated) / n;
+  if (truncation_rate > options.max_truncation_rate) {
+    throw NumericError(
+        "smc_check: " + std::to_string(result.truncated) + " of " +
+        std::to_string(result.samples) +
+        " sample paths were still undecided at max_steps=" +
+        std::to_string(options.max_steps) +
+        "; the estimate would be silently biased low. Raise "
+        "SmcOptions::max_steps, or accept the widened interval via "
+        "SmcOptions::max_truncation_rate");
+  }
+  // Every truncated path could have gone either way: widen the reported
+  // half-width so [estimate − ε, estimate + ε] still brackets the truth
+  // with the Chernoff confidence.
+  result.epsilon = options.epsilon + truncation_rate;
 
   if (formula.kind() == StateFormula::Kind::kProb) {
     result.satisfied =
@@ -147,8 +251,8 @@ SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
       const double lo = static_cast<double>(acc) / n;
       const double hi =
           static_cast<double>(acc + (result.samples - drawn)) / n;
-      if (lo > formula.bound() + options.epsilon ||
-          hi < formula.bound() - options.epsilon) {
+      if (lo > formula.bound() + result.epsilon ||
+          hi < formula.bound() - result.epsilon) {
         result.decisive = true;
         result.decided_after = drawn;
         break;
@@ -159,6 +263,7 @@ SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
     result.decisive = true;
     result.decided_after = result.samples;
   }
+  g_decided_after.set(static_cast<double>(result.decided_after));
   return result;
 }
 

@@ -7,10 +7,19 @@
 //     n >= ln(2/δ) / (2 ε²)
 //
 // samples, the estimate p̂ satisfies P(|p̂ − p| > ε) < δ. Bounded
-// operators are decided exactly per sample; unbounded F/U are truncated at
-// `max_steps` (a lower-bound estimate — adequate for chains whose
-// absorption time is well below the cut-off, which the options make
-// explicit rather than hiding).
+// operators are decided exactly per sample. Unbounded F/U/G walk until the
+// path is *decided*: reaching the goal (or violating the stay region)
+// decides immediately, and a graph precomputation (dtmc_prob0 on the
+// relevant submodel) decides paths that enter a region from which the
+// outcome is certain — the trap states that used to burn the whole
+// `max_steps` budget. A path still undecided at `max_steps` is counted in
+// `SmcResult::truncated`; when the truncation rate exceeds
+// `SmcOptions::max_truncation_rate` (default 0: none tolerated),
+// `smc_check` throws NumericError instead of silently reporting an
+// estimate biased low. Tolerated truncation widens the reported interval:
+// the true satisfaction probability of a truncated path is unknown, so
+// `epsilon` grows by the truncation rate (estimate ∈ [hits/n,
+// (hits+truncated)/n] before sampling error).
 //
 // SMC serves two roles here: an independent oracle for the exact checkers
 // in the test suite, and the only practical engine when state spaces
@@ -31,6 +40,11 @@ struct SmcOptions {
   double epsilon = 0.01;        ///< absolute error bound
   double delta = 0.02;          ///< failure probability of the bound
   std::size_t max_steps = 5000; ///< truncation horizon for unbounded paths
+  /// Largest tolerated fraction of sample paths still undecided at
+  /// `max_steps`. Above it `smc_check` throws NumericError (the estimate
+  /// would be silently biased); below it the truncated count is reported
+  /// and the guarantee interval widened accordingly.
+  double max_truncation_rate = 0.0;
   std::uint64_t seed = 1;
   /// Worker threads for the sample loop (0 = TML_THREADS / hardware). The
   /// budget is sharded into `shard_size` blocks, each with an independent
@@ -55,15 +69,41 @@ struct SmcResult {
   bool satisfied = false;
   bool decisive = false;
   std::size_t decided_after = 0;
+  /// Sample paths still undecided when the `max_steps` horizon hit (merged
+  /// per shard in shard order — deterministic across thread counts). Only
+  /// non-zero when `max_truncation_rate` tolerated them; `epsilon` already
+  /// includes the widening `truncated / samples`.
+  std::size_t truncated = 0;
+};
+
+/// Per-sample verdict of one simulated trajectory.
+enum class PathSample {
+  kSatisfied,  ///< the path provably satisfies the formula
+  kViolated,   ///< the path provably violates the formula
+  kUndecided,  ///< truncated at max_steps with the outcome still open
 };
 
 /// Required sample size for the (ε, δ) guarantee.
 std::size_t chernoff_sample_size(double epsilon, double delta);
 
 /// Evaluates one sampled trajectory against a path formula (exposed for
-/// tests). Unbounded operators are truncated at `max_steps`. The compiled
-/// model must be deterministic; successors are drawn straight from the CSR
-/// probability spans (no per-step weight vector is built).
+/// tests). Unbounded operators walk up to `max_steps` and report
+/// kUndecided when the horizon hits first. The compiled model must be
+/// deterministic; successors are drawn straight from the CSR probability
+/// spans (no per-step weight vector is built). `certain_no` / `certain_yes`
+/// optionally name states where the outcome is already graph-certain
+/// (cannot reach the goal / cannot violate the invariant): entering one
+/// decides the path without walking further.
+PathSample sample_path_outcome(const CompiledModel& model,
+                               const PathFormula& path,
+                               const StateSet& left_sat,
+                               const StateSet& right_sat,
+                               std::size_t max_steps, Rng& rng,
+                               const StateSet* certain_no = nullptr,
+                               const StateSet* certain_yes = nullptr);
+
+/// Back-compat wrapper: kSatisfied → true, anything else → false (the
+/// historical lower-bound reading of a truncated path).
 bool sample_path_satisfies(const CompiledModel& model, const PathFormula& path,
                            const StateSet& left_sat, const StateSet& right_sat,
                            std::size_t max_steps, Rng& rng);

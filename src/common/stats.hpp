@@ -1,0 +1,161 @@
+// Engine-wide observability: a process-global statistics registry.
+//
+// Every engine (compile, checker, parametric, opt, smc, irl, core) reports
+// what it actually did — iterations run, samples drawn, states eliminated,
+// NLP evaluations, truncated paths — through three metric kinds:
+//
+//  * Counter — named monotonic counter (relaxed atomic add);
+//  * Timer   — accumulating wall-clock span with a call count, fed by the
+//              RAII `ScopedTimer`;
+//  * Gauge   — last-value / running-max double (e.g. convergence deltas,
+//              frontier sizes, multi-start winner index).
+//
+// Cost model. Collection is off by default; every record call starts with
+// an inlined relaxed load of one global flag, so a disabled site costs a
+// load + predictable branch (< 2% on the perf_checker fixtures — the
+// instrumentation sits at iteration/shard granularity, never inside the
+// per-state inner loops). Enable with the TML_STATS environment variable
+// (any value except "", "0", "false", "off") or `stats::set_enabled(true)`.
+//
+// Determinism contract (src/common/parallel.hpp). Metrics never feed back
+// into engine results, so they cannot perturb the bitwise-deterministic
+// outputs. Counters incremented from inside parallel chunks use relaxed
+// atomic addition, which is order-insensitive for integers; anything
+// order-sensitive (per-shard truncation counts, the multi-start winner) is
+// accumulated per chunk and folded in chunk order by the engine itself
+// before being recorded here.
+//
+// Export. `tml::stats_to_json()` renders every registered metric as one
+// JSON object, grouped by kind and sorted by name; the canonical engine
+// metrics are pre-declared at process start (Prometheus-style), so the
+// schema — including zero-valued counters of engines that did not run — is
+// stable across runs and binaries.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tml {
+namespace stats {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when collection is on. Inline relaxed load — this is the whole
+/// disabled-path cost of every instrumentation site.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on/off at runtime (overrides the TML_STATS env var).
+void set_enabled(bool on);
+
+/// Monotonic counter. Thread-safe; relaxed atomic increments only, so use
+/// it for order-insensitive quantities (sums of events).
+class Counter {
+ public:
+  void add(std::uint64_t n) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void bump() { add(1); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void clear() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value / running-max gauge.
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if larger (CAS loop; order-insensitive).
+  void set_max(double v) {
+    if (!enabled()) return;
+    double current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void clear() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulating timer: total elapsed nanoseconds plus a span count.
+class Timer {
+ public:
+  void record(std::chrono::nanoseconds elapsed) {
+    if (!enabled()) return;
+    nanos_.fetch_add(static_cast<std::uint64_t>(elapsed.count()),
+                     std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t total_nanos() const {
+    return nanos_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void clear() {
+    nanos_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> nanos_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Find-or-create by name. The returned reference is stable for the life
+/// of the process; call sites cache it in a function-local static so the
+/// registry lock is taken once per site, not per event.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Timer& timer(std::string_view name);
+
+/// RAII span feeding a Timer. The clock is only read when collection is
+/// enabled at construction time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& t)
+      : timer_(enabled() ? &t : nullptr),
+        start_(timer_ ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (timer_ != nullptr) {
+      timer_->record(std::chrono::steady_clock::now() - start_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Zeroes every registered metric (registration is kept).
+void reset();
+
+/// Human-readable one-metric-per-line dump of the non-zero metrics, for
+/// end-of-run summaries (TrustedLearner).
+std::string summary();
+
+}  // namespace stats
+
+/// All registered metrics as one JSON object:
+///   { "enabled": ..., "counters": {...}, "gauges": {...},
+///     "timers": { name: {"count": n, "total_ms": t}, ... } }
+/// Names are sorted; the canonical engine schema is always present.
+std::string stats_to_json();
+
+}  // namespace tml

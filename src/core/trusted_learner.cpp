@@ -1,9 +1,28 @@
 #include "src/core/trusted_learner.hpp"
 
+#include <iostream>
+
 #include "src/checker/check.hpp"
+#include "src/common/stats.hpp"
 #include "src/learn/mle.hpp"
 
 namespace tml {
+
+namespace {
+
+/// Emits the end-of-run stats digest once per trusted_learn() call — on every
+/// return path — so pipelines always see which engines ran and how hard.
+struct StatsDigest {
+  ~StatsDigest() {
+    if (!stats::enabled()) return;
+    const std::string text = stats::summary();
+    if (!text.empty()) {
+      std::clog << "[tml stats]\n" << text << std::flush;
+    }
+  }
+};
+
+}  // namespace
 
 std::string to_string(TmlStage stage) {
   switch (stage) {
@@ -22,6 +41,13 @@ TrustedLearnerReport trusted_learn(const Dtmc& structure,
   TML_REQUIRE(property.kind() == StateFormula::Kind::kProb ||
                   property.kind() == StateFormula::Kind::kReward,
               "trusted_learn: property must be a bounded P or R operator");
+  static stats::Timer& t_run = stats::timer("core.trusted_learn.time");
+  static stats::Counter& c_runs = stats::counter("core.trusted_learn.runs");
+  // The digest is constructed before the timer span so it is destroyed after
+  // it — the printed summary then includes this run's own elapsed time.
+  const StatsDigest digest;
+  const stats::ScopedTimer span(t_run);
+  c_runs.bump();
 
   TrustedLearnerReport report;
 

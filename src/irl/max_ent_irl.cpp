@@ -5,6 +5,7 @@
 
 #include "src/common/matrix.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/stats.hpp"
 
 namespace tml {
 
@@ -51,6 +52,9 @@ SoftPolicy soft_value_iteration(const CompiledModel& model,
   const auto& choice_start = model.choice_start();
   const auto& target = model.target();
   const auto& prob = model.prob();
+
+  static stats::Counter& c_backward = stats::counter("irl.backward_passes");
+  c_backward.add(horizon);
 
   SoftPolicy policy;
   policy.pi.assign(horizon, {});
@@ -109,6 +113,8 @@ std::vector<std::vector<double>> state_visitation(const CompiledModel& model,
   const auto& choice_start = model.choice_start();
   const auto& target = model.target();
   const auto& prob = model.prob();
+  static stats::Counter& c_forward = stats::counter("irl.forward_passes");
+  c_forward.add(horizon);
   std::vector<std::vector<double>> d(horizon + 1,
                                      std::vector<double>(n, 0.0));
   d[0][model.initial_state()] = 1.0;
@@ -231,6 +237,13 @@ IrlResult fit_to_feature_counts(const CompiledModel& model,
                                 std::span<const double> theta_init) {
   TML_REQUIRE(target_counts.size() == features.dim(),
               "fit_to_feature_counts: target dim mismatch");
+  static stats::Timer& t_fit = stats::timer("irl.fit.time");
+  static stats::Counter& c_fits = stats::counter("irl.fits");
+  static stats::Counter& c_grad_iters =
+      stats::counter("irl.gradient_iterations");
+  static stats::Gauge& g_grad_norm = stats::gauge("irl.gradient_norm");
+  const stats::ScopedTimer span(t_fit);
+  c_fits.bump();
 
   IrlResult result;
   result.theta.assign(features.dim(), 0.0);
@@ -266,6 +279,8 @@ IrlResult fit_to_feature_counts(const CompiledModel& model,
       }
     }
   }
+  c_grad_iters.add(result.iterations);
+  g_grad_norm.set(result.gradient_norm);
   result.state_rewards = features.rewards(result.theta);
   return result;
 }

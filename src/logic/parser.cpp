@@ -116,8 +116,23 @@ class Parser {
     return std::nullopt;
   }
 
-  // state := or
-  StateFormulaPtr parse_state() { return parse_or(); }
+  // Grammar (PRISM precedence: `=>` binds loosest and associates to the
+  // right, then `|`, then `&`, then `!`):
+  //   state := impl
+  //   impl  := or ('=>' impl)?
+  //   or    := and ('|' and)*
+  //   and   := not ('&' not)*
+  StateFormulaPtr parse_state() { return parse_impl(); }
+
+  StateFormulaPtr parse_impl() {
+    StateFormulaPtr lhs = parse_or();
+    if (consume("=>")) {
+      // Right recursion gives right associativity: a => b => c is
+      // a => (b => c).
+      return pctl::implication(std::move(lhs), parse_impl());
+    }
+    return lhs;
+  }
 
   StateFormulaPtr parse_or() {
     StateFormulaPtr lhs = parse_and();
@@ -129,18 +144,10 @@ class Parser {
   }
 
   StateFormulaPtr parse_and() {
-    StateFormulaPtr lhs = parse_impl();
+    StateFormulaPtr lhs = parse_not();
     while (peek() == '&') {
       expect("&");
-      lhs = pctl::conjunction(std::move(lhs), parse_impl());
-    }
-    return lhs;
-  }
-
-  StateFormulaPtr parse_impl() {
-    StateFormulaPtr lhs = parse_not();
-    if (consume("=>")) {
-      return pctl::implication(std::move(lhs), parse_not());
+      lhs = pctl::conjunction(std::move(lhs), parse_not());
     }
     return lhs;
   }

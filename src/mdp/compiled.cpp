@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/stats.hpp"
+
 namespace tml {
 
 namespace {
 
 constexpr std::size_t kIndexLimit = std::numeric_limits<std::uint32_t>::max();
+
+void record_compile_stats(std::size_t rows, std::size_t nnz) {
+  static stats::Counter& c_calls = stats::counter("compile.calls");
+  static stats::Counter& c_rows = stats::counter("compile.rows");
+  static stats::Counter& c_nnz = stats::counter("compile.nnz");
+  c_calls.bump();
+  c_rows.add(rows);
+  c_nnz.add(nnz);
+}
 
 }  // namespace
 
@@ -19,6 +30,10 @@ StateSet CompiledModel::states_with_label(const std::string& label) const {
 }
 
 void CompiledModel::build_predecessors() const {
+  static stats::Counter& c_builds = stats::counter("compile.pred_builds");
+  static stats::Counter& c_dedup = stats::counter("compile.pred_dedup_hits");
+  c_builds.bump();
+  std::size_t dedup_hits = 0;
   const std::size_t n = num_states_;
   // Two passes over the columns with a per-target "last seen source" stamp:
   // sources are visited in increasing order, so a repeated (s, t) pair —
@@ -32,7 +47,10 @@ void CompiledModel::build_predecessors() const {
       for (std::uint32_t k = choice_start_[c]; k < choice_start_[c + 1]; ++k) {
         if (prob_[k] <= 0.0) continue;
         const StateId t = target_[k];
-        if (last_source[t] == s) continue;
+        if (last_source[t] == s) {
+          ++dedup_hits;
+          continue;
+        }
         last_source[t] = s;
         ++pred_start_[t + 1];
       }
@@ -53,10 +71,13 @@ void CompiledModel::build_predecessors() const {
       }
     }
   }
+  c_dedup.add(dedup_hits);
   preds_built_ = true;
 }
 
 CompiledModel compile(const Mdp& mdp) {
+  static stats::Timer& t_compile = stats::timer("compile.time");
+  const stats::ScopedTimer span(t_compile);
   mdp.validate();
   const std::size_t n = mdp.num_states();
 
@@ -105,10 +126,13 @@ CompiledModel compile(const Mdp& mdp) {
   for (const std::string& label : out.label_names_) {
     out.label_sets_.push_back(mdp.states_with_label(label));
   }
+  record_compile_stats(n, num_transitions);
   return out;
 }
 
 CompiledModel compile(const Dtmc& chain) {
+  static stats::Timer& t_compile = stats::timer("compile.time");
+  const stats::ScopedTimer span(t_compile);
   chain.validate();
   const std::size_t n = chain.num_states();
 
@@ -146,6 +170,7 @@ CompiledModel compile(const Dtmc& chain) {
   for (const std::string& label : out.label_names_) {
     out.label_sets_.push_back(chain.states_with_label(label));
   }
+  record_compile_stats(n, num_transitions);
   return out;
 }
 

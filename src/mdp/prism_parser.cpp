@@ -197,28 +197,34 @@ PrismModel parse_prism(const std::string& source) {
                          std::move(transitions));
   }
 
-  // Labels.
-  while (lex.consume_word("label")) {
-    const std::string name = lex.quoted();
-    lex.expect("=");
-    if (!lex.consume_word("false")) {
-      do {
-        lex.expect("(");
-        const std::string guard_var = lex.identifier();
-        if (guard_var != var) lex.fail("unknown variable in label");
-        lex.expect("=");
-        const long s = lex.integer();
-        if (s < lo || s > hi) lex.fail("label state out of range");
-        lex.expect(")");
-        model.mdp.add_label(static_cast<StateId>(s), name);
-      } while (lex.consume("|"));
+  // Trailing blocks: `label` definitions and `rewards ... endrewards`
+  // structures, in any order and any number (PRISM imposes no ordering;
+  // hand-edited files routinely put rewards first). Multiple rewards
+  // blocks accumulate, matching PRISM's additive reward semantics within
+  // a structure.
+  while (true) {
+    if (lex.consume_word("label")) {
+      const std::string name = lex.quoted();
+      lex.expect("=");
+      if (!lex.consume_word("false")) {
+        do {
+          lex.expect("(");
+          const std::string guard_var = lex.identifier();
+          if (guard_var != var) lex.fail("unknown variable in label");
+          lex.expect("=");
+          const long s = lex.integer();
+          if (s < lo || s > hi) lex.fail("label state out of range");
+          lex.expect(")");
+          model.mdp.add_label(static_cast<StateId>(s), name);
+        } while (lex.consume("|"));
+      }
+      lex.expect(";");
+      continue;
     }
-    lex.expect(";");
-  }
-
-  // Rewards (single structure).
-  if (lex.consume_word("rewards")) {
-    (void)lex.quoted();  // structure name
+    if (!lex.consume_word("rewards")) break;
+    // The structure name is optional — `rewards ... endrewards` without a
+    // quoted name is valid PRISM.
+    if (lex.peek() == '"') (void)lex.quoted();
     while (!lex.consume_word("endrewards")) {
       std::string action;
       if (lex.consume("[")) {

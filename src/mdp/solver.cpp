@@ -5,6 +5,7 @@
 
 #include "src/common/matrix.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/stats.hpp"
 #include "src/mdp/graph.hpp"
 
 namespace tml {
@@ -12,6 +13,23 @@ namespace tml {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shared recording for every value-iteration style loop (VI/PI variants
+/// report through the same checker-facing metric names).
+void record_vi_stats(std::size_t iterations, double last_delta) {
+  static stats::Counter& c_iters = stats::counter("checker.vi.iterations");
+  static stats::Gauge& g_delta = stats::gauge("checker.vi.last_delta");
+  c_iters.add(iterations);
+  g_delta.set(last_delta);
+}
+
+void record_prob01_stats(const StateSet& zero, const StateSet& one) {
+  if (!stats::enabled()) return;  // skip the popcounts entirely
+  static stats::Gauge& g_zero = stats::gauge("checker.prob0.states");
+  static stats::Gauge& g_one = stats::gauge("checker.prob1.states");
+  g_zero.set(static_cast<double>(count(zero)));
+  g_one.set(static_cast<double>(count(one)));
+}
 
 /// Q-value of global choice c of state s over the CSR columns.
 double choice_q(const CompiledModel& m, StateId s, std::uint32_t c,
@@ -50,6 +68,7 @@ SolveResult value_iteration_discounted(const CompiledModel& model,
   // independent. The convergence delta is a max-reduction — associativity
   // free — so the iterate sequence matches the serial solver bit for bit.
   std::vector<double> next(n, 0.0);
+  double last_delta = 0.0;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     const double delta = parallel_transform_reduce(
         std::size_t{0}, n, kDefaultGrain, 0.0,
@@ -76,11 +95,13 @@ SolveResult value_iteration_discounted(const CompiledModel& model,
         [](double a, double b) { return std::max(a, b); }, options.threads);
     result.values.swap(next);
     result.iterations = iter + 1;
+    last_delta = delta;
     if (delta < options.tolerance) {
       result.converged = true;
       break;
     }
   }
+  record_vi_stats(result.iterations, last_delta);
   if (!result.converged && options.throw_on_nonconvergence) {
     throw NumericError("value_iteration_discounted: no convergence after " +
                        std::to_string(result.iterations) + " iterations");
@@ -134,10 +155,13 @@ SolveResult policy_iteration_discounted(const CompiledModel& model,
         options.threads);
     if (improved.choice_index == result.policy.choice_index) {
       result.converged = true;
-      return result;
+      break;
     }
     result.policy = std::move(improved);
   }
+  static stats::Counter& c_pi_iters = stats::counter("checker.pi.iterations");
+  c_pi_iters.add(result.iterations);
+  if (result.converged) return result;
   if (options.throw_on_nonconvergence) {
     throw NumericError("policy_iteration_discounted: no convergence after " +
                        std::to_string(result.iterations) + " iterations");
@@ -177,6 +201,7 @@ SolveResult total_reward_to_target(const CompiledModel& model,
   }
 
   std::vector<double> next = result.values;
+  double last_delta = 0.0;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     const double delta = parallel_transform_reduce(
         std::size_t{0}, n, kDefaultGrain, 0.0,
@@ -211,11 +236,13 @@ SolveResult total_reward_to_target(const CompiledModel& model,
         [](double a, double b) { return std::max(a, b); }, options.threads);
     result.values.swap(next);
     result.iterations = iter + 1;
+    last_delta = delta;
     if (delta < options.tolerance) {
       result.converged = true;
       break;
     }
   }
+  record_vi_stats(result.iterations, last_delta);
   if (!result.converged && options.throw_on_nonconvergence) {
     throw NumericError("total_reward_to_target: no convergence after " +
                        std::to_string(result.iterations) + " iterations");
@@ -373,6 +400,7 @@ std::vector<double> dtmc_reachability(const CompiledModel& model,
   const auto& prob = model.prob();
   const StateSet zero = dtmc_prob0(model, targets);
   const StateSet one = dtmc_prob1(model, targets);
+  record_prob01_stats(zero, one);
 
   std::vector<int> index(n, -1);
   std::vector<StateId> unknowns;

@@ -4,10 +4,21 @@
 #include <cmath>
 
 #include "src/common/parallel.hpp"
+#include "src/common/stats.hpp"
 
 namespace tml {
 
 namespace {
+
+/// Evaluation tallies. Bumped from worker threads during the multi-start
+/// fan-out — relaxed atomic sums are order-insensitive, so this stays within
+/// the determinism contract.
+void count_objective_evals(std::size_t constraint_evals) {
+  static stats::Counter& c_obj = stats::counter("opt.objective_evals");
+  static stats::Counter& c_con = stats::counter("opt.constraint_evals");
+  c_obj.bump();
+  c_con.add(constraint_evals);
+}
 
 struct Evaluated {
   double objective = 0.0;
@@ -15,6 +26,7 @@ struct Evaluated {
 };
 
 Evaluated evaluate(const Problem& problem, std::span<const double> x) {
+  count_objective_evals(problem.constraints.size());
   return Evaluated{problem.objective(x), max_violation(problem, x)};
 }
 
@@ -22,6 +34,7 @@ Evaluated evaluate(const Problem& problem, std::span<const double> x) {
 /// Lagrangian when multipliers are provided).
 double penalized_value(const Problem& problem, std::span<const double> x,
                        double mu, std::span<const double> multipliers) {
+  count_objective_evals(problem.constraints.size());
   double value = problem.objective(x);
   for (std::size_t i = 0; i < problem.constraints.size(); ++i) {
     const double g = problem.constraints[i].value(x);
@@ -42,6 +55,8 @@ double penalized_value(const Problem& problem, std::span<const double> x,
 std::vector<double> penalized_gradient(const Problem& problem,
                                        std::span<const double> x, double mu,
                                        std::span<const double> multipliers) {
+  static stats::Counter& c_grad = stats::counter("opt.gradient_evals");
+  c_grad.bump();
   std::vector<double> grad =
       problem.objective_gradient
           ? problem.objective_gradient(x)
@@ -310,6 +325,13 @@ SolveOutcome solve_local(const Problem& problem, std::vector<double> start,
 }
 
 SolveOutcome solve(const Problem& problem, const SolveOptions& options) {
+  static stats::Timer& t_solve = stats::timer("opt.solve.time");
+  static stats::Counter& c_solves = stats::counter("opt.solves");
+  static stats::Counter& c_starts = stats::counter("opt.starts");
+  static stats::Gauge& g_winner = stats::gauge("opt.multistart.winner");
+  const stats::ScopedTimer span(t_solve);
+  c_solves.bump();
+
   problem.validate();
   Rng rng(options.seed);
 
@@ -352,7 +374,9 @@ SolveOutcome solve(const Problem& problem, const SolveOptions& options) {
   SolveOutcome best;
   std::size_t total_iterations = 0;
   std::size_t total_starts = 0;
-  for (SolveOutcome& outcome : outcomes) {
+  std::size_t winner = 0;
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    SolveOutcome& outcome = outcomes[k];
     total_iterations += outcome.iterations;
     ++total_starts;
     const bool outcome_feasible = outcome.status == SolveStatus::kOptimal;
@@ -363,10 +387,15 @@ SolveOutcome solve(const Problem& problem, const SolveOptions& options) {
          outcome.objective < best.objective) ||
         (!outcome_feasible && !best_feasible &&
          outcome.max_violation < best.max_violation);
-    if (improves || best.x.empty()) best = std::move(outcome);
+    if (improves || best.x.empty()) {
+      best = std::move(outcome);
+      winner = k;
+    }
   }
   best.iterations = total_iterations;
   best.starts_tried = total_starts;
+  c_starts.add(total_starts);
+  g_winner.set(static_cast<double>(winner));
   return best;
 }
 

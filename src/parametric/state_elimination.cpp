@@ -5,9 +5,32 @@
 #include <map>
 #include <set>
 
+#include "src/common/stats.hpp"
+
 namespace tml {
 
 namespace {
+
+/// Folds a run's local EliminationStats into the caller-provided struct (if
+/// any) and into the global registry. The local struct is always populated so
+/// the registry metrics don't depend on whether the caller asked for stats.
+void record_elimination(const EliminationStats& local, EliminationStats* out) {
+  if (out != nullptr) {
+    out->states_eliminated += local.states_eliminated;
+    out->max_degree_seen =
+        std::max(out->max_degree_seen, local.max_degree_seen);
+    out->max_terms_seen = std::max(out->max_terms_seen, local.max_terms_seen);
+  }
+  static stats::Counter& c_runs = stats::counter("parametric.eliminations");
+  static stats::Counter& c_states =
+      stats::counter("parametric.states_eliminated");
+  static stats::Gauge& g_degree = stats::gauge("parametric.peak_degree");
+  static stats::Gauge& g_terms = stats::gauge("parametric.peak_terms");
+  c_runs.bump();
+  c_states.add(local.states_eliminated);
+  g_degree.set_max(static_cast<double>(local.max_degree_seen));
+  g_terms.set_max(static_cast<double>(local.max_terms_seen));
+}
 
 /// Working form of the chain during elimination: sparse rows of rational
 /// functions plus the per-state accumulated value term r(s).
@@ -169,6 +192,8 @@ RationalFunction eliminate_all(Workspace& ws, StateId init,
 RationalFunction reachability_probability(const ParametricDtmc& chain,
                                           const StateSet& targets,
                                           EliminationStats* stats) {
+  static stats::Timer& t_elim = stats::timer("parametric.elimination.time");
+  const stats::ScopedTimer span(t_elim);
   TML_REQUIRE(targets.size() == chain.num_states(),
               "reachability_probability: target set size mismatch");
   const StateId init = chain.initial_state();
@@ -197,12 +222,19 @@ RationalFunction reachability_probability(const ParametricDtmc& chain,
       // else: transition into a prob-0 region; contributes nothing.
     }
   }
-  return eliminate_all(ws, init, stats);
+  EliminationStats local;
+  EliminationStats* track =
+      (stats != nullptr || stats::enabled()) ? &local : nullptr;
+  RationalFunction result = eliminate_all(ws, init, track);
+  if (track != nullptr) record_elimination(local, stats);
+  return result;
 }
 
 RationalFunction expected_total_reward(const ParametricDtmc& chain,
                                        const StateSet& targets,
                                        EliminationStats* stats) {
+  static stats::Timer& t_elim = stats::timer("parametric.elimination.time");
+  const stats::ScopedTimer span(t_elim);
   TML_REQUIRE(targets.size() == chain.num_states(),
               "expected_total_reward: target set size mismatch");
   const StateId init = chain.initial_state();
@@ -234,7 +266,12 @@ RationalFunction expected_total_reward(const ParametricDtmc& chain,
       ws.add_edge(s, t, *p);
     }
   }
-  return eliminate_all(ws, init, stats);
+  EliminationStats local;
+  EliminationStats* track =
+      (stats != nullptr || stats::enabled()) ? &local : nullptr;
+  RationalFunction result = eliminate_all(ws, init, track);
+  if (track != nullptr) record_elimination(local, stats);
+  return result;
 }
 
 }  // namespace tml

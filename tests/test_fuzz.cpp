@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/checker/check.hpp"
+#include "src/checker/smc.hpp"
 #include "src/common/rng.hpp"
 #include "src/logic/parser.hpp"
 
@@ -116,6 +117,144 @@ TEST_P(FuzzRoundTrip, PrinterParserFixedPoint) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRoundTrip, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Precedence corpus: the built-in printer parenthesizes fully, so the
+// round-trip above can never catch a precedence bug. This corpus renders
+// random boolean formulas with the MINIMAL parentheses the grammar allows
+// (`=>` loosest and right-associative, then `|`, `&`, `!`) and asserts the
+// parser rebuilds the exact same tree.
+
+StateFormulaPtr random_boolean_formula(Rng& rng, int depth) {
+  const std::vector<std::string> labels{"a", "b", "c"};
+  if (depth <= 0 || rng.bernoulli(0.3)) {
+    switch (rng.index(3)) {
+      case 0: return pctl::truth();
+      case 1: return pctl::falsity();
+      default: return pctl::label(labels[rng.index(labels.size())]);
+    }
+  }
+  switch (rng.index(4)) {
+    case 0:
+      return pctl::negation(random_boolean_formula(rng, depth - 1));
+    case 1:
+      return pctl::conjunction(random_boolean_formula(rng, depth - 1),
+                               random_boolean_formula(rng, depth - 1));
+    case 2:
+      return pctl::disjunction(random_boolean_formula(rng, depth - 1),
+                               random_boolean_formula(rng, depth - 1));
+    default:
+      return pctl::implication(random_boolean_formula(rng, depth - 1),
+                               random_boolean_formula(rng, depth - 1));
+  }
+}
+
+int connective_precedence(const StateFormula& f) {
+  switch (f.kind()) {
+    case StateFormula::Kind::kImplies: return 0;
+    case StateFormula::Kind::kOr: return 1;
+    case StateFormula::Kind::kAnd: return 2;
+    case StateFormula::Kind::kNot: return 3;
+    default: return 4;  // atoms
+  }
+}
+
+std::string render_minimal(const StateFormula& f);
+
+std::string render_operand(const StateFormula& child, int min_precedence) {
+  std::string text = render_minimal(child);
+  if (connective_precedence(child) < min_precedence) {
+    text = "(" + text + ")";
+  }
+  return text;
+}
+
+std::string render_minimal(const StateFormula& f) {
+  switch (f.kind()) {
+    case StateFormula::Kind::kTrue: return "true";
+    case StateFormula::Kind::kFalse: return "false";
+    case StateFormula::Kind::kLabel: return "\"" + f.label() + "\"";
+    case StateFormula::Kind::kNot:
+      return "!" + render_operand(f.operand(), 3);
+    case StateFormula::Kind::kAnd:
+      // Left-associative: the left child may sit at the same level.
+      return render_operand(f.operand(0), 2) + " & " +
+             render_operand(f.operand(1), 3);
+    case StateFormula::Kind::kOr:
+      return render_operand(f.operand(0), 1) + " | " +
+             render_operand(f.operand(1), 2);
+    case StateFormula::Kind::kImplies:
+      // Right-associative: the right child may sit at the same level.
+      return render_operand(f.operand(0), 1) + " => " +
+             render_operand(f.operand(1), 0);
+    default:
+      ADD_FAILURE() << "non-boolean formula in precedence corpus";
+      return "false";
+  }
+}
+
+class FuzzPrecedence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPrecedence, MinimalParenthesesReparseToTheSameTree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  for (int i = 0; i < 40; ++i) {
+    const StateFormulaPtr f = random_boolean_formula(rng, 4);
+    const std::string text = render_minimal(*f);
+    StateFormulaPtr reparsed;
+    ASSERT_NO_THROW(reparsed = parse_pctl(text)) << text;
+    // Identical trees print identically through the canonical printer.
+    EXPECT_EQ(reparsed->to_string(), f->to_string()) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPrecedence, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// SMC differential: sampled estimates must agree with the exact engine on
+// random chains, and truncation accounting must fire on chains whose hitting
+// times exceed the horizon.
+
+class FuzzSmcDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSmcDifferential, BoundedGloballyMatchesExactChecker) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 3);
+  const Dtmc chain = random_chain(rng, 4 + rng.index(4));
+  const StateFormulaPtr query = pctl::prob_query(
+      Quantifier::kMax, pctl::globally(pctl::label("a"), 6));
+  const double exact =
+      quantitative_values(chain, *query)[chain.initial_state()];
+  SmcOptions options;
+  options.epsilon = 0.02;
+  options.delta = 0.02;
+  const SmcResult smc = smc_check(chain, *query, options);
+  EXPECT_EQ(smc.truncated, 0u);  // bounded operators never truncate
+  // 0.05 ≫ ε: failure probability per seed is ~1e-12, not δ.
+  EXPECT_NEAR(smc.estimate, exact, 0.05);
+}
+
+TEST_P(FuzzSmcDifferential, TruncationAccountingFiresOnSlowChains) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 13);
+  // Geometric chain with expected hitting time 1/p ≫ max_steps.
+  const double p = rng.uniform(0.0005, 0.005);
+  Dtmc chain(2);
+  chain.set_transitions(0, {Transition{0, 1.0 - p}, Transition{1, p}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.add_label(1, "goal");
+  const StateFormulaPtr query = parse_pctl("P=? [ F \"goal\" ]");
+  SmcOptions options;
+  options.epsilon = 0.05;
+  options.max_steps = 10;
+  // Strict default: refuses the biased estimate.
+  EXPECT_THROW(smc_check(chain, *query, options), NumericError);
+  // Tolerated: counted, and the interval widens to bracket the truth (1).
+  options.max_truncation_rate = 1.0;
+  const SmcResult result = smc_check(chain, *query, options);
+  EXPECT_GT(result.truncated, 0u);
+  EXPECT_GT(result.epsilon, options.epsilon);
+  EXPECT_GE(result.estimate + result.epsilon, 1.0 - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSmcDifferential, ::testing::Range(0, 8));
 
 class FuzzSemantics : public ::testing::TestWithParam<int> {};
 

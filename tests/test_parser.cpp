@@ -36,6 +36,40 @@ TEST(Parser, NegationAndImplication) {
   EXPECT_EQ(g->kind(), StateFormula::Kind::kNot);
 }
 
+TEST(Parser, ImplicationBindsLoosestOfAllConnectives) {
+  // PRISM precedence: `a & b => c` is `(a & b) => c`, not `a & (b => c)`.
+  const StateFormulaPtr f = parse_pctl("\"a\" & \"b\" => \"c\"");
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kImplies);
+  EXPECT_EQ(f->operand(0).kind(), StateFormula::Kind::kAnd);
+  EXPECT_EQ(f->operand(1).kind(), StateFormula::Kind::kLabel);
+  // Same below `|`.
+  const StateFormulaPtr g = parse_pctl("\"a\" | \"b\" => \"c\"");
+  EXPECT_EQ(g->kind(), StateFormula::Kind::kImplies);
+  EXPECT_EQ(g->operand(0).kind(), StateFormula::Kind::kOr);
+}
+
+TEST(Parser, ImplicationIsRightAssociative) {
+  // a => b => c is a => (b => c).
+  const StateFormulaPtr f = parse_pctl("\"a\" => \"b\" => \"c\"");
+  EXPECT_EQ(f->kind(), StateFormula::Kind::kImplies);
+  EXPECT_EQ(f->operand(0).kind(), StateFormula::Kind::kLabel);
+  EXPECT_EQ(f->operand(0).label(), "a");
+  EXPECT_EQ(f->operand(1).kind(), StateFormula::Kind::kImplies);
+  EXPECT_EQ(f->operand(1).operand(0).label(), "b");
+  EXPECT_EQ(f->operand(1).operand(1).label(), "c");
+}
+
+TEST(Parser, ImplicationRoundTripsThroughPrinter) {
+  for (const std::string text :
+       {"\"a\" & \"b\" => \"c\"", "\"a\" => \"b\" => \"c\"",
+        "\"a\" | !\"b\" => \"c\" & \"d\"",
+        "P>=0.5 [ F (\"a\" & \"b\" => \"c\") ]"}) {
+    const StateFormulaPtr f = parse_pctl(text);
+    const StateFormulaPtr reparsed = parse_pctl(f->to_string());
+    EXPECT_EQ(f->to_string(), reparsed->to_string()) << text;
+  }
+}
+
 TEST(Parser, ProbEventually) {
   const StateFormulaPtr f = parse_pctl("P>=0.99 [ F \"goal\" ]");
   EXPECT_EQ(f->kind(), StateFormula::Kind::kProb);

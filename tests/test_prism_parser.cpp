@@ -2,6 +2,9 @@
 
 #include "src/mdp/prism_parser.hpp"
 
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "src/casestudies/car.hpp"
@@ -11,6 +14,14 @@
 
 namespace tml {
 namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) ADD_FAILURE() << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 constexpr const char* kHandWritten = R"(
 // a comment
@@ -94,6 +105,72 @@ TEST(PrismParser, RoundTripDtmcWithRewards) {
   const Dtmc back = parsed.dtmc();
   EXPECT_NEAR(*check(back, "R=? [ F \"goal\" ]").value,
               *check(chain, "R=? [ F \"goal\" ]").value, 1e-12);
+}
+
+TEST(PrismParser, UnnamedRewardsBlockParses) {
+  // `rewards ... endrewards` without a quoted structure name is valid PRISM.
+  const std::string source = R"(
+dtmc
+module m
+  s : [0..1] init 0;
+  [] s=0 -> 1 : (s'=1);
+  [] s=1 -> 1 : (s'=1);
+endmodule
+rewards
+  s=0 : 2.0;
+endrewards
+)";
+  const PrismModel model = parse_prism(source);
+  EXPECT_DOUBLE_EQ(model.mdp.state_reward(0), 2.0);
+}
+
+TEST(PrismParser, RewardsBeforeLabelsParses) {
+  // PRISM imposes no ordering on trailing blocks; hand-edited files
+  // routinely put rewards first.
+  const std::string source = R"(
+dtmc
+module m
+  s : [0..1] init 0;
+  [] s=0 -> 1 : (s'=1);
+  [] s=1 -> 1 : (s'=1);
+endmodule
+
+rewards "steps"
+  s=0 : 1.0;
+endrewards
+
+label "done" = (s=1);
+
+rewards
+  s=1 : 0.5;
+endrewards
+)";
+  const PrismModel model = parse_prism(source);
+  EXPECT_TRUE(model.mdp.has_label(1, "done"));
+  EXPECT_DOUBLE_EQ(model.mdp.state_reward(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.mdp.state_reward(1), 0.5);
+}
+
+TEST(PrismParser, CheckedInWsnFileRoundTrips) {
+  const std::string source = read_file(std::string(TML_SOURCE_DIR) +
+                                       "/wsn.prism");
+  const PrismModel parsed = parse_prism(source);
+  // Reparse its own export: same model, same headline value.
+  const PrismModel reparsed = parse_prism(to_prism(parsed.mdp, "wsn"));
+  ASSERT_EQ(reparsed.mdp.num_states(), parsed.mdp.num_states());
+  EXPECT_NEAR(*check(reparsed.mdp, "Rmin=? [ F \"delivered\" ]").value,
+              *check(parsed.mdp, "Rmin=? [ F \"delivered\" ]").value, 1e-9);
+}
+
+TEST(PrismParser, CheckedInCarFileRoundTrips) {
+  const std::string source = read_file(std::string(TML_SOURCE_DIR) +
+                                       "/car.prism");
+  const PrismModel parsed = parse_prism(source);
+  const PrismModel reparsed = parse_prism(to_prism(parsed.mdp, "car"));
+  ASSERT_EQ(reparsed.mdp.num_states(), parsed.mdp.num_states());
+  EXPECT_NEAR(
+      *check(reparsed.mdp, "Pmin=? [ F (\"goal\" | \"unsafe\") ]").value,
+      *check(parsed.mdp, "Pmin=? [ F (\"goal\" | \"unsafe\") ]").value, 1e-9);
 }
 
 TEST(PrismParser, FalseLabelParses) {

@@ -131,5 +131,85 @@ TEST(Smc, RejectsNonProbabilityFormulas) {
   EXPECT_THROW(smc_check(chain, *parse_pctl("R<=4 [ F \"goal\" ]")), Error);
 }
 
+/// Slow geometric chain: goal reached almost surely but with expected
+/// hitting time 1/p ≫ max_steps, so unbounded F walks hit the truncation
+/// horizon with the outcome still open.
+Dtmc slow_chain(double p) {
+  Dtmc chain(2);
+  chain.set_transitions(0, {Transition{0, 1.0 - p}, Transition{1, p}});
+  chain.set_transitions(1, {Transition{1, 1.0}});
+  chain.add_label(1, "goal");
+  return chain;
+}
+
+TEST(SmcTruncation, ThrowsByDefaultInsteadOfBiasingLow) {
+  // P[F goal] = 1 exactly, but with max_steps=8 most paths are undecided.
+  // The strict default refuses to return the (wildly low) estimate.
+  const Dtmc chain = slow_chain(0.001);
+  SmcOptions options;
+  options.epsilon = 0.05;
+  options.max_steps = 8;
+  EXPECT_THROW(smc_check(chain, *parse_pctl("P=? [ F \"goal\" ]"), options),
+               NumericError);
+}
+
+TEST(SmcTruncation, ToleratedTruncationIsCountedAndWidensInterval) {
+  const Dtmc chain = slow_chain(0.001);
+  SmcOptions options;
+  options.epsilon = 0.05;
+  options.max_steps = 8;
+  options.max_truncation_rate = 1.0;
+  const SmcResult result =
+      smc_check(chain, *parse_pctl("P=? [ F \"goal\" ]"), options);
+  EXPECT_GT(result.truncated, 0u);
+  const double rate =
+      static_cast<double>(result.truncated) / static_cast<double>(result.samples);
+  EXPECT_DOUBLE_EQ(result.epsilon, options.epsilon + rate);
+  // The widened interval still brackets the truth (exact value 1).
+  EXPECT_GE(result.estimate + result.epsilon, 1.0 - 1e-12);
+}
+
+TEST(SmcTruncation, GraphCertainTrapsAreDecidedNotTruncated) {
+  // The trap state of split_chain can never reach the goal; prob0
+  // precomputation decides such paths immediately, so the strict default
+  // (max_truncation_rate = 0) passes even for the unbounded operator.
+  const Dtmc chain = split_chain(0.3);
+  SmcOptions options;
+  options.epsilon = 0.02;
+  const SmcResult result =
+      smc_check(chain, *parse_pctl("P=? [ F \"goal\" ]"), options);
+  EXPECT_EQ(result.truncated, 0u);
+  EXPECT_NEAR(result.estimate, 0.3, options.epsilon);
+}
+
+TEST(SmcTruncation, UnboundedGloballyDecidedByCertainYesSet) {
+  // G !goal on split_chain: entering the trap makes the invariant certain
+  // (goal is unreachable from there), entering goal violates it — every
+  // path is decided in a handful of steps.
+  const Dtmc chain = split_chain(0.3);
+  SmcOptions options;
+  options.epsilon = 0.02;
+  const SmcResult result =
+      smc_check(chain, *parse_pctl("P=? [ G !\"goal\" ]"), options);
+  EXPECT_EQ(result.truncated, 0u);
+  EXPECT_NEAR(result.estimate, 0.7, options.epsilon);
+}
+
+TEST(SmcTruncation, CountsAreBitwiseDeterministicAcrossThreadCounts) {
+  const Dtmc chain = slow_chain(0.01);
+  SmcOptions options;
+  options.epsilon = 0.05;
+  options.max_steps = 20;
+  options.max_truncation_rate = 1.0;
+  const StateFormulaPtr f = parse_pctl("P=? [ F \"goal\" ]");
+  options.threads = 1;
+  const SmcResult serial = smc_check(chain, *f, options);
+  options.threads = 4;
+  const SmcResult parallel = smc_check(chain, *f, options);
+  EXPECT_EQ(serial.truncated, parallel.truncated);
+  EXPECT_DOUBLE_EQ(serial.estimate, parallel.estimate);
+  EXPECT_DOUBLE_EQ(serial.epsilon, parallel.epsilon);
+}
+
 }  // namespace
 }  // namespace tml

@@ -1,13 +1,19 @@
 // tml_check — command-line PCTL model checker over PRISM-subset files.
 //
 //   tml_check <model.prism> "<pctl formula>" [--counterexample] [--dot]
+//             [--stats]
 //
 // Loads a model written in the explicit single-module PRISM subset
 // (src/mdp/prism_parser.hpp), checks the formula, prints the verdict and
 // the measured value, and optionally:
 //   --counterexample   for violated P<=b / P<b [F ...] properties on
 //                      DTMCs, prints the strongest evidence paths;
-//   --dot              dumps the model as Graphviz DOT to stdout.
+//   --dot              dumps the model as Graphviz DOT to stdout;
+//   --stats            enables the engine statistics registry, runs a
+//                      cross-engine corroboration pass (SMC and parametric
+//                      state elimination against the exact reachability
+//                      value on an induced DTMC) and prints the full
+//                      counter/timer registry as one JSON object.
 //
 // Exit code: 0 when the property is satisfied (or the query is
 // quantitative), 1 when violated, 2 on usage/parse errors.
@@ -18,9 +24,14 @@
 
 #include "src/checker/check.hpp"
 #include "src/checker/counterexample.hpp"
+#include "src/checker/smc.hpp"
+#include "src/common/stats.hpp"
 #include "src/logic/parser.hpp"
 #include "src/mdp/export.hpp"
 #include "src/mdp/prism_parser.hpp"
+#include "src/mdp/solver.hpp"
+#include "src/parametric/parametric_dtmc.hpp"
+#include "src/parametric/state_elimination.hpp"
 
 using namespace tml;
 
@@ -28,9 +39,49 @@ namespace {
 
 int usage() {
   std::cerr << "usage: tml_check <model.prism> \"<pctl formula>\" "
-               "[--counterexample] [--dot]\n"
+               "[--counterexample] [--dot] [--stats]\n"
             << "example: tml_check wsn.prism 'Rmin<=40 [ F \"delivered\" ]'\n";
   return 2;
+}
+
+/// Exercises the sampling and parametric engines on a DTMC induced from the
+/// loaded model, so the --stats JSON carries live numbers from every
+/// tractable subsystem and the three independent engines corroborate one
+/// another on the same reachability query. The probe target is the highest
+/// state id — for generated models the absorbing "done" state; if it is
+/// unreachable every engine agrees on 0 just as cheaply.
+void corroborate(const PrismModel& model) {
+  const std::size_t n = model.mdp.num_states();
+  const StateId probe = static_cast<StateId>(n - 1);
+  Dtmc chain(n);
+  chain.set_initial_state(model.mdp.initial_state());
+  for (StateId s = 0; s < n; ++s) {
+    // First choice per state: an arbitrary but fixed memoryless scheduler
+    // (the identity on DTMCs).
+    chain.set_transitions(s, model.mdp.choices(s)[0].transitions);
+  }
+  chain.add_label(probe, "__probe__");
+  StateSet targets(n, false);
+  targets[probe] = true;
+
+  const double exact = dtmc_reachability(chain, targets)[chain.initial_state()];
+
+  const ParametricDtmc parametric = ParametricDtmc::from_dtmc(chain);
+  const RationalFunction closed_form =
+      reachability_probability(parametric, targets);
+  const double via_elimination = closed_form.evaluate({});
+
+  SmcOptions options;
+  options.epsilon = 0.02;
+  options.delta = 0.02;
+  options.max_truncation_rate = 1.0;  // corroboration must not throw
+  const SmcResult smc =
+      smc_check(chain, *parse_pctl("P=? [ F \"__probe__\" ]"), options);
+
+  std::cout << "corroboration: P[F probe] exact=" << exact
+            << " elimination=" << via_elimination
+            << " smc=" << smc.estimate << " +/- " << smc.epsilon << " ("
+            << smc.samples << " samples, " << smc.truncated << " truncated)\n";
 }
 
 }  // namespace
@@ -41,16 +92,20 @@ int main(int argc, char** argv) {
   const std::string formula_text = argv[2];
   bool want_counterexample = false;
   bool want_dot = false;
+  bool want_stats = false;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--counterexample") {
       want_counterexample = true;
     } else if (flag == "--dot") {
       want_dot = true;
+    } else if (flag == "--stats") {
+      want_stats = true;
     } else {
       return usage();
     }
   }
+  if (want_stats) stats::set_enabled(true);
 
   try {
     std::ifstream in(path);
@@ -73,9 +128,16 @@ int main(int argc, char** argv) {
       std::cout << to_dot(model.mdp) << "\n";
     }
 
+    const auto emit_stats = [&] {
+      if (!want_stats) return;
+      corroborate(model);
+      std::cout << "stats:\n" << stats_to_json() << "\n";
+    };
+
     const CheckResult result = check(model.mdp, *formula);
     if (formula->is_quantitative()) {
       std::cout << "value:    " << *result.value << "\n";
+      emit_stats();
       return 0;
     }
     std::cout << "verdict:  "
@@ -98,6 +160,7 @@ int main(int argc, char** argv) {
           strongest_evidence(chain, targets, formula->bound());
       std::cout << ce.to_string(chain);
     }
+    emit_stats();
     return result.satisfied ? 0 : 1;
   } catch (const Error& e) {
     std::cerr << "tml_check: " << e.what() << "\n";
