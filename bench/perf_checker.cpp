@@ -53,6 +53,42 @@ Dtmc grid_chain(std::size_t n) {
   return chain;
 }
 
+/// Grid walk with a per-cell leak to an absorbing trap. Unlike grid_chain,
+/// where every state reaches the goal almost surely (the prob0/prob1 graph
+/// pass pins the whole grid and no engine iterates), here every value is
+/// strictly inside (0, 1), so the solve benches below measure the numeric
+/// engines rather than the qualitative precomputation.
+Dtmc leaky_grid_chain(std::size_t n) {
+  const std::size_t total = n * n + 1;  // last state is the trap
+  const StateId trap = static_cast<StateId>(n * n);
+  Dtmc chain(total);
+  auto id = [n](std::size_t r, std::size_t c) {
+    return static_cast<StateId>(r * n + c);
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == n - 1 && c == n - 1) {
+        chain.set_transitions(id(r, c), {Transition{id(r, c), 1.0}});
+        continue;
+      }
+      std::vector<StateId> targets;
+      if (r + 1 < n) targets.push_back(id(r + 1, c));
+      if (c + 1 < n) targets.push_back(id(r, c + 1));
+      std::vector<Transition> row;
+      row.push_back(Transition{id(r, c), 0.3});
+      row.push_back(Transition{trap, 0.05});
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        row.push_back(
+            Transition{targets[k], 0.65 / static_cast<double>(targets.size())});
+      }
+      chain.set_transitions(id(r, c), std::move(row));
+    }
+  }
+  chain.set_transitions(trap, {Transition{trap, 1.0}});
+  chain.add_label(id(n - 1, n - 1), "goal");
+  return chain;
+}
+
 // --- nested-vector reference pipeline (pre-refactor reachability path) ----
 
 std::vector<std::vector<StateId>> nested_predecessors(const Dtmc& chain) {
@@ -244,6 +280,34 @@ void BM_BoundedUntilThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundedUntilThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime();
+
+/// Unbounded-reachability engine comparison on the grid family: classic
+/// flat value iteration vs topological per-SCC sweeps vs sound interval
+/// iteration, on the leaky grid (every value strictly inside (0, 1), so
+/// the numeric engines actually run). The grid is acyclic apart from
+/// self-loops, so every SCC is a single state and the topological engines
+/// solve each block in closed form — one dependency-ordered pass — while
+/// classic VI pays hundreds of full-model sweeps to push probability mass
+/// corner to corner. Interval iteration adds a second vector plus the
+/// certification gap check on top of the topological core; the bench
+/// records what that soundness costs.
+void BM_GridSolveMethod(benchmark::State& state) {
+  const CompiledModel model =
+      compile(leaky_grid_chain(static_cast<std::size_t>(state.range(1))));
+  const StateSet goal = model.states_with_label("goal");
+  (void)model.scc();  // decomposition is cached; measure steady-state solves
+  SolverOptions options;
+  options.tolerance = 1e-8;
+  options.method = static_cast<SolveMethod>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mdp_reachability(model, goal, Objective::kMaximize, options));
+  }
+  state.SetComplexityN(state.range(1) * state.range(1));
+}
+BENCHMARK(BM_GridSolveMethod)
+    ->ArgNames({"method", "grid"})
+    ->ArgsProduct({{0, 1, 2}, {16, 32, 64}});
 
 void BM_PctlParse(benchmark::State& state) {
   const std::string text =

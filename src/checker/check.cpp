@@ -107,6 +107,9 @@ class Checker {
   std::vector<double> until(const StateSet& stay, const StateSet& goal,
                             Objective objective) {
     if (model_.deterministic()) return dtmc_until(model_, stay, goal);
+    // Default-constructed SolverOptions picks up default_solve_method():
+    // unbounded MDP until runs the sound interval-topological engine unless
+    // a tool has switched the process default (tml_check --method).
     return mdp_until(model_, stay, goal, objective);
   }
 

@@ -1,5 +1,6 @@
 #include "src/checker/reachability.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/parallel.hpp"
@@ -28,34 +29,93 @@ CompiledModel absorb_escape_states(const CompiledModel& model,
   return model.make_absorbing(escape);
 }
 
-}  // namespace
+/// Probability-0 / probability-1 regions for the given objective, pinned by
+/// graph analysis before any numerics run.
+struct Prob01 {
+  StateSet zero;
+  StateSet one;
+};
 
-std::vector<double> mdp_reachability(const CompiledModel& model,
-                                     const StateSet& targets,
-                                     Objective objective,
-                                     const SolverOptions& options) {
-  TML_REQUIRE(targets.size() == model.num_states(),
-              "mdp_reachability: target set size mismatch");
+Prob01 reach_prob01(const CompiledModel& model, const StateSet& targets,
+                    Objective objective) {
+  Prob01 sets;
+  if (objective == Objective::kMaximize) {
+    sets.zero = complement(reachable_existential(model, targets));
+    sets.one = prob1_existential(model, targets);
+  } else {
+    sets.zero = avoid_certain(model, targets);
+    sets.one = prob1_universal(model, targets);
+  }
+  if (stats::enabled()) {  // skip the popcounts entirely when disabled
+    static stats::Gauge& g_zero = stats::gauge("checker.prob0.states");
+    static stats::Gauge& g_one = stats::gauge("checker.prob1.states");
+    g_zero.set(static_cast<double>(count(sets.zero)));
+    g_one.set(static_cast<double>(count(sets.one)));
+  }
+  return sets;
+}
+
+void record_vi_stats(std::size_t iterations, double last_delta) {
+  static stats::Counter& c_iters = stats::counter("checker.vi.iterations");
+  static stats::Gauge& g_delta = stats::gauge("checker.vi.last_delta");
+  c_iters.add(iterations);
+  g_delta.set(last_delta);
+}
+
+void record_scc_count(std::size_t blocks) {
+  static stats::Gauge& g_scc = stats::gauge("checker.scc_count");
+  g_scc.set(static_cast<double>(blocks));
+}
+
+/// Closed-form solve of a single-state SCC block against already-final
+/// successor values: with self-loop mass a_c and external inflow
+/// b_c = Σ_{t≠s} p(t|s,c)·v(t) per choice, the fixpoint of choice c is
+/// b_c / (1 - a_c). Pure self-loop choices (a_c = 1) never advance the state
+/// and are skipped: a Pmin state owning one would be in avoid_certain
+/// (pinned 0), and for Pmax such a choice yields value 0 from here on, which
+/// never beats a competing exit and equals the a-priori 0 fallback otherwise.
+double solve_single_state(const CompiledModel& model, StateId s,
+                          Objective objective,
+                          const std::vector<double>& values) {
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+  bool any = false;
+  double best = 0.0;
+  for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+    double self = 0.0;
+    double inflow = 0.0;
+    for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+      if (target[k] == s) {
+        self += prob[k];
+      } else {
+        inflow += prob[k] * values[target[k]];
+      }
+    }
+    if (self >= 1.0) continue;
+    const double q = std::min(1.0, inflow / (1.0 - self));
+    if (!any || (objective == Objective::kMaximize ? q > best : q < best)) {
+      best = q;
+      any = true;
+    }
+  }
+  return best;
+}
+
+/// Classic flat Jacobi value iteration with the `delta < eps` stopping rule
+/// (SolveMethod::kValueIteration). Kept as the baseline engine; the stopping
+/// rule is unsound on slowly-mixing models (see SolveMethod docs).
+std::vector<double> reach_classic(const CompiledModel& model,
+                                  const Prob01& sets, Objective objective,
+                                  const SolverOptions& options) {
   const std::size_t n = model.num_states();
   const auto& row_start = model.row_start();
   const auto& choice_start = model.choice_start();
   const auto& target = model.target();
   const auto& prob = model.prob();
-
-  StateSet zero, one;
-  if (objective == Objective::kMaximize) {
-    zero = complement(reachable_existential(model, targets));
-    one = prob1_existential(model, targets);
-  } else {
-    zero = avoid_certain(model, targets);
-    one = prob1_universal(model, targets);
-  }
-  if (stats::enabled()) {  // skip the popcounts entirely when disabled
-    static stats::Gauge& g_zero = stats::gauge("checker.prob0.states");
-    static stats::Gauge& g_one = stats::gauge("checker.prob1.states");
-    g_zero.set(static_cast<double>(count(zero)));
-    g_one.set(static_cast<double>(count(one)));
-  }
+  const StateSet& zero = sets.zero;
+  const StateSet& one = sets.one;
 
   std::vector<double> values(n, 0.0);
   for (StateId s = 0; s < n; ++s) {
@@ -100,17 +160,381 @@ std::vector<double> mdp_reachability(const CompiledModel& model,
       break;
     }
   }
-  {
-    static stats::Counter& c_iters = stats::counter("checker.vi.iterations");
-    static stats::Gauge& g_delta = stats::gauge("checker.vi.last_delta");
-    c_iters.add(iterations);
-    g_delta.set(last_delta);
-  }
+  record_vi_stats(iterations, last_delta);
   if (!converged && options.throw_on_nonconvergence) {
     throw NumericError("mdp_reachability: no convergence after " +
                        std::to_string(iterations) + " iterations");
   }
   return values;
+}
+
+/// Classic value iteration swept per SCC block in dependency order
+/// (SolveMethod::kTopological). Each block iterates against already-final
+/// downstream values; single-state blocks solve in closed form, so acyclic
+/// models finish without any iteration at all.
+std::vector<double> reach_topological(const CompiledModel& model,
+                                      const Prob01& sets, Objective objective,
+                                      const SolverOptions& options) {
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+  const StateSet& zero = sets.zero;
+  const StateSet& one = sets.one;
+  const SccDecomposition& scc = model.scc();
+  record_scc_count(scc.num_blocks());
+
+  std::vector<double> values(n, 0.0);
+  for (StateId s = 0; s < n; ++s) {
+    if (one[s]) values[s] = 1.0;
+  }
+  std::vector<double> next = values;
+
+  std::size_t total_sweeps = 0;
+  double last_delta = 0.0;
+  // Blocks are emitted in dependency order: every inter-block edge points to
+  // a lower block id, so by the time block b runs, everything it reads
+  // outside itself is final.
+  for (std::uint32_t b = 0; b < scc.num_blocks(); ++b) {
+    const auto block = scc.block(b);
+    bool any_unknown = false;
+    for (StateId s : block) {
+      if (!zero[s] && !one[s]) {
+        any_unknown = true;
+        break;
+      }
+    }
+    if (!any_unknown) continue;
+
+    if (block.size() == 1) {
+      const StateId s = block.front();
+      values[s] = solve_single_state(model, s, objective, values);
+      next[s] = values[s];
+      continue;
+    }
+
+    const std::size_t begin = scc.block_start[b];
+    const std::size_t end = scc.block_start[b + 1];
+    bool converged = false;
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+      const double delta = parallel_transform_reduce(
+          begin, end, kDefaultGrain, 0.0,
+          [&](std::size_t chunk_begin, std::size_t chunk_end) {
+            double local = 0.0;
+            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+              const StateId s = scc.block_states[i];
+              if (zero[s] || one[s]) continue;
+              double best = objective == Objective::kMaximize ? 0.0 : 1.0;
+              for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+                double q = 0.0;
+                for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1];
+                     ++k) {
+                  q += prob[k] * values[target[k]];
+                }
+                if (objective == Objective::kMaximize) {
+                  best = std::max(best, q);
+                } else {
+                  best = std::min(best, q);
+                }
+              }
+              next[s] = best;
+              local = std::max(local, std::abs(next[s] - values[s]));
+            }
+            return local;
+          },
+          [](double a, double b) { return std::max(a, b); }, options.threads);
+      values.swap(next);
+      ++total_sweeps;
+      last_delta = delta;
+      if (delta < options.tolerance) {
+        converged = true;
+        break;
+      }
+    }
+    // After the final swap, `next` is stale on this block's states only;
+    // resync so later blocks can swap freely.
+    for (std::size_t i = begin; i < end; ++i) {
+      next[scc.block_states[i]] = values[scc.block_states[i]];
+    }
+    if (!converged && options.throw_on_nonconvergence) {
+      throw NumericError("mdp_reachability(topological): block " +
+                         std::to_string(b) + " did not converge within " +
+                         std::to_string(options.max_iterations) + " sweeps");
+    }
+  }
+  record_vi_stats(total_sweeps, last_delta);
+  return values;
+}
+
+/// Sound interval iteration over the SCC condensation
+/// (SolveMethod::kIntervalTopological). See the SolveMethod docs for the
+/// invariants; the certified bracket is returned in SolveResult::lo/hi.
+SolveResult reach_interval(const CompiledModel& model, const Prob01& sets,
+                           Objective objective, const SolverOptions& options) {
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+  const StateSet& zero = sets.zero;
+  const StateSet& one = sets.one;
+  const SccDecomposition& scc = model.scc();
+  record_scc_count(scc.num_blocks());
+
+  std::vector<double> lo(n, 0.0);
+  std::vector<double> hi(n, 1.0);
+  for (StateId s = 0; s < n; ++s) {
+    if (one[s]) lo[s] = 1.0;
+    if (zero[s]) hi[s] = 0.0;
+  }
+
+  // MEC deflation/inflation (Pmax only). Inside a maximal end component all
+  // states share one Pmax value: v = max over exit choices c of
+  // (sum of p * v(t) over t OUTSIDE the MEC) / p_out(c), because committing
+  // to exit choice c forever reaches its state with probability 1 (EC
+  // property) and leaves via t with probability p_t / p_out. Every sweep we
+  // snap BOTH bounds of every MEC to that normalized best-exit form:
+  //  * deflation (hi): iteration from above otherwise converges to the
+  //    greatest fixpoint, which overshoots inside end components (cycling
+  //    forever keeps upper value 1);
+  //  * inflation (lo): the plain lower iterate climbs through a MEC at a
+  //    rate proportional to the exit probability — with a 1e-3 exit it
+  //    needs millions of sweeps, while the commit-to-exit policy bound is
+  //    exact the moment the external values are.
+  // Pmin needs neither: an end component among the unknown states would let
+  // a scheduler avoid the target forever, so its states would already be
+  // pinned by avoid_certain.
+  struct MecExit {
+    double p_out = 0.0;  ///< total probability mass leaving the MEC
+    std::vector<std::pair<StateId, double>> external;  ///< targets outside
+  };
+  struct Mec {
+    std::vector<StateId> states;
+    std::vector<MecExit> exits;
+  };
+  std::vector<std::vector<Mec>> block_mecs(scc.num_blocks());
+  if (objective == Objective::kMaximize) {
+    StateSet unknown = set_union(zero, one);
+    unknown.flip();
+    for (auto& members : maximal_end_components(model, unknown)) {
+      Mec mec;
+      auto inside = [&](StateId t) {
+        return std::binary_search(members.begin(), members.end(), t);
+      };
+      for (StateId s : members) {
+        for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+          MecExit exit;
+          for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1];
+               ++k) {
+            if (prob[k] > 0.0 && !inside(target[k])) {
+              exit.p_out += prob[k];
+              exit.external.emplace_back(target[k], prob[k]);
+            }
+          }
+          if (exit.p_out > 0.0) mec.exits.push_back(std::move(exit));
+        }
+      }
+      // End components are contained in SCCs, so a MEC lives in one block.
+      const std::uint32_t b = scc.component[members.front()];
+      mec.states = std::move(members);
+      block_mecs[b].push_back(std::move(mec));
+    }
+  }
+
+  std::vector<double> next_lo = lo;
+  std::vector<double> next_hi = hi;
+  std::size_t total_sweeps = 0;
+  bool all_converged = true;
+
+  // One Jacobi sweep of this block's unknown states against `src`, into
+  // `dst`. `from_below` keeps the lower iterate monotone non-decreasing and
+  // the upper monotone non-increasing, so rounding can never break the
+  // bracket direction.
+  auto sweep = [&](std::size_t begin, std::size_t end,
+                   const std::vector<double>& src, std::vector<double>& dst,
+                   bool from_below) {
+    parallel_for(
+        begin, end, kDefaultGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+            const StateId s = scc.block_states[i];
+            if (zero[s] || one[s]) continue;
+            double best = objective == Objective::kMaximize ? 0.0 : 1.0;
+            for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+              double q = 0.0;
+              for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1];
+                   ++k) {
+                q += prob[k] * src[target[k]];
+              }
+              if (objective == Objective::kMaximize) {
+                best = std::max(best, q);
+              } else {
+                best = std::min(best, q);
+              }
+            }
+            dst[s] = from_below ? std::max(best, src[s])
+                                : std::min(best, src[s]);
+          }
+        },
+        options.threads);
+  };
+
+  for (std::uint32_t b = 0; b < scc.num_blocks(); ++b) {
+    const auto block = scc.block(b);
+    bool any_unknown = false;
+    for (StateId s : block) {
+      if (!zero[s] && !one[s]) {
+        any_unknown = true;
+        break;
+      }
+    }
+    if (!any_unknown) continue;
+
+    if (block.size() == 1) {
+      // Downstream values are final, so the closed form is final too; its
+      // gap is bounded by the worst downstream gap (the 1/(1-a) factor in
+      // the value cancels against the (1-a) total external mass).
+      const StateId s = block.front();
+      lo[s] = std::max(lo[s], solve_single_state(model, s, objective, lo));
+      hi[s] = std::min(hi[s], solve_single_state(model, s, objective, hi));
+      next_lo[s] = lo[s];
+      next_hi[s] = hi[s];
+      continue;
+    }
+
+    const std::size_t begin = scc.block_start[b];
+    const std::size_t end = scc.block_start[b + 1];
+    bool converged = false;
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+      sweep(begin, end, lo, next_lo, /*from_below=*/true);
+      sweep(begin, end, hi, next_hi, /*from_below=*/false);
+      lo.swap(next_lo);
+      hi.swap(next_hi);
+      ++total_sweeps;
+      for (const Mec& mec : block_mecs[b]) {
+        double exit_lo = 0.0;
+        double exit_hi = 0.0;
+        for (const MecExit& exit : mec.exits) {
+          double q_lo = 0.0;
+          double q_hi = 0.0;
+          for (const auto& [t, p] : exit.external) {
+            q_lo += p * lo[t];
+            q_hi += p * hi[t];
+          }
+          exit_lo = std::max(exit_lo, q_lo / exit.p_out);
+          exit_hi = std::max(exit_hi, q_hi / exit.p_out);
+        }
+        for (StateId s : mec.states) {
+          lo[s] = std::max(lo[s], exit_lo);
+          hi[s] = std::min(hi[s], exit_hi);
+        }
+      }
+      const double gap = parallel_transform_reduce(
+          begin, end, kDefaultGrain, 0.0,
+          [&](std::size_t chunk_begin, std::size_t chunk_end) {
+            double local = 0.0;
+            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+              const StateId s = scc.block_states[i];
+              if (zero[s] || one[s]) continue;
+              local = std::max(local, hi[s] - lo[s]);
+            }
+            return local;
+          },
+          [](double a, double b) { return std::max(a, b); }, options.threads);
+      if (gap < options.tolerance) {
+        converged = true;
+        break;
+      }
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      next_lo[scc.block_states[i]] = lo[scc.block_states[i]];
+      next_hi[scc.block_states[i]] = hi[scc.block_states[i]];
+    }
+    if (!converged) {
+      if (options.throw_on_nonconvergence) {
+        throw NumericError("mdp_reachability(interval): block " +
+                           std::to_string(b) +
+                           " gap did not close within " +
+                           std::to_string(options.max_iterations) + " sweeps");
+      }
+      all_converged = false;
+    }
+  }
+
+  double final_gap = 0.0;
+  for (StateId s = 0; s < n; ++s) {
+    final_gap = std::max(final_gap, hi[s] - lo[s]);
+  }
+  {
+    static stats::Counter& c_sweeps =
+        stats::counter("checker.interval_sweeps");
+    static stats::Gauge& g_gap = stats::gauge("checker.final_gap");
+    c_sweeps.add(total_sweeps);
+    g_gap.set(final_gap);
+  }
+
+  SolveResult result;
+  result.iterations = total_sweeps;
+  result.converged = all_converged;
+  result.values.resize(n);
+  for (StateId s = 0; s < n; ++s) {
+    // Pinned states report exactly 0/1; everything else the bracket midpoint.
+    result.values[s] =
+        one[s] ? 1.0 : (zero[s] ? 0.0 : 0.5 * (lo[s] + hi[s]));
+  }
+  result.lo = std::move(lo);
+  result.hi = std::move(hi);
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> mdp_reachability(const CompiledModel& model,
+                                     const StateSet& targets,
+                                     Objective objective,
+                                     const SolverOptions& options) {
+  TML_REQUIRE(targets.size() == model.num_states(),
+              "mdp_reachability: target set size mismatch");
+  const Prob01 sets = reach_prob01(model, targets, objective);
+  switch (options.method) {
+    case SolveMethod::kValueIteration:
+      return reach_classic(model, sets, objective, options);
+    case SolveMethod::kTopological:
+      return reach_topological(model, sets, objective, options);
+    case SolveMethod::kIntervalTopological:
+      break;
+  }
+  return reach_interval(model, sets, objective, options).values;
+}
+
+SolveResult mdp_reachability_bracket(const CompiledModel& model,
+                                     const StateSet& targets,
+                                     Objective objective,
+                                     const SolverOptions& options) {
+  TML_REQUIRE(targets.size() == model.num_states(),
+              "mdp_reachability_bracket: target set size mismatch");
+  return reach_interval(model, reach_prob01(model, targets, objective),
+                        objective, options);
+}
+
+SolveResult mdp_reachability_bracket(const Mdp& mdp, const StateSet& targets,
+                                     Objective objective,
+                                     const SolverOptions& options) {
+  return mdp_reachability_bracket(compile(mdp), targets, objective, options);
+}
+
+SolveResult mdp_until_bracket(const CompiledModel& model, const StateSet& stay,
+                              const StateSet& goal, Objective objective,
+                              const SolverOptions& options) {
+  return mdp_reachability_bracket(absorb_escape_states(model, stay, goal),
+                                  goal, objective, options);
+}
+
+SolveResult mdp_until_bracket(const Mdp& mdp, const StateSet& stay,
+                              const StateSet& goal, Objective objective,
+                              const SolverOptions& options) {
+  return mdp_until_bracket(compile(mdp), stay, goal, objective, options);
 }
 
 std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,

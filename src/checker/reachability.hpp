@@ -1,10 +1,19 @@
 // Quantitative reachability for MDPs (Pmax / Pmin of F target).
 //
-// Sound value iteration: graph precomputation pins the probability-0 and
-// probability-1 regions (src/mdp/graph.hpp), then value iteration runs on
-// the remaining states only. Pinning the qualitative sets is what makes the
-// least fixpoint unique and the iteration correct in the presence of end
-// components.
+// Graph precomputation pins the probability-0 and probability-1 regions
+// (src/mdp/graph.hpp) before any numerics run; SolverOptions::method then
+// selects the numeric engine for the remaining states:
+//
+//  * kValueIteration — classic Jacobi value iteration with the (unsound)
+//    `delta < eps` stopping rule;
+//  * kTopological — the same updates swept one SCC block at a time in
+//    dependency order (single-state blocks solve in closed form);
+//  * kIntervalTopological (default) — sound interval iteration: lower and
+//    upper value vectors initialized from the prob0/prob1 sets converge
+//    toward each other per SCC block, end components are deflated to their
+//    best exit so the upper iterate cannot stall, and iteration stops only
+//    when `upper - lower < eps` everywhere. `mdp_reachability_bracket`
+//    exposes the certified `[lo, hi]` bracket directly.
 //
 // All engines run on the compiled CSR form; the Mdp/Dtmc overloads compile
 // once and delegate. Until operators restrict to plain reachability via
@@ -27,6 +36,26 @@ std::vector<double> mdp_reachability(const CompiledModel& model,
 std::vector<double> mdp_reachability(const Mdp& mdp, const StateSet& targets,
                                      Objective objective,
                                      const SolverOptions& options = {});
+
+/// Certified-bracket reachability: always runs the sound interval engine
+/// (regardless of options.method) and returns the full SolveResult with
+/// `lo[s] <= v*(s) <= hi[s]` per state and `values` the clamped midpoint.
+/// On convergence, `hi - lo < options.tolerance` holds everywhere.
+SolveResult mdp_reachability_bracket(const CompiledModel& model,
+                                     const StateSet& targets,
+                                     Objective objective,
+                                     const SolverOptions& options = {});
+SolveResult mdp_reachability_bracket(const Mdp& mdp, const StateSet& targets,
+                                     Objective objective,
+                                     const SolverOptions& options = {});
+
+/// Certified bracket for constrained reachability P[ stay U goal ].
+SolveResult mdp_until_bracket(const CompiledModel& model, const StateSet& stay,
+                              const StateSet& goal, Objective objective,
+                              const SolverOptions& options = {});
+SolveResult mdp_until_bracket(const Mdp& mdp, const StateSet& stay,
+                              const StateSet& goal, Objective objective,
+                              const SolverOptions& options = {});
 
 /// Per-state step-bounded reachability-style until values for MDPs:
 /// opt over schedulers of P[ stay U<=k goal ] where `stay`/`goal` are the

@@ -51,6 +51,9 @@ constexpr SchemaEntry kSchema[] = {
     {"checker.prob0.states", SchemaEntry::kGauge},
     {"checker.prob1.states", SchemaEntry::kGauge},
     {"checker.vi.last_delta", SchemaEntry::kGauge},
+    {"checker.scc_count", SchemaEntry::kGauge},
+    {"checker.interval_sweeps", SchemaEntry::kCounter},
+    {"checker.final_gap", SchemaEntry::kGauge},
     {"checker.check.time", SchemaEntry::kTimer},
     {"parametric.eliminations", SchemaEntry::kCounter},
     {"parametric.states_eliminated", SchemaEntry::kCounter},

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/common/stats.hpp"
+#include "src/mdp/graph.hpp"
 
 namespace tml {
 
@@ -73,6 +74,14 @@ void CompiledModel::build_predecessors() const {
   }
   c_dedup.add(dedup_hits);
   preds_built_ = true;
+}
+
+const SccDecomposition& CompiledModel::scc() const {
+  if (!scc_built_) {
+    scc_ = scc_decomposition(*this);
+    scc_built_ = true;
+  }
+  return scc_;
 }
 
 CompiledModel compile(const Mdp& mdp) {

@@ -37,6 +37,34 @@
 
 namespace tml {
 
+class CompiledModel;
+
+/// Strongly-connected-component condensation of a compiled model, with the
+/// blocks stored in *dependency order*: every positive-probability edge
+/// s → t crossing blocks satisfies component[t] < component[s]. Iterating
+/// blocks 0, 1, …, num_blocks()-1 therefore visits each block only after
+/// every block it can reach — exactly the order in which the topological
+/// solvers (src/checker/reachability.cpp) want to converge them, since each
+/// block then iterates against already-final downstream values.
+///
+/// Produced by scc_decomposition() (iterative Tarjan, src/mdp/graph.cpp)
+/// and cached on the CompiledModel like the predecessor structure.
+struct SccDecomposition {
+  std::vector<std::uint32_t> component;    ///< state → block id
+  std::vector<std::uint32_t> block_start;  ///< CSR offsets, num_blocks()+1
+  std::vector<StateId> block_states;       ///< states grouped by block
+  /// Per-block bit: the block has more than one state or a self-loop edge,
+  /// i.e. its states genuinely depend on each other and need iteration.
+  /// Trivial blocks are solvable with a single closed-form update.
+  Bitset nontrivial;
+
+  std::size_t num_blocks() const { return block_start.size() - 1; }
+  std::span<const StateId> block(std::uint32_t b) const {
+    return {block_states.data() + block_start[b],
+            block_start[b + 1] - block_start[b]};
+  }
+};
+
 class CompiledModel {
  public:
   // -- structure -----------------------------------------------------------
@@ -91,6 +119,13 @@ class CompiledModel {
     return {pred_.data() + pred_start_[s], pred_start_[s + 1] - pred_start_[s]};
   }
 
+  // -- condensation (cached SCC structure) ---------------------------------
+
+  /// SCC condensation in dependency order (see SccDecomposition). Built on
+  /// first call by the iterative Tarjan pass in src/mdp/graph.cpp and
+  /// cached (not thread-safe, like the predecessor cache).
+  const SccDecomposition& scc() const;
+
   // -- rewards -------------------------------------------------------------
 
   double state_reward(StateId s) const { return state_reward_[s]; }
@@ -135,6 +170,9 @@ class CompiledModel {
   mutable bool preds_built_ = false;
   mutable std::vector<std::uint32_t> pred_start_;  // size num_states + 1
   mutable std::vector<StateId> pred_;  // deduplicated predecessor lists
+
+  mutable bool scc_built_ = false;
+  mutable SccDecomposition scc_;  // lazy Tarjan condensation
 
   std::vector<std::string> label_names_;
   std::vector<StateSet> label_sets_;  // per label, bitset over states

@@ -1,10 +1,155 @@
 #include "src/mdp/graph.hpp"
 
+#include <algorithm>
 #include <deque>
+#include <limits>
 
 namespace tml {
 
 namespace {
+
+constexpr std::uint32_t kNoComponent = std::numeric_limits<std::uint32_t>::max();
+
+/// Tarjan SCC pass shared by scc_decomposition and the MEC fixpoint.
+/// `allowed == nullptr` decomposes the whole model over every
+/// positive-probability edge. Otherwise only states in *allowed take part,
+/// and only edges of choices whose full support lies inside *allowed count
+/// (a choice that can leave the candidate set is unusable for staying in an
+/// end component). `same_component`, when given, tightens the filter
+/// further: a choice is usable only if its whole support shares the
+/// source's component id from the PREVIOUS fixpoint round — without this, a
+/// choice leaking into a different component still contributes its internal
+/// edges and can glue together a set that no policy can actually keep
+/// closed. States outside get component == kNoComponent and appear in no
+/// block.
+///
+/// Iterative (explicit DFS frames) so million-state chains cannot overflow
+/// the call stack. Blocks are emitted in Tarjan order: an SCC is emitted
+/// only after every SCC reachable from it, so block ids are a reverse
+/// topological order of the condensation — "dependency order" for the
+/// topological solvers.
+SccDecomposition tarjan_scc(const CompiledModel& model, const StateSet* allowed,
+                            const std::vector<std::uint32_t>* same_component =
+                                nullptr) {
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+
+  // Per-transition usability, resolved once up front.
+  std::vector<char> edge_ok(model.num_transitions(), 0);
+  for (StateId s = 0; s < n; ++s) {
+    if (allowed != nullptr && !(*allowed)[s]) continue;
+    for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+      bool choice_inside = true;
+      if (allowed != nullptr) {
+        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+          if (prob[k] <= 0.0) continue;
+          if (!(*allowed)[target[k]] ||
+              (same_component != nullptr &&
+               (*same_component)[target[k]] != (*same_component)[s])) {
+            choice_inside = false;
+            break;
+          }
+        }
+      }
+      if (!choice_inside) continue;
+      for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+        if (prob[k] > 0.0) edge_ok[k] = 1;
+      }
+    }
+  }
+
+  SccDecomposition out;
+  out.component.assign(n, kNoComponent);
+  out.block_start.push_back(0);
+
+  std::vector<std::uint32_t> index(n, kNoComponent);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  Bitset on_stack(n, false);
+  std::vector<StateId> stack;
+  struct Frame {
+    StateId state;
+    std::uint32_t edge;  // next transition index to examine
+  };
+  std::vector<Frame> frames;
+  std::uint32_t counter = 0;
+
+  const auto first_edge = [&](StateId s) { return choice_start[row_start[s]]; };
+  const auto last_edge = [&](StateId s) {
+    return choice_start[row_start[s + 1]];
+  };
+
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != kNoComponent) continue;
+    if (allowed != nullptr && !(*allowed)[root]) continue;
+    index[root] = lowlink[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    frames.push_back(Frame{root, first_edge(root)});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const StateId s = f.state;
+      std::uint32_t k = f.edge;
+      const std::uint32_t end = last_edge(s);
+      while (k < end && !edge_ok[k]) ++k;
+      if (k < end) {
+        f.edge = k + 1;
+        const StateId t = target[k];
+        if (index[t] == kNoComponent) {
+          index[t] = lowlink[t] = counter++;
+          stack.push_back(t);
+          on_stack[t] = true;
+          frames.push_back(Frame{t, first_edge(t)});
+        } else if (on_stack[t]) {
+          lowlink[s] = std::min(lowlink[s], index[t]);
+        }
+        continue;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().state] =
+            std::min(lowlink[frames.back().state], lowlink[s]);
+      }
+      if (lowlink[s] != index[s]) continue;
+      // s is the root of a finished SCC: pop the block.
+      const std::uint32_t block_id =
+          static_cast<std::uint32_t>(out.block_start.size() - 1);
+      const std::size_t begin = out.block_states.size();
+      for (;;) {
+        const StateId v = stack.back();
+        stack.pop_back();
+        on_stack[v] = false;
+        out.component[v] = block_id;
+        out.block_states.push_back(v);
+        if (v == s) break;
+      }
+      std::sort(out.block_states.begin() + static_cast<std::ptrdiff_t>(begin),
+                out.block_states.end());
+      out.block_start.push_back(
+          static_cast<std::uint32_t>(out.block_states.size()));
+    }
+  }
+
+  // Nontrivial blocks: more than one state, or a usable self-loop edge.
+  out.nontrivial = Bitset(out.num_blocks(), false);
+  for (std::uint32_t b = 0; b < out.num_blocks(); ++b) {
+    const auto block = out.block(b);
+    if (block.size() > 1) {
+      out.nontrivial[b] = true;
+      continue;
+    }
+    const StateId s = block.front();
+    for (std::uint32_t k = first_edge(s); k < last_edge(s); ++k) {
+      if (edge_ok[k] && target[k] == s) {
+        out.nontrivial[b] = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
 
 /// Backward closure of `seeds` over the compiled model's cached predecessor
 /// structure. States in `blocked` (when provided) are never added: a path
@@ -172,6 +317,72 @@ StateSet forward_reachable(const CompiledModel& model, StateId from) {
     }
   }
   return reached;
+}
+
+SccDecomposition scc_decomposition(const CompiledModel& model) {
+  return tarjan_scc(model, nullptr);
+}
+
+std::vector<std::vector<StateId>> maximal_end_components(
+    const CompiledModel& model, const StateSet& within) {
+  require_size(model, within, "maximal_end_components");
+  const std::size_t n = model.num_states();
+  const auto& row_start = model.row_start();
+  const auto& choice_start = model.choice_start();
+  const auto& target = model.target();
+  const auto& prob = model.prob();
+
+  // Standard fixpoint: decompose the candidate set into SCCs over choices
+  // whose support stays inside the source's own component, keep only states
+  // with such an internal choice, repeat until both the candidate set and
+  // the partition are stable. Filtering against the component — not just
+  // the candidate union — is essential: a choice leaking into a DIFFERENT
+  // component still contributes its internal edges under the union filter
+  // and can hold together a "strongly connected" set that no policy can
+  // keep closed (the glue edges belong to choices that may leave it).
+  // Candidates shrink and partitions only refine, so the loop terminates.
+  StateSet candidate = within;
+  SccDecomposition d = tarjan_scc(model, &candidate);
+  std::vector<std::uint32_t> comp;
+  for (;;) {
+    StateSet keep(n, false);
+    bool changed = false;
+    for (StateId s = 0; s < n; ++s) {
+      if (!candidate[s]) continue;
+      bool has_internal_choice = false;
+      for (std::uint32_t c = row_start[s];
+           c < row_start[s + 1] && !has_internal_choice; ++c) {
+        bool inside = true;
+        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1]; ++k) {
+          if (prob[k] <= 0.0) continue;
+          const StateId t = target[k];
+          if (!candidate[t] || d.component[t] != d.component[s]) {
+            inside = false;
+            break;
+          }
+        }
+        has_internal_choice = inside;
+      }
+      if (has_internal_choice) {
+        keep[s] = true;
+      } else {
+        changed = true;
+      }
+    }
+    candidate = std::move(keep);
+    if (!changed && comp == d.component) break;
+    comp = d.component;
+    d = tarjan_scc(model, &candidate, &comp);
+  }
+
+  std::vector<std::vector<StateId>> mecs;
+  for (std::uint32_t b = 0; b < d.num_blocks(); ++b) {
+    const auto block = d.block(b);
+    mecs.emplace_back(block.begin(), block.end());  // already sorted
+  }
+  std::sort(mecs.begin(), mecs.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return mecs;
 }
 
 // ---------------------------------------------------------------------------

@@ -63,4 +63,22 @@ StateSet forward_reachable(const CompiledModel& model, StateId from);
 StateSet forward_reachable(const Mdp& mdp, StateId from);
 StateSet forward_reachable(const Dtmc& chain, StateId from);
 
+/// SCC condensation over the positive-probability edges, blocks emitted in
+/// dependency order (successor blocks first — Tarjan's emission order; see
+/// SccDecomposition in compiled.hpp). Iterative, so deep chains cannot
+/// overflow the call stack. Prefer CompiledModel::scc(), which caches.
+SccDecomposition scc_decomposition(const CompiledModel& model);
+
+/// Maximal end components of the sub-MDP restricted to `within`: maximal
+/// state sets M ⊆ within such that some set of choices (each with full
+/// support inside M) makes M strongly connected. States of `within` that
+/// belong to no end component are absent from the result. Each MEC's state
+/// list is sorted; the MEC order follows the smallest member state.
+///
+/// Interval iteration for Pmax needs these: value iteration from above
+/// stalls at a spurious fixpoint inside an end component, and the standard
+/// fix ("deflation") caps every MEC at its best exit value each sweep.
+std::vector<std::vector<StateId>> maximal_end_components(
+    const CompiledModel& model, const StateSet& within);
+
 }  // namespace tml

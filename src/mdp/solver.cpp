@@ -1,5 +1,6 @@
 #include "src/mdp/solver.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -9,6 +10,20 @@
 #include "src/mdp/graph.hpp"
 
 namespace tml {
+
+namespace {
+
+std::atomic<SolveMethod> g_default_method{SolveMethod::kIntervalTopological};
+
+}  // namespace
+
+SolveMethod default_solve_method() {
+  return g_default_method.load(std::memory_order_relaxed);
+}
+
+void set_default_solve_method(SolveMethod method) {
+  g_default_method.store(method, std::memory_order_relaxed);
+}
 
 namespace {
 

@@ -25,6 +25,38 @@ namespace tml {
 /// Optimization direction for MDP solvers.
 enum class Objective { kMaximize, kMinimize };
 
+/// How unbounded reachability/until systems are solved (mdp_reachability
+/// and everything layered on it: mdp_until, the PCTL checker).
+enum class SolveMethod {
+  /// Plain Jacobi value iteration with the classic `delta < eps` stopping
+  /// rule. Fast, but the stopping rule is UNSOUND: a small per-sweep delta
+  /// does not bound the distance to the fixpoint, and slowly-mixing models
+  /// can "converge" arbitrarily far from the true value (see
+  /// tests/test_sound_convergence.cpp for a concrete offender).
+  kValueIteration,
+  /// Classic value iteration swept one SCC block at a time in dependency
+  /// order. Usually faster (each block iterates against already-final
+  /// downstream values; acyclic regions solve in closed form) but inherits
+  /// the unsound per-block stopping rule.
+  kTopological,
+  /// Sound interval iteration over the SCC condensation: a lower and an
+  /// upper value vector, initialized from the graph-certain prob0/prob1
+  /// sets, converge toward each other; end components are deflated to
+  /// their best exit so the upper iterate cannot stall; a block finishes
+  /// only when `upper - lower < eps` holds on every state. Returns a
+  /// certified bracket (SolveResult::lo/hi) containing the exact value
+  /// (up to floating-point rounding of the Bellman operator itself).
+  kIntervalTopological,
+};
+
+/// Process-wide default engine used by default-constructed SolverOptions.
+/// Starts as kIntervalTopological. Tools and benches that want to compare
+/// engines END-TO-END (through the PCTL checker, which builds its own
+/// default SolverOptions) switch it via set_default_solve_method — e.g.
+/// `tml_check --method classic` and the bench/perf_checker comparisons.
+SolveMethod default_solve_method();
+void set_default_solve_method(SolveMethod method);
+
 /// Convergence / iteration-limit knobs shared by the iterative solvers.
 struct SolverOptions {
   double tolerance = 1e-10;      ///< sup-norm convergence threshold
@@ -35,6 +67,12 @@ struct SolverOptions {
   /// and the convergence delta is a max-reduction, so values, policies and
   /// iteration counts are bitwise identical for every thread count.
   std::size_t threads = 0;
+  /// Engine for unbounded reachability/until (ignored by the discounted
+  /// and total-reward solvers). Sound interval iteration is the default:
+  /// every repair decision in the library ultimately rests on these values,
+  /// and repaired models sit near constraint boundaries where an unsound
+  /// `delta < eps` stop can flip a verdict.
+  SolveMethod method = default_solve_method();
 };
 
 /// Result of a value-iteration style computation.
@@ -43,6 +81,11 @@ struct SolveResult {
   Policy policy;               ///< greedy policy achieving `values`
   std::size_t iterations = 0;
   bool converged = false;
+  /// Certified per-state bracket `lo[s] <= v*(s) <= hi[s]` with
+  /// `hi - lo < tolerance` on convergence. Only filled by
+  /// SolveMethod::kIntervalTopological; empty for point-estimate engines.
+  std::vector<double> lo;
+  std::vector<double> hi;
 };
 
 /// Discounted value iteration: V(s) = opt_a [ r(s) + r(s,a) + γ Σ P V ].

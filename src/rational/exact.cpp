@@ -1,0 +1,391 @@
+#include "src/rational/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace tml {
+
+// ---------------------------------------------------------------------------
+// BigInt
+
+BigInt::BigInt(std::int64_t value) {
+  neg_ = value < 0;
+  // Negate via unsigned arithmetic so INT64_MIN is handled.
+  std::uint64_t mag = neg_ ? ~static_cast<std::uint64_t>(value) + 1
+                           : static_cast<std::uint64_t>(value);
+  while (mag != 0) {
+    mag_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+  if (mag_.empty()) neg_ = false;
+}
+
+void BigInt::trim() {
+  while (!mag_.empty() && mag_.back() == 0) mag_.pop_back();
+  if (mag_.empty()) neg_ = false;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (mag_.empty()) return 0;
+  std::size_t bits = (mag_.size() - 1) * 32;
+  std::uint32_t top = mag_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_magnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(std::max(a.size(), b.size()) + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::sub_magnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += std::int64_t{1} << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.mag_.empty()) out.neg_ = !out.neg_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  BigInt out;
+  if (neg_ == rhs.neg_) {
+    out.neg_ = neg_;
+    out.mag_ = add_magnitude(mag_, rhs.mag_);
+  } else {
+    const int cmp = compare_magnitude(mag_, rhs.mag_);
+    if (cmp >= 0) {
+      out.neg_ = neg_;
+      out.mag_ = sub_magnitude(mag_, rhs.mag_);
+    } else {
+      out.neg_ = rhs.neg_;
+      out.mag_ = sub_magnitude(rhs.mag_, mag_);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  BigInt out;
+  if (mag_.empty() || rhs.mag_.empty()) return out;
+  out.mag_.assign(mag_.size() + rhs.mag_.size(), 0);
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.mag_.size(); ++j) {
+      std::uint64_t cur = out.mag_[i + j] +
+                          static_cast<std::uint64_t>(mag_[i]) * rhs.mag_[j] +
+                          carry;
+      out.mag_[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.mag_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out.mag_[k] + carry;
+      out.mag_[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.neg_ = neg_ != rhs.neg_;
+  out.trim();
+  return out;
+}
+
+void BigInt::divmod_magnitude(const BigInt& num, const BigInt& den,
+                              BigInt& quot, BigInt& rem) {
+  TML_REQUIRE(!den.mag_.empty(), "BigInt: division by zero");
+  quot = BigInt();
+  rem = BigInt();
+  const std::size_t bits = num.bit_length();
+  if (bits == 0) return;
+  quot.mag_.assign((bits + 31) / 32, 0);
+  for (std::size_t i = bits; i-- > 0;) {
+    // rem = rem << 1 | bit_i(num)
+    rem = rem.shifted_left(1);
+    if ((num.mag_[i / 32] >> (i % 32)) & 1u) {
+      if (rem.mag_.empty()) {
+        rem.mag_.push_back(1);
+      } else {
+        rem.mag_[0] |= 1u;
+      }
+    }
+    if (compare_magnitude(rem.mag_, den.mag_) >= 0) {
+      rem.mag_ = sub_magnitude(rem.mag_, den.mag_);
+      quot.mag_[i / 32] |= 1u << (i % 32);
+    }
+  }
+  quot.trim();
+  rem.trim();
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const {
+  BigInt quot, rem;
+  divmod_magnitude(*this, rhs, quot, rem);
+  if (!quot.mag_.empty()) quot.neg_ = neg_ != rhs.neg_;
+  return quot;
+}
+
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  BigInt quot, rem;
+  divmod_magnitude(*this, rhs, quot, rem);
+  if (!rem.mag_.empty()) rem.neg_ = neg_;  // remainder takes dividend's sign
+  return rem;
+}
+
+bool BigInt::operator==(const BigInt& rhs) const {
+  return neg_ == rhs.neg_ && mag_ == rhs.mag_;
+}
+
+bool BigInt::operator<(const BigInt& rhs) const {
+  if (neg_ != rhs.neg_) return neg_;
+  const int cmp = compare_magnitude(mag_, rhs.mag_);
+  return neg_ ? cmp > 0 : cmp < 0;
+}
+
+BigInt BigInt::shifted_left(std::size_t bits) const {
+  if (mag_.empty() || bits == 0) return *this;
+  BigInt out;
+  out.neg_ = neg_;
+  const std::size_t words = bits / 32;
+  const std::size_t rem = bits % 32;
+  out.mag_.assign(mag_.size() + words + 1, 0);
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    const std::uint64_t shifted = static_cast<std::uint64_t>(mag_[i]) << rem;
+    out.mag_[i + words] |= static_cast<std::uint32_t>(shifted & 0xffffffffu);
+    out.mag_[i + words + 1] |= static_cast<std::uint32_t>(shifted >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shifted_right(std::size_t bits) const {
+  const std::size_t words = bits / 32;
+  if (mag_.size() <= words) return BigInt();
+  BigInt out;
+  out.neg_ = neg_;
+  const std::size_t rem = bits % 32;
+  out.mag_.assign(mag_.size() - words, 0);
+  for (std::size_t i = 0; i < out.mag_.size(); ++i) {
+    std::uint64_t cur = static_cast<std::uint64_t>(mag_[i + words]) >> rem;
+    if (rem != 0 && i + words + 1 < mag_.size()) {
+      cur |= static_cast<std::uint64_t>(mag_[i + words + 1]) << (32 - rem);
+    }
+    out.mag_[i] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+  }
+  out.trim();
+  return out;
+}
+
+double BigInt::to_double() const {
+  double out = 0.0;
+  for (std::size_t i = mag_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(mag_[i]);
+  }
+  return neg_ ? -out : out;
+}
+
+std::string BigInt::to_string() const {
+  if (mag_.empty()) return "0";
+  BigInt cur = *this;
+  cur.neg_ = false;
+  const BigInt ten(10);
+  std::string digits;
+  while (!cur.is_zero()) {
+    BigInt quot, rem;
+    divmod_magnitude(cur, ten, quot, rem);
+    digits.push_back(
+        static_cast<char>('0' + (rem.mag_.empty() ? 0 : rem.mag_[0])));
+    cur = quot;
+  }
+  if (neg_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigInt gcd(BigInt a, BigInt b) {
+  a.neg_ = false;
+  b.neg_ = false;
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  // Binary GCD: factor out common powers of two, then subtract-and-shift.
+  std::size_t shift = 0;
+  auto trailing_zero_bits = [](const BigInt& v) {
+    std::size_t bits = 0;
+    for (std::size_t i = 0; i < v.mag_.size(); ++i) {
+      if (v.mag_[i] == 0) {
+        bits += 32;
+        continue;
+      }
+      std::uint32_t w = v.mag_[i];
+      while ((w & 1u) == 0) {
+        ++bits;
+        w >>= 1;
+      }
+      break;
+    }
+    return bits;
+  };
+  const std::size_t za = trailing_zero_bits(a);
+  const std::size_t zb = trailing_zero_bits(b);
+  shift = std::min(za, zb);
+  a = a.shifted_right(za);
+  b = b.shifted_right(zb);
+  while (!b.is_zero()) {
+    if (BigInt::compare_magnitude(a.mag_, b.mag_) > 0) std::swap(a, b);
+    b = b - a;  // both odd → difference even
+    if (!b.is_zero()) b = b.shifted_right(trailing_zero_bits(b));
+  }
+  return a.shifted_left(shift);
+}
+
+// ---------------------------------------------------------------------------
+// BigRational
+
+BigRational::BigRational(std::int64_t value) : num_(value), den_(1) {}
+
+BigRational::BigRational(BigInt numerator, BigInt denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  normalize();
+}
+
+void BigRational::normalize() {
+  TML_REQUIRE(!den_.is_zero(), "BigRational: zero denominator");
+  if (den_.negative()) {
+    den_ = -den_;
+    num_ = -num_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  const BigInt g = gcd(num_, den_);
+  num_ = num_ / g;
+  den_ = den_ / g;
+}
+
+BigRational BigRational::from_double(double x) {
+  TML_REQUIRE(std::isfinite(x), "BigRational::from_double: non-finite value");
+  if (x == 0.0) return BigRational();
+  int exp = 0;
+  const double mantissa = std::frexp(x, &exp);  // x = mantissa * 2^exp
+  // mantissa * 2^53 is an odd-or-even integer with |.| in [2^52, 2^53).
+  const auto scaled =
+      static_cast<std::int64_t>(std::ldexp(mantissa, 53));  // exact
+  const int e2 = exp - 53;
+  BigInt num(scaled);
+  BigInt den(1);
+  if (e2 >= 0) {
+    num = num.shifted_left(static_cast<std::size_t>(e2));
+  } else {
+    den = den.shifted_left(static_cast<std::size_t>(-e2));
+  }
+  return BigRational(std::move(num), std::move(den));
+}
+
+BigRational BigRational::operator-() const {
+  BigRational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+BigRational BigRational::operator+(const BigRational& rhs) const {
+  return BigRational(num_ * rhs.den_ + rhs.num_ * den_, den_ * rhs.den_);
+}
+
+BigRational BigRational::operator-(const BigRational& rhs) const {
+  return BigRational(num_ * rhs.den_ - rhs.num_ * den_, den_ * rhs.den_);
+}
+
+BigRational BigRational::operator*(const BigRational& rhs) const {
+  return BigRational(num_ * rhs.num_, den_ * rhs.den_);
+}
+
+BigRational BigRational::operator/(const BigRational& rhs) const {
+  TML_REQUIRE(!rhs.is_zero(), "BigRational: division by zero");
+  return BigRational(num_ * rhs.den_, den_ * rhs.num_);
+}
+
+BigRational& BigRational::operator+=(const BigRational& rhs) {
+  return *this = *this + rhs;
+}
+BigRational& BigRational::operator-=(const BigRational& rhs) {
+  return *this = *this - rhs;
+}
+BigRational& BigRational::operator*=(const BigRational& rhs) {
+  return *this = *this * rhs;
+}
+BigRational& BigRational::operator/=(const BigRational& rhs) {
+  return *this = *this / rhs;
+}
+
+bool BigRational::operator==(const BigRational& rhs) const {
+  return num_ == rhs.num_ && den_ == rhs.den_;  // both normalized
+}
+
+bool BigRational::operator<(const BigRational& rhs) const {
+  return num_ * rhs.den_ < rhs.num_ * den_;  // denominators positive
+}
+
+double BigRational::to_double() const {
+  // Shift both operands into double range before dividing, preserving the
+  // ratio. 2^1000 headroom on either side is far inside double range.
+  const std::size_t nb = num_.bit_length();
+  const std::size_t db = den_.bit_length();
+  const std::size_t top = std::max(nb, db);
+  const std::size_t shift = top > 512 ? top - 512 : 0;
+  const double n = num_.shifted_right(shift).to_double();
+  const double d = den_.shifted_right(shift).to_double();
+  if (d == 0.0) return num_.negative() ? -0.0 : 0.0;  // |value| ≪ anything
+  return n / d;
+}
+
+std::string BigRational::to_string() const {
+  if (den_ == BigInt(1)) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+}  // namespace tml

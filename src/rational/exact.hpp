@@ -1,0 +1,131 @@
+// Arbitrary-precision integers and exact rationals.
+//
+// This is the exact-arithmetic substrate for the differential test oracle
+// (tests/oracle.hpp): reachability probabilities of a randomly generated
+// model are computed by Gaussian elimination over BigRational, with no
+// rounding anywhere, and the floating-point engines are then required to
+// land inside oracle ± eps. BigRational::from_double converts a double
+// EXACTLY (every finite double is a dyadic rational), so a float model whose
+// probabilities are dyadic has an exact rational twin.
+//
+// The implementation favours clarity over speed — schoolbook multiplication,
+// bit-by-bit division, binary GCD — which is ample for test-sized systems
+// (hundreds of states). Nothing here is on a solver hot path.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace tml {
+
+/// Signed arbitrary-precision integer. Magnitude is little-endian base 2^32;
+/// zero is canonically non-negative with an empty magnitude.
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+
+  bool is_zero() const { return mag_.empty(); }
+  bool negative() const { return neg_; }
+  /// Number of significant bits of the magnitude (0 for zero).
+  std::size_t bit_length() const;
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& rhs) const;
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  /// Truncated division (quotient rounds toward zero, like int64_t).
+  BigInt operator/(const BigInt& rhs) const;
+  BigInt operator%(const BigInt& rhs) const;
+
+  bool operator==(const BigInt& rhs) const;
+  bool operator<(const BigInt& rhs) const;
+  bool operator!=(const BigInt& rhs) const { return !(*this == rhs); }
+  bool operator>(const BigInt& rhs) const { return rhs < *this; }
+  bool operator<=(const BigInt& rhs) const { return !(rhs < *this); }
+  bool operator>=(const BigInt& rhs) const { return !(*this < rhs); }
+
+  /// Shift the magnitude left/right by `bits` (sign unchanged).
+  BigInt shifted_left(std::size_t bits) const;
+  BigInt shifted_right(std::size_t bits) const;
+
+  /// Approximate double value (top 64 magnitude bits, then scaled).
+  /// Overflows to ±inf beyond the double range.
+  double to_double() const;
+  std::string to_string() const;  ///< decimal
+
+ private:
+  static int compare_magnitude(const std::vector<std::uint32_t>& a,
+                               const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_magnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_magnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  void trim();
+
+  /// Magnitude quotient+remainder by bit-by-bit long division.
+  static void divmod_magnitude(const BigInt& num, const BigInt& den,
+                               BigInt& quot, BigInt& rem);
+
+  bool neg_ = false;
+  std::vector<std::uint32_t> mag_;
+
+  friend BigInt gcd(BigInt a, BigInt b);
+};
+
+/// Greatest common divisor of |a| and |b| (binary GCD; gcd(0, b) = |b|).
+BigInt gcd(BigInt a, BigInt b);
+
+/// Exact rational number, always normalized: gcd(|num|, den) = 1, den > 0,
+/// sign carried by the numerator. Division by zero throws tml::Error.
+class BigRational {
+ public:
+  BigRational() = default;  ///< zero
+  BigRational(std::int64_t value);  // NOLINT(google-explicit-constructor)
+  BigRational(BigInt numerator, BigInt denominator);
+
+  /// Exact conversion: every finite double is num/2^k for integers num, k.
+  /// Throws tml::Error on NaN or infinity.
+  static BigRational from_double(double x);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+  bool is_zero() const { return num_.is_zero(); }
+
+  BigRational operator-() const;
+  BigRational operator+(const BigRational& rhs) const;
+  BigRational operator-(const BigRational& rhs) const;
+  BigRational operator*(const BigRational& rhs) const;
+  BigRational operator/(const BigRational& rhs) const;
+  BigRational& operator+=(const BigRational& rhs);
+  BigRational& operator-=(const BigRational& rhs);
+  BigRational& operator*=(const BigRational& rhs);
+  BigRational& operator/=(const BigRational& rhs);
+
+  bool operator==(const BigRational& rhs) const;
+  bool operator<(const BigRational& rhs) const;
+  bool operator!=(const BigRational& rhs) const { return !(*this == rhs); }
+  bool operator>(const BigRational& rhs) const { return rhs < *this; }
+  bool operator<=(const BigRational& rhs) const { return !(rhs < *this); }
+  bool operator>=(const BigRational& rhs) const { return !(*this < rhs); }
+
+  /// Nearest-ish double (num.to_double() / den.to_double() after a common
+  /// right-shift keeps both operands finite). For diagnostics only —
+  /// comparisons against doubles should go through from_double and compare
+  /// exactly.
+  double to_double() const;
+  std::string to_string() const;  ///< "num/den" (or "num" when den == 1)
+
+ private:
+  void normalize();
+
+  BigInt num_;      // carries the sign
+  BigInt den_ = 1;  // always positive
+};
+
+}  // namespace tml

@@ -1,0 +1,136 @@
+// Unit tests for the arbitrary-precision integers/rationals backing the
+// differential oracle (src/rational/exact.hpp).
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/rational/exact.hpp"
+
+namespace tml {
+namespace {
+
+TEST(BigInt, SmallValueRoundTrip) {
+  EXPECT_EQ(BigInt(0).to_string(), "0");
+  EXPECT_EQ(BigInt(42).to_string(), "42");
+  EXPECT_EQ(BigInt(-42).to_string(), "-42");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::min()).to_string(),
+            "-9223372036854775808");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::max()).to_string(),
+            "9223372036854775807");
+  EXPECT_TRUE(BigInt(0).is_zero());
+  EXPECT_FALSE(BigInt(0).negative());  // canonical zero
+}
+
+TEST(BigInt, ArithmeticAgreesWithInt64) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t a =
+        static_cast<std::int64_t>(rng.index(2'000'000)) - 1'000'000;
+    const std::int64_t b =
+        static_cast<std::int64_t>(rng.index(2'000'000)) - 1'000'000;
+    EXPECT_EQ((BigInt(a) + BigInt(b)).to_string(), BigInt(a + b).to_string());
+    EXPECT_EQ((BigInt(a) - BigInt(b)).to_string(), BigInt(a - b).to_string());
+    EXPECT_EQ((BigInt(a) * BigInt(b)).to_string(), BigInt(a * b).to_string());
+    if (b != 0) {
+      EXPECT_EQ((BigInt(a) / BigInt(b)).to_string(),
+                BigInt(a / b).to_string());
+      EXPECT_EQ((BigInt(a) % BigInt(b)).to_string(),
+                BigInt(a % b).to_string());
+    }
+    EXPECT_EQ(BigInt(a) < BigInt(b), a < b);
+    EXPECT_EQ(BigInt(a) == BigInt(b), a == b);
+  }
+}
+
+TEST(BigInt, MultiWordArithmetic) {
+  const BigInt two_pow_100 = BigInt(1).shifted_left(100);
+  EXPECT_EQ(two_pow_100.to_string(), "1267650600228229401496703205376");
+  EXPECT_EQ((two_pow_100 + BigInt(1)).to_string(),
+            "1267650600228229401496703205377");
+  EXPECT_EQ((two_pow_100 * two_pow_100).to_string(),
+            BigInt(1).shifted_left(200).to_string());
+  EXPECT_EQ((two_pow_100 / BigInt(1).shifted_left(50)).to_string(),
+            BigInt(1).shifted_left(50).to_string());
+  EXPECT_EQ(((two_pow_100 + BigInt(7)) % BigInt(1).shifted_left(50))
+                .to_string(),
+            "7");
+  EXPECT_EQ(two_pow_100.shifted_right(100).to_string(), "1");
+  EXPECT_EQ(two_pow_100.bit_length(), 101u);
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(gcd(BigInt(12), BigInt(18)).to_string(), "6");
+  EXPECT_EQ(gcd(BigInt(-12), BigInt(18)).to_string(), "6");
+  EXPECT_EQ(gcd(BigInt(0), BigInt(5)).to_string(), "5");
+  EXPECT_EQ(gcd(BigInt(17), BigInt(31)).to_string(), "1");
+  const BigInt big = BigInt(123456789) * BigInt(1000000007);
+  EXPECT_EQ(gcd(big * BigInt(6), big * BigInt(15)).to_string(),
+            (big * BigInt(3)).to_string());
+}
+
+TEST(BigRational, NormalizationAndComparison) {
+  EXPECT_EQ(BigRational(BigInt(6), BigInt(8)).to_string(), "3/4");
+  EXPECT_EQ(BigRational(BigInt(6), BigInt(-8)).to_string(), "-3/4");
+  EXPECT_EQ(BigRational(BigInt(0), BigInt(-8)).to_string(), "0");
+  EXPECT_EQ(BigRational(BigInt(8), BigInt(4)).to_string(), "2");
+  EXPECT_TRUE(BigRational(BigInt(1), BigInt(3)) <
+              BigRational(BigInt(1), BigInt(2)));
+  EXPECT_TRUE(BigRational(BigInt(-1), BigInt(2)) <
+              BigRational(BigInt(1), BigInt(3)));
+  EXPECT_EQ(BigRational(BigInt(2), BigInt(6)),
+            BigRational(BigInt(1), BigInt(3)));
+}
+
+TEST(BigRational, Arithmetic) {
+  const BigRational third(BigInt(1), BigInt(3));
+  const BigRational sixth(BigInt(1), BigInt(6));
+  EXPECT_EQ((third + sixth).to_string(), "1/2");
+  EXPECT_EQ((third - sixth).to_string(), "1/6");
+  EXPECT_EQ((third * sixth).to_string(), "1/18");
+  EXPECT_EQ((third / sixth).to_string(), "2");
+  EXPECT_EQ((-third).to_string(), "-1/3");
+  BigRational acc;
+  for (int i = 0; i < 6; ++i) acc += sixth;
+  EXPECT_EQ(acc.to_string(), "1");
+  EXPECT_THROW(third / BigRational(), Error);
+}
+
+TEST(BigRational, FromDoubleIsExact) {
+  // 0.1 is not 1/10 as a double; the conversion must preserve the actual
+  // binary value 3602879701896397 / 2^55.
+  const BigRational tenth = BigRational::from_double(0.1);
+  EXPECT_EQ(tenth.num().to_string(), "3602879701896397");
+  EXPECT_EQ(tenth.den().to_string(), BigInt(1).shifted_left(55).to_string());
+  EXPECT_NE(tenth, BigRational(BigInt(1), BigInt(10)));
+
+  // Dyadic doubles convert to exactly the expected fraction.
+  EXPECT_EQ(BigRational::from_double(0.5).to_string(), "1/2");
+  EXPECT_EQ(BigRational::from_double(3.0).to_string(), "3");
+  EXPECT_EQ(BigRational::from_double(-0.75).to_string(), "-3/4");
+  EXPECT_EQ(BigRational::from_double(1.0 / 1024.0).to_string(), "1/1024");
+  EXPECT_EQ(BigRational::from_double(1023.0 / 1024.0).to_string(),
+            "1023/1024");
+  EXPECT_EQ(BigRational::from_double(0.0).to_string(), "0");
+
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const double x = (rng.uniform() - 0.5) * 1e6;
+    EXPECT_EQ(BigRational::from_double(x).to_double(), x);
+  }
+  EXPECT_THROW(BigRational::from_double(
+                   std::numeric_limits<double>::infinity()),
+               Error);
+}
+
+TEST(BigRational, ToDoubleOnHugeOperands) {
+  // num/den both far beyond double range, ratio moderate.
+  const BigInt huge = BigInt(3).shifted_left(3000);
+  const BigRational r(huge, huge + huge);  // exactly 1/2
+  EXPECT_DOUBLE_EQ(r.to_double(), 0.5);
+}
+
+}  // namespace
+}  // namespace tml

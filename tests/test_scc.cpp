@@ -1,0 +1,168 @@
+// Unit tests for the SCC condensation and maximal-end-component analyses
+// (src/mdp/graph.cpp) and the cached decomposition on CompiledModel.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/mdp/compiled.hpp"
+#include "src/mdp/graph.hpp"
+#include "src/mdp/model.hpp"
+#include "tests/oracle.hpp"
+
+namespace tml {
+namespace {
+
+/// 0 <-> 1 -> 2 <-> 3 -> 4 (self-loop) -> nothing; 5 -> 4 (no self-loop).
+Mdp chain_of_cycles() {
+  Mdp mdp(6);
+  mdp.add_choice(0, "a", {Transition{1, 1.0}});
+  mdp.add_choice(1, "a", {Transition{0, 0.5}, Transition{2, 0.5}});
+  mdp.add_choice(2, "a", {Transition{3, 1.0}});
+  mdp.add_choice(3, "a", {Transition{2, 0.5}, Transition{4, 0.5}});
+  mdp.add_choice(4, "a", {Transition{4, 1.0}});
+  mdp.add_choice(5, "a", {Transition{4, 1.0}});
+  return mdp;
+}
+
+TEST(Scc, ChainOfCyclesBlocksAndOrder) {
+  const CompiledModel model = compile(chain_of_cycles());
+  const SccDecomposition& scc = model.scc();
+
+  EXPECT_EQ(scc.num_blocks(), 4u);
+  // Same-cycle states share a block; distinct components don't.
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+  EXPECT_NE(scc.component[2], scc.component[4]);
+  EXPECT_NE(scc.component[4], scc.component[5]);
+  // Dependency order: every edge points to an equal-or-lower block id, so
+  // sweeping blocks 0..B-1 processes successors first.
+  EXPECT_LT(scc.component[4], scc.component[2]);
+  EXPECT_LT(scc.component[2], scc.component[0]);
+  EXPECT_LT(scc.component[4], scc.component[5]);
+
+  // Blocks partition the states, and block(b) slices agree with component.
+  std::vector<int> seen(model.num_states(), 0);
+  for (std::uint32_t b = 0; b < scc.num_blocks(); ++b) {
+    for (StateId s : scc.block(b)) {
+      EXPECT_EQ(scc.component[s], b);
+      ++seen[s];
+    }
+  }
+  for (StateId s = 0; s < model.num_states(); ++s) EXPECT_EQ(seen[s], 1);
+
+  // Nontrivial = more than one state, or a single state with a self-loop.
+  EXPECT_TRUE(scc.nontrivial[scc.component[0]]);
+  EXPECT_TRUE(scc.nontrivial[scc.component[2]]);
+  EXPECT_TRUE(scc.nontrivial[scc.component[4]]);   // self-loop
+  EXPECT_FALSE(scc.nontrivial[scc.component[5]]);  // plain transient state
+}
+
+TEST(Scc, DecompositionIsCachedOnCompiledModel) {
+  const CompiledModel model = compile(chain_of_cycles());
+  EXPECT_EQ(&model.scc(), &model.scc());
+}
+
+TEST(Scc, DependencyOrderHoldsOnRandomModels) {
+  Rng rng(123);
+  for (int rep = 0; rep < 10; ++rep) {
+    oracle::RandomModelConfig cfg;
+    cfg.num_states = 40;
+    const oracle::RandomModel rm = oracle::random_model(rng, cfg);
+    const CompiledModel model = compile(rm.mdp);
+    const SccDecomposition& scc = model.scc();
+    const auto& choice_start = model.choice_start();
+    const auto& row_start = model.row_start();
+    for (StateId s = 0; s < model.num_states(); ++s) {
+      for (std::uint32_t c = row_start[s]; c < row_start[s + 1]; ++c) {
+        for (std::uint32_t k = choice_start[c]; k < choice_start[c + 1];
+             ++k) {
+          if (model.prob()[k] <= 0.0) continue;
+          EXPECT_LE(scc.component[model.target()[k]], scc.component[s]);
+        }
+      }
+    }
+    EXPECT_EQ(scc.block_start.back(), model.num_states());
+  }
+}
+
+/// 0 and 1 cycle via action "stay"; 0 can also exit to absorbing 2.
+Mdp ec_with_exit() {
+  Mdp mdp(3);
+  mdp.add_choice(0, "stay", {Transition{1, 1.0}});
+  mdp.add_choice(0, "exit", {Transition{2, 1.0}});
+  mdp.add_choice(1, "stay", {Transition{0, 1.0}});
+  mdp.add_choice(2, "loop", {Transition{2, 1.0}});
+  return mdp;
+}
+
+TEST(Mec, FindsEndComponentAndAbsorbingState) {
+  const CompiledModel model = compile(ec_with_exit());
+  const StateSet all(model.num_states(), true);
+  const auto mecs = maximal_end_components(model, all);
+  ASSERT_EQ(mecs.size(), 2u);
+  EXPECT_EQ(mecs[0], (std::vector<StateId>{0, 1}));
+  EXPECT_EQ(mecs[1], (std::vector<StateId>{2}));
+}
+
+TEST(Mec, RestrictionDropsChoicesLeavingTheRegion) {
+  const CompiledModel model = compile(ec_with_exit());
+  StateSet within(model.num_states(), true);
+  within.set(2, false);
+  // The exit choice now leaves `within`, but the stay-cycle keeps {0, 1}
+  // an end component of the restricted sub-MDP.
+  const auto mecs = maximal_end_components(model, within);
+  ASSERT_EQ(mecs.size(), 1u);
+  EXPECT_EQ(mecs[0], (std::vector<StateId>{0, 1}));
+}
+
+TEST(Mec, LeakyChoiceDoesNotMakeAnEndComponent) {
+  // 0's only choice splits mass between itself and the outside world, so
+  // {0} must NOT be an end component (nature cannot keep the play inside).
+  Mdp mdp(2);
+  mdp.add_choice(0, "leak", {Transition{0, 0.5}, Transition{1, 0.5}});
+  mdp.add_choice(1, "loop", {Transition{1, 1.0}});
+  const CompiledModel model = compile(mdp);
+  StateSet within(model.num_states(), true);
+  within.set(1, false);
+  EXPECT_TRUE(maximal_end_components(model, within).empty());
+  const auto mecs = maximal_end_components(
+      model, StateSet(model.num_states(), true));
+  ASSERT_EQ(mecs.size(), 1u);
+  EXPECT_EQ(mecs[0], (std::vector<StateId>{1}));
+}
+
+TEST(Mec, TransientStatesBelongToNoMec) {
+  const CompiledModel model = compile(chain_of_cycles());
+  const auto mecs = maximal_end_components(
+      model, StateSet(model.num_states(), true));
+  // Only the absorbing state is an end component: the 0-1 and 2-3 "cycles"
+  // leak probability outward on every loop, so no choice set keeps the play
+  // inside them forever.
+  ASSERT_EQ(mecs.size(), 1u);
+  EXPECT_EQ(mecs[0], (std::vector<StateId>{4}));
+}
+
+TEST(Mec, GlueEdgesFromLeakingChoicesDoNotFormAnEndComponent) {
+  // {0, 1} is strongly connected only through 1's "leak" choice, whose
+  // support also reaches the separate component {2}. A fixpoint that
+  // filters choices against the candidate UNION (instead of the source's
+  // own component) keeps the 1 -> 0 glue edge and wrongly reports {0, 1}
+  // as a MEC — but no policy can keep the play inside {0, 1}: from 0 the
+  // only move is to 1, and at 1 the policy must either leak toward 2 or
+  // self-loop forever. The true MECs are the two self-loops.
+  Mdp mdp(3);
+  mdp.add_choice(0, "go", {Transition{1, 1.0}});
+  mdp.add_choice(1, "leak", {Transition{0, 0.5}, Transition{2, 0.5}});
+  mdp.add_choice(1, "stay", {Transition{1, 1.0}});
+  mdp.add_choice(2, "loop", {Transition{2, 1.0}});
+  const CompiledModel model = compile(mdp);
+  const auto mecs =
+      maximal_end_components(model, StateSet(model.num_states(), true));
+  ASSERT_EQ(mecs.size(), 2u);
+  EXPECT_EQ(mecs[0], (std::vector<StateId>{1}));
+  EXPECT_EQ(mecs[1], (std::vector<StateId>{2}));
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,7 +1,7 @@
 // tml_check — command-line PCTL model checker over PRISM-subset files.
 //
 //   tml_check <model.prism> "<pctl formula>" [--counterexample] [--dot]
-//             [--stats]
+//             [--stats] [--method classic|topological|interval]
 //
 // Loads a model written in the explicit single-module PRISM subset
 // (src/mdp/prism_parser.hpp), checks the formula, prints the verdict and
@@ -13,7 +13,13 @@
 //                      cross-engine corroboration pass (SMC and parametric
 //                      state elimination against the exact reachability
 //                      value on an induced DTMC) and prints the full
-//                      counter/timer registry as one JSON object.
+//                      counter/timer registry as one JSON object;
+//   --method           selects the unbounded-reachability engine for MDP
+//                      queries: `classic` (flat value iteration, unsound
+//                      delta stop), `topological` (per-SCC sweeps), or
+//                      `interval` (default; sound certified-bracket
+//                      iteration — also prints the bracket for top-level
+//                      P[... U ...] / P[F ...] queries on MDPs).
 //
 // Exit code: 0 when the property is satisfied (or the query is
 // quantitative), 1 when violated, 2 on usage/parse errors.
@@ -24,6 +30,7 @@
 
 #include "src/checker/check.hpp"
 #include "src/checker/counterexample.hpp"
+#include "src/checker/reachability.hpp"
 #include "src/checker/smc.hpp"
 #include "src/common/stats.hpp"
 #include "src/logic/parser.hpp"
@@ -39,9 +46,37 @@ namespace {
 
 int usage() {
   std::cerr << "usage: tml_check <model.prism> \"<pctl formula>\" "
-               "[--counterexample] [--dot] [--stats]\n"
+               "[--counterexample] [--dot] [--stats] "
+               "[--method classic|topological|interval]\n"
             << "example: tml_check wsn.prism 'Rmin<=40 [ F \"delivered\" ]'\n";
   return 2;
+}
+
+/// For quantitative unbounded P queries on MDPs under the interval engine,
+/// prints the certified [lo, hi] bracket at the initial state alongside the
+/// midpoint the checker reports.
+void print_bracket(const PrismModel& model, const StateFormula& formula) {
+  if (model.type != PrismModel::Type::kMdp) return;
+  if (formula.kind() != StateFormula::Kind::kProbQuery) return;
+  const PathFormula& path = formula.path();
+  if (path.step_bound()) return;
+  const Objective objective =
+      formula.quantifier() && *formula.quantifier() == Quantifier::kMin
+          ? Objective::kMinimize
+          : Objective::kMaximize;
+  StateSet stay(model.mdp.num_states(), true);
+  if (path.kind() == PathFormula::Kind::kUntil) {
+    stay = satisfying_states(model.mdp, path.left());
+  } else if (path.kind() != PathFormula::Kind::kEventually) {
+    return;
+  }
+  const StateSet goal = satisfying_states(model.mdp, path.right());
+  const SolveResult bracket =
+      mdp_until_bracket(model.mdp, stay, goal, objective);
+  const StateId init = model.mdp.initial_state();
+  std::cout << "bracket:  [" << bracket.lo[init] << ", " << bracket.hi[init]
+            << "] (width " << bracket.hi[init] - bracket.lo[init] << ", "
+            << bracket.iterations << " sweeps)\n";
 }
 
 /// Exercises the sampling and parametric engines on a DTMC induced from the
@@ -101,6 +136,17 @@ int main(int argc, char** argv) {
       want_dot = true;
     } else if (flag == "--stats") {
       want_stats = true;
+    } else if (flag == "--method" && i + 1 < argc) {
+      const std::string method = argv[++i];
+      if (method == "classic") {
+        set_default_solve_method(SolveMethod::kValueIteration);
+      } else if (method == "topological") {
+        set_default_solve_method(SolveMethod::kTopological);
+      } else if (method == "interval") {
+        set_default_solve_method(SolveMethod::kIntervalTopological);
+      } else {
+        return usage();
+      }
     } else {
       return usage();
     }
@@ -137,6 +183,9 @@ int main(int argc, char** argv) {
     const CheckResult result = check(model.mdp, *formula);
     if (formula->is_quantitative()) {
       std::cout << "value:    " << *result.value << "\n";
+      if (default_solve_method() == SolveMethod::kIntervalTopological) {
+        print_bracket(model, *formula);
+      }
       emit_stats();
       return 0;
     }
