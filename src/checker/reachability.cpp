@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/fault.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/stats.hpp"
 #include "src/mdp/graph.hpp"
@@ -15,6 +16,24 @@ namespace {
 void record_bounded_sweeps(std::size_t sweeps) {
   static stats::Counter& c_sweeps = stats::counter("checker.bounded.sweeps");
   c_sweeps.add(sweeps);
+}
+
+/// The bounded/cumulative sweeps accept a budget as a trailing pointer
+/// (nullptr = process default) to keep the dozens of existing thread-only
+/// call sites source-compatible.
+Budget budget_or_default(const Budget* budget) {
+  return budget != nullptr ? *budget : default_budget();
+}
+
+/// Checks a sweep delta (or interval gap) for injected or genuine NaN.
+double checked_sweep_delta(double delta, const char* engine) {
+  delta = fault::poison("checker.sweep", delta);
+  if (std::isnan(delta)) {
+    throw NumericError(std::string(engine) +
+                       ": NaN convergence delta — model or update sequence "
+                       "produced non-finite values");
+  }
+  return delta;
 }
 
 /// Restricts an until problem to a plain reachability problem: states in
@@ -126,7 +145,9 @@ std::vector<double> reach_classic(const CompiledModel& model,
   bool converged = false;
   std::size_t iterations = 0;
   double last_delta = 0.0;
+  BudgetTracker tracker(options.budget);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (!tracker.tick()) tracker.require_ok("mdp_reachability");
     const double delta = parallel_transform_reduce(
         std::size_t{0}, n, kDefaultGrain, 0.0,
         [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -154,8 +175,8 @@ std::vector<double> reach_classic(const CompiledModel& model,
         [](double a, double b) { return std::max(a, b); }, options.threads);
     values.swap(next);
     iterations = iter + 1;
-    last_delta = delta;
-    if (delta < options.tolerance) {
+    last_delta = checked_sweep_delta(delta, "mdp_reachability");
+    if (last_delta < options.tolerance && !fault::fire("checker.converge")) {
       converged = true;
       break;
     }
@@ -193,6 +214,7 @@ std::vector<double> reach_topological(const CompiledModel& model,
 
   std::size_t total_sweeps = 0;
   double last_delta = 0.0;
+  BudgetTracker tracker(options.budget);
   // Blocks are emitted in dependency order: every inter-block edge points to
   // a lower block id, so by the time block b runs, everything it reads
   // outside itself is final.
@@ -218,6 +240,7 @@ std::vector<double> reach_topological(const CompiledModel& model,
     const std::size_t end = scc.block_start[b + 1];
     bool converged = false;
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+      if (!tracker.tick()) tracker.require_ok("mdp_reachability(topological)");
       const double delta = parallel_transform_reduce(
           begin, end, kDefaultGrain, 0.0,
           [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -246,8 +269,8 @@ std::vector<double> reach_topological(const CompiledModel& model,
           [](double a, double b) { return std::max(a, b); }, options.threads);
       values.swap(next);
       ++total_sweeps;
-      last_delta = delta;
-      if (delta < options.tolerance) {
+      last_delta = checked_sweep_delta(delta, "mdp_reachability(topological)");
+      if (last_delta < options.tolerance && !fault::fire("checker.converge")) {
         converged = true;
         break;
       }
@@ -346,6 +369,14 @@ SolveResult reach_interval(const CompiledModel& model, const Prob01& sets,
   std::vector<double> next_hi = hi;
   std::size_t total_sweeps = 0;
   bool all_converged = true;
+  // On exhaustion the engine stops at the current sweep boundary and
+  // returns lo/hi as they stand: the bracket is sound after EVERY sweep
+  // (lower iterate under-approximates, upper over-approximates, and
+  // untouched downstream blocks still hold their initial certified 0/1
+  // bounds), so a budget-truncated run degrades to a wider — never wrong —
+  // certified interval.
+  BudgetTracker tracker(options.budget);
+  bool budget_fired = false;
 
   // One Jacobi sweep of this block's unknown states against `src`, into
   // `dst`. `from_below` keeps the lower iterate monotone non-decreasing and
@@ -380,7 +411,7 @@ SolveResult reach_interval(const CompiledModel& model, const Prob01& sets,
         options.threads);
   };
 
-  for (std::uint32_t b = 0; b < scc.num_blocks(); ++b) {
+  for (std::uint32_t b = 0; b < scc.num_blocks() && !budget_fired; ++b) {
     const auto block = scc.block(b);
     bool any_unknown = false;
     for (StateId s : block) {
@@ -407,6 +438,10 @@ SolveResult reach_interval(const CompiledModel& model, const Prob01& sets,
     const std::size_t end = scc.block_start[b + 1];
     bool converged = false;
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+      if (!tracker.tick()) {
+        budget_fired = true;
+        break;
+      }
       sweep(begin, end, lo, next_lo, /*from_below=*/true);
       sweep(begin, end, hi, next_hi, /*from_below=*/false);
       lo.swap(next_lo);
@@ -442,7 +477,9 @@ SolveResult reach_interval(const CompiledModel& model, const Prob01& sets,
             return local;
           },
           [](double a, double b) { return std::max(a, b); }, options.threads);
-      if (gap < options.tolerance) {
+      if (checked_sweep_delta(gap, "mdp_reachability(interval)") <
+              options.tolerance &&
+          !fault::fire("checker.converge")) {
         converged = true;
         break;
       }
@@ -452,7 +489,7 @@ SolveResult reach_interval(const CompiledModel& model, const Prob01& sets,
       next_hi[scc.block_states[i]] = hi[scc.block_states[i]];
     }
     if (!converged) {
-      if (options.throw_on_nonconvergence) {
+      if (!budget_fired && options.throw_on_nonconvergence) {
         throw NumericError("mdp_reachability(interval): block " +
                            std::to_string(b) +
                            " gap did not close within " +
@@ -477,6 +514,8 @@ SolveResult reach_interval(const CompiledModel& model, const Prob01& sets,
   SolveResult result;
   result.iterations = total_sweeps;
   result.converged = all_converged;
+  result.budget_status = tracker.status();
+  result.budget_stop = tracker.stop();
   result.values.resize(n);
   for (StateId s = 0; s < n; ++s) {
     // Pinned states report exactly 0/1; everything else the bracket midpoint.
@@ -505,7 +544,17 @@ std::vector<double> mdp_reachability(const CompiledModel& model,
     case SolveMethod::kIntervalTopological:
       break;
   }
-  return reach_interval(model, sets, objective, options).values;
+  SolveResult result = reach_interval(model, sets, objective, options);
+  if (result.budget_status == BudgetStatus::kBudgetExhausted) {
+    // This entry point returns a bare vector, so it has no channel for the
+    // exhaustion flag; surface the typed error instead of a silent partial.
+    throw BudgetExhausted("mdp_reachability: budget exhausted (" +
+                              std::string(to_string(result.budget_stop)) +
+                              ") after " +
+                              std::to_string(result.iterations) + " sweeps",
+                          result.budget_stop);
+  }
+  return std::move(result.values);
 }
 
 SolveResult mdp_reachability_bracket(const CompiledModel& model,
@@ -547,10 +596,12 @@ std::vector<double> mdp_bounded_until(const CompiledModel& model,
                                       const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
                                       Objective objective,
-                                      std::size_t threads) {
+                                      std::size_t threads,
+                                      const Budget* budget) {
   const std::size_t n = model.num_states();
   TML_REQUIRE(stay.size() == n && goal.size() == n,
               "mdp_bounded_until: set size mismatch");
+  BudgetTracker tracker(budget_or_default(budget));
   const auto& row_start = model.row_start();
   const auto& choice_start = model.choice_start();
   const auto& target = model.target();
@@ -561,6 +612,7 @@ std::vector<double> mdp_bounded_until(const CompiledModel& model,
   }
   std::vector<double> next = values;
   for (std::size_t k = 0; k < bound; ++k) {
+    if (!tracker.tick()) tracker.require_ok("mdp_bounded_until");
     parallel_for(
         0, n, kDefaultGrain,
         [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -599,14 +651,17 @@ std::vector<double> mdp_bounded_until(const CompiledModel& model,
 std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
                                       Objective objective,
-                                      std::size_t threads) {
-  return mdp_bounded_until(compile(mdp), stay, goal, bound, objective, threads);
+                                      std::size_t threads,
+                                      const Budget* budget) {
+  return mdp_bounded_until(compile(mdp), stay, goal, bound, objective, threads,
+                           budget);
 }
 
 std::vector<double> dtmc_bounded_until(const CompiledModel& model,
                                        const StateSet& stay,
                                        const StateSet& goal, std::size_t bound,
-                                       std::size_t threads) {
+                                       std::size_t threads,
+                                       const Budget* budget) {
   TML_REQUIRE(model.deterministic(),
               "dtmc_bounded_until: compiled model is not a DTMC");
   const std::size_t n = model.num_states();
@@ -620,7 +675,9 @@ std::vector<double> dtmc_bounded_until(const CompiledModel& model,
     if (goal[s]) values[s] = 1.0;
   }
   std::vector<double> next = values;
+  BudgetTracker tracker(budget_or_default(budget));
   for (std::size_t k = 0; k < bound; ++k) {
+    if (!tracker.tick()) tracker.require_ok("dtmc_bounded_until");
     parallel_for(
         0, n, kDefaultGrain,
         [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -650,8 +707,9 @@ std::vector<double> dtmc_bounded_until(const CompiledModel& model,
 
 std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
                                        const StateSet& goal, std::size_t bound,
-                                       std::size_t threads) {
-  return dtmc_bounded_until(compile(chain), stay, goal, bound, threads);
+                                       std::size_t threads,
+                                       const Budget* budget) {
+  return dtmc_bounded_until(compile(chain), stay, goal, bound, threads, budget);
 }
 
 std::vector<double> dtmc_until(const CompiledModel& model, const StateSet& stay,
@@ -679,7 +737,8 @@ std::vector<double> mdp_until(const Mdp& mdp, const StateSet& stay,
 
 std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
                                            std::size_t horizon,
-                                           std::size_t threads) {
+                                           std::size_t threads,
+                                           const Budget* budget) {
   TML_REQUIRE(model.deterministic(),
               "dtmc_cumulative_reward: compiled model is not a DTMC");
   const std::size_t n = model.num_states();
@@ -688,7 +747,9 @@ std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
   const auto& prob = model.prob();
   std::vector<double> values(n, 0.0);
   std::vector<double> next(n, 0.0);
+  BudgetTracker tracker(budget_or_default(budget));
   for (std::size_t k = 0; k < horizon; ++k) {
+    if (!tracker.tick()) tracker.require_ok("dtmc_cumulative_reward");
     parallel_for(
         0, n, kDefaultGrain,
         [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -710,14 +771,16 @@ std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
 
 std::vector<double> dtmc_cumulative_reward(const Dtmc& chain,
                                            std::size_t horizon,
-                                           std::size_t threads) {
-  return dtmc_cumulative_reward(compile(chain), horizon, threads);
+                                           std::size_t threads,
+                                           const Budget* budget) {
+  return dtmc_cumulative_reward(compile(chain), horizon, threads, budget);
 }
 
 std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
                                           std::size_t horizon,
                                           Objective objective,
-                                          std::size_t threads) {
+                                          std::size_t threads,
+                                          const Budget* budget) {
   const std::size_t n = model.num_states();
   const auto& row_start = model.row_start();
   const auto& choice_start = model.choice_start();
@@ -725,7 +788,9 @@ std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
   const auto& prob = model.prob();
   std::vector<double> values(n, 0.0);
   std::vector<double> next(n, 0.0);
+  BudgetTracker tracker(budget_or_default(budget));
   for (std::size_t k = 0; k < horizon; ++k) {
+    if (!tracker.tick()) tracker.require_ok("mdp_cumulative_reward");
     parallel_for(
         0, n, kDefaultGrain,
         [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -756,8 +821,10 @@ std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
 
 std::vector<double> mdp_cumulative_reward(const Mdp& mdp, std::size_t horizon,
                                           Objective objective,
-                                          std::size_t threads) {
-  return mdp_cumulative_reward(compile(mdp), horizon, objective, threads);
+                                          std::size_t threads,
+                                          const Budget* budget) {
+  return mdp_cumulative_reward(compile(mdp), horizon, objective, threads,
+                               budget);
 }
 
 }  // namespace tml

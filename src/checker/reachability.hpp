@@ -19,6 +19,16 @@
 // once and delegate. Until operators restrict to plain reachability via
 // CompiledModel::make_absorbing (states outside stay ∪ goal can never
 // contribute).
+//
+// Budgets (src/common/budget.hpp). Every engine polls
+// SolverOptions::budget once per sweep. The bracket entry points degrade
+// gracefully on exhaustion: they return the current certified lo/hi
+// bracket (sound at every sweep boundary by construction) flagged
+// `SolveResult::budget_status = kBudgetExhausted`. The plain-vector entry
+// points (mdp_reachability, mdp_until, the bounded/cumulative sweeps —
+// which take the budget as a trailing pointer, nullptr = default_budget())
+// have no channel for a flagged partial and throw the typed
+// `BudgetExhausted` error instead.
 
 #pragma once
 
@@ -67,20 +77,24 @@ std::vector<double> mdp_bounded_until(const CompiledModel& model,
                                       const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
                                       Objective objective,
-                                      std::size_t threads = 0);
+                                      std::size_t threads = 0,
+                                      const Budget* budget = nullptr);
 std::vector<double> mdp_bounded_until(const Mdp& mdp, const StateSet& stay,
                                       const StateSet& goal, std::size_t bound,
                                       Objective objective,
-                                      std::size_t threads = 0);
+                                      std::size_t threads = 0,
+                                      const Budget* budget = nullptr);
 
 /// DTMC step-bounded until.
 std::vector<double> dtmc_bounded_until(const CompiledModel& model,
                                        const StateSet& stay,
                                        const StateSet& goal, std::size_t bound,
-                                       std::size_t threads = 0);
+                                       std::size_t threads = 0,
+                                       const Budget* budget = nullptr);
 std::vector<double> dtmc_bounded_until(const Dtmc& chain, const StateSet& stay,
                                        const StateSet& goal, std::size_t bound,
-                                       std::size_t threads = 0);
+                                       std::size_t threads = 0,
+                                       const Budget* budget = nullptr);
 
 /// Unbounded constrained reachability P[ stay U goal ] for DTMCs, by making
 /// the escape region absorbing and running linear-system reachability.
@@ -100,16 +114,20 @@ std::vector<double> mdp_until(const Mdp& mdp, const StateSet& stay,
 /// Expected cumulative reward over the first `horizon` steps.
 std::vector<double> dtmc_cumulative_reward(const CompiledModel& model,
                                            std::size_t horizon,
-                                           std::size_t threads = 0);
+                                           std::size_t threads = 0,
+                                           const Budget* budget = nullptr);
 std::vector<double> dtmc_cumulative_reward(const Dtmc& chain,
                                            std::size_t horizon,
-                                           std::size_t threads = 0);
+                                           std::size_t threads = 0,
+                                           const Budget* budget = nullptr);
 std::vector<double> mdp_cumulative_reward(const CompiledModel& model,
                                           std::size_t horizon,
                                           Objective objective,
-                                          std::size_t threads = 0);
+                                          std::size_t threads = 0,
+                                          const Budget* budget = nullptr);
 std::vector<double> mdp_cumulative_reward(const Mdp& mdp, std::size_t horizon,
                                           Objective objective,
-                                          std::size_t threads = 0);
+                                          std::size_t threads = 0,
+                                          const Budget* budget = nullptr);
 
 }  // namespace tml

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "src/checker/check.hpp"
+#include "src/common/fault.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/stats.hpp"
 #include "src/mdp/graph.hpp"
@@ -172,54 +173,79 @@ SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
   const StateSet* certain_yes = certain.yes ? &*certain.yes : nullptr;
 
   SmcResult result;
-  result.epsilon = options.epsilon;
   result.confidence = 1.0 - options.delta;
-  result.samples = chernoff_sample_size(options.epsilon, options.delta);
+  const std::size_t required =
+      chernoff_sample_size(options.epsilon, options.delta);
 
-  // The budget is sharded into fixed-size blocks, each drawing from an
-  // independent child stream of `seed`. The shard layout depends only on
+  // The sample budget is sharded into fixed-size blocks, each drawing from
+  // an independent child stream of `seed`. The shard layout depends only on
   // (samples, shard_size), never on the thread count, so the hit and
   // truncation counts — and everything derived from them — are bitwise
   // identical whether the shards run serially or across any number of
   // workers.
   const std::size_t shard = std::max<std::size_t>(1, options.shard_size);
-  const std::size_t num_shards = chunk_count(0, result.samples, shard);
+  const std::size_t num_shards = chunk_count(0, required, shard);
   std::vector<std::uint32_t> hits(num_shards, 0);
   std::vector<std::uint32_t> undecided(num_shards, 0);
   const Rng root(options.seed);
-  parallel_for(
-      0, result.samples, shard,
-      [&](std::size_t begin, std::size_t end) {
-        const std::size_t s = begin / shard;
-        Rng rng = root.split(s);
-        std::uint32_t h = 0;
-        std::uint32_t u = 0;
-        for (std::size_t i = begin; i < end; ++i) {
-          switch (sample_path_outcome(model, path, left, right,
-                                      options.max_steps, rng, certain_no,
-                                      certain_yes)) {
-            case PathSample::kSatisfied: ++h; break;
-            case PathSample::kViolated: break;
-            case PathSample::kUndecided: ++u; break;
-          }
-        }
-        hits[s] = h;
-        undecided[s] = u;
-      },
-      options.threads);
 
+  // Shards run in fixed batches of kShardsPerBatch and the resource budget
+  // is polled once per shard at the (serial) batch boundaries, so the set
+  // of shards that runs is always a prefix of the deterministic shard
+  // sequence: an iteration cap of k runs exactly shards 0..k−1 under every
+  // thread count, and a deadline/cancellation stops at a whole-shard
+  // boundary.
+  BudgetTracker tracker(options.budget);
+  constexpr std::size_t kShardsPerBatch = 8;
+  std::size_t shards_run = 0;
+  while (shards_run < num_shards) {
+    const std::size_t batch_end =
+        std::min(num_shards, shards_run + kShardsPerBatch);
+    std::size_t allowed = shards_run;
+    while (allowed < batch_end && tracker.tick()) ++allowed;
+    if (allowed == shards_run) break;  // budget fired before this batch
+    parallel_for(
+        shards_run * shard, std::min(required, allowed * shard), shard,
+        [&](std::size_t begin, std::size_t end) {
+          const std::size_t s = begin / shard;
+          Rng rng = root.split(s);
+          std::uint32_t h = 0;
+          std::uint32_t u = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            PathSample outcome =
+                sample_path_outcome(model, path, left, right,
+                                    options.max_steps, rng, certain_no,
+                                    certain_yes);
+            if (fault::fire("smc.sample")) outcome = PathSample::kUndecided;
+            switch (outcome) {
+              case PathSample::kSatisfied: ++h; break;
+              case PathSample::kViolated: break;
+              case PathSample::kUndecided: ++u; break;
+            }
+          }
+          hits[s] = h;
+          undecided[s] = u;
+        },
+        options.threads);
+    shards_run = allowed;
+  }
+
+  result.samples = std::min(required, shards_run * shard);
+  result.budget_status = tracker.status();
+  result.budget_stop = tracker.stop();
   const std::size_t total = std::accumulate(hits.begin(), hits.end(),
                                             std::size_t{0});
   result.truncated = std::accumulate(undecided.begin(), undecided.end(),
                                      std::size_t{0});
   const double n = static_cast<double>(result.samples);
-  result.estimate = static_cast<double>(total) / n;
+  result.estimate = n > 0.0 ? static_cast<double>(total) / n : 0.0;
 
   c_runs.bump();
   c_samples.add(result.samples);
   c_truncated.add(result.truncated);
 
-  const double truncation_rate = static_cast<double>(result.truncated) / n;
+  const double truncation_rate =
+      n > 0.0 ? static_cast<double>(result.truncated) / n : 0.0;
   if (truncation_rate > options.max_truncation_rate) {
     throw NumericError(
         "smc_check: " + std::to_string(result.truncated) + " of " +
@@ -232,10 +258,22 @@ SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
   }
   // Every truncated path could have gone either way: widen the reported
   // half-width so [estimate − ε, estimate + ε] still brackets the truth
-  // with the Chernoff confidence.
-  result.epsilon = options.epsilon + truncation_rate;
+  // with the Chernoff confidence. A budget-truncated run did not earn the
+  // requested ε, only what its sample count supports (inverting the
+  // Chernoff bound at the same δ); with no samples at all the interval is
+  // vacuous.
+  if (result.samples < required) {
+    const double earned =
+        n > 0.0 ? std::sqrt(std::log(2.0 / options.delta) / (2.0 * n)) : 1.0;
+    result.epsilon = std::min(1.0, earned + truncation_rate);
+  } else {
+    result.epsilon = options.epsilon + truncation_rate;
+  }
 
-  if (formula.kind() == StateFormula::Kind::kProb) {
+  if (n == 0.0) {
+    // Budget fired before the first shard: nothing to decide.
+    result.satisfied = false;
+  } else if (formula.kind() == StateFormula::Kind::kProb) {
     result.satisfied =
         compare(result.estimate, formula.comparison(), formula.bound());
     // Certainty scan in shard order: after `drawn` samples with `acc` hits,
@@ -245,7 +283,7 @@ SmcResult smc_check(const CompiledModel& model, const StateFormula& formula,
     // the classical |p̂ − b| > ε check).
     std::size_t acc = 0;
     std::size_t drawn = 0;
-    for (std::size_t s = 0; s < num_shards; ++s) {
+    for (std::size_t s = 0; s < shards_run; ++s) {
       acc += hits[s];
       drawn += std::min(shard, result.samples - drawn);
       const double lo = static_cast<double>(acc) / n;

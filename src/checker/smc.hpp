@@ -29,6 +29,7 @@
 #pragma once
 
 #include "src/checker/results.hpp"
+#include "src/common/budget.hpp"
 #include "src/common/rng.hpp"
 #include "src/logic/pctl.hpp"
 #include "src/mdp/compiled.hpp"
@@ -52,6 +53,13 @@ struct SmcOptions {
   /// every thread count (threads = 1 runs the same shards serially).
   std::size_t threads = 0;
   std::size_t shard_size = 1024;  ///< samples per RNG shard (thread-agnostic)
+  /// Resource budget. Polled once per shard at fixed batch boundaries
+  /// (independent of thread count), so an iteration cap of k runs exactly
+  /// the first k shards — bitwise reproducible across TML_THREADS. On
+  /// exhaustion smc_check returns the estimate over the samples actually
+  /// drawn with `epsilon` recomputed to the guarantee those samples earn
+  /// (1.0 when nothing was drawn), flagged kBudgetExhausted.
+  Budget budget = default_budget();
 };
 
 struct SmcResult {
@@ -74,6 +82,12 @@ struct SmcResult {
   /// non-zero when `max_truncation_rate` tolerated them; `epsilon` already
   /// includes the widening `truncated / samples`.
   std::size_t truncated = 0;
+  /// kBudgetExhausted when the sample budget stopped at a shard boundary
+  /// before the full Chernoff sample size; `samples`/`epsilon` then report
+  /// the confidence actually earned and `decisive` stays false unless the
+  /// partial prefix already separated from the bound.
+  BudgetStatus budget_status = BudgetStatus::kOk;
+  BudgetStop budget_stop = BudgetStop::kNone;
 };
 
 /// Per-sample verdict of one simulated trajectory.

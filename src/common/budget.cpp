@@ -1,0 +1,132 @@
+#include "src/common/budget.hpp"
+
+#include <mutex>
+#include <sstream>
+
+#include "src/common/fault.hpp"
+#include "src/common/stats.hpp"
+
+namespace tml {
+
+namespace {
+
+std::mutex& default_budget_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Budget& default_budget_storage() {
+  static Budget budget;  // unlimited, with a process-wide cancel token
+  return budget;
+}
+
+/// steady_clock::now() plus any fault-injected skew (site budget.clock),
+/// so the deadline paths can be driven deterministically from tests.
+Budget::Clock::time_point skewed_now() {
+  Budget::Clock::time_point now = Budget::Clock::now();
+  if (fault::any_armed()) {
+    now += std::chrono::nanoseconds(fault::clock_skew_ns());
+  }
+  return now;
+}
+
+}  // namespace
+
+const char* to_string(BudgetStop stop) {
+  switch (stop) {
+    case BudgetStop::kNone: return "none";
+    case BudgetStop::kDeadline: return "deadline";
+    case BudgetStop::kIterationCap: return "iteration-cap";
+    case BudgetStop::kEvaluationCap: return "evaluation-cap";
+    case BudgetStop::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+Budget& Budget::deadline_in_ms(std::int64_t budget_ms) {
+  deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
+  return *this;
+}
+
+Budget default_budget() {
+  std::lock_guard<std::mutex> lock(default_budget_mutex());
+  return default_budget_storage();
+}
+
+void set_default_budget(const Budget& budget) {
+  std::lock_guard<std::mutex> lock(default_budget_mutex());
+  default_budget_storage() = budget;
+}
+
+BudgetTracker::BudgetTracker(const Budget& budget) : budget_(budget) {}
+
+bool BudgetTracker::deadline_passed() const {
+  return budget_.has_deadline() && skewed_now() >= budget_.deadline;
+}
+
+bool BudgetTracker::clock_or_cancel_fired() {
+  if (budget_.cancel.cancelled()) {
+    stop_ = BudgetStop::kCancelled;
+    return true;
+  }
+  if (ticks_to_clock_ == 0) {
+    ticks_to_clock_ = kClockStride;
+    if (budget_.has_deadline()) {
+      static stats::Counter& clock_reads = stats::counter("budget.clock_reads");
+      clock_reads.bump();
+      if (deadline_passed()) {
+        stop_ = BudgetStop::kDeadline;
+        return true;
+      }
+    }
+  }
+  --ticks_to_clock_;
+  return false;
+}
+
+bool BudgetTracker::tick(std::uint64_t n) {
+  if (!ok()) return false;
+  static stats::Counter& checkpoints = stats::counter("budget.checkpoints");
+  checkpoints.bump();
+  iterations_ += n;
+  if (budget_.max_iterations != 0 && iterations_ > budget_.max_iterations) {
+    iterations_ = budget_.max_iterations;
+    stop_ = BudgetStop::kIterationCap;
+  } else if (clock_or_cancel_fired()) {
+    // stop_ set by the helper.
+  }
+  if (!ok()) {
+    static stats::Counter& exhausted = stats::counter("budget.exhausted");
+    exhausted.bump();
+    return false;
+  }
+  return true;
+}
+
+bool BudgetTracker::tick_evaluations(std::uint64_t n) {
+  if (!ok()) return false;
+  evaluations_ += n;
+  if (budget_.max_evaluations != 0 &&
+      evaluations_ > budget_.max_evaluations) {
+    evaluations_ = budget_.max_evaluations;
+    stop_ = BudgetStop::kEvaluationCap;
+  } else if (budget_.cancel.cancelled()) {
+    stop_ = BudgetStop::kCancelled;
+  }
+  if (!ok()) {
+    static stats::Counter& exhausted = stats::counter("budget.exhausted");
+    exhausted.bump();
+    return false;
+  }
+  return true;
+}
+
+void BudgetTracker::require_ok(const char* site) const {
+  if (ok()) return;
+  std::ostringstream os;
+  os << site << ": budget exhausted (" << to_string(stop_) << ") after "
+     << iterations_ << " work units";
+  throw BudgetExhausted(os.str(), stop_);
+}
+
+}  // namespace tml

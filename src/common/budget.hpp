@@ -1,0 +1,174 @@
+// Shared resource budgets and cooperative cancellation for every engine.
+//
+// A `Budget` bounds how much work a call may do along three axes:
+//
+//  * wall-clock — an *absolute* steady_clock deadline (so one budget can be
+//    threaded through a pipeline of stages and they all race the same
+//    clock; `deadline_in()` is the convenience for "N ms from now");
+//  * deterministic work units — `max_iterations` caps the engine's natural
+//    outer unit (VI/interval sweeps, SMC shards, eliminated states, NLP
+//    outer rounds, IRL gradient steps) and `max_evaluations` caps finer
+//    units where an engine has them (NLP objective/constraint
+//    evaluations);
+//  * cooperative cancellation — a `CancelToken` shared between the caller
+//    (who flips it, e.g. from a SIGINT handler) and every loop holding a
+//    copy of the budget.
+//
+// Engines poll through a `BudgetTracker`: `tick()` once per work unit.
+// Iteration/evaluation caps and the cancel flag are checked every tick;
+// the clock is only read on the first tick and then once every
+// `kClockStride` ticks (stats-instrumented as budget.clock_reads), so an
+// already-expired deadline is caught before any work and the steady-state
+// cost is one relaxed load + integer compare per unit.
+//
+// Degradation contract. On exhaustion an engine must do one of exactly two
+// things — never return garbage, never hang:
+//
+//  * rich results (SolveResult, SmcResult, IrlResult, SolveOutcome,
+//    TrustedLearnerReport) carry `budget_status = kBudgetExhausted` plus
+//    the `BudgetStop` axis that fired, together with the best *sound*
+//    partial answer available (certified lo/hi bracket, estimate with the
+//    confidence actually earned, best-feasible point so far);
+//  * thin entry points that can only return a plain vector throw the typed
+//    `BudgetExhausted` error.
+//
+// Determinism contract (src/common/parallel.hpp). Iteration and evaluation
+// caps count deterministic units, so an iteration-capped budget stops at
+// the same unit regardless of thread count — results stay bitwise
+// reproducible across TML_THREADS. Deadlines and cancellation are honoured
+// only at those same checkpoint boundaries: *when* they fire depends on
+// wall time, but the set of states a partial result can be in is the same
+// deterministic checkpoint sequence.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace tml {
+
+/// Cooperative cancellation flag, shared by value: every copy of a token
+/// observes the same flag, so a budget embedded in options structs and
+/// copied across threads still sees the caller's `cancel()`.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; safe to call from a signal handler thread.
+  void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  void reset() const { flag_->store(false, std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Which budget axis stopped the work.
+enum class BudgetStop : std::uint8_t {
+  kNone = 0,       ///< budget never fired
+  kDeadline,       ///< wall-clock deadline passed
+  kIterationCap,   ///< max_iterations work units consumed
+  kEvaluationCap,  ///< max_evaluations fine-grained units consumed
+  kCancelled,      ///< CancelToken flipped
+};
+
+/// Coarse verdict carried on every rich engine result.
+enum class BudgetStatus : std::uint8_t {
+  kOk = 0,               ///< ran to its natural end within budget
+  kBudgetExhausted = 1,  ///< stopped early; result is a flagged partial
+};
+
+const char* to_string(BudgetStop stop);
+
+/// Resource budget for one engine call (or a whole pipeline — the deadline
+/// is absolute). Default-constructed budgets are unlimited.
+struct Budget {
+  using Clock = std::chrono::steady_clock;
+
+  /// Absolute wall-clock deadline; `time_point{}` (the default) means no
+  /// deadline.
+  Clock::time_point deadline{};
+  /// Cap on the engine's outer deterministic work units; 0 = unlimited.
+  std::uint64_t max_iterations = 0;
+  /// Cap on fine-grained evaluations where the engine has them (NLP
+  /// objective/constraint evaluations); 0 = unlimited.
+  std::uint64_t max_evaluations = 0;
+  /// Cooperative cancellation; shared across copies of this budget.
+  CancelToken cancel;
+
+  bool has_deadline() const { return deadline != Clock::time_point{}; }
+  bool unlimited() const {
+    return !has_deadline() && max_iterations == 0 && max_evaluations == 0;
+  }
+
+  /// Sets the deadline to `now + budget_ms` and returns *this (chainable).
+  Budget& deadline_in_ms(std::int64_t budget_ms);
+};
+
+/// Thrown by thin entry points (plain-vector returns, parametric
+/// elimination) that cannot carry a flagged partial result.
+class BudgetExhausted : public Error {
+ public:
+  BudgetExhausted(const std::string& what, BudgetStop stop)
+      : Error(what), stop_(stop) {}
+  BudgetStop stop() const { return stop_; }
+
+ private:
+  BudgetStop stop_;
+};
+
+/// Process-wide default budget, picked up by every options struct whose
+/// budget member the caller leaves untouched (mirrors
+/// default_solve_method). tml_check --timeout-ms sets it so even engines
+/// reached without an options struct are bounded.
+Budget default_budget();
+void set_default_budget(const Budget& budget);
+
+/// Per-call polling state over one Budget. Cheap to construct; engines
+/// make one per loop (or pass a pointer down through helpers).
+class BudgetTracker {
+ public:
+  /// Clock reads happen on tick 1 and then every kClockStride ticks.
+  static constexpr std::uint64_t kClockStride = 16;
+
+  explicit BudgetTracker(const Budget& budget);
+
+  /// Counts `n` outer work units; returns true while within budget. After
+  /// the first false, subsequent calls keep returning false (the stop axis
+  /// is latched).
+  bool tick(std::uint64_t n = 1);
+
+  /// Counts `n` fine-grained evaluations against max_evaluations (also
+  /// re-checks cancellation). Returns true while within budget.
+  bool tick_evaluations(std::uint64_t n = 1);
+
+  bool ok() const { return stop_ == BudgetStop::kNone; }
+  bool exhausted() const { return !ok(); }
+  BudgetStop stop() const { return stop_; }
+  BudgetStatus status() const {
+    return ok() ? BudgetStatus::kOk : BudgetStatus::kBudgetExhausted;
+  }
+  std::uint64_t iterations() const { return iterations_; }
+  std::uint64_t evaluations() const { return evaluations_; }
+
+  /// Throws BudgetExhausted naming `site` if the budget has fired. For
+  /// thin entry points with no partial result to salvage.
+  void require_ok(const char* site) const;
+
+ private:
+  bool clock_or_cancel_fired();
+  bool deadline_passed() const;
+
+  Budget budget_;
+  std::uint64_t iterations_ = 0;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t ticks_to_clock_ = 0;  // 0 => read clock on next tick
+  BudgetStop stop_ = BudgetStop::kNone;
+};
+
+}  // namespace tml

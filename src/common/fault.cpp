@@ -1,0 +1,173 @@
+#include "src/common/fault.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/stats.hpp"
+
+namespace tml {
+namespace fault {
+
+namespace detail {
+std::atomic<bool> g_any_armed{false};
+}  // namespace detail
+
+namespace {
+
+enum class Mode { kNan, kInf, kOn, kSkew };
+
+struct Site {
+  Mode mode = Mode::kOn;
+  std::uint64_t after = 0;   // calls to pass through before injecting
+  std::int64_t skew_ns = 0;  // Mode::kSkew payload
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> hits{0};
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Sites are heap-held and never freed once armed, so the lock-free hook
+/// paths can keep a raw pointer without racing disarm_all().
+std::map<std::string, std::shared_ptr<Site>>& registry() {
+  static std::map<std::string, std::shared_ptr<Site>> sites;
+  return sites;
+}
+
+std::shared_ptr<Site> find_site(const char* name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(name);
+  return it == registry().end() ? nullptr : it->second;
+}
+
+/// True when this call is at or past the site's @after threshold; counts
+/// the call and, when due, the hit (fault.injections stat).
+bool due(Site& site) {
+  const std::uint64_t call =
+      site.calls.fetch_add(1, std::memory_order_relaxed);
+  if (call < site.after) return false;
+  site.hits.fetch_add(1, std::memory_order_relaxed);
+  static stats::Counter& injections = stats::counter("fault.injections");
+  injections.bump();
+  return true;
+}
+
+Mode parse_mode(const std::string& text, std::int64_t* skew_ns) {
+  if (text == "nan") return Mode::kNan;
+  if (text == "inf") return Mode::kInf;
+  if (text == "on") return Mode::kOn;
+  if (text.rfind("skew=", 0) == 0) {
+    const std::string payload = text.substr(5);
+    char* end = nullptr;
+    const double ns = std::strtod(payload.c_str(), &end);
+    TML_REQUIRE(end != payload.c_str() && *end == '\0',
+                "TML_FAULT: bad skew value '" << payload << "'");
+    *skew_ns = static_cast<std::int64_t>(ns);
+    return Mode::kSkew;
+  }
+  throw Error("TML_FAULT: unknown fault mode '" + text +
+              "' (want nan|inf|on|skew=<ns>)");
+}
+
+/// Parses TML_FAULT at static init so env-armed faults are live before
+/// main. Mirrors the TML_STATS idiom in stats.cpp.
+const bool g_env_parsed = [] {
+  const char* raw = std::getenv("TML_FAULT");
+  if (raw != nullptr && *raw != '\0') arm_from_spec(raw);
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+double poison_slow(const char* site_name, double v) {
+  std::shared_ptr<Site> site = find_site(site_name);
+  if (site == nullptr) return v;
+  if (site->mode != Mode::kNan && site->mode != Mode::kInf) return v;
+  if (!due(*site)) return v;
+  return site->mode == Mode::kNan
+             ? std::numeric_limits<double>::quiet_NaN()
+             : std::numeric_limits<double>::infinity();
+}
+
+bool fire_slow(const char* site_name) {
+  std::shared_ptr<Site> site = find_site(site_name);
+  if (site == nullptr || site->mode != Mode::kOn) return false;
+  return due(*site);
+}
+
+std::int64_t clock_skew_slow() {
+  std::shared_ptr<Site> site = find_site("budget.clock");
+  if (site == nullptr || site->mode != Mode::kSkew) return 0;
+  if (!due(*site)) return 0;
+  return site->skew_ns;
+}
+
+}  // namespace detail
+
+void arm(const std::string& site_name, const std::string& spec) {
+  TML_REQUIRE(!site_name.empty(), "TML_FAULT: empty site name");
+  auto site = std::make_shared<Site>();
+  std::string mode_text = spec;
+  const std::size_t at = spec.rfind('@');
+  if (at != std::string::npos) {
+    mode_text = spec.substr(0, at);
+    const std::string after_text = spec.substr(at + 1);
+    char* end = nullptr;
+    site->after = std::strtoull(after_text.c_str(), &end, 10);
+    TML_REQUIRE(end != after_text.c_str() && *end == '\0',
+                "TML_FAULT: bad @after count '" << after_text << "'");
+  }
+  site->mode = parse_mode(mode_text, &site->skew_ns);
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry()[site_name] = std::move(site);
+  }
+  detail::g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm(const std::string& site_name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().erase(site_name);
+  if (registry().empty()) {
+    detail::g_any_armed.store(false, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  detail::g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const std::string& site_name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto it = registry().find(site_name);
+  return it == registry().end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+void arm_from_spec(const std::string& spec_list) {
+  std::istringstream stream(spec_list);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.find(':');
+    TML_REQUIRE(colon != std::string::npos,
+                "TML_FAULT: entry '" << entry << "' is not site:spec");
+    arm(entry.substr(0, colon), entry.substr(colon + 1));
+  }
+}
+
+}  // namespace fault
+}  // namespace tml

@@ -1,0 +1,94 @@
+// Deterministic fault injection for robustness tests.
+//
+// Engines expose named *fault sites* at the places a numeric failure could
+// plausibly originate — solver update sweeps, NLP evaluations, elimination
+// pivots, SMC sampling, the budget clock — through three hooks:
+//
+//  * `poison(site, v)` — returns `v`, or NaN/Inf when the site is armed;
+//  * `fire(site)`      — true when an armed site should force its failure
+//                        branch (singular pivot, non-convergence, …);
+//  * `clock_skew_ns()` — nanoseconds to add to the budget clock (site
+//                        `budget.clock`), driving deadline paths without
+//                        real waiting.
+//
+// Disabled cost. Every hook starts with the inlined relaxed load of one
+// global flag (`any_armed()`, same pattern as stats::enabled()); with no
+// fault armed each site is a load + predictable branch, and the slow paths
+// are never entered. Production binaries pay nothing else.
+//
+// Arming. Either programmatically (tests: `fault::arm("opt.eval", "nan")`,
+// `fault::disarm_all()`), or via the TML_FAULT environment variable parsed
+// before main runs:
+//
+//   TML_FAULT=checker.sweep:nan            poison with NaN on every call
+//   TML_FAULT=opt.eval:inf@8               first 8 calls clean, then Inf
+//   TML_FAULT=parametric.pivot:on          force the failure branch
+//   TML_FAULT=budget.clock:skew=86400e9    skew the budget clock (ns)
+//   TML_FAULT=smc.sample:on,irl.gradient:nan     comma-separated list
+//
+// Determinism: sites count their calls with an atomic counter, so an
+// `@after` trigger fires at the same call index on every run of a
+// single-threaded loop; hit counts are queryable via `hits(site)`.
+//
+// Known sites (grep for the string literals): checker.sweep,
+// checker.converge, solver.sweep, opt.eval, parametric.pivot, smc.sample,
+// irl.gradient, budget.clock.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tml {
+namespace fault {
+
+namespace detail {
+extern std::atomic<bool> g_any_armed;
+double poison_slow(const char* site, double v);
+bool fire_slow(const char* site);
+std::int64_t clock_skew_slow();
+}  // namespace detail
+
+/// True when at least one fault site is armed. Inline relaxed load — the
+/// whole cost of every hook in a clean process.
+inline bool any_armed() {
+  return detail::g_any_armed.load(std::memory_order_relaxed);
+}
+
+/// Returns `v` unchanged, or a poisoned NaN/Inf when `site` is armed and
+/// due. Use at value-update checkpoints: `delta = fault::poison("checker.sweep", delta)`.
+inline double poison(const char* site, double v) {
+  return any_armed() ? detail::poison_slow(site, v) : v;
+}
+
+/// True when `site` is armed (mode `on`) and due — the caller takes its
+/// forced-failure branch.
+inline bool fire(const char* site) {
+  return any_armed() && detail::fire_slow(site);
+}
+
+/// Skew (ns) to add to the budget clock; 0 unless `budget.clock` is armed.
+inline std::int64_t clock_skew_ns() {
+  return any_armed() ? detail::clock_skew_slow() : 0;
+}
+
+/// Arms `site` with `spec` (same grammar as TML_FAULT's right-hand side:
+/// `nan`, `inf`, `on`, `skew=<ns>`, each optionally `@<after>`). Throws
+/// tml::Error on a malformed spec.
+void arm(const std::string& site, const std::string& spec);
+
+/// Disarms one site / all sites (tests call disarm_all() in SetUp so an
+/// env-armed battery run does not leak into targeted cases).
+void disarm(const std::string& site);
+void disarm_all();
+
+/// How many times `site` actually injected (post-`@after` activations).
+std::uint64_t hits(const std::string& site);
+
+/// Parses a full TML_FAULT-style spec list ("a:nan,b:on@3"). Called at
+/// static init with the environment value; exposed for tests.
+void arm_from_spec(const std::string& spec_list);
+
+}  // namespace fault
+}  // namespace tml

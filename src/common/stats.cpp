@@ -80,6 +80,11 @@ constexpr SchemaEntry kSchema[] = {
     {"irl.fit.time", SchemaEntry::kTimer},
     {"core.trusted_learn.runs", SchemaEntry::kCounter},
     {"core.trusted_learn.time", SchemaEntry::kTimer},
+    {"opt.nan_starts", SchemaEntry::kCounter},
+    {"budget.checkpoints", SchemaEntry::kCounter},
+    {"budget.clock_reads", SchemaEntry::kCounter},
+    {"budget.exhausted", SchemaEntry::kCounter},
+    {"fault.injections", SchemaEntry::kCounter},
 };
 
 class Registry {

@@ -22,6 +22,17 @@ struct StatsDigest {
   }
 };
 
+/// Resolves the budget a stage runs under: an explicit per-stage override
+/// wins, then a budget already set on the stage's own solver options, then
+/// the pipeline-wide budget.
+Budget resolve_stage_budget(const std::optional<Budget>& per_stage,
+                            const Budget& stage_solver_budget,
+                            const Budget& overall) {
+  if (per_stage.has_value()) return *per_stage;
+  if (!stage_solver_budget.unlimited()) return stage_solver_budget;
+  return overall;
+}
+
 }  // namespace
 
 std::string to_string(TmlStage stage) {
@@ -51,50 +62,98 @@ TrustedLearnerReport trusted_learn(const Dtmc& structure,
 
   TrustedLearnerReport report;
 
-  // Step 1: learn.
-  report.learned = mle_dtmc(structure, data, config.mle_pseudocount);
-
-  // Step 2: verify.
-  const CheckResult initial = check(report.learned, property);
-  report.learned_satisfies = initial.satisfied;
-  report.learned_value = initial.value;
-  if (initial.satisfied) {
-    report.stage = TmlStage::kLearnedModelSatisfies;
-    report.trusted = report.learned;
-    report.trusted_satisfies = true;
-    return report;
+  // Step 1: learn.  Step 2: verify.  The initial learn+verify runs under the
+  // pipeline budget; if even that is cut short there is nothing to salvage,
+  // so BudgetExhausted propagates to the caller after being recorded.
+  {
+    TmlStageReport stage_report;
+    stage_report.stage = TmlStage::kLearnedModelSatisfies;
+    stage_report.ran = true;
+    try {
+      report.learned = mle_dtmc(structure, data, config.mle_pseudocount);
+      const CheckResult initial = check(report.learned, property);
+      report.learned_satisfies = initial.satisfied;
+      report.learned_value = initial.value;
+      stage_report.note = initial.satisfied ? "satisfied" : "violated";
+      report.stages.push_back(std::move(stage_report));
+    } catch (const BudgetExhausted& e) {
+      stage_report.budget_status = BudgetStatus::kBudgetExhausted;
+      stage_report.note = e.what();
+      report.stages.push_back(std::move(stage_report));
+      throw;
+    }
+    if (report.learned_satisfies) {
+      report.stage = TmlStage::kLearnedModelSatisfies;
+      report.trusted = report.learned;
+      report.trusted_satisfies = true;
+      return report;
+    }
   }
 
-  // Step 3: Model Repair.
+  // Step 3: Model Repair. A stage that exhausts its budget mid-flight (the
+  // NLP returns a flagged partial that fails the recheck, or an inner engine
+  // throws BudgetExhausted) is recorded and the pipeline degrades to the
+  // next stage instead of aborting.
   if (config.perturbation) {
+    TmlStageReport stage_report;
+    stage_report.stage = TmlStage::kModelRepair;
+    stage_report.ran = true;
     const PerturbationScheme scheme = config.perturbation(report.learned);
     ModelRepairConfig stage_config = config.model_repair;
     if (stage_config.solver.threads == 0) {
       stage_config.solver.threads = config.threads;
     }
-    report.model_repair = model_repair(scheme, property, stage_config);
-    if (report.model_repair->feasible() &&
-        report.model_repair->recheck_passed) {
-      report.stage = TmlStage::kModelRepair;
-      report.trusted = report.model_repair->repaired;
-      report.trusted_satisfies = true;
-      return report;
+    stage_config.solver.budget = resolve_stage_budget(
+        config.model_repair_budget, config.model_repair.solver.budget,
+        config.budget);
+    try {
+      report.model_repair = model_repair(scheme, property, stage_config);
+      stage_report.note =
+          report.model_repair->feasible() ? "feasible" : "infeasible";
+      report.stages.push_back(std::move(stage_report));
+      if (report.model_repair->feasible() &&
+          report.model_repair->recheck_passed) {
+        report.stage = TmlStage::kModelRepair;
+        report.trusted = report.model_repair->repaired;
+        report.trusted_satisfies = true;
+        return report;
+      }
+    } catch (const BudgetExhausted& e) {
+      stage_report.budget_status = BudgetStatus::kBudgetExhausted;
+      stage_report.note = e.what();
+      report.stages.push_back(std::move(stage_report));
     }
   }
 
   // Step 4: Data Repair.
   if (!config.groups.empty()) {
+    TmlStageReport stage_report;
+    stage_report.stage = TmlStage::kDataRepair;
+    stage_report.ran = true;
     DataRepairConfig stage_config = config.data_repair;
     if (stage_config.solver.threads == 0) {
       stage_config.solver.threads = config.threads;
     }
-    report.data_repair = data_repair(structure, data, config.groups, property,
-                                     stage_config);
-    if (report.data_repair->feasible() && report.data_repair->recheck_passed) {
-      report.stage = TmlStage::kDataRepair;
-      report.trusted = report.data_repair->relearned;
-      report.trusted_satisfies = true;
-      return report;
+    stage_config.solver.budget = resolve_stage_budget(
+        config.data_repair_budget, config.data_repair.solver.budget,
+        config.budget);
+    try {
+      report.data_repair = data_repair(structure, data, config.groups,
+                                       property, stage_config);
+      stage_report.note =
+          report.data_repair->feasible() ? "feasible" : "infeasible";
+      report.stages.push_back(std::move(stage_report));
+      if (report.data_repair->feasible() &&
+          report.data_repair->recheck_passed) {
+        report.stage = TmlStage::kDataRepair;
+        report.trusted = report.data_repair->relearned;
+        report.trusted_satisfies = true;
+        return report;
+      }
+    } catch (const BudgetExhausted& e) {
+      stage_report.budget_status = BudgetStatus::kBudgetExhausted;
+      stage_report.note = e.what();
+      report.stages.push_back(std::move(stage_report));
     }
   }
 

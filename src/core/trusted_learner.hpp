@@ -20,7 +20,9 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "src/common/budget.hpp"
 #include "src/core/data_repair.hpp"
 #include "src/core/model_repair.hpp"
 
@@ -50,6 +52,25 @@ struct TrustedLearnerConfig {
   /// Feasible data perturbations (Feas_D): groups of the dataset. If empty,
   /// the Data Repair stage is skipped.
   std::vector<RepairGroup> groups;
+  /// Overall resource budget for the pipeline. Forwarded to the stage
+  /// solver options that were left unlimited; an explicit per-stage budget
+  /// below (or an explicit `solver.budget` inside a stage config) wins.
+  Budget budget = default_budget();
+  /// Per-stage overrides. When set, the stage runs under this budget
+  /// regardless of `budget` or the stage config's own `solver.budget`.
+  std::optional<Budget> model_repair_budget;
+  std::optional<Budget> data_repair_budget;
+};
+
+/// Per-stage budget verdict for the pipeline report: which stages ran, and
+/// whether any of them were cut short by their budget.
+struct TmlStageReport {
+  TmlStage stage = TmlStage::kUnsatisfiable;
+  bool ran = false;
+  BudgetStatus budget_status = BudgetStatus::kOk;
+  /// Human-readable note: how the stage ended (normally, flagged partial,
+  /// or a caught BudgetExhausted whose message is recorded here).
+  std::string note;
 };
 
 struct TrustedLearnerReport {
@@ -65,6 +86,11 @@ struct TrustedLearnerReport {
   std::optional<Dtmc> trusted;
   /// Final verdict of the checker on `trusted`.
   bool trusted_satisfies = false;
+  /// One entry per pipeline stage that was attempted, in execution order.
+  /// A stage that threw BudgetExhausted is recorded kBudgetExhausted with
+  /// the error text in `note`; the pipeline then degrades to the next
+  /// stage instead of aborting.
+  std::vector<TmlStageReport> stages;
 };
 
 /// Runs the full pipeline for a DTMC structure.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/error.hpp"
+#include "src/common/fault.hpp"
 #include "src/common/matrix.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/stats.hpp"
@@ -253,7 +255,9 @@ IrlResult fit_to_feature_counts(const CompiledModel& model,
     result.theta.assign(theta_init.begin(), theta_init.end());
   }
 
+  BudgetTracker tracker(options.budget);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (!tracker.tick()) break;
     const std::vector<double> rewards = features.rewards(result.theta);
     const SoftPolicy policy =
         soft_value_iteration(model, rewards, options.horizon, options.threads);
@@ -265,8 +269,13 @@ IrlResult fit_to_feature_counts(const CompiledModel& model,
       grad[k] = target_counts[k] - expected[k] -
                 options.l2_regularization * result.theta[k];
     }
-    result.gradient_norm = norm2(grad);
+    result.gradient_norm = fault::poison("irl.gradient", norm2(grad));
     result.iterations = iter + 1;
+    if (!std::isfinite(result.gradient_norm)) {
+      throw NumericError(
+          "fit_to_feature_counts: non-finite gradient norm at iteration " +
+          std::to_string(result.iterations));
+    }
     if (result.gradient_norm < options.tolerance) {
       result.converged = true;
       break;
@@ -279,6 +288,8 @@ IrlResult fit_to_feature_counts(const CompiledModel& model,
       }
     }
   }
+  result.budget_status = tracker.status();
+  result.budget_stop = tracker.stop();
   c_grad_iters.add(result.iterations);
   g_grad_norm.set(result.gradient_norm);
   result.state_rewards = features.rewards(result.theta);

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/budget.hpp"
 #include "src/irl/features.hpp"
 #include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
@@ -48,6 +49,11 @@ struct IrlOptions {
   /// forward-pass scatter merges per-chunk partial distributions in chunk
   /// order, so fitted Θ is identical for every thread count.
   std::size_t threads = 0;
+  /// Resource budget; one tick per gradient iteration. On exhaustion the
+  /// fit stops at the iteration boundary and returns the current Θ flagged
+  /// `budget_status = kBudgetExhausted` (gradient_norm then reports how far
+  /// from stationarity the partial fit stopped).
+  Budget budget = default_budget();
 };
 
 struct IrlResult {
@@ -56,6 +62,10 @@ struct IrlResult {
   std::size_t iterations = 0;
   bool converged = false;
   double gradient_norm = 0.0;
+  /// kBudgetExhausted when the fit stopped because IrlOptions::budget fired;
+  /// theta is then the last completed iterate.
+  BudgetStatus budget_status = BudgetStatus::kOk;
+  BudgetStop budget_stop = BudgetStop::kNone;
 };
 
 /// Time-varying stochastic policy from soft value iteration:

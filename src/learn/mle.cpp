@@ -5,6 +5,33 @@
 
 namespace tml {
 
+void validate_dataset(const Mdp& structure, const TrajectoryDataset& data) {
+  if (data.size() == 0) {
+    throw ModelError("validate_dataset: dataset is empty");
+  }
+  const std::size_t n = structure.num_states();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Trajectory& trajectory = data.trajectories[i];
+    if (trajectory.steps.empty()) {
+      throw ModelError("validate_dataset: trajectory " + std::to_string(i) +
+                       " has no steps");
+    }
+    if (trajectory.initial_state >= n) {
+      throw ModelError("validate_dataset: trajectory " + std::to_string(i) +
+                       " starts in out-of-range state " +
+                       std::to_string(trajectory.initial_state));
+    }
+    for (const Step& step : trajectory.steps) {
+      if (step.state >= n || step.next_state >= n) {
+        throw ModelError("validate_dataset: trajectory " + std::to_string(i) +
+                         " references out-of-range state " +
+                         std::to_string(step.state >= n ? step.state
+                                                        : step.next_state));
+      }
+    }
+  }
+}
+
 CountTable count_transitions(const Mdp& structure,
                              const TrajectoryDataset& data) {
   CountTable table;
@@ -45,6 +72,7 @@ Mdp mle_mdp(const Mdp& structure, const TrajectoryDataset& data,
             double pseudocount) {
   TML_REQUIRE(pseudocount >= 0.0, "mle_mdp: negative pseudocount");
   structure.validate();
+  validate_dataset(structure, data);
   const CountTable table = count_transitions(structure, data);
 
   Mdp learned = structure;

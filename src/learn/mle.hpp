@@ -29,6 +29,13 @@ struct CountTable {
   double unmatched = 0.0;
 };
 
+/// Validates a dataset against a structure before estimation. Throws
+/// ModelError naming the offending trajectory index when the dataset is
+/// empty, a trajectory has no steps, or a step references a state outside
+/// the structure. Called by mle_mdp/mle_dtmc (and thus by trusted_learn);
+/// exposed so pipelines can fail fast before simulating or repairing.
+void validate_dataset(const Mdp& structure, const TrajectoryDataset& data);
+
 /// Accumulates (weighted) transition counts from the dataset onto the
 /// structure's support.
 CountTable count_transitions(const Mdp& structure,

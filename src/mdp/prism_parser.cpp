@@ -1,6 +1,7 @@
 #include "src/mdp/prism_parser.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 namespace tml {
@@ -95,7 +96,26 @@ class Lexer {
     char* end = nullptr;
     const double value = std::strtod(start, &end);
     if (end == start) fail("expected number");
+    // Reject the textual forms strtod accepts but a stochastic model never
+    // contains ("nan", "inf", and overflowing literals) before they can
+    // poison the numeric engines downstream.
+    if (!std::isfinite(value)) fail("number is not finite");
     pos_ += static_cast<std::size_t>(end - start);
+    return value;
+  }
+
+  /// A transition probability: a finite number in [0, 1].
+  double probability() {
+    const double value = number();
+    if (value < 0.0) fail("probability is negative");
+    if (value > 1.0) fail("probability exceeds 1");
+    return value;
+  }
+
+  /// A reward (rate): finite and non-negative.
+  double reward() {
+    const double value = number();
+    if (value < 0.0) fail("reward is negative");
     return value;
   }
 
@@ -105,8 +125,20 @@ class Lexer {
   }
 
   [[noreturn]] void fail(const std::string& message) const {
-    throw ParseError("PRISM parse error at position " + std::to_string(pos_) +
-                     ": " + message);
+    // Report 1-based line and column of the current position: tooling and
+    // humans both index PRISM files by line, not byte offset.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw ParseError("PRISM parse error at line " + std::to_string(line) +
+                     ", column " + std::to_string(column) + ": " + message);
   }
 
  private:
@@ -179,7 +211,7 @@ PrismModel parse_prism(const std::string& source) {
     lex.expect("->");
     std::vector<Transition> transitions;
     do {
-      const double p = lex.number();
+      const double p = lex.probability();
       lex.expect(":");
       lex.expect("(");
       const std::string update_var = lex.identifier();
@@ -237,7 +269,7 @@ PrismModel parse_prism(const std::string& source) {
       const long s = lex.integer();
       if (s < lo || s > hi) lex.fail("reward state out of range");
       lex.expect(":");
-      const double r = lex.number();
+      const double r = lex.reward();
       lex.expect(";");
       const StateId state = static_cast<StateId>(s);
       if (action.empty()) {

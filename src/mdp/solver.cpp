@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/common/fault.hpp"
 #include "src/common/matrix.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/stats.hpp"
@@ -64,6 +65,15 @@ bool better(double a, double b, Objective objective) {
   return objective == Objective::kMaximize ? a > b : a < b;
 }
 
+/// Copies the tracker's exhaustion verdict onto a result. Returns true
+/// when the budget fired (caller stops at this checkpoint).
+bool flag_if_exhausted(const BudgetTracker& tracker, SolveResult* result) {
+  if (tracker.ok()) return false;
+  result->budget_status = BudgetStatus::kBudgetExhausted;
+  result->budget_stop = tracker.stop();
+  return true;
+}
+
 }  // namespace
 
 SolveResult value_iteration_discounted(const CompiledModel& model,
@@ -84,7 +94,12 @@ SolveResult value_iteration_discounted(const CompiledModel& model,
   // free — so the iterate sequence matches the serial solver bit for bit.
   std::vector<double> next(n, 0.0);
   double last_delta = 0.0;
+  BudgetTracker tracker(options.budget);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (!tracker.tick()) {
+      flag_if_exhausted(tracker, &result);
+      break;
+    }
     const double delta = parallel_transform_reduce(
         std::size_t{0}, n, kDefaultGrain, 0.0,
         [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -110,14 +125,20 @@ SolveResult value_iteration_discounted(const CompiledModel& model,
         [](double a, double b) { return std::max(a, b); }, options.threads);
     result.values.swap(next);
     result.iterations = iter + 1;
-    last_delta = delta;
-    if (delta < options.tolerance) {
+    last_delta = fault::poison("solver.sweep", delta);
+    if (std::isnan(last_delta)) {
+      throw NumericError(
+          "value_iteration_discounted: non-finite sweep delta at iteration " +
+          std::to_string(result.iterations));
+    }
+    if (last_delta < options.tolerance && !fault::fire("checker.converge")) {
       result.converged = true;
       break;
     }
   }
   record_vi_stats(result.iterations, last_delta);
-  if (!result.converged && options.throw_on_nonconvergence) {
+  if (!result.converged && result.budget_status == BudgetStatus::kOk &&
+      options.throw_on_nonconvergence) {
     throw NumericError("value_iteration_discounted: no convergence after " +
                        std::to_string(result.iterations) + " iterations");
   }
@@ -141,7 +162,17 @@ SolveResult policy_iteration_discounted(const CompiledModel& model,
   SolveResult result;
   result.policy.choice_index.assign(n, 0);
 
+  BudgetTracker tracker(options.budget);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (!tracker.tick()) {
+      flag_if_exhausted(tracker, &result);
+      if (result.values.empty()) {
+        // Budget fired before the first evaluation: still return a
+        // well-formed (all-zero) value vector for the initial policy.
+        result.values.assign(n, 0.0);
+      }
+      break;
+    }
     result.iterations = iter + 1;
     // Exact evaluation of the current policy.
     result.values = evaluate_policy_discounted(model, result.policy, discount);
@@ -176,7 +207,9 @@ SolveResult policy_iteration_discounted(const CompiledModel& model,
   }
   static stats::Counter& c_pi_iters = stats::counter("checker.pi.iterations");
   c_pi_iters.add(result.iterations);
-  if (result.converged) return result;
+  if (result.converged || result.budget_status == BudgetStatus::kBudgetExhausted) {
+    return result;
+  }
   if (options.throw_on_nonconvergence) {
     throw NumericError("policy_iteration_discounted: no convergence after " +
                        std::to_string(result.iterations) + " iterations");
@@ -217,7 +250,12 @@ SolveResult total_reward_to_target(const CompiledModel& model,
 
   std::vector<double> next = result.values;
   double last_delta = 0.0;
+  BudgetTracker tracker(options.budget);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (!tracker.tick()) {
+      flag_if_exhausted(tracker, &result);
+      break;
+    }
     const double delta = parallel_transform_reduce(
         std::size_t{0}, n, kDefaultGrain, 0.0,
         [&](std::size_t chunk_begin, std::size_t chunk_end) {
@@ -251,14 +289,22 @@ SolveResult total_reward_to_target(const CompiledModel& model,
         [](double a, double b) { return std::max(a, b); }, options.threads);
     result.values.swap(next);
     result.iterations = iter + 1;
-    last_delta = delta;
-    if (delta < options.tolerance) {
+    // +Inf deltas are expected while infinite-value information propagates;
+    // NaN never is (it would silently burn max_iterations).
+    last_delta = fault::poison("solver.sweep", delta);
+    if (std::isnan(last_delta)) {
+      throw NumericError(
+          "total_reward_to_target: NaN sweep delta at iteration " +
+          std::to_string(result.iterations));
+    }
+    if (last_delta < options.tolerance && !fault::fire("checker.converge")) {
       result.converged = true;
       break;
     }
   }
   record_vi_stats(result.iterations, last_delta);
-  if (!result.converged && options.throw_on_nonconvergence) {
+  if (!result.converged && result.budget_status == BudgetStatus::kOk &&
+      options.throw_on_nonconvergence) {
     throw NumericError("total_reward_to_target: no convergence after " +
                        std::to_string(result.iterations) + " iterations");
   }

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/budget.hpp"
 #include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
 
@@ -73,6 +74,12 @@ struct SolverOptions {
   /// and repaired models sit near constraint boundaries where an unsound
   /// `delta < eps` stop can flip a verdict.
   SolveMethod method = default_solve_method();
+  /// Resource budget (wall clock / sweep cap / cancellation). One tick per
+  /// sweep (or policy-iteration round). On exhaustion the solver stops at
+  /// the sweep boundary and returns its current iterate flagged
+  /// `budget_status = kBudgetExhausted` instead of throwing — under the
+  /// interval engine the returned lo/hi bracket is still certified sound.
+  Budget budget = default_budget();
 };
 
 /// Result of a value-iteration style computation.
@@ -86,6 +93,12 @@ struct SolveResult {
   /// SolveMethod::kIntervalTopological; empty for point-estimate engines.
   std::vector<double> lo;
   std::vector<double> hi;
+  /// kBudgetExhausted when the solver stopped at a checkpoint because its
+  /// SolverOptions::budget fired; the result is the partial iterate at that
+  /// boundary (still a sound bracket for the interval engine).
+  BudgetStatus budget_status = BudgetStatus::kOk;
+  /// Which budget axis fired (kNone when budget_status is kOk).
+  BudgetStop budget_stop = BudgetStop::kNone;
 };
 
 /// Discounted value iteration: V(s) = opt_a [ r(s) + r(s,a) + γ Σ P V ].

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/budget.hpp"
 #include "src/common/error.hpp"
 
 namespace tml {
@@ -78,6 +79,11 @@ struct SolveOutcome {
   double max_violation = std::numeric_limits<double>::infinity();
   std::size_t iterations = 0;
   std::size_t starts_tried = 0;
+  /// kBudgetExhausted when the solve stopped at an iteration boundary
+  /// because SolveOptions::budget fired; `x` is then the best point found
+  /// before the stop (best feasible, or smallest violation seen so far).
+  BudgetStatus budget_status = BudgetStatus::kOk;
+  BudgetStop budget_stop = BudgetStop::kNone;
 
   bool feasible(double tol = 1e-6) const { return max_violation <= tol; }
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/fault.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/stats.hpp"
 
@@ -27,7 +28,20 @@ struct Evaluated {
 
 Evaluated evaluate(const Problem& problem, std::span<const double> x) {
   count_objective_evals(problem.constraints.size());
-  return Evaluated{problem.objective(x), max_violation(problem, x)};
+  return Evaluated{fault::poison("opt.eval", problem.objective(x)),
+                   max_violation(problem, x)};
+}
+
+/// A candidate may only be recorded when both numbers are finite: a NaN/Inf
+/// objective with zero violation used to win the `status != kOptimal`
+/// fallback and leave the multi-start reduction holding garbage.
+bool recordable(const Evaluated& eval) {
+  return std::isfinite(eval.objective) && std::isfinite(eval.violation);
+}
+
+void count_nan_start() {
+  static stats::Counter& c_nan = stats::counter("opt.nan_starts");
+  c_nan.bump();
 }
 
 /// Penalized scalar: f(x) + μ Σ max(0, g_i)² (+ λ_i g_i for the augmented
@@ -85,7 +99,8 @@ std::vector<double> inner_descend(const Problem& problem,
                                   std::vector<double> x, double mu,
                                   std::span<const double> multipliers,
                                   const SolveOptions& options,
-                                  std::size_t* iterations_used) {
+                                  std::size_t* iterations_used,
+                                  BudgetTracker& tracker) {
   const std::size_t dim = x.size();
   std::vector<double> m(dim, 0.0), v(dim, 0.0);
   const double beta1 = 0.9, beta2 = 0.999, eps = 1e-12;
@@ -93,6 +108,10 @@ std::vector<double> inner_descend(const Problem& problem,
   double best_value = penalized_value(problem, x, mu, multipliers);
 
   for (std::size_t iter = 0; iter < options.max_inner_iterations; ++iter) {
+    if (!tracker.tick()) {
+      *iterations_used += iter;
+      return best;
+    }
     const std::vector<double> grad =
         penalized_gradient(problem, x, mu, multipliers);
     double grad_norm = 0.0;
@@ -132,12 +151,17 @@ SolveOutcome penalty_like_solve(const Problem& problem,
   std::vector<double> x = std::move(start);
   SolveOutcome outcome;
   outcome.starts_tried = 1;
+  BudgetTracker tracker(options.budget);
+  bool saw_nonfinite = false;
 
-  for (std::size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+  for (std::size_t outer = 0;
+       outer < options.max_outer_iterations && tracker.ok(); ++outer) {
     x = inner_descend(problem, std::move(x), mu, multipliers, options,
-                      &outcome.iterations);
+                      &outcome.iterations, tracker);
     const Evaluated eval = evaluate(problem, x);
-    if (eval.violation <= options.feasibility_tol) {
+    if (!recordable(eval)) {
+      saw_nonfinite = true;
+    } else if (eval.violation <= options.feasibility_tol) {
       // Feasible; record and keep polishing with larger μ to tighten the
       // active constraints (the minimum sits on the boundary for repair
       // problems).
@@ -165,6 +189,9 @@ SolveOutcome penalty_like_solve(const Problem& problem,
   if (outcome.status != SolveStatus::kOptimal) {
     outcome.status = SolveStatus::kInfeasible;
   }
+  if (saw_nonfinite) count_nan_start();
+  outcome.budget_status = tracker.status();
+  outcome.budget_stop = tracker.stop();
   return outcome;
 }
 
@@ -181,8 +208,11 @@ SolveOutcome nelder_mead_solve(const Problem& problem,
 
   double mu = options.initial_penalty;
   std::vector<double> x = std::move(start);
+  BudgetTracker tracker(options.budget);
+  bool saw_nonfinite = false;
 
-  for (std::size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+  for (std::size_t outer = 0;
+       outer < options.max_outer_iterations && tracker.ok(); ++outer) {
     auto value_of = [&](std::span<const double> p) {
       return penalized_value(problem, p, mu, {});
     };
@@ -202,6 +232,7 @@ SolveOutcome nelder_mead_solve(const Problem& problem,
     for (std::size_t i = 0; i <= dim; ++i) values[i] = value_of(simplex[i]);
 
     for (std::size_t iter = 0; iter < options.max_inner_iterations; ++iter) {
+      if (!tracker.tick()) break;
       ++outcome.iterations;
       // Order vertices.
       std::vector<std::size_t> order(dim + 1);
@@ -275,7 +306,9 @@ SolveOutcome nelder_mead_solve(const Problem& problem,
     }
     x = simplex[best];
     const Evaluated eval = evaluate(problem, x);
-    if (eval.violation <= options.feasibility_tol) {
+    if (!recordable(eval)) {
+      saw_nonfinite = true;
+    } else if (eval.violation <= options.feasibility_tol) {
       if (eval.objective < outcome.objective ||
           outcome.status != SolveStatus::kOptimal) {
         outcome.status = SolveStatus::kOptimal;
@@ -294,6 +327,9 @@ SolveOutcome nelder_mead_solve(const Problem& problem,
   if (outcome.status != SolveStatus::kOptimal) {
     outcome.status = SolveStatus::kInfeasible;
   }
+  if (saw_nonfinite) count_nan_start();
+  outcome.budget_status = tracker.status();
+  outcome.budget_stop = tracker.stop();
   return outcome;
 }
 
@@ -375,10 +411,16 @@ SolveOutcome solve(const Problem& problem, const SolveOptions& options) {
   std::size_t total_iterations = 0;
   std::size_t total_starts = 0;
   std::size_t winner = 0;
+  BudgetStatus any_exhausted = BudgetStatus::kOk;
+  BudgetStop first_stop = BudgetStop::kNone;
   for (std::size_t k = 0; k < outcomes.size(); ++k) {
     SolveOutcome& outcome = outcomes[k];
     total_iterations += outcome.iterations;
     ++total_starts;
+    if (outcome.budget_status == BudgetStatus::kBudgetExhausted) {
+      any_exhausted = BudgetStatus::kBudgetExhausted;
+      if (first_stop == BudgetStop::kNone) first_stop = outcome.budget_stop;
+    }
     const bool outcome_feasible = outcome.status == SolveStatus::kOptimal;
     const bool best_feasible = best.status == SolveStatus::kOptimal;
     const bool improves =
@@ -394,6 +436,13 @@ SolveOutcome solve(const Problem& problem, const SolveOptions& options) {
   }
   best.iterations = total_iterations;
   best.starts_tried = total_starts;
+  // The winner carries its own budget verdict; if ANY start was cut short
+  // the aggregate is reported exhausted too (folded in start order, so the
+  // reported stop axis is deterministic for cap-style budgets).
+  if (any_exhausted == BudgetStatus::kBudgetExhausted) {
+    best.budget_status = BudgetStatus::kBudgetExhausted;
+    if (best.budget_stop == BudgetStop::kNone) best.budget_stop = first_stop;
+  }
   c_starts.add(total_starts);
   g_winner.set(static_cast<double>(winner));
   return best;

@@ -46,6 +46,13 @@ struct SolveOptions {
   /// concurrently; the winner is picked by an ordered reduction over the
   /// start index, so the result is identical for every thread count.
   std::size_t threads = 0;
+  /// Resource budget, polled once per inner iteration of each local solve.
+  /// Iteration/evaluation caps apply per start (deterministic under any
+  /// thread count); the wall-clock deadline and cancel token are absolute,
+  /// so every concurrent start races the same clock. On exhaustion the
+  /// solve returns best-feasible-so-far (or the smallest violation found)
+  /// flagged `SolveOutcome::budget_status = kBudgetExhausted`.
+  Budget budget = default_budget();
 };
 
 /// Runs one local solve from `start` (projected into the box).

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "src/common/fault.hpp"
 #include "src/common/stats.hpp"
 
 namespace tml {
@@ -111,12 +112,13 @@ void track_complexity(EliminationStats* stats, const RationalFunction& f) {
 /// Eliminates every alive state except `init`; returns the closed form
 /// x_init = r'(init) / (1 − P'(init, init)).
 RationalFunction eliminate_all(Workspace& ws, StateId init,
-                               EliminationStats* stats) {
+                               EliminationStats* stats, BudgetTracker& tracker) {
   const std::size_t n = ws.rows.size();
 
   // Min-degree style ordering: repeatedly pick the alive state (≠ init)
   // with the smallest fill-in estimate |preds|·|succs|.
   while (true) {
+    if (!tracker.tick()) tracker.require_ok("state elimination");
     StateId victim = init;
     std::size_t best_cost = SIZE_MAX;
     for (StateId s = 0; s < n; ++s) {
@@ -141,7 +143,7 @@ RationalFunction eliminate_all(Workspace& ws, StateId init,
       ws.remove_edge(s, s);
     }
     const RationalFunction denom = one_minus(loop);
-    TML_REQUIRE(!denom.is_zero(),
+    TML_REQUIRE(!denom.is_zero() && !fault::fire("parametric.pivot"),
                 "state elimination: state " << s
                     << " is absorbing (1 - selfloop == 0); preprocessing "
                        "should have removed it");
@@ -191,7 +193,8 @@ RationalFunction eliminate_all(Workspace& ws, StateId init,
 
 RationalFunction reachability_probability(const ParametricDtmc& chain,
                                           const StateSet& targets,
-                                          EliminationStats* stats) {
+                                          EliminationStats* stats,
+                                          const Budget* budget) {
   static stats::Timer& t_elim = stats::timer("parametric.elimination.time");
   const stats::ScopedTimer span(t_elim);
   TML_REQUIRE(targets.size() == chain.num_states(),
@@ -225,14 +228,16 @@ RationalFunction reachability_probability(const ParametricDtmc& chain,
   EliminationStats local;
   EliminationStats* track =
       (stats != nullptr || stats::enabled()) ? &local : nullptr;
-  RationalFunction result = eliminate_all(ws, init, track);
+  BudgetTracker tracker(budget != nullptr ? *budget : default_budget());
+  RationalFunction result = eliminate_all(ws, init, track, tracker);
   if (track != nullptr) record_elimination(local, stats);
   return result;
 }
 
 RationalFunction expected_total_reward(const ParametricDtmc& chain,
                                        const StateSet& targets,
-                                       EliminationStats* stats) {
+                                       EliminationStats* stats,
+                                       const Budget* budget) {
   static stats::Timer& t_elim = stats::timer("parametric.elimination.time");
   const stats::ScopedTimer span(t_elim);
   TML_REQUIRE(targets.size() == chain.num_states(),
@@ -269,7 +274,8 @@ RationalFunction expected_total_reward(const ParametricDtmc& chain,
   EliminationStats local;
   EliminationStats* track =
       (stats != nullptr || stats::enabled()) ? &local : nullptr;
-  RationalFunction result = eliminate_all(ws, init, track);
+  BudgetTracker tracker(budget != nullptr ? *budget : default_budget());
+  RationalFunction result = eliminate_all(ws, init, track, tracker);
   if (track != nullptr) record_elimination(local, stats);
   return result;
 }

@@ -27,6 +27,7 @@
 
 #pragma once
 
+#include "src/common/budget.hpp"
 #include "src/mdp/model.hpp"
 #include "src/parametric/parametric_dtmc.hpp"
 #include "src/rational/rational_function.hpp"
@@ -42,9 +43,15 @@ struct EliminationStats {
 
 /// Probability of eventually reaching `targets` from the initial state, as
 /// a rational function of the chain's parameters.
+///
+/// Both entry points poll the budget (nullptr = default_budget()) once per
+/// eliminated state. The intermediate rational functions of a half-finished
+/// elimination are not a usable partial answer, so on exhaustion they throw
+/// the typed BudgetExhausted error rather than degrade.
 RationalFunction reachability_probability(const ParametricDtmc& chain,
                                           const StateSet& targets,
-                                          EliminationStats* stats = nullptr);
+                                          EliminationStats* stats = nullptr,
+                                          const Budget* budget = nullptr);
 
 /// Expected total reward accumulated before reaching `targets` from the
 /// initial state (targets pinned to 0), as a rational function. Throws
@@ -52,6 +59,7 @@ RationalFunction reachability_probability(const ParametricDtmc& chain,
 /// support graph (the expectation would be infinite).
 RationalFunction expected_total_reward(const ParametricDtmc& chain,
                                        const StateSet& targets,
-                                       EliminationStats* stats = nullptr);
+                                       EliminationStats* stats = nullptr,
+                                       const Budget* budget = nullptr);
 
 }  // namespace tml

@@ -2,6 +2,7 @@
 //
 //   tml_check <model.prism> "<pctl formula>" [--counterexample] [--dot]
 //             [--stats] [--method classic|topological|interval]
+//             [--timeout-ms N]
 //
 // Loads a model written in the explicit single-module PRISM subset
 // (src/mdp/prism_parser.hpp), checks the formula, prints the verdict and
@@ -20,13 +21,25 @@
 //                      `interval` (default; sound certified-bracket
 //                      iteration — also prints the bracket for top-level
 //                      P[... U ...] / P[F ...] queries on MDPs).
+//   --timeout-ms N     installs a wall-clock budget of N milliseconds as
+//                      the process-wide default budget; every engine checks
+//                      it at its checkpoint cadence. Ctrl-C (SIGINT) raises
+//                      the same cooperative cancel token, so an interactive
+//                      interrupt also unwinds through the budget machinery
+//                      instead of killing the process mid-sweep.
 //
 // Exit code: 0 when the property is satisfied (or the query is
-// quantitative), 1 when violated, 2 on usage/parse errors.
+// quantitative), 1 when violated, 2 on usage/parse errors, 3 when the
+// budget (or Ctrl-C) fired before a verdict — when the interval engine can
+// still certify a partial [lo, hi] bracket it is printed before exiting.
 
+#include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+
+#include "src/common/budget.hpp"
 
 #include "src/checker/check.hpp"
 #include "src/checker/counterexample.hpp"
@@ -47,9 +60,47 @@ namespace {
 int usage() {
   std::cerr << "usage: tml_check <model.prism> \"<pctl formula>\" "
                "[--counterexample] [--dot] [--stats] "
-               "[--method classic|topological|interval]\n"
+               "[--method classic|topological|interval] [--timeout-ms N]\n"
             << "example: tml_check wsn.prism 'Rmin<=40 [ F \"delivered\" ]'\n";
   return 2;
+}
+
+/// The cooperative cancel token SIGINT raises. Global because signal
+/// handlers cannot capture; CancelToken's shared atomic flip is
+/// async-signal-safe.
+CancelToken g_interrupt;
+
+extern "C" void on_sigint(int) { g_interrupt.cancel(); }
+
+/// On budget exhaustion (or Ctrl-C) for a quantitative unbounded P query on
+/// an MDP, the interval engine's bracket — sound at every sweep boundary —
+/// is still a usable partial answer; print it before exiting 3.
+void print_partial_bracket(const PrismModel& model,
+                           const StateFormula& formula) {
+  if (model.type != PrismModel::Type::kMdp) return;
+  if (formula.kind() != StateFormula::Kind::kProbQuery) return;
+  const PathFormula& path = formula.path();
+  if (path.step_bound()) return;
+  if (path.kind() != PathFormula::Kind::kUntil &&
+      path.kind() != PathFormula::Kind::kEventually) {
+    return;
+  }
+  const Objective objective =
+      formula.quantifier() && *formula.quantifier() == Quantifier::kMin
+          ? Objective::kMinimize
+          : Objective::kMaximize;
+  StateSet stay(model.mdp.num_states(), true);
+  if (path.kind() == PathFormula::Kind::kUntil) {
+    stay = satisfying_states(model.mdp, path.left());
+  }
+  const StateSet goal = satisfying_states(model.mdp, path.right());
+  const SolveResult bracket =
+      mdp_until_bracket(model.mdp, stay, goal, objective);
+  const StateId init = model.mdp.initial_state();
+  std::cout << "partial:  [" << bracket.lo[init] << ", " << bracket.hi[init]
+            << "] (width " << bracket.hi[init] - bracket.lo[init] << ", "
+            << bracket.iterations << " sweeps, "
+            << to_string(bracket.budget_stop) << ")\n";
 }
 
 /// For quantitative unbounded P queries on MDPs under the interval engine,
@@ -128,6 +179,7 @@ int main(int argc, char** argv) {
   bool want_counterexample = false;
   bool want_dot = false;
   bool want_stats = false;
+  long timeout_ms = 0;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--counterexample") {
@@ -147,11 +199,25 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (flag == "--timeout-ms" && i + 1 < argc) {
+      timeout_ms = std::strtol(argv[++i], nullptr, 10);
+      if (timeout_ms <= 0) return usage();
     } else {
       return usage();
     }
   }
   if (want_stats) stats::set_enabled(true);
+
+  // The default budget carries both the deadline and the SIGINT token, so
+  // every engine entry point in the process observes them without any
+  // plumbing through the checker's recursion.
+  {
+    Budget budget;
+    if (timeout_ms > 0) budget.deadline_in_ms(timeout_ms);
+    budget.cancel = g_interrupt;
+    set_default_budget(budget);
+    std::signal(SIGINT, on_sigint);
+  }
 
   try {
     std::ifstream in(path);
@@ -180,7 +246,18 @@ int main(int argc, char** argv) {
       std::cout << "stats:\n" << stats_to_json() << "\n";
     };
 
-    const CheckResult result = check(model.mdp, *formula);
+    CheckResult result;
+    try {
+      result = check(model.mdp, *formula);
+    } catch (const BudgetExhausted& e) {
+      std::cerr << "tml_check: " << e.what() << "\n";
+      // The interval engine's bracket entry point degrades instead of
+      // throwing: even with the budget already spent it returns the
+      // graph-certified initial bounds (prob0/prob1 run before numerics
+      // and are not budgeted), refined by however many sweeps fit.
+      print_partial_bracket(model, *formula);
+      return 3;
+    }
     if (formula->is_quantitative()) {
       std::cout << "value:    " << *result.value << "\n";
       if (default_solve_method() == SolveMethod::kIntervalTopological) {
@@ -211,6 +288,9 @@ int main(int argc, char** argv) {
     }
     emit_stats();
     return result.satisfied ? 0 : 1;
+  } catch (const BudgetExhausted& e) {
+    std::cerr << "tml_check: " << e.what() << "\n";
+    return 3;
   } catch (const Error& e) {
     std::cerr << "tml_check: " << e.what() << "\n";
     return 2;
