@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+
 #include "src/parametric/state_elimination.hpp"
 
 namespace tml {
@@ -91,6 +94,135 @@ void BM_RationalGradient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RationalGradient);
+
+/// n×n grid walk: state (r,c) retries in place with a parameterized
+/// self-loop, moves right/down toward the absorbing goal corner, and every
+/// row has a back edge to its first column — so each row is a nontrivial
+/// SCC of size n. With `with_trap` a 5% slice of each move escapes to an
+/// absorbing trap, making P(F goal) a nontrivial function; without it every
+/// state reaches the goal with probability 1 (usable for expected reward).
+ParametricDtmc grid_chain(std::size_t n, std::size_t num_params,
+                          bool with_trap) {
+  VariablePool pool;
+  std::vector<Var> vars;
+  for (std::size_t k = 0; k < num_params; ++k) {
+    vars.push_back(pool.declare("v" + std::to_string(k)));
+  }
+  const StateId goal = static_cast<StateId>(n * n);
+  const StateId trap = static_cast<StateId>(n * n + 1);
+  ParametricDtmc chain(n * n + (with_trap ? 2 : 1), std::move(pool));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const StateId s = static_cast<StateId>(r * n + c);
+      const RationalFunction stay =
+          RationalFunction(Polynomial(0.3)) *
+          (RationalFunction(1.0) +
+           RationalFunction::variable(vars[s % num_params]));
+      RationalFunction rest = one_minus(stay);
+      chain.set_transition(s, s, stay);
+      if (with_trap) {
+        // Parametric escape slice: the branch ratio itself depends on the
+        // parameters, so P(F goal) does not collapse to a constant.
+        const RationalFunction slice =
+            RationalFunction(Polynomial(0.1)) *
+            (RationalFunction(1.0) +
+             RationalFunction::variable(vars[(s + 1) % num_params]));
+        chain.add_transition(s, trap, rest * slice);
+        rest = rest * one_minus(slice);
+      }
+      const StateId down = r + 1 < n ? static_cast<StateId>((r + 1) * n + c)
+                                     : goal;
+      if (c + 1 < n) {
+        const StateId right = static_cast<StateId>(r * n + c + 1);
+        const double back_share = c > 0 ? 0.2 : 0.0;
+        chain.add_transition(s, right, rest * (0.8 - back_share));
+        chain.add_transition(s, down, rest * 0.2);
+        if (c > 0) {
+          chain.add_transition(s, static_cast<StateId>(r * n), rest * 0.2);
+        }
+      } else {
+        chain.add_transition(s, down, rest * 0.7);
+        chain.add_transition(s, static_cast<StateId>(r * n), rest * 0.3);
+      }
+      chain.set_state_reward(s, RationalFunction(1.0));
+    }
+  }
+  chain.set_transition(goal, goal, RationalFunction(1.0));
+  if (with_trap) chain.set_transition(trap, trap, RationalFunction(1.0));
+  return chain;
+}
+
+StateSet goal_only(const ParametricDtmc& chain, std::size_t n) {
+  StateSet set(chain.num_states(), false);
+  set[static_cast<StateId>(n * n)] = true;
+  return set;
+}
+
+/// Heuristic sweep axis: 0 = naive in-order over the whole chain (the
+/// pre-refactor behaviour), 1 = fewest-new-edges whole-chain, 2 = penalty
+/// whole-chain, 3 = penalty + SCC-local (the default).
+EliminationOptions sweep_config(std::int64_t code) {
+  EliminationOptions options;
+  options.scc_local = false;
+  switch (code) {
+    case 0: options.order = EliminationOrder::kInOrder; break;
+    case 1: options.order = EliminationOrder::kFewestNewEdges; break;
+    case 2: options.order = EliminationOrder::kPenalty; break;
+    default:
+      options.order = EliminationOrder::kPenalty;
+      options.scc_local = true;
+      break;
+  }
+  return options;
+}
+
+void BM_GridReward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const EliminationOptions options = sweep_config(state.range(1));
+  const ParametricDtmc chain = grid_chain(n, 4, /*with_trap=*/false);
+  const StateSet goal = goal_only(chain, n);
+  EliminationStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_total_reward(chain, goal, options,
+                                                   &stats));
+  }
+  state.SetLabel(std::string(stats.heuristic) +
+                 (options.scc_local ? "+scc" : "+whole"));
+  // record_elimination folds across runs, so average back to per-run.
+  state.counters["fill_in"] = benchmark::Counter(
+      static_cast<double>(stats.fill_in_edges),
+      benchmark::Counter::kAvgIterations);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GridReward)
+    ->ArgNames({"n", "cfg"})
+    ->ArgsProduct({{3, 4, 6, 8}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GridReachability(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const EliminationOptions options = sweep_config(state.range(1));
+  const ParametricDtmc chain = grid_chain(n, 4, /*with_trap=*/true);
+  const StateSet goal = goal_only(chain, n);
+  EliminationStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reachability_probability(chain, goal, options,
+                                                      &stats));
+  }
+  state.SetLabel(std::string(stats.heuristic) +
+                 (options.scc_local ? "+scc" : "+whole"));
+  state.counters["fill_in"] = benchmark::Counter(
+      static_cast<double>(stats.fill_in_edges),
+      benchmark::Counter::kAvgIterations);
+}
+// The naive in-order sweep is capped at n=4: on the trap variant its factor
+// terms blow up combinatorially (n=6 takes ~9 minutes wall; n=8 is
+// intractable), which is exactly the behaviour the dynamic orders fix.
+BENCHMARK(BM_GridReachability)
+    ->ArgNames({"n", "cfg"})
+    ->ArgsProduct({{3, 4}, {0}})
+    ->ArgsProduct({{3, 4, 6, 8}, {1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace tml

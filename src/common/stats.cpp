@@ -59,7 +59,14 @@ constexpr SchemaEntry kSchema[] = {
     {"parametric.states_eliminated", SchemaEntry::kCounter},
     {"parametric.peak_degree", SchemaEntry::kGauge},
     {"parametric.peak_terms", SchemaEntry::kGauge},
+    {"parametric.fill_in_edges", SchemaEntry::kCounter},
+    {"parametric.pool_hits", SchemaEntry::kCounter},
+    {"parametric.pool_misses", SchemaEntry::kCounter},
+    {"parametric.scc_blocks", SchemaEntry::kGauge},
     {"parametric.elimination.time", SchemaEntry::kTimer},
+    {"parametric.bounded.runs", SchemaEntry::kCounter},
+    {"parametric.bounded.steps", SchemaEntry::kCounter},
+    {"parametric.bounded.time", SchemaEntry::kTimer},
     {"opt.solves", SchemaEntry::kCounter},
     {"opt.starts", SchemaEntry::kCounter},
     {"opt.objective_evals", SchemaEntry::kCounter},

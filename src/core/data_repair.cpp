@@ -34,8 +34,8 @@ DataRepairResult data_repair(const Dtmc& structure,
   TML_REQUIRE(dim > 0, "data_repair: no un-pinned groups to repair");
 
   // Parametric property function f(p).
-  result.property_function =
-      parametric_property_function(mle.chain, structure, property);
+  result.property_function = parametric_property_function(
+      mle.chain, structure, property, config.elimination);
   result.function_text =
       result.property_function.to_string(mle.chain.pool().namer());
 

@@ -24,6 +24,7 @@
 #include "src/learn/weighted_mle.hpp"
 #include "src/logic/pctl.hpp"
 #include "src/opt/solvers.hpp"
+#include "src/parametric/state_elimination.hpp"
 
 namespace tml {
 
@@ -37,6 +38,8 @@ struct DataRepairConfig {
   /// Require the property with this slack.
   double constraint_margin = 0.0;
   SolveOptions solver;
+  /// Ordering/SCC knobs for the parametric elimination that builds f(p).
+  EliminationOptions elimination = default_elimination_options();
 };
 
 struct DataRepairResult {

@@ -119,9 +119,9 @@ std::string to_string(RepairCost cost) {
   return "?";
 }
 
-RationalFunction parametric_property_function(const ParametricDtmc& chain,
-                                              const Dtmc& base,
-                                              const StateFormula& property) {
+RationalFunction parametric_property_function(
+    const ParametricDtmc& chain, const Dtmc& base, const StateFormula& property,
+    const EliminationOptions& options) {
   require_repairable(property);
   if (property.kind() == StateFormula::Kind::kProb) {
     const PathFormula& path = property.path();
@@ -130,10 +130,11 @@ RationalFunction parametric_property_function(const ParametricDtmc& chain,
                               ? satisfying_states(base, path.left())
                               : StateSet(base.num_states(), true);
     if (path.step_bound()) {
-      return bounded_until_probability(chain, stay, goal, *path.step_bound());
+      return bounded_until_probability(chain, stay, goal, *path.step_bound(),
+                                       options.budget);
     }
     if (path.kind() == PathFormula::Kind::kEventually) {
-      return reachability_probability(chain, goal);
+      return reachability_probability(chain, goal, options);
     }
     // φ1 U φ2: make escape states (¬φ1 ∧ ¬φ2) absorbing, then reach φ2.
     ParametricDtmc restricted = chain;
@@ -145,13 +146,20 @@ RationalFunction parametric_property_function(const ParametricDtmc& chain,
         restricted.set_transition(s, s, RationalFunction(1.0));
       }
     }
-    return reachability_probability(restricted, goal);
+    return reachability_probability(restricted, goal, options);
   }
   if (property.reward_path_kind() == StateFormula::RewardPathKind::kCumulative) {
-    return cumulative_reward(chain, property.reward_horizon());
+    return cumulative_reward(chain, property.reward_horizon(), options.budget);
   }
   const StateSet goal = satisfying_states(base, property.reward_target());
-  return expected_total_reward(chain, goal);
+  return expected_total_reward(chain, goal, options);
+}
+
+RationalFunction parametric_property_function(const ParametricDtmc& chain,
+                                              const Dtmc& base,
+                                              const StateFormula& property) {
+  return parametric_property_function(chain, base, property,
+                                      default_elimination_options());
 }
 
 namespace {
@@ -224,8 +232,8 @@ ModelRepairResult model_repair(const PerturbationScheme& scheme,
       return evaluate_bounded_numeric(*chain, *base, *prop, x);
     };
   } else {
-    result.property_function =
-        parametric_property_function(built.chain, scheme.base(), property);
+    result.property_function = parametric_property_function(
+        built.chain, scheme.base(), property, config.elimination);
     result.function_text =
         result.property_function.to_string(built.chain.pool().namer());
     derivatives.reserve(scheme.num_variables());
@@ -336,7 +344,7 @@ EnvelopeRepairResult model_repair_envelope(
     term.numeric = property_step_bound(*term.property) > kMaxSymbolicStepBound;
     if (!term.numeric) {
       term.f = parametric_property_function(built.chain, scheme.base(),
-                                            *term.property);
+                                            *term.property, config.elimination);
       for (Var v : built.variables) {
         term.derivatives.push_back(term.f.derivative(v));
       }

@@ -29,6 +29,7 @@
 #include "src/logic/pctl.hpp"
 #include "src/opt/solvers.hpp"
 #include "src/parametric/parametric_dtmc.hpp"
+#include "src/parametric/state_elimination.hpp"
 #include "src/rational/rational_function.hpp"
 
 namespace tml {
@@ -48,6 +49,8 @@ struct ModelRepairConfig {
   double probability_margin = 1e-6;  ///< Eq. 6 strictness: probs in (m, 1−m)
   double constraint_margin = 0.0;    ///< require f ⋈ b with this slack
   SolveOptions solver;
+  /// Ordering/SCC knobs for the parametric elimination that builds f(v).
+  EliminationOptions elimination = default_elimination_options();
 };
 
 struct ModelRepairResult {
@@ -107,7 +110,11 @@ EnvelopeRepairResult model_repair_envelope(
     const ModelRepairConfig& config = {});
 
 /// Computes only the parametric property function f(v) (exposed for
-/// inspection / the benches).
+/// inspection / the benches). The options select the elimination ordering
+/// (and carry the budget for the bounded symbolic sweeps).
+RationalFunction parametric_property_function(
+    const ParametricDtmc& chain, const Dtmc& base, const StateFormula& property,
+    const EliminationOptions& options);
 RationalFunction parametric_property_function(const ParametricDtmc& chain,
                                               const Dtmc& base,
                                               const StateFormula& property);

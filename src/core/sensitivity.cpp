@@ -10,8 +10,8 @@ SensitivityReport sensitivity_analysis(const PerturbationScheme& scheme,
                                        const ModelRepairConfig& config) {
   const PerturbationScheme::Built built =
       scheme.build(config.probability_margin);
-  const RationalFunction f =
-      parametric_property_function(built.chain, scheme.base(), property);
+  const RationalFunction f = parametric_property_function(
+      built.chain, scheme.base(), property, config.elimination);
 
   SensitivityReport report;
   report.function_text = f.to_string(built.chain.pool().namer());

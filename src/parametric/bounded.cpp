@@ -1,14 +1,41 @@
 #include "src/parametric/bounded.hpp"
 
+#include "src/common/stats.hpp"
+
 namespace tml {
+
+namespace {
+
+/// Registry handles shared by all three entry points. One "run" is one
+/// top-level call; one "step" is one symbolic sweep over the state space.
+stats::Counter& runs_counter() {
+  static stats::Counter& c = stats::counter("parametric.bounded.runs");
+  return c;
+}
+
+stats::Counter& steps_counter() {
+  static stats::Counter& c = stats::counter("parametric.bounded.steps");
+  return c;
+}
+
+stats::Timer& run_timer() {
+  static stats::Timer& t = stats::timer("parametric.bounded.time");
+  return t;
+}
+
+}  // namespace
 
 RationalFunction bounded_until_probability(const ParametricDtmc& chain,
                                            const StateSet& stay,
                                            const StateSet& goal,
-                                           std::size_t bound) {
+                                           std::size_t bound,
+                                           const Budget* budget) {
+  const stats::ScopedTimer span(run_timer());
+  runs_counter().bump();
   const std::size_t n = chain.num_states();
   TML_REQUIRE(stay.size() == n && goal.size() == n,
               "bounded_until_probability: set size mismatch");
+  BudgetTracker tracker(budget != nullptr ? *budget : default_budget());
 
   std::vector<RationalFunction> values(n);
   for (StateId s = 0; s < n; ++s) {
@@ -16,7 +43,9 @@ RationalFunction bounded_until_probability(const ParametricDtmc& chain,
   }
   std::vector<RationalFunction> next(n);
   for (std::size_t step = 0; step < bound; ++step) {
+    steps_counter().bump();
     for (StateId s = 0; s < n; ++s) {
+      if (!tracker.tick()) tracker.require_ok("bounded until");
       if (goal[s]) {
         next[s] = RationalFunction(1.0);
         continue;
@@ -39,18 +68,25 @@ RationalFunction bounded_until_probability(const ParametricDtmc& chain,
 
 RationalFunction bounded_reachability_probability(const ParametricDtmc& chain,
                                                   const StateSet& targets,
-                                                  std::size_t bound) {
+                                                  std::size_t bound,
+                                                  const Budget* budget) {
   const StateSet stay(chain.num_states(), true);
-  return bounded_until_probability(chain, stay, targets, bound);
+  return bounded_until_probability(chain, stay, targets, bound, budget);
 }
 
 RationalFunction cumulative_reward(const ParametricDtmc& chain,
-                                   std::size_t horizon) {
+                                   std::size_t horizon,
+                                   const Budget* budget) {
+  const stats::ScopedTimer span(run_timer());
+  runs_counter().bump();
   const std::size_t n = chain.num_states();
+  BudgetTracker tracker(budget != nullptr ? *budget : default_budget());
   std::vector<RationalFunction> values(n);
   std::vector<RationalFunction> next(n);
   for (std::size_t step = 0; step < horizon; ++step) {
+    steps_counter().bump();
     for (StateId s = 0; s < n; ++s) {
+      if (!tracker.tick()) tracker.require_ok("cumulative reward");
       RationalFunction acc = chain.state_reward(s);
       for (const auto& [t, p] : chain.row(s)) {
         if (values[t].is_zero()) continue;

@@ -11,9 +11,15 @@
 // vector, so the symbolic degree grows linearly in k — usable for the
 // short horizons bounded controller properties have, and guarded by the
 // same randomized cross-validation as the unbounded engine.
+//
+// All entry points poll the budget (nullptr = default_budget()) once per
+// state row per sweep and throw the typed BudgetExhausted error on
+// exhaustion — a half-swept symbolic value vector is not a usable partial
+// answer. Runs are metered under the parametric.bounded.* stats entries.
 
 #pragma once
 
+#include "src/common/budget.hpp"
 #include "src/mdp/model.hpp"
 #include "src/parametric/parametric_dtmc.hpp"
 
@@ -24,17 +30,20 @@ namespace tml {
 /// value is pinned to 1 from step 0).
 RationalFunction bounded_reachability_probability(const ParametricDtmc& chain,
                                                   const StateSet& targets,
-                                                  std::size_t bound);
+                                                  std::size_t bound,
+                                                  const Budget* budget = nullptr);
 
 /// P(stay U<=k goal) from the initial state: constrained bounded until
 /// (escape states contribute 0).
 RationalFunction bounded_until_probability(const ParametricDtmc& chain,
                                            const StateSet& stay,
                                            const StateSet& goal,
-                                           std::size_t bound);
+                                           std::size_t bound,
+                                           const Budget* budget = nullptr);
 
 /// Expected reward accumulated over the first `horizon` steps (C<=k).
 RationalFunction cumulative_reward(const ParametricDtmc& chain,
-                                   std::size_t horizon);
+                                   std::size_t horizon,
+                                   const Budget* budget = nullptr);
 
 }  // namespace tml

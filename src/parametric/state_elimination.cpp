@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
-#include <set>
+#include <queue>
+#include <utility>
 
 #include "src/common/fault.hpp"
 #include "src/common/stats.hpp"
+#include "src/mdp/compiled.hpp"
+#include "src/rational/subterm_pool.hpp"
 
 namespace tml {
 
 namespace {
+
+EliminationOptions g_default_options{};
 
 /// Folds a run's local EliminationStats into the caller-provided struct (if
 /// any) and into the global registry. The local struct is always populated so
@@ -21,40 +25,107 @@ void record_elimination(const EliminationStats& local, EliminationStats* out) {
     out->max_degree_seen =
         std::max(out->max_degree_seen, local.max_degree_seen);
     out->max_terms_seen = std::max(out->max_terms_seen, local.max_terms_seen);
+    out->fill_in_edges += local.fill_in_edges;
+    out->scc_blocks += local.scc_blocks;
+    out->pool_hits += local.pool_hits;
+    out->pool_misses += local.pool_misses;
+    out->heuristic = local.heuristic;
   }
   static stats::Counter& c_runs = stats::counter("parametric.eliminations");
   static stats::Counter& c_states =
       stats::counter("parametric.states_eliminated");
+  static stats::Counter& c_fill = stats::counter("parametric.fill_in_edges");
+  static stats::Counter& c_hits = stats::counter("parametric.pool_hits");
+  static stats::Counter& c_misses = stats::counter("parametric.pool_misses");
   static stats::Gauge& g_degree = stats::gauge("parametric.peak_degree");
   static stats::Gauge& g_terms = stats::gauge("parametric.peak_terms");
+  static stats::Gauge& g_blocks = stats::gauge("parametric.scc_blocks");
   c_runs.bump();
   c_states.add(local.states_eliminated);
+  c_fill.add(local.fill_in_edges);
+  c_hits.add(local.pool_hits);
+  c_misses.add(local.pool_misses);
   g_degree.set_max(static_cast<double>(local.max_degree_seen));
   g_terms.set_max(static_cast<double>(local.max_terms_seen));
+  g_blocks.set_max(static_cast<double>(local.scc_blocks));
 }
 
-/// Working form of the chain during elimination: sparse rows of rational
-/// functions plus the per-state accumulated value term r(s).
+/// Working form of the chain during elimination: per-state sorted edge rows
+/// of rational functions plus the per-state accumulated value term r(s).
+/// Rows are parallel sorted vectors (binary-searched), not std::map — the
+/// access pattern is scan-heavy with rare point inserts, and the vectors
+/// keep the functions contiguous.
 struct Workspace {
-  // rows[s] maps successor -> probability function. Only "alive" states
-  // participate.
-  std::vector<std::map<StateId, RationalFunction>> rows;
+  struct Row {
+    std::vector<StateId> tgt;          // sorted ascending
+    std::vector<RationalFunction> fn;  // parallel to tgt
+  };
+
+  std::vector<Row> rows;
   std::vector<RationalFunction> value;  // r(s)
-  std::vector<bool> alive;
-  std::vector<std::set<StateId>> preds;
+  std::vector<char> alive;
+  std::vector<std::vector<StateId>> preds;  // sorted, deduplicated
+  std::size_t fill_in = 0;  // new (u, t) pairs created by folding
 
   explicit Workspace(std::size_t n)
-      : rows(n), value(n), alive(n, false), preds(n) {}
+      : rows(n), value(n), alive(n, 0), preds(n) {}
 
-  void add_edge(StateId u, StateId t, const RationalFunction& p) {
-    auto [it, inserted] = rows[u].emplace(t, p);
-    if (!inserted) it->second += p;
-    preds[t].insert(u);
+  static std::size_t lower_index(const std::vector<StateId>& v, StateId t) {
+    return static_cast<std::size_t>(
+        std::lower_bound(v.begin(), v.end(), t) - v.begin());
+  }
+
+  RationalFunction* find(StateId u, StateId t) {
+    Row& row = rows[u];
+    const std::size_t i = lower_index(row.tgt, t);
+    if (i < row.tgt.size() && row.tgt[i] == t) return &row.fn[i];
+    return nullptr;
+  }
+
+  void add_edge(StateId u, StateId t, RationalFunction p) {
+    Row& row = rows[u];
+    const std::size_t i = lower_index(row.tgt, t);
+    if (i < row.tgt.size() && row.tgt[i] == t) {
+      row.fn[i] += p;
+      return;
+    }
+    row.tgt.insert(row.tgt.begin() + static_cast<std::ptrdiff_t>(i), t);
+    row.fn.insert(row.fn.begin() + static_cast<std::ptrdiff_t>(i),
+                  std::move(p));
+    std::vector<StateId>& ps = preds[t];
+    const std::size_t j = lower_index(ps, u);
+    if (j == ps.size() || ps[j] != u) {
+      ps.insert(ps.begin() + static_cast<std::ptrdiff_t>(j), u);
+    }
+    ++fill_in;
   }
 
   void remove_edge(StateId u, StateId t) {
-    rows[u].erase(t);
-    preds[t].erase(u);
+    Row& row = rows[u];
+    const std::size_t i = lower_index(row.tgt, t);
+    if (i < row.tgt.size() && row.tgt[i] == t) {
+      row.tgt.erase(row.tgt.begin() + static_cast<std::ptrdiff_t>(i));
+      row.fn.erase(row.fn.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    std::vector<StateId>& ps = preds[t];
+    const std::size_t j = lower_index(ps, u);
+    if (j < ps.size() && ps[j] == u) {
+      ps.erase(ps.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+  }
+
+  bool has_edge(StateId u, StateId t) const {
+    const Row& row = rows[u];
+    return std::binary_search(row.tgt.begin(), row.tgt.end(), t);
+  }
+
+  std::size_t out_degree(StateId s) const {
+    return rows[s].tgt.size() - (has_edge(s, s) ? 1 : 0);
+  }
+
+  std::size_t in_degree(StateId s) const {
+    return preds[s].size() -
+           (std::binary_search(preds[s].begin(), preds[s].end(), s) ? 1 : 0);
   }
 };
 
@@ -101,100 +172,269 @@ StateSet support_backward_reachable(const ParametricDtmc& chain,
   return reached;
 }
 
+/// Complexity is tracked on the factored representation — degree and factor
+/// term mass are both O(#factors); touching numerator()/denominator() here
+/// would force facade expansion in the hot loop.
 void track_complexity(EliminationStats* stats, const RationalFunction& f) {
   if (stats == nullptr) return;
   stats->max_degree_seen = std::max(stats->max_degree_seen, f.degree());
-  stats->max_terms_seen =
-      std::max(stats->max_terms_seen, f.numerator().num_terms() +
-                                          f.denominator().num_terms());
+  stats->max_terms_seen = std::max(stats->max_terms_seen, f.factored_terms());
 }
 
-/// Eliminates every alive state except `init`; returns the closed form
-/// x_init = r'(init) / (1 − P'(init, init)).
-RationalFunction eliminate_all(Workspace& ws, StateId init,
-                               EliminationStats* stats, BudgetTracker& tracker) {
-  const std::size_t n = ws.rows.size();
+/// Total factor count over a state's row functions and value — the symbolic
+/// weight term of the kPenalty heuristic.
+std::uint64_t symbolic_mass(const Workspace& ws, StateId s) {
+  std::uint64_t mass = ws.value[s].num_factors();
+  for (const RationalFunction& fn : ws.rows[s].fn) mass += fn.num_factors();
+  return mass;
+}
 
-  // Min-degree style ordering: repeatedly pick the alive state (≠ init)
-  // with the smallest fill-in estimate |preds|·|succs|.
-  while (true) {
-    if (!tracker.tick()) tracker.require_ok("state elimination");
-    StateId victim = init;
-    std::size_t best_cost = SIZE_MAX;
-    for (StateId s = 0; s < n; ++s) {
-      if (!ws.alive[s] || s == init) continue;
-      // Self-loops don't count toward fill-in.
-      const std::size_t outs =
-          ws.rows[s].size() - (ws.rows[s].count(s) ? 1 : 0);
-      const std::size_t ins = ws.preds[s].size() - (ws.preds[s].count(s) ? 1 : 0);
-      const std::size_t cost = ins * outs;
-      if (cost < best_cost) {
-        best_cost = cost;
-        victim = s;
-      }
-    }
-    if (victim == init) break;  // nothing left to eliminate
-    const StateId s = victim;
+/// Priority of eliminating `s` next (lower is better).
+std::uint64_t penalty_of(const Workspace& ws, StateId s,
+                         EliminationOrder order) {
+  const std::uint64_t fill = static_cast<std::uint64_t>(ws.in_degree(s)) *
+                             static_cast<std::uint64_t>(ws.out_degree(s));
+  if (order == EliminationOrder::kFewestNewEdges) return fill;
+  // kPenalty: fill weighted by symbolic row mass, with the mass alone as a
+  // tie-break among zero-fill states.
+  const std::uint64_t mass = symbolic_mass(ws, s);
+  return fill * (1 + mass) + mass;
+}
 
-    // Rescale row s by 1 / (1 − loop).
-    RationalFunction loop;
-    if (auto it = ws.rows[s].find(s); it != ws.rows[s].end()) {
-      loop = it->second;
-      ws.remove_edge(s, s);
-    }
-    const RationalFunction denom = one_minus(loop);
-    TML_REQUIRE(!denom.is_zero() && !fault::fire("parametric.pivot"),
-                "state elimination: state " << s
-                    << " is absorbing (1 - selfloop == 0); preprocessing "
-                       "should have removed it");
-    const RationalFunction inv = denom.inverse();
-    for (auto& [t, p] : ws.rows[s]) {
-      p *= inv;
-      track_complexity(stats, p);
-    }
-    ws.value[s] *= inv;
-    track_complexity(stats, ws.value[s]);
+/// Eliminates one alive state: detaches the self-loop, rescales the row by
+/// 1 / (1 − loop), folds the state into every predecessor and retires it.
+void eliminate_state(Workspace& ws, StateId s, EliminationStats* stats) {
+  Workspace::Row& row = ws.rows[s];
 
-    // Fold s into each predecessor.
-    const std::set<StateId> preds = ws.preds[s];
-    for (StateId u : preds) {
-      if (u == s || !ws.alive[u]) continue;
-      auto uit = ws.rows[u].find(s);
-      if (uit == ws.rows[u].end()) continue;
-      const RationalFunction w = uit->second;
-      ws.remove_edge(u, s);
-      ws.value[u] += w * ws.value[s];
-      track_complexity(stats, ws.value[u]);
-      for (const auto& [t, p] : ws.rows[s]) {
-        ws.add_edge(u, t, w * p);
-      }
-    }
-
-    // Retire s.
-    for (const auto& [t, p] : ws.rows[s]) ws.preds[t].erase(s);
-    ws.rows[s].clear();
-    ws.preds[s].clear();
-    ws.alive[s] = false;
-    if (stats != nullptr) ++stats->states_eliminated;
+  RationalFunction loop;
+  if (RationalFunction* self = ws.find(s, s)) {
+    loop = *self;
+    ws.remove_edge(s, s);
   }
+  const RationalFunction denom = one_minus(loop);
+  TML_REQUIRE(!denom.is_zero() && !fault::fire("parametric.pivot"),
+              "state elimination: state " << s
+                  << " is absorbing (1 - selfloop == 0); preprocessing "
+                     "should have removed it");
+  const RationalFunction inv = denom.inverse();
+  for (RationalFunction& p : row.fn) {
+    p *= inv;
+    track_complexity(stats, p);
+  }
+  ws.value[s] *= inv;
+  track_complexity(stats, ws.value[s]);
+
+  // Fold s into each predecessor.
+  const std::vector<StateId> preds = ws.preds[s];
+  for (StateId u : preds) {
+    if (u == s || !ws.alive[u]) continue;
+    RationalFunction* weight = ws.find(u, s);
+    if (weight == nullptr) continue;
+    const RationalFunction w = *weight;
+    ws.remove_edge(u, s);
+    ws.value[u] += w * ws.value[s];
+    track_complexity(stats, ws.value[u]);
+    for (std::size_t i = 0; i < row.tgt.size(); ++i) {
+      ws.add_edge(u, row.tgt[i], w * row.fn[i]);
+    }
+  }
+
+  // Retire s.
+  for (StateId t : row.tgt) {
+    std::vector<StateId>& ps = ws.preds[t];
+    const std::size_t j = Workspace::lower_index(ps, s);
+    if (j < ps.size() && ps[j] == s) {
+      ps.erase(ps.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+  }
+  row.tgt.clear();
+  row.fn.clear();
+  ws.preds[s].clear();
+  ws.alive[s] = 0;
+  if (stats != nullptr) ++stats->states_eliminated;
+}
+
+/// Eliminates every alive state in `candidates` in the order selected by
+/// `options.order`. The dynamic orders run over a lazily revalidated
+/// min-priority queue: entries are (penalty, state) pairs; a popped entry
+/// whose stored penalty no longer matches the current one is re-pushed with
+/// the fresh penalty instead of being acted on, and after each elimination
+/// the states whose rows changed are re-pushed eagerly so the queue head
+/// stays accurate.
+void eliminate_candidates(Workspace& ws, const std::vector<StateId>& candidates,
+                          const EliminationOptions& options,
+                          EliminationStats* stats, BudgetTracker& tracker) {
+  if (options.order == EliminationOrder::kInOrder) {
+    for (StateId s : candidates) {
+      if (!ws.alive[s]) continue;
+      if (!tracker.tick()) tracker.require_ok("state elimination");
+      eliminate_state(ws, s, stats);
+    }
+    return;
+  }
+
+  using Entry = std::pair<std::uint64_t, StateId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::vector<char> in_set(ws.rows.size(), 0);
+  for (StateId s : candidates) {
+    if (!ws.alive[s]) continue;
+    in_set[s] = 1;
+    queue.emplace(penalty_of(ws, s, options.order), s);
+  }
+
+  std::vector<StateId> affected;
+  while (!queue.empty()) {
+    const auto [pen, s] = queue.top();
+    queue.pop();
+    if (!ws.alive[s]) continue;
+    const std::uint64_t current = penalty_of(ws, s, options.order);
+    if (current != pen) {
+      queue.emplace(current, s);  // stale entry; revalidate lazily
+      continue;
+    }
+    if (!tracker.tick()) tracker.require_ok("state elimination");
+
+    affected.clear();
+    for (StateId u : ws.preds[s]) {
+      if (u != s && ws.alive[u] && in_set[u]) affected.push_back(u);
+    }
+    for (StateId t : ws.rows[s].tgt) {
+      if (t != s && ws.alive[t] && in_set[t]) affected.push_back(t);
+    }
+
+    eliminate_state(ws, s, stats);
+
+    for (StateId u : affected) {
+      if (ws.alive[u]) queue.emplace(penalty_of(ws, u, options.order), u);
+    }
+  }
+}
+
+/// Condenses the elimination support graph into SCC blocks in dependency
+/// order and returns, per block, the alive non-initial states it contains
+/// (empty blocks dropped). Reuses CompiledModel::scc() by lowering the
+/// workspace support into a uniform-probability DTMC: the SCC structure
+/// only depends on the edge support, so any positive weights do.
+std::vector<std::vector<StateId>> scc_candidate_blocks(const Workspace& ws,
+                                                       StateId init) {
+  const std::size_t n = ws.rows.size();
+  Dtmc support(n);
+  for (StateId s = 0; s < n; ++s) {
+    const std::vector<StateId>& tgt = ws.rows[s].tgt;
+    if (!ws.alive[s] || tgt.empty()) {
+      support.set_transitions(s, {{s, 1.0}});
+      continue;
+    }
+    const bool has_self = ws.has_edge(s, s);
+    const std::size_t m = tgt.size() + (has_self ? 0 : 1);
+    const double p = 1.0 / static_cast<double>(m);
+    std::vector<Transition> out;
+    out.reserve(m);
+    for (StateId t : tgt) out.push_back({t, p});
+    // Dead targets never occur (workspace construction drops them), so this
+    // row is a genuine distribution over alive states up to rounding.
+    if (!has_self) {
+      out.push_back({s, 1.0 - p * static_cast<double>(tgt.size())});
+    }
+    support.set_transitions(s, std::move(out));
+  }
+  const CompiledModel compiled = compile(support);
+  const SccDecomposition& scc = compiled.scc();
+
+  std::vector<std::vector<StateId>> blocks;
+  for (std::uint32_t b = 0; b < scc.num_blocks(); ++b) {
+    std::vector<StateId> candidates;
+    for (StateId s : scc.block(b)) {
+      if (ws.alive[s] && s != init) candidates.push_back(s);
+    }
+    if (!candidates.empty()) {
+      std::sort(candidates.begin(), candidates.end());
+      blocks.push_back(std::move(candidates));
+    }
+  }
+  return blocks;
+}
+
+/// Eliminates every alive state except `init` under `options`, then closes
+/// the initial state's own loop: x_init = r'(init) / (1 − P'(init, init)).
+RationalFunction eliminate_all(Workspace& ws, StateId init,
+                               const EliminationOptions& options,
+                               EliminationStats* stats,
+                               BudgetTracker& tracker) {
+  if (options.scc_local) {
+    // Blocks come in dependency order (block 0 most downstream), so by the
+    // time a block runs every state it can reach outside the block — except
+    // the never-eliminated init — is already gone, and all fill-in stays
+    // block-local.
+    const std::vector<std::vector<StateId>> blocks =
+        scc_candidate_blocks(ws, init);
+    if (stats != nullptr) stats->scc_blocks = blocks.size();
+    for (const std::vector<StateId>& block : blocks) {
+      eliminate_candidates(ws, block, options, stats, tracker);
+    }
+  } else {
+    std::vector<StateId> candidates;
+    for (StateId s = 0; s < ws.rows.size(); ++s) {
+      if (ws.alive[s] && s != init) candidates.push_back(s);
+    }
+    eliminate_candidates(ws, candidates, options, stats, tracker);
+  }
+  if (stats != nullptr) stats->fill_in_edges = ws.fill_in;
 
   // Close the initial state's own loop.
   RationalFunction loop;
-  if (auto it = ws.rows[init].find(init); it != ws.rows[init].end()) {
-    loop = it->second;
-  }
+  if (RationalFunction* self = ws.find(init, init)) loop = *self;
   const RationalFunction denom = one_minus(loop);
   TML_REQUIRE(!denom.is_zero(),
               "state elimination: initial state is absorbing with no value");
   return ws.value[init] * denom.inverse();
 }
 
+/// Shared tail of both entry points: stats bookkeeping (heuristic name,
+/// subterm-pool hit/miss deltas), budget tracking, elimination, registry.
+RationalFunction run_elimination(Workspace& ws, StateId init,
+                                 const EliminationOptions& options,
+                                 EliminationStats* stats) {
+  EliminationStats local;
+  local.heuristic = to_string(options.order);
+  EliminationStats* track =
+      (stats != nullptr || stats::enabled()) ? &local : nullptr;
+  SubtermPool& pool = SubtermPool::instance();
+  const std::uint64_t hits_before = pool.hits();
+  const std::uint64_t misses_before = pool.misses();
+  BudgetTracker tracker(options.budget != nullptr ? *options.budget
+                                                  : default_budget());
+  RationalFunction result = eliminate_all(ws, init, options, track, tracker);
+  if (track != nullptr) {
+    local.pool_hits = pool.hits() - hits_before;
+    local.pool_misses = pool.misses() - misses_before;
+    record_elimination(local, stats);
+  }
+  return result;
+}
+
 }  // namespace
+
+const char* to_string(EliminationOrder order) {
+  switch (order) {
+    case EliminationOrder::kInOrder: return "in-order";
+    case EliminationOrder::kFewestNewEdges: return "fewest-new-edges";
+    case EliminationOrder::kPenalty: return "penalty";
+  }
+  return "unknown";
+}
+
+EliminationOptions default_elimination_options() { return g_default_options; }
+
+void set_default_elimination_options(EliminationOptions options) {
+  options.budget = nullptr;  // defaults never carry a budget pointer
+  g_default_options = options;
+}
 
 RationalFunction reachability_probability(const ParametricDtmc& chain,
                                           const StateSet& targets,
-                                          EliminationStats* stats,
-                                          const Budget* budget) {
+                                          const EliminationOptions& options,
+                                          EliminationStats* stats) {
   static stats::Timer& t_elim = stats::timer("parametric.elimination.time");
   const stats::ScopedTimer span(t_elim);
   TML_REQUIRE(targets.size() == chain.num_states(),
@@ -212,7 +452,7 @@ RationalFunction reachability_probability(const ParametricDtmc& chain,
   Workspace ws(chain.num_states());
   for (StateId s = 0; s < chain.num_states(); ++s) {
     if (!forward[s] || !can_reach[s] || targets[s]) continue;
-    ws.alive[s] = true;
+    ws.alive[s] = 1;
   }
   for (StateId s = 0; s < chain.num_states(); ++s) {
     if (!ws.alive[s]) continue;
@@ -225,19 +465,23 @@ RationalFunction reachability_probability(const ParametricDtmc& chain,
       // else: transition into a prob-0 region; contributes nothing.
     }
   }
-  EliminationStats local;
-  EliminationStats* track =
-      (stats != nullptr || stats::enabled()) ? &local : nullptr;
-  BudgetTracker tracker(budget != nullptr ? *budget : default_budget());
-  RationalFunction result = eliminate_all(ws, init, track, tracker);
-  if (track != nullptr) record_elimination(local, stats);
-  return result;
+  ws.fill_in = 0;  // construction edges are not fill-in
+  return run_elimination(ws, init, options, stats);
+}
+
+RationalFunction reachability_probability(const ParametricDtmc& chain,
+                                          const StateSet& targets,
+                                          EliminationStats* stats,
+                                          const Budget* budget) {
+  EliminationOptions options = default_elimination_options();
+  options.budget = budget;
+  return reachability_probability(chain, targets, options, stats);
 }
 
 RationalFunction expected_total_reward(const ParametricDtmc& chain,
                                        const StateSet& targets,
-                                       EliminationStats* stats,
-                                       const Budget* budget) {
+                                       const EliminationOptions& options,
+                                       EliminationStats* stats) {
   static stats::Timer& t_elim = stats::timer("parametric.elimination.time");
   const stats::ScopedTimer span(t_elim);
   TML_REQUIRE(targets.size() == chain.num_states(),
@@ -259,7 +503,7 @@ RationalFunction expected_total_reward(const ParametricDtmc& chain,
   Workspace ws(chain.num_states());
   for (StateId s = 0; s < chain.num_states(); ++s) {
     if (!forward[s] || targets[s]) continue;
-    ws.alive[s] = true;
+    ws.alive[s] = 1;
     ws.value[s] = chain.state_reward(s);
   }
   for (StateId s = 0; s < chain.num_states(); ++s) {
@@ -271,13 +515,17 @@ RationalFunction expected_total_reward(const ParametricDtmc& chain,
       ws.add_edge(s, t, *p);
     }
   }
-  EliminationStats local;
-  EliminationStats* track =
-      (stats != nullptr || stats::enabled()) ? &local : nullptr;
-  BudgetTracker tracker(budget != nullptr ? *budget : default_budget());
-  RationalFunction result = eliminate_all(ws, init, track, tracker);
-  if (track != nullptr) record_elimination(local, stats);
-  return result;
+  ws.fill_in = 0;  // construction edges are not fill-in
+  return run_elimination(ws, init, options, stats);
+}
+
+RationalFunction expected_total_reward(const ParametricDtmc& chain,
+                                       const StateSet& targets,
+                                       EliminationStats* stats,
+                                       const Budget* budget) {
+  EliminationOptions options = default_elimination_options();
+  options.budget = budget;
+  return expected_total_reward(chain, targets, options, stats);
 }
 
 }  // namespace tml

@@ -256,6 +256,25 @@ double Polynomial::evaluate(std::span<const double> values) const {
   return out;
 }
 
+double Polynomial::evaluate_derivative(Var var,
+                                       std::span<const double> values) const {
+  double out = 0.0;
+  for (const auto& [m, c] : terms_) {
+    const std::uint32_t exp = m.exponent_of(var);
+    if (exp == 0) continue;
+    double t = c * static_cast<double>(exp);
+    for (const auto& [v, e] : m.factors()) {
+      TML_REQUIRE(v < values.size(),
+                  "Polynomial::evaluate_derivative: missing value for "
+                  "variable " << v);
+      const std::uint32_t ee = v == var ? e - 1 : e;
+      for (std::uint32_t i = 0; i < ee; ++i) t *= values[v];
+    }
+    out += t;
+  }
+  return out;
+}
+
 Polynomial Polynomial::substitute(Var var, const Polynomial& replacement) const {
   Polynomial out;
   for (const auto& [m, c] : terms_) {

@@ -125,6 +125,11 @@ class Polynomial {
   /// occurring in the polynomial must have an entry.
   double evaluate(std::span<const double> values) const;
 
+  /// Evaluates ∂p/∂var at `values` without materializing the derivative
+  /// polynomial (the factored gradient path calls this per factor per
+  /// variable).
+  double evaluate_derivative(Var var, std::span<const double> values) const;
+
   /// Substitutes `replacement` for `var`.
   Polynomial substitute(Var var, const Polynomial& replacement) const;
 

@@ -1,94 +1,235 @@
 #include "src/rational/rational_function.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <optional>
 
 namespace tml {
 
 namespace {
 
-/// If p == s·q for some scalar s, returns s.
-std::optional<double> proportional_scale(const Polynomial& p,
-                                         const Polynomial& q) {
-  if (p.is_zero() || q.is_zero()) return std::nullopt;
-  if (p.num_terms() != q.num_terms()) return std::nullopt;
-  const auto& lead_p = *p.terms().begin();
-  const auto& lead_q = *q.terms().begin();
-  if (lead_p.first != lead_q.first || lead_q.second == 0.0) {
-    return std::nullopt;
-  }
-  const double scale = lead_p.second / lead_q.second;
-  if (p.proportional_to(q, scale)) return scale;
-  return std::nullopt;
+/// x^e for small integer e (factor exponents are tiny).
+double ipow(double x, std::uint32_t e) {
+  double out = 1.0;
+  for (std::uint32_t i = 0; i < e; ++i) out *= x;
+  return out;
 }
+
+constexpr double kCoeffTol = 1e-12;
 
 }  // namespace
 
-RationalFunction::RationalFunction(Polynomial num, Polynomial den)
-    : num_(std::move(num)), den_(std::move(den)) {
-  TML_REQUIRE(!den_.is_zero(), "RationalFunction: zero denominator");
-  normalize();
-}
+// ---------------------------------------------------------------------------
+// Factor-list plumbing
 
-void RationalFunction::normalize() {
-  if (num_.is_zero()) {
-    den_ = Polynomial(1.0);
-    return;
-  }
-  // Cancel common monomial content.
-  const Monomial content = num_.monomial_content().gcd(den_.monomial_content());
+double RationalFunction::factorize(Polynomial p, Factors& out) {
+  if (p.is_zero()) return 0.0;
+  if (p.is_constant()) return p.constant_value();
+  double scale = 1.0;
+  // Monomial content becomes one factor per variable (with exponent), so
+  // x²/x cancels by exponent arithmetic instead of polynomial division.
+  const Monomial content = p.monomial_content();
   if (!content.is_constant()) {
-    num_ = num_.divide_by_monomial(content);
-    den_ = den_.divide_by_monomial(content);
-  }
-  // Fold constant denominators into the numerator.
-  if (den_.is_constant()) {
-    num_ = num_ / den_.constant_value();
-    den_ = Polynomial(1.0);
-    return;
-  }
-  // Collapse num == c·den to the constant c. Compare leading coefficients
-  // to guess the scale, then verify proportionality.
-  if (num_.num_terms() == den_.num_terms()) {
-    const auto& lead_num = *num_.terms().begin();
-    const auto& lead_den = *den_.terms().begin();
-    if (lead_num.first == lead_den.first && lead_den.second != 0.0) {
-      const double scale = lead_num.second / lead_den.second;
-      if (num_.proportional_to(den_, scale)) {
-        num_ = Polynomial(scale);
-        den_ = Polynomial(1.0);
-        return;
-      }
+    p = p.divide_by_monomial(content);
+    for (const auto& [var, exp] : content.factors()) {
+      SubtermPool::Interned v =
+          SubtermPool::instance().intern(Polynomial::variable(var));
+      scale *= ipow(v.scale, exp);  // 1.0 for a bare variable
+      out.push_back(Factor{std::move(v.handle), exp});
     }
   }
-  // Scale so the denominator's largest coefficient is 1 (numeric hygiene).
-  const double scale = den_.max_abs_coefficient();
-  if (scale != 0.0 && std::abs(scale - 1.0) > 1e-12) {
-    num_ = num_ / scale;
-    den_ = den_ / scale;
+  if (p.is_constant()) {
+    scale *= p.constant_value();
+  } else {
+    SubtermPool::Interned core = SubtermPool::instance().intern(p);
+    scale *= core.scale;
+    out.push_back(Factor{std::move(core.handle), 1});
+  }
+  sort_and_merge(out);
+  return scale;
+}
+
+void RationalFunction::sort_and_merge(Factors& factors) {
+  std::sort(factors.begin(), factors.end(),
+            [](const Factor& a, const Factor& b) {
+              return a.poly->id < b.poly->id;
+            });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    if (w > 0 && factors[w - 1].poly == factors[i].poly) {
+      factors[w - 1].exp += factors[i].exp;
+    } else {
+      if (w != i) factors[w] = std::move(factors[i]);
+      ++w;
+    }
+  }
+  factors.resize(w);
+}
+
+RationalFunction::Factors RationalFunction::merge(const Factors& a,
+                                                  const Factors& b) {
+  Factors out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].poly->id < b[j].poly->id)) {
+      out.push_back(a[i++]);
+    } else if (i == a.size() || b[j].poly->id < a[i].poly->id) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(Factor{a[i].poly, a[i].exp + b[j].exp});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+void RationalFunction::cancel_common(Factors& num, Factors& den) {
+  Factors n2, d2;
+  n2.reserve(num.size());
+  d2.reserve(den.size());
+  std::size_t i = 0, j = 0;
+  while (i < num.size() || j < den.size()) {
+    if (j == den.size() ||
+        (i < num.size() && num[i].poly->id < den[j].poly->id)) {
+      n2.push_back(std::move(num[i++]));
+    } else if (i == num.size() || den[j].poly->id < num[i].poly->id) {
+      d2.push_back(std::move(den[j++]));
+    } else {
+      const std::uint32_t m = std::min(num[i].exp, den[j].exp);
+      if (num[i].exp > m) n2.push_back(Factor{num[i].poly, num[i].exp - m});
+      if (den[j].exp > m) d2.push_back(Factor{den[j].poly, den[j].exp - m});
+      ++i;
+      ++j;
+    }
+  }
+  num = std::move(n2);
+  den = std::move(d2);
+}
+
+void RationalFunction::split_common(const Factors& a, const Factors& b,
+                                    Factors& common, Factors& a_extra,
+                                    Factors& b_extra) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].poly->id < b[j].poly->id)) {
+      a_extra.push_back(a[i++]);
+    } else if (i == a.size() || b[j].poly->id < a[i].poly->id) {
+      b_extra.push_back(b[j++]);
+    } else {
+      const std::uint32_t m = std::min(a[i].exp, b[j].exp);
+      common.push_back(Factor{a[i].poly, m});
+      if (a[i].exp > m) a_extra.push_back(Factor{a[i].poly, a[i].exp - m});
+      if (b[j].exp > m) b_extra.push_back(Factor{b[j].poly, b[j].exp - m});
+      ++i;
+      ++j;
+    }
   }
 }
 
-bool RationalFunction::is_constant() const {
-  return num_.is_constant() && den_.is_constant();
+Polynomial RationalFunction::expand(double coeff, const Factors& factors) {
+  Polynomial out(coeff);
+  for (const Factor& f : factors) {
+    out *= f.poly->poly.pow(f.exp);
+  }
+  return out;
+}
+
+bool RationalFunction::factors_equal(const Factors& a, const Factors& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].poly != b[i].poly || a[i].exp != b[i].exp) return false;
+  }
+  return true;
+}
+
+RationalFunction RationalFunction::from_parts(Polynomial num_poly,
+                                              Factors den) {
+  RationalFunction out;
+  out.coeff_ = factorize(num_poly, out.num_factors_);
+  if (out.coeff_ == 0.0) {
+    out.num_factors_.clear();
+    return out;
+  }
+  out.den_factors_ = std::move(den);
+  const std::size_t num_before = out.num_factors_.size();
+  cancel_common(out.num_factors_, out.den_factors_);
+  if (out.num_factors_.size() == num_before) {
+    // The facade numerator is exactly the polynomial we just factorized;
+    // keep it so repeated accumulation (+=) does not re-expand each round.
+    out.num_cache_ = std::make_shared<const Polynomial>(std::move(num_poly));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Construction and facade
+
+RationalFunction::RationalFunction(Polynomial p) {
+  coeff_ = factorize(std::move(p), num_factors_);
+  if (coeff_ == 0.0) num_factors_.clear();
+}
+
+RationalFunction::RationalFunction(Polynomial num, Polynomial den) {
+  TML_REQUIRE(!den.is_zero(), "RationalFunction: zero denominator");
+  coeff_ = factorize(std::move(num), num_factors_);
+  if (coeff_ == 0.0) {
+    num_factors_.clear();
+    return;
+  }
+  Factors den_factors;
+  const double den_scale = factorize(std::move(den), den_factors);
+  coeff_ /= den_scale;
+  den_factors_ = std::move(den_factors);
+  cancel_common(num_factors_, den_factors_);
+}
+
+const Polynomial& RationalFunction::numerator() const {
+  if (num_cache_ == nullptr) {
+    num_cache_ =
+        std::make_shared<const Polynomial>(expand(coeff_, num_factors_));
+  }
+  return *num_cache_;
+}
+
+const Polynomial& RationalFunction::denominator() const {
+  if (den_cache_ == nullptr) {
+    den_cache_ =
+        std::make_shared<const Polynomial>(expand(1.0, den_factors_));
+  }
+  return *den_cache_;
 }
 
 double RationalFunction::constant_value() const {
   TML_REQUIRE(is_constant(), "RationalFunction::constant_value: not constant");
-  return num_.constant_value() / den_.constant_value();
+  return coeff_;
 }
+
+// ---------------------------------------------------------------------------
+// Arithmetic
 
 RationalFunction RationalFunction::operator+(
     const RationalFunction& other) const {
   if (is_zero()) return other;
   if (other.is_zero()) return *this;
-  // Share the denominator when it is structurally identical — the dominant
-  // case in state elimination, and it avoids squaring the denominator.
-  if (den_ == other.den_) {
-    return RationalFunction(num_ + other.num_, den_);
+
+  Factors common, a_extra, b_extra;
+  split_common(den_factors_, other.den_factors_, common, a_extra, b_extra);
+
+  Polynomial num_poly;
+  if (a_extra.empty() && b_extra.empty()) {
+    // Identical denominators — the dominant case in state elimination.
+    num_poly = numerator() + other.numerator();
+  } else if (common.empty()) {
+    num_poly = numerator() * other.denominator() +
+               other.numerator() * denominator();
+  } else {
+    // Cross-multiply only the unshared parts of each denominator.
+    num_poly = expand(coeff_, merge(num_factors_, b_extra)) +
+               expand(other.coeff_, merge(other.num_factors_, a_extra));
   }
-  return RationalFunction(num_ * other.den_ + other.num_ * den_,
-                          den_ * other.den_);
+  return from_parts(std::move(num_poly),
+                    merge(common, merge(a_extra, b_extra)));
 }
 
 RationalFunction RationalFunction::operator-(
@@ -98,22 +239,23 @@ RationalFunction RationalFunction::operator-(
 
 RationalFunction RationalFunction::operator-() const {
   RationalFunction out = *this;
-  out.num_ = -out.num_;
+  out.coeff_ = -out.coeff_;
+  out.num_cache_ =
+      out.num_cache_ != nullptr
+          ? std::make_shared<const Polynomial>(-*out.num_cache_)
+          : nullptr;
   return out;
 }
 
 RationalFunction RationalFunction::operator*(
     const RationalFunction& other) const {
   if (is_zero() || other.is_zero()) return RationalFunction();
-  // Cross-cancel proportional numerator/denominator pairs before
-  // multiplying: (s·d₂/d₁)·(n₂/d₂) = s·n₂/d₁.
-  if (auto s = proportional_scale(num_, other.den_)) {
-    return RationalFunction(other.num_ * *s, den_);
-  }
-  if (auto s = proportional_scale(other.num_, den_)) {
-    return RationalFunction(num_ * *s, other.den_);
-  }
-  return RationalFunction(num_ * other.num_, den_ * other.den_);
+  RationalFunction out;
+  out.coeff_ = coeff_ * other.coeff_;
+  out.num_factors_ = merge(num_factors_, other.num_factors_);
+  out.den_factors_ = merge(den_factors_, other.den_factors_);
+  cancel_common(out.num_factors_, out.den_factors_);
+  return out;
 }
 
 RationalFunction RationalFunction::operator/(
@@ -139,73 +281,184 @@ RationalFunction& RationalFunction::operator/=(const RationalFunction& other) {
 }
 
 RationalFunction RationalFunction::operator*(double scalar) const {
-  if (scalar == 0.0) return RationalFunction();
+  if (scalar == 0.0 || is_zero()) return RationalFunction();
   RationalFunction out = *this;
-  out.num_ = out.num_ * scalar;
+  out.coeff_ *= scalar;
+  out.num_cache_ =
+      out.num_cache_ != nullptr
+          ? std::make_shared<const Polynomial>(*out.num_cache_ * scalar)
+          : nullptr;
   return out;
 }
 
 RationalFunction RationalFunction::inverse() const {
   TML_REQUIRE(!is_zero(), "RationalFunction::inverse: zero function");
-  return RationalFunction(den_, num_);
+  RationalFunction out;
+  out.coeff_ = 1.0 / coeff_;
+  out.num_factors_ = den_factors_;
+  out.den_factors_ = num_factors_;
+  return out;
 }
 
+// ---------------------------------------------------------------------------
+// Calculus and evaluation
+
 RationalFunction RationalFunction::derivative(Var var) const {
-  // (n/d)' = (n'·d − n·d') / d².
-  const Polynomial dn = num_.derivative(var);
-  const Polynomial dd = den_.derivative(var);
-  if (dd.is_zero()) {
-    return RationalFunction(dn, den_);
+  // d/dv [c · Π nᵢ^{aᵢ} / Π dⱼ^{bⱼ}] as a sum of factored terms: each term
+  // reuses this function's factor lists with one exponent shifted, so the
+  // sum's denominators share almost everything and stay factored.
+  RationalFunction out;
+  for (std::size_t i = 0; i < num_factors_.size(); ++i) {
+    Polynomial dp = num_factors_[i].poly->poly.derivative(var);
+    if (dp.is_zero()) continue;
+    RationalFunction term = *this;
+    term.num_cache_.reset();
+    term.coeff_ *= static_cast<double>(num_factors_[i].exp);
+    if (--term.num_factors_[i].exp == 0) {
+      term.num_factors_.erase(term.num_factors_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+    }
+    out += term * RationalFunction(std::move(dp));
   }
-  return RationalFunction(dn * den_ - num_ * dd, den_ * den_);
+  for (std::size_t j = 0; j < den_factors_.size(); ++j) {
+    Polynomial dd = den_factors_[j].poly->poly.derivative(var);
+    if (dd.is_zero()) continue;
+    RationalFunction term = *this;
+    term.num_cache_.reset();
+    term.den_cache_.reset();
+    term.coeff_ *= -static_cast<double>(den_factors_[j].exp);
+    term.den_factors_[j].exp += 1;
+    out += term * RationalFunction(std::move(dd));
+  }
+  return out;
 }
 
 double RationalFunction::evaluate(std::span<const double> values) const {
-  const double d = den_.evaluate(values);
-  if (std::abs(d) < 1e-300) {
+  double num = coeff_;
+  for (const Factor& f : num_factors_) {
+    num *= ipow(f.poly->poly.evaluate(values), f.exp);
+  }
+  double den = 1.0;
+  for (const Factor& f : den_factors_) {
+    den *= ipow(f.poly->poly.evaluate(values), f.exp);
+  }
+  if (std::abs(den) < 1e-300) {
     throw NumericError("RationalFunction::evaluate: denominator vanishes");
   }
-  return num_.evaluate(values) / d;
+  return num / den;
 }
+
+namespace {
+
+/// Value and gradient of scale · Π fᵢ^{eᵢ} at `values` by the running
+/// product rule: P' = P·Σ eᵢ fᵢ'/fᵢ, computed without dividing so factors
+/// that vanish at the point stay well-defined.
+void product_value_and_gradient(
+    const std::vector<std::pair<const Polynomial*, std::uint32_t>>& factors,
+    double scale, std::span<const Var> vars, std::span<const double> values,
+    double& value, std::vector<double>& grad) {
+  value = scale;
+  std::fill(grad.begin(), grad.end(), 0.0);
+  for (const auto& [poly, exp] : factors) {
+    const double v = poly->evaluate(values);
+    const double ve = ipow(v, exp);
+    const double dve = static_cast<double>(exp) * ipow(v, exp - 1);
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const double dv = poly->evaluate_derivative(vars[i], values);
+      grad[i] = grad[i] * ve + value * dve * dv;
+    }
+    value *= ve;
+  }
+}
+
+}  // namespace
 
 std::vector<double> RationalFunction::evaluate_gradient(
     std::span<const Var> vars, std::span<const double> values) const {
-  // Evaluate the quotient rule numerically instead of building symbolic
-  // derivatives per call: grad = (n'·d − n·d') / d².
-  const double d = den_.evaluate(values);
-  if (std::abs(d) < 1e-300) {
-    throw NumericError("RationalFunction::evaluate_gradient: denominator vanishes");
-  }
-  const double n = num_.evaluate(values);
   std::vector<double> grad(vars.size(), 0.0);
+  if (is_zero()) return grad;
+  std::vector<std::pair<const Polynomial*, std::uint32_t>> num_view,
+      den_view;
+  for (const Factor& f : num_factors_) {
+    num_view.emplace_back(&f.poly->poly, f.exp);
+  }
+  for (const Factor& f : den_factors_) {
+    den_view.emplace_back(&f.poly->poly, f.exp);
+  }
+  double n = 0.0, d = 0.0;
+  std::vector<double> dn(vars.size()), dd(vars.size());
+  product_value_and_gradient(num_view, coeff_, vars, values, n, dn);
+  product_value_and_gradient(den_view, 1.0, vars, values, d, dd);
+  if (std::abs(d) < 1e-300) {
+    throw NumericError(
+        "RationalFunction::evaluate_gradient: denominator vanishes");
+  }
   for (std::size_t i = 0; i < vars.size(); ++i) {
-    const double dn = num_.derivative(vars[i]).evaluate(values);
-    const double dd = den_.derivative(vars[i]).evaluate(values);
-    grad[i] = (dn * d - n * dd) / (d * d);
+    grad[i] = (dn[i] * d - n * dd[i]) / (d * d);
   }
   return grad;
 }
 
+// ---------------------------------------------------------------------------
+// Inspection
+
 std::vector<Var> RationalFunction::variables() const {
-  std::vector<Var> vars = num_.variables();
-  std::vector<Var> den_vars = den_.variables();
-  vars.insert(vars.end(), den_vars.begin(), den_vars.end());
+  std::vector<Var> vars;
+  const auto collect = [&vars](const Factors& factors) {
+    for (const Factor& f : factors) {
+      const std::vector<Var> fv = f.poly->poly.variables();
+      vars.insert(vars.end(), fv.begin(), fv.end());
+    }
+  };
+  collect(num_factors_);
+  collect(den_factors_);
   std::sort(vars.begin(), vars.end());
   vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
   return vars;
 }
 
 std::uint32_t RationalFunction::degree() const {
-  return std::max(num_.degree(), den_.degree());
+  const auto product_degree = [](const Factors& factors) {
+    std::uint32_t d = 0;
+    for (const Factor& f : factors) d += f.exp * f.poly->degree;
+    return d;
+  };
+  return std::max(product_degree(num_factors_), product_degree(den_factors_));
+}
+
+std::size_t RationalFunction::num_factors() const {
+  std::size_t n = 0;
+  for (const Factor& f : num_factors_) n += f.exp;
+  for (const Factor& f : den_factors_) n += f.exp;
+  return n;
+}
+
+std::size_t RationalFunction::factored_terms() const {
+  std::size_t n = 0;
+  for (const Factor& f : num_factors_) n += f.poly->poly.num_terms();
+  for (const Factor& f : den_factors_) n += f.poly->poly.num_terms();
+  return n;
 }
 
 std::string RationalFunction::to_string(
     const std::function<std::string(Var)>& name_of) const {
-  if (den_.is_constant() && std::abs(den_.constant_value() - 1.0) < 1e-15) {
-    return num_.to_string(name_of);
+  const Polynomial& num = numerator();
+  const Polynomial& den = denominator();
+  if (den.is_constant() && std::abs(den.constant_value() - 1.0) < 1e-15) {
+    return num.to_string(name_of);
   }
-  return "(" + num_.to_string(name_of) + ") / (" + den_.to_string(name_of) +
+  return "(" + num.to_string(name_of) + ") / (" + den.to_string(name_of) +
          ")";
+}
+
+bool RationalFunction::operator==(const RationalFunction& other) const {
+  if (is_zero() || other.is_zero()) return is_zero() == other.is_zero();
+  if (!factors_equal(num_factors_, other.num_factors_) ||
+      !factors_equal(den_factors_, other.den_factors_)) {
+    return false;
+  }
+  return std::abs(coeff_ - other.coeff_) <=
+         kCoeffTol * std::max(1.0, std::abs(coeff_));
 }
 
 }  // namespace tml

@@ -1,37 +1,47 @@
-// Rational functions (quotients of multivariate polynomials).
+// Rational functions (quotients of multivariate polynomials), kept in
+// FACTORED form over a hash-consed subterm pool.
 //
-// Parametric model checking by state elimination (src/parametric) produces
-// transition probabilities and value functions of this form; the repair
-// NLPs (src/core) then evaluate them and their gradients.
+// Representation: coeff · Π numᵢ^{aᵢ} / Π denⱼ^{bⱼ}, where every factor is
+// a non-constant polynomial interned in the process-wide SubtermPool
+// (subterm_pool.hpp) and factor lists are sorted by pool id. Products and
+// quotients are pure factor-list merges with divide-out of common factors
+// by pool identity — nothing is expanded. A sum expands only the factors
+// the two denominators do NOT share, and its numerator re-enters the pool
+// as a single new factor. evaluate() / evaluate_gradient() walk the factor
+// lists numerically without ever expanding.
 //
-// Normalization is heuristic (monomial content cancellation, constant
-// denominator absorption, proportionality detection). We do NOT implement
-// full multivariate GCD — the repair problems have few parameters and
-// moderate degree, and every symbolic result is cross-checked numerically
-// in the test suite.
+// The expanded numerator()/denominator() view is a lazily materialized,
+// cached facade, so callers written against the eager representation (the
+// repair NLPs in src/core, bounded symbolic iteration, to_string, tests)
+// keep compiling and behaving as before. evaluate()/evaluate_gradient()
+// are const-pure and safe to call concurrently; the facade accessors
+// mutate the cache on first call and are not thread-safe until then.
+//
+// Normalization remains heuristic (no multivariate GCD): scale-normalized
+// interning makes proportional polynomials cancel structurally, and
+// monomial content is split into per-variable factors so x²/x cancels.
+// Every symbolic result is still cross-checked numerically in the tests.
 
 #pragma once
 
 #include <string>
 
 #include "src/rational/polynomial.hpp"
+#include "src/rational/subterm_pool.hpp"
 
 namespace tml {
 
-/// num / den with den not identically zero. Kept lightly normalized:
-/// common monomial content cancelled, constant denominators folded into the
-/// numerator, and num == c·den collapsed to the constant c.
+/// num / den with den not identically zero, in pooled factored form.
 class RationalFunction {
  public:
   /// Zero.
-  RationalFunction() : num_(0.0), den_(1.0) {}
+  RationalFunction() = default;
 
   /// Constant.
-  explicit RationalFunction(double constant)
-      : num_(constant), den_(1.0) {}
+  explicit RationalFunction(double constant) : coeff_(constant) {}
 
   /// Polynomial (denominator 1).
-  explicit RationalFunction(Polynomial p) : num_(std::move(p)), den_(1.0) {}
+  explicit RationalFunction(Polynomial p);
 
   RationalFunction(Polynomial num, Polynomial den);
 
@@ -40,11 +50,15 @@ class RationalFunction {
     return RationalFunction(Polynomial::variable(var));
   }
 
-  const Polynomial& numerator() const { return num_; }
-  const Polynomial& denominator() const { return den_; }
+  /// Expanded numerator (coefficient folded in), materialized lazily.
+  const Polynomial& numerator() const;
+  /// Expanded denominator, materialized lazily (1 when fully cancelled).
+  const Polynomial& denominator() const;
 
-  bool is_zero() const { return num_.is_zero(); }
-  bool is_constant() const;
+  bool is_zero() const { return coeff_ == 0.0; }
+  bool is_constant() const {
+    return num_factors_.empty() && den_factors_.empty();
+  }
   double constant_value() const;
 
   RationalFunction operator+(const RationalFunction& other) const;
@@ -59,40 +73,74 @@ class RationalFunction {
 
   RationalFunction operator*(double scalar) const;
 
-  /// Multiplicative inverse; throws on the zero function.
+  /// Multiplicative inverse (factor lists swapped); throws on zero.
   RationalFunction inverse() const;
 
-  /// Partial derivative via the quotient rule.
+  /// Partial derivative, built term-by-term from the factored product rule
+  /// so the result's denominator stays factored.
   RationalFunction derivative(Var var) const;
 
-  /// Evaluates at `values` (indexed by variable id). Throws NumericError if
-  /// the denominator vanishes at the point.
+  /// Evaluates at `values` (indexed by variable id) by walking the factor
+  /// lists. Throws NumericError if the denominator vanishes at the point.
   double evaluate(std::span<const double> values) const;
 
-  /// Evaluates the gradient with respect to the listed variables.
+  /// Gradient with respect to the listed variables via the numeric product
+  /// rule over factors (no symbolic expansion, no division through factors
+  /// that may vanish individually).
   std::vector<double> evaluate_gradient(std::span<const Var> vars,
                                         std::span<const double> values) const;
 
-  /// Sorted list of variables occurring in numerator or denominator.
+  /// Sorted list of variables occurring in any factor.
   std::vector<Var> variables() const;
 
-  /// Max total degree over numerator/denominator (complexity measure).
+  /// Max total degree over the factored numerator/denominator products.
   std::uint32_t degree() const;
+
+  /// Number of factors across both lists (counting multiplicity) — the
+  /// cheap complexity measure elimination statistics track.
+  std::size_t num_factors() const;
+
+  /// Σ per-factor expanded term counts — complexity without expansion.
+  std::size_t factored_terms() const;
 
   std::string to_string(const std::function<std::string(Var)>& name_of) const;
 
-  /// Structural equality of the normalized representation. Equal rational
-  /// functions with different representations may compare unequal (no full
-  /// GCD); tests use numeric comparison for semantic equality.
-  bool operator==(const RationalFunction& other) const {
-    return num_ == other.num_ && den_ == other.den_;
-  }
+  /// Structural equality of the factored representation (same pool handles,
+  /// exponents and scalar up to tolerance). Equal rational functions with
+  /// different representations may compare unequal (no full GCD); tests use
+  /// numeric comparison for semantic equality.
+  bool operator==(const RationalFunction& other) const;
 
  private:
-  void normalize();
+  struct Factor {
+    PolyHandle poly;
+    std::uint32_t exp = 1;
+  };
+  using Factors = std::vector<Factor>;
 
-  Polynomial num_;
-  Polynomial den_;
+  /// Splits `p` into scalar · monomial-variable factors · interned core,
+  /// appending factors to `out` (which must be empty). Returns the scalar
+  /// (0 for the zero polynomial).
+  static double factorize(Polynomial p, Factors& out);
+  static void sort_and_merge(Factors& factors);
+  static Factors merge(const Factors& a, const Factors& b);
+  static void cancel_common(Factors& num, Factors& den);
+  static void split_common(const Factors& a, const Factors& b,
+                           Factors& common, Factors& a_extra,
+                           Factors& b_extra);
+  static Polynomial expand(double coeff, const Factors& factors);
+  static bool factors_equal(const Factors& a, const Factors& b);
+
+  /// Builds coeff·factors(num_poly) / den with cancellation; seeds the
+  /// numerator facade cache when no cancellation invalidated it.
+  static RationalFunction from_parts(Polynomial num_poly, Factors den);
+
+  double coeff_ = 0.0;  ///< 0 ⇔ the zero function (factor lists empty)
+  Factors num_factors_;
+  Factors den_factors_;
+  // Lazily expanded facade views; immutable once set.
+  mutable std::shared_ptr<const Polynomial> num_cache_;
+  mutable std::shared_ptr<const Polynomial> den_cache_;
 };
 
 inline RationalFunction operator*(double scalar, const RationalFunction& f) {

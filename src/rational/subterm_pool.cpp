@@ -1,0 +1,79 @@
+#include "src/rational/subterm_pool.hpp"
+
+#include <cmath>
+
+namespace tml {
+
+namespace {
+
+/// Coefficient-blind structure hash: the monomial multiset determines the
+/// bucket, so any two proportional polynomials collide and are then
+/// confirmed (or not) by the tolerance-based comparison.
+std::uint64_t structure_hash(const Polynomial& p) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(p.num_terms());
+  for (const auto& [monomial, coeff] : p.terms()) {
+    for (const auto& [var, exp] : monomial.factors()) {
+      mix(var);
+      mix(exp);
+    }
+    mix(0xffULL);  // term separator
+  }
+  return h;
+}
+
+}  // namespace
+
+SubtermPool& SubtermPool::instance() {
+  static SubtermPool* pool = new SubtermPool();  // never destroyed: handles
+  return *pool;  // may outlive static-destruction order
+}
+
+SubtermPool::Interned SubtermPool::intern(const Polynomial& p) {
+  TML_ASSERT(!p.is_zero() && !p.is_constant(),
+             "SubtermPool::intern: constants belong in the scalar coefficient");
+  // Normalize scale: leading term positive, largest |coefficient| == 1.
+  const double lead = p.terms().begin()->second;
+  const double scale = (lead < 0.0 ? -1.0 : 1.0) * p.max_abs_coefficient();
+  const Polynomial q = p / scale;
+  const std::uint64_t h = structure_hash(q);
+
+  const std::scoped_lock lock(mutex_);
+  auto& bucket = buckets_[h];
+  for (std::size_t i = 0; i < bucket.size();) {
+    PolyHandle candidate = bucket[i].lock();
+    if (candidate == nullptr) {
+      // Swept lazily: swap-erase the expired slot and re-examine it.
+      bucket[i] = std::move(bucket.back());
+      bucket.pop_back();
+      continue;
+    }
+    if (candidate->poly == q) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Interned{std::move(candidate), scale};
+    }
+    ++i;
+  }
+  auto entry = std::make_shared<PooledPolynomial>(
+      PooledPolynomial{q, next_id_++, q.degree()});
+  bucket.emplace_back(entry);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return Interned{std::move(entry), scale};
+}
+
+std::size_t SubtermPool::live_entries() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t live = 0;
+  for (const auto& [hash, bucket] : buckets_) {
+    for (const auto& weak : bucket) {
+      if (!weak.expired()) ++live;
+    }
+  }
+  return live;
+}
+
+}  // namespace tml

@@ -1,0 +1,84 @@
+// Hash-consed pool of polynomial subterms for the factored rational core.
+//
+// State elimination multiplies and divides thousands of rational functions
+// whose numerators and denominators are built from the same few pivot
+// polynomials (1 − P(s,s) of each eliminated state). Interning every
+// non-constant polynomial in a process-wide pool gives
+//
+//  * O(1) structural identity — factor cancellation in products and
+//    quotients compares pool handles instead of polynomial contents;
+//  * one stored copy per distinct subterm, however many factor lists
+//    reference it;
+//  * scale normalization (largest |coefficient| = 1, positive leading
+//    term), so proportional polynomials intern to the SAME entry and the
+//    classic (2x+2)/(x+1) → 2 collapse falls out of factor cancellation.
+//
+// Entries are held by weak_ptr: the pool never keeps a polynomial alive on
+// its own, so long repair pipelines do not accumulate dead subterms.
+// Hit/miss counters are always-on relaxed atomics; EliminationStats
+// snapshots them around a run to report per-run pool effectiveness.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rational/polynomial.hpp"
+
+namespace tml {
+
+/// A pool entry: the scale-normalized polynomial plus the creation-ordered
+/// id factor lists sort and compare by. Immutable after interning.
+struct PooledPolynomial {
+  Polynomial poly;
+  std::uint64_t id = 0;
+  std::uint32_t degree = 0;
+};
+
+using PolyHandle = std::shared_ptr<const PooledPolynomial>;
+
+class SubtermPool {
+ public:
+  struct Interned {
+    PolyHandle handle;
+    double scale = 1.0;  ///< input == scale · handle->poly
+  };
+
+  /// The process-wide pool (intern() is mutex-guarded and thread-safe).
+  static SubtermPool& instance();
+
+  /// Interns a non-constant, non-zero polynomial. The stored representative
+  /// is normalized so its largest |coefficient| is 1 and its leading term is
+  /// positive; `scale` recovers the input. Two inputs that are proportional
+  /// (within Polynomial's comparison tolerance) share one handle.
+  Interned intern(const Polynomial& p);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of still-referenced entries (linear scan; for tests/benches).
+  std::size_t live_entries() const;
+
+ private:
+  SubtermPool() = default;
+
+  mutable std::mutex mutex_;
+  std::uint64_t next_id_ = 1;
+  // Buckets keyed by a coefficient-blind structure hash, so proportional
+  // polynomials land in the same bucket; candidates are confirmed with the
+  // tolerance-based Polynomial comparison. Expired entries are swept from a
+  // bucket as it is scanned.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::weak_ptr<const PooledPolynomial>>>
+      buckets_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace tml

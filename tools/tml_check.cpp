@@ -2,7 +2,7 @@
 //
 //   tml_check <model.prism> "<pctl formula>" [--counterexample] [--dot]
 //             [--stats] [--method classic|topological|interval]
-//             [--timeout-ms N]
+//             [--param-order in|penalty|scc] [--timeout-ms N]
 //
 // Loads a model written in the explicit single-module PRISM subset
 // (src/mdp/prism_parser.hpp), checks the formula, prints the verdict and
@@ -21,6 +21,12 @@
 //                      `interval` (default; sound certified-bracket
 //                      iteration — also prints the bracket for top-level
 //                      P[... U ...] / P[F ...] queries on MDPs).
+//   --param-order      selects the process-wide parametric state-elimination
+//                      order: `in` (naive ascending-id, whole chain),
+//                      `penalty` (dynamic penalty queue, whole chain), or
+//                      `scc` (default; penalty queue inside SCC-topological
+//                      blocks). Observable in the --stats corroboration pass
+//                      and registry (parametric.* entries).
 //   --timeout-ms N     installs a wall-clock budget of N milliseconds as
 //                      the process-wide default budget; every engine checks
 //                      it at its checkpoint cadence. Ctrl-C (SIGINT) raises
@@ -60,7 +66,8 @@ namespace {
 int usage() {
   std::cerr << "usage: tml_check <model.prism> \"<pctl formula>\" "
                "[--counterexample] [--dot] [--stats] "
-               "[--method classic|topological|interval] [--timeout-ms N]\n"
+               "[--method classic|topological|interval] "
+               "[--param-order in|penalty|scc] [--timeout-ms N]\n"
             << "example: tml_check wsn.prism 'Rmin<=40 [ F \"delivered\" ]'\n";
   return 2;
 }
@@ -199,6 +206,22 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (flag == "--param-order" && i + 1 < argc) {
+      const std::string order = argv[++i];
+      EliminationOptions options;
+      if (order == "in") {
+        options.order = EliminationOrder::kInOrder;
+        options.scc_local = false;
+      } else if (order == "penalty") {
+        options.order = EliminationOrder::kPenalty;
+        options.scc_local = false;
+      } else if (order == "scc") {
+        options.order = EliminationOrder::kPenalty;
+        options.scc_local = true;
+      } else {
+        return usage();
+      }
+      set_default_elimination_options(options);
     } else if (flag == "--timeout-ms" && i + 1 < argc) {
       timeout_ms = std::strtol(argv[++i], nullptr, 10);
       if (timeout_ms <= 0) return usage();
