@@ -1,0 +1,231 @@
+// Microbenchmarks: streaming re-certification cost — cold (recompile + cold
+// interval solve) vs warm (delta patch + warm-started interval solve) per
+// batch, on a chain-of-clusters DTMC built so a small-delta batch dirties
+// exactly one SCC block.
+//
+// Fixture. C clusters of K states, each cluster one nontrivial SCC (a 0.5
+// cycle plus self-loops), feeding forward into the next plus a direct leak
+// into the absorbing goal/trap states, so every transient value is strictly
+// inside (0, 1) and every block genuinely iterates. The direct leak also
+// damps the inter-cluster bracket-gap amplification to 2/3 per cluster —
+// with pure forward coupling the factor is exactly 1 and deep chains can
+// never close their gap below a downstream gap already at the tolerance.
+// Perturbing the
+// SOURCE cluster (the last block in dependency order, which nothing depends
+// on) makes it the only affected block: the warm solve patches the CSR in
+// place, reuses the cached prob0/prob1 sets, re-sweeps one block of C+2 and
+// keeps the previous certified bracket verbatim everywhere else.
+//
+//   * BM_ColdRecertify      — per batch: perturb, compile(), cold bracket
+//   * BM_WarmRecertify      — per batch: perturb, patch_probabilities(),
+//                             warm bracket (widened seed, 1 dirty cluster)
+//   * BM_WarmRecertifyAllDirty — every cluster perturbed: no block skipping,
+//                             the speedup isolates the near-fixpoint seed
+//
+// Before timing, each warm fixture self-checks the contract once: cold-seed
+// mode (WarmStart::widen < 0) must reproduce the cold bracket BITWISE, and
+// the widened seed must converge to the same tolerance. Regenerate the
+// recorded numbers with:
+//
+//   ./bench/perf_delta --benchmark_out=BENCH_delta.json
+//                      --benchmark_out_format=json     (one command line)
+//
+// (see EXPERIMENTS.md for the recorded cold/warm per-batch latencies).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/checker/reachability.hpp"
+#include "src/mdp/compiled.hpp"
+#include "src/mdp/model.hpp"
+#include "src/mdp/solver.hpp"
+
+namespace tml {
+namespace {
+
+constexpr std::size_t kClusterSize = 16;
+constexpr double kTolerance = 1e-8;
+
+/// C clusters of K states feeding forward, last cluster leaking into
+/// absorbing goal/trap. State (i, j) = i*K + j; goal = C*K, trap = C*K + 1.
+Dtmc cluster_chain(std::size_t clusters, std::size_t k = kClusterSize) {
+  const std::size_t n = clusters * k + 2;
+  const StateId goal = static_cast<StateId>(clusters * k);
+  const StateId trap = goal + 1;
+  Dtmc chain(n);
+  for (std::size_t i = 0; i < clusters; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const StateId s = static_cast<StateId>(i * k + j);
+      const StateId cycle = static_cast<StateId>(i * k + (j + 1) % k);
+      const StateId fwd = i + 1 < clusters
+                              ? static_cast<StateId>((i + 1) * k)
+                              : (j % 2 == 0 ? goal : trap);
+      const StateId sink = j % 2 == 0 ? goal : trap;
+      chain.set_transitions(
+          s, {Transition{cycle, 0.5}, Transition{s, 0.125},
+              Transition{fwd, 0.25}, Transition{sink, 0.125}});
+    }
+  }
+  chain.set_transitions(goal, {Transition{goal, 1.0}});
+  chain.set_transitions(trap, {Transition{trap, 1.0}});
+  chain.add_label(goal, "goal");
+  return chain;
+}
+
+/// Moves one 1/1024 unit between the cycle and self-loop edges of every
+/// state of cluster `i` (direction alternates with `flip`) — a
+/// support-preserving small-delta batch dirtying exactly that cluster.
+void perturb_cluster(Dtmc& chain, std::size_t i, bool flip,
+                     std::size_t k = kClusterSize) {
+  const double d = flip ? 1.0 / 1024.0 : -1.0 / 1024.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const StateId s = static_cast<StateId>(i * k + j);
+    std::vector<Transition> row(chain.transitions(s).begin(),
+                                chain.transitions(s).end());
+    row[0].probability += d;
+    row[1].probability -= d;
+    chain.set_transitions(s, std::move(row));
+  }
+}
+
+StateSet goal_set(const CompiledModel& model) {
+  return model.states_with_label("goal");
+}
+
+SolverOptions bracket_options() {
+  SolverOptions opts;
+  opts.tolerance = kTolerance;
+  opts.max_iterations = 10000000;
+  return opts;
+}
+
+WarmStart make_seed(const SolveResult& prev, const PatchResult& patch,
+                    double widen_scale) {
+  WarmStart seed;
+  seed.values = prev.values;
+  seed.lo = prev.lo;
+  seed.hi = prev.hi;
+  seed.dirty = patch.dirty;
+  seed.widen = widen_scale < 0.0 ? -1.0 : widen_scale * patch.max_abs_delta;
+  seed.zero = prev.zero;
+  seed.one = prev.one;
+  return seed;
+}
+
+/// One-time contract check per fixture size: the cold-seed warm solve must
+/// equal the cold solve bitwise on the perturbed model.
+bool verify_bitwise(std::size_t clusters, std::string& error) {
+  Dtmc chain = cluster_chain(clusters);
+  CompiledModel model = compile(chain);
+  const SolverOptions opts = bracket_options();
+  SolveResult prev =
+      mdp_reachability_bracket(model, goal_set(model), Objective::kMaximize,
+                               opts);
+  perturb_cluster(chain, 0, true);
+  const PatchResult patch = patch_probabilities(model, chain);
+  if (!patch.patched) {
+    error = "patch fell back to full compile";
+    return false;
+  }
+  const WarmStart seed = make_seed(prev, patch, -1.0);
+  SolverOptions warm_opts = opts;
+  warm_opts.warm = &seed;
+  const SolveResult warm = mdp_reachability_bracket(
+      model, goal_set(model), Objective::kMaximize, warm_opts);
+  const SolveResult cold = mdp_reachability_bracket(
+      compile(chain), goal_set(model), Objective::kMaximize, opts);
+  if (!warm.converged || !cold.converged) {
+    error = "solver did not converge";
+    return false;
+  }
+  if (warm.lo != cold.lo || warm.hi != cold.hi || warm.values != cold.values) {
+    error = "warm cold-seed result differs bitwise from the cold solve";
+    return false;
+  }
+  return true;
+}
+
+void BM_ColdRecertify(benchmark::State& state) {
+  const std::size_t clusters = static_cast<std::size_t>(state.range(0));
+  Dtmc chain = cluster_chain(clusters);
+  const SolverOptions opts = bracket_options();
+  bool flip = true;
+  for (auto _ : state) {
+    perturb_cluster(chain, 0, flip);
+    flip = !flip;
+    CompiledModel model = compile(chain);
+    SolveResult result = mdp_reachability_bracket(
+        model, goal_set(model), Objective::kMaximize, opts);
+    benchmark::DoNotOptimize(result.lo.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_WarmRecertify(benchmark::State& state) {
+  const std::size_t clusters = static_cast<std::size_t>(state.range(0));
+  std::string error;
+  if (!verify_bitwise(clusters, error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  Dtmc chain = cluster_chain(clusters);
+  CompiledModel model = compile(chain);
+  const SolverOptions opts = bracket_options();
+  SolveResult prev = mdp_reachability_bracket(
+      model, goal_set(model), Objective::kMaximize, opts);
+  bool flip = true;
+  for (auto _ : state) {
+    perturb_cluster(chain, 0, flip);
+    flip = !flip;
+    const PatchResult patch = patch_probabilities(model, chain);
+    if (!patch.patched) {
+      state.SkipWithError("patch fell back to full compile");
+      return;
+    }
+    const WarmStart seed = make_seed(prev, patch, 4.0);
+    SolverOptions warm_opts = opts;
+    warm_opts.warm = &seed;
+    prev = mdp_reachability_bracket(model, goal_set(model),
+                                    Objective::kMaximize, warm_opts);
+    benchmark::DoNotOptimize(prev.lo.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_WarmRecertifyAllDirty(benchmark::State& state) {
+  const std::size_t clusters = static_cast<std::size_t>(state.range(0));
+  Dtmc chain = cluster_chain(clusters);
+  CompiledModel model = compile(chain);
+  const SolverOptions opts = bracket_options();
+  SolveResult prev = mdp_reachability_bracket(
+      model, goal_set(model), Objective::kMaximize, opts);
+  bool flip = true;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < clusters; ++i) {
+      perturb_cluster(chain, i, flip);
+    }
+    flip = !flip;
+    const PatchResult patch = patch_probabilities(model, chain);
+    if (!patch.patched) {
+      state.SkipWithError("patch fell back to full compile");
+      return;
+    }
+    const WarmStart seed = make_seed(prev, patch, 4.0);
+    SolverOptions warm_opts = opts;
+    warm_opts.warm = &seed;
+    prev = mdp_reachability_bracket(model, goal_set(model),
+                                    Objective::kMaximize, warm_opts);
+    benchmark::DoNotOptimize(prev.lo.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_ColdRecertify)->ArgName("clusters")->Arg(8)->Arg(32);
+BENCHMARK(BM_WarmRecertify)->ArgName("clusters")->Arg(8)->Arg(32);
+BENCHMARK(BM_WarmRecertifyAllDirty)->ArgName("clusters")->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace tml

@@ -1,5 +1,6 @@
 #include "src/common/budget.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <sstream>
 
@@ -46,6 +47,27 @@ const char* to_string(BudgetStop stop) {
 Budget& Budget::deadline_in_ms(std::int64_t budget_ms) {
   deadline = Clock::now() + std::chrono::milliseconds(budget_ms);
   return *this;
+}
+
+Budget::Clock::duration Budget::remaining() const {
+  if (!has_deadline()) return Clock::duration::max();
+  const Clock::time_point now = skewed_now();
+  return now >= deadline ? Clock::duration::zero() : deadline - now;
+}
+
+Budget Budget::split(std::uint64_t n) const {
+  TML_REQUIRE(n > 0, "Budget::split: share count must be positive");
+  Budget share = *this;  // keeps the shared cancel token
+  if (has_deadline()) {
+    share.deadline = skewed_now() + remaining() / static_cast<std::int64_t>(n);
+  }
+  if (max_iterations != 0) {
+    share.max_iterations = std::max<std::uint64_t>(1, max_iterations / n);
+  }
+  if (max_evaluations != 0) {
+    share.max_evaluations = std::max<std::uint64_t>(1, max_evaluations / n);
+  }
+  return share;
 }
 
 Budget default_budget() {

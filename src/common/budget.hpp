@@ -108,6 +108,19 @@ struct Budget {
 
   /// Sets the deadline to `now + budget_ms` and returns *this (chainable).
   Budget& deadline_in_ms(std::int64_t budget_ms);
+
+  /// Wall-clock time left until the deadline: zero when already past,
+  /// Clock::duration::max() when no deadline is set. Honours fault-injected
+  /// clock skew like the tracker's deadline checks.
+  Clock::duration remaining() const;
+
+  /// An even 1/n share of what is left of this budget, for dividing a
+  /// session budget across n units of work (streaming batches): the share's
+  /// deadline is `now + remaining()/n` (none if this budget has none) and
+  /// each work-unit cap is divided by n (a nonzero cap never drops below 1,
+  /// so a capped budget cannot silently become uncapped or unusable). The
+  /// cancel token is shared — cancelling the session cancels every share.
+  Budget split(std::uint64_t n) const;
 };
 
 /// Thrown by thin entry points (plain-vector returns, parametric

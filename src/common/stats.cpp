@@ -44,6 +44,10 @@ constexpr SchemaEntry kSchema[] = {
     {"compile.pred_builds", SchemaEntry::kCounter},
     {"compile.pred_dedup_hits", SchemaEntry::kCounter},
     {"compile.time", SchemaEntry::kTimer},
+    {"compile.patch_calls", SchemaEntry::kCounter},
+    {"compile.patch_hits", SchemaEntry::kCounter},
+    {"compile.patch_fallbacks", SchemaEntry::kCounter},
+    {"compile.patch_dirty_states", SchemaEntry::kCounter},
     {"checker.checks", SchemaEntry::kCounter},
     {"checker.vi.iterations", SchemaEntry::kCounter},
     {"checker.pi.iterations", SchemaEntry::kCounter},
@@ -92,6 +96,13 @@ constexpr SchemaEntry kSchema[] = {
     {"budget.clock_reads", SchemaEntry::kCounter},
     {"budget.exhausted", SchemaEntry::kCounter},
     {"fault.injections", SchemaEntry::kCounter},
+    {"checker.warm_solves", SchemaEntry::kCounter},
+    {"checker.warm_blocks_skipped", SchemaEntry::kCounter},
+    {"checker.warm_blocks_resolved", SchemaEntry::kCounter},
+    {"checker.warm_seed_rejections", SchemaEntry::kCounter},
+    {"core.session.batches", SchemaEntry::kCounter},
+    {"core.session.repairs", SchemaEntry::kCounter},
+    {"core.session.batch.time", SchemaEntry::kTimer},
 };
 
 class Registry {
@@ -132,6 +143,17 @@ class Registry {
     for (auto& [name, c] : counters_) c->clear();
     for (auto& [name, g] : gauges_) g->clear();
     for (auto& [name, t] : timers_) t->clear();
+  }
+
+  Snapshot snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    Snapshot snap;
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+    for (const auto& [name, t] : timers_) {
+      snap.timers[name] = Snapshot::TimerValue{t->count(), t->total_nanos()};
+    }
+    return snap;
   }
 
   std::string to_json() const {
@@ -224,6 +246,41 @@ Timer& timer(std::string_view name) { return registry().timer(name); }
 void reset() { registry().reset(); }
 
 std::string summary() { return registry().summary(); }
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double Snapshot::gauge(std::string_view name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+Snapshot::TimerValue Snapshot::timer(std::string_view name) const {
+  const auto it = timers.find(name);
+  return it == timers.end() ? TimerValue{} : it->second;
+}
+
+Snapshot snapshot() { return registry().snapshot(); }
+
+Snapshot delta(const Snapshot& earlier, const Snapshot& later) {
+  Snapshot out;
+  for (const auto& [name, value] : later.counters) {
+    const std::uint64_t before = earlier.counter(name);
+    out.counters[name] = value >= before ? value - before : 0;
+  }
+  out.gauges = later.gauges;  // last-value semantics: the delta IS the later
+  for (const auto& [name, value] : later.timers) {
+    const Snapshot::TimerValue before = earlier.timer(name);
+    out.timers[name] = Snapshot::TimerValue{
+        value.count >= before.count ? value.count - before.count : 0,
+        value.total_nanos >= before.total_nanos
+            ? value.total_nanos - before.total_nanos
+            : 0};
+  }
+  return out;
+}
 
 }  // namespace stats
 

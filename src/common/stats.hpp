@@ -36,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -145,6 +146,32 @@ class ScopedTimer {
 
 /// Zeroes every registered metric (registration is kept).
 void reset();
+
+/// Point-in-time copy of every registered metric. Counters are process-
+/// monotonic, so per-phase metering (e.g. one batch of a streaming repair
+/// session) subtracts two snapshots instead of resetting the registry —
+/// `reset()` would clobber concurrent observers and the process totals.
+struct Snapshot {
+  struct TimerValue {
+    std::uint64_t count = 0;
+    std::uint64_t total_nanos = 0;
+  };
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, TimerValue, std::less<>> timers;
+
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  TimerValue timer(std::string_view name) const;
+};
+
+/// Captures the current value of every registered metric.
+Snapshot snapshot();
+
+/// Metric activity between two snapshots: counters and timers subtract
+/// (metrics registered only in `later` keep their value); gauges are
+/// last-value semantics, so the delta simply carries `later`'s gauges.
+Snapshot delta(const Snapshot& earlier, const Snapshot& later);
 
 /// Human-readable one-metric-per-line dump of the non-zero metrics, for
 /// end-of-run summaries (TrustedLearner).

@@ -1,0 +1,217 @@
+#include "src/core/repair_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/checker/check.hpp"
+#include "src/checker/reachability.hpp"
+#include "src/common/stats.hpp"
+
+namespace tml {
+
+namespace {
+
+/// φ1 U φ2 restricted to plain reachability at the chain level: escape
+/// states (¬φ1 ∧ ¬φ2) become absorbing self-loops. Applied identically
+/// every batch, so the absorbed chains of successive estimates still differ
+/// only in probabilities — the delta patch keeps working.
+Dtmc absorb_for_until(const Dtmc& chain, const StateSet& stay,
+                      const StateSet& goal) {
+  Dtmc out = chain;
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    if (!stay[s] && !goal[s]) {
+      out.set_transitions(s, {Transition{s, 1.0}});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RepairSession::RepairSession(Dtmc structure, StateFormulaPtr property,
+                             RepairSessionConfig config)
+    : structure_(std::move(structure)),
+      property_(std::move(property)),
+      config_(std::move(config)),
+      mle_(structure_),
+      current_(structure_) {
+  structure_.validate();
+  TML_REQUIRE(property_ != nullptr, "RepairSession: property is null");
+  TML_REQUIRE(config_.pseudocount > 0.0,
+              "RepairSession: pseudocount must be positive — zero smoothing "
+              "can estimate unobserved structural transitions to 0, which "
+              "changes the support and breaks the streaming contract");
+  TML_REQUIRE(property_->kind() == StateFormula::Kind::kProb,
+              "RepairSession: property must be a bounded P operator, got "
+                  << property_->to_string());
+  const PathFormula& path = property_->path();
+  TML_REQUIRE(path.kind() == PathFormula::Kind::kEventually ||
+                  path.kind() == PathFormula::Kind::kUntil,
+              "RepairSession: only F / U path formulas are supported, got "
+                  << path.to_string());
+  TML_REQUIRE(!path.step_bound(),
+              "RepairSession: step-bounded properties are not supported — "
+              "the certified-bracket warm start applies to the unbounded "
+              "fixpoint engines");
+  // Operand sets are fixed for the whole session: they are label-defined on
+  // the structure, and neither learning nor repair touches labels.
+  goal_ = satisfying_states(structure_, path.right());
+  stay_ = path.kind() == PathFormula::Kind::kUntil
+              ? satisfying_states(structure_, path.left())
+              : StateSet(structure_.num_states(), true);
+}
+
+Budget RepairSession::batch_budget() const {
+  const std::size_t fed = report_.batches.size();
+  const std::size_t remaining =
+      config_.expected_batches > fed ? config_.expected_batches - fed : 1;
+  return config_.budget.split(remaining);
+}
+
+SolveResult RepairSession::certify(const Dtmc& chain,
+                                   double perturbation_bound,
+                                   const Budget& budget, BatchOutcome& outcome,
+                                   bool record_patch) {
+  const Dtmc absorbed = absorb_for_until(chain, stay_, goal_);
+
+  double patch_delta = 0.0;
+  StateSet dirty;
+  bool patched = false;
+  if (!compiled_.has_value()) {
+    compiled_ = compile(absorbed);
+    has_warm_ = false;
+  } else {
+    const PatchResult patch = patch_probabilities(*compiled_, absorbed);
+    if (patch.patched) {
+      patched = true;
+      patch_delta = patch.max_abs_delta;
+      dirty = patch.dirty;
+    } else {
+      // Structural change (should not happen with positive smoothing, but
+      // degrade gracefully): recompile cold and drop the stale seed.
+      compiled_ = compile(absorbed);
+      has_warm_ = false;
+    }
+  }
+  if (record_patch) {
+    outcome.patched = patched;
+    outcome.dirty_states = patched ? count(dirty) : compiled_->num_states();
+    outcome.max_abs_delta = patch_delta;
+  }
+
+  SolverOptions options;
+  options.method = SolveMethod::kIntervalTopological;
+  options.tolerance = config_.tolerance;
+  options.threads = config_.threads;
+  options.budget = budget;
+  WarmStart seed;
+  if (has_warm_ && patched) {
+    seed = warm_;
+    seed.dirty = dirty;
+    const double bound = std::max(perturbation_bound, patch_delta);
+    seed.widen = config_.widen_scale < 0.0
+                     ? -1.0
+                     : std::min(1.0, config_.widen_scale * bound);
+    options.warm = &seed;
+  }
+
+  SolveResult result = mdp_reachability_bracket(*compiled_, goal_,
+                                                Objective::kMaximize, options);
+
+  warm_.values = result.values;
+  warm_.lo = result.lo;
+  warm_.hi = result.hi;
+  warm_.zero = result.zero;
+  warm_.one = result.one;
+  warm_.dirty = StateSet{};
+  has_warm_ = true;
+
+  outcome.sweeps += result.iterations;
+  if (result.budget_status == BudgetStatus::kBudgetExhausted) {
+    outcome.budget_status = BudgetStatus::kBudgetExhausted;
+    if (outcome.budget_stop == BudgetStop::kNone) {
+      outcome.budget_stop = result.budget_stop;
+    }
+  }
+  return result;
+}
+
+const BatchOutcome& RepairSession::feed(const TrajectoryDataset& batch) {
+  static stats::Counter& c_batches = stats::counter("core.session.batches");
+  static stats::Counter& c_repairs = stats::counter("core.session.repairs");
+  static stats::Timer& t_batch = stats::timer("core.session.batch.time");
+  const stats::ScopedTimer span(t_batch);
+  c_batches.bump();
+
+  BatchOutcome outcome;
+  outcome.index = report_.batches.size();
+  outcome.trajectories = batch.size();
+
+  const Budget share = batch_budget();
+
+  // 1. Learn: fold the batch into the running counts, re-estimate.
+  mle_.add(batch);
+  const Dtmc learned = mle_.dtmc(config_.pseudocount);
+  current_ = learned;
+
+  // 2. Certify the learned chain (warm bracket; only changed SCC blocks
+  //    re-sweep).
+  const StateId init = current_.initial_state();
+  const Comparison cmp = property_->comparison();
+  const double bound = property_->bound();
+  SolveResult certified = certify(learned, 0.0, share, outcome, true);
+  outcome.lo = certified.lo[init];
+  outcome.hi = certified.hi[init];
+  // Certified satisfaction needs BOTH bracket ends on the right side of the
+  // bound; a straddling bracket (or an exhausted budget's wide bracket)
+  // conservatively counts as violated.
+  bool satisfied = compare(certified.lo[init], cmp, bound) &&
+                   compare(certified.hi[init], cmp, bound);
+  outcome.violated = !satisfied;
+
+  // 3. Repair only if the certified verdict failed.
+  if (outcome.violated && config_.scheme_for) {
+    c_repairs.bump();
+    ++report_.repairs;
+    outcome.repaired = true;
+
+    const PerturbationScheme scheme = config_.scheme_for(learned);
+    ModelRepairConfig repair_config = config_.repair;
+    Budget repair_share = share;  // same absolute deadline as the certify
+    repair_config.solver.budget = repair_share;
+    repair_config.elimination.budget = &repair_share;
+    // NLP warm start: the previous batch's repaired point. Probabilities
+    // drift a little per batch, so the previous optimum is typically
+    // near-feasible and converges in a handful of inner iterations.
+    if (last_repair_point_.has_value() &&
+        last_repair_point_->size() == scheme.num_variables()) {
+      repair_config.solver.warm_starts.push_back(*last_repair_point_);
+    }
+
+    const ModelRepairResult repair =
+        model_repair(scheme, *property_, repair_config);
+    outcome.repair_feasible = repair.feasible();
+    if (repair.feasible() && repair.repaired.has_value()) {
+      outcome.repair_cost = repair.cost;
+      outcome.epsilon_bisimilarity = repair.epsilon_bisimilarity;
+      last_repair_point_ = repair.variable_values;
+      current_ = *repair.repaired;
+      // Re-certify the repaired chain, warm from the pre-repair bracket,
+      // widened by the scheme's Proposition 1 perturbation bound.
+      SolveResult recheck =
+          certify(current_, scheme.max_perturbation(repair.variable_values),
+                  share, outcome, /*record_patch=*/false);
+      outcome.lo = recheck.lo[init];
+      outcome.hi = recheck.hi[init];
+      satisfied = compare(recheck.lo[init], cmp, bound) &&
+                  compare(recheck.hi[init], cmp, bound);
+    }
+  }
+
+  if (outcome.patched) ++report_.patch_hits;
+  report_.final_satisfied = satisfied;
+  report_.batches.push_back(outcome);
+  return report_.batches.back();
+}
+
+}  // namespace tml

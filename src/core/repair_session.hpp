@@ -1,0 +1,162 @@
+// Streaming repair sessions: learn → certify → repair, one batch at a time.
+//
+// A RepairSession keeps a PCTL safety property φ certified over a chain
+// that is re-learned as trajectory batches arrive (the streaming version of
+// the paper's learn-then-repair loop, §II/§IV-A). Each feed(batch):
+//
+//   1. folds the batch into a persistent count table (IncrementalMle — each
+//      batch costs O(batch), not O(history)) and re-estimates the chain;
+//   2. delta-patches the cached compiled model in place
+//      (patch_probabilities): Laplace smoothing keeps the support stable,
+//      so almost every batch is a probability rewrite, not a recompile;
+//   3. re-certifies φ with the sound interval engine, warm-started from the
+//      previous batch's certified bracket (only SCC blocks containing
+//      changed states re-sweep; the bracket stays certified — see
+//      WarmStart in src/mdp/solver.hpp);
+//   4. only if the certified verdict is "violated", runs Model Repair,
+//      warm-starting the NLP from the previous batch's repaired point, and
+//      re-certifies the repaired chain (warm again, with the seed widened
+//      by the scheme's Proposition 1 perturbation bound).
+//
+// Every step shares one session Budget: each batch runs under an even
+// split of what remains (Budget::split), so a slow batch degrades
+// gracefully instead of starving the rest of the stream.
+//
+// Scope: DTMC structures and unbounded probabilistic properties
+// P⋈b[F φ_t] / P⋈b[φ_1 U φ_2] with label-defined operand sets — the same
+// fragment Model Repair solves in closed form, which is what makes the
+// repair step well-defined.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/common/budget.hpp"
+#include "src/core/model_repair.hpp"
+#include "src/learn/mle.hpp"
+#include "src/logic/pctl.hpp"
+#include "src/mdp/compiled.hpp"
+#include "src/mdp/solver.hpp"
+#include "src/mdp/trajectory.hpp"
+
+namespace tml {
+
+struct RepairSessionConfig {
+  /// Laplace pseudocount for the streaming MLE. Must be positive: zero
+  /// smoothing lets unobserved structural transitions estimate to 0, which
+  /// changes the support and forfeits both the delta patch and the warm
+  /// start (see IncrementalMle).
+  double pseudocount = 1.0;
+  /// Builds the feasible repair class Feas_MP on the current learned chain
+  /// (same role as in mdp_model_repair). Required if repairs may run; a
+  /// session without it only certifies and reports violations.
+  std::function<PerturbationScheme(const Dtmc&)> scheme_for;
+  /// NLP / parametric configuration for the repair step. The per-batch
+  /// budget overrides `repair.solver.budget` and the elimination budget.
+  ModelRepairConfig repair;
+  /// Certification bracket tolerance (interval engine).
+  double tolerance = 1e-6;
+  /// Warm-seed widening = widen_scale × (per-state probability perturbation
+  /// bound of the update: PatchResult::max_abs_delta for a learning step,
+  /// PerturbationScheme::max_perturbation for a repair step). Purely a
+  /// seed-quality heuristic — the solver certifies every seed before use,
+  /// so soundness never depends on this value. Negative = cold-seed mode
+  /// (bitwise identical to a cold solve, still skips unaffected blocks).
+  double widen_scale = 4.0;
+  /// Session-wide resource budget. Each feed() runs under
+  /// `budget.split(remaining batches)` (see expected_batches); the deadline
+  /// is absolute and the cancel token is shared, so cancelling the session
+  /// stops the current batch too.
+  Budget budget = default_budget();
+  /// Expected number of batches, used to split the session budget evenly.
+  /// 0 = unknown: each batch may use everything that remains.
+  std::size_t expected_batches = 0;
+  /// Worker threads for the certification sweeps (0 = TML_THREADS).
+  std::size_t threads = 0;
+};
+
+/// Outcome of one feed() call.
+struct BatchOutcome {
+  std::size_t index = 0;         ///< 0-based batch number
+  std::size_t trajectories = 0;  ///< trajectories in this batch
+  /// Delta-compile result for the learning step: true = in-place patch,
+  /// false = structural change forced a full recompile (cold certify).
+  bool patched = false;
+  std::size_t dirty_states = 0;  ///< states whose distribution changed
+  double max_abs_delta = 0.0;    ///< largest per-transition |Δp|
+  /// Certified bracket of the property value at the initial state for the
+  /// batch's FINAL chain (post-repair when a repair ran).
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Certified verdict of the LEARNED chain (pre-repair). `violated` is
+  /// conservative: true also when the bracket straddles the bound.
+  bool violated = false;
+  bool repaired = false;          ///< a repair step ran
+  bool repair_feasible = false;   ///< ...and produced a satisfying chain
+  double repair_cost = 0.0;       ///< g(Z) at the repaired point
+  double epsilon_bisimilarity = 0.0;  ///< Prop. 1 bound of the repair
+  std::size_t sweeps = 0;         ///< interval sweeps spent certifying
+  BudgetStatus budget_status = BudgetStatus::kOk;
+  BudgetStop budget_stop = BudgetStop::kNone;
+};
+
+struct SessionReport {
+  std::vector<BatchOutcome> batches;
+  std::size_t repairs = 0;        ///< batches that triggered a repair
+  std::size_t patch_hits = 0;     ///< batches absorbed by the delta patch
+  /// φ certified on the session's final chain (last batch's verdict).
+  bool final_satisfied = false;
+};
+
+class RepairSession {
+ public:
+  /// `structure` fixes the states, the support, and the labels; `property`
+  /// must be an unbounded P⋈b[F/U] formula over the structure's labels
+  /// (throws ModelError otherwise).
+  RepairSession(Dtmc structure, StateFormulaPtr property,
+                RepairSessionConfig config);
+
+  /// Processes one batch (learn → certify → repair if violated) and returns
+  /// its outcome (also appended to report()).
+  const BatchOutcome& feed(const TrajectoryDataset& batch);
+
+  const SessionReport& report() const { return report_; }
+  /// The session's current chain: the last learned estimate, with the last
+  /// repair applied when one ran.
+  const Dtmc& current() const { return current_; }
+  const IncrementalMle& learner() const { return mle_; }
+
+ private:
+  /// Per-batch budget share (even split of what remains of the session
+  /// budget over the batches still expected).
+  Budget batch_budget() const;
+  /// Certifies φ on `chain` via patch + warm interval solve; updates the
+  /// cached compiled model and the warm seed. `perturbation_bound` feeds
+  /// the seed widening.
+  SolveResult certify(const Dtmc& chain, double perturbation_bound,
+                      const Budget& budget, BatchOutcome& outcome,
+                      bool record_patch);
+
+  Dtmc structure_;
+  StateFormulaPtr property_;
+  RepairSessionConfig config_;
+  IncrementalMle mle_;
+  Dtmc current_;
+
+  // Property decomposition (fixed for the session: labels never change).
+  StateSet goal_;
+  StateSet stay_;  ///< all-true for F properties
+
+  // Cached compiled form of the absorbed current chain, patched in place,
+  // plus the previous certified bracket that seeds the next solve.
+  std::optional<CompiledModel> compiled_;
+  WarmStart warm_;
+  bool has_warm_ = false;
+
+  std::optional<std::vector<double>> last_repair_point_;
+  SessionReport report_;
+};
+
+}  // namespace tml

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 namespace tml {
 
@@ -32,8 +33,10 @@ void validate_dataset(const Mdp& structure, const TrajectoryDataset& data) {
   }
 }
 
-CountTable count_transitions(const Mdp& structure,
-                             const TrajectoryDataset& data) {
+namespace {
+
+/// Zeroed count table shaped like the structure's transition lists.
+CountTable make_count_table(const Mdp& structure) {
   CountTable table;
   table.counts.resize(structure.num_states());
   for (StateId s = 0; s < structure.num_states(); ++s) {
@@ -43,7 +46,14 @@ CountTable count_transitions(const Mdp& structure,
       table.counts[s][c].assign(choices[c].transitions.size(), 0.0);
     }
   }
+  return table;
+}
 
+/// Folds the dataset's weighted counts into `table` (additive, so batch
+/// streams and one-shot counting agree exactly). Returns the matched weight.
+double accumulate_counts(const Mdp& structure, const TrajectoryDataset& data,
+                         CountTable& table) {
+  double matched_weight = 0.0;
   for (std::size_t i = 0; i < data.size(); ++i) {
     const double w = data.weight(i);
     if (w == 0.0) continue;
@@ -62,19 +72,22 @@ CountTable count_transitions(const Mdp& structure,
           break;
         }
       }
-      if (!matched) table.unmatched += w;
+      if (matched) {
+        matched_weight += w;
+      } else {
+        table.unmatched += w;
+      }
     }
   }
-  return table;
+  return matched_weight;
 }
 
-Mdp mle_mdp(const Mdp& structure, const TrajectoryDataset& data,
-            double pseudocount) {
+/// Relative-frequency estimate over `table` on the structure's support
+/// (shared by the one-shot and incremental entry points, so their results
+/// are identical by construction).
+Mdp estimate_from_counts(const Mdp& structure, const CountTable& table,
+                         double pseudocount) {
   TML_REQUIRE(pseudocount >= 0.0, "mle_mdp: negative pseudocount");
-  structure.validate();
-  validate_dataset(structure, data);
-  const CountTable table = count_transitions(structure, data);
-
   Mdp learned = structure;
   for (StateId s = 0; s < structure.num_states(); ++s) {
     auto& choices = learned.mutable_choices(s);
@@ -95,11 +108,65 @@ Mdp mle_mdp(const Mdp& structure, const TrajectoryDataset& data,
   return learned;
 }
 
+}  // namespace
+
+CountTable count_transitions(const Mdp& structure,
+                             const TrajectoryDataset& data) {
+  CountTable table = make_count_table(structure);
+  accumulate_counts(structure, data, table);
+  return table;
+}
+
+Mdp mle_mdp(const Mdp& structure, const TrajectoryDataset& data,
+            double pseudocount) {
+  structure.validate();
+  validate_dataset(structure, data);
+  return estimate_from_counts(structure, count_transitions(structure, data),
+                              pseudocount);
+}
+
 Dtmc mle_dtmc(const Dtmc& structure, const TrajectoryDataset& data,
               double pseudocount) {
   const Mdp learned = mle_mdp(structure.as_mdp(), data, pseudocount);
   Dtmc out = structure;
   for (StateId s = 0; s < structure.num_states(); ++s) {
+    out.set_transitions(s, learned.choices(s)[0].transitions);
+  }
+  out.validate();
+  return out;
+}
+
+IncrementalMle::IncrementalMle(Mdp structure)
+    : structure_(std::move(structure)) {
+  structure_.validate();
+  table_ = make_count_table(structure_);
+}
+
+IncrementalMle::IncrementalMle(const Dtmc& structure)
+    : structure_(structure.as_mdp()), chain_(structure) {
+  structure_.validate();
+  table_ = make_count_table(structure_);
+}
+
+void IncrementalMle::add(const TrajectoryDataset& batch) {
+  validate_dataset(structure_, batch);
+  total_weight_ += accumulate_counts(structure_, batch, table_);
+  ++batches_;
+}
+
+Mdp IncrementalMle::mdp(double pseudocount) const {
+  return estimate_from_counts(structure_, table_, pseudocount);
+}
+
+Dtmc IncrementalMle::dtmc(double pseudocount) const {
+  if (!chain_.has_value()) {
+    throw ModelError(
+        "IncrementalMle::dtmc: accumulator was constructed from an MDP "
+        "structure; construct it from a Dtmc to get chain estimates");
+  }
+  const Mdp learned = estimate_from_counts(structure_, table_, pseudocount);
+  Dtmc out = *chain_;
+  for (StateId s = 0; s < structure_.num_states(); ++s) {
     out.set_transitions(s, learned.choices(s)[0].transitions);
   }
   out.validate();

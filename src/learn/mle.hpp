@@ -13,6 +13,8 @@
 
 #pragma once
 
+#include <optional>
+
 #include "src/mdp/model.hpp"
 #include "src/mdp/trajectory.hpp"
 
@@ -54,5 +56,47 @@ Dtmc mle_dtmc(const Dtmc& structure, const TrajectoryDataset& data,
 /// Log-likelihood of the dataset under a model (matching transitions only;
 /// transitions outside the support contribute -inf).
 double log_likelihood(const Mdp& model, const TrajectoryDataset& data);
+
+/// Streaming MLE: persistent transition counts updated one batch at a time.
+/// Counting is additive, so after any number of add() calls the estimate
+/// equals the one-shot MLE over the concatenation of all batches — the
+/// differential tests assert this bitwise. Used by RepairSession so each
+/// batch costs O(batch), not O(history).
+///
+/// Support caveat: with pseudocount == 0 a structural transition that has
+/// never been observed estimates to probability 0, which CHANGES the support
+/// and forces downstream delta-compile patches into the full-recompile
+/// fallback. A positive pseudocount (Laplace smoothing) keeps every
+/// structural transition positive and the support stable — what streaming
+/// callers want.
+class IncrementalMle {
+ public:
+  /// MDP structure: states, choices, and the support of each distribution.
+  explicit IncrementalMle(Mdp structure);
+  /// DTMC structure (viewed as a one-choice-per-state MDP); enables dtmc().
+  explicit IncrementalMle(const Dtmc& structure);
+
+  /// Validates `batch` against the structure and folds its (weighted)
+  /// transition counts into the running totals.
+  void add(const TrajectoryDataset& batch);
+
+  /// Current estimate over everything added so far. Choices with zero
+  /// accumulated mass keep the structure's prior probabilities.
+  Mdp mdp(double pseudocount = 0.0) const;
+  /// DTMC variant; throws ModelError unless constructed from a Dtmc.
+  Dtmc dtmc(double pseudocount = 0.0) const;
+
+  const CountTable& counts() const { return table_; }
+  std::size_t batches() const { return batches_; }
+  /// Total observation weight accumulated (sum of matched step weights).
+  double total_weight() const { return total_weight_; }
+
+ private:
+  Mdp structure_;
+  std::optional<Dtmc> chain_;  ///< set iff constructed from a Dtmc
+  CountTable table_;
+  std::size_t batches_ = 0;
+  double total_weight_ = 0.0;
+};
 
 }  // namespace tml

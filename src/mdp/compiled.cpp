@@ -21,6 +21,23 @@ void record_compile_stats(std::size_t rows, std::size_t nnz) {
   c_nnz.add(nnz);
 }
 
+/// Stats shared by both patch_probabilities overloads. `hit` distinguishes
+/// an in-place rewrite from a structural fallback.
+void record_patch_stats(bool hit, std::size_t dirty_states) {
+  static stats::Counter& c_calls = stats::counter("compile.patch_calls");
+  static stats::Counter& c_hits = stats::counter("compile.patch_hits");
+  static stats::Counter& c_fallbacks =
+      stats::counter("compile.patch_fallbacks");
+  static stats::Counter& c_dirty = stats::counter("compile.patch_dirty_states");
+  c_calls.bump();
+  if (hit) {
+    c_hits.bump();
+    c_dirty.add(dirty_states);
+  } else {
+    c_fallbacks.bump();
+  }
+}
+
 }  // namespace
 
 StateSet CompiledModel::states_with_label(const std::string& label) const {
@@ -74,14 +91,37 @@ void CompiledModel::build_predecessors() const {
   }
   c_dedup.add(dedup_hits);
   preds_built_ = true;
+  pred_epoch_ = mutation_epoch_;
 }
 
 const SccDecomposition& CompiledModel::scc() const {
   if (!scc_built_) {
     scc_ = scc_decomposition(*this);
     scc_built_ = true;
+    scc_epoch_ = mutation_epoch_;
   }
+  require_fresh(scc_epoch_, "CompiledModel::scc");
   return scc_;
+}
+
+void CompiledModel::require_fresh(std::uint64_t built_epoch,
+                                  const char* what) const {
+  if (built_epoch != mutation_epoch_) {
+    throw ModelError(
+        std::string(what) +
+        ": graph cache is stale — the model was mutated in place (set_prob) "
+        "after the cache was built; call invalidate_graph_caches() to "
+        "rebuild, or mutate through patch_probabilities(), which proves the "
+        "support unchanged and keeps the caches valid");
+  }
+}
+
+void CompiledModel::invalidate_graph_caches() const {
+  preds_built_ = false;
+  pred_start_.clear();
+  pred_.clear();
+  scc_built_ = false;
+  scc_ = SccDecomposition{};
 }
 
 CompiledModel compile(const Mdp& mdp) {
@@ -226,6 +266,162 @@ CompiledModel CompiledModel::make_absorbing(const StateSet& absorb) const {
     }
     out.row_start_.push_back(
         static_cast<std::uint32_t>(out.choice_start_.size() - 1));
+  }
+  return out;
+}
+
+namespace {
+
+/// Mutable-internals bundle handed to patch_core by the two friend
+/// overloads (patch_core itself is not a friend of CompiledModel).
+struct PatchAccess {
+  std::vector<double>& prob;
+  std::vector<double>& state_reward;
+  std::vector<double>& choice_reward;
+  const std::vector<std::string>& label_names;
+  const std::vector<StateSet>& label_sets;
+};
+
+/// Shared core of the two patch_probabilities overloads, generic over the
+/// builder shape via row lambdas (`transitions_of(s, ci)` etc.). Two
+/// passes: a read-only structure/support check that leaves the model
+/// untouched on mismatch, then the in-place rewrite. Returns via `bless`
+/// whether the caller should re-stamp the graph caches.
+template <typename Source, typename NumChoicesOf, typename RewardOf,
+          typename ActionOf, typename TransitionsOf>
+PatchResult patch_core(CompiledModel& model, PatchAccess acc,
+                       const Source& source, bool source_deterministic,
+                       NumChoicesOf num_choices_of, RewardOf reward_of,
+                       ActionOf action_of, TransitionsOf transitions_of) {
+  PatchResult out;
+  const std::size_t n = source.num_states();
+  auto fallback = [&]() {
+    record_patch_stats(/*hit=*/false, 0);
+    return PatchResult{};
+  };
+
+  // ---- pass 1: structure + support check (pure reads) --------------------
+  if (n != model.num_states() ||
+      source_deterministic != model.deterministic() ||
+      source.initial_state() != model.initial_state()) {
+    return fallback();
+  }
+  {
+    std::uint32_t c = 0;
+    std::uint32_t k = 0;
+    const auto& choice_start = model.choice_start();
+    const auto& target = model.target();
+    for (StateId s = 0; s < n; ++s) {
+      if (num_choices_of(s) != model.num_choices_of(s)) return fallback();
+      for (std::size_t ci = 0; ci < num_choices_of(s); ++ci, ++c) {
+        const std::vector<Transition>& transitions = transitions_of(s, ci);
+        if (transitions.size() != choice_start[c + 1] - choice_start[c]) {
+          return fallback();
+        }
+        if (action_of(s, ci) != model.choice_action(c)) return fallback();
+        for (const Transition& t : transitions) {
+          // Same targets in the same order, and the same positive support:
+          // an entry moving between zero and nonzero changes the graph, so
+          // every graph-derived cache would be wrong — full recompile.
+          if (t.target != target[k]) return fallback();
+          if ((t.probability > 0.0) != (acc.prob[k] > 0.0)) return fallback();
+          ++k;
+        }
+      }
+    }
+  }
+  // Labels participate in checking semantics; a changed labelling is a
+  // structural change even though the graph is intact.
+  {
+    const std::vector<std::string> labels = source.all_labels();
+    if (labels != acc.label_names) return fallback();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (source.states_with_label(labels[i]) != acc.label_sets[i]) {
+        return fallback();
+      }
+    }
+  }
+
+  // ---- pass 2: in-place rewrite ------------------------------------------
+  out.patched = true;
+  out.dirty = StateSet(n, false);
+  const std::vector<double>& rewards = source.state_rewards();
+  std::uint32_t c = 0;
+  std::uint32_t k = 0;
+  for (StateId s = 0; s < n; ++s) {
+    bool dirty = false;
+    if (!rewards.empty() && acc.state_reward[s] != rewards[s]) {
+      acc.state_reward[s] = rewards[s];
+      dirty = true;
+    }
+    for (std::size_t ci = 0; ci < num_choices_of(s); ++ci, ++c) {
+      const double reward = reward_of(s, ci);
+      if (acc.choice_reward[c] != reward) {
+        acc.choice_reward[c] = reward;
+        dirty = true;
+      }
+      for (const Transition& t : transitions_of(s, ci)) {
+        const double delta = std::abs(t.probability - acc.prob[k]);
+        if (delta > 0.0) {
+          out.max_abs_delta = std::max(out.max_abs_delta, delta);
+          acc.prob[k] = t.probability;
+          dirty = true;
+        }
+        ++k;
+      }
+    }
+    if (dirty) {
+      out.dirty.set(s);
+      ++out.dirty_states;
+    }
+  }
+  record_patch_stats(/*hit=*/true, out.dirty_states);
+  return out;
+}
+
+}  // namespace
+
+PatchResult patch_probabilities(CompiledModel& model, const Mdp& mdp) {
+  mdp.validate();
+  PatchResult out = patch_core(
+      model,
+      PatchAccess{model.prob_, model.state_reward_, model.choice_reward_,
+                  model.label_names_, model.label_sets_},
+      mdp, /*source_deterministic=*/false,
+      [&](StateId s) { return mdp.choices(s).size(); },
+      [&](StateId s, std::size_t c) { return mdp.choices(s)[c].reward; },
+      [&](StateId s, std::size_t c) { return mdp.choices(s)[c].action; },
+      [&](StateId s, std::size_t c) -> const std::vector<Transition>& {
+        return mdp.choices(s)[c].transitions;
+      });
+  if (out.patched) {
+    // The support check proves the positive-probability graph is unchanged,
+    // so the lazy predecessor/SCC caches still describe this model exactly:
+    // bump the epoch for external observers, then re-bless built caches.
+    ++model.mutation_epoch_;
+    if (model.preds_built_) model.pred_epoch_ = model.mutation_epoch_;
+    if (model.scc_built_) model.scc_epoch_ = model.mutation_epoch_;
+  }
+  return out;
+}
+
+PatchResult patch_probabilities(CompiledModel& model, const Dtmc& chain) {
+  chain.validate();
+  PatchResult out = patch_core(
+      model,
+      PatchAccess{model.prob_, model.state_reward_, model.choice_reward_,
+                  model.label_names_, model.label_sets_},
+      chain, /*source_deterministic=*/true,
+      [](StateId) -> std::size_t { return 1; },
+      [](StateId, std::size_t) { return 0.0; },  // compile(Dtmc) zeroes these
+      [](StateId, std::size_t) -> ActionId { return 0; },
+      [&](StateId s, std::size_t) -> const std::vector<Transition>& {
+        return chain.transitions(s);
+      });
+  if (out.patched) {
+    ++model.mutation_epoch_;
+    if (model.preds_built_) model.pred_epoch_ = model.mutation_epoch_;
+    if (model.scc_built_) model.scc_epoch_ = model.mutation_epoch_;
   }
   return out;
 }

@@ -26,6 +26,28 @@
 // `Dtmc`, and every solver/checker entry point lowers once and then runs on
 // the flat arrays. A `Dtmc` compiles to the one-choice-per-state special
 // case with `deterministic() == true`.
+//
+// Delta compile. Streaming pipelines (src/core/repair_session) re-estimate
+// transition probabilities every data batch but almost never change the
+// *support*. `patch_probabilities()` rewrites the probability/reward
+// columns of an existing CompiledModel in place when the new model has the
+// exact same CSR structure and positive-probability support, returning the
+// set of dirty states (rows whose numbers actually moved) and the largest
+// per-entry perturbation; on any structural mismatch it leaves the model
+// untouched and tells the caller to fall back to a full compile(). Because
+// support is verified unchanged, every graph-derived cache (predecessors,
+// SCC condensation) and every graph analysis a caller may have stashed
+// (prob0/prob1 sets, end components) remains exactly valid.
+//
+// Cache staleness guard. The predecessor and SCC caches are built lazily
+// from the probability columns; any in-place mutation outside
+// patch_probabilities() (via mutable_prob()) would leave them silently
+// describing the *old* graph. Mutations therefore bump a mutation epoch,
+// and the cache accessors throw ModelError when their cache predates the
+// epoch — misuse fails loudly instead of returning wrong graphs. Callers
+// that know what they changed either go through patch_probabilities()
+// (which re-blesses the caches after verifying the support) or call
+// invalidate_graph_caches() to drop them for rebuild.
 
 #pragma once
 
@@ -38,6 +60,7 @@
 namespace tml {
 
 class CompiledModel;
+struct PatchResult;
 
 /// Strongly-connected-component condensation of a compiled model, with the
 /// blocks stored in *dependency order*: every positive-probability edge
@@ -113,9 +136,11 @@ class CompiledModel {
 
   /// Distinct predecessor states of s over all positive-probability edges.
   /// Built on first call and cached (not thread-safe, like the rest of the
-  /// library).
+  /// library). Throws ModelError if the cache is stale (see the staleness
+  /// guard in the file comment).
   std::span<const StateId> predecessors(StateId s) const {
     if (!preds_built_) build_predecessors();
+    require_fresh(pred_epoch_, "predecessors");
     return {pred_.data() + pred_start_[s], pred_start_[s + 1] - pred_start_[s]};
   }
 
@@ -148,11 +173,37 @@ class CompiledModel {
   /// states outside stay ∪ goal can never contribute and are made absorbing.
   CompiledModel make_absorbing(const StateSet& absorb) const;
 
+  // -- in-place mutation (see the staleness guard in the file comment) -----
+
+  /// Raw mutable access to one probability entry. Bumps the mutation epoch:
+  /// the lazily built predecessor/SCC caches become stale and their
+  /// accessors THROW until the caches are invalidated (or re-blessed by
+  /// patch_probabilities, whose support check proves them still valid).
+  void set_prob(std::size_t k, double p) {
+    prob_[k] = p;
+    ++mutation_epoch_;
+  }
+  void set_choice_reward(std::uint32_t c, double r) { choice_reward_[c] = r; }
+  void set_state_reward(StateId s, double r) { state_reward_[s] = r; }
+
+  /// Drops the graph-derived caches so the next accessor call rebuilds them
+  /// from the current probability columns (the sanctioned recovery after
+  /// raw set_prob mutations).
+  void invalidate_graph_caches() const;
+
+  /// Current mutation epoch (bumped by every set_prob); exposed so external
+  /// caches keyed on this model can implement the same staleness check.
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+
   friend CompiledModel compile(const Mdp& mdp);
   friend CompiledModel compile(const Dtmc& chain);
+  friend PatchResult patch_probabilities(CompiledModel& model, const Mdp& mdp);
+  friend PatchResult patch_probabilities(CompiledModel& model,
+                                         const Dtmc& chain);
 
  private:
   void build_predecessors() const;
+  void require_fresh(std::uint64_t built_epoch, const char* what) const;
 
   std::size_t num_states_ = 0;
   StateId initial_state_ = 0;
@@ -174,6 +225,12 @@ class CompiledModel {
   mutable bool scc_built_ = false;
   mutable SccDecomposition scc_;  // lazy Tarjan condensation
 
+  // Staleness guard: epoch at which each lazy cache was built, against the
+  // running mutation epoch bumped by set_prob (see file comment).
+  std::uint64_t mutation_epoch_ = 0;
+  mutable std::uint64_t pred_epoch_ = 0;
+  mutable std::uint64_t scc_epoch_ = 0;
+
   std::vector<std::string> label_names_;
   std::vector<StateSet> label_sets_;  // per label, bitset over states
 };
@@ -182,5 +239,32 @@ class CompiledModel {
 /// structurally invalid input (delegates to model.validate()).
 CompiledModel compile(const Mdp& mdp);
 CompiledModel compile(const Dtmc& chain);
+
+/// Outcome of a delta compile (patch_probabilities).
+struct PatchResult {
+  /// True when the new model had the identical CSR structure and support
+  /// and the columns were rewritten in place. False means the model was
+  /// left untouched and the caller must fall back to a full compile().
+  bool patched = false;
+  /// States whose outgoing probabilities or rewards changed (empty bitset
+  /// of num_states when patched is false).
+  StateSet dirty;
+  std::size_t dirty_states = 0;
+  /// max |p_new - p_old| over all transition entries — the per-entry
+  /// probability perturbation bound (the ε of the paper's Prop. 1 view of
+  /// the patch as a perturbation matrix Z), used by the warm-started
+  /// interval solver to re-widen its bracket seed.
+  double max_abs_delta = 0.0;
+};
+
+/// Delta compile: rewrites probabilities and rewards of `model` in place
+/// from `mdp` when the structure (states, choices, transition targets in
+/// order) and the positive-probability support both match; otherwise
+/// returns {patched = false} and leaves `model` untouched. On success the
+/// graph caches are re-blessed (support unchanged ⇒ predecessors and SCC
+/// condensation are still exact) and the returned dirty set / perturbation
+/// bound describe the delta. Records compile.patch_* stats.
+PatchResult patch_probabilities(CompiledModel& model, const Mdp& mdp);
+PatchResult patch_probabilities(CompiledModel& model, const Dtmc& chain);
 
 }  // namespace tml

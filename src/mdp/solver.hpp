@@ -58,6 +58,50 @@ enum class SolveMethod {
 SolveMethod default_solve_method();
 void set_default_solve_method(SolveMethod method);
 
+/// Warm-start seed for the iterative solvers, produced by a previous solve
+/// of the SAME graph (same states, same positive-probability support, same
+/// target set and objective) whose probabilities were then perturbed in
+/// place — exactly what patch_probabilities() certifies. Because the graph
+/// is unchanged, every qualitative analysis (prob0/prob1, SCC condensation,
+/// end components) from the seeding run is still exact, and SCC blocks with
+/// no dirty state and no dirty block downstream cannot have changed value
+/// at all — the warm engines skip them outright.
+///
+/// Soundness of the certified bracket (kIntervalTopological) does NOT rest
+/// on the caller's widening being large enough: before a re-swept block
+/// accepts a widened seed, the solver applies one Bellman step and checks
+/// the super-/sub-solution inequalities (F(hi) ≤ hi always certifies an
+/// upper bound, since the reachability value is the least fixpoint;
+/// F(lo) ≥ lo certifies a lower bound when the block has no end component
+/// among its unknown states, which the engine checks). A seed that fails
+/// its certificate is replaced by the cold 0/1 initialization for that
+/// block — warm starts can only lose speed, never soundness.
+struct WarmStart {
+  /// Previous point estimate; seeds the classic/topological/discounted
+  /// engines (size must equal num_states, else the seed is ignored).
+  std::vector<double> values;
+  /// Previous certified bracket; seeds the interval engine (both must be
+  /// num_states-sized, else ignored).
+  std::vector<double> lo;
+  std::vector<double> hi;
+  /// States whose outgoing probabilities changed since the seed was
+  /// produced (PatchResult::dirty). Empty or mis-sized = assume all dirty.
+  StateSet dirty;
+  /// Per-state probability perturbation bound: [lo−widen, hi+widen] is the
+  /// candidate re-widened seed for dirty blocks (then certified as above).
+  /// Negative = cold-seed mode: re-swept blocks start from the cold 0/1
+  /// initialization, which makes the warm run BITWISE identical to a full
+  /// cold solve (unaffected blocks hold values a cold run would recompute
+  /// identically) while still skipping every unaffected block.
+  double widen = 0.0;
+  /// Cached prob0/prob1 sets from the seeding run (same objective!); both
+  /// num_states-sized = reuse, skipping the graph analyses entirely.
+  /// Anything else = recompute. Valid because support-preserving patches
+  /// leave the qualitative sets unchanged.
+  StateSet zero;
+  StateSet one;
+};
+
 /// Convergence / iteration-limit knobs shared by the iterative solvers.
 struct SolverOptions {
   double tolerance = 1e-10;      ///< sup-norm convergence threshold
@@ -80,6 +124,10 @@ struct SolverOptions {
   /// `budget_status = kBudgetExhausted` instead of throwing — under the
   /// interval engine the returned lo/hi bracket is still certified sound.
   Budget budget = default_budget();
+  /// Optional warm-start seed (non-owning; must outlive the call). nullptr
+  /// = cold start. See WarmStart for the caller contract and the per-block
+  /// certification that keeps interval brackets sound.
+  const WarmStart* warm = nullptr;
 };
 
 /// Result of a value-iteration style computation.
@@ -99,6 +147,12 @@ struct SolveResult {
   BudgetStatus budget_status = BudgetStatus::kOk;
   /// Which budget axis fired (kNone when budget_status is kOk).
   BudgetStop budget_stop = BudgetStop::kNone;
+  /// Qualitative prob0/prob1 sets the interval engine pinned (filled by
+  /// mdp_reachability_bracket / mdp_until_bracket). A later solve of the
+  /// same graph after a support-preserving patch can hand them back as
+  /// WarmStart::zero/one to skip the graph analyses; empty otherwise.
+  StateSet zero;
+  StateSet one;
 };
 
 /// Discounted value iteration: V(s) = opt_a [ r(s) + r(s,a) + γ Σ P V ].

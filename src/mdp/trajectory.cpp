@@ -1,6 +1,8 @@
 #include "src/mdp/trajectory.hpp"
 
+#include <istream>
 #include <sstream>
+#include <unordered_map>
 
 namespace tml {
 
@@ -33,6 +35,106 @@ std::string Trajectory::to_string(const Mdp& mdp) const {
   }
   os << name(current);
   return os.str();
+}
+
+namespace {
+
+/// Resolves a state token against the chain's names, falling back to a
+/// plain numeric id.
+StateId resolve_state(
+    const std::unordered_map<std::string, StateId>& by_name,
+    const std::string& token, std::size_t num_states, std::size_t line) {
+  const auto it = by_name.find(token);
+  if (it != by_name.end()) return it->second;
+  std::size_t pos = 0;
+  unsigned long id = 0;
+  try {
+    id = std::stoul(token, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != token.size() || id >= num_states) {
+    throw ModelError("parse_trajectory_batches: line " + std::to_string(line) +
+                     ": unknown state '" + token + "'");
+  }
+  return static_cast<StateId>(id);
+}
+
+}  // namespace
+
+std::vector<TrajectoryDataset> parse_trajectory_batches(std::istream& in,
+                                                        const Dtmc& chain) {
+  std::unordered_map<std::string, StateId> by_name;
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    const std::string& name = chain.state_name(s);
+    if (!name.empty()) by_name.emplace(name, s);
+  }
+
+  std::vector<TrajectoryDataset> batches;
+  TrajectoryDataset batch;
+  auto flush = [&] {
+    if (batch.size() > 0) batches.push_back(std::move(batch));
+    batch = TrajectoryDataset{};
+  };
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::vector<std::string> tokens;
+    for (std::string token; line >> token;) tokens.push_back(std::move(token));
+    if (tokens.empty()) continue;
+    if (tokens.size() == 1 && tokens.front() == "---") {
+      flush();
+      continue;
+    }
+
+    double weight = 1.0;
+    if (tokens.back().size() > 1 && tokens.back().front() == '*') {
+      const std::string spec = tokens.back().substr(1);
+      std::size_t pos = 0;
+      try {
+        weight = std::stod(spec, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != spec.size() || weight < 0.0) {
+        throw ModelError("parse_trajectory_batches: line " +
+                         std::to_string(line_no) + ": malformed weight '" +
+                         tokens.back() + "'");
+      }
+      tokens.pop_back();
+    }
+    if (tokens.size() < 2) {
+      throw ModelError("parse_trajectory_batches: line " +
+                       std::to_string(line_no) +
+                       ": a trajectory needs at least two states");
+    }
+
+    Trajectory trajectory;
+    trajectory.initial_state =
+        resolve_state(by_name, tokens.front(), chain.num_states(), line_no);
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      Step step;
+      step.state =
+          resolve_state(by_name, tokens[i], chain.num_states(), line_no);
+      step.next_state =
+          resolve_state(by_name, tokens[i + 1], chain.num_states(), line_no);
+      trajectory.steps.push_back(step);
+    }
+    batch.add(std::move(trajectory), weight);
+  }
+  flush();
+  return batches;
+}
+
+std::vector<TrajectoryDataset> parse_trajectory_batches(
+    const std::string& text, const Dtmc& chain) {
+  std::istringstream in(text);
+  return parse_trajectory_batches(in, chain);
 }
 
 void TrajectoryDataset::add(Trajectory trajectory, double weight) {

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -61,5 +62,17 @@ struct TrajectoryDataset {
   }
   void add(Trajectory trajectory, double weight = 1.0);
 };
+
+/// Parses a stream of DTMC trajectory batches (the `tml_check --session`
+/// input). One trajectory per line as a whitespace-separated state
+/// sequence; states are resolved by name against `chain` (falling back to
+/// a numeric state id); an optional trailing `*w` sets the trajectory
+/// weight. Lines of `---` separate batches; `#` starts a comment; blank
+/// lines and empty batches are skipped. Throws ModelError on an unknown
+/// state, a malformed weight, or a single-state line (no transition).
+std::vector<TrajectoryDataset> parse_trajectory_batches(std::istream& in,
+                                                        const Dtmc& chain);
+std::vector<TrajectoryDataset> parse_trajectory_batches(
+    const std::string& text, const Dtmc& chain);
 
 }  // namespace tml

@@ -371,8 +371,13 @@ SolveOutcome solve(const Problem& problem, const SolveOptions& options) {
   problem.validate();
   Rng rng(options.seed);
 
-  // Start points: box centre (or origin) + random interior points.
+  // Start points: caller-provided warm points first (previous repaired
+  // solutions in streaming use), then box centre (or origin) + random
+  // interior points. solve_local projects every start into the box.
   std::vector<std::vector<double>> starts;
+  for (const std::vector<double>& w : options.warm_starts) {
+    if (w.size() == problem.dimension) starts.push_back(w);
+  }
   {
     std::vector<double> centre(problem.dimension, 0.0);
     if (!problem.box.lower.empty() && !problem.box.upper.empty()) {

@@ -53,6 +53,14 @@ struct SolveOptions {
   /// solve returns best-feasible-so-far (or the smallest violation found)
   /// flagged `SolveOutcome::budget_status = kBudgetExhausted`.
   Budget budget = default_budget();
+  /// Warm-start points tried BEFORE the box centre and the random interior
+  /// points (each projected into the box; dimension-mismatched entries are
+  /// skipped). Streaming repair feeds the previous batch's repaired point
+  /// here: near-feasible seeds typically converge in a handful of inner
+  /// iterations. Warm points do not change num_starts — they are extra
+  /// starts prepended deterministically, and the winner fold stays ordered,
+  /// so results are reproducible for any thread count.
+  std::vector<std::vector<double>> warm_starts;
 };
 
 /// Runs one local solve from `start` (projected into the box).

@@ -3,6 +3,7 @@
 //   tml_check <model.prism> "<pctl formula>" [--counterexample] [--dot]
 //             [--stats] [--method classic|topological|interval]
 //             [--param-order in|penalty|scc] [--timeout-ms N]
+//             [--session <traj-file>] [--session-pseudocount X]
 //
 // Loads a model written in the explicit single-module PRISM subset
 // (src/mdp/prism_parser.hpp), checks the formula, prints the verdict and
@@ -33,6 +34,21 @@
 //                      the same cooperative cancel token, so an interactive
 //                      interrupt also unwinds through the budget machinery
 //                      instead of killing the process mid-sweep.
+//   --session FILE     streaming repair mode (DTMC models, boolean
+//                      P⋈b[F/U] formulas): treats the model as the
+//                      structure, reads trajectory batches from FILE (one
+//                      state sequence per line, `---` between batches, `#`
+//                      comments, optional trailing `*weight`), and drives a
+//                      RepairSession — per batch: incremental MLE, delta
+//                      CSR patch, warm-started certified re-check, Model
+//                      Repair only when the certified verdict fails (over a
+//                      generic balanced perturbation scheme raising/
+//                      lowering each state's two largest transitions).
+//                      Prints one line per batch and exits 0 iff the final
+//                      chain certifies the property.
+//   --session-pseudocount X
+//                      Laplace smoothing for the streaming MLE (default 1;
+//                      must stay positive to keep the support stable).
 //
 // Exit code: 0 when the property is satisfied (or the query is
 // quantitative), 1 when violated, 2 on usage/parse errors, 3 when the
@@ -52,6 +68,7 @@
 #include "src/checker/reachability.hpp"
 #include "src/checker/smc.hpp"
 #include "src/common/stats.hpp"
+#include "src/core/repair_session.hpp"
 #include "src/logic/parser.hpp"
 #include "src/mdp/export.hpp"
 #include "src/mdp/prism_parser.hpp"
@@ -67,7 +84,8 @@ int usage() {
   std::cerr << "usage: tml_check <model.prism> \"<pctl formula>\" "
                "[--counterexample] [--dot] [--stats] "
                "[--method classic|topological|interval] "
-               "[--param-order in|penalty|scc] [--timeout-ms N]\n"
+               "[--param-order in|penalty|scc] [--timeout-ms N] "
+               "[--session <traj-file>] [--session-pseudocount X]\n"
             << "example: tml_check wsn.prism 'Rmin<=40 [ F \"delivered\" ]'\n";
   return 2;
 }
@@ -177,6 +195,92 @@ void corroborate(const PrismModel& model) {
             << smc.samples << " samples, " << smc.truncated << " truncated)\n";
 }
 
+/// Generic repair class for the --session mode: one balanced variable per
+/// state with at least two transitions, raising the largest-probability
+/// transition and lowering the second largest (box ±0.1, tightened at build
+/// so every probability stays strictly inside (margin, 1−margin)).
+PerturbationScheme generic_scheme(const Dtmc& chain) {
+  PerturbationScheme scheme(chain);
+  for (StateId s = 0; s < chain.num_states(); ++s) {
+    const auto& transitions = chain.transitions(s);
+    if (transitions.size() < 2) continue;
+    std::size_t first = 0;
+    std::size_t second = 1;
+    if (transitions[second].probability > transitions[first].probability) {
+      std::swap(first, second);
+    }
+    for (std::size_t k = 2; k < transitions.size(); ++k) {
+      if (transitions[k].probability > transitions[first].probability) {
+        second = first;
+        first = k;
+      } else if (transitions[k].probability >
+                 transitions[second].probability) {
+        second = k;
+      }
+    }
+    const Var v =
+        scheme.add_variable("z" + std::to_string(s), -0.1, 0.1);
+    scheme.attach_balanced(v, s, transitions[first].target,
+                           transitions[second].target);
+  }
+  return scheme;
+}
+
+int run_session(const PrismModel& model, const StateFormulaPtr& formula,
+                const std::string& session_path, double pseudocount) {
+  if (model.type != PrismModel::Type::kDtmc) {
+    std::cerr << "tml_check: --session needs a DTMC model\n";
+    return 2;
+  }
+  const Dtmc structure = model.dtmc();
+
+  std::ifstream in(session_path);
+  if (!in) {
+    std::cerr << "tml_check: cannot open " << session_path << "\n";
+    return 2;
+  }
+  const std::vector<TrajectoryDataset> batches =
+      parse_trajectory_batches(in, structure);
+  if (batches.empty()) {
+    std::cerr << "tml_check: " << session_path << " holds no batches\n";
+    return 2;
+  }
+
+  RepairSessionConfig config;
+  config.pseudocount = pseudocount;
+  config.scheme_for = generic_scheme;
+  config.expected_batches = batches.size();
+  RepairSession session(structure, formula, std::move(config));
+
+  std::cout << "session:  " << session_path << " (" << batches.size()
+            << " batches)\n";
+  for (const TrajectoryDataset& batch : batches) {
+    const BatchOutcome& out = session.feed(batch);
+    std::cout << "batch " << out.index << ": " << out.trajectories
+              << " trajectories, "
+              << (out.patched ? "patched" : "recompiled") << " ("
+              << out.dirty_states << " dirty), bracket [" << out.lo << ", "
+              << out.hi << "], "
+              << (out.violated ? "VIOLATED" : "satisfied");
+    if (out.repaired) {
+      std::cout << ", repair "
+                << (out.repair_feasible ? "feasible" : "infeasible")
+                << " (cost " << out.repair_cost << ", eps "
+                << out.epsilon_bisimilarity << ")";
+    }
+    if (out.budget_status == BudgetStatus::kBudgetExhausted) {
+      std::cout << ", budget " << to_string(out.budget_stop);
+    }
+    std::cout << "\n";
+  }
+  const SessionReport& report = session.report();
+  std::cout << "session:  " << report.batches.size() << " batches, "
+            << report.patch_hits << " patch hits, " << report.repairs
+            << " repairs, final "
+            << (report.final_satisfied ? "SATISFIED" : "VIOLATED") << "\n";
+  return report.final_satisfied ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,9 +291,16 @@ int main(int argc, char** argv) {
   bool want_dot = false;
   bool want_stats = false;
   long timeout_ms = 0;
+  std::string session_path;
+  double session_pseudocount = 1.0;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--counterexample") {
+    if (flag == "--session" && i + 1 < argc) {
+      session_path = argv[++i];
+    } else if (flag == "--session-pseudocount" && i + 1 < argc) {
+      session_pseudocount = std::strtod(argv[++i], nullptr);
+      if (session_pseudocount <= 0.0) return usage();
+    } else if (flag == "--counterexample") {
       want_counterexample = true;
     } else if (flag == "--dot") {
       want_dot = true;
@@ -261,6 +372,15 @@ int main(int argc, char** argv) {
 
     if (want_dot) {
       std::cout << to_dot(model.mdp) << "\n";
+    }
+
+    if (!session_path.empty()) {
+      const int code =
+          run_session(model, formula, session_path, session_pseudocount);
+      if (want_stats) {
+        std::cout << "stats:\n" << stats_to_json() << "\n";
+      }
+      return code;
     }
 
     const auto emit_stats = [&] {
