@@ -1,0 +1,215 @@
+// Microbenchmarks for the serving layer: wire handling overhead, the
+// content-hashed compiled-model cache's amortization of parse+compile, and
+// sustained multi-client throughput with tail latency.
+//
+// The headline pair is BM_ServeColdCheck vs BM_ServeWarmCheck on the same
+// request line: cold pays parse_prism + compile + check every time (cache
+// capacity 0), warm takes the source-index fast path and pays only the
+// check. The gap is the cache's amortization factor — BENCH_serve.json
+// records it (acceptance floor: >= 5x on the grid fixtures).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/mdp/export.hpp"
+#include "src/mdp/model.hpp"
+#include "src/serve/json.hpp"
+#include "src/serve/server.hpp"
+
+namespace tml {
+namespace {
+
+/// Random-walk DTMC on an n×n grid with a goal corner (the perf_checker
+/// fixture), serialized to PRISM text — the shape of model a monitoring
+/// client would re-submit on every poll.
+Dtmc grid_chain(std::size_t n) {
+  const std::size_t total = n * n;
+  Dtmc chain(total);
+  auto id = [n](std::size_t r, std::size_t c) {
+    return static_cast<StateId>(r * n + c);
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == n - 1 && c == n - 1) {
+        chain.set_transitions(id(r, c), {Transition{id(r, c), 1.0}});
+        continue;
+      }
+      std::vector<Transition> row;
+      std::vector<StateId> targets;
+      if (r + 1 < n) targets.push_back(id(r + 1, c));
+      if (c + 1 < n) targets.push_back(id(r, c + 1));
+      const double stay = 0.3;
+      row.push_back(Transition{id(r, c), stay});
+      for (StateId t : targets) {
+        row.push_back(
+            Transition{t, (1.0 - stay) / static_cast<double>(targets.size())});
+      }
+      chain.set_transitions(id(r, c), std::move(row));
+    }
+  }
+  chain.add_label(static_cast<StateId>(total - 1), "goal");
+  chain.set_initial_state(0);
+  return chain;
+}
+
+std::string escape_for_json(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// The monitoring-loop query shape: a short-horizon bounded probe, cheap
+/// relative to parse+compile — which is exactly the regime the cache is
+/// for. `horizon` scales the check work.
+std::string check_line(const std::string& model, int horizon = 8) {
+  return "{\"op\":\"check\",\"model\":\"" + escape_for_json(model) +
+         "\",\"formula\":\"P=? [ F<=" + std::to_string(horizon) +
+         " \\\"goal\\\" ]\"}";
+}
+
+void expect_ok(const std::string& response) {
+  const Json parsed = Json::parse(response);
+  if (parsed.find("status") == nullptr ||
+      parsed.find("status")->as_string() != "ok") {
+    throw Error("benchmark request failed: " + response);
+  }
+}
+
+/// The cache in isolation, cold: capacity 0 retains nothing, so every get
+/// pays parse_prism + compile + content_hash — the work a repeat request
+/// would redo without the cache.
+void BM_CacheGetCold(benchmark::State& state) {
+  ModelCache cache(0);
+  const std::string source =
+      to_prism(grid_chain(static_cast<std::size_t>(state.range(0))), "grid");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(source));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheGetCold)->Arg(10)->Arg(20)->Arg(40)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The cache in isolation, hot: the source-index fast path — one FNV pass
+/// over the source, a byte-exact verify, an LRU touch.
+void BM_CacheGetHit(benchmark::State& state) {
+  ModelCache cache(4);
+  const std::string source =
+      to_prism(grid_chain(static_cast<std::size_t>(state.range(0))), "grid");
+  cache.get(source);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(source));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheGetHit)->Arg(10)->Arg(20)->Arg(40)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Cold path: cache capacity 0, so every request re-parses and re-compiles
+/// before checking — what every request would cost without the cache.
+void BM_ServeColdCheck(benchmark::State& state) {
+  serve::ServeOptions options;
+  options.cache_capacity = 0;
+  serve::Server server(std::move(options));
+  const std::string line =
+      check_line(to_prism(grid_chain(static_cast<std::size_t>(state.range(0))),
+                          "grid"));
+  for (auto _ : state) {
+    expect_ok(server.handle_line(line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeColdCheck)->Arg(10)->Arg(20)->Arg(40)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Warm path: same request line, default cache — after the first request
+/// every iteration takes the source-index fast path and pays only the
+/// check itself.
+void BM_ServeWarmCheck(benchmark::State& state) {
+  serve::Server server(serve::ServeOptions{});
+  const std::string line =
+      check_line(to_prism(grid_chain(static_cast<std::size_t>(state.range(0))),
+                          "grid"));
+  expect_ok(server.handle_line(line));  // populate the cache
+  for (auto _ : state) {
+    expect_ok(server.handle_line(line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeWarmCheck)->Arg(10)->Arg(20)->Arg(40)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Wire floor: parse + dispatch + dump with no engine work at all.
+void BM_ServePing(benchmark::State& state) {
+  serve::Server server(serve::ServeOptions{});
+  const std::string line = R"({"op":"ping","id":1})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line(line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServePing)->Unit(benchmark::kMicrosecond);
+
+double quantile_ms(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t index = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+  return samples[index];
+}
+
+/// Sustained QPS: N client threads hammering one shared server with cached
+/// checks across two distinct models. items_per_second (real time) is the
+/// aggregate throughput; per-request p50/p99 latencies are reported as
+/// counters, averaged across the client threads. The server is a leaked
+/// function-local static: threaded google-benchmark offers no synchronized
+/// teardown point, and one long-lived daemon object is exactly the
+/// deployment shape anyway.
+void BM_ServeSustainedQps(benchmark::State& state) {
+  static serve::Server& server = *new serve::Server(serve::ServeOptions{});
+  static const std::string line_a =
+      check_line(to_prism(grid_chain(12), "grid_a"));
+  static const std::string line_b =
+      check_line(to_prism(grid_chain(16), "grid_b"));
+
+  std::vector<double> local_ms;
+  int toggle = state.thread_index();
+  for (auto _ : state) {
+    const auto started = std::chrono::steady_clock::now();
+    expect_ok(server.handle_line(++toggle % 2 == 0 ? line_a : line_b));
+    local_ms.push_back(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - started)
+                           .count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["lat_p50_ms"] =
+      benchmark::Counter(quantile_ms(local_ms, 0.50),
+                         benchmark::Counter::kAvgThreads);
+  state.counters["lat_p99_ms"] =
+      benchmark::Counter(quantile_ms(local_ms, 0.99),
+                         benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ServeSustainedQps)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace tml

@@ -43,7 +43,8 @@ Objective flip(Objective objective) {
 
 class Checker {
  public:
-  explicit Checker(const CompiledModel& model) : model_(model) {}
+  explicit Checker(const CompiledModel& model, const CheckOptions& options = {})
+      : model_(model), options_(options) {}
 
   StateSet sat(const StateFormula& formula) {
     const std::size_t n = model_.num_states();
@@ -104,21 +105,33 @@ class Checker {
   }
 
  private:
+  /// SolverOptions carrying this check's budget and thread count; the
+  /// method/tolerance knobs keep their process defaults (tml_check --method
+  /// still applies to server-side checks).
+  SolverOptions solver_options() const {
+    SolverOptions solver;
+    solver.budget = options_.budget;
+    solver.threads = options_.threads;
+    return solver;
+  }
+
   std::vector<double> until(const StateSet& stay, const StateSet& goal,
                             Objective objective) {
     if (model_.deterministic()) return dtmc_until(model_, stay, goal);
-    // Default-constructed SolverOptions picks up default_solve_method():
-    // unbounded MDP until runs the sound interval-topological engine unless
-    // a tool has switched the process default (tml_check --method).
-    return mdp_until(model_, stay, goal, objective);
+    // solver_options() preserves default_solve_method(): unbounded MDP
+    // until runs the sound interval-topological engine unless a tool has
+    // switched the process default (tml_check --method).
+    return mdp_until(model_, stay, goal, objective, solver_options());
   }
 
   std::vector<double> bounded_until(const StateSet& stay, const StateSet& goal,
                                     std::size_t bound, Objective objective) {
     if (model_.deterministic()) {
-      return dtmc_bounded_until(model_, stay, goal, bound);
+      return dtmc_bounded_until(model_, stay, goal, bound, options_.threads,
+                                &options_.budget);
     }
-    return mdp_bounded_until(model_, stay, goal, bound, objective);
+    return mdp_bounded_until(model_, stay, goal, bound, objective,
+                             options_.threads, &options_.budget);
   }
 
   /// One-step probability of entering `goal`, optimized over choices. For a
@@ -152,14 +165,18 @@ class Checker {
 
   std::vector<double> reach_reward(const StateSet& goal, Objective objective) {
     if (model_.deterministic()) return dtmc_total_reward(model_, goal);
-    return total_reward_to_target(model_, goal, objective, SolverOptions{})
+    return total_reward_to_target(model_, goal, objective, solver_options())
         .values;
   }
 
   std::vector<double> cumulative_reward(std::size_t horizon,
                                         Objective objective) {
-    if (model_.deterministic()) return dtmc_cumulative_reward(model_, horizon);
-    return mdp_cumulative_reward(model_, horizon, objective);
+    if (model_.deterministic()) {
+      return dtmc_cumulative_reward(model_, horizon, options_.threads,
+                                    &options_.budget);
+    }
+    return mdp_cumulative_reward(model_, horizon, objective, options_.threads,
+                                 &options_.budget);
   }
 
   std::vector<double> prob_values(const StateFormula& formula) {
@@ -217,15 +234,16 @@ class Checker {
   }
 
   const CompiledModel& model_;
+  CheckOptions options_;
 };
 
-CheckResult check_impl(const CompiledModel& model,
-                       const StateFormula& formula) {
+CheckResult check_impl(const CompiledModel& model, const StateFormula& formula,
+                       const CheckOptions& options = {}) {
   static stats::Timer& t_check = stats::timer("checker.check.time");
   static stats::Counter& c_checks = stats::counter("checker.checks");
   const stats::ScopedTimer span(t_check);
   c_checks.bump();
-  Checker checker(model);
+  Checker checker(model, options);
   CheckResult result;
   if (formula.is_quantitative()) {
     result.values = checker.values(formula);
@@ -277,6 +295,11 @@ std::vector<double> quantitative_values(const Mdp& mdp,
 
 CheckResult check(const CompiledModel& model, const StateFormula& formula) {
   return check_impl(model, formula);
+}
+
+CheckResult check(const CompiledModel& model, const StateFormula& formula,
+                  const CheckOptions& options) {
+  return check_impl(model, formula, options);
 }
 
 CheckResult check(const Dtmc& chain, const StateFormula& formula) {

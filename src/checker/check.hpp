@@ -19,11 +19,25 @@
 #pragma once
 
 #include "src/checker/results.hpp"
+#include "src/common/budget.hpp"
 #include "src/logic/pctl.hpp"
 #include "src/mdp/compiled.hpp"
 #include "src/mdp/model.hpp"
 
 namespace tml {
+
+/// Per-call knobs for check(). The plain overloads pick up the process-wide
+/// default_budget() — fine for a CLI run, but racy for a server handling
+/// concurrent requests with different deadlines; such callers pass an
+/// explicit CheckOptions instead. The budget and thread count are threaded
+/// into every solver the formula's operators reach (the exact DTMC
+/// linear-solve engines are direct eliminations with no iteration boundary
+/// to poll and run un-budgeted).
+struct CheckOptions {
+  Budget budget = default_budget();
+  /// Worker threads for the bounded/cumulative sweeps (0 = TML_THREADS).
+  std::size_t threads = 0;
+};
 
 /// Set of states satisfying a boolean PCTL formula. Throws for quantitative
 /// (`=?`) formulas — those have no satisfaction set. The Dtmc/Mdp overloads
@@ -48,6 +62,8 @@ std::vector<double> quantitative_values(const Mdp& mdp,
 /// verdict (for boolean formulas) and the measured value when the top-level
 /// node is a P/R operator.
 CheckResult check(const CompiledModel& model, const StateFormula& formula);
+CheckResult check(const CompiledModel& model, const StateFormula& formula,
+                  const CheckOptions& options);
 CheckResult check(const Dtmc& chain, const StateFormula& formula);
 CheckResult check(const Mdp& mdp, const StateFormula& formula);
 

@@ -59,7 +59,13 @@ Budget Budget::split(std::uint64_t n) const {
   TML_REQUIRE(n > 0, "Budget::split: share count must be positive");
   Budget share = *this;  // keeps the shared cancel token
   if (has_deadline()) {
-    share.deadline = skewed_now() + remaining() / static_cast<std::int64_t>(n);
+    // One clock read for both the remaining window and the new anchor: with
+    // two reads the share's deadline could land (a clock tick) past the
+    // session's, extending the budget it is supposed to subdivide.
+    const Clock::time_point now = skewed_now();
+    const Clock::duration left =
+        now >= deadline ? Clock::duration::zero() : deadline - now;
+    share.deadline = now + left / static_cast<std::int64_t>(n);
   }
   if (max_iterations != 0) {
     share.max_iterations = std::max<std::uint64_t>(1, max_iterations / n);

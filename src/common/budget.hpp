@@ -64,6 +64,15 @@ class CancelToken {
   bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
   void reset() const { flag_->store(false, std::memory_order_relaxed); }
 
+  /// Raw pointer to the shared flag, for async-signal contexts. A store
+  /// through this pointer is the only thing a signal handler may do with a
+  /// token: cancel() is a shared_ptr dereference plus an atomic store and is
+  /// fine, but a handler installed before/after the token's lifetime needs a
+  /// stable address it can pre-load. The pointee lives as long as any copy
+  /// of the token; the caller keeps a copy alive while the handler is
+  /// installed (see tools/tml_check.cpp).
+  std::atomic<bool>* raw_flag() const { return flag_.get(); }
+
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
 };

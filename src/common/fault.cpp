@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/numeric.hpp"
 #include "src/common/stats.hpp"
 
 namespace tml {
@@ -66,9 +67,11 @@ Mode parse_mode(const std::string& text, std::int64_t* skew_ns) {
   if (text == "on") return Mode::kOn;
   if (text.rfind("skew=", 0) == 0) {
     const std::string payload = text.substr(5);
-    char* end = nullptr;
-    const double ns = std::strtod(payload.c_str(), &end);
-    TML_REQUIRE(end != payload.c_str() && *end == '\0',
+    // Locale-independent (src/common/numeric.hpp): TML_FAULT specs are
+    // dotted-decimal regardless of the process's LC_NUMERIC.
+    double ns = 0.0;
+    const std::size_t consumed = parse_finite_double(payload, &ns);
+    TML_REQUIRE(consumed != 0 && consumed == payload.size(),
                 "TML_FAULT: bad skew value '" << payload << "'");
     *skew_ns = static_cast<std::int64_t>(ns);
     return Mode::kSkew;

@@ -1,0 +1,57 @@
+// Locale-independent validated number parsing.
+//
+// `std::strtod` honours the process's LC_NUMERIC locale: under a
+// comma-decimal locale (de_DE, fr_FR, ...) it parses "0.5" as 0 — silently,
+// because the ".5" is just unconsumed trailing input to the caller. Every
+// numeric surface of this library is locale-fixed dotted-decimal text
+// (PRISM models, PCTL bounds, trajectory weights, TML_FAULT specs, wire
+// protocol payloads), so they all parse through these `std::from_chars`
+// wrappers, which the standard guarantees use '.' as the decimal point
+// regardless of the global or per-thread locale.
+//
+// The wrappers also centralize validation policy: `parse_finite_double` is
+// the "validated number" path for model quantities — it rejects the textual
+// forms strtod and from_chars both accept but a stochastic model never
+// contains ("nan", "inf", overflowing literals) before they can poison the
+// numeric engines downstream.
+
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstddef>
+#include <string_view>
+
+namespace tml {
+
+/// Parses a dotted-decimal floating-point literal at the start of `text`
+/// ([+-]? digits [. digits]? ([eE][+-]?digits)?, plus the "inf"/"nan"
+/// spellings). Returns the number of characters consumed, 0 when `text`
+/// does not start with a valid number (`*out` is untouched then). Unlike
+/// strtod: locale-independent, no leading-whitespace skip, no hex floats.
+/// Out-of-range literals ("1e999") fail rather than saturating.
+inline std::size_t parse_double(std::string_view text, double* out) {
+  // std::from_chars rejects a leading '+', which the strtod-based callers
+  // this replaces historically accepted; consume it explicitly.
+  const std::size_t plus = (!text.empty() && text.front() == '+') ? 1 : 0;
+  const char* begin = text.data() + plus;
+  const char* end = text.data() + text.size();
+  double value = 0.0;
+  const std::from_chars_result result = std::from_chars(begin, end, value);
+  if (result.ec != std::errc{} || result.ptr == begin) return 0;
+  *out = value;
+  return plus + static_cast<std::size_t>(result.ptr - begin);
+}
+
+/// `parse_double` restricted to finite values: "nan", "inf" and anything
+/// else that does not land on a finite double fail (returns 0). The
+/// validated-number path for probabilities, rewards and weights.
+inline std::size_t parse_finite_double(std::string_view text, double* out) {
+  double value = 0.0;
+  const std::size_t consumed = parse_double(text, &value);
+  if (consumed == 0 || !std::isfinite(value)) return 0;
+  *out = value;
+  return consumed;
+}
+
+}  // namespace tml

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -69,6 +70,10 @@ struct ThreadPool::Impl {
   std::atomic<std::size_t> next_task{0};
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
 
+  // Detached tasks (ThreadPool::submit). Drained by the same workers when
+  // no batch-job tickets are outstanding; dropped on destruction.
+  std::deque<std::function<void()>> submitted;
+
   /// Claims tasks from the shared counter until exhausted. Exceptions are
   /// recorded (with their task index) instead of unwinding across threads.
   void claim_tasks(const std::function<void(std::size_t)>& fn,
@@ -90,19 +95,35 @@ struct ThreadPool::Impl {
     for (;;) {
       const std::function<void(std::size_t)>* fn = nullptr;
       std::size_t num_tasks = 0;
+      std::function<void()> task;
       {
         std::unique_lock<std::mutex> lock(mutex);
-        work_cv.wait(lock, [&] { return stop || tickets > 0; });
+        work_cv.wait(lock,
+                     [&] { return stop || tickets > 0 || !submitted.empty(); });
         if (stop) return;
-        --tickets;
-        ++active;
-        fn = job;
-        num_tasks = job_tasks;
+        if (tickets > 0) {
+          // Batch jobs first: run() blocks its caller, submitted tasks are
+          // detached and can tolerate the extra queueing delay.
+          --tickets;
+          ++active;
+          fn = job;
+          num_tasks = job_tasks;
+        } else {
+          task = std::move(submitted.front());
+          submitted.pop_front();
+        }
       }
-      claim_tasks(*fn, num_tasks);
-      {
+      if (fn != nullptr) {
+        claim_tasks(*fn, num_tasks);
         const std::lock_guard<std::mutex> lock(mutex);
         if (--active == 0) done_cv.notify_all();
+      } else {
+        const InTaskGuard guard;
+        try {
+          task();
+        } catch (...) {
+          // submit() contract: tasks own their error handling.
+        }
       }
     }
   }
@@ -165,6 +186,30 @@ void ThreadPool::run(std::size_t num_tasks, std::size_t parallelism,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (!task) return;
+  if (impl_->threads.empty()) {
+    // Zero-worker pool: run inline, under the same re-entrancy guard a
+    // worker would provide.
+    const InTaskGuard guard;
+    try {
+      task();
+    } catch (...) {
+    }
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->submitted.push_back(std::move(task));
+  }
+  impl_->work_cv.notify_one();
+}
+
+std::size_t ThreadPool::pending() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->submitted.size();
 }
 
 ThreadPool& ThreadPool::global() {

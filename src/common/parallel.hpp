@@ -76,6 +76,23 @@ class ThreadPool {
   void run(std::size_t num_tasks, std::size_t parallelism,
            const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues a detached task and returns immediately; some worker executes
+  /// it as soon as it is free (batch `run` jobs take priority over the
+  /// submit queue). The serving layer multiplexes requests through this.
+  ///
+  /// Contract: the task owns its error handling — an exception escaping it
+  /// is swallowed, not rethrown (there is no caller left to unwind into);
+  /// signal completion/results through state the task captures (e.g. a
+  /// promise). Tasks run under the pool's re-entrancy guard, so a
+  /// parallel_for inside a submitted task degrades to inline execution
+  /// rather than deadlocking. With zero workers the task runs inline in
+  /// submit() itself. Tasks still queued when the pool is destroyed are
+  /// dropped (a captured promise then surfaces broken_promise to waiters).
+  void submit(std::function<void()> task);
+
+  /// Submitted tasks enqueued but not yet started.
+  std::size_t pending() const;
+
   /// Process-wide pool backing parallel_for / parallel_transform_reduce.
   static ThreadPool& global();
 

@@ -103,6 +103,23 @@ constexpr SchemaEntry kSchema[] = {
     {"core.session.batches", SchemaEntry::kCounter},
     {"core.session.repairs", SchemaEntry::kCounter},
     {"core.session.batch.time", SchemaEntry::kTimer},
+    // Serving layer (src/serve). Requests/errors/rejections count protocol
+    // outcomes; the cache triple tracks the compiled-model LRU; queue depth
+    // is sampled at admission (peak is monotone); the latency quantiles are
+    // refreshed by the server from its sliding window after each request.
+    {"serve.requests", SchemaEntry::kCounter},
+    {"serve.errors", SchemaEntry::kCounter},
+    {"serve.rejected", SchemaEntry::kCounter},
+    {"serve.deadline_exhausted", SchemaEntry::kCounter},
+    {"serve.connections", SchemaEntry::kCounter},
+    {"serve.cache.hits", SchemaEntry::kCounter},
+    {"serve.cache.misses", SchemaEntry::kCounter},
+    {"serve.cache.evictions", SchemaEntry::kCounter},
+    {"serve.queue_depth", SchemaEntry::kGauge},
+    {"serve.queue_peak", SchemaEntry::kGauge},
+    {"serve.latency_p50_ms", SchemaEntry::kGauge},
+    {"serve.latency_p99_ms", SchemaEntry::kGauge},
+    {"serve.request.time", SchemaEntry::kTimer},
 };
 
 class Registry {

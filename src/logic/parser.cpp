@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <optional>
 
+#include "src/common/numeric.hpp"
+
 namespace tml {
 
 namespace {
@@ -75,11 +77,14 @@ class Parser {
 
   double parse_number() {
     skip_ws();
-    const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    const double value = std::strtod(start, &end);
-    if (end == start) fail("expected a number");
-    pos_ += static_cast<std::size_t>(end - start);
+    // Locale-independent (src/common/numeric.hpp): bounds like "0.5" must
+    // parse identically under a comma-decimal LC_NUMERIC locale, where the
+    // strtod this replaces silently read them as 0.
+    double value = 0.0;
+    const std::size_t consumed =
+        parse_double(std::string_view(text_).substr(pos_), &value);
+    if (consumed == 0) fail("expected a number");
+    pos_ += consumed;
     return value;
   }
 

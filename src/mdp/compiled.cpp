@@ -1,7 +1,9 @@
 #include "src/mdp/compiled.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <type_traits>
 
 #include "src/common/stats.hpp"
 #include "src/mdp/graph.hpp"
@@ -39,6 +41,55 @@ void record_patch_stats(bool hit, std::size_t dirty_states) {
 }
 
 }  // namespace
+
+namespace {
+
+/// FNV-1a, 64-bit. Chosen over a fancier hash because the serve cache only
+/// needs collision resistance against accidental collisions (requests are
+/// compared byte-exact on the source text before a hit is trusted), and
+/// FNV keeps this file dependency-free.
+struct Fnv1a {
+  std::uint64_t state = 1469598103934665603ull;
+
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state ^= p[i];
+      state *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(v.size());
+    bytes(v.data(), v.size() * sizeof(T));
+  }
+};
+
+}  // namespace
+
+std::uint64_t CompiledModel::content_hash() const {
+  Fnv1a h;
+  h.u64(num_states_);
+  h.u64(initial_state_);
+  h.u64(deterministic_ ? 1 : 0);
+  h.vec(row_start_);
+  h.vec(choice_start_);
+  h.vec(target_);
+  h.vec(prob_);  // bitwise doubles: vec() copies raw bytes
+  h.vec(state_reward_);
+  h.vec(choice_reward_);
+  h.vec(choice_action_);
+  h.u64(label_names_.size());
+  for (std::size_t i = 0; i < label_names_.size(); ++i) {
+    h.u64(label_names_[i].size());
+    h.bytes(label_names_[i].data(), label_names_[i].size());
+    h.u64(label_sets_[i].size());
+    h.vec(label_sets_[i].words());
+  }
+  return h.state;
+}
 
 StateSet CompiledModel::states_with_label(const std::string& label) const {
   for (std::size_t i = 0; i < label_names_.size(); ++i) {

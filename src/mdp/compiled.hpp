@@ -195,6 +195,17 @@ class CompiledModel {
   /// caches keyed on this model can implement the same staleness check.
   std::uint64_t mutation_epoch() const { return mutation_epoch_; }
 
+  // -- fingerprint ---------------------------------------------------------
+
+  /// 64-bit FNV-1a content fingerprint over everything checking semantics
+  /// depend on: the CSR structure, transition probabilities (bitwise, so
+  /// 0.1+0.2 and 0.3 hash differently — the fingerprint identifies the
+  /// compiled artifact, not a numeric equivalence class), rewards, action
+  /// ids, and labels. Two models with equal hashes check identically for
+  /// every formula; the serve-layer model cache keys on this. O(model);
+  /// does not touch or build the lazy graph caches.
+  std::uint64_t content_hash() const;
+
   friend CompiledModel compile(const Mdp& mdp);
   friend CompiledModel compile(const Dtmc& chain);
   friend PatchResult patch_probabilities(CompiledModel& model, const Mdp& mdp);

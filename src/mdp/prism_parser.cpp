@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/common/numeric.hpp"
+
 namespace tml {
 
 namespace {
@@ -92,15 +94,18 @@ class Lexer {
 
   double number() {
     skip_ws();
-    const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    const double value = std::strtod(start, &end);
-    if (end == start) fail("expected number");
-    // Reject the textual forms strtod accepts but a stochastic model never
-    // contains ("nan", "inf", and overflowing literals) before they can
-    // poison the numeric engines downstream.
+    // Locale-independent parse (src/common/numeric.hpp): a PRISM file's
+    // "0.5" must not read as 0 under a comma-decimal LC_NUMERIC locale,
+    // which is what the strtod this replaces silently did. Reject the
+    // textual forms a stochastic model never contains ("nan", "inf", and
+    // overflowing literals) before they can poison the numeric engines
+    // downstream.
+    double value = 0.0;
+    std::size_t consumed =
+        parse_double(std::string_view(text_).substr(pos_), &value);
+    if (consumed == 0) fail("expected number");
     if (!std::isfinite(value)) fail("number is not finite");
-    pos_ += static_cast<std::size_t>(end - start);
+    pos_ += consumed;
     return value;
   }
 

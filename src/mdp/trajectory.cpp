@@ -4,6 +4,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "src/common/numeric.hpp"
+
 namespace tml {
 
 std::vector<StateId> Trajectory::state_sequence() const {
@@ -93,19 +95,23 @@ std::vector<TrajectoryDataset> parse_trajectory_batches(std::istream& in,
     }
 
     double weight = 1.0;
-    if (tokens.back().size() > 1 && tokens.back().front() == '*') {
+    // Any '*'-prefixed last token is a weight spec — a bare "*" is a
+    // malformed weight, not a state named "*".
+    if (!tokens.back().empty() && tokens.back().front() == '*') {
+      // Validated-number path (src/common/numeric.hpp), like the PRISM
+      // parser: locale-independent, and "nan"/"inf"/overflowing literals
+      // are malformed — the stod this replaces accepted NaN weights
+      // (NaN < 0 is false) and let them poison the weighted MLE counts.
       const std::string spec = tokens.back().substr(1);
-      std::size_t pos = 0;
-      try {
-        weight = std::stod(spec, &pos);
-      } catch (const std::exception&) {
-        pos = 0;
-      }
-      if (pos != spec.size() || weight < 0.0) {
-        throw ModelError("parse_trajectory_batches: line " +
+      double parsed = 0.0;
+      const std::size_t consumed = parse_finite_double(spec, &parsed);
+      if (spec.empty() || consumed != spec.size() || parsed < 0.0) {
+        throw ParseError("parse_trajectory_batches: line " +
                          std::to_string(line_no) + ": malformed weight '" +
-                         tokens.back() + "'");
+                         tokens.back() +
+                         "' (want a finite non-negative number)");
       }
+      weight = parsed;
       tokens.pop_back();
     }
     if (tokens.size() < 2) {

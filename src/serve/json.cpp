@@ -1,0 +1,382 @@
+#include "src/serve/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/numeric.hpp"
+
+namespace tml {
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t offset, const std::string& message) {
+  throw ParseError("JSON parse error at offset " + std::to_string(offset) +
+                   ": " + message);
+}
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Json parse() {
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail_at(pos_, "trailing garbage after value");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail_at(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > max_depth_) fail_at(pos_, "nesting exceeds depth limit");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) fail_at(pos_, "expected 'null'");
+        return Json(nullptr);
+      case 't':
+        if (!consume_literal("true")) fail_at(pos_, "expected 'true'");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail_at(pos_, "expected 'false'");
+        return Json(false);
+      case '"':
+        return Json(parse_string());
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_number() {
+    // JSON's number grammar is stricter than what parse_double accepts
+    // ("+1", "inf", ".5", "01", "1." are all JSON-invalid), so the token is
+    // shaped here first and only then converted.
+    const std::string_view rest = text_.substr(pos_);
+    const auto digit = [&](std::size_t i) {
+      return i < rest.size() && rest[i] >= '0' && rest[i] <= '9';
+    };
+    std::size_t i = 0;
+    if (i < rest.size() && rest[i] == '-') ++i;
+    const std::size_t int_start = i;
+    while (digit(i)) ++i;
+    if (i == int_start) fail_at(pos_, "expected a value");
+    if (rest[int_start] == '0' && i - int_start > 1) {
+      fail_at(pos_, "leading zeros are not allowed");
+    }
+    if (i < rest.size() && rest[i] == '.') {
+      ++i;
+      const std::size_t frac_start = i;
+      while (digit(i)) ++i;
+      if (i == frac_start) fail_at(pos_, "expected digits after '.'");
+    }
+    if (i < rest.size() && (rest[i] == 'e' || rest[i] == 'E')) {
+      ++i;
+      if (i < rest.size() && (rest[i] == '+' || rest[i] == '-')) ++i;
+      const std::size_t exp_start = i;
+      while (digit(i)) ++i;
+      if (i == exp_start) fail_at(pos_, "expected exponent digits");
+    }
+    double value = 0.0;
+    const std::size_t consumed = parse_finite_double(rest.substr(0, i), &value);
+    // A shape-valid token can still fail conversion by overflowing to
+    // infinity, which has no JSON meaning.
+    if (consumed != i) fail_at(pos_, "number out of range");
+    pos_ += i;
+    return Json(value);
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      // Bulk-copy the common case: a run of plain bytes up to the next
+      // quote, escape, or control character. Requests carry whole PRISM
+      // models as single strings, so this path sees hundreds of KB; the
+      // byte-at-a-time loop it replaces dominated warm-request latency.
+      std::size_t run = pos_;
+      while (run < text_.size()) {
+        const unsigned char p = static_cast<unsigned char>(text_[run]);
+        if (p == '"' || p == '\\' || p < 0x20) break;
+        ++run;
+      }
+      if (run > pos_) {
+        out.append(text_.substr(pos_, run - pos_));
+        pos_ = run;
+      }
+      if (pos_ >= text_.size()) fail_at(pos_, "unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail_at(pos_, "raw control character in string");
+      ++pos_;
+      if (pos_ >= text_.size()) fail_at(pos_, "dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail_at(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail_at(pos_, "truncated \\u escape");
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail_at(pos_ - 1, "bad hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: a low surrogate escape must follow.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        fail_at(pos_, "high surrogate not followed by \\u low surrogate");
+      }
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) {
+        fail_at(pos_, "invalid low surrogate");
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail_at(pos_, "unpaired low surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    ++pos_;  // '['
+    Json::Array items;
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Json(std::move(items));
+      }
+      fail_at(pos_, "expected ',' or ']' in array");
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    ++pos_;  // '{'
+    Json::Object members;
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(members));
+    }
+    while (true) {
+      if (peek() != '"') fail_at(pos_, "expected string key in object");
+      std::string key = parse_string();
+      if (peek() != ':') fail_at(pos_, "expected ':' after object key");
+      ++pos_;
+      members[std::move(key)] = parse_value(depth + 1);
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Json(std::move(members));
+      }
+      fail_at(pos_, "expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[c >> 4]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(raw);  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Json& value, std::string& out);
+
+void dump_number(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan spelling
+    return;
+  }
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), v);
+  out.append(buffer, result.ptr);
+}
+
+void dump_value(const Json& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    dump_number(value.as_number(), out);
+  } else if (value.is_string()) {
+    dump_string(value.as_string(), out);
+  } else if (value.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Json& item : value.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(item, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, member] : value.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(key, out);
+      out.push_back(':');
+      dump_value(member, out);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  TML_REQUIRE(is_bool(), "Json: value is not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  TML_REQUIRE(is_number(), "Json: value is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  TML_REQUIRE(is_string(), "Json: value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  TML_REQUIRE(is_array(), "Json: value is not an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  TML_REQUIRE(is_object(), "Json: value is not an object");
+  return std::get<Object>(value_);
+}
+
+Json::Object& Json::as_object() {
+  TML_REQUIRE(is_object(), "Json: value is not an object");
+  return std::get<Object>(value_);
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& members = std::get<Object>(value_);
+  const auto it = members.find(std::string(key));
+  return it == members.end() ? nullptr : &it->second;
+}
+
+Json Json::parse(std::string_view text, std::size_t max_depth) {
+  return JsonParser(text, max_depth).parse();
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+}  // namespace tml

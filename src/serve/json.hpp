@@ -1,0 +1,89 @@
+// Minimal JSON value for the serving wire protocol.
+//
+// The daemon speaks line-delimited JSON (src/serve/protocol.hpp); this is
+// the self-contained value type behind it — parse, navigate, build, dump —
+// written in-tree because the build takes no third-party dependencies.
+// Scope is exactly what the protocol needs:
+//
+//  * the six JSON kinds, objects as sorted maps (dump order is
+//    deterministic, so responses are byte-stable for tests);
+//  * strict parsing (UTF-8 passthrough, \uXXXX escapes including surrogate
+//    pairs, a nesting-depth limit so a hostile request cannot blow the
+//    stack) that throws tml::ParseError with a byte offset;
+//  * compact single-line dump — never emits a newline, which is what makes
+//    values safe to put on a line-delimited wire. Numbers print via
+//    std::to_chars (shortest round-trip); non-finite numbers have no JSON
+//    spelling and dump as null, which the protocol documents.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace tml {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  /// Any arithmetic type maps to the JSON number kind (doubles hold every
+  /// value the protocol carries; counters above 2^53 would lose precision,
+  /// which a line-delimited debugging protocol can live with).
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Json(T v) : value_(static_cast<double>(v)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw tml::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object member lookup: nullptr when this is not an object or the key
+  /// is absent.
+  const Json* find(std::string_view key) const;
+
+  /// Strict parse of exactly one JSON value (surrounding whitespace
+  /// allowed, trailing garbage rejected). Throws tml::ParseError naming the
+  /// byte offset. `max_depth` bounds array/object nesting.
+  static Json parse(std::string_view text, std::size_t max_depth = 64);
+
+  /// Compact one-line serialization (no newlines anywhere — values are
+  /// line-delimited-wire safe). Object keys in sorted order; non-finite
+  /// numbers dump as null.
+  std::string dump() const;
+
+  friend bool operator==(const Json& a, const Json& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace tml

@@ -1,0 +1,79 @@
+#include "src/serve/protocol.hpp"
+
+#include <cmath>
+
+namespace tml {
+namespace serve {
+
+namespace {
+
+std::string required_string(const Json& request, const char* key) {
+  const Json* member = request.find(key);
+  if (member == nullptr || !member->is_string()) {
+    throw WireError("bad_request",
+                    std::string("check request needs a string \"") + key +
+                        "\" member");
+  }
+  return member->as_string();
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  Json parsed;
+  try {
+    parsed = Json::parse(line);
+  } catch (const ParseError& e) {
+    throw WireError("bad_request", e.what());
+  }
+  if (!parsed.is_object()) {
+    throw WireError("bad_request", "request must be a JSON object");
+  }
+
+  Request request;
+  if (const Json* id = parsed.find("id")) request.id = *id;
+
+  const Json* op = parsed.find("op");
+  if (op == nullptr || !op->is_string()) {
+    throw WireError("bad_request", "request needs a string \"op\" member");
+  }
+  const std::string& name = op->as_string();
+  if (name == "ping") {
+    request.op = Request::Op::kPing;
+    return request;
+  }
+  if (name == "metrics") {
+    request.op = Request::Op::kMetrics;
+    return request;
+  }
+  if (name != "check") {
+    throw WireError("bad_request",
+                    "unknown op '" + name + "' (want check|metrics|ping)");
+  }
+
+  request.op = Request::Op::kCheck;
+  request.model = required_string(parsed, "model");
+  request.formula = required_string(parsed, "formula");
+  if (const Json* timeout = parsed.find("timeout_ms")) {
+    if (!timeout->is_number() || timeout->as_number() < 0 ||
+        std::floor(timeout->as_number()) != timeout->as_number()) {
+      throw WireError("bad_request",
+                      "\"timeout_ms\" must be a non-negative integer");
+    }
+    request.timeout_ms = static_cast<std::int64_t>(timeout->as_number());
+  }
+  return request;
+}
+
+std::string error_response(const Json& id, const std::string& kind,
+                           const std::string& message) {
+  Json::Object response;
+  if (!id.is_null()) response["id"] = id;
+  response["status"] = "error";
+  response["kind"] = kind;
+  response["message"] = message;
+  return Json(std::move(response)).dump();
+}
+
+}  // namespace serve
+}  // namespace tml

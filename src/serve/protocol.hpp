@@ -1,0 +1,75 @@
+// Wire protocol of the tml_serve daemon: line-delimited JSON.
+//
+// One request per line, one response line per request, in order. A request
+// is a JSON object with an "op" member:
+//
+//   {"op":"check","model":"<prism source>","formula":"<pctl>",
+//    "timeout_ms":250,"id":7}
+//   {"op":"metrics","id":"m1"}
+//   {"op":"ping"}
+//
+//  * "model"/"formula" (check only): PRISM-subset source text and a PCTL
+//    formula, exactly the two positional arguments of tml_check.
+//  * "timeout_ms" (optional): per-request wall-clock deadline; omitted or 0
+//    uses the server default (ServeOptions::default_timeout_ms).
+//  * "id" (optional): any JSON value, echoed verbatim in the response so
+//    clients can pipeline requests on one connection.
+//
+// Responses always carry "status":
+//
+//   {"id":7,"status":"ok","verdict":true,"value":0.75,"cache":"hit",
+//    "time_ms":0.42}                                     -- check, decided
+//   {"id":7,"status":"partial","lo":0.2,"hi":0.9,"budget_status":
+//    "exhausted","budget_stop":"deadline", ...}          -- check, budget
+//   {"status":"error","kind":"parse","message":"..."}    -- typed failure
+//   {"status":"error","kind":"overloaded","message":"..."} -- admission
+//
+// Graceful degradation on the wire: a deadline that fires mid-solve is NOT
+// an error — the response is "status":"partial" carrying the certified
+// [lo, hi] bracket the sound interval engine had at the stop boundary
+// (lo/hi are null for operators with no bracket channel). Error kinds are
+// "bad_request" (malformed JSON / missing members), "parse" (model or
+// formula text), "overloaded" (admission control queue full), "internal".
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/serve/json.hpp"
+
+namespace tml {
+namespace serve {
+
+/// A validated request. `id` is echoed verbatim (null when absent).
+struct Request {
+  enum class Op { kCheck, kMetrics, kPing };
+  Op op = Op::kPing;
+  std::string model;
+  std::string formula;
+  std::int64_t timeout_ms = 0;  ///< 0 = server default
+  Json id;
+};
+
+/// Typed protocol failure; `kind()` is the wire "kind" member.
+class WireError : public Error {
+ public:
+  WireError(std::string kind, const std::string& message)
+      : Error(message), kind_(std::move(kind)) {}
+  const std::string& kind() const { return kind_; }
+
+ private:
+  std::string kind_;
+};
+
+/// Parses one request line. Throws WireError("bad_request", ...) on
+/// malformed JSON or a structurally invalid request.
+Request parse_request(const std::string& line);
+
+/// One-line error response (no trailing newline).
+std::string error_response(const Json& id, const std::string& kind,
+                           const std::string& message);
+
+}  // namespace serve
+}  // namespace tml

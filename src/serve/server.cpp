@@ -1,0 +1,479 @@
+#include "src/serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/checker/check.hpp"
+#include "src/checker/reachability.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/stats.hpp"
+#include "src/logic/parser.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace tml {
+namespace serve {
+
+namespace {
+
+/// Sliding window of request latencies feeding the p50/p99 gauges. Fixed
+/// ring so a long-lived daemon reports recent behaviour, not its lifetime
+/// average.
+class LatencyWindow {
+ public:
+  void record(double ms) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.size() < kWindow) {
+      samples_.push_back(ms);
+    } else {
+      samples_[next_] = ms;
+    }
+    next_ = (next_ + 1) % kWindow;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    static stats::Gauge& g_p50 = stats::gauge("serve.latency_p50_ms");
+    static stats::Gauge& g_p99 = stats::gauge("serve.latency_p99_ms");
+    g_p50.set(quantile(sorted, 0.50));
+    g_p99.set(quantile(sorted, 0.99));
+  }
+
+ private:
+  static double quantile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t index = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+    return sorted[index];
+  }
+
+  static constexpr std::size_t kWindow = 512;
+  std::mutex mutex_;
+  std::vector<double> samples_;
+  std::size_t next_ = 0;
+};
+
+/// Certified partial bracket at the initial state for an unbounded P query
+/// on an MDP — the graceful-degradation payload after a budget stop. The
+/// interval engine's bracket entry point degrades instead of throwing:
+/// even with the budget already spent it returns the graph-certified
+/// prob0/prob1 bounds, refined by however many sweeps fit before the stop.
+struct PartialBracket {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t sweeps = 0;
+  BudgetStop stop = BudgetStop::kNone;
+};
+
+std::optional<PartialBracket> partial_bracket(const CompiledModel& model,
+                                              const StateFormula& formula,
+                                              const Budget& budget) {
+  if (model.deterministic()) return std::nullopt;
+  if (formula.kind() != StateFormula::Kind::kProbQuery &&
+      formula.kind() != StateFormula::Kind::kProb) {
+    return std::nullopt;
+  }
+  const PathFormula& path = formula.path();
+  if (path.step_bound()) return std::nullopt;
+  if (path.kind() != PathFormula::Kind::kUntil &&
+      path.kind() != PathFormula::Kind::kEventually) {
+    return std::nullopt;
+  }
+  try {
+    const Objective objective =
+        formula.quantifier() && *formula.quantifier() == Quantifier::kMin
+            ? Objective::kMinimize
+            : Objective::kMaximize;
+    StateSet stay(model.num_states(), true);
+    if (path.kind() == PathFormula::Kind::kUntil) {
+      stay = satisfying_states(model, path.left());
+    }
+    const StateSet goal = satisfying_states(model, path.right());
+    SolverOptions options;
+    options.budget = budget;
+    const SolveResult bracket =
+        mdp_until_bracket(model, stay, goal, objective, options);
+    const StateId init = model.initial_state();
+    return PartialBracket{bracket.lo[init], bracket.hi[init],
+                          bracket.iterations, bracket.budget_stop};
+  } catch (const Error&) {
+    // Operand evaluation can itself exhaust the budget; then there is no
+    // bracket to salvage and the partial response carries null bounds.
+    return std::nullopt;
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+#endif
+    if (n <= 0) return;  // peer gone; the connection loop will see EOF next
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServeOptions opts)
+      : options(std::move(opts)), cache(options.cache_capacity) {}
+
+  ServeOptions options;
+  ModelCache cache;
+  CancelToken cancel;  // shared into every request budget; stop() flips it
+  LatencyWindow latency;
+
+  std::atomic<bool> stopping{false};
+  std::atomic<std::size_t> in_flight{0};
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::thread accept_thread;
+
+  std::mutex conn_mutex;
+  struct Connection {
+    std::atomic<int> fd{-1};
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::vector<std::unique_ptr<Connection>> connections;
+
+  // -- request handling ----------------------------------------------------
+
+  Json::Object run_check(const Request& request);
+  std::string handle(const std::string& line);
+
+  // -- sockets -------------------------------------------------------------
+
+  void bind_and_listen();
+  void accept_loop();
+  void connection_loop(Connection* conn);
+  void reap_finished_locked();
+};
+
+Json::Object Server::Impl::run_check(const Request& request) {
+  Json::Object response;
+
+  ModelCache::Result cached;
+  try {
+    cached = cache.get(request.model);
+  } catch (const Error& e) {
+    throw WireError("parse", std::string("model: ") + e.what());
+  }
+  StateFormulaPtr formula;
+  try {
+    formula = parse_pctl(request.formula);
+  } catch (const Error& e) {
+    throw WireError("parse", std::string("formula: ") + e.what());
+  }
+
+  const std::int64_t timeout_ms = request.timeout_ms > 0
+                                      ? request.timeout_ms
+                                      : options.default_timeout_ms;
+  CheckOptions check_options;
+  check_options.budget = Budget{};
+  if (timeout_ms > 0) check_options.budget.deadline_in_ms(timeout_ms);
+  check_options.budget.cancel = cancel;
+  check_options.threads = options.solver_threads;
+
+  response["cache"] = cached.hit ? "hit" : "miss";
+  response["states"] = cached.entry->num_states;
+
+  try {
+    const CheckResult result =
+        check(cached.entry->model, *formula, check_options);
+    response["status"] = "ok";
+    response["verdict"] = result.satisfied;
+    if (result.value) response["value"] = *result.value;
+  } catch (const BudgetExhausted& e) {
+    static stats::Counter& c_exhausted =
+        stats::counter("serve.deadline_exhausted");
+    c_exhausted.bump();
+    response["status"] = "partial";
+    response["budget_status"] = "exhausted";
+    response["budget_stop"] = to_string(e.stop());
+    const std::optional<PartialBracket> bracket =
+        partial_bracket(cached.entry->model, *formula, check_options.budget);
+    if (bracket) {
+      response["lo"] = bracket->lo;
+      response["hi"] = bracket->hi;
+      response["sweeps"] = bracket->sweeps;
+    } else {
+      response["lo"] = nullptr;
+      response["hi"] = nullptr;
+    }
+  }
+  return response;
+}
+
+std::string Server::Impl::handle(const std::string& line) {
+  static stats::Counter& c_requests = stats::counter("serve.requests");
+  static stats::Counter& c_errors = stats::counter("serve.errors");
+  static stats::Counter& c_rejected = stats::counter("serve.rejected");
+  static stats::Timer& t_request = stats::timer("serve.request.time");
+  static stats::Gauge& g_depth = stats::gauge("serve.queue_depth");
+  static stats::Gauge& g_peak = stats::gauge("serve.queue_peak");
+
+  const stats::ScopedTimer span(t_request);
+  const auto started = std::chrono::steady_clock::now();
+  c_requests.bump();
+
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const WireError& e) {
+    c_errors.bump();
+    return error_response(Json{}, e.kind(), e.what());
+  }
+
+  Json::Object response;
+  try {
+    switch (request.op) {
+      case Request::Op::kPing:
+        response["status"] = "ok";
+        break;
+      case Request::Op::kMetrics: {
+        // stats_to_json() pretty-prints across lines; re-emit compact so
+        // the response stays one wire line.
+        response["status"] = "ok";
+        response["metrics"] = Json::parse(stats_to_json());
+        break;
+      }
+      case Request::Op::kCheck: {
+        // Admission control: bounded in-flight set, typed reject beyond it.
+        const std::size_t depth =
+            in_flight.fetch_add(1, std::memory_order_acq_rel);
+        if (depth >= options.max_queue) {
+          in_flight.fetch_sub(1, std::memory_order_acq_rel);
+          c_rejected.bump();
+          c_errors.bump();
+          return error_response(
+              request.id, "overloaded",
+              "queue full (" + std::to_string(options.max_queue) +
+                  " in flight); retry later");
+        }
+        g_depth.set(static_cast<double>(depth + 1));
+        g_peak.set_max(static_cast<double>(depth + 1));
+        // Multiplex onto the pool: the connection thread only frames lines
+        // and writes responses; the engine work happens on a worker. The
+        // task owns the promise, so a task dropped at pool teardown breaks
+        // it and future.get() throws instead of hanging.
+        auto promise = std::make_shared<std::promise<Json::Object>>();
+        std::future<Json::Object> future = promise->get_future();
+        ThreadPool::global().submit([this, promise, &request] {
+          try {
+            promise->set_value(run_check(request));
+          } catch (...) {
+            promise->set_exception(std::current_exception());
+          }
+        });
+        try {
+          response = future.get();
+        } catch (...) {
+          in_flight.fetch_sub(1, std::memory_order_acq_rel);
+          g_depth.set(static_cast<double>(
+              in_flight.load(std::memory_order_relaxed)));
+          throw;
+        }
+        in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        g_depth.set(
+            static_cast<double>(in_flight.load(std::memory_order_relaxed)));
+        break;
+      }
+    }
+  } catch (const WireError& e) {
+    c_errors.bump();
+    return error_response(request.id, e.kind(), e.what());
+  } catch (const std::exception& e) {
+    c_errors.bump();
+    return error_response(request.id, "internal", e.what());
+  }
+
+  if (!request.id.is_null()) response["id"] = request.id;
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  response["time_ms"] = elapsed_ms;
+  latency.record(elapsed_ms);
+  return Json(std::move(response)).dump();
+}
+
+void Server::Impl::bind_and_listen() {
+  const bool unix_mode = !options.unix_path.empty();
+  listen_fd = ::socket(unix_mode ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  TML_REQUIRE(listen_fd >= 0, "serve: socket() failed: " << strerror(errno));
+
+  if (unix_mode) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    TML_REQUIRE(options.unix_path.size() < sizeof(addr.sun_path),
+                "serve: unix socket path too long");
+    std::strncpy(addr.sun_path, options.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options.unix_path.c_str());  // stale socket from a prior run
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const std::string reason = strerror(errno);
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw Error("serve: cannot bind " + options.unix_path + ": " + reason);
+    }
+  } else {
+    const int reuse = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(options.port);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const std::string reason = strerror(errno);
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw Error("serve: cannot bind 127.0.0.1:" +
+                  std::to_string(options.port) + ": " + reason);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port = ntohs(bound.sin_port);
+  }
+
+  TML_REQUIRE(::listen(listen_fd, 64) == 0,
+              "serve: listen() failed: " << strerror(errno));
+}
+
+void Server::Impl::accept_loop() {
+  static stats::Counter& c_connections = stats::counter("serve.connections");
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      return;  // listener closed under us
+    }
+    c_connections.bump();
+    const std::lock_guard<std::mutex> lock(conn_mutex);
+    reap_finished_locked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { connection_loop(raw); });
+    connections.push_back(std::move(conn));
+  }
+}
+
+void Server::Impl::connection_loop(Connection* conn) {
+  // One request line in, one response line out, in order. A response is
+  // written even for malformed input; only framing overflow (a "line" that
+  // never ends) or peer EOF closes the connection.
+  constexpr std::size_t kMaxLine = 64u << 20;
+  const int fd = conn->fd.load(std::memory_order_acquire);
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      send_all(fd, handle(line) + "\n");
+    }
+    if (buffer.size() > kMaxLine) {
+      send_all(fd, error_response(Json{}, "bad_request",
+                                  "request line exceeds 64 MiB") +
+                       "\n");
+      break;
+    }
+  }
+  // Do NOT close here: stop() may still shutdown() this fd, and a close
+  // here could let the kernel recycle the number onto an unrelated
+  // descriptor first. The reaper (or stop) closes after joining us.
+  conn->done.store(true, std::memory_order_release);
+}
+
+void Server::Impl::reap_finished_locked() {
+  for (auto it = connections.begin(); it != connections.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      const int fd = (*it)->fd.load(std::memory_order_acquire);
+      if (fd >= 0) ::close(fd);
+      it = connections.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Server::Server(ServeOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  impl_->bind_and_listen();
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+}
+
+void Server::stop() {
+  if (impl_->stopping.exchange(true, std::memory_order_acq_rel)) return;
+  // Unwind in-flight solves at their next budget checkpoint.
+  impl_->cancel.cancel();
+  if (impl_->listen_fd >= 0) {
+    ::shutdown(impl_->listen_fd, SHUT_RDWR);
+    ::close(impl_->listen_fd);
+  }
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  {
+    const std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+    for (auto& conn : impl_->connections) {
+      const int fd = conn->fd.load(std::memory_order_acquire);
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto& conn : impl_->connections) {
+      if (conn->thread.joinable()) conn->thread.join();
+      const int fd = conn->fd.load(std::memory_order_acquire);
+      if (fd >= 0) ::close(fd);
+    }
+    impl_->connections.clear();
+  }
+  impl_->listen_fd = -1;
+  if (!impl_->options.unix_path.empty()) {
+    ::unlink(impl_->options.unix_path.c_str());
+  }
+}
+
+std::uint16_t Server::port() const { return impl_->bound_port; }
+
+std::string Server::handle_line(const std::string& line) {
+  return impl_->handle(line);
+}
+
+const ModelCache& Server::cache() const { return impl_->cache; }
+
+std::size_t Server::in_flight() const {
+  return impl_->in_flight.load(std::memory_order_relaxed);
+}
+
+}  // namespace serve
+}  // namespace tml

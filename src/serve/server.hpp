@@ -1,0 +1,99 @@
+// Checking-as-a-service: the tml_serve daemon core.
+//
+// A `Server` owns one listening socket (TCP on 127.0.0.1, or a Unix-domain
+// socket), a `ModelCache` of compiled models keyed by content hash, and a
+// view onto the process ThreadPool. The loop per connection is:
+//
+//   read line → parse request → admission control → submit to pool →
+//   check with a per-request Budget → write one response line
+//
+//  * Admission control: at most `max_queue` check requests may be in
+//    flight; request `max_queue + 1` gets the typed "overloaded" error
+//    response immediately instead of queueing without bound. `max_queue`
+//    of 0 rejects every check (useful for drain mode and tests).
+//  * Per-request budgets: each check runs under its own Budget (request
+//    "timeout_ms", falling back to the server default), threaded through
+//    `CheckOptions` — concurrent requests with different deadlines never
+//    share the racy process-wide default budget. Every budget carries the
+//    server's cancel token, so stop() unwinds in-flight solves at their
+//    next checkpoint.
+//  * Graceful degradation: a deadline firing mid-solve produces a
+//    "status":"partial" response with the certified [lo, hi] bracket the
+//    interval engine reached (see protocol.hpp) — never a connection error.
+//  * Requests execute as detached ThreadPool tasks; an engine-level
+//    parallel_for inside a request degrades to inline execution (pool
+//    re-entrancy guard), so one request occupies one worker — throughput
+//    scales across requests rather than inside one.
+//
+// Observability: every stage records serve.* metrics (see the schema in
+// src/common/stats.cpp); the "metrics" op dumps the whole registry, with
+// latency p50/p99 gauges maintained from a sliding window of request
+// latencies.
+//
+// `handle_line()` — one request line in, one response line out — is public:
+// the protocol logic is testable without sockets, and the socket layer is
+// exactly "frame lines, call handle_line, write the result".
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/serve/cache.hpp"
+
+namespace tml {
+namespace serve {
+
+struct ServeOptions {
+  /// TCP listen port on 127.0.0.1; 0 = ephemeral (read back via port()).
+  /// Ignored when unix_path is set.
+  std::uint16_t port = 0;
+  /// When nonempty, listen on this Unix-domain socket path instead of TCP.
+  std::string unix_path;
+  /// Compiled-model cache entries to retain (LRU beyond this).
+  std::size_t cache_capacity = 32;
+  /// In-flight check requests admitted before "overloaded" rejections.
+  std::size_t max_queue = 64;
+  /// Per-request wall-clock deadline in ms when the request names none;
+  /// 0 = unlimited.
+  std::int64_t default_timeout_ms = 0;
+  /// Solver threads per request (CheckOptions::threads). Requests already
+  /// run one-per-worker, so >1 only matters for a mostly-idle server.
+  std::size_t solver_threads = 1;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept thread. Throws tml::Error when
+  /// the socket cannot be bound.
+  void start();
+
+  /// Stops accepting, cancels in-flight checks (their budgets share the
+  /// server cancel token), unblocks and joins every connection. Idempotent.
+  void stop();
+
+  /// Actual TCP port after start() (resolves port 0); 0 in Unix mode.
+  std::uint16_t port() const;
+
+  /// Processes one request line and returns the response line (without the
+  /// trailing newline). Never throws — failures become "status":"error"
+  /// responses. Public for direct protocol tests.
+  std::string handle_line(const std::string& line);
+
+  const ModelCache& cache() const;
+  /// Check requests currently admitted (in queue or executing).
+  std::size_t in_flight() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace tml

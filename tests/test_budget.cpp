@@ -100,6 +100,80 @@ TEST_F(BudgetTest, CancelTokenCheckedEveryTick) {
   EXPECT_EQ(tracker.stop(), BudgetStop::kCancelled);
 }
 
+TEST_F(BudgetTest, RawFlagAliasesTheSharedToken) {
+  // The async-signal path (tools/tml_check.cpp) pre-loads raw_flag() and
+  // stores through it from the handler; every copy of the token must
+  // observe that store.
+  CancelToken token;
+  const CancelToken copy = token;
+  std::atomic<bool>* flag = token.raw_flag();
+  ASSERT_NE(flag, nullptr);
+  EXPECT_EQ(flag, copy.raw_flag());
+  flag->store(true, std::memory_order_relaxed);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+  token.reset();
+  EXPECT_FALSE(flag->load(std::memory_order_relaxed));
+}
+
+// ---------------------------------------------------------------------------
+// Budget::split edge cases.
+
+TEST_F(BudgetTest, SplitZeroSharesThrows) {
+  EXPECT_THROW(Budget{}.split(0), Error);
+}
+
+TEST_F(BudgetTest, SplitOneKeepsCapsAndDeadlineWindow) {
+  Budget b = iteration_cap(10);
+  b.max_evaluations = 20;
+  b.deadline_in_ms(60'000);
+  const Budget share = b.split(1);
+  EXPECT_EQ(share.max_iterations, 10u);
+  EXPECT_EQ(share.max_evaluations, 20u);
+  ASSERT_TRUE(share.has_deadline());
+  // remaining()/1 re-anchors at now, so the share's deadline can only move
+  // earlier (never extends the session budget).
+  EXPECT_LE(share.deadline, b.deadline);
+  EXPECT_GT(share.remaining(), Budget::Clock::duration::zero());
+}
+
+TEST_F(BudgetTest, SplitOfUnlimitedBudgetStaysUnlimited) {
+  const Budget share = Budget{}.split(8);
+  EXPECT_TRUE(share.unlimited());
+  EXPECT_FALSE(share.has_deadline());
+}
+
+TEST_F(BudgetTest, SplitExpiredDeadlineSharesStayExpired) {
+  const Budget share = expired_deadline().split(4);
+  ASSERT_TRUE(share.has_deadline());
+  EXPECT_EQ(share.remaining(), Budget::Clock::duration::zero());
+  BudgetTracker tracker(share);
+  EXPECT_FALSE(tracker.tick());
+  EXPECT_EQ(tracker.stop(), BudgetStop::kDeadline);
+}
+
+TEST_F(BudgetTest, SplitCapsNeverDropBelowOne) {
+  Budget b = iteration_cap(3);
+  b.max_evaluations = 2;
+  const Budget share = b.split(10);
+  // A capped budget must not silently become uncapped (0) or unusable.
+  EXPECT_EQ(share.max_iterations, 1u);
+  EXPECT_EQ(share.max_evaluations, 1u);
+}
+
+TEST_F(BudgetTest, SplitSharesCancelToken) {
+  Budget session = iteration_cap(100);
+  const Budget share_a = session.split(2);
+  const Budget share_b = session.split(2);
+  session.cancel.cancel();
+  BudgetTracker a(share_a);
+  BudgetTracker b(share_b);
+  EXPECT_FALSE(a.tick());
+  EXPECT_FALSE(b.tick());
+  EXPECT_EQ(a.stop(), BudgetStop::kCancelled);
+  EXPECT_EQ(b.stop(), BudgetStop::kCancelled);
+}
+
 TEST_F(BudgetTest, RequireOkThrowsTypedError) {
   BudgetTracker tracker(iteration_cap(1));
   EXPECT_TRUE(tracker.tick());

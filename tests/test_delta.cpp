@@ -657,11 +657,37 @@ TEST(DeltaParser, RejectsMalformedInput) {
   const Dtmc chain = named_chain();
   EXPECT_THROW(parse_trajectory_batches("start nowhere\n", chain), ModelError);
   EXPECT_THROW(parse_trajectory_batches("start good *oops\n", chain),
-               ModelError);
+               ParseError);
   EXPECT_THROW(parse_trajectory_batches("start good *-1\n", chain),
-               ModelError);
+               ParseError);
   EXPECT_THROW(parse_trajectory_batches("start\n", chain), ModelError);
   EXPECT_THROW(parse_trajectory_batches("7 7\n", chain), ModelError);
+}
+
+TEST(DeltaParser, RejectsNonFiniteAndMalformedWeights) {
+  // Regression: the weight field went through std::stod, which accepts
+  // "nan"/"inf" (poisoning every count downstream), locale-dependent
+  // spellings, and partial parses like "2,5" -> 2. All of these must be
+  // typed parse errors that name the offending line.
+  const Dtmc chain = named_chain();
+  for (const char* weight : {"*nan", "*inf", "*-inf", "*NaN", "*Infinity",
+                             "*1e999", "*2,5", "*", "*2.5x"}) {
+    const std::string text = std::string("start good ") + weight + "\n";
+    try {
+      parse_trajectory_batches(text, chain);
+      FAIL() << "accepted weight '" << weight << "'";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+          << e.what();
+    }
+  }
+  // The validated path still takes everything a weight should be.
+  const std::vector<TrajectoryDataset> ok = parse_trajectory_batches(
+      "start good *2.5\nstart bad *0\nstart good *1e-3\n", chain);
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_DOUBLE_EQ(ok[0].weight(0), 2.5);
+  EXPECT_DOUBLE_EQ(ok[0].weight(1), 0.0);
+  EXPECT_DOUBLE_EQ(ok[0].weight(2), 1e-3);
 }
 
 // ---------------------------------------------------------------------------

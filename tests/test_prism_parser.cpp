@@ -2,6 +2,8 @@
 
 #include "src/mdp/prism_parser.hpp"
 
+#include <clocale>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -230,6 +232,77 @@ endmodule
 garbage
 )"),
                ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Locale independence.
+
+/// Switches LC_NUMERIC to a comma-decimal locale for one test and restores
+/// the C locale on every exit path. Bare CI containers ship localedef but
+/// no compiled locales, so as a fallback one is generated into a scratch
+/// directory and found via LOCPATH.
+class CommaLocale {
+ public:
+  CommaLocale() {
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        active_ = true;
+        return;
+      }
+    }
+    const std::string dir = testing::TempDir() + "tml_locales";
+    const std::string command = "mkdir -p '" + dir +
+                                "' && localedef -i de_DE -f UTF-8 '" + dir +
+                                "/de_DE.UTF-8' >/dev/null 2>&1";
+    (void)std::system(command.c_str());
+    ::setenv("LOCPATH", dir.c_str(), 1);
+    set_locpath_ = true;
+    active_ = std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr;
+  }
+  ~CommaLocale() {
+    std::setlocale(LC_NUMERIC, "C");
+    if (set_locpath_) ::unsetenv("LOCPATH");
+  }
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  bool set_locpath_ = false;
+};
+
+TEST(PrismParser, CommaDecimalLocaleDoesNotChangeParsing) {
+  // Regression: number lexing went through strtod, which honours
+  // LC_NUMERIC — under a comma-decimal locale "0.75" silently truncated to
+  // 0 at the '.', skewing every probability without any error. Parsing now
+  // goes through std::from_chars and must be byte-identical across locales.
+  const std::string source =
+      read_file(std::string(TML_SOURCE_DIR) + "/wsn.prism");
+  const PrismModel reference = parse_prism(source);
+  const double expected =
+      *check(reference.mdp, "Rmin=? [ F \"delivered\" ]").value;
+
+  const CommaLocale locale;
+  if (!locale.active()) {
+    GTEST_SKIP() << "no comma-decimal locale available on this system";
+  }
+  // The premise of the regression: the C library itself is now
+  // comma-decimal, so strtod really would mis-parse a dot literal.
+  ASSERT_STREQ(std::localeconv()->decimal_point, ",");
+  EXPECT_DOUBLE_EQ(std::strtod("0,5", nullptr), 0.5);
+  EXPECT_DOUBLE_EQ(std::strtod("0.5", nullptr), 0.0);
+
+  // Model parse, formula parse (thresholds have decimal literals too), and
+  // the exporter round trip all agree with the C-locale reference.
+  const PrismModel parsed = parse_prism(source);
+  ASSERT_EQ(parsed.mdp.num_states(), reference.mdp.num_states());
+  EXPECT_NEAR(*check(parsed.mdp, "Rmin=? [ F \"delivered\" ]").value,
+              expected, 1e-9);
+  const PrismModel round_tripped = parse_prism(to_prism(parsed.mdp, "wsn"));
+  ASSERT_EQ(round_tripped.mdp.num_states(), reference.mdp.num_states());
+  EXPECT_NEAR(*check(round_tripped.mdp, "Rmin=? [ F \"delivered\" ]").value,
+              expected, 1e-9);
+  EXPECT_TRUE(check(parsed.mdp, "P>=0.25 [ F \"delivered\" ]").satisfied);
 }
 
 }  // namespace

@@ -55,6 +55,10 @@
 // budget (or Ctrl-C) fired before a verdict — when the interval engine can
 // still certify a partial [lo, hi] bracket it is printed before exiting.
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -91,11 +95,39 @@ int usage() {
 }
 
 /// The cooperative cancel token SIGINT raises. Global because signal
-/// handlers cannot capture; CancelToken's shared atomic flip is
-/// async-signal-safe.
+/// handlers cannot capture. The handler body is restricted to
+/// async-signal-safe operations: a relaxed store through a pre-loaded raw
+/// pointer (no shared_ptr machinery on the signal path), a bump of a
+/// volatile sig_atomic_t, and — on the second Ctrl-C, when the first one's
+/// cooperative unwind is apparently wedged — _exit(130).
 CancelToken g_interrupt;
+std::atomic<bool>* const g_interrupt_flag = g_interrupt.raw_flag();
+volatile std::sig_atomic_t g_sigint_count = 0;
 
-extern "C" void on_sigint(int) { g_interrupt.cancel(); }
+extern "C" void on_sigint(int) {
+  g_interrupt_flag->store(true, std::memory_order_relaxed);
+  if (++g_sigint_count > 1) _exit(130);
+}
+
+/// Installs on_sigint for the life of the scope and restores the previous
+/// disposition on every exit path — a caller embedding tml_check-style
+/// checking (or a test harness running it in-process) gets its own SIGINT
+/// behaviour back even when we unwind through an exception.
+class SigintGuard {
+ public:
+  SigintGuard() {
+    struct sigaction action {};
+    action.sa_handler = on_sigint;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &previous_);
+  }
+  ~SigintGuard() { ::sigaction(SIGINT, &previous_, nullptr); }
+  SigintGuard(const SigintGuard&) = delete;
+  SigintGuard& operator=(const SigintGuard&) = delete;
+
+ private:
+  struct sigaction previous_ {};
+};
 
 /// On budget exhaustion (or Ctrl-C) for a quantitative unbounded P query on
 /// an MDP, the interval engine's bracket — sound at every sweep boundary —
@@ -350,8 +382,8 @@ int main(int argc, char** argv) {
     if (timeout_ms > 0) budget.deadline_in_ms(timeout_ms);
     budget.cancel = g_interrupt;
     set_default_budget(budget);
-    std::signal(SIGINT, on_sigint);
   }
+  const SigintGuard sigint_guard;
 
   try {
     std::ifstream in(path);

@@ -1,0 +1,117 @@
+// tml_serve — checking-as-a-service daemon over the line-delimited JSON
+// protocol in src/serve/protocol.hpp.
+//
+//   tml_serve [--port N] [--unix PATH] [--cache N] [--queue N]
+//             [--threads N] [--default-timeout-ms N]
+//
+//   --port N               TCP listen port on 127.0.0.1 (default 0 =
+//                          ephemeral; the chosen port is printed)
+//   --unix PATH            listen on a Unix-domain socket instead of TCP
+//   --cache N              compiled-model cache capacity (default 32)
+//   --queue N              max in-flight check requests before typed
+//                          "overloaded" rejections (default 64)
+//   --threads N            solver threads per request (default 1; requests
+//                          already run one-per-pool-worker)
+//   --default-timeout-ms N wall-clock deadline for requests that name none
+//                          (default 0 = unlimited)
+//
+// Prints exactly one "listening on ..." line to stdout once the socket is
+// bound (scripts wait for it), then serves until SIGINT/SIGTERM. The first
+// signal stops accepting and cancels in-flight checks through their shared
+// cancel token (each unwinds at its next budget checkpoint and still gets
+// its partial response); a second SIGINT force-exits with status 130.
+//
+// Try it with nc:
+//   tml_serve --port 4850 &
+//   printf '%s\n' '{"op":"ping","id":1}' | nc 127.0.0.1 4850
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "src/common/stats.hpp"
+#include "src/serve/server.hpp"
+
+using namespace tml;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: tml_serve [--port N] [--unix PATH] [--cache N] "
+               "[--queue N] [--threads N] [--default-timeout-ms N]\n";
+  return 2;
+}
+
+// Signal handling: the handler body is async-signal-safe only — a volatile
+// counter read by the main polling loop. The second SIGINT bypasses the
+// graceful path entirely with _exit (also async-signal-safe), matching
+// tml_check's contract for a wedged shutdown.
+volatile std::sig_atomic_t g_signals = 0;
+
+extern "C" void on_signal(int) {
+  if (++g_signals > 1) _exit(130);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeOptions options;
+  long port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--port" && i + 1 < argc) {
+      port = std::strtol(argv[++i], nullptr, 10);
+      if (port < 0 || port > 65535) return usage();
+      options.port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--unix" && i + 1 < argc) {
+      options.unix_path = argv[++i];
+    } else if (flag == "--cache" && i + 1 < argc) {
+      options.cache_capacity =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag == "--queue" && i + 1 < argc) {
+      options.max_queue =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag == "--threads" && i + 1 < argc) {
+      options.solver_threads =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag == "--default-timeout-ms" && i + 1 < argc) {
+      options.default_timeout_ms = std::strtol(argv[++i], nullptr, 10);
+      if (options.default_timeout_ms < 0) return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  // The metrics op reports the live registry; a serving process always
+  // collects (the <2% overhead buys per-request observability).
+  stats::set_enabled(true);
+
+  try {
+    serve::Server server(std::move(options));
+    // Handlers go in before the banner: scripts treat the "listening on"
+    // line as ready-to-use, and that includes an immediate SIGTERM — with
+    // the default disposition still in place it would kill the process
+    // instead of draining it.
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    server.start();
+    if (server.port() != 0) {
+      std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+    } else {
+      std::cout << "listening on unix socket" << std::endl;
+    }
+    while (g_signals == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::cout << "shutting down" << std::endl;
+    server.stop();
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "tml_serve: " << e.what() << "\n";
+    return 2;
+  }
+}
