@@ -1,0 +1,165 @@
+// Quotient-vs-direct checking on the tml_gen scaling families (BENCH_quotient).
+//
+// Each family is benchmarked twice on the same compiled fixture: the direct
+// checker, and the checker behind the bisimulation quotient pass (refinement
+// time included, so the quotient numbers are end-to-end honest). The
+// replicated WSN field at ≥10^5 states is the showcase — R identical
+// replicas collapse to a replica-count-independent core, so the bounded
+// sweep that dominates direct checking runs on a dozen states instead of a
+// hundred thousand. The jittered WSN and the seeded queue mesh are the
+// no-collapse controls: they price the refinement pass when there is no
+// symmetry to harvest. Every benchmark reports the model size, the block
+// count the quotient reached, and the process peak RSS (`peak_rss_mb`) so
+// the scaling run records memory alongside time.
+//
+//   ./bench/perf_quotient --benchmark_out=BENCH_quotient.json
+//                         --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/casestudies/generator.hpp"
+#include "src/checker/check.hpp"
+#include "src/logic/parser.hpp"
+#include "src/mdp/compiled.hpp"
+#include "src/mdp/prism_parser.hpp"
+#include "src/mdp/quotient.hpp"
+
+namespace tml {
+namespace {
+
+double peak_rss_mb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// Fixtures are generated+parsed+compiled once and shared across the
+/// direct/quotient benchmark pairs so the two time exactly the same model.
+const CompiledModel& fixture(const GeneratorSpec& spec) {
+  static std::map<std::string, CompiledModel> cache;
+  const std::string key = std::string(family_name(spec.family)) + "/" +
+                          std::to_string(spec.size) + "/" +
+                          std::to_string(spec.seed) + "/" +
+                          std::to_string(spec.jitter);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const PrismModel parsed = parse_prism(generate_prism(spec));
+    CompiledModel model = parsed.type == PrismModel::Type::kDtmc
+                              ? compile(parsed.dtmc())
+                              : compile(parsed.mdp);
+    it = cache.emplace(key, std::move(model)).first;
+  }
+  return it->second;
+}
+
+struct Family {
+  GeneratorSpec spec;
+  const char* formula;
+};
+
+/// wsn/1e5: 11112 replicas of the paper's 3×3 WSN field = 100010 states,
+/// fully symmetric (the quotient showcase). wsn-jitter/1e4 breaks the
+/// symmetry per replica; queue/1e4 never had any. grid/1e4 sits in between:
+/// the diagonal reflection halves the state space.
+Family family_for(int index) {
+  GeneratorSpec spec;
+  switch (index) {
+    case 0:
+      spec.family = GeneratorFamily::kWsnField;
+      spec.size = 11112;
+      return {spec, "Pmax=? [ F<=256 \"delivered\" ]"};
+    case 1:
+      spec.family = GeneratorFamily::kGridRobot;
+      spec.size = 100;
+      return {spec, "Pmax=? [ F<=128 \"goal\" ]"};
+    case 2:
+      spec.family = GeneratorFamily::kQueueMesh;
+      spec.size = 99;
+      return {spec, "P=? [ F<=128 \"full\" ]"};
+    default:
+      spec.family = GeneratorFamily::kWsnField;
+      spec.size = 1112;
+      spec.jitter = 0.01;
+      return {spec, "Pmax=? [ F<=256 \"delivered\" ]"};
+  }
+}
+
+const char* family_label(int index) {
+  switch (index) {
+    case 0: return "wsn/1e5";
+    case 1: return "grid/1e4";
+    case 2: return "queue/1e4";
+    default: return "wsn-jitter/1e4";
+  }
+}
+
+void BM_CheckDirect(benchmark::State& state) {
+  const Family family = family_for(static_cast<int>(state.range(0)));
+  const CompiledModel& model = fixture(family.spec);
+  const StateFormulaPtr formula = parse_pctl(family.formula);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check(model, *formula));
+  }
+  state.SetLabel(family_label(static_cast<int>(state.range(0))));
+  state.counters["states"] = static_cast<double>(model.num_states());
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+BENCHMARK(BM_CheckDirect)
+    ->ArgName("family")
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckQuotient(benchmark::State& state) {
+  const Family family = family_for(static_cast<int>(state.range(0)));
+  const CompiledModel& model = fixture(family.spec);
+  const StateFormulaPtr formula = parse_pctl(family.formula);
+  CheckOptions options;
+  options.quotient = true;
+  std::size_t blocks = 0;
+  for (auto _ : state) {
+    const CheckResult result = check(model, *formula, options);
+    blocks = result.quotient_states;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(family_label(static_cast<int>(state.range(0))));
+  state.counters["states"] = static_cast<double>(model.num_states());
+  state.counters["blocks"] = static_cast<double>(blocks);
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+BENCHMARK(BM_CheckQuotient)
+    ->ArgName("family")
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+/// The refinement pass alone (no solve): what minimization itself costs at
+/// 10^5 states, symmetric vs jittered.
+void BM_QuotientPass(benchmark::State& state) {
+  const Family family = family_for(static_cast<int>(state.range(0)));
+  const CompiledModel& model = fixture(family.spec);
+  std::size_t blocks = 0;
+  for (auto _ : state) {
+    const QuotientResult q = bisimulation_quotient(model);
+    blocks = q.num_blocks();
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetLabel(family_label(static_cast<int>(state.range(0))));
+  state.counters["states"] = static_cast<double>(model.num_states());
+  state.counters["blocks"] = static_cast<double>(blocks);
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+BENCHMARK(BM_QuotientPass)
+    ->ArgName("family")
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tml
+
+// main() lives in perf_main.cpp (BENCHMARK_MAIN() + stats JSON block).

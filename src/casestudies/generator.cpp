@@ -1,0 +1,289 @@
+#include "src/casestudies/generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/casestudies/wsn.hpp"
+#include "src/common/rng.hpp"
+#include "src/mdp/export.hpp"
+
+namespace tml {
+
+namespace {
+
+/// Merges duplicate targets (e.g. bounce-backs folding into the current
+/// cell) so each transition row has unique, ascending targets.
+std::vector<Transition> merge_targets(std::vector<Transition> row) {
+  std::sort(row.begin(), row.end(),
+            [](const Transition& a, const Transition& b) {
+              return a.target < b.target;
+            });
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < row.size(); ++r) {
+    if (w > 0 && row[w - 1].target == row[r].target) {
+      row[w - 1].probability += row[r].probability;
+    } else {
+      row[w++] = row[r];
+    }
+  }
+  row.resize(w);
+  return row;
+}
+
+}  // namespace
+
+const char* family_name(GeneratorFamily family) {
+  switch (family) {
+    case GeneratorFamily::kGridRobot: return "grid";
+    case GeneratorFamily::kQueueMesh: return "queue";
+    case GeneratorFamily::kWsnField: return "wsn";
+  }
+  return "unknown";
+}
+
+bool family_is_dtmc(GeneratorFamily family) {
+  return family == GeneratorFamily::kQueueMesh;
+}
+
+std::size_t expected_states(const GeneratorSpec& spec) {
+  switch (spec.family) {
+    case GeneratorFamily::kGridRobot:
+      return spec.size * spec.size;
+    case GeneratorFamily::kQueueMesh:
+      return (spec.size + 1) * (spec.size + 1);
+    case GeneratorFamily::kWsnField:
+      if (spec.size <= 1) return spec.wsn_grid * spec.wsn_grid + 1;
+      return spec.size * spec.wsn_grid * spec.wsn_grid + 2;
+  }
+  return 0;
+}
+
+Mdp generate_grid_robot(const GeneratorSpec& spec) {
+  const std::size_t w = spec.size;
+  TML_REQUIRE(w >= 2, "grid robot: side must be at least 2, got " << w);
+  TML_REQUIRE(spec.hazard_density >= 0.0 && spec.hazard_density < 1.0,
+              "grid robot: hazard density out of [0,1): "
+                  << spec.hazard_density);
+  const auto index = [w](std::size_t x, std::size_t y) {
+    return static_cast<StateId>(y * w + x);
+  };
+  const StateId goal = index(w - 1, w - 1);
+
+  Mdp mdp(w * w);
+  mdp.set_initial_state(index(0, 0));
+  mdp.add_label(goal, "goal");
+
+  // Hazard placement from the seed; the start and goal corners stay clear.
+  Rng rng(spec.seed);
+  StateSet hazard(w * w);
+  for (std::size_t y = 0; y < w; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const StateId s = index(x, y);
+      if (s == mdp.initial_state() || s == goal) continue;
+      if (spec.hazard_density > 0.0 && rng.bernoulli(spec.hazard_density)) {
+        hazard.set(s);
+        mdp.add_label(s, "hazard");
+      }
+    }
+  }
+
+  // Moves: intended direction with probability 3/4, each lateral slip 1/8
+  // (all dyadic, so quotient signatures aggregate exactly). Off-grid mass
+  // bounces back onto the current cell.
+  struct Dir {
+    const char* name;
+    int dx, dy;
+  };
+  constexpr Dir kDirs[] = {
+      {"up", 0, -1}, {"down", 0, 1}, {"left", -1, 0}, {"right", 1, 0}};
+  const auto step = [&](std::size_t x, std::size_t y, const Dir& d) {
+    const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x) + d.dx;
+    const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y) + d.dy;
+    if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(w) ||
+        ny >= static_cast<std::ptrdiff_t>(w)) {
+      return index(x, y);  // bounce
+    }
+    return index(static_cast<std::size_t>(nx), static_cast<std::size_t>(ny));
+  };
+  for (std::size_t y = 0; y < w; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const StateId s = index(x, y);
+      if (s == goal || hazard[s]) {
+        mdp.add_choice(s, "stay", {Transition{s, 1.0}}, 0.0);
+        continue;
+      }
+      for (std::size_t d = 0; d < 4; ++d) {
+        // Laterals of a vertical move are the horizontal moves and vice
+        // versa (dirs 0/1 are vertical, 2/3 horizontal).
+        const Dir& main = kDirs[d];
+        const Dir& lat_a = kDirs[d < 2 ? 2 : 0];
+        const Dir& lat_b = kDirs[d < 2 ? 3 : 1];
+        mdp.add_choice(s, main.name,
+                       merge_targets({Transition{step(x, y, main), 0.75},
+                                      Transition{step(x, y, lat_a), 0.125},
+                                      Transition{step(x, y, lat_b), 0.125}}),
+                       1.0);
+      }
+    }
+  }
+  mdp.validate();
+  return mdp;
+}
+
+Dtmc generate_queue_mesh(const GeneratorSpec& spec) {
+  const std::size_t c = spec.size;
+  TML_REQUIRE(c >= 1, "queue mesh: capacity must be at least 1");
+  const std::size_t side = c + 1;
+  const auto index = [side](std::size_t q1, std::size_t q2) {
+    return static_cast<StateId>(q1 * side + q2);
+  };
+
+  // Dyadic slot rates k/64 drawn from the seed: arrival into queue 1,
+  // transfer 1 -> 2, departure from queue 2.
+  Rng rng(spec.seed);
+  const double arrive = static_cast<double>(16 + rng.index(9)) / 64.0;
+  const double transfer = static_cast<double>(24 + rng.index(9)) / 64.0;
+  const double depart = static_cast<double>(20 + rng.index(9)) / 64.0;
+
+  Dtmc chain(side * side);
+  chain.set_initial_state(index(0, 0));
+  for (std::size_t q1 = 0; q1 < side; ++q1) {
+    for (std::size_t q2 = 0; q2 < side; ++q2) {
+      const StateId s = index(q1, q2);
+      chain.set_state_reward(s, static_cast<double>(q1 + q2));
+      if (q1 == 0 && q2 == 0) chain.add_label(s, "empty");
+      if (q1 == c) chain.add_label(s, "full");
+      // Independent slot events, gated on the current occupancy; the three
+      // event bits enumerate up to 8 outcomes whose dyadic probabilities
+      // multiply exactly.
+      const bool can_arrive = q1 < c;
+      const bool can_transfer = q1 > 0 && q2 < c;
+      const bool can_depart = q2 > 0;
+      std::vector<Transition> row;
+      for (int bits = 0; bits < 8; ++bits) {
+        const bool a = can_arrive && (bits & 1);
+        const bool t = can_transfer && (bits & 2);
+        const bool d = can_depart && (bits & 4);
+        double p = 1.0;
+        if (can_arrive) p *= a ? arrive : 1.0 - arrive;
+        if (can_transfer) p *= t ? transfer : 1.0 - transfer;
+        if (can_depart) p *= d ? depart : 1.0 - depart;
+        // Ungated event bits would double-count outcomes; only keep the
+        // canonical (bit = 0) copy.
+        if ((!can_arrive && (bits & 1)) || (!can_transfer && (bits & 2)) ||
+            (!can_depart && (bits & 4))) {
+          continue;
+        }
+        const std::size_t n1 = q1 + (a ? 1 : 0) - (t ? 1 : 0);
+        const std::size_t n2 = q2 + (t ? 1 : 0) - (d ? 1 : 0);
+        row.push_back(Transition{index(n1, n2), p});
+      }
+      chain.set_transitions(s, merge_targets(std::move(row)));
+    }
+  }
+  chain.validate();
+  return chain;
+}
+
+Mdp generate_wsn_field(const GeneratorSpec& spec) {
+  const std::size_t g = spec.wsn_grid;
+  const std::size_t replicas = std::max<std::size_t>(1, spec.size);
+  WsnConfig config;
+  config.grid = g;
+  if (replicas == 1) {
+    // Single replica: exactly the paper's §V-A model (and byte-compatible
+    // with the checked-in wsn.prism when g == 3); jitter has no one to
+    // differentiate, so it is ignored.
+    return build_wsn_mdp(config);
+  }
+  TML_REQUIRE(spec.jitter >= 0.0 && spec.jitter < 0.05,
+              "wsn field: jitter amplitude out of [0, 0.05): " << spec.jitter);
+
+  // Per-replica ignore-probability delta: jitter * (k - 128)/256 with
+  // k drawn from the seed — dyadic when jitter is, and 0 when jitter is 0
+  // (identical replicas, the maximally collapsible case).
+  Rng rng(spec.seed);
+  std::vector<double> delta(replicas, 0.0);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    const double draw = static_cast<double>(rng.index(257)) - 128.0;
+    delta[r] = spec.jitter * draw / 256.0;
+  }
+
+  const std::size_t nodes = g * g;
+  const StateId done = static_cast<StateId>(replicas * nodes);
+  const StateId dispatch = done + 1;
+  const auto node = [&](std::size_t r, std::size_t i, std::size_t j) {
+    return static_cast<StateId>(r * nodes + (i - 1) * g + (j - 1));
+  };
+  const auto ignore = [&](std::size_t r, std::size_t i, std::size_t j) {
+    double base = wsn_is_field_or_station_row(config, i)
+                      ? config.ignore_field_station
+                      : config.ignore_other;
+    if (j == g) base += config.far_column_bias;
+    base += delta[r];
+    TML_REQUIRE(base > 0.0 && base < 1.0,
+                "wsn field: jittered ignore probability out of (0,1)");
+    return base;
+  };
+
+  Mdp mdp(replicas * nodes + 2);
+  mdp.set_initial_state(dispatch);
+  mdp.add_label(done, "delivered");
+
+  // Uniform dispatcher: route the query to one replica's source (its
+  // far-corner field node).
+  std::vector<Transition> route;
+  route.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    route.push_back(
+        Transition{node(r, g, g), 1.0 / static_cast<double>(replicas)});
+  }
+  mdp.add_choice(dispatch, "route", std::move(route), 0.0);
+
+  for (std::size_t r = 0; r < replicas; ++r) {
+    for (std::size_t i = 1; i <= g; ++i) {
+      for (std::size_t j = 1; j <= g; ++j) {
+        const StateId s = node(r, i, j);
+        if (i == 1) mdp.add_label(s, "station");
+        if (i == g) mdp.add_label(s, "field");
+        if (i == 1 && j == 1) {
+          const double ign = ignore(r, 1, 1);
+          mdp.add_choice(s, "deliver",
+                         {Transition{done, 1.0 - ign}, Transition{s, ign}},
+                         1.0);
+          continue;
+        }
+        if (i > 1) {  // forward toward the station row
+          const StateId t = node(r, i - 1, j);
+          const double ign = ignore(r, i - 1, j);
+          mdp.add_choice(s, "fwd_up",
+                         {Transition{t, 1.0 - ign}, Transition{s, ign}}, 1.0);
+        }
+        if (j > 1) {  // forward left
+          const StateId t = node(r, i, j - 1);
+          const double ign = ignore(r, i, j - 1);
+          mdp.add_choice(s, "fwd_left",
+                         {Transition{t, 1.0 - ign}, Transition{s, ign}}, 1.0);
+        }
+      }
+    }
+  }
+  mdp.add_choice(done, "stay", {Transition{done, 1.0}}, 0.0);
+  mdp.validate();
+  return mdp;
+}
+
+std::string generate_prism(const GeneratorSpec& spec) {
+  switch (spec.family) {
+    case GeneratorFamily::kGridRobot:
+      return to_prism(generate_grid_robot(spec), "grid_robot");
+    case GeneratorFamily::kQueueMesh:
+      return to_prism(generate_queue_mesh(spec), "queue_mesh");
+    case GeneratorFamily::kWsnField:
+      return to_prism(generate_wsn_field(spec), "wsn_field");
+  }
+  TML_REQUIRE(false, "generate_prism: unknown family");
+  return {};
+}
+
+}  // namespace tml

@@ -1,0 +1,85 @@
+// Parameterized model-family generator: large PRISM-subset fixtures on tap.
+//
+// The ROADMAP's scaling work (bisimulation quotienting, compact CSR,
+// serving) needs 10^5–10^6-state models to measure against, but the
+// checked-in case studies top out at a few thousand states. This module
+// generates three parameterized families — all emitting through
+// `to_prism()`, so the output is exactly the PRISM subset our parser
+// accepts, and all fully deterministic in (spec, seed) down to the byte:
+//
+//   * grid robot (MDP) — a W×W grid; the robot starts at (0,0) and chooses
+//     up/down/left/right moves that slip laterally with dyadic probability
+//     1/8 per side; walking off the grid bounces back. The far corner is
+//     the absorbing "goal"; `hazard_density` seeds absorbing "hazard" cells
+//     (placement drawn from `seed`). Every move costs reward 1. With no
+//     hazards the grid has an exact diagonal symmetry (x,y) ~ (y,x), which
+//     the bisimulation quotient finds — a structural, not replication,
+//     collapse of ~2x.
+//
+//   * queueing mesh (DTMC) — a two-station tandem queue with per-queue
+//     capacity C: slotted time, independent dyadic arrival / transfer /
+//     departure events per slot (rates drawn as k/64 from `seed`), state
+//     reward = total occupancy, labels "empty" and "full". (C+1)^2 states
+//     with no symmetry at all: the quotient's worst case, kept as the
+//     no-collapse control family.
+//
+//   * replicated WSN field (MDP) — R independent copies of the paper's §V-A
+//     wireless-sensor grid (src/casestudies/wsn.hpp), a dispatcher state
+//     routing the query uniformly to one replica's source, and a shared
+//     "delivered" sink. With `jitter` 0 the replicas are identical and
+//     bisimulation collapses R*g^2+2 states to g^2+2 — the massive
+//     symmetry-reduction case; nonzero `jitter` perturbs each replica's
+//     ignore probabilities (dyadic deltas from `seed`) and destroys the
+//     collapse. R == 1 is exactly `build_wsn_mdp` — byte-compatible with
+//     the hand-written wsn.prism fixture.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/mdp/model.hpp"
+
+namespace tml {
+
+enum class GeneratorFamily { kGridRobot, kQueueMesh, kWsnField };
+
+/// Wire/CLI name of a family ("grid", "queue", "wsn").
+const char* family_name(GeneratorFamily family);
+
+struct GeneratorSpec {
+  GeneratorFamily family = GeneratorFamily::kWsnField;
+  /// Family scale knob: grid side W (grid robot, W^2 states), per-queue
+  /// capacity C (queueing mesh, (C+1)^2 states), or replica count R
+  /// (WSN field, R*g^2 + 2 states; g^2 + 1 when R == 1).
+  std::size_t size = 3;
+  /// Seeds every randomized ingredient (hazard placement, queue rates,
+  /// replica jitter). Identical specs generate identical bytes.
+  std::uint64_t seed = 1;
+  /// Grid robot: fraction of non-corner cells turned into absorbing
+  /// "hazard" states.
+  double hazard_density = 0.0;
+  /// WSN field: per-replica ignore-probability perturbation amplitude.
+  /// 0 keeps the replicas identical (the maximally collapsible case).
+  double jitter = 0.0;
+  /// WSN field: grid side of each replica (paper: 3).
+  std::size_t wsn_grid = 3;
+};
+
+/// Number of states the spec's model will have, without building it —
+/// lets tests and CI smoke checks assert scale cheaply.
+std::size_t expected_states(const GeneratorSpec& spec);
+
+/// True when the family generates a DTMC (queueing mesh), false for the
+/// MDP families.
+bool family_is_dtmc(GeneratorFamily family);
+
+Mdp generate_grid_robot(const GeneratorSpec& spec);
+Dtmc generate_queue_mesh(const GeneratorSpec& spec);
+Mdp generate_wsn_field(const GeneratorSpec& spec);
+
+/// Builds the spec's model and serializes it through to_prism() — the
+/// single entry point tml_gen and the round-trip tests use.
+std::string generate_prism(const GeneratorSpec& spec);
+
+}  // namespace tml

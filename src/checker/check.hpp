@@ -37,6 +37,14 @@ struct CheckOptions {
   Budget budget = default_budget();
   /// Worker threads for the bounded/cumulative sweeps (0 = TML_THREADS).
   std::size_t threads = 0;
+  /// Run strong-bisimulation minimization (src/mdp/quotient.hpp) before
+  /// solving and lift the per-state answers back through the block map.
+  /// Semantically transparent: the quotient respects labels and rewards, so
+  /// every P/R verdict and value is unchanged — only the solver cost drops.
+  /// Refinement runs under the same `budget`; if it exhausts, the check
+  /// degrades to the unquotiented model (CheckResult::quotient_states
+  /// reports which path ran).
+  bool quotient = false;
 };
 
 /// Set of states satisfying a boolean PCTL formula. Throws for quantitative

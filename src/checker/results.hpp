@@ -23,6 +23,13 @@ struct CheckResult {
   StateSet sat_states;
   std::optional<double> value;
   std::vector<double> values;
+  /// Number of states the solvers actually ran on when the check went
+  /// through the bisimulation quotient (CheckOptions::quotient): the block
+  /// count of the minimized model. 0 means the quotient pass was not used —
+  /// either not requested, or refinement hit its budget and the check
+  /// degraded to the unquotiented model. `sat_states`/`values` are always
+  /// in the *original* state space (lifted through the block map).
+  std::size_t quotient_states = 0;
 };
 
 }  // namespace tml

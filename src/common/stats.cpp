@@ -48,6 +48,11 @@ constexpr SchemaEntry kSchema[] = {
     {"compile.patch_hits", SchemaEntry::kCounter},
     {"compile.patch_fallbacks", SchemaEntry::kCounter},
     {"compile.patch_dirty_states", SchemaEntry::kCounter},
+    {"compile.quotient_runs", SchemaEntry::kCounter},
+    {"compile.quotient_refinements", SchemaEntry::kCounter},
+    {"compile.quotient_fallbacks", SchemaEntry::kCounter},
+    {"compile.quotient_blocks", SchemaEntry::kGauge},
+    {"compile.quotient_time", SchemaEntry::kTimer},
     {"checker.checks", SchemaEntry::kCounter},
     {"checker.vi.iterations", SchemaEntry::kCounter},
     {"checker.pi.iterations", SchemaEntry::kCounter},

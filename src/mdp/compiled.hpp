@@ -61,6 +61,8 @@ namespace tml {
 
 class CompiledModel;
 struct PatchResult;
+struct QuotientResult;
+struct QuotientOptions;
 
 /// Strongly-connected-component condensation of a compiled model, with the
 /// blocks stored in *dependency order*: every positive-probability edge
@@ -211,6 +213,11 @@ class CompiledModel {
   friend PatchResult patch_probabilities(CompiledModel& model, const Mdp& mdp);
   friend PatchResult patch_probabilities(CompiledModel& model,
                                          const Dtmc& chain);
+  // Bisimulation minimization (src/mdp/quotient.cpp) assembles the quotient
+  // CSR directly — rebuilding through the Mdp builder would cost a second
+  // copy of the model on the no-collapse path.
+  friend QuotientResult bisimulation_quotient(const CompiledModel& model,
+                                              const QuotientOptions& options);
 
  private:
   void build_predecessors() const;

@@ -1,0 +1,374 @@
+#include "src/mdp/quotient.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "src/common/stats.hpp"
+
+namespace tml {
+
+namespace {
+
+/// splitmix64 finalizer — the second digest stream runs every token through
+/// this so the two streams stay decorrelated (two plain FNV streams with
+/// different offsets share too much structure).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// 128-bit running digest of a signature token stream. Signatures are
+/// compared by digest during refinement (grouping members of a block): a
+/// spurious merge needs both independent 64-bit streams to collide inside
+/// one block, probability ~ |block|^2 / 2^128 — negligible even at 10^6
+/// states. A spurious *split* is impossible (equal token streams hash
+/// equally), so determinism is unaffected.
+struct Digest {
+  std::uint64_t a = 1469598103934665603ull;  // FNV-1a offset basis
+  std::uint64_t b = 0x2545f4914f6cdd1dull;
+
+  void mix(std::uint64_t w) {
+    a = (a ^ w) * 1099511628211ull;  // FNV-1a step
+    b = mix64(b ^ mix64(w));
+  }
+  friend bool operator==(const Digest& x, const Digest& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+};
+
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const {
+    return static_cast<std::size_t>(d.a ^ mix64(d.b));
+  }
+};
+
+struct WordVecHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& v) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t w : v) h = (h ^ w) * 1099511628211ull;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Aggregates the transition row of global choice `c` by current block:
+/// fills `dist` with (block, summed probability) sorted by block id. The
+/// summation order is fixed by the CSR row order, so equal rows aggregate
+/// to bitwise-equal distributions.
+void aggregate_choice(const CompiledModel& m, std::uint32_t c,
+                      const std::vector<std::uint32_t>& block,
+                      std::vector<std::pair<std::uint32_t, double>>& dist) {
+  dist.clear();
+  const std::span<const StateId> targets = m.targets(c);
+  const std::span<const double> probs = m.probabilities(c);
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    dist.emplace_back(block[targets[k]], probs[k]);
+  }
+  std::sort(dist.begin(), dist.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < dist.size(); ++r) {
+    if (w > 0 && dist[w - 1].first == dist[r].first) {
+      dist[w - 1].second += dist[r].second;
+    } else {
+      dist[w++] = dist[r];
+    }
+  }
+  dist.resize(w);
+}
+
+}  // namespace
+
+std::vector<double> lift_values(const std::vector<std::uint32_t>& state_map,
+                                std::span<const double> quotient_values) {
+  std::vector<double> out(state_map.size());
+  for (std::size_t s = 0; s < state_map.size(); ++s) {
+    out[s] = quotient_values[state_map[s]];
+  }
+  return out;
+}
+
+StateSet lift_states(const std::vector<std::uint32_t>& state_map,
+                     const StateSet& quotient_set) {
+  StateSet out(state_map.size());
+  for (std::size_t s = 0; s < state_map.size(); ++s) {
+    if (quotient_set[state_map[s]]) out.set(s);
+  }
+  return out;
+}
+
+QuotientResult bisimulation_quotient(const CompiledModel& m,
+                                     const QuotientOptions& options) {
+  static stats::Counter& c_runs = stats::counter("compile.quotient_runs");
+  static stats::Counter& c_refines =
+      stats::counter("compile.quotient_refinements");
+  static stats::Counter& c_fallbacks =
+      stats::counter("compile.quotient_fallbacks");
+  static stats::Gauge& g_blocks = stats::gauge("compile.quotient_blocks");
+  static stats::Timer& t_quotient = stats::timer("compile.quotient_time");
+  const stats::ScopedTimer span(t_quotient);
+  c_runs.bump();
+
+  const std::size_t n = m.num_states();
+  QuotientResult out;
+  BudgetTracker tracker(options.budget);
+
+  // ---- initial partition: exact grouping by (label bitset, state reward).
+  // Label and reward splits are decided by exact key comparison, not by
+  // digest, so two states with different observations can never share a
+  // block regardless of hashing.
+  const std::vector<std::string>& label_names = m.label_names();
+  std::vector<StateSet> label_sets;
+  label_sets.reserve(label_names.size());
+  for (const std::string& name : label_names) {
+    label_sets.push_back(m.states_with_label(name));
+  }
+
+  std::vector<std::uint32_t> block(n, 0);
+  std::vector<std::vector<std::uint32_t>> members;  // per block, ascending ids
+  std::uint32_t num_blocks = 0;
+  {
+    std::unordered_map<std::vector<std::uint64_t>, std::uint32_t, WordVecHash>
+        initial_ids;
+    std::vector<std::uint64_t> key;
+    for (StateId s = 0; s < n; ++s) {
+      key.clear();
+      std::uint64_t word = 0;
+      for (std::size_t l = 0; l < label_sets.size(); ++l) {
+        if (label_sets[l][s]) word |= std::uint64_t{1} << (l & 63);
+        if ((l & 63) == 63) {
+          key.push_back(word);
+          word = 0;
+        }
+      }
+      key.push_back(word);
+      key.push_back(std::bit_cast<std::uint64_t>(m.state_reward(s)));
+      auto [it, inserted] = initial_ids.emplace(key, num_blocks);
+      if (inserted) {
+        members.emplace_back();
+        ++num_blocks;
+      }
+      block[s] = it->second;
+      members[it->second].push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+
+  // ---- signature refinement with a Bitset splitter queue.
+  std::vector<Digest> sig(n);
+  Bitset queued(n, true);  // states whose signature must be recomputed
+  Bitset dirty_blocks(n, false);
+  std::vector<std::uint32_t> dirty_list;
+  std::vector<std::uint32_t> movers;
+  std::vector<std::pair<std::uint32_t, double>> dist;
+  std::vector<std::uint32_t> group_of, new_ids, keep;
+  std::vector<Digest> choice_digests;
+  bool complete = false;
+  std::uint64_t pending_evals = 0;
+
+  // Digest of one state's signature: the sorted, deduplicated set of
+  // (choice reward, distribution-over-blocks) pairs. Action ids are not
+  // part of the signature (see quotient.hpp).
+  auto state_digest = [&](StateId s) {
+    choice_digests.clear();
+    for (std::uint32_t c = m.first_choice(s); c < m.last_choice(s); ++c) {
+      aggregate_choice(m, c, block, dist);
+      Digest d;
+      d.mix(std::bit_cast<std::uint64_t>(m.choice_reward(c)));
+      for (const auto& [b, p] : dist) {
+        d.mix(b);
+        d.mix(std::bit_cast<std::uint64_t>(p));
+      }
+      choice_digests.push_back(d);
+      pending_evals += dist.size() + 1;
+    }
+    // Set semantics over choices: order-canonicalize and drop duplicates so
+    // two states whose choice lists are permutations (or contain repeats)
+    // of each other digest identically.
+    std::sort(choice_digests.begin(), choice_digests.end(),
+              [](const Digest& x, const Digest& y) {
+                return x.a != y.a ? x.a < y.a : x.b < y.b;
+              });
+    choice_digests.erase(
+        std::unique(choice_digests.begin(), choice_digests.end()),
+        choice_digests.end());
+    Digest d;
+    for (const Digest& cd : choice_digests) {
+      d.mix(cd.a);
+      d.mix(cd.b);
+    }
+    return d;
+  };
+
+  while (true) {
+    if (!tracker.tick()) break;  // one budget iteration per refinement round
+    const bool first_round = out.iterations == 0;
+    ++out.iterations;
+
+    // Recompute signatures of queued states; collect blocks whose members
+    // now disagree with their stored digest.
+    dirty_list.clear();
+    for (StateId s = 0; s < n && tracker.ok(); ++s) {
+      if (!queued.test(s)) continue;
+      const Digest d = state_digest(s);
+      if (first_round || !(d == sig[s])) {
+        sig[s] = d;
+        if (!dirty_blocks.test(block[s])) {
+          dirty_blocks.set(block[s]);
+          dirty_list.push_back(block[s]);
+        }
+      }
+      if (pending_evals >= 4096) {
+        tracker.tick_evaluations(pending_evals);  // cancellation checkpoint
+        pending_evals = 0;
+      }
+    }
+    if (!tracker.ok()) break;
+    if (dirty_list.empty()) {
+      complete = true;
+      break;
+    }
+
+    // Split every dirty block by digest. Sub-block of the first member
+    // keeps the old id; the rest get fresh ids in first-occurrence order —
+    // fully deterministic given the (deterministic) scan order.
+    std::sort(dirty_list.begin(), dirty_list.end());
+    movers.clear();
+    for (std::uint32_t b : dirty_list) {
+      dirty_blocks.set(b, false);
+      if (members[b].size() <= 1) continue;
+      std::vector<std::uint32_t> mem = std::move(members[b]);
+      std::unordered_map<Digest, std::uint32_t, DigestHash> groups;
+      groups.reserve(mem.size());
+      group_of.clear();
+      std::uint32_t num_groups = 0;
+      for (std::uint32_t s : mem) {
+        auto [it, inserted] = groups.emplace(sig[s], num_groups);
+        if (inserted) ++num_groups;
+        group_of.push_back(it->second);
+      }
+      if (num_groups == 1) {
+        members[b] = std::move(mem);
+        continue;
+      }
+      new_ids.assign(num_groups, 0);
+      new_ids[0] = b;
+      for (std::uint32_t g = 1; g < num_groups; ++g) {
+        new_ids[g] = num_blocks++;
+        members.emplace_back();
+      }
+      keep.clear();
+      for (std::size_t i = 0; i < mem.size(); ++i) {
+        const std::uint32_t s = mem[i];
+        const std::uint32_t g = group_of[i];
+        if (g == 0) {
+          keep.push_back(s);
+        } else {
+          block[s] = new_ids[g];
+          members[new_ids[g]].push_back(s);
+          movers.push_back(s);
+        }
+      }
+      members[b] = keep;
+    }
+    if (movers.empty()) {
+      complete = true;
+      break;
+    }
+
+    // Splitter queue for the next round: every CSC predecessor of a state
+    // that changed block may now have a different signature. A state with a
+    // self-loop is its own predecessor, so own-block moves re-enqueue too.
+    queued = Bitset(n, false);
+    for (std::uint32_t t : movers) {
+      for (StateId p : m.predecessors(t)) queued.set(p);
+    }
+  }
+
+  c_refines.add(out.iterations);
+  if (!complete) {
+    // The partial partition is coarser than bisimilarity — checking against
+    // it could merge distinguishable states and return wrong numbers, so
+    // nothing is returned and the caller degrades to the original model.
+    c_fallbacks.bump();
+    out.budget_stop = tracker.stop();
+    return out;
+  }
+
+  // ---- canonical block numbering: ascending first-member state id. This
+  // makes the pass idempotent bit-for-bit (quotienting a quotient yields
+  // the identity state_map and an equal content_hash).
+  constexpr std::uint32_t kUnassigned = 0xffffffffu;
+  std::vector<std::uint32_t> renumber(num_blocks, kUnassigned);
+  std::vector<StateId> rep;  // canonical block -> representative state
+  rep.reserve(num_blocks);
+  std::uint32_t next = 0;
+  for (StateId s = 0; s < n; ++s) {
+    if (renumber[block[s]] == kUnassigned) {
+      renumber[block[s]] = next++;
+      rep.push_back(s);
+    }
+  }
+  out.state_map.resize(n);
+  for (StateId s = 0; s < n; ++s) out.state_map[s] = renumber[block[s]];
+
+  // ---- build the quotient CSR from the representatives. Each block's
+  // choices are its representative's choices with targets mapped to blocks
+  // and duplicate (reward, distribution) choices merged — the same set
+  // semantics the signature used.
+  CompiledModel q;
+  q.num_states_ = next;
+  q.initial_state_ = out.state_map[m.initial_state()];
+  q.deterministic_ = m.deterministic();
+  q.row_start_.reserve(next + 1);
+  q.row_start_.push_back(0);
+  q.choice_start_.push_back(0);
+  q.state_reward_.reserve(next);
+  std::vector<std::vector<std::uint64_t>> seen_choices;
+  for (std::uint32_t b = 0; b < next; ++b) {
+    const StateId s = rep[b];
+    q.state_reward_.push_back(m.state_reward(s));
+    seen_choices.clear();
+    for (std::uint32_t c = m.first_choice(s); c < m.last_choice(s); ++c) {
+      aggregate_choice(m, c, out.state_map, dist);
+      std::vector<std::uint64_t> tokens;
+      tokens.reserve(2 * dist.size() + 1);
+      tokens.push_back(std::bit_cast<std::uint64_t>(m.choice_reward(c)));
+      for (const auto& [tb, p] : dist) {
+        tokens.push_back(tb);
+        tokens.push_back(std::bit_cast<std::uint64_t>(p));
+      }
+      if (std::find(seen_choices.begin(), seen_choices.end(), tokens) !=
+          seen_choices.end()) {
+        continue;  // duplicate distribution under the quotient
+      }
+      seen_choices.push_back(std::move(tokens));
+      for (const auto& [tb, p] : dist) {
+        q.target_.push_back(tb);
+        q.prob_.push_back(p);
+      }
+      q.choice_reward_.push_back(m.choice_reward(c));
+      q.choice_action_.push_back(m.choice_action(c));
+      q.choice_start_.push_back(static_cast<std::uint32_t>(q.target_.size()));
+    }
+    q.row_start_.push_back(
+        static_cast<std::uint32_t>(q.choice_start_.size() - 1));
+  }
+  q.label_names_ = label_names;
+  q.label_sets_.reserve(label_sets.size());
+  for (const StateSet& set : label_sets) {
+    StateSet qset(next);
+    for (std::uint32_t b = 0; b < next; ++b) {
+      if (set[rep[b]]) qset.set(b);
+    }
+    q.label_sets_.push_back(std::move(qset));
+  }
+
+  out.quotient = std::move(q);
+  out.complete = true;
+  g_blocks.set(static_cast<double>(next));
+  return out;
+}
+
+}  // namespace tml

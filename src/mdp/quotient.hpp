@@ -1,0 +1,108 @@
+// Strong probabilistic bisimulation quotienting of compiled models.
+//
+// The repair loop re-checks PCTL properties after every perturbation, so
+// checking cost bounds the whole pipeline. Bisimulation minimization is the
+// classical lever: collapse states that are behaviourally indistinguishable
+// *before* the expensive solvers run, check the (often far smaller) quotient,
+// and lift the per-state answers back. `bisimulation_quotient()` computes the
+// coarsest strong probabilistic bisimulation that respects
+//
+//   * atomic propositions — two states merge only if they carry exactly the
+//     same label set, so every PCTL state formula evaluates identically;
+//   * state rewards, and per-choice rewards inside the signature, so R
+//     operators (reachability and cumulative) are preserved as well;
+//   * for MDPs, the *set* of distributions-over-blocks: each state's choices,
+//     viewed as (choice reward, aggregated distribution over current blocks)
+//     pairs, must coincide as sets. Action identities are deliberately NOT
+//     part of the signature — checking semantics never read them — which lets
+//     structurally symmetric states merge even when their actions are named
+//     differently (e.g. the grid robot's "east" from (x,y) matching "north"
+//     from (y,x)).
+//
+// For DTMCs the same pass specializes to ordinary lumpability, so
+// steady-state / long-run probabilities of label sets are preserved too
+// (labels are unions of blocks).
+//
+// Algorithm: signature-based partition refinement over the CSR (Derisavi /
+// sigref style). The initial partition groups states by (label bitset, state
+// reward); each round recomputes probability signatures — per choice, the
+// target distribution aggregated by current block — for the states whose
+// signature may have changed, and splits every block whose members now
+// disagree. The "may have changed" set is tracked with the word-packed
+// `Bitset` as a splitter queue: when a state changes block, all its CSC
+// predecessors are enqueued for re-signature next round (a state with a
+// self-loop is its own predecessor, so own-block moves are covered). Blocks
+// only ever split, so the refinement terminates in at most n-1 rounds; each
+// round costs O(enqueued rows) rather than O(m).
+//
+// Signatures compare probabilities *bitwise* after a fixed-order aggregation.
+// That is deliberately conservative: states whose distributions are equal as
+// reals but differ in the last ulp of an aggregated sum stay separate — a
+// finer partition is still a bisimulation, so every lifted answer remains
+// exact. The dyadic generators used by the differential tests (and the
+// replicated families from src/casestudies/generator.hpp) aggregate exactly.
+//
+// Budgets: refinement honours a `BudgetTracker` (one iteration per round,
+// evaluation ticks per signature batch). On exhaustion the partial partition
+// is NOT a bisimulation — it is too coarse — so no quotient is returned:
+// `complete == false`, and callers degrade to checking the unquotiented
+// model (this is what CheckOptions::quotient does). Records the
+// compile.quotient_* stats family.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/budget.hpp"
+#include "src/mdp/compiled.hpp"
+
+namespace tml {
+
+/// Outcome of a quotient pass. `quotient` and `state_map` are only
+/// meaningful when `complete` is true; on budget exhaustion the partial
+/// partition would be unsound to check against, so nothing is returned.
+struct QuotientResult {
+  /// True when refinement reached the fixpoint (the coarsest partition).
+  bool complete = false;
+  /// Why refinement stopped early (kNone when complete).
+  BudgetStop budget_stop = BudgetStop::kNone;
+  /// Refinement rounds executed (including the final stable round).
+  std::size_t iterations = 0;
+
+  /// The minimized model; state b is the block of every original state s
+  /// with state_map[s] == b. Valid iff complete.
+  CompiledModel quotient;
+  /// Original state -> quotient state. Valid iff complete.
+  std::vector<std::uint32_t> state_map;
+
+  std::size_t num_blocks() const { return quotient.num_states(); }
+};
+
+struct QuotientOptions {
+  Budget budget = default_budget();
+};
+
+/// Computes the coarsest label- and reward-respecting strong probabilistic
+/// bisimulation quotient of `model`. Deterministic: the block numbering is
+/// canonical (ascending first-member state id), so the same input always
+/// produces a bitwise-identical quotient — quotienting a quotient yields the
+/// identity map and an equal content_hash().
+QuotientResult bisimulation_quotient(const CompiledModel& model,
+                                     const QuotientOptions& options = {});
+
+/// Lifts a per-quotient-state value vector back to the original state space:
+/// out[s] = quotient_values[state_map[s]]. Under strong bisimulation the
+/// value of a state equals the value of its block, so this lift is exact —
+/// applying it to the lo and hi rails of a certified interval bracket yields
+/// a bracket that still contains the true per-original-state value.
+std::vector<double> lift_values(const std::vector<std::uint32_t>& state_map,
+                                std::span<const double> quotient_values);
+
+/// Lifts a quotient-state set (e.g. a satisfaction set) back to the original
+/// state space: s is in the result iff state_map[s] is in `quotient_set`.
+StateSet lift_states(const std::vector<std::uint32_t>& state_map,
+                     const StateSet& quotient_set);
+
+}  // namespace tml

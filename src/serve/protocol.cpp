@@ -62,6 +62,12 @@ Request parse_request(const std::string& line) {
     }
     request.timeout_ms = static_cast<std::int64_t>(timeout->as_number());
   }
+  if (const Json* quotient = parsed.find("quotient")) {
+    if (!quotient->is_bool()) {
+      throw WireError("bad_request", "\"quotient\" must be a boolean");
+    }
+    request.quotient = quotient->as_bool();
+  }
   return request;
 }
 

@@ -12,6 +12,11 @@
 //    formula, exactly the two positional arguments of tml_check.
 //  * "timeout_ms" (optional): per-request wall-clock deadline; omitted or 0
 //    uses the server default (ServeOptions::default_timeout_ms).
+//  * "quotient" (optional boolean, check only): run strong-bisimulation
+//    minimization before solving (CheckOptions::quotient). Semantically
+//    transparent; the response reports the solved block count as
+//    "quotient_states" when the pass ran to completion (absent when
+//    refinement hit the deadline and the check degraded to the full model).
 //  * "id" (optional): any JSON value, echoed verbatim in the response so
 //    clients can pipeline requests on one connection.
 //
@@ -49,6 +54,7 @@ struct Request {
   std::string model;
   std::string formula;
   std::int64_t timeout_ms = 0;  ///< 0 = server default
+  bool quotient = false;  ///< minimize before solving (check only)
   Json id;
 };
 

@@ -190,6 +190,7 @@ Json::Object Server::Impl::run_check(const Request& request) {
   if (timeout_ms > 0) check_options.budget.deadline_in_ms(timeout_ms);
   check_options.budget.cancel = cancel;
   check_options.threads = options.solver_threads;
+  check_options.quotient = request.quotient;
 
   response["cache"] = cached.hit ? "hit" : "miss";
   response["states"] = cached.entry->num_states;
@@ -200,6 +201,9 @@ Json::Object Server::Impl::run_check(const Request& request) {
     response["status"] = "ok";
     response["verdict"] = result.satisfied;
     if (result.value) response["value"] = *result.value;
+    if (result.quotient_states > 0) {
+      response["quotient_states"] = result.quotient_states;
+    }
   } catch (const BudgetExhausted& e) {
     static stats::Counter& c_exhausted =
         stats::counter("serve.deadline_exhausted");
