@@ -21,12 +21,12 @@ std::atomic<bool> g_any_armed{false};
 
 namespace {
 
-enum class Mode { kNan, kInf, kOn, kSkew };
+enum class Mode { kNan, kInf, kOn, kSkew, kShort, kDrop, kDelay };
 
 struct Site {
   Mode mode = Mode::kOn;
   std::uint64_t after = 0;   // calls to pass through before injecting
-  std::int64_t skew_ns = 0;  // Mode::kSkew payload
+  std::int64_t skew_ns = 0;  // Mode::kSkew / Mode::kDelay payload
   std::atomic<std::uint64_t> calls{0};
   std::atomic<std::uint64_t> hits{0};
 };
@@ -61,23 +61,33 @@ bool due(Site& site) {
   return true;
 }
 
+/// Parses the `<number>` payload of `skew=` / `delay=`. Locale-independent
+/// (src/common/numeric.hpp): TML_FAULT specs are dotted-decimal regardless
+/// of the process's LC_NUMERIC.
+std::int64_t parse_ns_payload(const char* what, const std::string& payload) {
+  double ns = 0.0;
+  const std::size_t consumed = parse_finite_double(payload, &ns);
+  TML_REQUIRE(consumed != 0 && consumed == payload.size(),
+              "TML_FAULT: bad " << what << " value '" << payload << "'");
+  return static_cast<std::int64_t>(ns);
+}
+
 Mode parse_mode(const std::string& text, std::int64_t* skew_ns) {
   if (text == "nan") return Mode::kNan;
   if (text == "inf") return Mode::kInf;
   if (text == "on") return Mode::kOn;
+  if (text == "short") return Mode::kShort;
+  if (text == "drop") return Mode::kDrop;
   if (text.rfind("skew=", 0) == 0) {
-    const std::string payload = text.substr(5);
-    // Locale-independent (src/common/numeric.hpp): TML_FAULT specs are
-    // dotted-decimal regardless of the process's LC_NUMERIC.
-    double ns = 0.0;
-    const std::size_t consumed = parse_finite_double(payload, &ns);
-    TML_REQUIRE(consumed != 0 && consumed == payload.size(),
-                "TML_FAULT: bad skew value '" << payload << "'");
-    *skew_ns = static_cast<std::int64_t>(ns);
+    *skew_ns = parse_ns_payload("skew", text.substr(5));
     return Mode::kSkew;
   }
+  if (text.rfind("delay=", 0) == 0) {
+    *skew_ns = parse_ns_payload("delay", text.substr(6));
+    return Mode::kDelay;
+  }
   throw Error("TML_FAULT: unknown fault mode '" + text +
-              "' (want nan|inf|on|skew=<ns>)");
+              "' (want nan|inf|on|short|drop|skew=<ns>|delay=<ns>)");
 }
 
 /// Parses TML_FAULT at static init so env-armed faults are live before
@@ -113,6 +123,23 @@ std::int64_t clock_skew_slow() {
   if (site == nullptr || site->mode != Mode::kSkew) return 0;
   if (!due(*site)) return 0;
   return site->skew_ns;
+}
+
+WireAction wire_slow(const char* site_name) {
+  std::shared_ptr<Site> site = find_site(site_name);
+  if (site == nullptr) return WireAction{};
+  WireAction action;
+  switch (site->mode) {
+    case Mode::kShort: action.kind = WireAction::Kind::kShort; break;
+    case Mode::kDrop: action.kind = WireAction::Kind::kDrop; break;
+    case Mode::kDelay:
+      action.kind = WireAction::Kind::kDelay;
+      action.delay_ns = site->skew_ns;
+      break;
+    default: return WireAction{};  // numeric mode armed on a wire site
+  }
+  if (!due(*site)) return WireAction{};
+  return action;
 }
 
 }  // namespace detail

@@ -16,6 +16,19 @@
 // fault armed each site is a load + predictable branch, and the slow paths
 // are never entered. Production binaries pay nothing else.
 //
+// Wire-level sites. The serving and journaling layers expose I/O fault
+// sites through a fourth hook, `wire(site)`, which returns the armed
+// *wire action* for this call:
+//
+//  * `short`      — the caller must truncate the transfer (read/write at
+//                   most one byte this call), exercising reassembly and
+//                   short-write loops;
+//  * `drop`       — the caller must simulate a peer disconnect (EOF on
+//                   read, EPIPE on write, closed socket on accept);
+//  * `delay=<ns>` — the caller sleeps that long before the operation,
+//                   driving slow-loris and I/O-deadline paths without a
+//                   slow network.
+//
 // Arming. Either programmatically (tests: `fault::arm("opt.eval", "nan")`,
 // `fault::disarm_all()`), or via the TML_FAULT environment variable parsed
 // before main runs:
@@ -24,6 +37,9 @@
 //   TML_FAULT=opt.eval:inf@8               first 8 calls clean, then Inf
 //   TML_FAULT=parametric.pivot:on          force the failure branch
 //   TML_FAULT=budget.clock:skew=86400e9    skew the budget clock (ns)
+//   TML_FAULT=serve.write:short            every send truncates to 1 byte
+//   TML_FAULT=serve.read:drop@4            4 clean reads, then disconnect
+//   TML_FAULT=serve.parse:delay=5e6        5 ms stall before each parse
 //   TML_FAULT=smc.sample:on,irl.gradient:nan     comma-separated list
 //
 // Determinism: sites count their calls with an atomic counter, so an
@@ -32,7 +48,8 @@
 //
 // Known sites (grep for the string literals): checker.sweep,
 // checker.converge, solver.sweep, opt.eval, parametric.pivot, smc.sample,
-// irl.gradient, budget.clock.
+// irl.gradient, budget.clock; wire-level: serve.accept, serve.read,
+// serve.write, serve.parse, session.journal_write.
 
 #pragma once
 
@@ -43,11 +60,20 @@
 namespace tml {
 namespace fault {
 
+/// Wire action an I/O fault site demands for the current call (see the
+/// header comment). `kNone` when the site is disarmed or not yet due.
+struct WireAction {
+  enum class Kind : std::uint8_t { kNone = 0, kShort, kDrop, kDelay };
+  Kind kind = Kind::kNone;
+  std::int64_t delay_ns = 0;  ///< kDelay payload
+};
+
 namespace detail {
 extern std::atomic<bool> g_any_armed;
 double poison_slow(const char* site, double v);
 bool fire_slow(const char* site);
 std::int64_t clock_skew_slow();
+WireAction wire_slow(const char* site);
 }  // namespace detail
 
 /// True when at least one fault site is armed. Inline relaxed load — the
@@ -73,9 +99,16 @@ inline std::int64_t clock_skew_ns() {
   return any_armed() ? detail::clock_skew_slow() : 0;
 }
 
+/// Wire action for an I/O site (`serve.read`, `serve.write`, `serve.accept`,
+/// `serve.parse`, `session.journal_write`): short transfer, simulated
+/// disconnect, or an injected delay. kNone when disarmed.
+inline WireAction wire(const char* site) {
+  return any_armed() ? detail::wire_slow(site) : WireAction{};
+}
+
 /// Arms `site` with `spec` (same grammar as TML_FAULT's right-hand side:
-/// `nan`, `inf`, `on`, `skew=<ns>`, each optionally `@<after>`). Throws
-/// tml::Error on a malformed spec.
+/// `nan`, `inf`, `on`, `skew=<ns>`, `short`, `drop`, `delay=<ns>`, each
+/// optionally `@<after>`). Throws tml::Error on a malformed spec.
 void arm(const std::string& site, const std::string& spec);
 
 /// Disarms one site / all sites (tests call disarm_all() in SetUp so an

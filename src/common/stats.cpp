@@ -125,6 +125,16 @@ constexpr SchemaEntry kSchema[] = {
     {"serve.latency_p50_ms", SchemaEntry::kGauge},
     {"serve.latency_p99_ms", SchemaEntry::kGauge},
     {"serve.request.time", SchemaEntry::kTimer},
+    // Connection hardening (PR 10): per-connection I/O deadline trips,
+    // connection-cap rejections, oversized request lines.
+    {"serve.io_timeouts", SchemaEntry::kCounter},
+    {"serve.conn_rejected", SchemaEntry::kCounter},
+    {"serve.oversized", SchemaEntry::kCounter},
+    // Durable repair sessions: write-ahead journal records appended,
+    // checkpoints taken, sessions resumed from a journal.
+    {"core.session.journal_records", SchemaEntry::kCounter},
+    {"core.session.checkpoints", SchemaEntry::kCounter},
+    {"core.session.resumes", SchemaEntry::kCounter},
 };
 
 class Registry {

@@ -30,11 +30,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/common/budget.hpp"
 #include "src/core/model_repair.hpp"
+#include "src/core/session_journal.hpp"
 #include "src/learn/mle.hpp"
 #include "src/logic/pctl.hpp"
 #include "src/mdp/compiled.hpp"
@@ -75,6 +78,20 @@ struct RepairSessionConfig {
   std::size_t expected_batches = 0;
   /// Worker threads for the certification sweeps (0 = TML_THREADS).
   std::size_t threads = 0;
+  /// Durable write-ahead journal path (src/core/session_journal.hpp).
+  /// Empty = volatile session. When set, every feed() appends the batch to
+  /// the journal (fsync'd) BEFORE processing it, and every
+  /// `checkpoint_every` batches appends a full-state checkpoint, so a
+  /// killed process can RepairSession::resume() and replay to a
+  /// byte-identical SessionReport.
+  std::string journal_path;
+  /// fsync every journal record (durable against power loss, not just
+  /// process death). Tests that only need kill-resume determinism can turn
+  /// it off for speed.
+  bool journal_fsync = true;
+  /// Checkpoint cadence in batches; 0 = never checkpoint (resume then
+  /// replays every journaled batch from scratch).
+  std::size_t checkpoint_every = 8;
 };
 
 /// Outcome of one feed() call.
@@ -118,8 +135,24 @@ class RepairSession {
   RepairSession(Dtmc structure, StateFormulaPtr property,
                 RepairSessionConfig config);
 
+  /// Reopens a journaled session after a crash. `config.journal_path` must
+  /// name the journal of a previous session run with the SAME structure,
+  /// property and config (the caller's contract; shape mismatches against
+  /// the structure are caught, semantic drift is not). Restores the latest
+  /// checkpoint, deterministically re-feeds the batches journaled after
+  /// it, and reopens the journal for appending, so the resumed session's
+  /// encode_session_report(report()) is byte-identical to an uninterrupted
+  /// run's (modulo wall-clock budget deadlines — use unlimited or
+  /// iteration-capped budgets for bitwise replay). A torn/corrupt tail
+  /// record — the append a crash interrupted — is dropped with a warning
+  /// (journal_warning()); its batch was never processed, so the caller
+  /// re-feeds it from the source (see fed_batches()).
+  static RepairSession resume(Dtmc structure, StateFormulaPtr property,
+                              RepairSessionConfig config);
+
   /// Processes one batch (learn → certify → repair if violated) and returns
-  /// its outcome (also appended to report()).
+  /// its outcome (also appended to report()). Journaled sessions append
+  /// the batch record before any processing (write-ahead).
   const BatchOutcome& feed(const TrajectoryDataset& batch);
 
   const SessionReport& report() const { return report_; }
@@ -127,6 +160,17 @@ class RepairSession {
   /// repair applied when one ran.
   const Dtmc& current() const { return current_; }
   const IncrementalMle& learner() const { return mle_; }
+
+  /// Batches fed so far (== report().batches.size()). After resume(), the
+  /// count recovered from the journal: callers streaming from a source
+  /// skip this many leading batches and feed the rest.
+  std::size_t fed_batches() const { return report_.batches.size(); }
+  /// Batches recovered by resume() (0 for a fresh session).
+  std::size_t resumed_batches() const { return resumed_batches_; }
+  /// True when resume() dropped a torn/corrupt journal tail.
+  bool journal_tail_dropped() const { return journal_tail_dropped_; }
+  /// What resume() dropped, human-readable (empty when the tail was clean).
+  const std::string& journal_warning() const { return journal_warning_; }
 
  private:
   /// Per-batch budget share (even split of what remains of the session
@@ -138,6 +182,12 @@ class RepairSession {
   SolveResult certify(const Dtmc& chain, double perturbation_bound,
                       const Budget& budget, BatchOutcome& outcome,
                       bool record_patch);
+  /// Appends a kCheckpoint record when the cadence is due.
+  void maybe_checkpoint();
+  /// Full-state snapshot: MLE counts, current chain rows, report, warm
+  /// bracket, last repair point. Bitwise round trip.
+  std::string encode_checkpoint() const;
+  void restore_checkpoint(const std::string& payload);
 
   Dtmc structure_;
   StateFormulaPtr property_;
@@ -157,6 +207,25 @@ class RepairSession {
 
   std::optional<std::vector<double>> last_repair_point_;
   SessionReport report_;
+
+  // Durable-session state (null/false for volatile sessions).
+  std::unique_ptr<SessionJournal> journal_;
+  bool replaying_ = false;  ///< resume() re-feed in progress: no journaling
+  std::size_t resumed_batches_ = 0;
+  bool journal_tail_dropped_ = false;
+  std::string journal_warning_;
 };
+
+/// Bitwise-stable binary encoding of a SessionReport: two runs produced
+/// the identical report iff the encodings compare equal byte-for-byte
+/// (doubles are raw IEEE-754 bit patterns). The comparison key of the
+/// crash-replay tests, and the report codec inside journal checkpoints.
+std::string encode_session_report(const SessionReport& report);
+SessionReport decode_session_report(const std::string& payload);
+
+/// Journal payload codec for trajectory batches (kBatch records).
+/// decode(encode(b)) reproduces the dataset exactly, weights included.
+std::string encode_batch(const TrajectoryDataset& batch);
+TrajectoryDataset decode_batch(const std::string& payload);
 
 }  // namespace tml

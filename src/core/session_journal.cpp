@@ -1,0 +1,311 @@
+#include "src/core/session_journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/common/fault.hpp"
+#include "src/common/stats.hpp"
+
+namespace tml {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'M', 'L', 'J'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = sizeof(kMagic) + sizeof(std::uint32_t);
+// type byte + payload length + checksum
+constexpr std::size_t kRecordHeaderSize = 1 + 4 + 8;
+// A journal only ever holds trajectory batches and session checkpoints;
+// anything claiming to be larger than this is a corrupt length field, not
+// a record worth allocating for.
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t load_u64(const char* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// write(2) the whole buffer, retrying EINTR and short writes. Returns the
+/// byte count actually written (== size on success) so a caller can report
+/// how much of a torn record landed.
+std::size_t write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return written;
+}
+
+}  // namespace
+
+std::uint64_t journal_checksum(const std::string& payload) {
+  // FNV-1a 64 — the same hash family the compiled-model content hash uses.
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : payload) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+SessionJournal::SessionJournal(std::string path, bool truncate, bool sync)
+    : path_(std::move(path)), sync_(sync) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw JournalError("journal: cannot open " + path_ + ": " +
+                       std::strerror(errno));
+  }
+  if (truncate) {
+    std::string header(kMagic, sizeof(kMagic));
+    journal_io::put_u32(header, kFormatVersion);
+    if (write_all(fd_, header.data(), header.size()) != header.size()) {
+      const std::string reason = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw JournalError("journal: cannot write header to " + path_ + ": " +
+                         reason);
+    }
+    if (sync_) ::fsync(fd_);
+  } else {
+    // Appending to an existing journal: validate the header so a resume
+    // pointed at the wrong file fails loudly instead of appending records
+    // another reader will reject.
+    const off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size < static_cast<off_t>(kHeaderSize)) {
+      ::close(fd_);
+      fd_ = -1;
+      throw JournalError("journal: " + path_ +
+                         " is not a session journal (missing header)");
+    }
+    // scan_journal validates magic + version; reuse it rather than a second
+    // header parser.
+    try {
+      (void)scan_journal(path_);
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
+  }
+}
+
+SessionJournal::~SessionJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SessionJournal::append(JournalRecordType type,
+                            const std::string& payload) {
+  static stats::Counter& c_records =
+      stats::counter("core.session.journal_records");
+  TML_REQUIRE(fd_ >= 0, "journal: append on a closed journal");
+  TML_REQUIRE(payload.size() <= kMaxPayload,
+              "journal: payload exceeds " << kMaxPayload << " bytes");
+
+  std::string record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  journal_io::put_u8(record, static_cast<std::uint8_t>(type));
+  journal_io::put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  journal_io::put_u64(record, journal_checksum(payload));
+  record.append(payload);
+
+  std::size_t to_write = record.size();
+  const fault::WireAction action = fault::wire("session.journal_write");
+  switch (action.kind) {
+    case fault::WireAction::Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::nanoseconds(action.delay_ns));
+      break;
+    case fault::WireAction::Kind::kShort:
+      // Simulated crash mid-append: half the record lands, then the
+      // process "dies" (we throw). The torn tail must be dropped — with a
+      // warning, never misread — by the next scan.
+      to_write = record.size() / 2;
+      break;
+    case fault::WireAction::Kind::kDrop:
+      throw JournalError("journal: injected write failure (" + path_ + ")");
+    case fault::WireAction::Kind::kNone:
+      break;
+  }
+
+  const std::size_t written = write_all(fd_, record.data(), to_write);
+  if (sync_) ::fsync(fd_);
+  if (written != record.size()) {
+    throw JournalError("journal: short write to " + path_ + " (" +
+                       std::to_string(written) + " of " +
+                       std::to_string(record.size()) + " bytes)");
+  }
+  ++records_written_;
+  c_records.bump();
+}
+
+JournalScan scan_journal(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw JournalError("journal: cannot open " + path + ": " +
+                       std::strerror(errno));
+  }
+  std::string data;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string reason = std::strerror(errno);
+      ::close(fd);
+      throw JournalError("journal: read failed on " + path + ": " + reason);
+    }
+    if (n == 0) break;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (data.size() < kHeaderSize ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw JournalError("journal: " + path + " is not a session journal");
+  }
+  const std::uint32_t version = load_u32(data.data() + sizeof(kMagic));
+  if (version != kFormatVersion) {
+    throw JournalError("journal: " + path + " has format version " +
+                       std::to_string(version) + ", expected " +
+                       std::to_string(kFormatVersion));
+  }
+
+  JournalScan scan;
+  std::size_t pos = kHeaderSize;
+  const auto drop_tail = [&](const std::string& why) {
+    scan.tail_dropped = true;
+    scan.dropped_bytes = data.size() - pos;
+    scan.warning = "journal: dropped " + std::to_string(scan.dropped_bytes) +
+                   " trailing byte(s) of " + path + " after record " +
+                   std::to_string(scan.records.size()) + ": " + why;
+  };
+  while (pos < data.size()) {
+    if (data.size() - pos < kRecordHeaderSize) {
+      drop_tail("torn record header");
+      break;
+    }
+    const std::uint8_t type = static_cast<std::uint8_t>(data[pos]);
+    const std::uint32_t length = load_u32(data.data() + pos + 1);
+    const std::uint64_t checksum = load_u64(data.data() + pos + 5);
+    if (type != static_cast<std::uint8_t>(JournalRecordType::kBatch) &&
+        type != static_cast<std::uint8_t>(JournalRecordType::kCheckpoint)) {
+      drop_tail("unknown record type " + std::to_string(type));
+      break;
+    }
+    if (length > kMaxPayload || data.size() - pos - kRecordHeaderSize < length) {
+      drop_tail("truncated payload (" + std::to_string(length) +
+                " bytes claimed)");
+      break;
+    }
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(type);
+    record.payload = data.substr(pos + kRecordHeaderSize, length);
+    if (journal_checksum(record.payload) != checksum) {
+      drop_tail("checksum mismatch");
+      break;
+    }
+    scan.records.push_back(std::move(record));
+    pos += kRecordHeaderSize + length;
+  }
+  return scan;
+}
+
+namespace journal_io {
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(v));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(v));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(v));
+  put_u64(out, bits);
+}
+
+void put_bytes(std::string& out, const std::string& bytes) {
+  put_u64(out, bytes.size());
+  out.append(bytes);
+}
+
+std::uint8_t Reader::u8() {
+  if (data_.size() - pos_ < 1) {
+    throw JournalError("journal: payload underrun (u8)");
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t Reader::u32() {
+  if (data_.size() - pos_ < sizeof(std::uint32_t)) {
+    throw JournalError("journal: payload underrun (u32)");
+  }
+  const std::uint32_t v = load_u32(data_.data() + pos_);
+  pos_ += sizeof(v);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (data_.size() - pos_ < sizeof(std::uint64_t)) {
+    throw JournalError("journal: payload underrun (u64)");
+  }
+  const std::uint64_t v = load_u64(data_.data() + pos_);
+  pos_ += sizeof(v);
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::bytes() {
+  const std::uint64_t n = u64();
+  if (data_.size() - pos_ < n) {
+    throw JournalError("journal: payload underrun (bytes)");
+  }
+  std::string out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+void Reader::expect_done(const char* what) const {
+  if (pos_ != data_.size()) {
+    throw JournalError(std::string("journal: trailing bytes in ") + what +
+                       " payload");
+  }
+}
+
+}  // namespace journal_io
+
+}  // namespace tml

@@ -154,6 +154,31 @@ void IncrementalMle::add(const TrajectoryDataset& batch) {
   ++batches_;
 }
 
+void IncrementalMle::restore(CountTable table, std::size_t batches,
+                             double total_weight) {
+  TML_REQUIRE(table.counts.size() == structure_.num_states(),
+              "IncrementalMle::restore: count table has "
+                  << table.counts.size() << " states, structure has "
+                  << structure_.num_states());
+  for (StateId s = 0; s < structure_.num_states(); ++s) {
+    const auto& choices = structure_.choices(s);
+    TML_REQUIRE(table.counts[s].size() == choices.size(),
+                "IncrementalMle::restore: state " << s << " has "
+                    << table.counts[s].size() << " choice rows, structure has "
+                    << choices.size());
+    for (std::size_t c = 0; c < choices.size(); ++c) {
+      TML_REQUIRE(
+          table.counts[s][c].size() == choices[c].transitions.size(),
+          "IncrementalMle::restore: state " << s << " choice " << c << " has "
+              << table.counts[s][c].size() << " entries, structure has "
+              << choices[c].transitions.size());
+    }
+  }
+  table_ = std::move(table);
+  batches_ = batches;
+  total_weight_ = total_weight;
+}
+
 Mdp IncrementalMle::mdp(double pseudocount) const {
   return estimate_from_counts(structure_, table_, pseudocount);
 }

@@ -80,6 +80,13 @@ class IncrementalMle {
   /// transition counts into the running totals.
   void add(const TrajectoryDataset& batch);
 
+  /// Replaces the accumulator state wholesale — the session-journal
+  /// checkpoint restore path. `table` must be shaped exactly like the
+  /// structure's support (throws tml::Error otherwise); counts restored
+  /// bitwise make subsequent estimates bitwise identical to the
+  /// uninterrupted run's.
+  void restore(CountTable table, std::size_t batches, double total_weight);
+
   /// Current estimate over everything added so far. Choices with zero
   /// accumulated mass keep the structure's prior probabilities.
   Mdp mdp(double pseudocount = 0.0) const;

@@ -1,0 +1,340 @@
+#include "src/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace tml {
+namespace serve {
+
+namespace {
+
+/// Absolute attempt deadline; unbounded when the timeout option is 0.
+struct Deadline {
+  explicit Deadline(std::int64_t timeout_ms)
+      : bounded(timeout_ms > 0),
+        at(std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(timeout_ms)) {}
+
+  /// Remaining budget as a poll(2) timeout: -1 = unbounded, 0 = expired.
+  int remaining_poll_ms() const {
+    if (!bounded) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          at - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) return 0;
+    return static_cast<int>(std::min<long long>(left, INT_MAX));
+  }
+
+  bool bounded;
+  std::chrono::steady_clock::time_point at;
+};
+
+struct UniqueFd {
+  int fd = -1;
+  ~UniqueFd() {
+    if (fd >= 0) ::close(fd);
+  }
+  UniqueFd() = default;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+};
+
+/// Non-blocking connect bounded by connect_timeout_ms. The socket stays
+/// non-blocking: every later send/recv is paced by poll() against the
+/// attempt deadline instead of kernel-default blocking.
+int connect_with_timeout(const ClientOptions& options) {
+  const bool unix_mode = !options.unix_path.empty();
+  const int fd =
+      ::socket(unix_mode ? AF_UNIX : AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    throw ClientError("connect",
+                      std::string("socket(): ") + std::strerror(errno), true);
+  }
+  UniqueFd guard;
+  guard.fd = fd;
+
+  int rc;
+  if (unix_mode) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw ClientError("connect", "unix socket path too long", false);
+    }
+    std::strncpy(addr.sun_path, options.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+      // A host that does not parse is a configuration error, not weather.
+      throw ClientError("connect", "bad host '" + options.host + "'", false);
+    }
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    throw ClientError("connect",
+                      std::string("connect(): ") + std::strerror(errno), true);
+  }
+  if (rc != 0) {
+    pollfd waiting{};
+    waiting.fd = fd;
+    waiting.events = POLLOUT;
+    const int timeout = options.connect_timeout_ms > 0
+                            ? static_cast<int>(std::min<std::int64_t>(
+                                  options.connect_timeout_ms, INT_MAX))
+                            : -1;
+    const int ready = ::poll(&waiting, 1, timeout);
+    if (ready == 0) {
+      throw ClientError("connect",
+                        "connect timed out after " +
+                            std::to_string(options.connect_timeout_ms) + " ms",
+                        true);
+    }
+    if (ready < 0) {
+      throw ClientError("connect",
+                        std::string("poll(): ") + std::strerror(errno), true);
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      throw ClientError("connect",
+                        std::string("connect(): ") + std::strerror(err), true);
+    }
+  }
+  guard.fd = -1;  // handed to the caller
+  return fd;
+}
+
+void send_line(int fd, const std::string& data, const Deadline& deadline) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+#endif
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd waiting{};
+      waiting.fd = fd;
+      waiting.events = POLLOUT;
+      const int ready = ::poll(&waiting, 1, deadline.remaining_poll_ms());
+      if (ready == 0) {
+        throw ClientError("timeout", "request write timed out", true);
+      }
+      if (ready < 0 && errno != EINTR) {
+        throw ClientError("disconnected",
+                          std::string("poll(): ") + std::strerror(errno), true);
+      }
+      continue;
+    }
+    throw ClientError("disconnected", "connection closed during write", true);
+  }
+}
+
+/// Reads one complete '\n'-terminated line. A connection that ends before
+/// the terminator is a transport error — the fragment is discarded, never
+/// parsed (a torn server write must not look like a short answer).
+std::string recv_line(int fd, const Deadline& deadline) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    pollfd waiting{};
+    waiting.fd = fd;
+    waiting.events = POLLIN;
+    const int ready = ::poll(&waiting, 1, deadline.remaining_poll_ms());
+    if (ready == 0) {
+      throw ClientError("timeout", "response read timed out", true);
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError("disconnected",
+                        std::string("poll(): ") + std::strerror(errno), true);
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw ClientError("disconnected",
+                        std::string("recv(): ") + std::strerror(errno), true);
+    }
+    if (n == 0) {
+      throw ClientError(
+          "disconnected",
+          buffer.empty()
+              ? "server closed the connection before responding"
+              : "connection closed mid-response (torn line discarded)",
+          true);
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+  }
+}
+
+std::string hex_key(std::uint64_t key) {
+  std::ostringstream out;
+  out << std::hex << key;
+  return out.str();
+}
+
+}  // namespace
+
+bool retryable_kind(const std::string& kind) {
+  return kind == "overloaded" || kind == "timeout";
+}
+
+std::int64_t backoff_delay_ms(std::size_t attempt, const ClientOptions& options,
+                              Rng& rng) {
+  const double base =
+      static_cast<double>(std::max<std::int64_t>(0, options.backoff_base_ms));
+  const double cap =
+      static_cast<double>(std::max<std::int64_t>(0, options.backoff_max_ms));
+  // Cap the shift before exponentiating so huge attempt counts cannot
+  // overflow into nonsense delays.
+  const double raw =
+      base * std::pow(2.0, static_cast<double>(std::min<std::size_t>(attempt, 32)));
+  double delay = std::min(raw, cap);
+  const double jitter = std::clamp(options.jitter, 0.0, 1.0);
+  // Always draw, even at jitter 0: the stream position then depends only
+  // on the retry count, not on the jitter setting.
+  delay *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  return static_cast<std::int64_t>(std::max(0.0, delay));
+}
+
+std::uint64_t request_key(const std::string& model,
+                          const std::string& formula) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const std::string& text) {
+    for (unsigned char c : text) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    // Separator byte: key("ab","c") must differ from key("a","bc").
+    h ^= 0xFFu;
+    h *= 1099511628211ull;
+  };
+  mix(model);
+  mix(formula);
+  return h;
+}
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)), jitter_rng_(options_.jitter_seed) {}
+
+Json Client::attempt_once(const std::string& line) {
+  const Deadline deadline(options_.request_timeout_ms);
+  UniqueFd fd;
+  fd.fd = connect_with_timeout(options_);
+  send_line(fd.fd, line + "\n", deadline);
+  const std::string response = recv_line(fd.fd, deadline);
+  try {
+    return Json::parse(response);
+  } catch (const Error& e) {
+    // A complete line that is not JSON means the stream is corrupt; a
+    // fresh connection may still get a sane answer.
+    throw ClientError("stale_response",
+                      std::string("malformed response line: ") + e.what(),
+                      true);
+  }
+}
+
+Json Client::request_line(const std::string& line, const Json* expect_id) {
+  const std::size_t max_attempts = std::max<std::size_t>(1, options_.max_attempts);
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      ++attempts_made_;
+      Json response = attempt_once(line);
+      const Json* status = response.find("status");
+      if (status != nullptr && status->is_string() &&
+          status->as_string() == "error") {
+        const Json* kind = response.find("kind");
+        const std::string k =
+            kind != nullptr && kind->is_string() ? kind->as_string() : "internal";
+        const Json* message = response.find("message");
+        throw ClientError(k,
+                          message != nullptr && message->is_string()
+                              ? message->as_string()
+                              : "server error",
+                          retryable_kind(k));
+      }
+      if (expect_id != nullptr) {
+        const Json* id = response.find("id");
+        if (id == nullptr || !(*id == *expect_id)) {
+          throw ClientError("stale_response",
+                            "response id does not echo the request key", true);
+        }
+      }
+      return response;
+    } catch (const ClientError& e) {
+      if (!e.retryable() || attempt + 1 >= max_attempts) throw;
+      const std::int64_t delay = backoff_delay_ms(attempt, options_, jitter_rng_);
+      if (options_.sleeper) {
+        options_.sleeper(delay);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+  }
+}
+
+Json Client::request(const Json::Object& request) {
+  const auto it = request.find("id");
+  const Json* expect_id = it != request.end() ? &it->second : nullptr;
+  return request_line(Json(request).dump(), expect_id);
+}
+
+Json Client::ping() {
+  Json::Object request;
+  request["op"] = "ping";
+  return request_line(Json(std::move(request)).dump(), nullptr);
+}
+
+Json Client::metrics() {
+  Json::Object request;
+  request["op"] = "metrics";
+  return request_line(Json(std::move(request)).dump(), nullptr);
+}
+
+Json Client::check(const std::string& model, const std::string& formula,
+                   std::int64_t timeout_ms, bool quotient) {
+  Json::Object request;
+  request["op"] = "check";
+  request["model"] = model;
+  request["formula"] = formula;
+  if (timeout_ms > 0) request["timeout_ms"] = timeout_ms;
+  if (quotient) request["quotient"] = true;
+  const Json key(hex_key(request_key(model, formula)));
+  request["id"] = key;
+  // One dump, reused verbatim: every retry is the byte-identical request,
+  // which is what makes resubmission idempotent on the server's cache.
+  return request_line(Json(std::move(request)).dump(), &key);
+}
+
+}  // namespace serve
+}  // namespace tml

@@ -1,0 +1,137 @@
+// Retrying client for the tml_serve wire protocol.
+//
+// The server side of the protocol (protocol.hpp) classifies its failures;
+// this is the client side that acts on the classification:
+//
+//  * TRANSIENT — connection refused, a connect/request deadline expiring,
+//    the peer disconnecting mid-exchange, or a typed "overloaded"/"timeout"
+//    response. The client resubmits after a capped exponential backoff
+//    with deterministic seeded jitter (no thundering herd, reproducible
+//    tests).
+//  * PERMANENT — typed "bad_request"/"parse"/"internal" responses. Retrying
+//    cannot help; the error surfaces to the caller immediately.
+//
+// Resubmission is safe because checks are idempotent: a check is a pure
+// function of (model, formula, options), and check() stamps each request's
+// "id" with the FNV-1a content key of exactly those bytes — every retry is
+// the byte-identical line, and a response whose echoed id does not match
+// the key is discarded as stale instead of being mistaken for the answer.
+//
+// Each attempt opens a fresh connection. The protocol is one-line-in /
+// one-line-out, so connection reuse saves little, and a fresh socket
+// guarantees a retry can never read a half-dead predecessor's leftovers.
+//
+// Every response line is parsed strictly; a line still unterminated at EOF
+// (a torn write on the server side, a mid-response crash) is a transport
+// error, never handed to the JSON parser as if it were complete.
+//
+// The backoff policy and the retry taxonomy are exposed as pure functions
+// (backoff_delay_ms / retryable_kind) so tests pin them down without
+// sockets; `ClientOptions::sleeper` injects the delay action itself.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/serve/json.hpp"
+
+namespace tml {
+namespace serve {
+
+struct ClientOptions {
+  /// TCP endpoint (host is always loopback-ish; the daemon binds loopback).
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// When nonempty, connect to this Unix-domain socket instead of TCP.
+  std::string unix_path;
+  /// Deadline for establishing one connection.
+  std::int64_t connect_timeout_ms = 2000;
+  /// Deadline for one attempt's write + response read. 0 = unlimited.
+  std::int64_t request_timeout_ms = 30000;
+  /// Total attempts (first try + retries). 1 = never retry.
+  std::size_t max_attempts = 4;
+  /// Backoff before retry k (0-based) is min(base << k, max) ± jitter.
+  std::int64_t backoff_base_ms = 50;
+  std::int64_t backoff_max_ms = 2000;
+  /// Jitter fraction in [0,1]: the delay is scaled by a uniform factor in
+  /// [1-jitter, 1+jitter] drawn from the seeded stream below.
+  double jitter = 0.25;
+  /// Seed of the jitter stream — fixed seed, fixed delays (tested).
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+  /// How to wait, given a delay in ms. Defaults to sleep_for; tests inject
+  /// a recorder to assert the schedule without wall-clock time.
+  std::function<void(std::int64_t)> sleeper;
+};
+
+/// Typed client-side failure. `kind()` is either a transport kind
+/// ("connect", "timeout", "disconnected", "stale_response") or the server's
+/// wire error kind echoed from the response; `retryable()` says which side
+/// of the taxonomy it fell on (a thrown ClientError is always the FINAL
+/// outcome — retryable ones are thrown only once attempts are exhausted).
+class ClientError : public Error {
+ public:
+  ClientError(std::string kind, const std::string& message, bool retryable)
+      : Error(message), kind_(std::move(kind)), retryable_(retryable) {}
+  const std::string& kind() const { return kind_; }
+  bool retryable() const { return retryable_; }
+
+ private:
+  std::string kind_;
+  bool retryable_;
+};
+
+/// The retry taxonomy for SERVER error kinds: true for "overloaded" and
+/// "timeout", false for everything else ("bad_request", "parse",
+/// "internal", unknown future kinds — fail fast rather than hammer).
+bool retryable_kind(const std::string& kind);
+
+/// Backoff before retry `attempt` (0-based): min(base << attempt, max)
+/// scaled by a uniform jitter factor in [1-jitter, 1+jitter] drawn from
+/// `rng`. Pure given the rng state; never negative.
+std::int64_t backoff_delay_ms(std::size_t attempt, const ClientOptions& options,
+                              Rng& rng);
+
+/// FNV-1a 64 content key of a check request — the idempotency token
+/// check() stamps into "id" (as a hex string) and verifies on the echo.
+std::uint64_t request_key(const std::string& model,
+                          const std::string& formula);
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+
+  /// Sends one request object and returns the parsed response, retrying
+  /// transient failures per the options. Throws ClientError once the
+  /// failure is permanent or attempts are exhausted.
+  Json request(const Json::Object& request);
+
+  Json ping();
+  Json metrics();
+  /// Check with idempotent resubmission: the request's "id" is the content
+  /// key of (model, formula), every attempt sends the byte-identical line,
+  /// and a response with a different echoed id is treated as stale (and
+  /// retried) rather than returned.
+  Json check(const std::string& model, const std::string& formula,
+             std::int64_t timeout_ms = 0, bool quotient = false);
+
+  /// Transport attempts made over this client's lifetime (tests assert
+  /// retry counts through this).
+  std::uint64_t attempts_made() const { return attempts_made_; }
+
+ private:
+  /// One connect → write line → read line attempt. Throws ClientError
+  /// (retryable for transport failures) — never returns a torn line.
+  Json attempt_once(const std::string& line);
+  Json request_line(const std::string& line, const Json* expect_id);
+
+  ClientOptions options_;
+  Rng jitter_rng_;
+  std::uint64_t attempts_made_ = 0;
+};
+
+}  // namespace serve
+}  // namespace tml

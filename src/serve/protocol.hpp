@@ -33,8 +33,16 @@
 // an error — the response is "status":"partial" carrying the certified
 // [lo, hi] bracket the sound interval engine had at the stop boundary
 // (lo/hi are null for operators with no bracket channel). Error kinds are
-// "bad_request" (malformed JSON / missing members), "parse" (model or
-// formula text), "overloaded" (admission control queue full), "internal".
+// "bad_request" (malformed JSON / missing members / oversized line),
+// "parse" (model or formula text), "overloaded" (admission queue full,
+// connection cap, or a draining server), "timeout" (per-connection I/O
+// deadline), "internal". Retry taxonomy: "overloaded" and "timeout" are
+// transient — resubmitting the identical request is safe and is what the
+// client library does; "bad_request"/"parse" are permanent.
+//
+// "ping" and "metrics" responses additionally report "proto" (the protocol
+// version below), "uptime_ms" (ms since the server started) and "draining"
+// (true once a graceful drain began — stop sending new work).
 
 #pragma once
 
@@ -46,6 +54,11 @@
 
 namespace tml {
 namespace serve {
+
+/// Wire protocol version, reported by ping/metrics as "proto". Version 2
+/// added uptime_ms/proto/draining, the "timeout" error kind, and the
+/// connection-hardening semantics documented above.
+inline constexpr int kProtocolVersion = 2;
 
 /// A validated request. `id` is echoed verbatim (null when absent).
 struct Request {

@@ -1,6 +1,7 @@
 #include "src/serve/server.hpp"
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -18,6 +19,7 @@
 
 #include "src/checker/check.hpp"
 #include "src/checker/reachability.hpp"
+#include "src/common/fault.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/stats.hpp"
 #include "src/logic/parser.hpp"
@@ -114,18 +116,49 @@ std::optional<PartialBracket> partial_bracket(const CompiledModel& model,
   }
 }
 
-void send_all(int fd, const std::string& data) {
+/// Writes the whole buffer or reports failure — never a silent truncation.
+/// Loops on short writes and EINTR; MSG_NOSIGNAL (the fd also runs under an
+/// ignored SIGPIPE in tml_serve) turns a dead peer into a return value; an
+/// SO_SNDTIMEO expiry (set per-connection from ServeOptions::io_timeout_ms)
+/// surfaces as EAGAIN and counts as an I/O timeout. On any failure the
+/// caller must close the connection: a partially written line has no '\n',
+/// so a client can never mistake the fragment for a complete response.
+bool send_all(int fd, const std::string& data) {
+  static stats::Counter& c_io_timeouts = stats::counter("serve.io_timeouts");
+  const fault::WireAction action = fault::wire("serve.write");
+  if (action.kind == fault::WireAction::Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(action.delay_ns));
+  }
+  if (action.kind == fault::WireAction::Kind::kDrop) {
+    return false;  // injected EPIPE: peer vanished before the write
+  }
+  // Injected short writes squeeze the data out one byte per send(2) —
+  // every iteration of the loop below is a "short write" the loop must
+  // survive without reordering or truncating.
+  const std::size_t stride = action.kind == fault::WireAction::Kind::kShort
+                                 ? 1
+                                 : data.size();
   std::size_t sent = 0;
   while (sent < data.size()) {
+    const std::size_t len = std::min(stride, data.size() - sent);
 #ifdef MSG_NOSIGNAL
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data.data() + sent, len, MSG_NOSIGNAL);
 #else
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    const ssize_t n = ::send(fd, data.data() + sent, len, 0);
 #endif
-    if (n <= 0) return;  // peer gone; the connection loop will see EOF next
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO fired: the peer stopped draining its responses
+        // (write-side slow loris).
+        c_io_timeouts.bump();
+      }
+      return false;
+    }
+    if (n == 0) return false;
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 }  // namespace
@@ -138,8 +171,11 @@ struct Server::Impl {
   ModelCache cache;
   CancelToken cancel;  // shared into every request budget; stop() flips it
   LatencyWindow latency;
+  const std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
 
   std::atomic<bool> stopping{false};
+  std::atomic<bool> draining{false};
   std::atomic<std::size_t> in_flight{0};
   int listen_fd = -1;
   std::uint16_t bound_port = 0;
@@ -157,6 +193,20 @@ struct Server::Impl {
 
   Json::Object run_check(const Request& request);
   std::string handle(const std::string& line);
+
+  std::uint64_t uptime_ms() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+  }
+
+  /// Liveness fields shared by ping and metrics responses (protocol v2).
+  void add_liveness(Json::Object& response) const {
+    response["proto"] = kProtocolVersion;
+    response["uptime_ms"] = uptime_ms();
+    response["draining"] = draining.load(std::memory_order_acquire);
+  }
 
   // -- sockets -------------------------------------------------------------
 
@@ -250,15 +300,25 @@ std::string Server::Impl::handle(const std::string& line) {
     switch (request.op) {
       case Request::Op::kPing:
         response["status"] = "ok";
+        add_liveness(response);
         break;
       case Request::Op::kMetrics: {
         // stats_to_json() pretty-prints across lines; re-emit compact so
         // the response stays one wire line.
         response["status"] = "ok";
+        add_liveness(response);
         response["metrics"] = Json::parse(stats_to_json());
         break;
       }
       case Request::Op::kCheck: {
+        // Draining: in-flight checks run to completion, new ones are
+        // refused with the retryable kind so a client fails over.
+        if (draining.load(std::memory_order_acquire)) {
+          c_rejected.bump();
+          c_errors.bump();
+          return error_response(request.id, "overloaded",
+                                "server is draining; resubmit elsewhere");
+        }
         // Admission control: bounded in-flight set, typed reject beyond it.
         const std::size_t depth =
             in_flight.fetch_add(1, std::memory_order_acq_rel);
@@ -365,16 +425,57 @@ void Server::Impl::bind_and_listen() {
 
 void Server::Impl::accept_loop() {
   static stats::Counter& c_connections = stats::counter("serve.connections");
+  static stats::Counter& c_conn_rejected =
+      stats::counter("serve.conn_rejected");
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (stopping.load(std::memory_order_acquire)) return;
+      if (stopping.load(std::memory_order_acquire) ||
+          draining.load(std::memory_order_acquire)) {
+        return;
+      }
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Descriptor/buffer exhaustion is transient: back off instead of
+        // abandoning the listener (which would strand the daemon alive but
+        // unreachable). Pending clients keep queueing in the backlog.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       return;  // listener closed under us
     }
-    c_connections.bump();
+    const fault::WireAction action = fault::wire("serve.accept");
+    if (action.kind == fault::WireAction::Kind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(action.delay_ns));
+    } else if (action.kind != fault::WireAction::Kind::kNone) {
+      ::close(fd);  // injected accept failure: connection never happened
+      continue;
+    }
+    // The response-write deadline rides on the socket itself (send_all sees
+    // the expiry as EAGAIN); the read deadline is enforced by poll() in the
+    // connection loop.
+    if (options.io_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options.io_timeout_ms / 1000;
+      tv.tv_usec = (options.io_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     const std::lock_guard<std::mutex> lock(conn_mutex);
     reap_finished_locked();
+    if (options.max_connections > 0 &&
+        connections.size() >= options.max_connections) {
+      // Over the cap: a typed retryable refusal, not a silent RST.
+      c_conn_rejected.bump();
+      send_all(fd, error_response(Json{}, "overloaded",
+                                  "connection limit (" +
+                                      std::to_string(options.max_connections) +
+                                      ") reached; retry later") +
+                       "\n");
+      ::close(fd);
+      continue;
+    }
+    c_connections.bump();
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
@@ -385,34 +486,109 @@ void Server::Impl::accept_loop() {
 
 void Server::Impl::connection_loop(Connection* conn) {
   // One request line in, one response line out, in order. A response is
-  // written even for malformed input; only framing overflow (a "line" that
-  // never ends) or peer EOF closes the connection.
-  constexpr std::size_t kMaxLine = 64u << 20;
+  // written even for malformed input; framing overflow (a "line" that
+  // never ends), an idle deadline, a failed write, drain, or peer EOF
+  // closes the connection. Reads go through poll() in short ticks so the
+  // loop notices drain/stop promptly and can enforce the read deadline
+  // (slow-loris defense) without per-byte timers.
+  static stats::Counter& c_io_timeouts = stats::counter("serve.io_timeouts");
+  static stats::Counter& c_oversized = stats::counter("serve.oversized");
+  constexpr int kPollTickMs = 100;
   const int fd = conn->fd.load(std::memory_order_acquire);
   std::string buffer;
   char chunk[4096];
+  auto last_activity = std::chrono::steady_clock::now();
   for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (stopping.load(std::memory_order_acquire)) break;
+    // Drain: every complete buffered line has been answered by the time we
+    // are back here; a partial line in the buffer belongs to a request
+    // that never finished arriving, which the client retries elsewhere.
+    if (draining.load(std::memory_order_acquire)) break;
+
+    const fault::WireAction action = fault::wire("serve.read");
+    if (action.kind == fault::WireAction::Kind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(action.delay_ns));
+    }
+    if (action.kind == fault::WireAction::Kind::kDrop) {
+      break;  // injected mid-request disconnect: treat as peer EOF
+    }
+    // An injected short read delivers one byte per recv(2): the framing
+    // below must reassemble lines byte-at-a-time without corruption.
+    const std::size_t want =
+        action.kind == fault::WireAction::Kind::kShort ? 1 : sizeof(chunk);
+    // Opportunistic non-blocking read first: on a busy stream the next
+    // request is usually already queued in the kernel, so the common case
+    // skips the poll syscall entirely. Only an empty buffer falls back to
+    // the poll tick — which is where the io deadline is enforced and what
+    // keeps drain/stop latency bounded while the connection idles.
+    const ssize_t n = ::recv(fd, chunk, want, MSG_DONTWAIT);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pending{};
+      pending.fd = fd;
+      pending.events = POLLIN;
+      const int ready = ::poll(&pending, 1, kPollTickMs);
+      if (ready < 0 && errno != EINTR) break;
+      if (ready == 0 && options.io_timeout_ms > 0 &&
+          std::chrono::steady_clock::now() - last_activity >=
+              std::chrono::milliseconds(options.io_timeout_ms)) {
+        // The peer opened a line (or the connection) and stalled.
+        c_io_timeouts.bump();
+        send_all(fd, error_response(Json{}, "timeout",
+                                    "no complete request within " +
+                                        std::to_string(options.io_timeout_ms) +
+                                        " ms; closing") +
+                         "\n");
+        break;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
+    last_activity = std::chrono::steady_clock::now();
     buffer.append(chunk, static_cast<std::size_t>(n));
+
+    bool open = true;
     std::size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      send_all(fd, handle(line) + "\n");
+      const fault::WireAction parse_action = fault::wire("serve.parse");
+      if (parse_action.kind == fault::WireAction::Kind::kDelay) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(parse_action.delay_ns));
+      } else if (parse_action.kind != fault::WireAction::Kind::kNone) {
+        // Injected parse-stage loss: the request dies before a response
+        // exists. The client sees a missing reply, never a torn one.
+        open = false;
+        break;
+      }
+      // A failed/timed-out write closes the connection: the unfinished
+      // line carries no '\n', so the peer cannot misread the fragment as
+      // a complete response.
+      open = send_all(fd, handle(line) + "\n");
     }
-    if (buffer.size() > kMaxLine) {
-      send_all(fd, error_response(Json{}, "bad_request",
-                                  "request line exceeds 64 MiB") +
-                       "\n");
+    if (!open) break;
+    if (buffer.size() > options.max_line_bytes) {
+      c_oversized.bump();
+      send_all(fd,
+               error_response(Json{}, "bad_request",
+                              "request line exceeds " +
+                                  std::to_string(options.max_line_bytes) +
+                                  " bytes") +
+                   "\n");
       break;
     }
   }
   // Do NOT close here: stop() may still shutdown() this fd, and a close
   // here could let the kernel recycle the number onto an unrelated
-  // descriptor first. The reaper (or stop) closes after joining us.
+  // descriptor first. The reaper (or stop) closes after joining us. But DO
+  // shutdown(2) now — it keeps the descriptor number reserved while pushing
+  // a FIN to the peer, so a client whose response was lost sees a prompt
+  // EOF ("disconnected", retry now) instead of silence until its own
+  // request deadline.
+  ::shutdown(fd, SHUT_RDWR);
   conn->done.store(true, std::memory_order_release);
 }
 
@@ -438,6 +614,39 @@ void Server::start() {
   impl_->bind_and_listen();
   impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
 }
+
+void Server::drain() {
+  if (impl_->draining.exchange(true, std::memory_order_acq_rel)) return;
+  if (impl_->stopping.load(std::memory_order_acquire)) return;
+  // Stop accepting: close the listener and let the accept thread fall out.
+  if (impl_->listen_fd >= 0) {
+    ::shutdown(impl_->listen_fd, SHUT_RDWR);
+    ::close(impl_->listen_fd);
+  }
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  impl_->listen_fd = -1;
+  // Connection threads observe the draining flag within one poll tick,
+  // AFTER answering every complete buffered line — in-flight work finishes
+  // and flushes; nothing is cancelled, no fd is shut down under a writer.
+  {
+    const std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+    for (auto& conn : impl_->connections) {
+      if (conn->thread.joinable()) conn->thread.join();
+      const int fd = conn->fd.load(std::memory_order_acquire);
+      if (fd >= 0) ::close(fd);
+    }
+    impl_->connections.clear();
+  }
+  if (!impl_->options.unix_path.empty()) {
+    ::unlink(impl_->options.unix_path.c_str());
+  }
+}
+
+bool Server::draining() const {
+  return impl_->draining.load(std::memory_order_acquire);
+}
+
+std::uint64_t Server::uptime_ms() const { return impl_->uptime_ms(); }
 
 void Server::stop() {
   if (impl_->stopping.exchange(true, std::memory_order_acq_rel)) return;

@@ -61,6 +61,17 @@ struct ServeOptions {
   /// Solver threads per request (CheckOptions::threads). Requests already
   /// run one-per-worker, so >1 only matters for a mostly-idle server.
   std::size_t solver_threads = 1;
+  /// Per-connection I/O deadline in ms (slow-loris defense): a peer that
+  /// neither completes a request line nor drains its responses within this
+  /// window gets a typed "timeout" error and is disconnected. 0 = none.
+  std::int64_t io_timeout_ms = 30000;
+  /// Longest accepted request line. A connection exceeding it gets a typed
+  /// "bad_request" response and is closed (the oversize prefix is never
+  /// buffered beyond this bound).
+  std::size_t max_line_bytes = 64u << 20;
+  /// Concurrent connections admitted; one past the cap is sent a typed
+  /// "overloaded" response and closed immediately. 0 = unlimited.
+  std::size_t max_connections = 256;
 };
 
 class Server {
@@ -77,6 +88,19 @@ class Server {
   /// Stops accepting, cancels in-flight checks (their budgets share the
   /// server cancel token), unblocks and joins every connection. Idempotent.
   void stop();
+
+  /// Graceful drain (the SIGTERM path): stops accepting connections,
+  /// rejects NEW check requests with "overloaded", lets in-flight requests
+  /// finish and their responses flush, then closes every connection and
+  /// returns. No in-flight work is cancelled and no written response is
+  /// truncated — the difference from stop(). Idempotent; stop() afterwards
+  /// is a no-op beyond flipping the cancel token.
+  void drain();
+  /// True once drain() has begun (reported by ping/metrics as "draining").
+  bool draining() const;
+  /// Milliseconds since the server object was constructed (ping/metrics
+  /// "uptime_ms").
+  std::uint64_t uptime_ms() const;
 
   /// Actual TCP port after start() (resolves port 0); 0 in Unix mode.
   std::uint16_t port() const;

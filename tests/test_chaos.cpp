@@ -1,0 +1,276 @@
+// Wire-level chaos harness: a live forked tml_serve daemon under rotating
+// TML_FAULT wire-fault specs, driven by the retrying client.
+//
+// Three invariants hold under EVERY spec in the battery:
+//
+//   1. the daemon never crashes — it is alive (waitpid WNOHANG) after the
+//      battery and exits 0 on SIGTERM (graceful drain);
+//   2. no torn or unsound bytes reach a client as an answer: every
+//      response either parses as a typed protocol line (ok / partial /
+//      error with a kind) or surfaces as a typed transport-level
+//      ClientError — the client never hands a fragment to the caller;
+//   3. a degraded answer is a FLAGGED CERTIFIED partial: under injected
+//      deadline exhaustion the response says "partial" and its [lo, hi]
+//      bracket contains the true value, even with every read shredded to
+//      one byte.
+//
+// The faults are injected in the daemon process via the TML_FAULT
+// environment variable (parsed at the child's static init, so the spec is
+// live before the listener opens) — no test-only hooks in the binary.
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/client.hpp"
+#include "src/serve/json.hpp"
+
+namespace tml {
+namespace {
+
+const char kDtmcSource[] = R"(dtmc
+module m
+  s : [0..2] init 0;
+  [] s=0 -> 0.5:(s'=1) + 0.5:(s'=2);
+  [] s=1 -> 1:(s'=1);
+  [] s=2 -> 1:(s'=2);
+endmodule
+label "goal" = (s=1);
+)";
+
+// States 0/1 form a genuine SCC with values strictly inside (0,1): the
+// checker must sweep, so an injected deadline produces a real partial.
+const char kHardMdpSource[] = R"(mdp
+module m
+  s : [0..3] init 0;
+  [a] s=0 -> 0.5:(s'=1) + 0.5:(s'=2);
+  [b] s=1 -> 0.5:(s'=0) + 0.5:(s'=3);
+  [stay2] s=2 -> 1:(s'=2);
+  [stay3] s=3 -> 1:(s'=3);
+endmodule
+label "goal" = (s=3);
+)";
+
+#ifdef TML_SERVE_BIN
+
+/// A forked tml_serve with a TML_FAULT spec injected into its environment.
+struct Daemon {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  int out_fd = -1;
+
+  ~Daemon() {
+    if (out_fd >= 0) ::close(out_fd);
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);  // backstop only; tests shut down via SIGTERM
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  }
+};
+
+void spawn_daemon(const std::string& fault_spec, Daemon& daemon) {
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    if (fault_spec.empty()) {
+      ::unsetenv("TML_FAULT");
+    } else {
+      ::setenv("TML_FAULT", fault_spec.c_str(), 1);
+    }
+    // A short io-timeout keeps injected stalls from wedging the battery.
+    ::execl(TML_SERVE_BIN, "tml_serve", "--port", "0", "--cache", "8",
+            "--io-timeout-ms", "5000", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+  daemon.pid = pid;
+  daemon.out_fd = out_pipe[0];
+
+  std::string banner;
+  char c = 0;
+  while (::read(daemon.out_fd, &c, 1) == 1 && c != '\n') banner += c;
+  ASSERT_NE(banner.find("listening on 127.0.0.1:"), std::string::npos)
+      << "spec '" << fault_spec << "': bad banner: " << banner;
+  daemon.port = static_cast<std::uint16_t>(
+      std::stoi(banner.substr(banner.rfind(':') + 1)));
+  ASSERT_NE(daemon.port, 0);
+}
+
+bool daemon_alive(const Daemon& daemon) {
+  int status = 0;
+  return ::waitpid(daemon.pid, &status, WNOHANG) == 0;
+}
+
+/// SIGTERM → graceful drain → exit 0. Consumes the pid.
+void expect_graceful_exit(Daemon& daemon, const std::string& spec) {
+  ASSERT_EQ(::kill(daemon.pid, SIGTERM), 0) << spec;
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon.pid, &status, 0), daemon.pid) << spec;
+  daemon.pid = -1;
+  EXPECT_TRUE(WIFEXITED(status)) << spec << ": killed by signal "
+                                 << (WIFSIGNALED(status) ? WTERMSIG(status)
+                                                         : 0);
+  if (WIFEXITED(status)) {
+    EXPECT_EQ(WEXITSTATUS(status), 0) << spec;
+  }
+}
+
+serve::ClientOptions chaos_client(std::uint16_t port) {
+  serve::ClientOptions options;
+  options.port = port;
+  options.max_attempts = 3;
+  options.backoff_base_ms = 5;
+  options.backoff_max_ms = 40;
+  options.jitter_seed = 7;
+  options.connect_timeout_ms = 2000;
+  options.request_timeout_ms = 8000;
+  return options;
+}
+
+/// Transport-level kinds a chaotic wire may legitimately surface. Anything
+/// else escaping the client is an invariant violation.
+bool acceptable_degradation(const serve::ClientError& e) {
+  return e.kind() == "connect" || e.kind() == "timeout" ||
+         e.kind() == "disconnected" || e.kind() == "stale_response" ||
+         e.kind() == "overloaded";
+}
+
+/// One battery round: ping + a DTMC check through the retrying client.
+/// Either the typed answer arrives (and its value is CORRECT — chaos may
+/// degrade availability, never answer quality) or the failure is a typed,
+/// acceptable transport error.
+void drive_battery(const std::string& spec, std::uint16_t port) {
+  serve::Client client(chaos_client(port));
+  try {
+    const Json pong = client.ping();
+    EXPECT_EQ(pong.find("status")->as_string(), "ok") << spec;
+  } catch (const serve::ClientError& e) {
+    EXPECT_TRUE(acceptable_degradation(e))
+        << spec << ": ping degraded with untyped [" << e.kind() << "] "
+        << e.what();
+  }
+  try {
+    const Json check = client.check(kDtmcSource, "P=? [ F \"goal\" ]");
+    const std::string status = check.find("status")->as_string();
+    EXPECT_TRUE(status == "ok" || status == "partial") << spec;
+    if (status == "ok") {
+      EXPECT_NEAR(check.find("value")->as_number(), 0.5, 1e-9) << spec;
+    }
+  } catch (const serve::ClientError& e) {
+    EXPECT_TRUE(acceptable_degradation(e))
+        << spec << ": check degraded with untyped [" << e.kind() << "] "
+        << e.what();
+  }
+}
+
+TEST(Chaos, DaemonSurvivesRotatingWireFaults) {
+  // The rotating battery: every wire site, in every mode, including the
+  // paced variants. Each spec gets a fresh daemon so @after counters and
+  // fault state never leak between rounds.
+  const std::vector<std::string> specs = {
+      "serve.read:short",        // every recv shredded to one byte
+      "serve.write:short",       // every send shredded to one byte
+      "serve.read:drop@2",       // two clean reads, then injected EOFs
+      "serve.write:drop@1",      // one clean write, then dropped responses
+      "serve.accept:drop@1",     // one clean accept, then dropped conns
+      "serve.parse:delay=2e6",   // 2 ms stall before every parse
+      "serve.accept:delay=1e6",  // 1 ms stall before every accept
+      "serve.read:short,serve.write:short",  // both directions at once
+  };
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE(spec);
+    Daemon daemon;
+    spawn_daemon(spec, daemon);
+    drive_battery(spec, daemon.port);
+    // Invariant 1: whatever the wire did, the daemon itself never died.
+    EXPECT_TRUE(daemon_alive(daemon)) << spec;
+    // ...and still shuts down gracefully.
+    expect_graceful_exit(daemon, spec);
+  }
+}
+
+TEST(Chaos, DegradedAnswersAreFlaggedCertifiedPartials) {
+  // Deadline exhaustion (clock skewed a day forward) combined with
+  // one-byte reads: the answer that comes back must be a "partial" whose
+  // certified bracket contains the true value 1/3 — degraded availability
+  // never becomes a wrong answer.
+  Daemon daemon;
+  spawn_daemon("budget.clock:skew=86400e9,serve.read:short", daemon);
+  serve::Client client(chaos_client(daemon.port));
+  const Json response =
+      client.check(kHardMdpSource, "Pmax=? [ F \"goal\" ]", /*timeout_ms=*/1000);
+  EXPECT_EQ(response.find("status")->as_string(), "partial");
+  EXPECT_EQ(response.find("budget_status")->as_string(), "exhausted");
+  ASSERT_TRUE(response.find("lo")->is_number());
+  ASSERT_TRUE(response.find("hi")->is_number());
+  const double lo = response.find("lo")->as_number();
+  const double hi = response.find("hi")->as_number();
+  EXPECT_LE(0.0, lo);
+  EXPECT_LE(lo, 1.0 / 3.0);
+  EXPECT_GE(hi, 1.0 / 3.0);
+  EXPECT_LE(hi, 1.0);
+  EXPECT_TRUE(daemon_alive(daemon));
+  expect_graceful_exit(daemon, "budget.clock skew battery");
+}
+
+TEST(Chaos, JournalFaultInsideTheDaemonDoesNotKillIt) {
+  // The journal fault site is wired through the same registry; arming it
+  // in a daemon that never journals must be a no-op, not a crash — the
+  // registry tolerates armed-but-unvisited sites.
+  Daemon daemon;
+  spawn_daemon("session.journal_write:short", daemon);
+  serve::Client client(chaos_client(daemon.port));
+  const Json check = client.check(kDtmcSource, "P=? [ F \"goal\" ]");
+  EXPECT_EQ(check.find("status")->as_string(), "ok");
+  EXPECT_TRUE(daemon_alive(daemon));
+  expect_graceful_exit(daemon, "journal_write no-op battery");
+}
+
+TEST(Chaos, DrainUnderAnOpenConnectionStillExitsZero) {
+  // SIGTERM while a client connection is open: drain must finish the
+  // in-flight exchange, refuse nothing already answered, and exit 0
+  // without waiting for the idle connection to close first.
+  Daemon daemon;
+  spawn_daemon("", daemon);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(daemon.port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << strerror(errno);
+  const std::string ping = "{\"op\":\"ping\",\"id\":1}\n";
+  ASSERT_EQ(::send(fd, ping.data(), ping.size(), 0),
+            static_cast<ssize_t>(ping.size()));
+  std::string line;
+  char c = 0;
+  while (::recv(fd, &c, 1, 0) == 1 && c != '\n') line += c;
+  EXPECT_EQ(Json::parse(line).find("status")->as_string(), "ok");
+
+  // The connection stays open and idle across the SIGTERM.
+  expect_graceful_exit(daemon, "drain with open connection");
+  ::close(fd);
+}
+
+#endif  // TML_SERVE_BIN
+
+}  // namespace
+}  // namespace tml

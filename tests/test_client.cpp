@@ -1,0 +1,297 @@
+// The retrying serve client: backoff policy, retry taxonomy, idempotency
+// keys — pinned as pure functions — plus live retry behaviour against an
+// in-process Server, with the sleeper injected so no test waits on the
+// wall clock.
+//
+// Determinism is the point of the design under test: a fixed jitter seed
+// fixes the entire retry schedule (same delays, same attempt count), which
+// is what makes client behaviour under faults assertable at all.
+
+#include "src/serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/fault.hpp"
+#include "src/common/rng.hpp"
+#include "src/serve/json.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/serve/server.hpp"
+
+namespace tml {
+namespace {
+
+const char kDtmcSource[] = R"(dtmc
+module m
+  s : [0..2] init 0;
+  [] s=0 -> 0.5:(s'=1) + 0.5:(s'=2);
+  [] s=1 -> 1:(s'=1);
+  [] s=2 -> 1:(s'=2);
+endmodule
+label "goal" = (s=1);
+)";
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+// ---------------------------------------------------------------------------
+// The pure pieces.
+
+TEST_F(ClientTest, RetryTaxonomy) {
+  // Transient server states retry; everything else — including kinds this
+  // client has never heard of — fails fast instead of hammering.
+  EXPECT_TRUE(serve::retryable_kind("overloaded"));
+  EXPECT_TRUE(serve::retryable_kind("timeout"));
+  EXPECT_FALSE(serve::retryable_kind("bad_request"));
+  EXPECT_FALSE(serve::retryable_kind("parse"));
+  EXPECT_FALSE(serve::retryable_kind("internal"));
+  EXPECT_FALSE(serve::retryable_kind("a_future_kind"));
+  EXPECT_FALSE(serve::retryable_kind(""));
+}
+
+TEST_F(ClientTest, BackoffIsDeterministicUnderASeed) {
+  serve::ClientOptions options;
+  options.backoff_base_ms = 50;
+  options.backoff_max_ms = 2000;
+  options.jitter = 0.25;
+
+  Rng a(42);
+  Rng b(42);
+  std::vector<std::int64_t> first;
+  std::vector<std::int64_t> second;
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    first.push_back(serve::backoff_delay_ms(attempt, options, a));
+    second.push_back(serve::backoff_delay_ms(attempt, options, b));
+  }
+  EXPECT_EQ(first, second);  // same seed, same schedule
+
+  Rng c(43);
+  std::vector<std::int64_t> other;
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    other.push_back(serve::backoff_delay_ms(attempt, options, c));
+  }
+  EXPECT_NE(first, other);  // a different seed actually jitters differently
+}
+
+TEST_F(ClientTest, BackoffGrowsExponentiallyAndCaps) {
+  serve::ClientOptions options;
+  options.backoff_base_ms = 50;
+  options.backoff_max_ms = 2000;
+  options.jitter = 0.0;  // exact values
+  Rng rng(1);
+  EXPECT_EQ(serve::backoff_delay_ms(0, options, rng), 50);
+  EXPECT_EQ(serve::backoff_delay_ms(1, options, rng), 100);
+  EXPECT_EQ(serve::backoff_delay_ms(2, options, rng), 200);
+  EXPECT_EQ(serve::backoff_delay_ms(5, options, rng), 1600);
+  EXPECT_EQ(serve::backoff_delay_ms(6, options, rng), 2000);   // capped
+  EXPECT_EQ(serve::backoff_delay_ms(60, options, rng), 2000);  // no overflow
+}
+
+TEST_F(ClientTest, BackoffJitterStaysInBandAndNeverGoesNegative) {
+  serve::ClientOptions options;
+  options.backoff_base_ms = 100;
+  options.backoff_max_ms = 100;
+  options.jitter = 0.5;
+  Rng rng(7);
+  for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+    const std::int64_t delay = serve::backoff_delay_ms(attempt, options, rng);
+    EXPECT_GE(delay, 50);
+    EXPECT_LE(delay, 150);
+  }
+  // A nonsensical jitter is clamped, not propagated into negative sleeps.
+  options.jitter = 40.0;
+  for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+    EXPECT_GE(serve::backoff_delay_ms(attempt, options, rng), 0);
+  }
+}
+
+TEST_F(ClientTest, RequestKeyIsABoundaryRespectingContentKey) {
+  const std::uint64_t base = serve::request_key("model", "formula");
+  EXPECT_EQ(serve::request_key("model", "formula"), base);
+  EXPECT_NE(serve::request_key("model2", "formula"), base);
+  EXPECT_NE(serve::request_key("model", "formula2"), base);
+  // The (model, formula) split is part of the key: moving a byte across
+  // the boundary must change it.
+  EXPECT_NE(serve::request_key("ab", "c"), serve::request_key("a", "bc"));
+  EXPECT_NE(serve::request_key("", "x"), serve::request_key("x", ""));
+}
+
+// ---------------------------------------------------------------------------
+// Live behaviour against an in-process server.
+
+serve::ClientOptions loopback_options(std::uint16_t port) {
+  serve::ClientOptions options;
+  options.port = port;
+  options.max_attempts = 3;
+  options.backoff_base_ms = 1;
+  options.backoff_max_ms = 4;
+  options.jitter_seed = 42;
+  return options;
+}
+
+TEST_F(ClientTest, PingCheckAndMetricsSucceedFirstAttempt) {
+  serve::Server server(serve::ServeOptions{});
+  server.start();
+
+  serve::Client client(loopback_options(server.port()));
+  const Json pong = client.ping();
+  EXPECT_EQ(pong.find("status")->as_string(), "ok");
+  EXPECT_DOUBLE_EQ(pong.find("proto")->as_number(),
+                   double(serve::kProtocolVersion));
+
+  const Json check = client.check(kDtmcSource, "P=? [ F \"goal\" ]");
+  EXPECT_EQ(check.find("status")->as_string(), "ok");
+  EXPECT_NEAR(check.find("value")->as_number(), 0.5, 1e-9);
+  // The echoed id is the hex content key — that is what made the
+  // resubmission idempotent and the echo verifiable.
+  ASSERT_NE(check.find("id"), nullptr);
+  EXPECT_TRUE(check.find("id")->is_string());
+
+  const Json metrics = client.metrics();
+  EXPECT_EQ(metrics.find("status")->as_string(), "ok");
+
+  EXPECT_EQ(client.attempts_made(), 3u);  // three requests, one attempt each
+  server.stop();
+}
+
+TEST_F(ClientTest, PermanentErrorsFailFastWithoutRetrying) {
+  serve::Server server(serve::ServeOptions{});
+  server.start();
+  serve::ClientOptions options = loopback_options(server.port());
+  std::vector<std::int64_t> slept;
+  options.sleeper = [&slept](std::int64_t ms) { slept.push_back(ms); };
+  serve::Client client(std::move(options));
+
+  try {
+    client.check(kDtmcSource, "P=? [ NOT A FORMULA ]");
+    FAIL() << "a parse error must throw";
+  } catch (const serve::ClientError& e) {
+    EXPECT_EQ(e.kind(), "parse");
+    EXPECT_FALSE(e.retryable());
+  }
+  EXPECT_EQ(client.attempts_made(), 1u);  // no second attempt
+  EXPECT_TRUE(slept.empty());             // and no backoff sleeping
+  server.stop();
+}
+
+TEST_F(ClientTest, OverloadedRetriesOnTheSeededSchedule) {
+  serve::ServeOptions server_options;
+  server_options.max_queue = 0;  // every check answers "overloaded"
+  serve::Server server(std::move(server_options));
+  server.start();
+
+  serve::ClientOptions options = loopback_options(server.port());
+  options.backoff_base_ms = 2;
+  options.backoff_max_ms = 50;
+  std::vector<std::int64_t> slept;
+  options.sleeper = [&slept](std::int64_t ms) { slept.push_back(ms); };
+  serve::Client client(std::move(options));
+
+  try {
+    client.check(kDtmcSource, "P=? [ F \"goal\" ]");
+    FAIL() << "exhausted retries must throw the final overloaded error";
+  } catch (const serve::ClientError& e) {
+    EXPECT_EQ(e.kind(), "overloaded");
+    EXPECT_TRUE(e.retryable());  // it WAS retryable; attempts just ran out
+  }
+  EXPECT_EQ(client.attempts_made(), 3u);  // max_attempts, then give up
+  ASSERT_EQ(slept.size(), 2u);            // a backoff between each attempt
+
+  // The schedule is exactly what a fresh Rng with the same seed computes —
+  // the deterministic-retry contract.
+  serve::ClientOptions reference = loopback_options(0);
+  reference.backoff_base_ms = 2;
+  reference.backoff_max_ms = 50;
+  Rng rng(42);
+  EXPECT_EQ(slept[0], serve::backoff_delay_ms(0, reference, rng));
+  EXPECT_EQ(slept[1], serve::backoff_delay_ms(1, reference, rng));
+  server.stop();
+}
+
+TEST_F(ClientTest, ConnectionRefusedIsRetriedThenSurfaced) {
+  // Reserve an ephemeral port, then close it: nothing listens there.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  serve::ClientOptions options = loopback_options(dead_port);
+  options.max_attempts = 2;
+  std::vector<std::int64_t> slept;
+  options.sleeper = [&slept](std::int64_t ms) { slept.push_back(ms); };
+  serve::Client client(std::move(options));
+  try {
+    client.ping();
+    FAIL() << "nothing listens on the dead port";
+  } catch (const serve::ClientError& e) {
+    EXPECT_EQ(e.kind(), "connect");
+    EXPECT_TRUE(e.retryable());
+  }
+  EXPECT_EQ(client.attempts_made(), 2u);
+  EXPECT_EQ(slept.size(), 1u);
+}
+
+TEST_F(ClientTest, ServerSideWriteDropIsATransportErrorNotATornParse) {
+  serve::Server server(serve::ServeOptions{});
+  server.start();
+  // Every server write is dropped before a byte leaves: the client must
+  // see a clean transport failure on each attempt — never a fragment
+  // handed to the JSON parser. The server shuts the socket down as soon as
+  // the write fails, so the usual surface is a prompt EOF ("disconnected");
+  // the request deadline ("timeout") is the scheduling-race fallback.
+  // Either way the error is typed and retryable — that is the invariant.
+  fault::arm("serve.write", "drop");
+  serve::ClientOptions options = loopback_options(server.port());
+  options.max_attempts = 2;
+  options.request_timeout_ms = 1000;
+  std::vector<std::int64_t> slept;
+  options.sleeper = [&slept](std::int64_t ms) { slept.push_back(ms); };
+  serve::Client client(std::move(options));
+  try {
+    client.ping();
+    FAIL() << "dropped responses must surface as a transport error";
+  } catch (const serve::ClientError& e) {
+    EXPECT_TRUE(e.kind() == "disconnected" || e.kind() == "timeout")
+        << e.kind();
+    EXPECT_TRUE(e.retryable());
+  }
+  EXPECT_EQ(client.attempts_made(), 2u);
+  fault::disarm_all();
+  server.stop();
+}
+
+TEST_F(ClientTest, ShortServerWritesStillDeliverTheFullAnswer) {
+  serve::Server server(serve::ServeOptions{});
+  server.start();
+  // One byte per send(2) on the server side: the hardened write loop must
+  // reassemble the full line; the client answer is byte-identical.
+  fault::arm("serve.write", "short");
+  serve::Client client(loopback_options(server.port()));
+  const Json check = client.check(kDtmcSource, "P=? [ F \"goal\" ]");
+  EXPECT_EQ(check.find("status")->as_string(), "ok");
+  EXPECT_NEAR(check.find("value")->as_number(), 0.5, 1e-9);
+  EXPECT_EQ(client.attempts_made(), 1u);
+  fault::disarm_all();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace tml

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <string>
@@ -34,6 +35,7 @@
 #include "src/checker/reachability.hpp"
 #include "src/common/budget.hpp"
 #include "src/common/fault.hpp"
+#include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
 #include "src/logic/parser.hpp"
 #include "src/mdp/compiled.hpp"
@@ -219,6 +221,98 @@ TEST(Json, FindNavigatesObjects) {
   EXPECT_DOUBLE_EQ(value.find("a")->find("b")->as_number(), 7.0);
   EXPECT_EQ(value.find("missing"), nullptr);
   EXPECT_EQ(Json(1).find("a"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level fuzzing of the strict JSON codec and the request framer: any
+// byte string either parses or throws the typed errors — never a crash, a
+// hang, or an untyped escape. Seed-rotated in CI via TML_FUZZ_SEED.
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("TML_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260808ull;
+}
+
+/// A pool of well-formed wire lines the mutators start from.
+std::vector<std::string> fuzz_corpus() {
+  return {
+      R"({"op":"ping","id":7})",
+      R"({"op":"metrics"})",
+      check_request(kDtmcSource, "P=? [ F \"goal\" ]", 1),
+      check_request(kMdpSource, "Pmax=? [ F \"goal\" ]", 2, 50),
+      R"({"a":[1,2.5,null,{"b":true}],"s":"é😀"})",
+      R"([[[[[[[["deep"]]]]]]]])",
+      R"({"op":"check","model":"","formula":"","id":null})",
+  };
+}
+
+TEST_F(ServeTest, FuzzJsonParserNeverEscapesUntyped) {
+  Rng rng(fuzz_seed());
+  const std::vector<std::string> corpus = fuzz_corpus();
+  int parsed = 0;
+  int rejected = 0;
+  for (int round = 0; round < 600; ++round) {
+    std::string line = corpus[static_cast<std::size_t>(
+        rng.uniform(0.0, 1.0) * corpus.size()) % corpus.size()];
+    const int mutations = 1 + static_cast<int>(rng.uniform(0.0, 4.0));
+    for (int m = 0; m < mutations; ++m) {
+      if (line.empty()) break;
+      const std::size_t at = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(line.size())));
+      const double dice = rng.uniform(0.0, 1.0);
+      if (dice < 0.4) {
+        // Random byte flip — including into NUL and high bytes.
+        line[std::min(at, line.size() - 1)] =
+            static_cast<char>(static_cast<unsigned char>(rng.uniform(0.0, 256.0)));
+      } else if (dice < 0.7) {
+        line = line.substr(0, at);  // truncation
+      } else if (dice < 0.85) {
+        line.insert(std::min(at, line.size()), 1, '\0');  // embedded NUL
+      } else {
+        line += line.substr(0, at);  // duplication / trailing garbage
+      }
+    }
+    try {
+      (void)Json::parse(line);
+      ++parsed;
+    } catch (const ParseError&) {
+      ++rejected;  // the ONLY acceptable failure mode
+    }
+  }
+  // The battery must exercise both outcomes, or the mutator is broken.
+  EXPECT_GT(parsed + rejected, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST_F(ServeTest, FuzzHandleLineAlwaysAnswersTyped) {
+  serve::Server server(serve::ServeOptions{});
+  Rng rng(fuzz_seed() ^ 0x5DEECE66Dull);
+  const std::vector<std::string> corpus = fuzz_corpus();
+  for (int round = 0; round < 200; ++round) {
+    std::string line = corpus[static_cast<std::size_t>(
+        rng.uniform(0.0, 1.0) * corpus.size()) % corpus.size()];
+    const std::size_t at = static_cast<std::size_t>(
+        rng.uniform(0.0, static_cast<double>(line.size() + 1)));
+    const double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.5) {
+      line = line.substr(0, at);
+    } else if (!line.empty()) {
+      line[std::min(at, line.size() - 1)] =
+          static_cast<char>(static_cast<unsigned char>(rng.uniform(0.0, 256.0)));
+    }
+    // Whatever went in, one well-formed typed response line comes out.
+    const Json response = Json::parse(server.handle_line(line));
+    const Json* status = response.find("status");
+    ASSERT_NE(status, nullptr) << line;
+    const std::string s = status->as_string();
+    EXPECT_TRUE(s == "ok" || s == "partial" || s == "error") << line;
+    if (s == "error") {
+      ASSERT_NE(response.find("kind"), nullptr) << line;
+      EXPECT_FALSE(response.find("kind")->as_string().empty()) << line;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

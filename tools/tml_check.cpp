@@ -56,6 +56,21 @@
 //   --session-pseudocount X
 //                      Laplace smoothing for the streaming MLE (default 1;
 //                      must stay positive to keep the support stable).
+//   --journal FILE     durable session (with --session): write-ahead
+//                      journal of every batch plus periodic full-state
+//                      checkpoints, fsync'd per record. A killed run
+//                      restarts with --resume and replays to the
+//                      byte-identical session report.
+//   --resume           resume a journaled session instead of starting
+//                      fresh: restores the latest checkpoint from the
+//                      --journal file, replays the batches recorded after
+//                      it, then continues with the input batches not yet
+//                      journaled. A torn tail record (the append a crash
+//                      interrupted) is dropped with a printed warning and
+//                      its batch re-fed from the input file.
+//   --checkpoint-every N
+//                      checkpoint cadence in batches (default 8; 0 = only
+//                      the write-ahead batch log, no checkpoints).
 //
 // Exit code: 0 when the property is satisfied (or the query is
 // quantitative), 1 when violated, 2 on usage/parse errors, 3 when the
@@ -70,6 +85,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "src/common/budget.hpp"
@@ -96,7 +112,8 @@ int usage() {
                "[--counterexample] [--dot] [--stats] [--quotient] "
                "[--method classic|topological|interval] "
                "[--param-order in|penalty|scc] [--timeout-ms N] "
-               "[--session <traj-file>] [--session-pseudocount X]\n"
+               "[--session <traj-file>] [--session-pseudocount X] "
+               "[--journal <file>] [--resume] [--checkpoint-every N]\n"
             << "example: tml_check wsn.prism 'Rmin<=40 [ F \"delivered\" ]'\n";
   return 2;
 }
@@ -113,7 +130,9 @@ volatile std::sig_atomic_t g_sigint_count = 0;
 
 extern "C" void on_sigint(int) {
   g_interrupt_flag->store(true, std::memory_order_relaxed);
-  if (++g_sigint_count > 1) _exit(130);
+  const std::sig_atomic_t seen = g_sigint_count;
+  g_sigint_count = seen + 1;
+  if (seen > 0) _exit(130);
 }
 
 /// Installs on_sigint for the life of the scope and restores the previous
@@ -265,8 +284,17 @@ PerturbationScheme generic_scheme(const Dtmc& chain) {
   return scheme;
 }
 
+/// Durable-session knobs forwarded from the command line into the
+/// RepairSessionConfig (empty journal path = volatile session).
+struct SessionDurability {
+  std::string journal_path;
+  bool resume = false;
+  std::size_t checkpoint_every = 8;
+};
+
 int run_session(const PrismModel& model, const StateFormulaPtr& formula,
-                const std::string& session_path, double pseudocount) {
+                const std::string& session_path, double pseudocount,
+                const SessionDurability& durability) {
   if (model.type != PrismModel::Type::kDtmc) {
     std::cerr << "tml_check: --session needs a DTMC model\n";
     return 2;
@@ -289,12 +317,35 @@ int run_session(const PrismModel& model, const StateFormulaPtr& formula,
   config.pseudocount = pseudocount;
   config.scheme_for = generic_scheme;
   config.expected_batches = batches.size();
-  RepairSession session(structure, formula, std::move(config));
+  config.journal_path = durability.journal_path;
+  config.checkpoint_every = durability.checkpoint_every;
+
+  std::optional<RepairSession> session;
+  std::size_t skip = 0;
+  if (durability.resume) {
+    session.emplace(RepairSession::resume(structure, formula, std::move(config)));
+    skip = session->fed_batches();
+    std::cout << "resume:   " << durability.journal_path << " (" << skip
+              << " batches replayed";
+    if (session->journal_tail_dropped()) {
+      std::cout << "; " << session->journal_warning();
+    }
+    std::cout << ")\n";
+    if (skip > batches.size()) {
+      std::cerr << "tml_check: journal holds " << skip
+                << " batches but " << session_path << " only " << batches.size()
+                << "; wrong input file for this journal?\n";
+      return 2;
+    }
+  } else {
+    session.emplace(structure, formula, std::move(config));
+  }
 
   std::cout << "session:  " << session_path << " (" << batches.size()
             << " batches)\n";
-  for (const TrajectoryDataset& batch : batches) {
-    const BatchOutcome& out = session.feed(batch);
+  for (std::size_t i = skip; i < batches.size(); ++i) {
+    const TrajectoryDataset& batch = batches[i];
+    const BatchOutcome& out = session->feed(batch);
     std::cout << "batch " << out.index << ": " << out.trajectories
               << " trajectories, "
               << (out.patched ? "patched" : "recompiled") << " ("
@@ -312,7 +363,7 @@ int run_session(const PrismModel& model, const StateFormulaPtr& formula,
     }
     std::cout << "\n";
   }
-  const SessionReport& report = session.report();
+  const SessionReport& report = session->report();
   std::cout << "session:  " << report.batches.size() << " batches, "
             << report.patch_hits << " patch hits, " << report.repairs
             << " repairs, final "
@@ -333,6 +384,7 @@ int main(int argc, char** argv) {
   long timeout_ms = 0;
   std::string session_path;
   double session_pseudocount = 1.0;
+  SessionDurability durability;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--session" && i + 1 < argc) {
@@ -340,6 +392,14 @@ int main(int argc, char** argv) {
     } else if (flag == "--session-pseudocount" && i + 1 < argc) {
       session_pseudocount = std::strtod(argv[++i], nullptr);
       if (session_pseudocount <= 0.0) return usage();
+    } else if (flag == "--journal" && i + 1 < argc) {
+      durability.journal_path = argv[++i];
+      if (durability.journal_path.empty()) return usage();
+    } else if (flag == "--resume") {
+      durability.resume = true;
+    } else if (flag == "--checkpoint-every" && i + 1 < argc) {
+      durability.checkpoint_every =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (flag == "--counterexample") {
       want_counterexample = true;
     } else if (flag == "--dot") {
@@ -383,6 +443,15 @@ int main(int argc, char** argv) {
     }
   }
   if (want_stats) stats::set_enabled(true);
+  if ((durability.resume || !durability.journal_path.empty()) &&
+      session_path.empty()) {
+    std::cerr << "tml_check: --journal/--resume need --session\n";
+    return usage();
+  }
+  if (durability.resume && durability.journal_path.empty()) {
+    std::cerr << "tml_check: --resume needs --journal\n";
+    return usage();
+  }
 
   // The default budget carries both the deadline and the SIGINT token, so
   // every engine entry point in the process observes them without any
@@ -417,8 +486,8 @@ int main(int argc, char** argv) {
     }
 
     if (!session_path.empty()) {
-      const int code =
-          run_session(model, formula, session_path, session_pseudocount);
+      const int code = run_session(model, formula, session_path,
+                                   session_pseudocount, durability);
       if (want_stats) {
         std::cout << "stats:\n" << stats_to_json() << "\n";
       }

@@ -1,0 +1,160 @@
+// tml_client — retrying command-line client for a running tml_serve.
+//
+//   tml_client (--port N | --unix PATH) [--host H] [--retries N]
+//              [--backoff-ms N] [--backoff-max-ms N] [--jitter F]
+//              [--seed N] [--connect-timeout-ms N] [--timeout-ms N]
+//              (--ping | --metrics | --check MODEL.prism FORMULA
+//                 [--quotient] [--check-timeout-ms N])
+//
+//   --port N / --unix PATH   where the daemon listens (TCP loopback or
+//                            Unix-domain socket)
+//   --retries N              total attempts, first try included (default 4)
+//   --backoff-ms N           base retry backoff (default 50; doubles per
+//                            retry up to --backoff-max-ms, default 2000)
+//   --jitter F               jitter fraction in [0,1] (default 0.25)
+//   --seed N                 jitter RNG seed — fixed seed, fixed retry
+//                            schedule (default 1)
+//   --connect-timeout-ms N   per-connection connect deadline (default 2000)
+//   --timeout-ms N           per-attempt write+read deadline (default 30000)
+//   --check-timeout-ms N     server-side check deadline forwarded as the
+//                            request's "timeout_ms" (default 0 = server
+//                            default)
+//
+// Ops: --ping and --metrics print the response line. --check reads the
+// model source from MODEL.prism ("-" = stdin), submits it with FORMULA,
+// and prints the response line; the request id is the content key of
+// (model, formula), so retries are idempotent resubmissions.
+//
+// Exit status: 0 for "status":"ok", 3 for "status":"partial" (budget ran
+// out; the certified bracket is in the output), 1 for a typed server error
+// or exhausted retries, 2 for usage/input problems. Transient failures
+// ("overloaded", "timeout", connect/disconnect) are retried with capped
+// exponential backoff before giving up; permanent ones ("bad_request",
+// "parse", "internal") fail immediately.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/serve/client.hpp"
+
+using namespace tml;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: tml_client (--port N | --unix PATH) [--host H] [--retries N]\n"
+         "                  [--backoff-ms N] [--backoff-max-ms N] [--jitter F]\n"
+         "                  [--seed N] [--connect-timeout-ms N] [--timeout-ms N]\n"
+         "                  (--ping | --metrics | --check MODEL.prism FORMULA\n"
+         "                     [--quotient] [--check-timeout-ms N])\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ClientOptions options;
+  options.jitter_seed = 1;
+  enum class Op { kNone, kPing, kMetrics, kCheck };
+  Op op = Op::kNone;
+  std::string model_path;
+  std::string formula;
+  bool quotient = false;
+  long check_timeout_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--port" && i + 1 < argc) {
+      const long port = std::strtol(argv[++i], nullptr, 10);
+      if (port <= 0 || port > 65535) return usage();
+      options.port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--unix" && i + 1 < argc) {
+      options.unix_path = argv[++i];
+    } else if (flag == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (flag == "--retries" && i + 1 < argc) {
+      options.max_attempts =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (options.max_attempts == 0) return usage();
+    } else if (flag == "--backoff-ms" && i + 1 < argc) {
+      options.backoff_base_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (flag == "--backoff-max-ms" && i + 1 < argc) {
+      options.backoff_max_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (flag == "--jitter" && i + 1 < argc) {
+      options.jitter = std::strtod(argv[++i], nullptr);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      options.jitter_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--connect-timeout-ms" && i + 1 < argc) {
+      options.connect_timeout_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (flag == "--timeout-ms" && i + 1 < argc) {
+      options.request_timeout_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (flag == "--ping") {
+      op = Op::kPing;
+    } else if (flag == "--metrics") {
+      op = Op::kMetrics;
+    } else if (flag == "--check" && i + 2 < argc) {
+      op = Op::kCheck;
+      model_path = argv[++i];
+      formula = argv[++i];
+    } else if (flag == "--quotient") {
+      quotient = true;
+    } else if (flag == "--check-timeout-ms" && i + 1 < argc) {
+      check_timeout_ms = std::strtol(argv[++i], nullptr, 10);
+      if (check_timeout_ms < 0) return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (op == Op::kNone) return usage();
+  if (options.port == 0 && options.unix_path.empty()) return usage();
+
+  try {
+    serve::Client client(std::move(options));
+    Json response;
+    switch (op) {
+      case Op::kPing:
+        response = client.ping();
+        break;
+      case Op::kMetrics:
+        response = client.metrics();
+        break;
+      case Op::kCheck: {
+        std::string model;
+        if (model_path == "-") {
+          std::ostringstream buffer;
+          buffer << std::cin.rdbuf();
+          model = buffer.str();
+        } else {
+          std::ifstream in(model_path);
+          if (!in) {
+            std::cerr << "tml_client: cannot read " << model_path << "\n";
+            return 2;
+          }
+          std::ostringstream buffer;
+          buffer << in.rdbuf();
+          model = buffer.str();
+        }
+        response = client.check(model, formula, check_timeout_ms, quotient);
+        break;
+      }
+      case Op::kNone:
+        return usage();
+    }
+    std::cout << response.dump() << std::endl;
+    const Json* status = response.find("status");
+    if (status != nullptr && status->is_string() &&
+        status->as_string() == "partial") {
+      return 3;
+    }
+    return 0;
+  } catch (const serve::ClientError& e) {
+    std::cerr << "tml_client: [" << e.kind() << "] " << e.what() << "\n";
+    return 1;
+  } catch (const Error& e) {
+    std::cerr << "tml_client: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -2,7 +2,8 @@
 // protocol in src/serve/protocol.hpp.
 //
 //   tml_serve [--port N] [--unix PATH] [--cache N] [--queue N]
-//             [--threads N] [--default-timeout-ms N]
+//             [--threads N] [--default-timeout-ms N] [--io-timeout-ms N]
+//             [--max-connections N] [--max-line-bytes N]
 //
 //   --port N               TCP listen port on 127.0.0.1 (default 0 =
 //                          ephemeral; the chosen port is printed)
@@ -14,12 +15,28 @@
 //                          already run one-per-pool-worker)
 //   --default-timeout-ms N wall-clock deadline for requests that name none
 //                          (default 0 = unlimited)
+//   --io-timeout-ms N      per-connection I/O deadline — a peer that never
+//                          completes a request line, or stops draining its
+//                          responses, is disconnected (default 30000;
+//                          0 = none)
+//   --max-connections N    concurrent connections before typed "overloaded"
+//                          refusals (default 256; 0 = unlimited)
+//   --max-line-bytes N     longest accepted request line (default 64 MiB)
 //
 // Prints exactly one "listening on ..." line to stdout once the socket is
-// bound (scripts wait for it), then serves until SIGINT/SIGTERM. The first
-// signal stops accepting and cancels in-flight checks through their shared
-// cancel token (each unwinds at its next budget checkpoint and still gets
-// its partial response); a second SIGINT force-exits with status 130.
+// bound (scripts wait for it), then serves until a signal:
+//
+//  * SIGTERM drains: stop accepting, refuse new checks with "overloaded",
+//    let in-flight requests finish and flush, then exit 0 — the rolling-
+//    restart path (no response is ever truncated).
+//  * SIGINT stops: also cancels in-flight checks through their shared
+//    cancel token (each unwinds at its next budget checkpoint and still
+//    gets its partial response written before the close).
+//  * A second signal of either kind force-exits with status 130, matching
+//    tml_check's contract for a wedged shutdown.
+//
+// SIGPIPE is ignored: a client that disconnects mid-response must surface
+// as a write error on that one connection, never kill the daemon.
 //
 // Try it with nc:
 //   tml_serve --port 4850 &
@@ -42,18 +59,23 @@ namespace {
 
 int usage() {
   std::cerr << "usage: tml_serve [--port N] [--unix PATH] [--cache N] "
-               "[--queue N] [--threads N] [--default-timeout-ms N]\n";
+               "[--queue N] [--threads N] [--default-timeout-ms N] "
+               "[--io-timeout-ms N] [--max-connections N] "
+               "[--max-line-bytes N]\n";
   return 2;
 }
 
-// Signal handling: the handler body is async-signal-safe only — a volatile
-// counter read by the main polling loop. The second SIGINT bypasses the
-// graceful path entirely with _exit (also async-signal-safe), matching
-// tml_check's contract for a wedged shutdown.
+// Signal handling: the handler body is async-signal-safe only — volatile
+// counters read by the main polling loop. The second signal bypasses the
+// graceful path entirely with _exit (also async-signal-safe).
 volatile std::sig_atomic_t g_signals = 0;
+volatile std::sig_atomic_t g_drain = 0;  // last signal was SIGTERM
 
-extern "C" void on_signal(int) {
-  if (++g_signals > 1) _exit(130);
+extern "C" void on_signal(int sig) {
+  g_drain = sig == SIGTERM ? 1 : 0;
+  const std::sig_atomic_t seen = g_signals;
+  g_signals = seen + 1;
+  if (seen > 0) _exit(130);
 }
 
 }  // namespace
@@ -81,6 +103,16 @@ int main(int argc, char** argv) {
     } else if (flag == "--default-timeout-ms" && i + 1 < argc) {
       options.default_timeout_ms = std::strtol(argv[++i], nullptr, 10);
       if (options.default_timeout_ms < 0) return usage();
+    } else if (flag == "--io-timeout-ms" && i + 1 < argc) {
+      options.io_timeout_ms = std::strtol(argv[++i], nullptr, 10);
+      if (options.io_timeout_ms < 0) return usage();
+    } else if (flag == "--max-connections" && i + 1 < argc) {
+      options.max_connections =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag == "--max-line-bytes" && i + 1 < argc) {
+      options.max_line_bytes =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (options.max_line_bytes == 0) return usage();
     } else {
       return usage();
     }
@@ -98,6 +130,7 @@ int main(int argc, char** argv) {
     // instead of draining it.
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
     server.start();
     if (server.port() != 0) {
       std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
@@ -107,7 +140,12 @@ int main(int argc, char** argv) {
     while (g_signals == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
-    std::cout << "shutting down" << std::endl;
+    if (g_drain != 0) {
+      std::cout << "draining" << std::endl;
+      server.drain();
+    } else {
+      std::cout << "shutting down" << std::endl;
+    }
     server.stop();
     return 0;
   } catch (const Error& e) {
